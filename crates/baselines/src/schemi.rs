@@ -1,0 +1,252 @@
+//! The SchemI baseline (Lbath, Bonifati & Harmer, EDBT 2021),
+//! reimplemented from its description in the PG-HIVE paper (§2):
+//!
+//! * assumes **all nodes and edges are labeled** — refuses otherwise;
+//! * "treats each distinct label as a separate type": an element is
+//!   typed by a single label (we use the alphabetically first, the
+//!   deterministic choice), so `{Person}` and `{Person, Student}`
+//!   collapse into one type and multi-labeled datasets lose precision —
+//!   exactly the weakness §2 describes;
+//! * no hashing: patterns are found by a **linear scan** per instance
+//!   (`O(N·P)`) and the inferred type hierarchy by **exhaustive pairwise
+//!   containment** over patterns (`O(P²)`), which is what makes SchemI
+//!   up to ~2× slower than PG-HIVE in Figure 5.
+
+use crate::{BaselineError, BaselineOutput};
+use pg_model::{LabelSet, PropertyGraph, Symbol};
+use std::collections::BTreeSet;
+
+/// The SchemI baseline engine.
+#[derive(Debug, Clone, Default)]
+pub struct SchemI;
+
+/// One discovered pattern: the typing label plus a property-key set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Pattern {
+    label: Symbol,
+    keys: BTreeSet<Symbol>,
+}
+
+/// Output of the hierarchy pass: pattern `i` subsumes pattern `j`
+/// (same label, `keys_i ⊇ keys_j`).
+pub type Subsumption = (usize, usize);
+
+impl SchemI {
+    /// Create the engine.
+    pub fn new() -> SchemI {
+        SchemI
+    }
+
+    /// Discover node and edge clusters. Fails if any element is
+    /// unlabeled.
+    pub fn discover(&self, graph: &PropertyGraph) -> Result<BaselineOutput, BaselineError> {
+        let unlabeled = graph.nodes().filter(|n| n.labels.is_empty()).count()
+            + graph.edges().filter(|e| e.labels.is_empty()).count();
+        if unlabeled > 0 {
+            return Err(BaselineError::RequiresFullLabels { unlabeled });
+        }
+
+        let (node_clusters, node_patterns) = cluster_by_first_label(
+            graph
+                .nodes()
+                .map(|n| (n.id, &n.labels, n.key_set())),
+        );
+        let (edge_clusters, edge_patterns) = cluster_by_first_label(
+            graph
+                .edges()
+                .map(|e| (e.id, &e.labels, e.key_set())),
+        );
+        // Hierarchy inference (the original SchemI's subtype lattice):
+        // exhaustive pairwise containment. The result is not needed for
+        // scoring, but the pass is part of the method's cost profile.
+        let _ = pattern_hierarchy(&node_patterns);
+        let _ = pattern_hierarchy(&edge_patterns);
+
+        Ok(BaselineOutput {
+            node_clusters,
+            edge_clusters: Some(edge_clusters),
+        })
+    }
+}
+
+/// Group elements by their alphabetically-first label, via the
+/// original's two-pass, hash-free formulation:
+///
+/// 1. collect the distinct `(label, keys)` patterns by linear search;
+/// 2. assign every instance to its **most specific subsuming pattern**
+///    (the smallest same-label pattern whose key set contains the
+///    instance's keys — the pattern lattice's leaf for that instance),
+///    scanning all patterns per instance (`O(N·P)` subset tests);
+/// 3. fold patterns into label-types.
+///
+/// Step 2 is what the subsumption hierarchy is built from, and it is the
+/// dominant cost on pattern-rich datasets — no hashing, no indexing,
+/// mirroring the original's full-scan cost profile (Figure 5).
+fn cluster_by_first_label<'a, Id: Copy + 'a>(
+    elements: impl Iterator<Item = (Id, &'a LabelSet, BTreeSet<Symbol>)>,
+) -> (Vec<Vec<Id>>, Vec<Pattern>) {
+    // Pass 1: materialize instances and collect distinct patterns.
+    let mut instances: Vec<(Id, Symbol, BTreeSet<Symbol>)> = Vec::new();
+    let mut patterns: Vec<Pattern> = Vec::new();
+    for (id, labels, keys) in elements {
+        let label = labels.iter().next().expect("labeled element").clone();
+        let pat = Pattern {
+            label: label.clone(),
+            keys: keys.clone(),
+        };
+        if !patterns.contains(&pat) {
+            patterns.push(pat);
+        }
+        instances.push((id, label, keys));
+    }
+
+    // Pass 2 + 3: most-specific-pattern assignment, folded by label.
+    let mut type_labels: Vec<Symbol> = Vec::new();
+    let mut clusters: Vec<Vec<Id>> = Vec::new();
+    for (id, label, keys) in instances {
+        let mut best: Option<usize> = None;
+        for (p, pat) in patterns.iter().enumerate() {
+            if pat.label == label && keys.is_subset(&pat.keys) {
+                let better = match best {
+                    None => true,
+                    Some(b) => pat.keys.len() < patterns[b].keys.len(),
+                };
+                if better {
+                    best = Some(p);
+                }
+            }
+        }
+        let pattern = &patterns[best.expect("own pattern always subsumes")];
+        // Linear type lookup by the pattern's label.
+        let t = match type_labels.iter().position(|l| *l == pattern.label) {
+            Some(t) => t,
+            None => {
+                type_labels.push(pattern.label.clone());
+                clusters.push(Vec::new());
+                type_labels.len() - 1
+            }
+        };
+        clusters[t].push(id);
+    }
+    (clusters, patterns)
+}
+
+/// Exhaustive pairwise subsumption over patterns: `(i, j)` when both
+/// share the label and `keys_i ⊇ keys_j`, `i ≠ j`.
+fn pattern_hierarchy(patterns: &[Pattern]) -> Vec<Subsumption> {
+    let mut out = Vec::new();
+    for i in 0..patterns.len() {
+        for j in 0..patterns.len() {
+            if i != j
+                && patterns[i].label == patterns[j].label
+                && patterns[j].keys.is_subset(&patterns[i].keys)
+            {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{Edge, Node, NodeId};
+
+    #[test]
+    fn groups_by_label_when_disjoint() {
+        let mut g = PropertyGraph::new();
+        for i in 0..10u64 {
+            g.add_node(Node::new(i, LabelSet::single("Person"))).unwrap();
+            g.add_node(Node::new(100 + i, LabelSet::single("Org"))).unwrap();
+        }
+        let out = SchemI::new().discover(&g).unwrap();
+        assert_eq!(out.node_clusters.len(), 2);
+        assert!(out.edge_clusters.is_some());
+    }
+
+    #[test]
+    fn multilabel_variants_collapse_by_first_label() {
+        // {Person} and {Person, Student} both type as "Person" (mixing
+        // on datasets whose ground truth distinguishes the two).
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("Person"))).unwrap();
+        g.add_node(Node::new(2, LabelSet::from_iter(["Person", "Student"])))
+            .unwrap();
+        g.add_node(Node::new(3, LabelSet::single("Org"))).unwrap();
+        let out = SchemI::new().discover(&g).unwrap();
+        assert_eq!(out.node_clusters.len(), 2);
+        let big = out.node_clusters.iter().find(|c| c.len() == 2).unwrap();
+        assert_eq!(big.len(), 2);
+    }
+
+    #[test]
+    fn shared_integration_label_does_not_collapse_everything() {
+        // A HetionetNode-style label on every node: first-label typing
+        // still separates Gene from Disease (G < H, D < H).
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::from_iter(["Gene", "HetionetNode"])))
+            .unwrap();
+        g.add_node(Node::new(2, LabelSet::from_iter(["Disease", "HetionetNode"])))
+            .unwrap();
+        let out = SchemI::new().discover(&g).unwrap();
+        assert_eq!(out.node_clusters.len(), 2);
+    }
+
+    #[test]
+    fn refuses_missing_labels_on_nodes_or_edges() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("A"))).unwrap();
+        g.add_node(Node::new(2, LabelSet::empty())).unwrap();
+        assert!(SchemI::new().discover(&g).is_err());
+
+        let mut g2 = PropertyGraph::new();
+        g2.add_node(Node::new(1, LabelSet::single("A"))).unwrap();
+        g2.add_node(Node::new(2, LabelSet::single("A"))).unwrap();
+        g2.add_edge(Edge::new(5, NodeId(1), NodeId(2), LabelSet::empty()))
+            .unwrap();
+        assert!(SchemI::new().discover(&g2).is_err());
+    }
+
+    #[test]
+    fn edge_clusters_group_by_edge_label() {
+        let mut g = PropertyGraph::new();
+        for i in 0..4u64 {
+            g.add_node(Node::new(i, LabelSet::single("N"))).unwrap();
+        }
+        g.add_edge(Edge::new(10, NodeId(0), NodeId(1), LabelSet::single("KNOWS")))
+            .unwrap();
+        g.add_edge(Edge::new(11, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
+            .unwrap();
+        g.add_edge(Edge::new(12, NodeId(2), NodeId(3), LabelSet::single("LIKES")))
+            .unwrap();
+        let out = SchemI::new().discover(&g).unwrap();
+        let ec = out.edge_clusters.unwrap();
+        assert_eq!(ec.len(), 2);
+        let sizes: Vec<usize> = ec.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn hierarchy_detects_containment() {
+        let p = |label: &str, keys: &[&str]| Pattern {
+            label: pg_model::sym(label),
+            keys: keys.iter().map(|k| pg_model::sym(k)).collect(),
+        };
+        let pats = vec![
+            p("A", &["x", "y"]),
+            p("A", &["x"]),
+            p("B", &["x"]),
+        ];
+        let h = pattern_hierarchy(&pats);
+        assert!(h.contains(&(0, 1)), "A{{x,y}} subsumes A{{x}}");
+        assert!(!h.contains(&(0, 2)), "different labels never subsume");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let out = SchemI::new().discover(&PropertyGraph::new()).unwrap();
+        assert!(out.node_clusters.is_empty());
+        assert_eq!(out.edge_clusters.unwrap().len(), 0);
+    }
+}

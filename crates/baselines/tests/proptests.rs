@@ -1,0 +1,83 @@
+//! Property-based tests for the baseline substrate (GMM) and the two
+//! baseline methods.
+
+use pg_baselines::{Gmm, GmmConfig, GmmSchema, SchemI};
+use pg_model::{LabelSet, Node, PropertyGraph};
+use proptest::prelude::*;
+
+fn arb_data() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 4..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // --- GMM invariants.
+    #[test]
+    fn gmm_weights_form_a_distribution(data in arb_data(), k in 1usize..4) {
+        let m = Gmm::fit(&data, k.min(data.len()), &GmmConfig::default());
+        let sum: f64 = m.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "weights sum {sum}");
+        prop_assert!(m.weights.iter().all(|&w| (0.0..=1.0 + 1e-9).contains(&w)));
+        prop_assert!(m.vars.iter().flatten().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn gmm_predictions_are_in_range(data in arb_data(), k in 1usize..4) {
+        let k = k.min(data.len());
+        let m = Gmm::fit(&data, k, &GmmConfig::default());
+        for x in &data {
+            prop_assert!(m.predict(x) < k);
+        }
+    }
+
+    #[test]
+    fn gmm_more_components_never_hurt_likelihood_much(data in arb_data()) {
+        // Log-likelihood is non-decreasing in k up to EM noise.
+        let l1 = Gmm::fit(&data, 1, &GmmConfig::default()).log_likelihood(&data);
+        let l2 = Gmm::fit(&data, 2.min(data.len()), &GmmConfig::default())
+            .log_likelihood(&data);
+        prop_assert!(l2 >= l1 - (data.len() as f64), "l1={l1} l2={l2}");
+    }
+
+    // --- Baseline contracts on arbitrary labeled graphs.
+    #[test]
+    fn baselines_partition_labeled_graphs(
+        nodes in prop::collection::vec(
+            ("[A-E]", prop::collection::vec("[a-f]", 0..4)), 1..40)
+    ) {
+        let mut g = PropertyGraph::new();
+        for (i, (label, props)) in nodes.iter().enumerate() {
+            let mut node = Node::new(i as u64, LabelSet::single(label));
+            for p in props {
+                node.props.insert(pg_model::sym(p), pg_model::PropertyValue::Int(1));
+            }
+            let _ = g.add_node(node);
+        }
+        let schemi = SchemI::new().discover(&g).unwrap();
+        let total: usize = schemi.node_clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+
+        let gmm = GmmSchema::new().discover(&g).unwrap();
+        let total: usize = gmm.node_clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        prop_assert!(gmm.edge_clusters.is_none());
+    }
+
+    #[test]
+    fn schemi_clusters_are_label_pure_for_single_labels(
+        labels in prop::collection::vec("[A-D]", 1..30)
+    ) {
+        let mut g = PropertyGraph::new();
+        for (i, l) in labels.iter().enumerate() {
+            let _ = g.add_node(Node::new(i as u64, LabelSet::single(l)));
+        }
+        let out = SchemI::new().discover(&g).unwrap();
+        for cluster in &out.node_clusters {
+            let first = &g.node(cluster[0]).unwrap().labels;
+            for id in cluster {
+                prop_assert_eq!(&g.node(*id).unwrap().labels, first);
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation: adaptive LSH parameterization vs fixed manual settings.
+//! The adaptive path pays a sampling pass (§4.2); this measures that
+//! overhead against under- and over-provisioned manual choices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::{bench_graph, bench_hive_config, BENCH_DATASETS};
+use pg_hive::{LshMethod, PgHive};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn adaptive_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for ds in BENCH_DATASETS {
+        let (graph, _) = bench_graph(ds, 0.2, 1.0);
+
+        group.bench_with_input(BenchmarkId::new("adaptive", ds), &graph, |b, g| {
+            let engine = PgHive::new(bench_hive_config(LshMethod::Elsh));
+            b.iter(|| black_box(engine.discover_graph(g)))
+        });
+        for (name, bucket, tables) in
+            [("manual_small", 0.5, 15), ("manual_large", 4.0, 35)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, ds), &graph, |b, g| {
+                let cfg = bench_hive_config(LshMethod::Elsh)
+                    .with_manual_params(bucket, tables);
+                let engine = PgHive::new(cfg);
+                b.iter(|| black_box(engine.discover_graph(g)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: Word2Vec vs hashed label embeddings — both the embedding
+//! cost and the end-to-end discovery cost. (Accuracy comparison lives in
+//! the integration tests; Criterion measures time.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::{bench_graph, bench_hive_config, BENCH_DATASETS};
+use pg_embed::{build_sentences, Word2Vec, Word2VecConfig};
+use pg_hive::{EmbeddingKind, LshMethod, PgHive};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn embed_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed_ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for ds in BENCH_DATASETS {
+        let (graph, _) = bench_graph(ds, 0.0, 1.0);
+        let (nodes, edges) = pg_store::load(&graph);
+
+        // Training cost alone.
+        let sentences = build_sentences(&nodes, &edges);
+        group.bench_with_input(
+            BenchmarkId::new("word2vec_train", ds),
+            &sentences,
+            |b, s| {
+                let cfg = Word2VecConfig {
+                    dim: 8,
+                    epochs: 4,
+                    max_pairs_per_epoch: 50_000,
+                    ..Default::default()
+                };
+                b.iter(|| black_box(Word2Vec::train(s, &cfg)))
+            },
+        );
+
+        // End-to-end discovery with each embedder.
+        group.bench_with_input(BenchmarkId::new("discover_word2vec", ds), &graph, |b, g| {
+            let engine = PgHive::new(bench_hive_config(LshMethod::Elsh));
+            b.iter(|| black_box(engine.discover_graph(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("discover_hashed", ds), &graph, |b, g| {
+            let mut cfg = bench_hive_config(LshMethod::Elsh);
+            cfg.embedding = EmbeddingKind::Hashed { dim: 8 };
+            let engine = PgHive::new(cfg);
+            b.iter(|| black_box(engine.discover_graph(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, embed_ablation);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 5: execution time until type discovery, per dataset × noise ×
+//! method. The shape to verify: PG-HIVE flat w.r.t. noise and faster
+//! than SchemI; GMM grows with noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_baselines::{GmmSchema, SchemI};
+use pg_bench::{bench_graph, bench_hive_config, BENCH_DATASETS};
+use pg_hive::{LshMethod, PgHive};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_runtime");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for ds in BENCH_DATASETS {
+        for noise in [0.0, 0.4] {
+            let (graph, _) = bench_graph(ds, noise, 1.0);
+            let label = format!("{ds}/noise{:.0}", noise * 100.0);
+
+            group.bench_with_input(
+                BenchmarkId::new("PG-HIVE-ELSH", &label),
+                &graph,
+                |b, g| {
+                    let engine = PgHive::new(bench_hive_config(LshMethod::Elsh));
+                    b.iter(|| black_box(engine.discover_graph(g)))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("PG-HIVE-MinHash", &label),
+                &graph,
+                |b, g| {
+                    let engine = PgHive::new(bench_hive_config(LshMethod::MinHash));
+                    b.iter(|| black_box(engine.discover_graph(g)))
+                },
+            );
+            group.bench_with_input(BenchmarkId::new("GMMSchema", &label), &graph, |b, g| {
+                let engine = GmmSchema::new();
+                b.iter(|| black_box(engine.discover(g)))
+            });
+            group.bench_with_input(BenchmarkId::new("SchemI", &label), &graph, |b, g| {
+                let engine = SchemI::new();
+                b.iter(|| black_box(engine.discover(g)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8 companion: the cost side of sampled data-type inference —
+//! full-scan vs 10 %-sample post-processing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::{bench_graph, bench_hive_config, BENCH_DATASETS};
+use pg_hive::{DatatypeSampling, LshMethod, PgHive};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_datatypes");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for ds in BENCH_DATASETS {
+        let (graph, _) = bench_graph(ds, 0.0, 1.0);
+
+        let mut full_cfg = bench_hive_config(LshMethod::Elsh);
+        full_cfg.post_processing = true;
+        full_cfg.datatype_sampling = None;
+        group.bench_with_input(BenchmarkId::new("full_scan", ds), &graph, |b, g| {
+            let engine = PgHive::new(full_cfg.clone());
+            b.iter(|| black_box(engine.discover_graph(g)))
+        });
+
+        let mut sampled_cfg = full_cfg.clone();
+        sampled_cfg.datatype_sampling = Some(DatatypeSampling::default());
+        group.bench_with_input(BenchmarkId::new("sampled", ds), &graph, |b, g| {
+            let engine = PgHive::new(sampled_cfg.clone());
+            b.iter(|| black_box(engine.discover_graph(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! LSH microbenchmarks: signature computation and clustering throughput
+//! for both families, across dimensionality and table count — the §4.7
+//! complexity claims (`O(N·T·D)` for ELSH, `O(N·T)` for MinHash) made
+//! measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pg_lsh::{EuclideanLsh, MinHashLsh, SparseVec};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn sparse_points(n: usize, dim: usize, nnz: usize, seed: u64) -> Vec<SparseVec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let entries: Vec<(u32, f64)> = (0..nnz)
+                .map(|_| (rng.gen_range(0..dim as u32), rng.gen::<f64>()))
+                .collect();
+            SparseVec::new(dim, entries)
+        })
+        .collect()
+}
+
+fn sets(n: usize, universe: u64, size: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..size).map(|_| rng.gen_range(0..universe)).collect())
+        .collect()
+}
+
+fn lsh_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsh_micro");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    const N: usize = 20_000;
+    for tables in [15, 35] {
+        let points = sparse_points(N, 512, 16, 1);
+        group.throughput(Throughput::Elements(N as u64));
+        group.bench_with_input(
+            BenchmarkId::new("elsh_cluster_signature", format!("T={tables}")),
+            &points,
+            |b, pts| {
+                let lsh = EuclideanLsh::new(512, tables, 2.0, 3);
+                b.iter(|| black_box(lsh.cluster_signature(pts)))
+            },
+        );
+
+        let minhash_sets = sets(N, 1 << 20, 12, 2);
+        group.bench_with_input(
+            BenchmarkId::new("minhash_cluster_signature", format!("T={tables}")),
+            &minhash_sets,
+            |b, s| {
+                let lsh = MinHashLsh::new(tables, 4);
+                b.iter(|| black_box(lsh.cluster_signature(s)))
+            },
+        );
+    }
+
+    // Dimensionality scaling for ELSH (the D in O(N·T·D) — nnz-bound for
+    // sparse vectors).
+    for nnz in [8, 64] {
+        let points = sparse_points(5_000, 1024, nnz, 5);
+        group.bench_with_input(
+            BenchmarkId::new("elsh_signature_nnz", nnz),
+            &points,
+            |b, pts| {
+                let lsh = EuclideanLsh::new(1024, 25, 2.0, 6);
+                b.iter(|| {
+                    for p in pts.iter().take(1000) {
+                        black_box(lsh.signature(p));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lsh_micro);
+criterion_main!(benches);

@@ -1,0 +1,343 @@
+//! Command implementations. Each returns the text it would print so the
+//! logic is unit-testable; the binary writes it to stdout or `--out`.
+
+use crate::opts::{CliError, Command, GraphInput, OutputFormat};
+use pg_datasets::{generate, inject_noise, spec_by_name, NoiseConfig};
+use pg_hive::{
+    diff, serialize, validate, DatatypeSampling, HiveConfig, LshMethod, PgHive, SchemaMode,
+};
+use pg_model::{GraphStats, PropertyGraph, SchemaGraph};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// Execute a parsed command; returns the report/serialization text.
+pub fn run(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Discover {
+            input,
+            format,
+            method,
+            theta,
+            seed,
+            no_post,
+            merge_similarity,
+            refine,
+            sample_datatypes,
+            out,
+        } => {
+            let graph = read_graph(input)?;
+            let config = HiveConfig {
+                method: if method == "minhash" {
+                    LshMethod::MinHash
+                } else {
+                    LshMethod::Elsh
+                },
+                post_processing: !no_post,
+                datatype_sampling: sample_datatypes.then(DatatypeSampling::default),
+                merge_similarity: if merge_similarity == "weighted" {
+                    pg_hive::MergeSimilarity::WeightedJaccard
+                } else {
+                    pg_hive::MergeSimilarity::BinaryJaccard
+                },
+                ..HiveConfig::default()
+            }
+            .with_theta(*theta)
+            .with_seed(*seed);
+            let mut result = PgHive::new(config).discover_graph(&graph);
+            if *refine {
+                pg_hive::refine::refine_abstract_types(
+                    &mut result.state,
+                    &graph,
+                    pg_hive::refine::RefineConfig::default(),
+                );
+                if !no_post {
+                    pg_hive::constraints::infer_property_constraints(&mut result.state);
+                    pg_hive::datatypes::infer_datatypes(&mut result.state, None, *seed);
+                    pg_hive::cardinality::compute_cardinalities(&mut result.state);
+                }
+                result.schema = result.state.schema.clone();
+            }
+            let text = match format {
+                OutputFormat::PgSchemaStrict => {
+                    serialize::to_pg_schema(&result.schema, SchemaMode::Strict)
+                }
+                OutputFormat::PgSchemaLoose => {
+                    serialize::to_pg_schema(&result.schema, SchemaMode::Loose)
+                }
+                OutputFormat::Xsd => serialize::to_xsd(&result.schema),
+                OutputFormat::Json => serialize::to_json(&result.schema),
+            };
+            if let Some(path) = out {
+                fs::write(path, &text)
+                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+                Ok(format!(
+                    "discovered {} node types, {} edge types -> {}\n",
+                    result.schema.node_types.len(),
+                    result.schema.edge_types.len(),
+                    path.display()
+                ))
+            } else {
+                Ok(text)
+            }
+        }
+
+        Command::Validate {
+            schema,
+            input,
+            mode,
+        } => {
+            let graph = read_graph(input)?;
+            let schema = read_schema(schema)?;
+            let mode = match mode.as_str() {
+                "strict" => SchemaMode::Strict,
+                "loose" => SchemaMode::Loose,
+                other => return Err(CliError::Usage(format!("unknown mode {other:?}"))),
+            };
+            let report = validate(&graph, &schema, mode);
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "checked {} nodes, {} edges: {}",
+                report.nodes_checked,
+                report.edges_checked,
+                if report.is_valid() {
+                    "VALID".to_owned()
+                } else {
+                    format!("{} violations", report.violations.len())
+                }
+            );
+            for v in report.violations.iter().take(50) {
+                let _ = writeln!(text, "  {v:?}");
+            }
+            if report.violations.len() > 50 {
+                let _ = writeln!(text, "  … and {} more", report.violations.len() - 50);
+            }
+            Ok(text)
+        }
+
+        Command::Diff { old, new } => {
+            let old = read_schema(old)?;
+            let new = read_schema(new)?;
+            Ok(diff(&old, &new).to_string())
+        }
+
+        Command::Stats { input } => {
+            let graph = read_graph(input)?;
+            Ok(format!("{}\n", GraphStats::of(&graph)))
+        }
+
+        Command::Generate {
+            dataset,
+            out_dir,
+            scale,
+            seed,
+            noise,
+            label_availability,
+            jsonl,
+        } => {
+            let spec = spec_by_name(dataset)
+                .ok_or_else(|| CliError::Usage(format!("unknown dataset {dataset:?}")))?
+                .scaled(*scale);
+            let (mut graph, _) = generate(&spec, *seed);
+            if *noise > 0.0 || *label_availability < 1.0 {
+                inject_noise(
+                    &mut graph,
+                    NoiseConfig {
+                        property_removal: *noise,
+                        label_availability: *label_availability,
+                        seed: seed ^ 0xabcdef,
+                    },
+                );
+            }
+            fs::create_dir_all(out_dir)
+                .map_err(|e| CliError::Failed(format!("creating {out_dir:?}: {e}")))?;
+            let written = if *jsonl {
+                let path = out_dir.join("graph.jsonl");
+                fs::write(&path, pg_store::jsonl::to_jsonl(&graph))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                vec![path]
+            } else {
+                let nodes = out_dir.join("nodes.csv");
+                let edges = out_dir.join("edges.csv");
+                fs::write(&nodes, pg_store::csv::nodes_to_csv(&graph))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                fs::write(&edges, pg_store::csv::edges_to_csv(&graph))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                vec![nodes, edges]
+            };
+            let mut text = format!(
+                "generated {} ({} nodes, {} edges):\n",
+                spec.name,
+                graph.node_count(),
+                graph.edge_count()
+            );
+            for p in written {
+                let _ = writeln!(text, "  {}", p.display());
+            }
+            Ok(text)
+        }
+    }
+}
+
+fn read_graph(input: &GraphInput) -> Result<PropertyGraph, CliError> {
+    if let Some(jsonl) = &input.jsonl {
+        let text = fs::read_to_string(jsonl)
+            .map_err(|e| CliError::Failed(format!("reading {jsonl:?}: {e}")))?;
+        return pg_store::jsonl::from_jsonl(&text)
+            .map_err(|e| CliError::Failed(format!("parsing {jsonl:?}: {e}")));
+    }
+    let nodes_path = input.nodes.as_ref().expect("validated");
+    let edges_path = input.edges.as_ref().expect("validated");
+    let nodes = fs::read_to_string(nodes_path)
+        .map_err(|e| CliError::Failed(format!("reading {nodes_path:?}: {e}")))?;
+    let edges = fs::read_to_string(edges_path)
+        .map_err(|e| CliError::Failed(format!("reading {edges_path:?}: {e}")))?;
+    pg_store::csv::graph_from_csv(&nodes, &edges)
+        .map_err(|e| CliError::Failed(format!("parsing CSV: {e}")))
+}
+
+fn read_schema(path: &Path) -> Result<SchemaGraph, CliError> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| CliError::Failed(format!("reading {path:?}: {e}")))?;
+    serde_json::from_str(&text)
+        .map_err(|e| CliError::Failed(format!("parsing schema {path:?}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::parse;
+    use std::path::PathBuf;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pg-hive-cli-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn argv(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn generate_then_discover_then_validate_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let dir_s = dir.to_str().unwrap();
+
+        // 1. Generate a small POLE twin.
+        let out = run(&parse(&argv(&[
+            "generate", "--dataset", "POLE", "--out-dir", dir_s, "--scale", "0.05",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("generated POLE"));
+        let nodes = dir.join("nodes.csv");
+        let edges = dir.join("edges.csv");
+        assert!(nodes.exists() && edges.exists());
+
+        // 2. Discover its schema to JSON.
+        let schema_path = dir.join("schema.json");
+        let out = run(&parse(&argv(&[
+            "discover",
+            "--nodes", nodes.to_str().unwrap(),
+            "--edges", edges.to_str().unwrap(),
+            "--format", "json",
+            "--out", schema_path.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("node types"));
+        assert!(schema_path.exists());
+
+        // 3. Validate the same data against the discovered schema.
+        let out = run(&parse(&argv(&[
+            "validate",
+            "--schema", schema_path.to_str().unwrap(),
+            "--nodes", nodes.to_str().unwrap(),
+            "--edges", edges.to_str().unwrap(),
+            "--mode", "strict",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("VALID"), "{out}");
+
+        // 4. Diff the schema against itself.
+        let out = run(&parse(&argv(&[
+            "diff",
+            "--old", schema_path.to_str().unwrap(),
+            "--new", schema_path.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("identical"));
+
+        // 5. Stats.
+        let out = run(&parse(&argv(&[
+            "stats",
+            "--nodes", nodes.to_str().unwrap(),
+            "--edges", edges.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("nodes"));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discover_emits_each_format() {
+        let dir = tmpdir("formats");
+        let dir_s = dir.to_str().unwrap();
+        run(&parse(&argv(&[
+            "generate", "--dataset", "POLE", "--out-dir", dir_s, "--scale", "0.05", "--jsonl",
+        ]))
+        .unwrap())
+        .unwrap();
+        let jsonl = dir.join("graph.jsonl");
+        for (fmt, marker) in [
+            ("pg-schema-strict", "STRICT"),
+            ("pg-schema-loose", "LOOSE"),
+            ("xsd", "<?xml"),
+            ("json", "node_types"),
+        ] {
+            let out = run(&parse(&argv(&[
+                "discover", "--jsonl", jsonl.to_str().unwrap(), "--format", fmt,
+            ]))
+            .unwrap())
+            .unwrap();
+            assert!(out.contains(marker), "format {fmt}: {out:.80}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noisy_generation_strips_labels() {
+        let dir = tmpdir("noisy");
+        run(&parse(&argv(&[
+            "generate", "--dataset", "MB6", "--out-dir", dir.to_str().unwrap(),
+            "--scale", "0.05", "--label-availability", "0.0", "--jsonl",
+        ]))
+        .unwrap())
+        .unwrap();
+        let graph =
+            pg_store::jsonl::from_jsonl(&fs::read_to_string(dir.join("graph.jsonl")).unwrap())
+                .unwrap();
+        assert!(graph.nodes().all(|n| n.labels.is_empty()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_files_fail_cleanly() {
+        let err = run(&parse(&argv(&["stats", "--jsonl", "/nonexistent/file.jsonl"])).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)));
+        let err = run(&parse(&argv(&[
+            "generate", "--dataset", "NOPE", "--out-dir", "/tmp/x",
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

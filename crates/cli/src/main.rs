@@ -1,0 +1,22 @@
+//! The `pg-hive` binary: a thin wrapper over the command library.
+
+use pg_hive_cli::opts::{parse, USAGE};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--help") || args.is_empty() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match parse(&args).and_then(|cmd| pg_hive_cli::run(&cmd)) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

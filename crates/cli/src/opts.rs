@@ -1,0 +1,425 @@
+//! Argument parsing for the CLI (hand-rolled: the workspace avoids
+//! heavyweight dependencies; see DESIGN.md).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// CLI-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad invocation (unknown flag, missing value, …).
+    Usage(String),
+    /// Runtime failure (I/O, parse, …).
+    Failed(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Failed(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pg-hive <command> [options]
+
+Commands:
+  discover  --nodes <csv> --edges <csv> | --jsonl <file>
+            [--format pg-schema-strict|pg-schema-loose|xsd|json]
+            [--method elsh|minhash] [--theta <f>] [--seed <n>]
+            [--merge-similarity binary|weighted] [--refine]
+            [--no-post] [--sample-datatypes] [--out <file>]
+  validate  --schema <json> (--nodes <csv> --edges <csv> | --jsonl <file>)
+            [--mode strict|loose]
+  diff      --old <schema.json> --new <schema.json>
+  stats     --nodes <csv> --edges <csv> | --jsonl <file>
+  generate  --dataset <name> --out-dir <dir> [--scale <f>] [--seed <n>]
+            [--noise <f>] [--label-availability <f>] [--jsonl]
+";
+
+/// Where to read a graph from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphInput {
+    /// Node CSV path (paired with `edges`).
+    pub nodes: Option<PathBuf>,
+    /// Edge CSV path.
+    pub edges: Option<PathBuf>,
+    /// JSON-lines path (alternative to the CSV pair).
+    pub jsonl: Option<PathBuf>,
+}
+
+impl GraphInput {
+    fn validate(&self) -> Result<(), CliError> {
+        match (&self.nodes, &self.edges, &self.jsonl) {
+            (Some(_), Some(_), None) | (None, None, Some(_)) => Ok(()),
+            _ => Err(CliError::Usage(
+                "provide either --nodes with --edges, or --jsonl".into(),
+            )),
+        }
+    }
+}
+
+/// Output format for `discover`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// PG-Schema STRICT declaration.
+    #[default]
+    PgSchemaStrict,
+    /// PG-Schema LOOSE declaration.
+    PgSchemaLoose,
+    /// XML Schema.
+    Xsd,
+    /// JSON (round-trippable).
+    Json,
+}
+
+/// A parsed CLI command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Discover a schema.
+    Discover {
+        /// Graph source.
+        input: GraphInput,
+        /// Output format.
+        format: OutputFormat,
+        /// LSH family name ("elsh"/"minhash").
+        method: String,
+        /// Jaccard threshold θ.
+        theta: f64,
+        /// Seed.
+        seed: u64,
+        /// Skip post-processing.
+        no_post: bool,
+        /// "binary" or "weighted" unlabeled-cluster merging.
+        merge_similarity: String,
+        /// Run the context-refinement pass on ABSTRACT types.
+        refine: bool,
+        /// Use sampled data-type inference.
+        sample_datatypes: bool,
+        /// Output path (stdout if None).
+        out: Option<PathBuf>,
+    },
+    /// Validate a graph against a schema.
+    Validate {
+        /// Path to the schema JSON.
+        schema: PathBuf,
+        /// Graph source.
+        input: GraphInput,
+        /// "strict" or "loose".
+        mode: String,
+    },
+    /// Diff two schemas.
+    Diff {
+        /// Older schema JSON.
+        old: PathBuf,
+        /// Newer schema JSON.
+        new: PathBuf,
+    },
+    /// Graph statistics.
+    Stats {
+        /// Graph source.
+        input: GraphInput,
+    },
+    /// Generate a benchmark dataset.
+    Generate {
+        /// Catalog dataset name.
+        dataset: String,
+        /// Output directory.
+        out_dir: PathBuf,
+        /// Scale multiplier.
+        scale: f64,
+        /// Seed.
+        seed: u64,
+        /// Property-removal noise.
+        noise: f64,
+        /// Label availability.
+        label_availability: f64,
+        /// Emit JSON-lines instead of CSV.
+        jsonl: bool,
+    },
+}
+
+/// Parse argv (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let cmd = it
+        .next()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
+    let rest: Vec<&String> = it.collect();
+
+    let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut switches: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut i = 0;
+    let boolean_flags = ["--no-post", "--sample-datatypes", "--jsonl-out", "--refine"];
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        if !flag.starts_with("--") {
+            return Err(CliError::Usage(format!("unexpected argument {flag:?}")));
+        }
+        if boolean_flags.contains(&flag) || (flag == "--jsonl" && cmd == "generate") {
+            switches.insert(flag.to_owned());
+            i += 1;
+        } else {
+            let value = rest
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))?;
+            flags.insert(flag.to_owned(), (*value).clone());
+            i += 2;
+        }
+    }
+
+    let path = |name: &str| -> Option<PathBuf> { flags.get(name).map(PathBuf::from) };
+    let input = || -> Result<GraphInput, CliError> {
+        let g = GraphInput {
+            nodes: path("--nodes"),
+            edges: path("--edges"),
+            jsonl: path("--jsonl"),
+        };
+        g.validate()?;
+        Ok(g)
+    };
+    let f64_flag = |name: &str, default: f64| -> Result<f64, CliError> {
+        flags
+            .get(name)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage(format!("{name} must be a number")))
+            })
+            .unwrap_or(Ok(default))
+    };
+    let u64_flag = |name: &str, default: u64| -> Result<u64, CliError> {
+        flags
+            .get(name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| CliError::Usage(format!("{name} must be an integer")))
+            })
+            .unwrap_or(Ok(default))
+    };
+
+    match cmd.as_str() {
+        "discover" => {
+            let format = match flags.get("--format").map(String::as_str) {
+                None | Some("pg-schema-strict") => OutputFormat::PgSchemaStrict,
+                Some("pg-schema-loose") => OutputFormat::PgSchemaLoose,
+                Some("xsd") => OutputFormat::Xsd,
+                Some("json") => OutputFormat::Json,
+                Some(other) => {
+                    return Err(CliError::Usage(format!("unknown format {other:?}")))
+                }
+            };
+            let method = flags
+                .get("--method")
+                .cloned()
+                .unwrap_or_else(|| "elsh".into());
+            if method != "elsh" && method != "minhash" {
+                return Err(CliError::Usage(format!("unknown method {method:?}")));
+            }
+            let merge_similarity = flags
+                .get("--merge-similarity")
+                .cloned()
+                .unwrap_or_else(|| "binary".into());
+            if merge_similarity != "binary" && merge_similarity != "weighted" {
+                return Err(CliError::Usage(format!(
+                    "unknown merge similarity {merge_similarity:?}"
+                )));
+            }
+            Ok(Command::Discover {
+                input: input()?,
+                format,
+                method,
+                theta: f64_flag("--theta", 0.9)?,
+                seed: u64_flag("--seed", 42)?,
+                no_post: switches.contains("--no-post"),
+                merge_similarity,
+                refine: switches.contains("--refine"),
+                sample_datatypes: switches.contains("--sample-datatypes"),
+                out: path("--out"),
+            })
+        }
+        "validate" => Ok(Command::Validate {
+            schema: path("--schema")
+                .ok_or_else(|| CliError::Usage("--schema is required".into()))?,
+            input: input()?,
+            mode: flags
+                .get("--mode")
+                .cloned()
+                .unwrap_or_else(|| "strict".into()),
+        }),
+        "diff" => Ok(Command::Diff {
+            old: path("--old").ok_or_else(|| CliError::Usage("--old is required".into()))?,
+            new: path("--new").ok_or_else(|| CliError::Usage("--new is required".into()))?,
+        }),
+        "stats" => Ok(Command::Stats { input: input()? }),
+        "generate" => Ok(Command::Generate {
+            dataset: flags
+                .get("--dataset")
+                .cloned()
+                .ok_or_else(|| CliError::Usage("--dataset is required".into()))?,
+            out_dir: path("--out-dir")
+                .ok_or_else(|| CliError::Usage("--out-dir is required".into()))?,
+            scale: f64_flag("--scale", 1.0)?,
+            seed: u64_flag("--seed", 42)?,
+            noise: f64_flag("--noise", 0.0)?,
+            label_availability: f64_flag("--label-availability", 1.0)?,
+            jsonl: switches.contains("--jsonl"),
+        }),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_discover_defaults() {
+        let c = parse(&args(&["discover", "--jsonl", "g.jsonl"])).unwrap();
+        match c {
+            Command::Discover {
+                format,
+                method,
+                theta,
+                no_post,
+                ..
+            } => {
+                assert_eq!(format, OutputFormat::PgSchemaStrict);
+                assert_eq!(method, "elsh");
+                assert_eq!(theta, 0.9);
+                assert!(!no_post);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_discover_full() {
+        let c = parse(&args(&[
+            "discover", "--nodes", "n.csv", "--edges", "e.csv", "--format", "xsd",
+            "--method", "minhash", "--theta", "0.8", "--seed", "7", "--no-post",
+            "--sample-datatypes", "--out", "schema.xsd",
+        ]))
+        .unwrap();
+        match c {
+            Command::Discover {
+                input,
+                format,
+                method,
+                theta,
+                seed,
+                no_post,
+                sample_datatypes,
+                out,
+                ..
+            } => {
+                assert_eq!(input.nodes, Some(PathBuf::from("n.csv")));
+                assert_eq!(format, OutputFormat::Xsd);
+                assert_eq!(method, "minhash");
+                assert_eq!(theta, 0.8);
+                assert_eq!(seed, 7);
+                assert!(no_post && sample_datatypes);
+                assert_eq!(out, Some(PathBuf::from("schema.xsd")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_discover_extensions() {
+        let c = parse(&args(&[
+            "discover", "--jsonl", "g.jsonl", "--merge-similarity", "weighted", "--refine",
+        ]))
+        .unwrap();
+        match c {
+            Command::Discover {
+                merge_similarity,
+                refine,
+                ..
+            } => {
+                assert_eq!(merge_similarity, "weighted");
+                assert!(refine);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            parse(&args(&[
+                "discover", "--jsonl", "g", "--merge-similarity", "cosine"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn input_requires_pair_or_jsonl() {
+        assert!(matches!(
+            parse(&args(&["discover", "--nodes", "n.csv"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["stats", "--jsonl", "g.jsonl", "--nodes", "n.csv"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_bits_are_rejected() {
+        assert!(matches!(parse(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["discover", "--jsonl", "g", "--format", "yaml"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["discover", "--jsonl", "g", "--method", "simhash"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(parse(&args(&[])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_generate() {
+        let c = parse(&args(&[
+            "generate", "--dataset", "POLE", "--out-dir", "/tmp/x", "--scale", "0.5",
+            "--noise", "0.2", "--label-availability", "0.5", "--jsonl",
+        ]))
+        .unwrap();
+        match c {
+            Command::Generate {
+                dataset,
+                scale,
+                noise,
+                label_availability,
+                jsonl,
+                ..
+            } => {
+                assert_eq!(dataset, "POLE");
+                assert_eq!(scale, 0.5);
+                assert_eq!(noise, 0.2);
+                assert_eq!(label_availability, 0.5);
+                assert!(jsonl);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_validate_and_diff() {
+        assert!(parse(&args(&[
+            "validate", "--schema", "s.json", "--jsonl", "g.jsonl", "--mode", "loose"
+        ]))
+        .is_ok());
+        assert!(parse(&args(&["diff", "--old", "a.json", "--new", "b.json"])).is_ok());
+        assert!(matches!(
+            parse(&args(&["diff", "--old", "a.json"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Edge cardinality inference (§4.4, "Cardinalities").
+//!
+//! For every edge type ρ, compute the maximum number of distinct targets
+//! per source (`max_out`) and distinct sources per target (`max_in`) over
+//! the type's observed instances, and classify: `(1,1) → 0:1`,
+//! `(>1,1) → N:1`, `(1,>1) → 0:N`, `(>1,>1) → M:N`. These are sound upper
+//! bounds (§4.7); the exact lower bound would require scanning nodes
+//! without edges, which the paper defers.
+
+use crate::state::DiscoveryState;
+use pg_store::query::max_degrees;
+
+/// Compute and store cardinalities for every edge type.
+pub fn compute_cardinalities(state: &mut DiscoveryState) {
+    for t in &mut state.schema.edge_types {
+        let Some(acc) = state.edge_accums.get(&t.id) else {
+            continue;
+        };
+        if acc.endpoints.is_empty() {
+            continue;
+        }
+        t.cardinality = Some(max_degrees(acc.endpoints.iter().copied()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::EdgeCluster;
+    use crate::extract::integrate_edge_clusters;
+    use crate::state::EdgeTypeAccum;
+    use pg_model::{CardinalityClass, Edge, LabelSet, NodeId};
+
+    fn edge_cluster(label: &str, pairs: &[(u64, u64)]) -> EdgeCluster {
+        let mut accum = EdgeTypeAccum::default();
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            accum.observe(&Edge::new(
+                10_000 + i as u64,
+                NodeId(s),
+                NodeId(t),
+                LabelSet::single(label),
+            ));
+        }
+        EdgeCluster {
+            labels: LabelSet::single(label),
+            keys: Default::default(),
+            src_labels: LabelSet::single("Person"),
+            tgt_labels: LabelSet::single("Org"),
+            accum,
+        }
+    }
+
+    #[test]
+    fn works_at_example_is_n_to_1() {
+        // Example 8: many people → one org each; orgs have many employees.
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(
+            &mut state,
+            vec![edge_cluster("WORKS_AT", &[(1, 100), (2, 100), (3, 100)])],
+            0.9,
+            true,
+        );
+        compute_cardinalities(&mut state);
+        let t = &state.schema.edge_types[0];
+        let c = t.cardinality.unwrap();
+        assert_eq!(c.max_out, 1);
+        assert_eq!(c.max_in, 3);
+        assert_eq!(c.class(), CardinalityClass::OneToMany);
+    }
+
+    #[test]
+    fn knows_example_is_m_to_n() {
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(
+            &mut state,
+            vec![edge_cluster("KNOWS", &[(1, 2), (1, 3), (2, 1), (3, 1)])],
+            0.9,
+            true,
+        );
+        compute_cardinalities(&mut state);
+        let c = state.schema.edge_types[0].cardinality.unwrap();
+        assert_eq!(c.class(), CardinalityClass::ManyToMany);
+    }
+
+    #[test]
+    fn upper_bound_soundness() {
+        // §4.7: the recorded maxima are achieved by some instance.
+        let pairs = [(1, 2), (1, 3), (1, 4), (5, 2)];
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(&mut state, vec![edge_cluster("E", &pairs)], 0.9, true);
+        compute_cardinalities(&mut state);
+        let c = state.schema.edge_types[0].cardinality.unwrap();
+        assert_eq!(c.max_out, 3, "node 1 has 3 distinct targets");
+        assert_eq!(c.max_in, 2, "node 2 has 2 distinct sources");
+    }
+
+    #[test]
+    fn incremental_merge_grows_bounds() {
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(&mut state, vec![edge_cluster("E", &[(1, 2)])], 0.9, true);
+        compute_cardinalities(&mut state);
+        assert_eq!(
+            state.schema.edge_types[0].cardinality.unwrap().class(),
+            CardinalityClass::OneToOne
+        );
+        // Second batch adds fan-out for the same type.
+        integrate_edge_clusters(&mut state, vec![edge_cluster("E", &[(1, 3), (1, 4)])], 0.9, true);
+        compute_cardinalities(&mut state);
+        let c = state.schema.edge_types[0].cardinality.unwrap();
+        assert_eq!(c.max_out, 3, "endpoints accumulate across batches");
+    }
+}

@@ -1,0 +1,324 @@
+//! The clustering step (§4.2): run LSH over the feature representation
+//! and summarize each cluster by its representative pattern.
+//!
+//! A cluster's representative (§4.2, "Cluster representative") is the
+//! union of member labels, the union of member property keys, and — for
+//! edges — the unions of source/target endpoint labels. Candidate types
+//! are exactly these representatives, with per-instance statistics folded
+//! into an accumulator for later post-processing.
+
+use crate::config::{HiveConfig, LshMethod, LshParams};
+use crate::features::FeatureSpace;
+use crate::state::{EdgeTypeAccum, NodeTypeAccum};
+use pg_lsh::adaptive::{self, AdaptiveParams, ElementKind};
+use pg_lsh::{Clustering, EuclideanLsh, MinHashLsh, SparseVec};
+use pg_model::{LabelSet, Symbol};
+use rayon::prelude::*;
+use pg_store::{EdgeRecord, NodeRecord};
+use std::collections::BTreeSet;
+
+/// A candidate node type: cluster representative + accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCluster {
+    /// Union of member labels (L).
+    pub labels: LabelSet,
+    /// Union of member property keys (K).
+    pub keys: BTreeSet<Symbol>,
+    /// Folded per-instance statistics.
+    pub accum: NodeTypeAccum,
+}
+
+/// A candidate edge type: cluster representative + accumulator.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCluster {
+    /// Union of member edge labels (L).
+    pub labels: LabelSet,
+    /// Union of member property keys (K).
+    pub keys: BTreeSet<Symbol>,
+    /// Union of member source labels (R, source side).
+    pub src_labels: LabelSet,
+    /// Union of member target labels (R, target side).
+    pub tgt_labels: LabelSet,
+    /// Folded per-instance statistics.
+    pub accum: EdgeTypeAccum,
+}
+
+/// Resolve LSH parameters for a set of vectors (ELSH path).
+fn resolve_elsh_params(
+    params: &LshParams,
+    vectors: &[SparseVec],
+    distinct_labels: usize,
+    kind: ElementKind,
+    seed: u64,
+) -> (f64, usize, Option<AdaptiveParams>) {
+    match params {
+        LshParams::Adaptive => {
+            let p = adaptive::adapt(vectors, distinct_labels, kind, seed);
+            (p.bucket_length, p.tables, Some(p))
+        }
+        LshParams::Manual {
+            bucket_length,
+            tables,
+        } => (*bucket_length, *tables, None),
+    }
+}
+
+/// Resolve the table count for MinHash (bucket length is meaningless).
+fn resolve_minhash_tables(
+    params: &LshParams,
+    n_items: usize,
+    distinct_labels: usize,
+    kind: ElementKind,
+) -> (usize, Option<AdaptiveParams>) {
+    match params {
+        LshParams::Adaptive => {
+            // MinHash has no distance scale; the table heuristic uses a
+            // unit scale (§4.2: "MinHash only requires the number of
+            // hash tables T").
+            let p = adaptive::from_scale(1.0, n_items, distinct_labels, kind);
+            (p.tables, Some(p))
+        }
+        LshParams::Manual { tables, .. } => (*tables, None),
+    }
+}
+
+/// Cluster the batch's nodes. Returns the candidate clusters plus the
+/// adaptive parameters actually used (if adaptive).
+pub fn cluster_nodes(
+    nodes: &[NodeRecord],
+    fs: &FeatureSpace,
+    cfg: &HiveConfig,
+) -> (Vec<NodeCluster>, Option<AdaptiveParams>) {
+    if nodes.is_empty() {
+        return (Vec::new(), None);
+    }
+    let distinct_labels: BTreeSet<&str> = nodes
+        .iter()
+        .flat_map(|n| n.labels.iter().map(|l| l.as_ref()))
+        .collect();
+
+    let (clustering, params) = match cfg.method {
+        LshMethod::Elsh => {
+            let vectors: Vec<SparseVec> = nodes.par_iter().map(|n| fs.node_vector(n)).collect();
+            let (b, t, p) = resolve_elsh_params(
+                &cfg.node_params,
+                &vectors,
+                distinct_labels.len(),
+                ElementKind::Node,
+                cfg.seed,
+            );
+            let lsh = EuclideanLsh::new(fs.node_dim().max(1), t, b, cfg.seed);
+            (lsh.cluster_signature(&vectors), p)
+        }
+        LshMethod::MinHash => {
+            let sets: Vec<Vec<u64>> = nodes.par_iter().map(|n| fs.node_set(n)).collect();
+            let (t, p) = resolve_minhash_tables(
+                &cfg.node_params,
+                nodes.len(),
+                distinct_labels.len(),
+                ElementKind::Node,
+            );
+            let lsh = MinHashLsh::new(t, cfg.seed);
+            (lsh.cluster_signature(&sets), p)
+        }
+    };
+    (assemble_node_clusters(nodes, &clustering), params)
+}
+
+/// Cluster the batch's edges.
+pub fn cluster_edges(
+    edges: &[EdgeRecord],
+    fs: &FeatureSpace,
+    cfg: &HiveConfig,
+) -> (Vec<EdgeCluster>, Option<AdaptiveParams>) {
+    if edges.is_empty() {
+        return (Vec::new(), None);
+    }
+    let distinct_labels: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| e.edge.labels.iter().map(|l| l.as_ref()))
+        .collect();
+
+    let (clustering, params) = match cfg.method {
+        LshMethod::Elsh => {
+            let vectors: Vec<SparseVec> = edges.par_iter().map(|e| fs.edge_vector(e)).collect();
+            let (b, t, p) = resolve_elsh_params(
+                &cfg.edge_params,
+                &vectors,
+                distinct_labels.len(),
+                ElementKind::Edge,
+                cfg.seed.wrapping_add(1),
+            );
+            let lsh = EuclideanLsh::new(fs.edge_dim().max(1), t, b, cfg.seed.wrapping_add(1));
+            (lsh.cluster_signature(&vectors), p)
+        }
+        LshMethod::MinHash => {
+            let sets: Vec<Vec<u64>> = edges.par_iter().map(|e| fs.edge_set(e)).collect();
+            let (t, p) = resolve_minhash_tables(
+                &cfg.edge_params,
+                edges.len(),
+                distinct_labels.len(),
+                ElementKind::Edge,
+            );
+            let lsh = MinHashLsh::new(t, cfg.seed.wrapping_add(1));
+            (lsh.cluster_signature(&sets), p)
+        }
+    };
+    (assemble_edge_clusters(edges, &clustering), params)
+}
+
+fn assemble_node_clusters(nodes: &[NodeRecord], clustering: &Clustering) -> Vec<NodeCluster> {
+    let mut clusters: Vec<NodeCluster> = (0..clustering.num_clusters)
+        .map(|_| NodeCluster::default())
+        .collect();
+    for (i, node) in nodes.iter().enumerate() {
+        let c = &mut clusters[clustering.assignment[i]];
+        c.labels = c.labels.union(&node.labels);
+        c.keys.extend(node.props.keys().cloned());
+        c.accum.observe(node);
+    }
+    clusters
+}
+
+fn assemble_edge_clusters(edges: &[EdgeRecord], clustering: &Clustering) -> Vec<EdgeCluster> {
+    let mut clusters: Vec<EdgeCluster> = (0..clustering.num_clusters)
+        .map(|_| EdgeCluster::default())
+        .collect();
+    for (i, rec) in edges.iter().enumerate() {
+        let c = &mut clusters[clustering.assignment[i]];
+        c.labels = c.labels.union(&rec.edge.labels);
+        c.src_labels = c.src_labels.union(&rec.src_labels);
+        c.tgt_labels = c.tgt_labels.union(&rec.tgt_labels);
+        c.keys.extend(rec.edge.props.keys().cloned());
+        c.accum.observe(&rec.edge);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmbeddingKind;
+    use pg_embed::Word2VecConfig;
+    use pg_model::{Edge, LabelSet, Node, NodeId};
+
+    fn quick_cfg(method: LshMethod) -> HiveConfig {
+        HiveConfig {
+            method,
+            embedding: EmbeddingKind::Word2Vec(Word2VecConfig {
+                dim: 5,
+                epochs: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        }
+    }
+
+    fn two_type_nodes() -> Vec<NodeRecord> {
+        let mut v = Vec::new();
+        for i in 0..30u64 {
+            v.push(
+                Node::new(i, LabelSet::single("Person"))
+                    .with_prop("name", "x")
+                    .with_prop("age", 1i64),
+            );
+            v.push(
+                Node::new(100 + i, LabelSet::single("Org"))
+                    .with_prop("url", "u")
+                    .with_prop("name", "y"),
+            );
+        }
+        v
+    }
+
+    #[test]
+    fn elsh_separates_two_clean_types() {
+        let nodes = two_type_nodes();
+        let cfg = quick_cfg(LshMethod::Elsh);
+        let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
+        let (clusters, params) = cluster_nodes(&nodes, &fs, &cfg);
+        assert_eq!(clusters.len(), 2, "two structurally distinct types");
+        assert!(params.is_some(), "adaptive params reported");
+        let total: u64 = clusters.iter().map(|c| c.accum.count).sum();
+        assert_eq!(total, 60);
+        for c in &clusters {
+            assert_eq!(c.labels.len(), 1, "clusters are pure: {}", c.labels);
+        }
+    }
+
+    #[test]
+    fn minhash_separates_two_clean_types() {
+        let nodes = two_type_nodes();
+        let cfg = quick_cfg(LshMethod::MinHash);
+        let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
+        let (clusters, _) = cluster_nodes(&nodes, &fs, &cfg);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn representative_is_union_of_members() {
+        // Same label, varying property sets → AND-rule LSH fragments, but
+        // each cluster's rep is the union over its members.
+        let nodes = vec![
+            Node::new(1, LabelSet::single("Post")).with_prop("imgFile", "a"),
+            Node::new(2, LabelSet::single("Post")).with_prop("content", "b"),
+        ];
+        let cfg = quick_cfg(LshMethod::Elsh);
+        let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
+        let (clusters, _) = cluster_nodes(&nodes, &fs, &cfg);
+        let all_keys: BTreeSet<_> = clusters.iter().flat_map(|c| c.keys.clone()).collect();
+        assert_eq!(all_keys.len(), 2);
+        for c in &clusters {
+            assert!(c.labels.contains("Post"));
+        }
+    }
+
+    #[test]
+    fn edges_cluster_by_label_and_endpoints() {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for i in 0..20u64 {
+            nodes.push(Node::new(i, LabelSet::single("Person")).with_prop("name", "n"));
+            nodes.push(Node::new(100 + i, LabelSet::single("Org")).with_prop("url", "u"));
+        }
+        for i in 0..19u64 {
+            edges.push(EdgeRecord {
+                edge: Edge::new(1000 + i, NodeId(i), NodeId(i + 1), LabelSet::single("KNOWS")),
+                src_labels: LabelSet::single("Person"),
+                tgt_labels: LabelSet::single("Person"),
+            });
+            edges.push(EdgeRecord {
+                edge: Edge::new(
+                    2000 + i,
+                    NodeId(i),
+                    NodeId(100 + i),
+                    LabelSet::single("WORKS_AT"),
+                )
+                .with_prop("from", 2020i64),
+                src_labels: LabelSet::single("Person"),
+                tgt_labels: LabelSet::single("Org"),
+            });
+        }
+        let cfg = quick_cfg(LshMethod::Elsh);
+        let fs = FeatureSpace::build(&nodes, &edges, &cfg.embedding, cfg.seed);
+        let (clusters, _) = cluster_edges(&edges, &fs, &cfg);
+        assert_eq!(clusters.len(), 2);
+        let works = clusters
+            .iter()
+            .find(|c| c.labels.contains("WORKS_AT"))
+            .unwrap();
+        assert_eq!(works.src_labels, LabelSet::single("Person"));
+        assert_eq!(works.tgt_labels, LabelSet::single("Org"));
+        assert_eq!(works.accum.endpoints.len(), 19);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = quick_cfg(LshMethod::Elsh);
+        let fs = FeatureSpace::build(&[], &[], &cfg.embedding, cfg.seed);
+        let (nc, np) = cluster_nodes(&[], &fs, &cfg);
+        assert!(nc.is_empty() && np.is_none());
+        let (ec, ep) = cluster_edges(&[], &fs, &cfg);
+        assert!(ec.is_empty() && ep.is_none());
+    }
+}

@@ -1,0 +1,304 @@
+//! Schema diffing: structural comparison of two schema graphs.
+//!
+//! Useful for tracking schema evolution across incremental batches (what
+//! did the last batch add?), for regression-testing discovery runs, and
+//! as the foundation for the paper's future-work item on handling
+//! updates and deletions.
+
+use pg_model::{EdgeType, LabelSet, NodeType, SchemaGraph, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A change to one property of a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyChange {
+    /// The property exists only in the newer schema.
+    Added(Symbol),
+    /// The property exists only in the older schema.
+    Removed(Symbol),
+    /// Data type or presence changed.
+    SpecChanged(Symbol),
+}
+
+/// A change to a node type (keyed by label set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeTypeDiff {
+    /// The type's label set (the matching key).
+    pub labels: LabelSet,
+    /// Property-level changes.
+    pub properties: Vec<PropertyChange>,
+}
+
+/// A change to an edge type (keyed by labels + endpoints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeTypeDiff {
+    /// Edge label set.
+    pub labels: LabelSet,
+    /// Source endpoint label set.
+    pub src_labels: LabelSet,
+    /// Target endpoint label set.
+    pub tgt_labels: LabelSet,
+    /// Property-level changes.
+    pub properties: Vec<PropertyChange>,
+    /// Whether the cardinality annotation changed.
+    pub cardinality_changed: bool,
+}
+
+/// The full diff `old → new`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchemaDiff {
+    /// Node types present only in `new`.
+    pub added_node_types: Vec<LabelSet>,
+    /// Node types present only in `old`.
+    pub removed_node_types: Vec<LabelSet>,
+    /// Node types present in both but changed.
+    pub changed_node_types: Vec<NodeTypeDiff>,
+    /// Edge types present only in `new` (label + endpoints key).
+    pub added_edge_types: Vec<(LabelSet, LabelSet, LabelSet)>,
+    /// Edge types present only in `old`.
+    pub removed_edge_types: Vec<(LabelSet, LabelSet, LabelSet)>,
+    /// Edge types present in both but changed.
+    pub changed_edge_types: Vec<EdgeTypeDiff>,
+}
+
+impl SchemaDiff {
+    /// Whether the two schemas are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_node_types.is_empty()
+            && self.removed_node_types.is_empty()
+            && self.changed_node_types.is_empty()
+            && self.added_edge_types.is_empty()
+            && self.removed_edge_types.is_empty()
+            && self.changed_edge_types.is_empty()
+    }
+
+    /// Whether the diff only *adds* information (no removals) — the
+    /// shape every monotone incremental step must produce (§4.6).
+    pub fn is_pure_extension(&self) -> bool {
+        self.removed_node_types.is_empty()
+            && self.removed_edge_types.is_empty()
+            && self
+                .changed_node_types
+                .iter()
+                .all(|d| d.properties.iter().all(|p| !matches!(p, PropertyChange::Removed(_))))
+            && self
+                .changed_edge_types
+                .iter()
+                .all(|d| d.properties.iter().all(|p| !matches!(p, PropertyChange::Removed(_))))
+    }
+}
+
+impl fmt::Display for SchemaDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "schemas are identical");
+        }
+        for t in &self.added_node_types {
+            writeln!(f, "+ node type {t}")?;
+        }
+        for t in &self.removed_node_types {
+            writeln!(f, "- node type {t}")?;
+        }
+        for d in &self.changed_node_types {
+            writeln!(f, "~ node type {} ({} property changes)", d.labels, d.properties.len())?;
+        }
+        for (l, s, t) in &self.added_edge_types {
+            writeln!(f, "+ edge type {l} ({s} -> {t})")?;
+        }
+        for (l, s, t) in &self.removed_edge_types {
+            writeln!(f, "- edge type {l} ({s} -> {t})")?;
+        }
+        for d in &self.changed_edge_types {
+            writeln!(
+                f,
+                "~ edge type {} ({} property changes{})",
+                d.labels,
+                d.properties.len(),
+                if d.cardinality_changed { ", cardinality" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn diff_properties(old: &NodeType, new: &NodeType) -> Vec<PropertyChange> {
+    diff_prop_maps(&old.properties, &new.properties)
+}
+
+fn diff_prop_maps(
+    old: &std::collections::BTreeMap<Symbol, pg_model::PropertySpec>,
+    new: &std::collections::BTreeMap<Symbol, pg_model::PropertySpec>,
+) -> Vec<PropertyChange> {
+    let mut out = Vec::new();
+    let keys: BTreeSet<&Symbol> = old.keys().chain(new.keys()).collect();
+    for k in keys {
+        match (old.get(k), new.get(k)) {
+            (None, Some(_)) => out.push(PropertyChange::Added(k.clone())),
+            (Some(_), None) => out.push(PropertyChange::Removed(k.clone())),
+            (Some(a), Some(b)) if a != b => out.push(PropertyChange::SpecChanged(k.clone())),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn edge_key(t: &EdgeType) -> (LabelSet, LabelSet, LabelSet) {
+    (t.labels.clone(), t.src_labels.clone(), t.tgt_labels.clone())
+}
+
+/// Compute the structural diff from `old` to `new`. Node types match by
+/// label set; edge types by (labels, src labels, tgt labels). ABSTRACT
+/// types (empty label sets) match by property-key set.
+pub fn diff(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
+    let mut out = SchemaDiff::default();
+
+    // --- Node types.
+    for nt in &new.node_types {
+        match old.node_types.iter().find(|o| node_matches(o, nt)) {
+            None => out.added_node_types.push(nt.labels.clone()),
+            Some(o) => {
+                let props = diff_properties(o, nt);
+                if !props.is_empty() {
+                    out.changed_node_types.push(NodeTypeDiff {
+                        labels: nt.labels.clone(),
+                        properties: props,
+                    });
+                }
+            }
+        }
+    }
+    for ot in &old.node_types {
+        if !new.node_types.iter().any(|n| node_matches(ot, n)) {
+            out.removed_node_types.push(ot.labels.clone());
+        }
+    }
+
+    // --- Edge types.
+    for et in &new.edge_types {
+        match old.edge_types.iter().find(|o| edge_key(o) == edge_key(et)) {
+            None => out.added_edge_types.push(edge_key(et)),
+            Some(o) => {
+                let props = diff_prop_maps(&o.properties, &et.properties);
+                let cardinality_changed = o.cardinality != et.cardinality;
+                if !props.is_empty() || cardinality_changed {
+                    out.changed_edge_types.push(EdgeTypeDiff {
+                        labels: et.labels.clone(),
+                        src_labels: et.src_labels.clone(),
+                        tgt_labels: et.tgt_labels.clone(),
+                        properties: props,
+                        cardinality_changed,
+                    });
+                }
+            }
+        }
+    }
+    for ot in &old.edge_types {
+        if !new.edge_types.iter().any(|n| edge_key(ot) == edge_key(n)) {
+            out.removed_edge_types.push(edge_key(ot));
+        }
+    }
+
+    out
+}
+
+/// Node types match by label set; for the unlabeled (ABSTRACT) case, by
+/// property-key set.
+fn node_matches(a: &NodeType, b: &NodeType) -> bool {
+    if a.labels.is_empty() && b.labels.is_empty() {
+        a.key_set() == b.key_set()
+    } else {
+        a.labels == b.labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{PropertySpec, TypeId};
+
+    fn node_type(labels: &[&str], keys: &[&str]) -> NodeType {
+        NodeType::new(
+            TypeId(0),
+            LabelSet::from_iter(labels),
+            keys.iter().map(|k| pg_model::sym(k)),
+        )
+    }
+
+    #[test]
+    fn identical_schemas_diff_empty() {
+        let mut s = SchemaGraph::new();
+        s.push_node_type(node_type(&["A"], &["x"]));
+        let d = diff(&s, &s.clone());
+        assert!(d.is_empty());
+        assert!(d.is_pure_extension());
+        assert_eq!(d.to_string(), "schemas are identical\n");
+    }
+
+    #[test]
+    fn added_and_removed_types() {
+        let mut old = SchemaGraph::new();
+        old.push_node_type(node_type(&["A"], &["x"]));
+        let mut new = SchemaGraph::new();
+        new.push_node_type(node_type(&["B"], &["y"]));
+        let d = diff(&old, &new);
+        assert_eq!(d.added_node_types, vec![LabelSet::single("B")]);
+        assert_eq!(d.removed_node_types, vec![LabelSet::single("A")]);
+        assert!(!d.is_pure_extension());
+    }
+
+    #[test]
+    fn property_changes_detected() {
+        let mut old = SchemaGraph::new();
+        old.push_node_type(node_type(&["A"], &["x"]));
+        let mut new = SchemaGraph::new();
+        let mut t = node_type(&["A"], &["x", "y"]);
+        t.properties.insert(
+            pg_model::sym("x"),
+            PropertySpec {
+                datatype: Some(pg_model::DataType::Int),
+                presence: None,
+            },
+        );
+        new.push_node_type(t);
+        let d = diff(&old, &new);
+        assert_eq!(d.changed_node_types.len(), 1);
+        let changes = &d.changed_node_types[0].properties;
+        assert!(changes.contains(&PropertyChange::Added(pg_model::sym("y"))));
+        assert!(changes.contains(&PropertyChange::SpecChanged(pg_model::sym("x"))));
+        assert!(d.is_pure_extension(), "additions + spec changes only");
+    }
+
+    #[test]
+    fn incremental_steps_produce_pure_extensions() {
+        use crate::{HiveConfig, HiveSession};
+        use pg_model::{Node, PropertyGraph};
+        let mut g = PropertyGraph::new();
+        for i in 0..30u64 {
+            g.add_node(
+                Node::new(i, LabelSet::single(if i % 2 == 0 { "A" } else { "B" }))
+                    .with_prop(if i % 3 == 0 { "extra" } else { "base" }, 1i64),
+            )
+            .unwrap();
+        }
+        let mut session = HiveSession::new(HiveConfig::default());
+        let batches = pg_store::split_batches(&g, 3, 1);
+        let mut prev = session.schema().clone();
+        for b in &batches {
+            session.process_graph_batch(b);
+            let d = diff(&prev, session.schema());
+            assert!(d.is_pure_extension(), "non-monotone diff:\n{d}");
+            prev = session.schema().clone();
+        }
+    }
+
+    #[test]
+    fn abstract_types_match_by_key_set() {
+        let mut old = SchemaGraph::new();
+        let mut t = node_type(&[], &["x", "y"]);
+        t.is_abstract = true;
+        old.push_node_type(t.clone());
+        let mut new = SchemaGraph::new();
+        new.push_node_type(t);
+        assert!(diff(&old, &new).is_empty());
+    }
+}

@@ -1,0 +1,694 @@
+//! Type extraction and merging — Algorithm 2 (§4.3) and the incremental
+//! schema-merge rules (§4.6).
+//!
+//! Clusters from the current batch are integrated into the running
+//! [`DiscoveryState`]:
+//!
+//! 1. **Labeled clusters** merge with the existing type carrying exactly
+//!    the same label set, else become new types (Lemmas 1/2 guarantee the
+//!    merge is a lossless union).
+//! 2. **Unlabeled clusters** merge into the labeled type with the highest
+//!    property-set Jaccard similarity, provided it reaches θ (0.9 by
+//!    default — high, to avoid over-merging).
+//! 3. Remaining unlabeled clusters merge among themselves / with existing
+//!    ABSTRACT types by the same criterion, and whatever is left becomes
+//!    a new ABSTRACT type (PG-Schema's marker for label-less types).
+//!
+//! Because every merge is a set union, the schema sequence is a monotone
+//! chain: `S_i ⊑ S_{i+1}` (§4.7).
+
+use crate::cluster::{EdgeCluster, NodeCluster};
+use crate::config::MergeSimilarity;
+use crate::state::DiscoveryState;
+use pg_model::pattern::jaccard;
+use pg_model::{EdgeType, NodeType, Symbol, TypeId};
+use std::collections::HashMap;
+
+/// Options for the merge step (Algorithm 2).
+#[derive(Debug, Clone, Copy)]
+pub struct MergeOptions {
+    /// Jaccard threshold θ.
+    pub theta: f64,
+    /// Binary or frequency-weighted similarity.
+    pub similarity: MergeSimilarity,
+    /// Edge merge on the full (L, R) key.
+    pub edge_endpoint_aware: bool,
+}
+
+impl Default for MergeOptions {
+    fn default() -> Self {
+        MergeOptions {
+            theta: 0.9,
+            similarity: MergeSimilarity::BinaryJaccard,
+            edge_endpoint_aware: true,
+        }
+    }
+}
+
+/// Frequency-weighted Jaccard between two (presence-count, total) maps:
+/// `Σ_k min(f_a(k), f_b(k)) / Σ_k max(f_a(k), f_b(k))` with
+/// `f(k) = presence(k) / instances`. Two property-less sides are
+/// identical (1.0), matching the binary convention.
+pub fn weighted_jaccard(
+    a_present: &HashMap<Symbol, u64>,
+    a_total: u64,
+    b_present: &HashMap<Symbol, u64>,
+    b_total: u64,
+) -> f64 {
+    if a_present.is_empty() && b_present.is_empty() {
+        return 1.0;
+    }
+    if a_total == 0 || b_total == 0 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let keys: std::collections::BTreeSet<&Symbol> =
+        a_present.keys().chain(b_present.keys()).collect();
+    for k in keys {
+        let fa = *a_present.get(k).unwrap_or(&0) as f64 / a_total as f64;
+        let fb = *b_present.get(k).unwrap_or(&0) as f64 / b_total as f64;
+        num += fa.min(fb);
+        den += fa.max(fb);
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// Integrate node clusters into the state (Algorithm 2 for nodes).
+///
+/// Returns, for each input cluster (same order), the id of the type it
+/// merged into or became — the hook the memoization cache uses.
+pub fn integrate_node_clusters(
+    state: &mut DiscoveryState,
+    clusters: Vec<NodeCluster>,
+    theta: f64,
+) -> Vec<TypeId> {
+    integrate_node_clusters_opts(
+        state,
+        clusters,
+        MergeOptions {
+            theta,
+            ..MergeOptions::default()
+        },
+    )
+}
+
+/// [`integrate_node_clusters`] with full merge options.
+pub fn integrate_node_clusters_opts(
+    state: &mut DiscoveryState,
+    clusters: Vec<NodeCluster>,
+    opts: MergeOptions,
+) -> Vec<TypeId> {
+    let theta = opts.theta;
+    let mut assigned: Vec<Option<TypeId>> = vec![None; clusters.len()];
+    let (labeled, unlabeled): (Vec<_>, Vec<_>) = clusters
+        .into_iter()
+        .enumerate()
+        .partition(|(_, c)| !c.labels.is_empty());
+
+    // Lines 2–7: labeled clusters merge by exact label set.
+    for (idx, cluster) in labeled {
+        let existing = state
+            .schema
+            .node_types
+            .iter()
+            .find(|t| !t.labels.is_empty() && t.labels == cluster.labels)
+            .map(|t| t.id);
+        let id = match existing {
+            Some(id) => {
+                merge_node_cluster_into(state, id, cluster);
+                id
+            }
+            None => push_node_cluster(state, cluster, false),
+        };
+        assigned[idx] = Some(id);
+    }
+
+    // Lines 8–11: unlabeled clusters vs labeled types by key Jaccard.
+    // Lines 12–14: leftovers vs abstract types (existing + earlier
+    // leftovers of this very loop), then new ABSTRACT types.
+    for (idx, cluster) in unlabeled {
+        let best = best_candidate(state, &cluster, false, theta, opts.similarity)
+            .or_else(|| best_candidate(state, &cluster, true, theta, opts.similarity));
+        let id = match best {
+            Some(id) => {
+                merge_node_cluster_into(state, id, cluster);
+                id
+            }
+            None => push_node_cluster(state, cluster, true),
+        };
+        assigned[idx] = Some(id);
+    }
+    assigned.into_iter().map(|a| a.expect("every cluster assigned")).collect()
+}
+
+/// Find the type (labeled or abstract, per `want_abstract`) with the
+/// highest key-set Jaccard ≥ θ. Ties break toward the lower type id for
+/// determinism.
+fn best_candidate(
+    state: &DiscoveryState,
+    cluster: &NodeCluster,
+    want_abstract: bool,
+    theta: f64,
+    similarity: MergeSimilarity,
+) -> Option<TypeId> {
+    let mut best: Option<(f64, TypeId)> = None;
+    for t in &state.schema.node_types {
+        if t.is_abstract != want_abstract {
+            continue;
+        }
+        let sim = match similarity {
+            MergeSimilarity::BinaryJaccard => jaccard(&cluster.keys, &t.key_set()),
+            MergeSimilarity::WeightedJaccard => {
+                let type_accum = state.node_accums.get(&t.id);
+                match type_accum {
+                    Some(acc) => weighted_jaccard(
+                        &cluster.accum.key_present,
+                        cluster.accum.count,
+                        &acc.key_present,
+                        acc.count,
+                    ),
+                    None => jaccard(&cluster.keys, &t.key_set()),
+                }
+            }
+        };
+        if sim >= theta {
+            let better = match best {
+                None => true,
+                Some((bs, bid)) => sim > bs || (sim == bs && t.id < bid),
+            };
+            if better {
+                best = Some((sim, t.id));
+            }
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+fn merge_node_cluster_into(state: &mut DiscoveryState, id: TypeId, cluster: NodeCluster) {
+    let incoming = node_type_from_cluster(&cluster, false);
+    let t = state
+        .schema
+        .node_types
+        .iter_mut()
+        .find(|t| t.id == id)
+        .expect("type id from this schema");
+    t.merge_from(&incoming);
+    state
+        .node_accums
+        .entry(id)
+        .or_default()
+        .merge(&cluster.accum);
+}
+
+fn push_node_cluster(
+    state: &mut DiscoveryState,
+    cluster: NodeCluster,
+    is_abstract: bool,
+) -> TypeId {
+    let mut t = node_type_from_cluster(&cluster, is_abstract);
+    t.instance_count = 0; // merge_from/push bookkeeping below
+    let id = state.schema.push_node_type(t);
+    let entry = state.node_accums.entry(id).or_default();
+    entry.merge(&cluster.accum);
+    if let Some(t) = state.schema.node_types.iter_mut().find(|t| t.id == id) {
+        t.instance_count = entry.count;
+    }
+    id
+}
+
+fn node_type_from_cluster(cluster: &NodeCluster, is_abstract: bool) -> NodeType {
+    let mut t = NodeType::new(TypeId(0), cluster.labels.clone(), cluster.keys.iter().cloned());
+    t.is_abstract = is_abstract && cluster.labels.is_empty();
+    t.instance_count = cluster.accum.count;
+    t
+}
+
+/// Integrate edge clusters (Algorithm 2 for edges: merge by label,
+/// record endpoint label sets as the connectivity ρ_s; unlabeled edge
+/// clusters follow the same Jaccard fallback as nodes).
+///
+/// When `endpoint_aware` is set (the default), the merge key is the full
+/// `(L, R)` of Definition 3.6 — two same-label clusters merge only if
+/// their source and target label sets also match, so e.g. a `ConnectsTo`
+/// between Neurons stays distinct from a `ConnectsTo` from Segments (the
+/// MB6/FIB25 situation: 5 edge types over 3 labels). With it off, edges
+/// merge purely by label, unioning endpoints per Lemma 2 — the
+/// `merge_ablation` benchmark contrasts the two.
+pub fn integrate_edge_clusters(
+    state: &mut DiscoveryState,
+    clusters: Vec<EdgeCluster>,
+    theta: f64,
+    endpoint_aware: bool,
+) -> Vec<TypeId> {
+    integrate_edge_clusters_opts(
+        state,
+        clusters,
+        MergeOptions {
+            theta,
+            edge_endpoint_aware: endpoint_aware,
+            ..MergeOptions::default()
+        },
+    )
+}
+
+/// [`integrate_edge_clusters`] with full merge options.
+pub fn integrate_edge_clusters_opts(
+    state: &mut DiscoveryState,
+    clusters: Vec<EdgeCluster>,
+    opts: MergeOptions,
+) -> Vec<TypeId> {
+    let (theta, endpoint_aware) = (opts.theta, opts.edge_endpoint_aware);
+    let mut assigned: Vec<Option<TypeId>> = vec![None; clusters.len()];
+    let (labeled, unlabeled): (Vec<_>, Vec<_>) = clusters
+        .into_iter()
+        .enumerate()
+        .partition(|(_, c)| !c.labels.is_empty());
+
+    for (idx, cluster) in labeled {
+        let existing = state
+            .schema
+            .edge_types
+            .iter()
+            .find(|t| {
+                !t.labels.is_empty()
+                    && t.labels == cluster.labels
+                    && (!endpoint_aware
+                        || (endpoints_compatible(&t.src_labels, &cluster.src_labels)
+                            && endpoints_compatible(&t.tgt_labels, &cluster.tgt_labels)))
+            })
+            .map(|t| t.id);
+        let id = match existing {
+            Some(id) => {
+                merge_edge_cluster_into(state, id, cluster);
+                id
+            }
+            None => push_edge_cluster(state, cluster, false),
+        };
+        assigned[idx] = Some(id);
+    }
+
+    for (idx, cluster) in unlabeled {
+        let best = best_edge_candidate(state, &cluster, false, theta, opts.similarity)
+            .or_else(|| best_edge_candidate(state, &cluster, true, theta, opts.similarity));
+        let id = match best {
+            Some(id) => {
+                merge_edge_cluster_into(state, id, cluster);
+                id
+            }
+            None => push_edge_cluster(state, cluster, true),
+        };
+        assigned[idx] = Some(id);
+    }
+    assigned.into_iter().map(|a| a.expect("every cluster assigned")).collect()
+}
+
+/// Endpoint label sets are compatible when equal, or when either side is
+/// empty — an unlabeled endpoint (missing node labels, cross-batch edge)
+/// acts as a wildcard so noise does not fragment edge types. The merge
+/// union then fills in the missing side (Lemma 2).
+fn endpoints_compatible(a: &pg_model::LabelSet, b: &pg_model::LabelSet) -> bool {
+    a.is_empty() || b.is_empty() || a == b
+}
+
+fn best_edge_candidate(
+    state: &DiscoveryState,
+    cluster: &EdgeCluster,
+    want_abstract: bool,
+    theta: f64,
+    similarity: MergeSimilarity,
+) -> Option<TypeId> {
+    let mut best: Option<(f64, TypeId)> = None;
+    for t in &state.schema.edge_types {
+        if t.is_abstract != want_abstract {
+            continue;
+        }
+        let sim = match similarity {
+            MergeSimilarity::BinaryJaccard => jaccard(&cluster.keys, &t.key_set()),
+            MergeSimilarity::WeightedJaccard => match state.edge_accums.get(&t.id) {
+                Some(acc) => weighted_jaccard(
+                    &cluster.accum.key_present,
+                    cluster.accum.count,
+                    &acc.key_present,
+                    acc.count,
+                ),
+                None => jaccard(&cluster.keys, &t.key_set()),
+            },
+        };
+        if sim >= theta {
+            let better = match best {
+                None => true,
+                Some((bs, bid)) => sim > bs || (sim == bs && t.id < bid),
+            };
+            if better {
+                best = Some((sim, t.id));
+            }
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+fn merge_edge_cluster_into(state: &mut DiscoveryState, id: TypeId, cluster: EdgeCluster) {
+    let incoming = edge_type_from_cluster(&cluster, false);
+    let t = state
+        .schema
+        .edge_types
+        .iter_mut()
+        .find(|t| t.id == id)
+        .expect("type id from this schema");
+    t.merge_from(&incoming);
+    state
+        .edge_accums
+        .entry(id)
+        .or_default()
+        .merge(&cluster.accum);
+}
+
+fn push_edge_cluster(
+    state: &mut DiscoveryState,
+    cluster: EdgeCluster,
+    is_abstract: bool,
+) -> TypeId {
+    let mut t = edge_type_from_cluster(&cluster, is_abstract);
+    t.instance_count = 0;
+    let id = state.schema.push_edge_type(t);
+    let entry = state.edge_accums.entry(id).or_default();
+    entry.merge(&cluster.accum);
+    if let Some(t) = state.schema.edge_types.iter_mut().find(|t| t.id == id) {
+        t.instance_count = entry.count;
+    }
+    id
+}
+
+fn edge_type_from_cluster(cluster: &EdgeCluster, is_abstract: bool) -> EdgeType {
+    let mut t = EdgeType::new(
+        TypeId(0),
+        cluster.labels.clone(),
+        cluster.keys.iter().cloned(),
+        cluster.src_labels.clone(),
+        cluster.tgt_labels.clone(),
+    );
+    t.is_abstract = is_abstract && cluster.labels.is_empty();
+    t.instance_count = cluster.accum.count;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{EdgeTypeAccum, NodeTypeAccum};
+    use pg_model::{sym, LabelSet, Node, Symbol};
+    use std::collections::BTreeSet;
+
+    fn keys(ks: &[&str]) -> BTreeSet<Symbol> {
+        ks.iter().map(|k| sym(k)).collect()
+    }
+
+    fn node_cluster(labels: &[&str], ks: &[&str], n: u64) -> NodeCluster {
+        let mut accum = NodeTypeAccum::default();
+        for i in 0..n {
+            let mut node = Node::new(i * 7919 + ks.len() as u64, LabelSet::from_iter(labels));
+            for k in ks {
+                node = node.with_prop(k, 1i64);
+            }
+            accum.observe(&node);
+        }
+        NodeCluster {
+            labels: LabelSet::from_iter(labels),
+            keys: keys(ks),
+            accum,
+        }
+    }
+
+    #[test]
+    fn labeled_clusters_with_same_labels_merge() {
+        let mut state = DiscoveryState::new();
+        // Two Post clusters with different structure (Example 5).
+        integrate_node_clusters(
+            &mut state,
+            vec![
+                node_cluster(&["Post"], &["imgFile"], 3),
+                node_cluster(&["Post"], &["content"], 2),
+            ],
+            0.9,
+        );
+        assert_eq!(state.schema.node_types.len(), 1);
+        let t = &state.schema.node_types[0];
+        assert_eq!(t.key_set(), keys(&["content", "imgFile"]));
+        assert_eq!(state.node_accums[&t.id].count, 5);
+    }
+
+    #[test]
+    fn unlabeled_cluster_merges_into_similar_labeled_type() {
+        let mut state = DiscoveryState::new();
+        integrate_node_clusters(
+            &mut state,
+            vec![
+                node_cluster(&["Person"], &["name", "gender", "bday"], 2),
+                node_cluster(&[], &["name", "gender", "bday"], 1), // "Alice"
+            ],
+            0.9,
+        );
+        assert_eq!(state.schema.node_types.len(), 1);
+        let t = &state.schema.node_types[0];
+        assert!(!t.is_abstract);
+        assert_eq!(state.node_accums[&t.id].count, 3);
+    }
+
+    #[test]
+    fn dissimilar_unlabeled_cluster_becomes_abstract() {
+        let mut state = DiscoveryState::new();
+        integrate_node_clusters(
+            &mut state,
+            vec![
+                node_cluster(&["Person"], &["name", "gender", "bday"], 2),
+                node_cluster(&[], &["voltage", "current"], 1),
+            ],
+            0.9,
+        );
+        assert_eq!(state.schema.node_types.len(), 2);
+        let abs: Vec<_> = state
+            .schema
+            .node_types
+            .iter()
+            .filter(|t| t.is_abstract)
+            .collect();
+        assert_eq!(abs.len(), 1);
+        assert_eq!(abs[0].key_set(), keys(&["current", "voltage"]));
+    }
+
+    #[test]
+    fn unlabeled_clusters_merge_among_themselves() {
+        let mut state = DiscoveryState::new();
+        integrate_node_clusters(
+            &mut state,
+            vec![
+                node_cluster(&[], &["x", "y", "z"], 1),
+                node_cluster(&[], &["x", "y", "z"], 2),
+            ],
+            0.9,
+        );
+        assert_eq!(state.schema.node_types.len(), 1);
+        assert!(state.schema.node_types[0].is_abstract);
+        let id = state.schema.node_types[0].id;
+        assert_eq!(state.node_accums[&id].count, 3);
+    }
+
+    #[test]
+    fn theta_controls_merging() {
+        let mut state = DiscoveryState::new();
+        // Jaccard({a,b},{a,b,c,d}) = 0.5.
+        let clusters = vec![
+            node_cluster(&["T"], &["a", "b", "c", "d"], 1),
+            node_cluster(&[], &["a", "b"], 1),
+        ];
+        integrate_node_clusters(&mut state, clusters.clone(), 0.9);
+        assert_eq!(state.schema.node_types.len(), 2, "strict θ keeps apart");
+
+        let mut state2 = DiscoveryState::new();
+        integrate_node_clusters(&mut state2, clusters, 0.4);
+        assert_eq!(state2.schema.node_types.len(), 1, "loose θ merges");
+    }
+
+    #[test]
+    fn best_candidate_prefers_highest_jaccard() {
+        let mut state = DiscoveryState::new();
+        integrate_node_clusters(
+            &mut state,
+            vec![
+                node_cluster(&["A"], &["p", "q", "r"], 1),
+                node_cluster(&["B"], &["p", "q", "r", "s"], 1),
+                // J with A = 1.0, J with B = 0.75 → merges into A.
+                node_cluster(&[], &["p", "q", "r"], 1),
+            ],
+            0.7,
+        );
+        let a = state
+            .schema
+            .node_types
+            .iter()
+            .find(|t| t.labels.contains("A"))
+            .unwrap();
+        assert_eq!(state.node_accums[&a.id].count, 2);
+    }
+
+    fn edge_cluster(label: &str, src: &str, tgt: &str) -> EdgeCluster {
+        EdgeCluster {
+            labels: LabelSet::single(label),
+            keys: BTreeSet::new(),
+            src_labels: LabelSet::single(src),
+            tgt_labels: LabelSet::single(tgt),
+            accum: EdgeTypeAccum::default(),
+        }
+    }
+
+    #[test]
+    fn endpoint_aware_merge_keeps_same_label_types_distinct() {
+        // The MB6/FIB25 situation: ConnectsTo between different endpoint
+        // types are distinct ground-truth types (Def 3.6's R component).
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(
+            &mut state,
+            vec![
+                edge_cluster("ConnectsTo", "Neuron", "Neuron"),
+                edge_cluster("ConnectsTo", "Segment", "Neuron"),
+            ],
+            0.9,
+            true,
+        );
+        assert_eq!(state.schema.edge_types.len(), 2);
+        // Same (L, R) merges.
+        integrate_edge_clusters(
+            &mut state,
+            vec![edge_cluster("ConnectsTo", "Neuron", "Neuron")],
+            0.9,
+            true,
+        );
+        assert_eq!(state.schema.edge_types.len(), 2);
+    }
+
+    #[test]
+    fn label_only_merge_unions_endpoints() {
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(
+            &mut state,
+            vec![
+                edge_cluster("LIKES", "Person", "Post"),
+                edge_cluster("LIKES", "Bot", "Post"),
+            ],
+            0.9,
+            false,
+        );
+        assert_eq!(state.schema.edge_types.len(), 1);
+        let t = &state.schema.edge_types[0];
+        assert_eq!(t.src_labels, LabelSet::from_iter(["Bot", "Person"]));
+        assert_eq!(t.tgt_labels, LabelSet::single("Post"));
+    }
+
+    #[test]
+    fn weighted_jaccard_formula() {
+        use std::collections::HashMap;
+        let m = |pairs: &[(&str, u64)]| -> HashMap<Symbol, u64> {
+            pairs.iter().map(|(k, c)| (sym(k), *c)).collect()
+        };
+        // Identical frequency profiles -> 1.0.
+        let a = m(&[("x", 10), ("y", 5)]);
+        assert!((weighted_jaccard(&a, 10, &a, 10) - 1.0).abs() < 1e-12);
+        // Disjoint keys -> 0.0.
+        let b = m(&[("z", 10)]);
+        assert_eq!(weighted_jaccard(&a, 10, &b, 10), 0.0);
+        // Both empty -> 1.0 (binary convention).
+        let e: HashMap<Symbol, u64> = HashMap::new();
+        assert_eq!(weighted_jaccard(&e, 0, &e, 0), 1.0);
+        // Same keys at different rates: f_a = (1.0, 0.5), f_b = (0.5, 1.0)
+        // -> min-sum 1.0 / max-sum 2.0 = 0.5.
+        let c = m(&[("x", 5), ("y", 10)]);
+        assert!((weighted_jaccard(&a, 10, &c, 10) - 0.5).abs() < 1e-12);
+        // Symmetry.
+        assert_eq!(
+            weighted_jaccard(&a, 10, &c, 10),
+            weighted_jaccard(&c, 10, &a, 10)
+        );
+    }
+
+    #[test]
+    fn weighted_jaccard_merges_sparse_clusters_binary_misses() {
+        // A labeled type whose instances carry each of 4 keys at rate
+        // ~0.5 (sparse data). A small unlabeled cluster with the same
+        // rate profile only ever observed 2 of the keys: binary Jaccard
+        // fails (2/4 = 0.5 < 0.9) while the frequency-weighted form
+        // recognizes the matching rates (future-work item (a)).
+        use crate::state::NodeTypeAccum;
+        let sparse_accum = |present: &[(&str, u64)], n: u64, id0: u64| -> NodeTypeAccum {
+            let mut acc = NodeTypeAccum {
+                count: n,
+                ..NodeTypeAccum::default()
+            };
+            for i in 0..n {
+                acc.members.push(pg_model::NodeId(id0 + i));
+            }
+            for (k, c) in present {
+                acc.key_present.insert(sym(k), *c);
+            }
+            acc
+        };
+
+        let labeled = NodeCluster {
+            labels: LabelSet::single("T"),
+            keys: keys(&["a", "b", "c", "d"]),
+            accum: sparse_accum(&[("a", 50), ("b", 50), ("c", 50), ("d", 50)], 100, 0),
+        };
+        let unlabeled = || NodeCluster {
+            labels: LabelSet::empty(),
+            keys: keys(&["a", "b"]),
+            accum: sparse_accum(&[("a", 2), ("b", 2)], 4, 1000),
+        };
+
+        // Binary Jaccard (theta = 0.9): no merge -> abstract leftover.
+        let mut state_b = DiscoveryState::new();
+        integrate_node_clusters(&mut state_b, vec![labeled.clone(), unlabeled()], 0.9);
+        assert_eq!(state_b.schema.node_types.len(), 2);
+
+        // Weighted Jaccard: rates (0.5,0.5,0.5,0.5) vs (0.5,0.5,0,0)
+        // -> 1.0/2.0 = 0.5; with theta_w = 0.45 the cluster merges.
+        let mut state_w = DiscoveryState::new();
+        integrate_node_clusters_opts(
+            &mut state_w,
+            vec![labeled, unlabeled()],
+            MergeOptions {
+                theta: 0.45,
+                similarity: MergeSimilarity::WeightedJaccard,
+                edge_endpoint_aware: true,
+            },
+        );
+        assert_eq!(state_w.schema.node_types.len(), 1);
+        assert!(!state_w.schema.node_types[0].is_abstract);
+        let tid = state_w.schema.node_types[0].id;
+        assert_eq!(state_w.node_accums[&tid].count, 104);
+    }
+
+    #[test]
+    fn incremental_integration_is_monotone() {
+        let mut state = DiscoveryState::new();
+        integrate_node_clusters(
+            &mut state,
+            vec![node_cluster(&["Person"], &["name"], 2)],
+            0.9,
+        );
+        let s1 = state.schema.clone();
+        integrate_node_clusters(
+            &mut state,
+            vec![
+                node_cluster(&["Person"], &["name", "age"], 1),
+                node_cluster(&["Org"], &["url"], 1),
+            ],
+            0.9,
+        );
+        assert!(s1.is_generalized_by(&state.schema));
+        assert!(!state.schema.is_generalized_by(&s1));
+    }
+}

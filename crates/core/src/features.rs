@@ -1,0 +1,333 @@
+//! Featurization (§4.1): the hybrid vector representation.
+//!
+//! Each node `v` becomes `f_v ∈ R^{d+K}`: the Word2Vec embedding of its
+//! canonical label token (zero vector if unlabeled) concatenated with a
+//! binary indicator over the dataset's `K` distinct node property keys.
+//! Each edge `e` becomes `f_e ∈ R^{3d+Q}`: embeddings of the edge label,
+//! source labels, and target labels, plus the binary indicator over the
+//! `Q` distinct edge property keys.
+//!
+//! For MinHash, elements are instead modeled as *sets*: property-key ids
+//! plus (namespaced) label-token ids.
+
+use crate::config::EmbeddingKind;
+use pg_embed::{build_sentences, HashedEmbedder, LabelEmbedder, Word2Vec};
+use pg_lsh::SparseVec;
+use pg_model::Symbol;
+use pg_store::{EdgeRecord, NodeRecord};
+use std::collections::HashMap;
+
+/// Namespace tags that keep MinHash set elements of different roles
+/// disjoint (a property key can never collide with a label token).
+const NS_NODE_KEY: u64 = 1 << 56;
+const NS_EDGE_KEY: u64 = 2 << 56;
+const NS_LABEL: u64 = 3 << 56;
+const NS_SRC_LABEL: u64 = 4 << 56;
+const NS_TGT_LABEL: u64 = 5 << 56;
+
+/// Weight of the label-embedding blocks relative to the binary property
+/// bits. A weight > 1 widens the gap between structurally identical
+/// types that differ only in label — §4.1: the hybrid representation
+/// "prevents semantically different nodes, or edges, from being merged
+/// due to their same structure". With unit-norm embeddings, distinct
+/// labels end up ≥ `LABEL_WEIGHT` apart while within-type (same-label)
+/// distance is governed by property noise alone.
+const LABEL_WEIGHT: f64 = 2.0;
+
+/// The per-batch feature space: key universes + trained embedder.
+pub struct FeatureSpace {
+    node_keys: Vec<Symbol>,
+    node_key_idx: HashMap<Symbol, u32>,
+    edge_keys: Vec<Symbol>,
+    edge_key_idx: HashMap<Symbol, u32>,
+    embedder: Box<dyn LabelEmbedder>,
+}
+
+impl FeatureSpace {
+    /// Build the feature space for one batch: collect the distinct node
+    /// and edge property keys, then train (or instantiate) the label
+    /// embedder on the batch's label corpus.
+    pub fn build(
+        nodes: &[NodeRecord],
+        edges: &[EdgeRecord],
+        embedding: &EmbeddingKind,
+        seed: u64,
+    ) -> FeatureSpace {
+        let mut node_keys: Vec<Symbol> = nodes
+            .iter()
+            .flat_map(|n| n.props.keys().cloned())
+            .collect();
+        node_keys.sort();
+        node_keys.dedup();
+        let mut edge_keys: Vec<Symbol> = edges
+            .iter()
+            .flat_map(|e| e.edge.props.keys().cloned())
+            .collect();
+        edge_keys.sort();
+        edge_keys.dedup();
+
+        let embedder: Box<dyn LabelEmbedder> = match embedding {
+            EmbeddingKind::Word2Vec(cfg) => {
+                let sentences = build_sentences(nodes, edges);
+                let mut cfg = cfg.clone();
+                cfg.seed ^= seed;
+                Box::new(Word2Vec::train(&sentences, &cfg))
+            }
+            EmbeddingKind::Hashed { dim } => Box::new(HashedEmbedder::new(*dim, seed)),
+        };
+
+        let node_key_idx = node_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u32))
+            .collect();
+        let edge_key_idx = edge_keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i as u32))
+            .collect();
+        FeatureSpace {
+            node_keys,
+            node_key_idx,
+            edge_keys,
+            edge_key_idx,
+            embedder,
+        }
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// Node vector dimensionality `d + K`.
+    pub fn node_dim(&self) -> usize {
+        self.dim() + self.node_keys.len()
+    }
+
+    /// Edge vector dimensionality `3d + Q`.
+    pub fn edge_dim(&self) -> usize {
+        3 * self.dim() + self.edge_keys.len()
+    }
+
+    /// `f_v ∈ R^{d+K}` for one node.
+    pub fn node_vector(&self, node: &NodeRecord) -> SparseVec {
+        let d = self.dim();
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(d + node.props.len());
+        let token = node.labels.canonical_token();
+        let emb = self.embedder.embed_opt(token.as_deref());
+        for (i, &x) in emb.iter().enumerate() {
+            if x != 0.0 {
+                entries.push((i as u32, LABEL_WEIGHT * x));
+            }
+        }
+        for k in node.props.keys() {
+            if let Some(&idx) = self.node_key_idx.get(k) {
+                entries.push((d as u32 + idx, 1.0));
+            }
+        }
+        SparseVec::new(self.node_dim(), entries)
+    }
+
+    /// `f_e ∈ R^{3d+Q}` for one edge record.
+    pub fn edge_vector(&self, rec: &EdgeRecord) -> SparseVec {
+        let d = self.dim();
+        let mut entries: Vec<(u32, f64)> =
+            Vec::with_capacity(3 * d + rec.edge.props.len());
+        let blocks = [
+            self.embedder
+                .embed_opt(rec.edge.labels.canonical_token().as_deref()),
+            self.embedder
+                .embed_opt(rec.src_labels.canonical_token().as_deref()),
+            self.embedder
+                .embed_opt(rec.tgt_labels.canonical_token().as_deref()),
+        ];
+        for (b, emb) in blocks.iter().enumerate() {
+            let base = (b * d) as u32;
+            for (i, &x) in emb.iter().enumerate() {
+                if x != 0.0 {
+                    entries.push((base + i as u32, LABEL_WEIGHT * x));
+                }
+            }
+        }
+        for k in rec.edge.props.keys() {
+            if let Some(&idx) = self.edge_key_idx.get(k) {
+                entries.push((3 * d as u32 + idx, 1.0));
+            }
+        }
+        SparseVec::new(self.edge_dim(), entries)
+    }
+
+    /// MinHash set representation of a node: property-key ids plus the
+    /// label token (namespaced).
+    pub fn node_set(&self, node: &NodeRecord) -> Vec<u64> {
+        let mut set: Vec<u64> = node
+            .props
+            .keys()
+            .filter_map(|k| self.node_key_idx.get(k))
+            .map(|&i| NS_NODE_KEY | i as u64)
+            .collect();
+        if let Some(tok) = node.labels.canonical_token() {
+            set.push(NS_LABEL | hash48(&tok));
+        }
+        set
+    }
+
+    /// MinHash set representation of an edge: property-key ids plus the
+    /// edge/source/target label tokens (each in its own namespace).
+    pub fn edge_set(&self, rec: &EdgeRecord) -> Vec<u64> {
+        let mut set: Vec<u64> = rec
+            .edge
+            .props
+            .keys()
+            .filter_map(|k| self.edge_key_idx.get(k))
+            .map(|&i| NS_EDGE_KEY | i as u64)
+            .collect();
+        if let Some(tok) = rec.edge.labels.canonical_token() {
+            set.push(NS_LABEL | hash48(&tok));
+        }
+        if let Some(tok) = rec.src_labels.canonical_token() {
+            set.push(NS_SRC_LABEL | hash48(&tok));
+        }
+        if let Some(tok) = rec.tgt_labels.canonical_token() {
+            set.push(NS_TGT_LABEL | hash48(&tok));
+        }
+        set
+    }
+}
+
+/// FNV-1a truncated to 48 bits so namespace tags survive in the top byte.
+fn hash48(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h & ((1 << 48) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_embed::Word2VecConfig;
+    use pg_model::{Edge, LabelSet, Node, NodeId};
+
+    fn records() -> (Vec<NodeRecord>, Vec<EdgeRecord>) {
+        let nodes = vec![
+            Node::new(1, LabelSet::single("Person"))
+                .with_prop("name", "a")
+                .with_prop("age", 3i64),
+            Node::new(2, LabelSet::empty()).with_prop("name", "b"),
+            Node::new(3, LabelSet::single("Org")).with_prop("url", "u"),
+        ];
+        let edges = vec![EdgeRecord {
+            edge: Edge::new(9, NodeId(1), NodeId(3), LabelSet::single("WORKS_AT"))
+                .with_prop("from", 2020i64),
+            src_labels: LabelSet::single("Person"),
+            tgt_labels: LabelSet::single("Org"),
+        }];
+        (nodes, edges)
+    }
+
+    fn space() -> (FeatureSpace, Vec<NodeRecord>, Vec<EdgeRecord>) {
+        let (nodes, edges) = records();
+        let fs = FeatureSpace::build(
+            &nodes,
+            &edges,
+            &EmbeddingKind::Word2Vec(Word2VecConfig {
+                dim: 5,
+                epochs: 2,
+                ..Default::default()
+            }),
+            1,
+        );
+        (fs, nodes, edges)
+    }
+
+    #[test]
+    fn dimensions_match_paper_formulas() {
+        let (fs, _, _) = space();
+        // K = {age, name, url} → 3; Q = {from} → 1; d = 5.
+        assert_eq!(fs.node_dim(), 5 + 3);
+        assert_eq!(fs.edge_dim(), 15 + 1);
+    }
+
+    #[test]
+    fn unlabeled_nodes_have_zero_embedding_block() {
+        let (fs, nodes, _) = space();
+        let v = fs.node_vector(&nodes[1]); // unlabeled
+        for (i, x) in v.iter() {
+            assert!(
+                (i as usize) >= fs.dim(),
+                "embedding block must be zero, found ({i}, {x})"
+            );
+        }
+        // But the binary block has the `name` bit set.
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn identical_structures_give_identical_vectors() {
+        let (fs, _, _) = space();
+        let a = Node::new(10, LabelSet::single("Person"))
+            .with_prop("name", "x")
+            .with_prop("age", 1i64);
+        let b = Node::new(11, LabelSet::single("Person"))
+            .with_prop("name", "yyy")
+            .with_prop("age", 999i64);
+        // Property *values* don't matter, only presence.
+        assert_eq!(fs.node_vector(&a), fs.node_vector(&b));
+    }
+
+    #[test]
+    fn different_labels_differ_in_embedding_block() {
+        let (fs, nodes, _) = space();
+        let person = fs.node_vector(&nodes[0]);
+        let mut org = nodes[2].clone();
+        // Give Org the same property structure as Person.
+        org.props = nodes[0].props.clone();
+        let org_v = fs.node_vector(&org);
+        assert!(person.distance(&org_v) > 0.1);
+    }
+
+    #[test]
+    fn edge_vectors_use_three_blocks() {
+        let (fs, _, edges) = space();
+        let v = fs.edge_vector(&edges[0]);
+        let d = fs.dim();
+        let blocks: Vec<usize> = v
+            .iter()
+            .map(|(i, _)| (i as usize) / d)
+            .filter(|&b| b < 3)
+            .collect();
+        // All three embedding blocks are populated (labeled endpoints).
+        assert!(blocks.contains(&0));
+        assert!(blocks.contains(&1));
+        assert!(blocks.contains(&2));
+    }
+
+    #[test]
+    fn minhash_sets_are_namespaced() {
+        let (fs, nodes, edges) = space();
+        let ns: Vec<u64> = fs.node_set(&nodes[0]);
+        assert_eq!(ns.len(), 3); // 2 keys + 1 label token
+        let es = fs.edge_set(&edges[0]);
+        assert_eq!(es.len(), 4); // 1 key + 3 label tokens
+        // Node key ids and edge key ids never collide.
+        for a in &ns {
+            for b in &es {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_key_is_ignored_gracefully() {
+        let (fs, _, _) = space();
+        let alien = Node::new(99, LabelSet::empty()).with_prop("never_seen", 1i64);
+        // Key not in the batch universe: vector just has no bit for it.
+        let v = fs.node_vector(&alien);
+        assert_eq!(v.nnz(), 0);
+        assert!(fs.node_set(&alien).is_empty());
+    }
+}

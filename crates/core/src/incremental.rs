@@ -1,0 +1,580 @@
+//! The incremental pipeline (Algorithm 1 / §4.6).
+//!
+//! A [`HiveSession`] owns the running [`DiscoveryState`] and processes
+//! batch after batch: featurize → cluster → extract/merge. Post-processing
+//! can run after each batch (the `postProcessing` flag) or once at the
+//! end. Because every merge is monotone, the schema after batch `i+1`
+//! generalizes the schema after batch `i`.
+
+use crate::cardinality::compute_cardinalities;
+use crate::cluster::{cluster_edges, cluster_nodes};
+use crate::config::HiveConfig;
+use crate::constraints::infer_property_constraints;
+use crate::datatypes::infer_datatypes;
+use crate::extract::{integrate_edge_clusters_opts, integrate_node_clusters_opts};
+use crate::features::FeatureSpace;
+use crate::pipeline::DiscoveryResult;
+use crate::state::DiscoveryState;
+use pg_lsh::AdaptiveParams;
+use pg_model::SchemaGraph;
+use pg_store::{EdgeRecord, GraphBatch, NodeRecord};
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one processed batch (Figure 7's data points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchTiming {
+    /// 0-based batch index within the session.
+    pub batch_index: usize,
+    /// Nodes in the batch.
+    pub nodes: usize,
+    /// Edges in the batch.
+    pub edges: usize,
+    /// Featurization time (vector building + embedder training).
+    pub preprocess: Duration,
+    /// LSH clustering time.
+    pub cluster: Duration,
+    /// Type extraction/merging time (Algorithm 2).
+    pub extract: Duration,
+    /// Post-processing time, if it ran for this batch.
+    pub post: Option<Duration>,
+    /// End-to-end batch time.
+    pub total: Duration,
+}
+
+/// A serializable snapshot of a [`HiveSession`] (see
+/// [`HiveSession::checkpoint`]). Maps are stored as pair lists so the
+/// JSON form is stable and human-inspectable.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SessionCheckpoint {
+    /// The schema discovered so far.
+    pub schema: SchemaGraph,
+    /// Node accumulators.
+    pub node_accums: Vec<(pg_model::TypeId, crate::state::NodeTypeAccum)>,
+    /// Edge accumulators.
+    pub edge_accums: Vec<(pg_model::TypeId, crate::state::EdgeTypeAccum)>,
+    /// Node memoization cache.
+    pub node_cache: Vec<(NodePatternKey, pg_model::TypeId)>,
+    /// Edge memoization cache.
+    pub edge_cache: Vec<(EdgePatternKey, pg_model::TypeId)>,
+    /// Cache hits so far.
+    pub cache_hits: u64,
+    /// Batches processed before the checkpoint.
+    pub batches_processed: usize,
+}
+
+/// Pattern key for node memoization: (labels, property keys).
+type NodePatternKey = (pg_model::LabelSet, std::collections::BTreeSet<pg_model::Symbol>);
+/// Pattern key for edge memoization: (labels, keys, src labels, tgt labels).
+type EdgePatternKey = (
+    pg_model::LabelSet,
+    std::collections::BTreeSet<pg_model::Symbol>,
+    pg_model::LabelSet,
+    pg_model::LabelSet,
+);
+
+/// An incremental schema-discovery session.
+pub struct HiveSession {
+    config: HiveConfig,
+    state: DiscoveryState,
+    timings: Vec<BatchTiming>,
+    node_params: Option<AdaptiveParams>,
+    edge_params: Option<AdaptiveParams>,
+    node_cache: std::collections::HashMap<NodePatternKey, pg_model::TypeId>,
+    edge_cache: std::collections::HashMap<EdgePatternKey, pg_model::TypeId>,
+    cache_hits: u64,
+}
+
+impl HiveSession {
+    /// Start a session with an empty schema (`S_G ← ∅`).
+    pub fn new(config: HiveConfig) -> HiveSession {
+        HiveSession {
+            config,
+            state: DiscoveryState::new(),
+            timings: Vec::new(),
+            node_params: None,
+            edge_params: None,
+            node_cache: std::collections::HashMap::new(),
+            edge_cache: std::collections::HashMap::new(),
+            cache_hits: 0,
+        }
+    }
+
+    /// Number of elements served from the memoization cache so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &HiveConfig {
+        &self.config
+    }
+
+    /// The schema discovered so far.
+    pub fn schema(&self) -> &SchemaGraph {
+        &self.state.schema
+    }
+
+    /// The full running state (schema + accumulators).
+    pub fn state(&self) -> &DiscoveryState {
+        &self.state
+    }
+
+    /// Per-batch timings recorded so far.
+    pub fn timings(&self) -> &[BatchTiming] {
+        &self.timings
+    }
+
+    /// Process one batch of loaded records (Algorithm 1, lines 3–6, plus
+    /// lines 7–10 when `post_processing` is set).
+    pub fn process_batch(&mut self, nodes: &[NodeRecord], edges: &[EdgeRecord]) -> BatchTiming {
+        let start = Instant::now();
+        let batch_index = self.timings.len();
+        let batch_seed = self.config.seed.wrapping_add(batch_index as u64 * 0x9e37);
+        let (batch_nodes, batch_edges) = (nodes.len(), edges.len());
+
+        // Memoization (DiscoPG-style): elements whose exact pattern has
+        // already been typed bypass the pipeline entirely.
+        let (nodes, edges): (Vec<NodeRecord>, Vec<EdgeRecord>) = if self.config.memoize {
+            let mut novel_nodes = Vec::new();
+            for node in nodes {
+                let key = (node.labels.clone(), node.key_set());
+                match self.node_cache.get(&key) {
+                    Some(&tid) => {
+                        self.cache_hits += 1;
+                        self.state
+                            .node_accums
+                            .get_mut(&tid)
+                            .expect("cached type exists")
+                            .observe(node);
+                        if let Some(t) =
+                            self.state.schema.node_types.iter_mut().find(|t| t.id == tid)
+                        {
+                            t.instance_count += 1;
+                        }
+                    }
+                    None => novel_nodes.push(node.clone()),
+                }
+            }
+            let mut novel_edges = Vec::new();
+            for rec in edges {
+                let key = (
+                    rec.edge.labels.clone(),
+                    rec.edge.key_set(),
+                    rec.src_labels.clone(),
+                    rec.tgt_labels.clone(),
+                );
+                match self.edge_cache.get(&key) {
+                    Some(&tid) => {
+                        self.cache_hits += 1;
+                        self.state
+                            .edge_accums
+                            .get_mut(&tid)
+                            .expect("cached type exists")
+                            .observe(&rec.edge);
+                        if let Some(t) =
+                            self.state.schema.edge_types.iter_mut().find(|t| t.id == tid)
+                        {
+                            t.instance_count += 1;
+                        }
+                    }
+                    None => novel_edges.push(rec.clone()),
+                }
+            }
+            (novel_nodes, novel_edges)
+        } else {
+            (nodes.to_vec(), edges.to_vec())
+        };
+        let (nodes, edges) = (nodes.as_slice(), edges.as_slice());
+
+        // Preprocess: train the embedder on the batch labels and build
+        // the per-batch feature space.
+        let t0 = Instant::now();
+        let fs = FeatureSpace::build(nodes, edges, &self.config.embedding, batch_seed);
+        let preprocess = t0.elapsed();
+
+        // Cluster nodes and edges with LSH.
+        let t1 = Instant::now();
+        let mut cfg = self.config.clone();
+        cfg.seed = batch_seed;
+        let (node_clusters, np) = cluster_nodes(nodes, &fs, &cfg);
+        let (edge_clusters, ep) = cluster_edges(edges, &fs, &cfg);
+        if np.is_some() {
+            self.node_params = np;
+        }
+        if ep.is_some() {
+            self.edge_params = ep;
+        }
+        let cluster = t1.elapsed();
+
+        // Extract + merge into the running schema; remember per-cluster
+        // member ids first so cache entries can be written afterwards.
+        let t2 = Instant::now();
+        let node_members: Vec<Vec<pg_model::NodeId>> = node_clusters
+            .iter()
+            .map(|c| c.accum.members.clone())
+            .collect();
+        let edge_members: Vec<Vec<pg_model::EdgeId>> = edge_clusters
+            .iter()
+            .map(|c| c.accum.members.clone())
+            .collect();
+        let merge_opts = crate::extract::MergeOptions {
+            theta: self.config.theta,
+            similarity: self.config.merge_similarity,
+            edge_endpoint_aware: self.config.edge_endpoint_aware,
+        };
+        let node_assignment =
+            integrate_node_clusters_opts(&mut self.state, node_clusters, merge_opts);
+        let edge_assignment =
+            integrate_edge_clusters_opts(&mut self.state, edge_clusters, merge_opts);
+        if self.config.memoize {
+            let by_id: std::collections::HashMap<pg_model::NodeId, &NodeRecord> =
+                nodes.iter().map(|n| (n.id, n)).collect();
+            for (members, &tid) in node_members.iter().zip(&node_assignment) {
+                for id in members {
+                    let node = by_id[id];
+                    self.node_cache
+                        .insert((node.labels.clone(), node.key_set()), tid);
+                }
+            }
+            let by_id: std::collections::HashMap<pg_model::EdgeId, &EdgeRecord> =
+                edges.iter().map(|e| (e.edge.id, e)).collect();
+            for (members, &tid) in edge_members.iter().zip(&edge_assignment) {
+                for id in members {
+                    let rec = by_id[id];
+                    self.edge_cache.insert(
+                        (
+                            rec.edge.labels.clone(),
+                            rec.edge.key_set(),
+                            rec.src_labels.clone(),
+                            rec.tgt_labels.clone(),
+                        ),
+                        tid,
+                    );
+                }
+            }
+        }
+        let extract = t2.elapsed();
+
+        let post = if self.config.post_processing {
+            let t3 = Instant::now();
+            self.post_process();
+            Some(t3.elapsed())
+        } else {
+            None
+        };
+
+        let timing = BatchTiming {
+            batch_index,
+            nodes: batch_nodes,
+            edges: batch_edges,
+            preprocess,
+            cluster,
+            extract,
+            post,
+            total: start.elapsed(),
+        };
+        self.timings.push(timing);
+        timing
+    }
+
+    /// Convenience wrapper over a [`GraphBatch`].
+    pub fn process_graph_batch(&mut self, batch: &GraphBatch) -> BatchTiming {
+        self.process_batch(&batch.nodes, &batch.edges)
+    }
+
+    /// Run post-processing now (constraints, data types, cardinalities).
+    pub fn post_process(&mut self) {
+        infer_property_constraints(&mut self.state);
+        infer_datatypes(
+            &mut self.state,
+            self.config.datatype_sampling,
+            self.config.seed,
+        );
+        compute_cardinalities(&mut self.state);
+    }
+
+    /// Serialize the entire session state (schema, accumulators,
+    /// memoization caches) into a checkpoint that can be persisted and
+    /// restored later — streaming deployments survive restarts without
+    /// reprocessing history.
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            schema: self.state.schema.clone(),
+            node_accums: self
+                .state
+                .node_accums
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            edge_accums: self
+                .state
+                .edge_accums
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            node_cache: self
+                .node_cache
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            edge_cache: self
+                .edge_cache
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            cache_hits: self.cache_hits,
+            batches_processed: self.timings.len(),
+        }
+    }
+
+    /// Restore a session from a checkpoint. Per-batch timings are not
+    /// part of the checkpoint; the restored session starts a fresh
+    /// timing log but continues the batch numbering.
+    pub fn restore(config: HiveConfig, checkpoint: SessionCheckpoint) -> HiveSession {
+        let mut session = HiveSession::new(config);
+        session.state.schema = checkpoint.schema;
+        session.state.node_accums = checkpoint.node_accums.into_iter().collect();
+        session.state.edge_accums = checkpoint.edge_accums.into_iter().collect();
+        session.node_cache = checkpoint.node_cache.into_iter().collect();
+        session.edge_cache = checkpoint.edge_cache.into_iter().collect();
+        session.cache_hits = checkpoint.cache_hits;
+        session
+    }
+
+    /// Finish the session: ensure post-processing ran at least once (the
+    /// `i = n` case of Algorithm 1 line 7) and hand back the result.
+    pub fn finish(mut self) -> DiscoveryResult {
+        self.post_process();
+        DiscoveryResult {
+            schema: self.state.schema.clone(),
+            state: self.state,
+            node_params: self.node_params,
+            edge_params: self.edge_params,
+            timings: self.timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{Edge, LabelSet, Node, NodeId, PropertyGraph};
+    use pg_store::split_batches;
+
+    fn dataset(n: u64) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..n {
+            g.add_node(
+                Node::new(i, LabelSet::single("Person"))
+                    .with_prop("name", format!("p{i}"))
+                    .with_prop("age", i as i64),
+            )
+            .unwrap();
+            g.add_node(
+                Node::new(n + i, LabelSet::single("Org")).with_prop("url", format!("o{i}")),
+            )
+            .unwrap();
+        }
+        for i in 0..n {
+            g.add_edge(
+                Edge::new(
+                    10_000 + i,
+                    NodeId(i),
+                    NodeId(n + i),
+                    LabelSet::single("WORKS_AT"),
+                )
+                .with_prop("from", 2000 + i as i64),
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    fn quick_config() -> HiveConfig {
+        let mut c = HiveConfig::default();
+        if let crate::config::EmbeddingKind::Word2Vec(ref mut w) = c.embedding {
+            w.dim = 5;
+            w.epochs = 2;
+        }
+        c.post_processing = false;
+        c
+    }
+
+    #[test]
+    fn incremental_matches_types_of_single_shot() {
+        let g = dataset(60);
+        let batches = split_batches(&g, 5, 99);
+
+        let mut session = HiveSession::new(quick_config());
+        for b in &batches {
+            session.process_graph_batch(b);
+        }
+        let inc = session.finish();
+
+        let single = crate::pipeline::PgHive::new(quick_config()).discover_graph(&g);
+
+        let labels =
+            |s: &SchemaGraph| -> Vec<String> {
+                let mut v: Vec<String> =
+                    s.node_types.iter().map(|t| t.labels.to_string()).collect();
+                v.sort();
+                v
+            };
+        assert_eq!(labels(&inc.schema), labels(&single.schema));
+        assert_eq!(inc.schema.edge_types.len(), single.schema.edge_types.len());
+    }
+
+    #[test]
+    fn schema_chain_is_monotone_across_batches() {
+        let g = dataset(40);
+        let batches = split_batches(&g, 4, 5);
+        let mut session = HiveSession::new(quick_config());
+        let mut prev = session.schema().clone();
+        for b in &batches {
+            session.process_graph_batch(b);
+            let cur = session.schema().clone();
+            assert!(
+                prev.is_generalized_by(&cur),
+                "batch broke the monotone chain"
+            );
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn timings_are_recorded_per_batch() {
+        let g = dataset(20);
+        let batches = split_batches(&g, 3, 1);
+        let mut session = HiveSession::new(quick_config());
+        for b in &batches {
+            session.process_graph_batch(b);
+        }
+        assert_eq!(session.timings().len(), 3);
+        for (i, t) in session.timings().iter().enumerate() {
+            assert_eq!(t.batch_index, i);
+            assert!(t.total >= t.extract);
+            assert!(t.post.is_none(), "post_processing disabled");
+        }
+    }
+
+    #[test]
+    fn per_batch_post_processing_flag() {
+        let g = dataset(10);
+        let mut cfg = quick_config();
+        cfg.post_processing = true;
+        let mut session = HiveSession::new(cfg);
+        let (nodes, edges) = pg_store::load(&g);
+        let t = session.process_batch(&nodes, &edges);
+        assert!(t.post.is_some());
+        // Constraints are already available before finish().
+        let person = session
+            .schema()
+            .node_types
+            .iter()
+            .find(|t| t.labels.contains("Person"))
+            .unwrap();
+        assert!(person
+            .properties
+            .values()
+            .all(|spec| spec.presence.is_some()));
+    }
+
+    #[test]
+    fn memoized_session_matches_unmemoized_results() {
+        let g = dataset(50);
+        let batches = split_batches(&g, 5, 13);
+
+        let mut plain = HiveSession::new(quick_config());
+        let mut memo_cfg = quick_config();
+        memo_cfg.memoize = true;
+        let mut memoized = HiveSession::new(memo_cfg);
+        for b in &batches {
+            plain.process_graph_batch(b);
+            memoized.process_graph_batch(b);
+        }
+        assert!(memoized.cache_hits() > 0, "cache never hit");
+        let (a, b) = (plain.finish(), memoized.finish());
+
+        // Same types (by labels) and same instance counts per type.
+        let summary = |r: &crate::pipeline::DiscoveryResult| {
+            let mut v: Vec<(String, u64)> = r
+                .schema
+                .node_types
+                .iter()
+                .map(|t| (t.labels.to_string(), r.state.node_accums[&t.id].count))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(summary(&a), summary(&b));
+        let edge_total = |r: &crate::pipeline::DiscoveryResult| -> u64 {
+            r.state.edge_accums.values().map(|acc| acc.count).sum()
+        };
+        assert_eq!(edge_total(&a), edge_total(&b));
+        // Every element is assigned exactly once in the memoized run.
+        assert_eq!(b.node_assignment().len(), g.node_count());
+        assert_eq!(b.edge_assignment().len(), g.edge_count());
+    }
+
+    #[test]
+    fn memoized_second_pass_is_all_hits() {
+        let g = dataset(30);
+        let (nodes, edges) = pg_store::load(&g);
+        let mut cfg = quick_config();
+        cfg.memoize = true;
+        let mut session = HiveSession::new(cfg);
+        session.process_batch(&nodes, &edges);
+        assert_eq!(session.cache_hits(), 0, "first pass sees only novelty");
+        let before_types = session.schema().type_count();
+        // Re-streaming identical structure: everything memoized. (Ids
+        // repeat, which is fine — accums simply accumulate.)
+        session.process_batch(&nodes, &edges);
+        assert_eq!(
+            session.cache_hits() as usize,
+            nodes.len() + edges.len(),
+            "second pass should be served entirely from the cache"
+        );
+        assert_eq!(session.schema().type_count(), before_types);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_through_json() {
+        let g = dataset(40);
+        let batches = split_batches(&g, 4, 2);
+        let mut cfg = quick_config();
+        cfg.memoize = true;
+
+        // Process half, checkpoint, serialize to JSON, restore, process
+        // the rest — must equal an uninterrupted session.
+        let mut first = HiveSession::new(cfg.clone());
+        first.process_graph_batch(&batches[0]);
+        first.process_graph_batch(&batches[1]);
+        let json = serde_json::to_string(&first.checkpoint()).unwrap();
+        let checkpoint: SessionCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(checkpoint.batches_processed, 2);
+        let mut resumed = HiveSession::restore(cfg.clone(), checkpoint);
+        resumed.process_graph_batch(&batches[2]);
+        resumed.process_graph_batch(&batches[3]);
+        let resumed_result = resumed.finish();
+
+        let mut uninterrupted = HiveSession::new(cfg);
+        for b in &batches {
+            uninterrupted.process_graph_batch(b);
+        }
+        let full_result = uninterrupted.finish();
+
+        assert_eq!(resumed_result.schema, full_result.schema);
+        assert_eq!(
+            resumed_result.node_assignment().len(),
+            full_result.node_assignment().len()
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_harmless() {
+        let mut session = HiveSession::new(quick_config());
+        session.process_batch(&[], &[]);
+        let r = session.finish();
+        assert_eq!(r.schema.type_count(), 0);
+    }
+}

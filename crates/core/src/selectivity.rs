@@ -1,0 +1,184 @@
+//! Schema-based selectivity estimation — the "query optimization" use
+//! case the paper's introduction motivates (§1: schema discovery
+//! supports "query optimization [34, 73]").
+//!
+//! A discovered [`DiscoveryState`] carries per-type instance counts and
+//! per-property presence rates; that is exactly a coarse statistics
+//! catalog. This module estimates result cardinalities for simple match
+//! patterns without touching the data:
+//!
+//! * `(:Label)` — nodes carrying a label;
+//! * `(:Label {key})` — nodes carrying a label and a property key;
+//! * `()-[:LABEL]->()` — edges by label;
+//! * `(:A)-[:E]->(:B)` — edges by label and endpoint labels.
+//!
+//! Estimates are exact when types are label-pure and properties are
+//! independent of everything else within a type (which discovery's own
+//! accumulators make true by construction for labels, and true per type
+//! for presence rates). The tests validate against `pg-store`'s
+//! ground-truth [`pg_store::index::GraphIndex`].
+
+use crate::state::DiscoveryState;
+
+/// Estimated number of nodes carrying `label`.
+pub fn estimate_nodes_with_label(state: &DiscoveryState, label: &str) -> f64 {
+    state
+        .schema
+        .node_types
+        .iter()
+        .filter(|t| t.labels.contains(label))
+        .map(|t| {
+            state
+                .node_accums
+                .get(&t.id)
+                .map(|a| a.count as f64)
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// Estimated number of nodes carrying `label` **and** property `key`,
+/// using per-type presence rates.
+pub fn estimate_nodes_with_label_and_key(
+    state: &DiscoveryState,
+    label: &str,
+    key: &str,
+) -> f64 {
+    state
+        .schema
+        .node_types
+        .iter()
+        .filter(|t| t.labels.contains(label))
+        .filter_map(|t| state.node_accums.get(&t.id))
+        .map(|a| *a.key_present.get(key).unwrap_or(&0) as f64)
+        .sum()
+}
+
+/// Estimated number of edges carrying `label`.
+pub fn estimate_edges_with_label(state: &DiscoveryState, label: &str) -> f64 {
+    state
+        .schema
+        .edge_types
+        .iter()
+        .filter(|t| t.labels.contains(label))
+        .filter_map(|t| state.edge_accums.get(&t.id))
+        .map(|a| a.count as f64)
+        .sum()
+}
+
+/// Estimated number of `(:src)-[:label]->(:tgt)` edges: edge types whose
+/// label and endpoint label sets cover the pattern contribute their full
+/// count (endpoint label sets are unions over instances, so this is an
+/// upper-bound estimate, tight when endpoint types are pure).
+pub fn estimate_edges_with_pattern(
+    state: &DiscoveryState,
+    src_label: &str,
+    edge_label: &str,
+    tgt_label: &str,
+) -> f64 {
+    state
+        .schema
+        .edge_types
+        .iter()
+        .filter(|t| {
+            t.labels.contains(edge_label)
+                && t.src_labels.contains(src_label)
+                && t.tgt_labels.contains(tgt_label)
+        })
+        .filter_map(|t| state.edge_accums.get(&t.id))
+        .map(|a| a.count as f64)
+        .sum()
+}
+
+/// Selectivity (fraction of all nodes) of a `(:Label)` scan.
+pub fn node_label_selectivity(state: &DiscoveryState, label: &str) -> f64 {
+    let total: u64 = state.node_accums.values().map(|a| a.count).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    estimate_nodes_with_label(state, label) / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HiveConfig, PgHive};
+    use pg_datasets::{generate, spec_by_name};
+    use pg_store::index::GraphIndex;
+
+    fn discovered() -> (DiscoveryState, GraphIndex) {
+        let spec = spec_by_name("POLE").unwrap().scaled(0.1);
+        let (graph, _) = generate(&spec, 17);
+        let result = PgHive::new(HiveConfig::default()).discover_graph(&graph);
+        (result.state, GraphIndex::build(&graph))
+    }
+
+    #[test]
+    fn label_estimates_match_ground_truth_on_pure_types() {
+        let (state, idx) = discovered();
+        for label in ["Person", "Officer", "Crime", "Location", "Phone"] {
+            let est = estimate_nodes_with_label(&state, label);
+            let truth = idx.nodes_with_label(label).len() as f64;
+            assert!(
+                (est - truth).abs() <= truth * 0.02 + 1.0,
+                "{label}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_key_estimates_match_presence_counts() {
+        let (state, idx) = discovered();
+        // `year` is 90 %-present on Vehicle only.
+        let est = estimate_nodes_with_label_and_key(&state, "Vehicle", "year");
+        let truth = idx.nodes_with_key("year").len() as f64;
+        assert!(
+            (est - truth).abs() <= truth * 0.02 + 1.0,
+            "est {est} vs truth {truth}"
+        );
+        // A key that never occurs on the label estimates ~0.
+        assert_eq!(estimate_nodes_with_label_and_key(&state, "Phone", "year"), 0.0);
+    }
+
+    #[test]
+    fn edge_estimates_match_ground_truth() {
+        let (state, idx) = discovered();
+        for label in ["KNOWS", "OCCURRED_AT", "PARTY_TO"] {
+            let est = estimate_edges_with_label(&state, label);
+            let truth = idx.edges_with_label(label).len() as f64;
+            assert!(
+                (est - truth).abs() <= truth * 0.02 + 1.0,
+                "{label}: est {est} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_patterns_discriminate() {
+        let (state, _) = discovered();
+        // KNOWS exists Person→Person and Phone→Phone (shared label).
+        let pp = estimate_edges_with_pattern(&state, "Person", "KNOWS", "Person");
+        let phph = estimate_edges_with_pattern(&state, "Phone", "KNOWS", "Phone");
+        let cross = estimate_edges_with_pattern(&state, "Person", "KNOWS", "Phone");
+        assert!(pp > 0.0);
+        assert!(phph > 0.0);
+        assert_eq!(cross, 0.0, "no Person→Phone KNOWS edges exist");
+        assert!(pp > phph, "Person-KNOWS dominates by construction");
+    }
+
+    #[test]
+    fn selectivities_are_fractions_that_sum_sanely() {
+        let (state, _) = discovered();
+        let s = node_label_selectivity(&state, "Person");
+        assert!((0.0..=1.0).contains(&s));
+        assert!(s > 0.1, "Person is the biggest POLE type, got {s}");
+        assert_eq!(node_label_selectivity(&state, "Unicorn"), 0.0);
+    }
+
+    #[test]
+    fn empty_state_estimates_zero() {
+        let state = DiscoveryState::new();
+        assert_eq!(estimate_nodes_with_label(&state, "X"), 0.0);
+        assert_eq!(node_label_selectivity(&state, "X"), 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Schema serialization (§4.5): PG-Schema declarations (LOOSE and
+//! STRICT), XSD, and JSON.
+//!
+//! PG-Schema has no finalized concrete syntax; like the paper, we emit
+//! both a LOOSE declaration (names and property keys only, tolerant of
+//! deviation) and a STRICT one (data types, mandatory/optional markers,
+//! cardinality annotations).
+
+use pg_model::{DataType, EdgeType, NodeType, Presence, SchemaGraph};
+use std::fmt::Write as _;
+
+/// Strictness mode of the emitted PG-Schema declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaMode {
+    /// Flexible: property lists are OPEN, no data types or constraints.
+    Loose,
+    /// Rigorous: data types, OPTIONAL markers, cardinality comments.
+    Strict,
+}
+
+fn node_type_name(t: &NodeType, idx: usize) -> String {
+    if t.labels.is_empty() {
+        format!("abstractType{idx}")
+    } else {
+        let mut n: String = t
+            .labels
+            .iter()
+            .map(|l| l.as_ref())
+            .collect::<Vec<_>>()
+            .join("_");
+        n.push_str("Type");
+        sanitize(&n)
+    }
+}
+
+fn edge_type_name(t: &EdgeType, idx: usize) -> String {
+    if t.labels.is_empty() {
+        format!("abstractEdgeType{idx}")
+    } else {
+        let mut n: String = t
+            .labels
+            .iter()
+            .map(|l| l.as_ref())
+            .collect::<Vec<_>>()
+            .join("_");
+        n.push_str("Type");
+        sanitize(&n)
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}
+
+fn label_spec(labels: &pg_model::LabelSet) -> String {
+    labels
+        .iter()
+        .map(|l| l.as_ref())
+        .collect::<Vec<_>>()
+        .join(" & ")
+}
+
+fn dt_name(dt: Option<DataType>) -> &'static str {
+    dt.map(DataType::gql_name).unwrap_or("ANY")
+}
+
+/// Render the schema as a PG-Schema `CREATE GRAPH TYPE` declaration.
+pub fn to_pg_schema(schema: &SchemaGraph, mode: SchemaMode) -> String {
+    let strictness = match mode {
+        SchemaMode::Loose => "LOOSE",
+        SchemaMode::Strict => "STRICT",
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "CREATE GRAPH TYPE DiscoveredGraphType {strictness} {{");
+
+    let mut first = true;
+    for (i, t) in schema.node_types.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let name = node_type_name(t, i);
+        let abstract_kw = if t.is_abstract { "ABSTRACT " } else { "" };
+        let head = if t.labels.is_empty() {
+            format!("  ({abstract_kw}{name}")
+        } else {
+            format!("  ({abstract_kw}{name} : {}", label_spec(&t.labels))
+        };
+        out.push_str(&head);
+        write_props(&mut out, &t.properties, mode);
+        out.push(')');
+    }
+    for (i, t) in schema.edge_types.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let name = edge_type_name(t, i);
+        let src = if t.src_labels.is_empty() {
+            String::new()
+        } else {
+            format!(":{}", label_spec(&t.src_labels))
+        };
+        let tgt = if t.tgt_labels.is_empty() {
+            String::new()
+        } else {
+            format!(":{}", label_spec(&t.tgt_labels))
+        };
+        let _ = write!(out, "  ({src})-[{name} : {}", label_spec(&t.labels));
+        write_props(&mut out, &t.properties, mode);
+        let _ = write!(out, "]->({tgt})");
+        if mode == SchemaMode::Strict {
+            if let Some(c) = t.cardinality {
+                let _ = write!(
+                    out,
+                    " /* cardinality {} (max_out={}, max_in={}) */",
+                    c.class(),
+                    c.max_out,
+                    c.max_in
+                );
+            }
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn write_props(
+    out: &mut String,
+    props: &std::collections::BTreeMap<pg_model::Symbol, pg_model::PropertySpec>,
+    mode: SchemaMode,
+) {
+    if props.is_empty() {
+        if mode == SchemaMode::Loose {
+            out.push_str(" {OPEN}");
+        }
+        return;
+    }
+    out.push_str(" {");
+    match mode {
+        SchemaMode::Loose => {
+            // LOOSE: key names only, plus OPEN to admit deviation.
+            let keys: Vec<&str> = props.keys().map(|k| k.as_ref()).collect();
+            let _ = write!(out, "{}", keys.join(", "));
+            out.push_str(", OPEN");
+        }
+        SchemaMode::Strict => {
+            let mut first = true;
+            for (k, spec) in props {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                if spec.presence == Some(Presence::Optional) {
+                    out.push_str("OPTIONAL ");
+                }
+                let _ = write!(out, "{k} {}", dt_name(spec.datatype));
+            }
+        }
+    }
+    out.push('}');
+}
+
+/// Render the schema as an XML Schema document: one `xs:element` per node
+/// type and per edge type, properties as child elements with
+/// `minOccurs="0"` for optionals.
+pub fn to_xsd(schema: &SchemaGraph) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str("<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\">\n");
+    for (i, t) in schema.node_types.iter().enumerate() {
+        let name = node_type_name(t, i);
+        let _ = writeln!(out, "  <xs:element name=\"{name}\">");
+        out.push_str("    <xs:complexType>\n      <xs:sequence>\n");
+        for (k, spec) in &t.properties {
+            let min = if spec.presence == Some(Presence::Mandatory) {
+                 1
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "        <xs:element name=\"{}\" type=\"{}\" minOccurs=\"{min}\"/>",
+                xml_escape(k),
+                spec.datatype.unwrap_or(DataType::Str).xsd_name()
+            );
+        }
+        out.push_str("      </xs:sequence>\n");
+        let _ = writeln!(
+            out,
+            "      <xs:attribute name=\"labels\" type=\"xs:string\" fixed=\"{}\"/>",
+            xml_escape(&label_spec(&t.labels))
+        );
+        out.push_str("    </xs:complexType>\n  </xs:element>\n");
+    }
+    for (i, t) in schema.edge_types.iter().enumerate() {
+        let name = edge_type_name(t, i);
+        let _ = writeln!(out, "  <xs:element name=\"{name}\">");
+        out.push_str("    <xs:complexType>\n      <xs:sequence>\n");
+        for (k, spec) in &t.properties {
+            let min = if spec.presence == Some(Presence::Mandatory) {
+                1
+            } else {
+                0
+            };
+            let _ = writeln!(
+                out,
+                "        <xs:element name=\"{}\" type=\"{}\" minOccurs=\"{min}\"/>",
+                xml_escape(k),
+                spec.datatype.unwrap_or(DataType::Str).xsd_name()
+            );
+        }
+        out.push_str("      </xs:sequence>\n");
+        let _ = writeln!(
+            out,
+            "      <xs:attribute name=\"source\" type=\"xs:string\" fixed=\"{}\"/>",
+            xml_escape(&label_spec(&t.src_labels))
+        );
+        let _ = writeln!(
+            out,
+            "      <xs:attribute name=\"target\" type=\"xs:string\" fixed=\"{}\"/>",
+            xml_escape(&label_spec(&t.tgt_labels))
+        );
+        out.push_str("    </xs:complexType>\n  </xs:element>\n");
+    }
+    out.push_str("</xs:schema>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Render the schema as pretty-printed JSON (lossless; pairs with
+/// `serde_json::from_str::<SchemaGraph>` for round-tripping).
+pub fn to_json(schema: &SchemaGraph) -> String {
+    serde_json::to_string_pretty(schema).expect("schema is serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{
+        Cardinality, LabelSet, PropertySpec, TypeId,
+    };
+
+    fn sample_schema() -> SchemaGraph {
+        let mut s = SchemaGraph::new();
+        let mut person = NodeType::new(
+            TypeId(0),
+            LabelSet::single("Person"),
+            ["name", "age"].iter().map(|k| pg_model::sym(k)),
+        );
+        person.properties.insert(
+            pg_model::sym("name"),
+            PropertySpec {
+                datatype: Some(DataType::Str),
+                presence: Some(Presence::Mandatory),
+            },
+        );
+        person.properties.insert(
+            pg_model::sym("age"),
+            PropertySpec {
+                datatype: Some(DataType::Int),
+                presence: Some(Presence::Optional),
+            },
+        );
+        s.push_node_type(person);
+        let mut abs = NodeType::new(TypeId(0), LabelSet::empty(), std::iter::empty());
+        abs.is_abstract = true;
+        s.push_node_type(abs);
+        let mut knows = EdgeType::new(
+            TypeId(0),
+            LabelSet::single("KNOWS"),
+            [pg_model::sym("since")],
+            LabelSet::single("Person"),
+            LabelSet::single("Person"),
+        );
+        knows.cardinality = Some(Cardinality {
+            max_out: 5,
+            max_in: 7,
+        });
+        s.push_edge_type(knows);
+        s
+    }
+
+    #[test]
+    fn strict_mode_includes_types_and_optionals() {
+        let text = to_pg_schema(&sample_schema(), SchemaMode::Strict);
+        assert!(text.contains("STRICT"));
+        assert!(text.contains("name STRING"));
+        assert!(text.contains("OPTIONAL age INT"));
+        assert!(text.contains("cardinality M:N"));
+        assert!(text.contains("ABSTRACT"));
+        assert!(text.contains("(:Person)-[KNOWSType : KNOWS"));
+    }
+
+    #[test]
+    fn loose_mode_omits_types_and_stays_open() {
+        let text = to_pg_schema(&sample_schema(), SchemaMode::Loose);
+        assert!(text.contains("LOOSE"));
+        assert!(text.contains("OPEN"));
+        assert!(!text.contains("STRING"));
+        assert!(!text.contains("OPTIONAL"));
+    }
+
+    #[test]
+    fn xsd_is_wellformed_enough() {
+        let xsd = to_xsd(&sample_schema());
+        assert!(xsd.starts_with("<?xml"));
+        assert!(xsd.contains("<xs:element name=\"PersonType\">"));
+        assert!(xsd.contains("type=\"xs:long\""));
+        assert!(xsd.contains("minOccurs=\"0\""));
+        assert!(xsd.contains("minOccurs=\"1\""));
+        // Balanced tags (crude check): every open element is either
+        // self-closed or explicitly closed.
+        let opened = xsd.matches("<xs:element").count();
+        let closed = xsd.matches("</xs:element>").count();
+        let self_closed = xsd.matches("<xs:element name=").count()
+            - xsd.matches("<xs:element name=\"PersonType\">").count()
+            - xsd.matches("<xs:element name=\"abstractType1\">").count()
+            - xsd.matches("<xs:element name=\"KNOWSType\">").count();
+        assert_eq!(opened, closed + self_closed);
+        assert!(xsd.ends_with("</xs:schema>\n"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample_schema();
+        let text = to_json(&s);
+        let back: SchemaGraph = serde_json::from_str(&text).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let mut s = SchemaGraph::new();
+        s.push_node_type(NodeType::new(
+            TypeId(0),
+            LabelSet::single("Weird Label-With:Chars"),
+            std::iter::empty(),
+        ));
+        let text = to_pg_schema(&s, SchemaMode::Strict);
+        assert!(text.contains("Weird_Label_With_CharsType"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Discovery state: the running schema plus per-type instance
+//! accumulators.
+//!
+//! The accumulators record exactly what post-processing needs, in O(1)
+//! per instance: per-key presence counts (mandatory/optional, §4.4),
+//! per-key data-type histograms (data-type inference, §4.4), edge
+//! endpoint pairs (cardinalities, §4.4), and member ids (evaluation).
+//! They merge by addition/concatenation, so the incremental pipeline
+//! maintains them across batches without recomputation.
+
+use pg_model::{DataType, EdgeId, NodeId, SchemaGraph, Symbol, TypeId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Histogram of observed value data types for one property of one type.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DtypeHist {
+    counts: [u64; 6],
+}
+
+const ALL_TYPES: [DataType; 6] = [
+    DataType::Int,
+    DataType::Float,
+    DataType::Bool,
+    DataType::Date,
+    DataType::DateTime,
+    DataType::Str,
+];
+
+fn slot(t: DataType) -> usize {
+    match t {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Bool => 2,
+        DataType::Date => 3,
+        DataType::DateTime => 4,
+        DataType::Str => 5,
+    }
+}
+
+impl DtypeHist {
+    /// Record one observed value's type.
+    pub fn observe(&mut self, t: DataType) {
+        self.counts[slot(t)] += 1;
+    }
+
+    /// Total number of observed values.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count for one data type.
+    pub fn count(&self, t: DataType) -> u64 {
+        self.counts[slot(t)]
+    }
+
+    /// Full-scan inference: the lattice join over every observed value's
+    /// type (`None` if nothing was observed).
+    pub fn full_join(&self) -> Option<DataType> {
+        DataType::join_all(
+            ALL_TYPES
+                .iter()
+                .copied()
+                .filter(|&t| self.counts[slot(t)] > 0),
+        )
+    }
+
+    /// Draw a without-replacement sample of value types of the requested
+    /// size (capped at the total) and return the join over the sample.
+    pub fn sample_join(&self, sample_size: usize, rng: &mut ChaCha8Rng) -> Option<DataType> {
+        let sample = self.draw(sample_size, rng);
+        DataType::join_all(
+            ALL_TYPES
+                .iter()
+                .copied()
+                .filter(|&t| sample[slot(t)] > 0),
+        )
+    }
+
+    /// The paper's sampling-error metric (§5, "Evaluation metrics"):
+    /// `error(p) = (1/|S_p|) Σ_{v∈S_p} 1(f(v) ≠ f(D_p))` — the fraction
+    /// of sampled values whose individual type disagrees with the
+    /// full-scan inference. Returns `None` when no values exist.
+    pub fn sampling_error(&self, sample_size: usize, rng: &mut ChaCha8Rng) -> Option<f64> {
+        let full = self.full_join()?;
+        let sample = self.draw(sample_size, rng);
+        let drawn: u64 = sample.iter().sum();
+        if drawn == 0 {
+            return None;
+        }
+        let disagree: u64 = ALL_TYPES
+            .iter()
+            .filter(|&&t| t != full)
+            .map(|&t| sample[slot(t)])
+            .sum();
+        Some(disagree as f64 / drawn as f64)
+    }
+
+    /// Without-replacement draw from the histogram (multivariate
+    /// hypergeometric), returned as per-type counts.
+    fn draw(&self, sample_size: usize, rng: &mut ChaCha8Rng) -> [u64; 6] {
+        let mut remaining = self.counts;
+        let mut remaining_total = self.total();
+        let mut out = [0u64; 6];
+        let want = (sample_size as u64).min(remaining_total);
+        for _ in 0..want {
+            let mut pick = rng.gen_range(0..remaining_total);
+            for (i, r) in remaining.iter_mut().enumerate() {
+                if pick < *r {
+                    *r -= 1;
+                    out[i] += 1;
+                    break;
+                }
+                pick -= *r;
+            }
+            remaining_total -= 1;
+        }
+        out
+    }
+
+    /// Merge another histogram (incremental batches).
+    pub fn merge(&mut self, other: &DtypeHist) {
+        for i in 0..6 {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+/// Per-node-type accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NodeTypeAccum {
+    /// Number of instances assigned to the type.
+    pub count: u64,
+    /// Per property key: how many instances carry it.
+    pub key_present: HashMap<Symbol, u64>,
+    /// Per property key: histogram of observed value types.
+    pub dtype_hist: HashMap<Symbol, DtypeHist>,
+    /// Member node ids (evaluation + instance queries).
+    pub members: Vec<NodeId>,
+}
+
+impl NodeTypeAccum {
+    /// Fold one node instance in.
+    pub fn observe(&mut self, node: &pg_model::Node) {
+        self.count += 1;
+        self.members.push(node.id);
+        for (k, v) in &node.props {
+            *self.key_present.entry(k.clone()).or_insert(0) += 1;
+            self.dtype_hist
+                .entry(k.clone())
+                .or_default()
+                .observe(DataType::of(v));
+        }
+    }
+
+    /// Merge another accumulator (cluster merge / batch merge).
+    pub fn merge(&mut self, other: &NodeTypeAccum) {
+        self.count += other.count;
+        self.members.extend_from_slice(&other.members);
+        for (k, c) in &other.key_present {
+            *self.key_present.entry(k.clone()).or_insert(0) += c;
+        }
+        for (k, h) in &other.dtype_hist {
+            self.dtype_hist.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// Per-edge-type accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EdgeTypeAccum {
+    /// Number of instances assigned to the type.
+    pub count: u64,
+    /// Per property key: how many instances carry it.
+    pub key_present: HashMap<Symbol, u64>,
+    /// Per property key: histogram of observed value types.
+    pub dtype_hist: HashMap<Symbol, DtypeHist>,
+    /// Member edge ids.
+    pub members: Vec<EdgeId>,
+    /// Endpoint pairs for cardinality inference.
+    pub endpoints: Vec<(NodeId, NodeId)>,
+}
+
+impl EdgeTypeAccum {
+    /// Fold one edge instance in.
+    pub fn observe(&mut self, edge: &pg_model::Edge) {
+        self.count += 1;
+        self.members.push(edge.id);
+        self.endpoints.push((edge.src, edge.tgt));
+        for (k, v) in &edge.props {
+            *self.key_present.entry(k.clone()).or_insert(0) += 1;
+            self.dtype_hist
+                .entry(k.clone())
+                .or_default()
+                .observe(DataType::of(v));
+        }
+    }
+
+    /// Merge another accumulator.
+    pub fn merge(&mut self, other: &EdgeTypeAccum) {
+        self.count += other.count;
+        self.members.extend_from_slice(&other.members);
+        self.endpoints.extend_from_slice(&other.endpoints);
+        for (k, c) in &other.key_present {
+            *self.key_present.entry(k.clone()).or_insert(0) += c;
+        }
+        for (k, h) in &other.dtype_hist {
+            self.dtype_hist.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+/// The running discovery state: schema graph + per-type accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryState {
+    /// The schema inferred so far.
+    pub schema: SchemaGraph,
+    /// Node accumulators, keyed by node type id.
+    pub node_accums: HashMap<TypeId, NodeTypeAccum>,
+    /// Edge accumulators, keyed by edge type id.
+    pub edge_accums: HashMap<TypeId, EdgeTypeAccum>,
+}
+
+impl DiscoveryState {
+    /// Fresh, empty state (`S_G ← ∅`, Algorithm 1 line 1).
+    pub fn new() -> Self {
+        DiscoveryState::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{LabelSet, Node};
+    use rand::SeedableRng;
+
+    #[test]
+    fn hist_full_join() {
+        let mut h = DtypeHist::default();
+        assert_eq!(h.full_join(), None);
+        h.observe(DataType::Int);
+        assert_eq!(h.full_join(), Some(DataType::Int));
+        h.observe(DataType::Float);
+        assert_eq!(h.full_join(), Some(DataType::Float));
+        h.observe(DataType::Str);
+        assert_eq!(h.full_join(), Some(DataType::Str));
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn hist_sampling_error_pure_property_is_zero() {
+        let mut h = DtypeHist::default();
+        for _ in 0..1000 {
+            h.observe(DataType::Int);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(h.sampling_error(100, &mut rng), Some(0.0));
+    }
+
+    #[test]
+    fn hist_sampling_error_mixed_property() {
+        // 90 % Int + 10 % Str → full join = Str; an Int draw disagrees,
+        // so the expected error is ≈ 0.9.
+        let mut h = DtypeHist::default();
+        for _ in 0..900 {
+            h.observe(DataType::Int);
+        }
+        for _ in 0..100 {
+            h.observe(DataType::Str);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let e = h.sampling_error(200, &mut rng).unwrap();
+        assert!((e - 0.9).abs() < 0.1, "error {e} should be near 0.9");
+    }
+
+    #[test]
+    fn hist_draw_is_capped_at_total() {
+        let mut h = DtypeHist::default();
+        h.observe(DataType::Bool);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Sampling more than exists must not loop or overcount.
+        assert_eq!(h.sample_join(10, &mut rng), Some(DataType::Bool));
+    }
+
+    #[test]
+    fn node_accum_counts_presence() {
+        let mut acc = NodeTypeAccum::default();
+        acc.observe(&Node::new(1, LabelSet::single("P")).with_prop("a", 1i64));
+        acc.observe(
+            &Node::new(2, LabelSet::single("P"))
+                .with_prop("a", 2i64)
+                .with_prop("b", "x"),
+        );
+        assert_eq!(acc.count, 2);
+        assert_eq!(acc.key_present[&pg_model::sym("a")], 2);
+        assert_eq!(acc.key_present[&pg_model::sym("b")], 1);
+        assert_eq!(acc.members.len(), 2);
+
+        let mut other = NodeTypeAccum::default();
+        other.observe(&Node::new(3, LabelSet::single("P")).with_prop("b", "y"));
+        acc.merge(&other);
+        assert_eq!(acc.count, 3);
+        assert_eq!(acc.key_present[&pg_model::sym("b")], 2);
+        assert_eq!(
+            acc.dtype_hist[&pg_model::sym("a")].full_join(),
+            Some(DataType::Int)
+        );
+    }
+}

@@ -1,0 +1,493 @@
+//! Schema validation: check a property graph against a discovered
+//! [`SchemaGraph`] under PG-Schema's STRICT or LOOSE semantics (§3,
+//! "Schema constraint level"; §4.4: the inferred constraints "support
+//! validation processes").
+//!
+//! * **LOOSE** — permissive: an element conforms if some type covers its
+//!   labels and declared properties (extra properties are allowed only if
+//!   the covering type knows them; labels must be a subset of the type's).
+//! * **STRICT** — additionally enforces MANDATORY properties, data-type
+//!   compatibility of every value, edge endpoint labels, and cardinality
+//!   upper bounds.
+//!
+//! Violations are structured values, not strings, so downstream tooling
+//! (CI gates, data-quality dashboards) can consume them.
+
+use crate::serialize::SchemaMode;
+use pg_model::{
+    DataType, EdgeId, EdgeType, LabelSet, Node, NodeId, NodeType, Presence, PropertyGraph,
+    SchemaGraph, Symbol, TypeId,
+};
+use std::collections::HashMap;
+
+/// A single conformance violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// No node type covers this node's labels and property keys.
+    NodeHasNoType {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// No edge type covers this edge.
+    EdgeHasNoType {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A MANDATORY property is missing (STRICT only).
+    MissingMandatory {
+        /// The node missing the property (edges report via
+        /// [`Violation::MissingMandatoryEdge`]).
+        node: NodeId,
+        /// The type the node was matched to.
+        type_id: TypeId,
+        /// The missing key.
+        key: Symbol,
+    },
+    /// A MANDATORY edge property is missing (STRICT only).
+    MissingMandatoryEdge {
+        /// The edge missing the property.
+        edge: EdgeId,
+        /// The type the edge was matched to.
+        type_id: TypeId,
+        /// The missing key.
+        key: Symbol,
+    },
+    /// A value's data type is not admitted by the declared type
+    /// (STRICT only).
+    DatatypeMismatch {
+        /// Element id (node or edge raw id).
+        element: u64,
+        /// The property key.
+        key: Symbol,
+        /// Declared data type.
+        declared: DataType,
+        /// Observed data type.
+        observed: DataType,
+    },
+    /// An edge endpoint's labels don't match the type's endpoint labels
+    /// (STRICT only).
+    EndpointMismatch {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The type the edge was matched to.
+        type_id: TypeId,
+        /// True for the source side, false for the target side.
+        source_side: bool,
+    },
+    /// An edge type's observed fan-out/fan-in exceeds the recorded
+    /// cardinality bound (STRICT only).
+    CardinalityExceeded {
+        /// The edge type.
+        type_id: TypeId,
+        /// The node that exceeds the bound.
+        node: NodeId,
+        /// True if the out-bound was exceeded, false for in-bound.
+        out_side: bool,
+        /// Observed distinct-neighbor count.
+        observed: u64,
+        /// The recorded bound.
+        bound: u64,
+    },
+}
+
+/// A full validation report.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// All violations found (empty = conformant).
+    pub violations: Vec<Violation>,
+    /// Nodes checked.
+    pub nodes_checked: usize,
+    /// Edges checked.
+    pub edges_checked: usize,
+}
+
+impl ValidationReport {
+    /// Whether the graph conforms (no violations).
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validate `graph` against `schema` under the given mode.
+pub fn validate(graph: &PropertyGraph, schema: &SchemaGraph, mode: SchemaMode) -> ValidationReport {
+    let mut report = ValidationReport {
+        nodes_checked: graph.node_count(),
+        edges_checked: graph.edge_count(),
+        ..Default::default()
+    };
+
+    // --- Nodes.
+    for node in graph.nodes() {
+        match best_node_type(schema, node) {
+            None => report.violations.push(Violation::NodeHasNoType { node: node.id }),
+            Some(t) => {
+                if mode == SchemaMode::Strict {
+                    check_node_strict(node, t, &mut report);
+                }
+            }
+        }
+    }
+
+    // --- Edges.
+    let mut per_type_endpoints: HashMap<TypeId, Vec<(NodeId, NodeId)>> = HashMap::new();
+    for edge in graph.edges() {
+        let (src_labels, tgt_labels) = graph.endpoint_labels(edge);
+        match best_edge_type(schema, edge, &src_labels, &tgt_labels) {
+            None => report.violations.push(Violation::EdgeHasNoType { edge: edge.id }),
+            Some(t) => {
+                if mode == SchemaMode::Strict {
+                    check_edge_strict(edge, t, &src_labels, &tgt_labels, &mut report);
+                    per_type_endpoints
+                        .entry(t.id)
+                        .or_default()
+                        .push((edge.src, edge.tgt));
+                }
+            }
+        }
+    }
+
+    // --- Cardinality bounds (STRICT).
+    if mode == SchemaMode::Strict {
+        for (tid, endpoints) in per_type_endpoints {
+            let Some(t) = schema.edge_types.iter().find(|t| t.id == tid) else {
+                continue;
+            };
+            let Some(card) = t.cardinality else { continue };
+            check_cardinality(tid, card.max_out, card.max_in, &endpoints, &mut report);
+        }
+    }
+
+    report
+}
+
+/// The covering node type with the fewest extra properties (tightest
+/// fit); `None` if nothing covers the node.
+fn best_node_type<'s>(schema: &'s SchemaGraph, node: &Node) -> Option<&'s NodeType> {
+    schema
+        .node_types
+        .iter()
+        .filter(|t| {
+            node.labels.is_subset_of(&t.labels)
+                && node.props.keys().all(|k| t.properties.contains_key(k))
+        })
+        .min_by_key(|t| t.properties.len())
+}
+
+/// The covering edge type, preferring candidates whose endpoint label
+/// sets also cover the edge's endpoints (several types can share a label
+/// — e.g. two KNOWS types with different endpoints — and the tightest
+/// endpoint-compatible one is the right match). Falls back to a
+/// label/property-only match so STRICT mode can report the endpoint
+/// mismatch rather than "no type".
+fn best_edge_type<'s>(
+    schema: &'s SchemaGraph,
+    edge: &pg_model::Edge,
+    src_labels: &LabelSet,
+    tgt_labels: &LabelSet,
+) -> Option<&'s EdgeType> {
+    let covers = |t: &&EdgeType| {
+        edge.labels.is_subset_of(&t.labels)
+            && edge.props.keys().all(|k| t.properties.contains_key(k))
+    };
+    schema
+        .edge_types
+        .iter()
+        .filter(covers)
+        .filter(|t| {
+            src_labels.is_subset_of(&t.src_labels) && tgt_labels.is_subset_of(&t.tgt_labels)
+        })
+        .min_by_key(|t| t.properties.len())
+        .or_else(|| {
+            schema
+                .edge_types
+                .iter()
+                .filter(covers)
+                .min_by_key(|t| t.properties.len())
+        })
+}
+
+fn check_node_strict(node: &Node, t: &NodeType, report: &mut ValidationReport) {
+    for (key, spec) in &t.properties {
+        match node.props.get(key) {
+            None => {
+                if spec.presence == Some(Presence::Mandatory) {
+                    report.violations.push(Violation::MissingMandatory {
+                        node: node.id,
+                        type_id: t.id,
+                        key: key.clone(),
+                    });
+                }
+            }
+            Some(value) => {
+                if let Some(declared) = spec.datatype {
+                    if !declared.admits(value) {
+                        report.violations.push(Violation::DatatypeMismatch {
+                            element: node.id.0,
+                            key: key.clone(),
+                            declared,
+                            observed: DataType::of(value),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_edge_strict(
+    edge: &pg_model::Edge,
+    t: &EdgeType,
+    src_labels: &LabelSet,
+    tgt_labels: &LabelSet,
+    report: &mut ValidationReport,
+) {
+    for (key, spec) in &t.properties {
+        match edge.props.get(key) {
+            None => {
+                if spec.presence == Some(Presence::Mandatory) {
+                    report.violations.push(Violation::MissingMandatoryEdge {
+                        edge: edge.id,
+                        type_id: t.id,
+                        key: key.clone(),
+                    });
+                }
+            }
+            Some(value) => {
+                if let Some(declared) = spec.datatype {
+                    if !declared.admits(value) {
+                        report.violations.push(Violation::DatatypeMismatch {
+                            element: edge.id.0,
+                            key: key.clone(),
+                            declared,
+                            observed: DataType::of(value),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    // Endpoint labels must be covered by the type's endpoint label sets.
+    if !src_labels.is_subset_of(&t.src_labels) {
+        report.violations.push(Violation::EndpointMismatch {
+            edge: edge.id,
+            type_id: t.id,
+            source_side: true,
+        });
+    }
+    if !tgt_labels.is_subset_of(&t.tgt_labels) {
+        report.violations.push(Violation::EndpointMismatch {
+            edge: edge.id,
+            type_id: t.id,
+            source_side: false,
+        });
+    }
+}
+
+fn check_cardinality(
+    tid: TypeId,
+    max_out: u64,
+    max_in: u64,
+    endpoints: &[(NodeId, NodeId)],
+    report: &mut ValidationReport,
+) {
+    use std::collections::HashSet;
+    let mut out: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let mut inc: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    for &(s, t) in endpoints {
+        out.entry(s).or_default().insert(t);
+        inc.entry(t).or_default().insert(s);
+    }
+    for (node, targets) in &out {
+        if targets.len() as u64 > max_out {
+            report.violations.push(Violation::CardinalityExceeded {
+                type_id: tid,
+                node: *node,
+                out_side: true,
+                observed: targets.len() as u64,
+                bound: max_out,
+            });
+        }
+    }
+    for (node, sources) in &inc {
+        if sources.len() as u64 > max_in {
+            report.violations.push(Violation::CardinalityExceeded {
+                type_id: tid,
+                node: *node,
+                out_side: false,
+                observed: sources.len() as u64,
+                bound: max_in,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HiveConfig, PgHive};
+    use pg_model::{Edge, LabelSet, Node, PropertyValue};
+
+    fn training_graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..10u64 {
+            g.add_node(
+                Node::new(i, LabelSet::single("Person"))
+                    .with_prop("name", format!("p{i}"))
+                    .with_prop("age", i as i64),
+            )
+            .unwrap();
+            g.add_node(
+                Node::new(100 + i, LabelSet::single("Org")).with_prop("url", "u"),
+            )
+            .unwrap();
+        }
+        for i in 0..10u64 {
+            g.add_edge(
+                Edge::new(1000 + i, NodeId(i), NodeId(100 + i), LabelSet::single("WORKS_AT"))
+                    .with_prop("from", 2000 + i as i64),
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    fn schema() -> SchemaGraph {
+        PgHive::new(HiveConfig::default())
+            .discover_graph(&training_graph())
+            .schema
+    }
+
+    #[test]
+    fn training_data_conforms_strictly_to_its_own_schema() {
+        let g = training_graph();
+        let s = schema();
+        let report = validate(&g, &s, SchemaMode::Strict);
+        assert!(report.is_valid(), "violations: {:?}", report.violations);
+        assert_eq!(report.nodes_checked, 20);
+        assert_eq!(report.edges_checked, 10);
+    }
+
+    #[test]
+    fn unknown_type_is_flagged_in_both_modes() {
+        let s = schema();
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("Alien")).with_prop("tentacles", 8i64))
+            .unwrap();
+        for mode in [SchemaMode::Loose, SchemaMode::Strict] {
+            let report = validate(&g, &s, mode);
+            assert_eq!(
+                report.violations,
+                vec![Violation::NodeHasNoType { node: NodeId(1) }],
+                "mode {mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_mandatory_property_fails_strict_but_passes_loose() {
+        let s = schema();
+        let mut g = PropertyGraph::new();
+        // Person without `age` (mandatory in the training data).
+        g.add_node(Node::new(1, LabelSet::single("Person")).with_prop("name", "x"))
+            .unwrap();
+        assert!(validate(&g, &s, SchemaMode::Loose).is_valid());
+        let strict = validate(&g, &s, SchemaMode::Strict);
+        assert!(matches!(
+            strict.violations.as_slice(),
+            [Violation::MissingMandatory { key, .. }] if key.as_ref() == "age"
+        ));
+    }
+
+    #[test]
+    fn datatype_mismatch_is_strict_only() {
+        let s = schema();
+        let mut g = PropertyGraph::new();
+        g.add_node(
+            Node::new(1, LabelSet::single("Person"))
+                .with_prop("name", "x")
+                .with_prop("age", PropertyValue::Str("not a number".into())),
+        )
+        .unwrap();
+        assert!(validate(&g, &s, SchemaMode::Loose).is_valid());
+        let strict = validate(&g, &s, SchemaMode::Strict);
+        assert!(matches!(
+            strict.violations.as_slice(),
+            [Violation::DatatypeMismatch { declared: DataType::Int, observed: DataType::Str, .. }]
+        ));
+    }
+
+    #[test]
+    fn int_value_is_admitted_where_float_declared() {
+        // Generalization lattice in action: a schema learned from mixed
+        // int/float values declares DOUBLE, which admits INT values.
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("T")).with_prop("x", 1.5f64))
+            .unwrap();
+        g.add_node(Node::new(2, LabelSet::single("T")).with_prop("x", 2i64))
+            .unwrap();
+        let s = PgHive::new(HiveConfig::default()).discover_graph(&g).schema;
+        let report = validate(&g, &s, SchemaMode::Strict);
+        assert!(report.is_valid(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn endpoint_mismatch_detected() {
+        let s = schema();
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("Org")).with_prop("url", "u"))
+            .unwrap();
+        g.add_node(Node::new(2, LabelSet::single("Org")).with_prop("url", "v"))
+            .unwrap();
+        // WORKS_AT from Org to Org — source side violates Person.
+        g.add_edge(
+            Edge::new(9, NodeId(1), NodeId(2), LabelSet::single("WORKS_AT"))
+                .with_prop("from", 1i64),
+        )
+        .unwrap();
+        let strict = validate(&g, &s, SchemaMode::Strict);
+        assert!(strict
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::EndpointMismatch { source_side: true, .. })));
+    }
+
+    #[test]
+    fn cardinality_bound_enforced() {
+        // Training data has each Person at exactly one Org (max_out 1).
+        let s = schema();
+        let mut g = PropertyGraph::new();
+        g.add_node(
+            Node::new(1, LabelSet::single("Person"))
+                .with_prop("name", "x")
+                .with_prop("age", 1i64),
+        )
+        .unwrap();
+        g.add_node(Node::new(2, LabelSet::single("Org")).with_prop("url", "a"))
+            .unwrap();
+        g.add_node(Node::new(3, LabelSet::single("Org")).with_prop("url", "b"))
+            .unwrap();
+        for (eid, tgt) in [(10u64, 2u64), (11, 3)] {
+            g.add_edge(
+                Edge::new(eid, NodeId(1), NodeId(tgt), LabelSet::single("WORKS_AT"))
+                    .with_prop("from", 1i64),
+            )
+            .unwrap();
+        }
+        let strict = validate(&g, &s, SchemaMode::Strict);
+        assert!(
+            strict.violations.iter().any(|v| matches!(
+                v,
+                Violation::CardinalityExceeded { out_side: true, observed: 2, bound: 1, .. }
+            )),
+            "violations: {:?}",
+            strict.violations
+        );
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_valid() {
+        let report = validate(&PropertyGraph::new(), &schema(), SchemaMode::Strict);
+        assert!(report.is_valid());
+        assert_eq!(report.nodes_checked, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for schema serialization: arbitrary schemas must
+//! survive JSON round-trips, and every serializer must be total.
+
+use pg_hive::{serialize, SchemaMode};
+use pg_model::{
+    Cardinality, DataType, EdgeType, LabelSet, NodeType, Presence, PropertySpec, SchemaGraph,
+    TypeId,
+};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = PropertySpec> {
+    (
+        prop::option::of(prop::sample::select(vec![
+            DataType::Int,
+            DataType::Float,
+            DataType::Bool,
+            DataType::Date,
+            DataType::DateTime,
+            DataType::Str,
+        ])),
+        prop::option::of(prop::bool::ANY.prop_map(|m| {
+            if m {
+                Presence::Mandatory
+            } else {
+                Presence::Optional
+            }
+        })),
+    )
+        .prop_map(|(datatype, presence)| PropertySpec { datatype, presence })
+}
+
+fn arb_schema() -> impl Strategy<Value = SchemaGraph> {
+    let node_type = (
+        prop::collection::vec("[A-Z][a-z]{0,6}", 0..3),
+        prop::collection::btree_map("[a-z_]{1,8}", arb_spec(), 0..5),
+    );
+    let edge_type = (
+        prop::collection::vec("[A-Z_]{1,8}", 0..2),
+        prop::collection::btree_map("[a-z_]{1,8}", arb_spec(), 0..3),
+        prop::collection::vec("[A-Z][a-z]{0,6}", 0..2),
+        prop::collection::vec("[A-Z][a-z]{0,6}", 0..2),
+        prop::option::of((1u64..10, 1u64..10)),
+    );
+    (
+        prop::collection::vec(node_type, 0..5),
+        prop::collection::vec(edge_type, 0..5),
+    )
+        .prop_map(|(nodes, edges)| {
+            let mut s = SchemaGraph::new();
+            for (labels, props) in nodes {
+                let labels = LabelSet::from_iter(labels);
+                let mut t = NodeType::new(TypeId(0), labels.clone(), std::iter::empty());
+                t.is_abstract = labels.is_empty();
+                for (k, spec) in props {
+                    t.properties.insert(pg_model::sym(&k), spec);
+                }
+                s.push_node_type(t);
+            }
+            for (labels, props, src, tgt, card) in edges {
+                let mut t = EdgeType::new(
+                    TypeId(0),
+                    LabelSet::from_iter(labels),
+                    std::iter::empty(),
+                    LabelSet::from_iter(src),
+                    LabelSet::from_iter(tgt),
+                );
+                for (k, spec) in props {
+                    t.properties.insert(pg_model::sym(&k), spec);
+                }
+                t.cardinality = card.map(|(max_out, max_in)| Cardinality { max_out, max_in });
+                s.push_edge_type(t);
+            }
+            s
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_round_trips_any_schema(schema in arb_schema()) {
+        let json = serialize::to_json(&schema);
+        let back: SchemaGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(schema, back);
+    }
+
+    #[test]
+    fn pg_schema_serializers_are_total_and_cover_types(schema in arb_schema()) {
+        for mode in [SchemaMode::Strict, SchemaMode::Loose] {
+            let text = serialize::to_pg_schema(&schema, mode);
+            prop_assert!(text.starts_with("CREATE GRAPH TYPE"));
+            for t in &schema.node_types {
+                for l in t.labels.iter() {
+                    prop_assert!(text.contains(l.as_ref()), "{mode:?} missing {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xsd_is_total_and_balanced(schema in arb_schema()) {
+        let xsd = serialize::to_xsd(&schema);
+        prop_assert!(xsd.starts_with("<?xml"));
+        prop_assert!(xsd.ends_with("</xs:schema>\n"));
+        // Every complexType is closed.
+        prop_assert_eq!(
+            xsd.matches("<xs:complexType>").count(),
+            xsd.matches("</xs:complexType>").count()
+        );
+        prop_assert_eq!(
+            xsd.matches("<xs:sequence>").count(),
+            xsd.matches("</xs:sequence>").count()
+        );
+    }
+}

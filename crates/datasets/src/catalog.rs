@@ -1,0 +1,669 @@
+//! The eight benchmark dataset specifications (Table 2).
+//!
+//! Each spec reproduces the original's *structural* profile — node/edge
+//! type counts, individual label counts, multi-label combinations, and
+//! the optional-property structure that drives pattern multiplicity —
+//! at a generator-friendly scale. Generated sizes keep the original
+//! node/edge balance within an order of magnitude (HET.IO's extreme 1:48
+//! ratio is softened so the full 320-cell evaluation grid stays
+//! laptop-sized; DESIGN.md documents the substitution).
+//!
+//! | Dataset | orig. nodes | orig. edges | NT | ET | node labels | edge labels |
+//! |---------|------------:|------------:|---:|---:|---:|---:|
+//! | POLE    |      61,521 |     105,840 | 11 | 17 | 11 | 16 |
+//! | MB6     |     486,267 |     961,571 |  4 |  5 | 10 |  3 |
+//! | HET.IO  |      47,031 |   2,250,197 | 11 | 24 | 12 | 24 |
+//! | FIB25   |     802,473 |   1,625,428 |  4 |  5 | 10 |  3 |
+//! | ICIJ    |   2,016,523 |   3,339,267 |  5 | 14 |  6 | 14 |
+//! | CORD19  |   5,485,296 |   5,720,776 | 16 | 16 | 16 | 16 |
+//! | LDBC    |   3,181,724 |  12,505,476 |  7 | 17 |  8 | 15 |
+//! | IYP     |  44,539,999 | 251,432,812 | 86 | 25 | 33 | 25 |
+
+use crate::gen::prop;
+use crate::spec::{CardStyle, DatasetSpec, EdgeTypeSpec, GenValue, NodeTypeSpec, PropSpec};
+use GenValue::{Date, DateTime, Float, Int, MixedDateStr, MixedIntStr, Str};
+
+fn nt(name: &str, labels: &[&str], props: Vec<PropSpec>, weight: f64) -> NodeTypeSpec {
+    NodeTypeSpec {
+        name: name.to_owned(),
+        labels: labels.iter().map(|s| (*s).to_owned()).collect(),
+        props,
+        weight,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn et(
+    name: &str,
+    labels: &[&str],
+    props: Vec<PropSpec>,
+    src: &str,
+    tgt: &str,
+    weight: f64,
+    cardinality: CardStyle,
+) -> EdgeTypeSpec {
+    EdgeTypeSpec {
+        name: name.to_owned(),
+        labels: labels.iter().map(|s| (*s).to_owned()).collect(),
+        props,
+        src: src.to_owned(),
+        tgt: tgt.to_owned(),
+        weight,
+        cardinality,
+    }
+}
+
+/// POLE: crime-investigation benchmark (Person-Object-Location-Event).
+/// 11 node types / 17 edge types, flat structure, few patterns.
+pub fn pole() -> DatasetSpec {
+    use CardStyle::*;
+    DatasetSpec {
+        name: "POLE".into(),
+        real: false,
+        full_nodes: 61_521,
+        full_edges: 105_840,
+        nodes: 3_000,
+        edges: 5_200,
+        node_types: vec![
+            nt("Person", &["Person"], vec![
+                prop("name", Str, 1.0), prop("surname", Str, 1.0), prop("nhs_no", Str, 1.0),
+            ], 8.0),
+            nt("Officer", &["Officer"], vec![
+                prop("badge_no", Str, 1.0), prop("rank", Str, 1.0), prop("name", Str, 1.0),
+            ], 2.0),
+            nt("Crime", &["Crime"], vec![
+                prop("date", Date, 1.0), prop("type", Str, 1.0), prop("outcome", Str, 0.8),
+                prop("note", Str, 0.3),
+            ], 6.0),
+            nt("Location", &["Location"], vec![
+                prop("address", Str, 1.0), prop("postcode", Str, 1.0),
+                prop("latitude", Float, 1.0), prop("longitude", Float, 1.0),
+            ], 6.0),
+            nt("Phone", &["Phone"], vec![prop("phoneNo", Str, 1.0)], 3.0),
+            nt("Email", &["Email"], vec![prop("email_address", Str, 1.0)], 2.0),
+            nt("Vehicle", &["Vehicle"], vec![
+                prop("make", Str, 1.0), prop("model", Str, 1.0), prop("reg", Str, 1.0),
+                prop("year", Int, 0.9),
+            ], 2.0),
+            nt("Area", &["Area"], vec![prop("areaCode", Str, 1.0)], 1.0),
+            nt("PostCode", &["PostCode"], vec![prop("code", Str, 1.0)], 2.0),
+            nt("Object", &["Object"], vec![prop("description", Str, 1.0), prop("id", Int, 1.0)], 1.0),
+            nt("PhoneCall", &["PhoneCall"], vec![
+                prop("call_date", Date, 1.0), prop("call_time", Str, 1.0),
+                prop("call_duration", Int, 1.0), prop("call_type", Str, 1.0),
+            ], 4.0),
+        ],
+        edge_types: vec![
+            et("KNOWS", &["KNOWS"], vec![], "Person", "Person", 6.0, ManyToMany),
+            et("KNOWS_LW", &["KNOWS_LW"], vec![], "Person", "Person", 2.0, ManyToMany),
+            et("KNOWS_SN", &["KNOWS_SN"], vec![], "Person", "Person", 2.0, ManyToMany),
+            // Phone-to-phone links reuse the KNOWS label (17 edge types,
+            // 16 distinct edge labels, matching Table 2).
+            et("KNOWS_PHONE", &["KNOWS"], vec![], "Phone", "Phone", 1.0, ManyToMany),
+            et("FAMILY_REL", &["FAMILY_REL"], vec![prop("rel_type", Str, 1.0)], "Person", "Person", 2.0, ManyToMany),
+            et("CURRENT_ADDRESS", &["CURRENT_ADDRESS"], vec![], "Person", "Location", 4.0, ManyToOne),
+            et("HAS_PHONE", &["HAS_PHONE"], vec![], "Person", "Phone", 3.0, ManyToOne),
+            et("HAS_EMAIL", &["HAS_EMAIL"], vec![], "Person", "Email", 2.0, ManyToOne),
+            et("OCCURRED_AT", &["OCCURRED_AT"], vec![], "Crime", "Location", 5.0, ManyToOne),
+            et("INVESTIGATED_BY", &["INVESTIGATED_BY"], vec![], "Crime", "Officer", 4.0, ManyToOne),
+            et("PARTY_TO", &["PARTY_TO"], vec![], "Person", "Crime", 4.0, ManyToMany),
+            et("INVOLVED_IN", &["INVOLVED_IN"], vec![], "Vehicle", "Crime", 1.0, ManyToMany),
+            et("CALLED", &["CALLED"], vec![], "PhoneCall", "Phone", 3.0, ManyToOne),
+            et("CALLER", &["CALLER"], vec![], "PhoneCall", "Phone", 3.0, ManyToOne),
+            et("LOCATION_IN_AREA", &["LOCATION_IN_AREA"], vec![], "Location", "Area", 2.0, ManyToOne),
+            et("HAS_POSTCODE", &["HAS_POSTCODE"], vec![], "Location", "PostCode", 2.0, ManyToOne),
+            et("POSTCODE_IN_AREA", &["POSTCODE_IN_AREA"], vec![], "PostCode", "Area", 1.0, ManyToOne),
+        ],
+        extra_node_label: None,
+    }
+}
+
+/// MB6: fruit-fly mushroom-body connectome. 4 node types with heavy
+/// multi-labeling (10 individual labels) and many structural variants.
+pub fn mb6() -> DatasetSpec {
+    connectome_spec("MB6", 486_267, 961_571, 4_000, 7_900, 4)
+}
+
+/// FIB25: fruit-fly medulla connectome; same model family as MB6.
+pub fn fib25() -> DatasetSpec {
+    connectome_spec("FIB25", 802_473, 1_625_428, 4_000, 8_100, 3)
+}
+
+/// Shared connectome shape: Neuron (multi-labeled), Synapse variants,
+/// Meta. `opt_props` controls pattern multiplicity (52 for MB6, 31 for
+/// FIB25 in the originals).
+fn connectome_spec(
+    name: &str,
+    full_nodes: usize,
+    full_edges: usize,
+    nodes: usize,
+    edges: usize,
+    opt_props: usize,
+) -> DatasetSpec {
+    use CardStyle::*;
+    let mut neuron_props = vec![
+        prop("bodyId", Int, 1.0),
+        prop("status", Str, 1.0),
+        prop("pre", Int, 0.9),
+        prop("post", Int, 0.9),
+    ];
+    for i in 0..opt_props {
+        neuron_props.push(prop(&format!("roiInfo{i}"), Str, 0.45));
+    }
+    DatasetSpec {
+        name: name.into(),
+        real: false,
+        full_nodes,
+        full_edges,
+        nodes,
+        edges,
+        node_types: vec![
+            // Multi-label neurons: {Neuron, Cell, <dataset>} etc. — 10
+            // individual labels across 4 types.
+            nt("Neuron", &["Neuron", "Cell", "DataModel"], neuron_props.clone(), 10.0),
+            nt("Segment", &["Segment", "Cell"], vec![
+                prop("bodyId", Int, 1.0),
+                prop("size", Int, 1.0),
+                prop("roi", Str, 0.5),
+            ], 5.0),
+            nt("SynapseSet", &["SynapseSet", "Connectivity", "Element"], vec![
+                prop("timeStamp", DateTime, 1.0),
+            ], 3.0),
+            nt("Meta", &["Meta", "Dataset", "Provenance"], vec![
+                prop("uuid", Str, 1.0),
+                prop("lastDatabaseEdit", DateTime, 1.0),
+                prop("voxelSize", Float, 1.0),
+            ], 1.0),
+        ],
+        edge_types: vec![
+            et("ConnectsTo", &["ConnectsTo"], vec![
+                prop("weight", Int, 1.0),
+                prop("roiInfo", Str, 0.6),
+            ], "Neuron", "Neuron", 12.0, ManyToMany),
+            et("SynapsesTo", &["ConnectsTo"], vec![prop("weight", Int, 1.0)], "Segment", "Neuron", 4.0, ManyToMany),
+            et("Contains", &["Contains"], vec![], "Neuron", "SynapseSet", 4.0, ManyToMany),
+            et("ContainsSeg", &["Contains"], vec![], "Segment", "SynapseSet", 2.0, ManyToMany),
+            et("From", &["From"], vec![], "SynapseSet", "Meta", 1.0, ManyToOne),
+        ],
+        extra_node_label: None,
+    }
+}
+
+/// HET.IO: integrated biomedical knowledge graph — genes, diseases,
+/// compounds… All nodes carry an extra integration label.
+pub fn hetio() -> DatasetSpec {
+    use CardStyle::*;
+    let kinds = [
+        ("Gene", 8.0), ("Disease", 2.0), ("Compound", 3.0), ("Anatomy", 1.0),
+        ("BiologicalProcess", 4.0), ("CellularComponent", 2.0), ("MolecularFunction", 2.0),
+        ("Pathway", 2.0), ("PharmacologicClass", 1.0), ("SideEffect", 3.0), ("Symptom", 1.0),
+    ];
+    let node_types = kinds
+        .iter()
+        .map(|(k, w)| {
+            {
+                let mut props = vec![
+                    prop("identifier", Str, 1.0),
+                    prop("name", Str, 1.0),
+                    prop("source", Str, 1.0),
+                ];
+                // Only a few kinds have an optional license → ~14 node
+                // patterns over 11 types, as in the original.
+                if matches!(*k, "Gene" | "Compound" | "Disease") {
+                    props.push(prop("license", Str, 0.6));
+                }
+                nt(k, &[k], props, *w)
+            }
+        })
+        .collect();
+    let rel = |name: &str, src: &str, tgt: &str, w: f64| {
+        et(name, &[name], vec![prop("sources", Str, 0.8)], src, tgt, w, ManyToMany)
+    };
+    DatasetSpec {
+        name: "HET.IO".into(),
+        real: true,
+        full_nodes: 47_031,
+        full_edges: 2_250_197,
+        nodes: 1_600,
+        edges: 14_000,
+        node_types,
+        edge_types: vec![
+            rel("BINDS_CbG", "Compound", "Gene", 4.0),
+            rel("CAUSES_CcSE", "Compound", "SideEffect", 5.0),
+            rel("TREATS_CtD", "Compound", "Disease", 1.0),
+            rel("PALLIATES_CpD", "Compound", "Disease", 1.0),
+            rel("RESEMBLES_CrC", "Compound", "Compound", 1.0),
+            rel("ASSOCIATES_DaG", "Disease", "Gene", 3.0),
+            rel("DOWNREGULATES_DdG", "Disease", "Gene", 2.0),
+            rel("UPREGULATES_DuG", "Disease", "Gene", 2.0),
+            rel("LOCALIZES_DlA", "Disease", "Anatomy", 2.0),
+            rel("PRESENTS_DpS", "Disease", "Symptom", 2.0),
+            rel("RESEMBLES_DrD", "Disease", "Disease", 1.0),
+            rel("COVARIES_GcG", "Gene", "Gene", 6.0),
+            rel("INTERACTS_GiG", "Gene", "Gene", 6.0),
+            rel("REGULATES_GrG", "Gene", "Gene", 6.0),
+            rel("PARTICIPATES_GpBP", "Gene", "BiologicalProcess", 5.0),
+            rel("PARTICIPATES_GpCC", "Gene", "CellularComponent", 3.0),
+            rel("PARTICIPATES_GpMF", "Gene", "MolecularFunction", 3.0),
+            rel("PARTICIPATES_GpPW", "Gene", "Pathway", 3.0),
+            rel("EXPRESSES_AeG", "Anatomy", "Gene", 8.0),
+            rel("DOWNREGULATES_AdG", "Anatomy", "Gene", 4.0),
+            rel("UPREGULATES_AuG", "Anatomy", "Gene", 4.0),
+            rel("INCLUDES_PCiC", "PharmacologicClass", "Compound", 1.0),
+            rel("DOWNREGULATES_CdG", "Compound", "Gene", 3.0),
+            rel("UPREGULATES_CuG", "Compound", "Gene", 3.0),
+        ],
+        extra_node_label: Some("HetionetNode".into()),
+    }
+}
+
+/// ICIJ: offshore-leaks integration — few types, extreme pattern
+/// heterogeneity (208 node patterns for 5 types in the original).
+pub fn icij() -> DatasetSpec {
+    use CardStyle::*;
+    // Many optional properties → dozens of patterns per type.
+    let heterogeneous = |mandatory: &[(&str, GenValue)], optional: &[&str]| -> Vec<PropSpec> {
+        let mut v: Vec<PropSpec> = mandatory
+            .iter()
+            .map(|(k, g)| prop(k, *g, 1.0))
+            .collect();
+        for k in optional {
+            v.push(prop(k, Str, 0.4));
+        }
+        v
+    };
+    DatasetSpec {
+        name: "ICIJ".into(),
+        real: true,
+        full_nodes: 2_016_523,
+        full_edges: 3_339_267,
+        nodes: 5_000,
+        edges: 8_200,
+        node_types: vec![
+            nt("Entity", &["Entity"], heterogeneous(
+                &[("name", Str), ("jurisdiction", Str)],
+                &["incorporation_date", "inactivation_date", "struck_off_date",
+                  "service_provider", "status", "company_type", "note"],
+            ), 8.0),
+            nt("Officer", &["Officer"], heterogeneous(
+                &[("name", Str)],
+                &["country_codes", "status", "valid_until", "note"],
+            ), 6.0),
+            nt("Intermediary", &["Intermediary"], heterogeneous(
+                &[("name", Str)],
+                &["country_codes", "status", "internal_id", "address"],
+            ), 2.0),
+            nt("Address", &["Address"], heterogeneous(
+                &[("address", Str)],
+                &["country_codes", "valid_until", "icij_id"],
+            ), 4.0),
+            nt("Other", &["Other"], heterogeneous(
+                &[("name", Str)],
+                &["incorporation_date", "jurisdiction", "closed_date", ],
+            ), 1.0),
+        ],
+        edge_types: vec![
+            et("OFFICER_OF", &["officer_of"], vec![prop("link", Str, 0.7), prop("start_date", MixedDateStr { str_frac: 0.02 }, 0.3)], "Officer", "Entity", 6.0, ManyToMany),
+            et("INTERMEDIARY_OF", &["intermediary_of"], vec![prop("link", Str, 0.5)], "Intermediary", "Entity", 3.0, ManyToMany),
+            et("REGISTERED_ADDRESS_E", &["registered_address"], vec![], "Entity", "Address", 4.0, ManyToOne),
+            et("REGISTERED_ADDRESS_O", &["registered_address_officer"], vec![], "Officer", "Address", 2.0, ManyToOne),
+            et("SIMILAR", &["similar"], vec![], "Entity", "Entity", 1.0, ManyToMany),
+            et("SAME_NAME_AS", &["same_name_as"], vec![], "Entity", "Entity", 1.0, ManyToMany),
+            et("SAME_ID_AS", &["same_id_as"], vec![], "Entity", "Entity", 0.5, ManyToMany),
+            et("SAME_AS_OFFICER", &["same_as"], vec![], "Officer", "Officer", 0.5, ManyToMany),
+            et("CONNECTED_TO", &["connected_to"], vec![], "Other", "Entity", 0.5, ManyToMany),
+            et("PROBABLY_SAME", &["probably_same_officer_as"], vec![], "Officer", "Officer", 0.5, ManyToMany),
+            et("UNDERLYING", &["underlying"], vec![], "Entity", "Other", 0.3, ManyToMany),
+            et("ALIAS", &["alias"], vec![], "Officer", "Officer", 0.3, ManyToMany),
+            et("SHAREHOLDER_OF", &["shareholder_of"], vec![prop("link", Str, 0.6)], "Officer", "Entity", 1.5, ManyToMany),
+            et("DIRECTOR_OF", &["director_of"], vec![prop("link", Str, 0.6)], "Officer", "Entity", 1.5, ManyToMany),
+        ],
+        extra_node_label: Some("OffshoreLeaksNode".into()),
+    }
+}
+
+/// CORD19: COVID-19 knowledge graph — 16 node types, 16 edge types,
+/// large but structurally regular.
+pub fn cord19() -> DatasetSpec {
+    use CardStyle::*;
+    let kinds: [(&str, f64); 16] = [
+        ("Paper", 10.0), ("Author", 12.0), ("Affiliation", 3.0), ("Abstract", 8.0),
+        ("BodyText", 10.0), ("Citation", 8.0), ("Journal", 1.0), ("PaperID", 6.0),
+        ("Gene", 4.0), ("Protein", 4.0), ("Disease", 2.0), ("Pathway", 1.0),
+        ("GeneSymbol", 3.0), ("Transcript", 3.0), ("ClinicalTrial", 1.0), ("Patent", 1.0),
+    ];
+    let node_types = kinds
+        .iter()
+        .map(|(k, w)| {
+            let mut props = vec![prop("id", Str, 1.0), prop("source", Str, 0.9)];
+            match *k {
+                "Paper" => {
+                    props.push(prop("title", Str, 1.0));
+                    props.push(prop("publish_time", MixedDateStr { str_frac: 0.03 }, 0.8));
+                    props.push(prop("cord_uid", Str, 1.0));
+                }
+                "Author" => {
+                    props.push(prop("first", Str, 0.9));
+                    props.push(prop("last", Str, 1.0));
+                    props.push(prop("middle", Str, 0.3));
+                }
+                "Gene" | "Protein" => {
+                    props.push(prop("sid", MixedIntStr { str_frac: 0.02 }, 1.0));
+                    props.push(prop("taxid", Int, 0.9));
+                }
+                "Citation" => {
+                    props.push(prop("year", MixedIntStr { str_frac: 0.05 }, 0.7));
+                }
+                _ => props.push(prop("name", Str, 0.95)),
+            }
+            nt(k, &[k], props, *w)
+        })
+        .collect();
+    let rel = |name: &str, src: &str, tgt: &str, w: f64, c: CardStyle| {
+        et(name, &[name], vec![], src, tgt, w, c)
+    };
+    DatasetSpec {
+        name: "CORD19".into(),
+        real: true,
+        full_nodes: 5_485_296,
+        full_edges: 5_720_776,
+        nodes: 6_000,
+        edges: 6_300,
+        node_types,
+        edge_types: vec![
+            rel("PAPER_HAS_ABSTRACT", "Paper", "Abstract", 5.0, ManyToOne),
+            rel("PAPER_HAS_BODYTEXT", "Paper", "BodyText", 6.0, ManyToMany),
+            rel("PAPER_HAS_CITATION", "Paper", "Citation", 6.0, ManyToMany),
+            rel("PAPER_HAS_AUTHOR", "Paper", "Author", 8.0, ManyToMany),
+            rel("PAPER_HAS_PAPERID", "Paper", "PaperID", 4.0, ManyToOne),
+            rel("PAPER_IN_JOURNAL", "Paper", "Journal", 3.0, ManyToOne),
+            rel("AUTHOR_HAS_AFFILIATION", "Author", "Affiliation", 4.0, ManyToOne),
+            rel("MENTIONS_GENE", "BodyText", "Gene", 3.0, ManyToMany),
+            rel("MENTIONS_PROTEIN", "BodyText", "Protein", 3.0, ManyToMany),
+            rel("MENTIONS_DISEASE", "Abstract", "Disease", 2.0, ManyToMany),
+            rel("GENE_CODES_PROTEIN", "Gene", "Protein", 2.0, ManyToOne),
+            rel("GENE_HAS_SYMBOL", "Gene", "GeneSymbol", 2.0, ManyToOne),
+            rel("GENE_HAS_TRANSCRIPT", "Gene", "Transcript", 2.0, ManyToMany),
+            rel("PROTEIN_IN_PATHWAY", "Protein", "Pathway", 1.0, ManyToMany),
+            rel("TRIAL_STUDIES_DISEASE", "ClinicalTrial", "Disease", 0.5, ManyToMany),
+            rel("PATENT_CITES_PAPER", "Patent", "Paper", 0.5, ManyToMany),
+        ],
+        extra_node_label: None,
+    }
+}
+
+/// LDBC SNB: the social-network benchmark — 7 node types (8 labels via
+/// the Message supertype label), 17 edge types, few patterns.
+pub fn ldbc() -> DatasetSpec {
+    use CardStyle::*;
+    DatasetSpec {
+        name: "LDBC".into(),
+        real: false,
+        full_nodes: 3_181_724,
+        full_edges: 12_505_476,
+        nodes: 4_000,
+        edges: 15_700,
+        node_types: vec![
+            nt("Person", &["Person"], vec![
+                prop("firstName", Str, 1.0), prop("lastName", Str, 1.0),
+                prop("gender", Str, 1.0), prop("birthday", Date, 1.0),
+                prop("creationDate", DateTime, 1.0), prop("browserUsed", Str, 1.0),
+                prop("locationIP", Str, 1.0),
+            ], 2.0),
+            nt("Post", &["Message", "Post"], vec![
+                prop("creationDate", DateTime, 1.0), prop("browserUsed", Str, 1.0),
+                prop("locationIP", Str, 1.0), prop("content", Str, 0.7),
+                prop("imageFile", Str, 0.3), prop("length", Int, 1.0),
+                prop("language", Str, 0.7),
+            ], 8.0),
+            nt("Comment", &["Comment", "Message"], vec![
+                prop("creationDate", DateTime, 1.0), prop("browserUsed", Str, 1.0),
+                prop("locationIP", Str, 1.0), prop("content", Str, 1.0),
+                prop("length", Int, 1.0),
+            ], 10.0),
+            nt("Forum", &["Forum"], vec![
+                prop("title", Str, 1.0), prop("creationDate", DateTime, 1.0),
+            ], 2.0),
+            nt("Organisation", &["Organisation"], vec![
+                prop("name", Str, 1.0), prop("url", Str, 1.0), prop("type", Str, 1.0),
+            ], 1.0),
+            nt("Place", &["Place"], vec![
+                prop("name", Str, 1.0), prop("url", Str, 1.0), prop("type", Str, 1.0),
+            ], 1.0),
+            nt("Tag", &["Tag"], vec![
+                prop("name", Str, 1.0), prop("url", Str, 1.0),
+            ], 1.5),
+        ],
+        edge_types: vec![
+            et("KNOWS", &["KNOWS"], vec![prop("creationDate", DateTime, 1.0)], "Person", "Person", 6.0, ManyToMany),
+            et("HAS_CREATOR_POST", &["HAS_CREATOR"], vec![], "Post", "Person", 7.0, ManyToOne),
+            et("HAS_CREATOR_COMMENT", &["HAS_CREATOR"], vec![], "Comment", "Person", 9.0, ManyToOne),
+            et("LIKES_POST", &["LIKES"], vec![prop("creationDate", DateTime, 1.0)], "Person", "Post", 6.0, ManyToMany),
+            et("LIKES_COMMENT", &["LIKES_COMMENT"], vec![prop("creationDate", DateTime, 1.0)], "Person", "Comment", 6.0, ManyToMany),
+            et("REPLY_OF_POST", &["REPLY_OF"], vec![], "Comment", "Post", 6.0, ManyToOne),
+            et("REPLY_OF_COMMENT", &["REPLY_OF_COMMENT"], vec![], "Comment", "Comment", 4.0, ManyToOne),
+            et("CONTAINER_OF", &["CONTAINER_OF"], vec![], "Forum", "Post", 5.0, OneToOne),
+            et("HAS_MEMBER", &["HAS_MEMBER"], vec![prop("joinDate", DateTime, 1.0)], "Forum", "Person", 6.0, ManyToMany),
+            et("HAS_MODERATOR", &["HAS_MODERATOR"], vec![], "Forum", "Person", 1.0, ManyToOne),
+            et("HAS_INTEREST", &["HAS_INTEREST"], vec![], "Person", "Tag", 3.0, ManyToMany),
+            et("HAS_TAG_POST", &["HAS_TAG"], vec![], "Post", "Tag", 4.0, ManyToMany),
+            et("HAS_TAG_COMMENT", &["HAS_TAG"], vec![], "Comment", "Tag", 4.0, ManyToMany),
+            et("IS_LOCATED_IN_PERSON", &["IS_LOCATED_IN"], vec![], "Person", "Place", 2.0, ManyToOne),
+            et("IS_LOCATED_IN_ORG", &["IS_PART_OF"], vec![], "Organisation", "Place", 1.0, ManyToOne),
+            et("STUDY_AT", &["STUDY_AT"], vec![prop("classYear", Int, 1.0)], "Person", "Organisation", 1.5, ManyToOne),
+            et("WORK_AT", &["WORK_AT"], vec![prop("workFrom", Int, 1.0)], "Person", "Organisation", 2.0, ManyToMany),
+        ],
+        extra_node_label: None,
+    }
+}
+
+/// IYP: the Internet Yellow Pages — 86 node types built from 33 labels
+/// (heavy multi-labeling), 25 edge types, and by far the most patterns
+/// (1210 / 790 in the original). Types are generated programmatically.
+pub fn iyp() -> DatasetSpec {
+    use CardStyle::*;
+    const LABELS: [&str; 33] = [
+        "AS", "Prefix", "IP", "DomainName", "HostName", "URL", "IXP", "Facility",
+        "Country", "Organization", "Name", "PeeringLAN", "BGPCollector", "Ranking",
+        "AtlasProbe", "AtlasMeasurement", "OpaqueID", "Tag", "CaidaIXID", "PeeringdbOrgID",
+        "PeeringdbFacID", "PeeringdbIXID", "PeeringdbNetID", "IPVersion", "Estimate",
+        "AuthoritativeNameServer", "Resolver", "PopularHostName", "TopDomain",
+        "GeoPrefix", "RPKIRoute", "IRRRoute", "CollectorPeer",
+    ];
+    let prop_pool = [
+        "asn", "name", "prefix", "af", "country_code", "registry", "source",
+        "reference_org", "reference_url", "reference_time", "rank", "value",
+        "descr", "origin", "ttl", "visibility", "hege", "delegated",
+    ];
+    let mut node_types = Vec::with_capacity(86);
+    for i in 0..86usize {
+        // First 33 types: single label. Remaining 53: two-label combos
+        // chosen so every set is distinct.
+        let labels: Vec<&str> = if i < 33 {
+            vec![LABELS[i]]
+        } else {
+            // Unrank a distinct unordered pair: there are 33·32/2 = 528
+            // pairs; the stride 173 is coprime with 528, so the 53
+            // indices below are pairwise distinct.
+            let k = (i - 33) * 173 % 528;
+            let (a, b) = unrank_pair(k, 33);
+            vec![LABELS[a], LABELS[b]]
+        };
+        let mut props = vec![prop(prop_pool[i % prop_pool.len()], Str, 1.0)];
+        // 2–4 extra properties, a couple optional → ~14 patterns/type.
+        props.push(prop(prop_pool[(i * 3 + 1) % prop_pool.len()], Int, 1.0));
+        props.push(prop(prop_pool[(i * 5 + 2) % prop_pool.len()], Str, 0.5));
+        props.push(prop(prop_pool[(i * 7 + 3) % prop_pool.len()], MixedIntStr { str_frac: 0.01 }, 0.4));
+        node_types.push(NodeTypeSpec {
+            name: format!("iyp_t{i:02}"),
+            labels: labels.into_iter().map(str::to_owned).collect(),
+            props,
+            weight: 1.0 + (i % 7) as f64,
+        });
+    }
+    let edge_labels = [
+        "ORIGINATE", "DEPENDS_ON", "MANAGED_BY", "RESOLVES_TO", "PART_OF", "MEMBER_OF",
+        "PEERS_WITH", "LOCATED_IN", "COUNTRY", "WEBSITE", "NAME", "RANK", "CATEGORIZED",
+        "ASSIGNED", "AVAILABLE", "REGISTERED", "ROUTE_ORIGIN", "QUERIED_FROM", "SIBLING_OF",
+        "ALIAS_OF", "TARGET", "CENSORED", "POPULATION", "EXTERNAL_ID", "PARENT",
+    ];
+    let mut edge_types = Vec::with_capacity(25);
+    for (i, lbl) in edge_labels.iter().enumerate() {
+        let src = format!("iyp_t{:02}", (i * 13 + 2) % 86);
+        let tgt = format!("iyp_t{:02}", (i * 17 + 40) % 86);
+        let mut props = vec![prop("reference_time", DateTime, 0.8)];
+        if i % 3 == 0 {
+            props.push(prop("reference_org", Str, 0.9));
+        }
+        if i % 4 == 0 {
+            props.push(prop("count", Int, 0.5));
+        }
+        edge_types.push(EdgeTypeSpec {
+            name: format!("iyp_e_{lbl}"),
+            labels: vec![(*lbl).to_owned()],
+            props,
+            src,
+            tgt,
+            weight: 1.0 + (i % 5) as f64,
+            cardinality: if i % 3 == 0 { ManyToOne } else { ManyToMany },
+        });
+    }
+    DatasetSpec {
+        name: "IYP".into(),
+        real: true,
+        full_nodes: 44_539_999,
+        full_edges: 251_432_812,
+        nodes: 9_000,
+        edges: 26_000,
+        node_types,
+        edge_types,
+        extra_node_label: None,
+    }
+}
+
+/// Unrank index `k` into the `k`-th unordered pair `(a, b)` with
+/// `a < b < n`, enumerated as (0,1),(0,2),…,(0,n-1),(1,2),….
+fn unrank_pair(mut k: usize, n: usize) -> (usize, usize) {
+    for a in 0..n - 1 {
+        let row = n - 1 - a;
+        if k < row {
+            return (a, a + 1 + k);
+        }
+        k -= row;
+    }
+    unreachable!("pair index out of range");
+}
+
+/// All eight benchmark specs, in the Table 2 order.
+pub fn all_specs() -> Vec<DatasetSpec> {
+    vec![
+        pole(),
+        mb6(),
+        hetio(),
+        fib25(),
+        icij(),
+        cord19(),
+        ldbc(),
+        iyp(),
+    ]
+}
+
+/// Look up a spec by (case-insensitive) name.
+pub fn spec_by_name(name: &str) -> Option<DatasetSpec> {
+    all_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use pg_model::GraphStats;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn catalog_has_eight_datasets() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 8);
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["POLE", "MB6", "HET.IO", "FIB25", "ICIJ", "CORD19", "LDBC", "IYP"]
+        );
+        assert!(spec_by_name("pole").is_some());
+        assert!(spec_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn type_and_label_counts_match_table2() {
+        let expect: [(&str, usize, usize, usize, usize); 8] = [
+            // (name, node types, edge types, node labels, edge labels)
+            ("POLE", 11, 17, 11, 16),
+            ("MB6", 4, 5, 10, 3),
+            ("HET.IO", 11, 24, 12, 24),
+            ("FIB25", 4, 5, 10, 3),
+            ("ICIJ", 5, 14, 6, 14),
+            ("CORD19", 16, 16, 16, 16),
+            ("LDBC", 7, 17, 8, 15),
+            ("IYP", 86, 25, 33, 25),
+        ];
+        for (name, nt, et, nl, el) in expect {
+            let s = spec_by_name(name).unwrap();
+            assert_eq!(s.node_types.len(), nt, "{name} node types");
+            assert_eq!(s.edge_types.len(), et, "{name} edge types");
+            assert_eq!(s.node_label_count(), nl, "{name} node labels");
+            assert_eq!(s.edge_label_count(), el, "{name} edge labels");
+        }
+    }
+
+    #[test]
+    fn iyp_label_sets_are_distinct() {
+        let s = iyp();
+        let sets: BTreeSet<Vec<&str>> = s
+            .node_types
+            .iter()
+            .map(|t| {
+                let mut v: Vec<&str> = t.labels.iter().map(String::as_str).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        assert_eq!(sets.len(), 86, "every type needs a distinct label set");
+    }
+
+    #[test]
+    fn every_edge_type_references_existing_node_types() {
+        for spec in all_specs() {
+            let names: BTreeSet<&str> =
+                spec.node_types.iter().map(|t| t.name.as_str()).collect();
+            for e in &spec.edge_types {
+                assert!(names.contains(e.src.as_str()), "{} src {}", spec.name, e.src);
+                assert!(names.contains(e.tgt.as_str()), "{} tgt {}", spec.name, e.tgt);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_graphs_have_plausible_stats() {
+        for spec in all_specs() {
+            let small = spec.clone().scaled(0.1);
+            let (g, gt) = generate(&small, 11);
+            let stats = GraphStats::of(&g);
+            assert!(stats.nodes > 0, "{}", spec.name);
+            assert!(stats.edges > 0, "{}", spec.name);
+            assert_eq!(
+                gt.node_type_count(),
+                spec.node_types.len(),
+                "{}: all node types instantiated",
+                spec.name
+            );
+            // Patterns exceed types wherever optional props exist.
+            assert!(
+                stats.node_patterns >= stats.node_label_sets,
+                "{}",
+                spec.name
+            );
+        }
+    }
+}

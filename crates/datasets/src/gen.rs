@@ -1,0 +1,266 @@
+//! The deterministic dataset generator: spec + seed → graph + ground
+//! truth.
+
+use crate::ground_truth::GroundTruth;
+use crate::spec::{CardStyle, DatasetSpec, GenValue, PropSpec};
+use pg_model::{Date, DateTime, Edge, LabelSet, Node, NodeId, PropertyGraph, PropertyValue};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Generate a property graph and its ground truth from a spec.
+/// Deterministic given `(spec, seed)`.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> (PropertyGraph, GroundTruth) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut graph = PropertyGraph::with_capacity(spec.nodes, spec.edges);
+    let mut gt = GroundTruth::default();
+
+    // --- Nodes: allocate counts per type by weight.
+    let total_w: f64 = spec.node_types.iter().map(|t| t.weight).sum();
+    let mut next_id: u64 = 0;
+    let mut members: HashMap<&str, Vec<NodeId>> = HashMap::new();
+    for (ti, t) in spec.node_types.iter().enumerate() {
+        let share = if total_w > 0.0 { t.weight / total_w } else { 0.0 };
+        let mut count = (spec.nodes as f64 * share).round() as usize;
+        if ti == spec.node_types.len() - 1 {
+            // Give the remainder to the last type so totals are exact-ish.
+            let assigned: usize = members.values().map(Vec::len).sum();
+            count = spec.nodes.saturating_sub(assigned);
+        }
+        count = count.max(1);
+        let mut labels: Vec<String> = t.labels.clone();
+        if let Some(extra) = &spec.extra_node_label {
+            labels.push(extra.clone());
+        }
+        let label_set = LabelSet::from_iter(labels.iter());
+        for _ in 0..count {
+            let mut node = Node::new(next_id, label_set.clone());
+            for p in &t.props {
+                if rng.gen::<f64>() < p.presence {
+                    node.props
+                        .insert(pg_model::sym(&p.key), gen_value(&p.value, &mut rng));
+                }
+            }
+            let id = graph.add_node(node).expect("fresh id");
+            gt.node_type.insert(id, t.name.clone());
+            members.entry(t.name.as_str()).or_default().push(id);
+            next_id += 1;
+        }
+    }
+
+    // --- Edges.
+    let total_ew: f64 = spec.edge_types.iter().map(|t| t.weight).sum();
+    let mut edge_id: u64 = 1_000_000_000;
+    for (ti, t) in spec.edge_types.iter().enumerate() {
+        let (Some(srcs), Some(tgts)) = (
+            members.get(t.src.as_str()),
+            members.get(t.tgt.as_str()),
+        ) else {
+            continue;
+        };
+        if srcs.is_empty() || tgts.is_empty() {
+            continue;
+        }
+        let share = if total_ew > 0.0 {
+            t.weight / total_ew
+        } else {
+            0.0
+        };
+        let mut count = (spec.edges as f64 * share).round() as usize;
+        if ti == spec.edge_types.len() - 1 {
+            let assigned = graph.edge_count();
+            count = spec.edges.saturating_sub(assigned);
+        }
+        count = count.max(1);
+        let label_set = LabelSet::from_iter(t.labels.iter());
+        for i in 0..count {
+            let (src, tgt) = match t.cardinality {
+                CardStyle::ManyToOne => {
+                    // Each source has one target; targets fan in.
+                    let s = srcs[rng.gen_range(0..srcs.len())];
+                    // Deterministic target per source (stable N:1).
+                    let t_idx = (s.0 as usize) % tgts.len();
+                    (s, tgts[t_idx])
+                }
+                CardStyle::ManyToMany => (
+                    srcs[rng.gen_range(0..srcs.len())],
+                    tgts[rng.gen_range(0..tgts.len())],
+                ),
+                CardStyle::OneToOne => {
+                    let k = i % srcs.len().min(tgts.len());
+                    (srcs[k], tgts[k])
+                }
+            };
+            let mut edge = Edge::new(edge_id, src, tgt, label_set.clone());
+            for p in &t.props {
+                if rng.gen::<f64>() < p.presence {
+                    edge.props
+                        .insert(pg_model::sym(&p.key), gen_value(&p.value, &mut rng));
+                }
+            }
+            let id = graph.add_edge(edge).expect("valid endpoints");
+            gt.edge_type.insert(id, t.name.clone());
+            edge_id += 1;
+        }
+    }
+
+    (graph, gt)
+}
+
+fn gen_value(kind: &GenValue, rng: &mut ChaCha8Rng) -> PropertyValue {
+    match kind {
+        GenValue::Int => PropertyValue::Int(rng.gen_range(0..1_000_000)),
+        GenValue::Float => PropertyValue::Float(rng.gen::<f64>() * 1000.0),
+        GenValue::Bool => PropertyValue::Bool(rng.gen()),
+        GenValue::Date => PropertyValue::Date(random_date(rng)),
+        GenValue::DateTime => PropertyValue::DateTime(
+            DateTime::new(
+                random_date(rng),
+                rng.gen_range(0..24),
+                rng.gen_range(0..60),
+                rng.gen_range(0..60),
+            )
+            .expect("valid time"),
+        ),
+        GenValue::Str => PropertyValue::Str(format!("s{}", rng.gen_range(0..100_000))),
+        GenValue::MixedIntStr { str_frac } => {
+            if rng.gen::<f64>() < *str_frac {
+                PropertyValue::Str(format!("x{}", rng.gen_range(0..1000)))
+            } else {
+                PropertyValue::Int(rng.gen_range(0..1_000_000))
+            }
+        }
+        GenValue::MixedDateStr { str_frac } => {
+            if rng.gen::<f64>() < *str_frac {
+                PropertyValue::Str("not-a-date".to_owned())
+            } else {
+                PropertyValue::Date(random_date(rng))
+            }
+        }
+    }
+}
+
+fn random_date(rng: &mut ChaCha8Rng) -> Date {
+    Date::new(
+        rng.gen_range(1950..2026),
+        rng.gen_range(1..=12),
+        rng.gen_range(1..=28),
+    )
+    .expect("valid date")
+}
+
+/// Helper used by the catalog: a property spec literal.
+pub fn prop(key: &str, value: GenValue, presence: f64) -> PropSpec {
+    PropSpec::new(key, value, presence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EdgeTypeSpec, NodeTypeSpec};
+
+    fn small_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "mini".into(),
+            real: false,
+            full_nodes: 100,
+            full_edges: 100,
+            nodes: 100,
+            edges: 150,
+            node_types: vec![
+                NodeTypeSpec {
+                    name: "Person".into(),
+                    labels: vec!["Person".into()],
+                    props: vec![
+                        prop("name", GenValue::Str, 1.0),
+                        prop("age", GenValue::Int, 0.7),
+                    ],
+                    weight: 3.0,
+                },
+                NodeTypeSpec {
+                    name: "Org".into(),
+                    labels: vec!["Org".into()],
+                    props: vec![prop("url", GenValue::Str, 1.0)],
+                    weight: 1.0,
+                },
+            ],
+            edge_types: vec![EdgeTypeSpec {
+                name: "WORKS_AT".into(),
+                labels: vec!["WORKS_AT".into()],
+                props: vec![prop("from", GenValue::Date, 0.9)],
+                src: "Person".into(),
+                tgt: "Org".into(),
+                weight: 1.0,
+                cardinality: CardStyle::ManyToOne,
+            }],
+            extra_node_label: None,
+        }
+    }
+
+    #[test]
+    fn generates_requested_sizes() {
+        let (g, gt) = generate(&small_spec(), 1);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 150);
+        assert_eq!(gt.node_type.len(), 100);
+        assert_eq!(gt.edge_type.len(), 150);
+        assert_eq!(gt.node_type_count(), 2);
+        assert_eq!(gt.edge_type_count(), 1);
+    }
+
+    #[test]
+    fn weights_control_type_shares() {
+        let (_, gt) = generate(&small_spec(), 2);
+        let persons = gt.node_type.values().filter(|t| *t == "Person").count();
+        assert!((60..=90).contains(&persons), "persons = {persons}");
+    }
+
+    #[test]
+    fn presence_probability_is_respected() {
+        let (g, gt) = generate(&small_spec(), 3);
+        let people: Vec<_> = g
+            .nodes()
+            .filter(|n| gt.node_type[&n.id] == "Person")
+            .collect();
+        let with_age = people
+            .iter()
+            .filter(|n| n.props.contains_key("age"))
+            .count();
+        let frac = with_age as f64 / people.len() as f64;
+        assert!((0.55..=0.85).contains(&frac), "age presence {frac}");
+        // Mandatory property is always there.
+        assert!(people.iter().all(|n| n.props.contains_key("name")));
+    }
+
+    #[test]
+    fn many_to_one_edges_have_unique_targets_per_source() {
+        let (g, _) = generate(&small_spec(), 4);
+        let mut targets: HashMap<NodeId, std::collections::HashSet<NodeId>> = HashMap::new();
+        for e in g.edges() {
+            targets.entry(e.src).or_default().insert(e.tgt);
+        }
+        assert!(
+            targets.values().all(|t| t.len() == 1),
+            "ManyToOne must give each source a single target"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = generate(&small_spec(), 7);
+        let (b, _) = generate(&small_spec(), 7);
+        assert_eq!(a.node_count(), b.node_count());
+        let an: Vec<_> = a.nodes().collect();
+        let bn: Vec<_> = b.nodes().collect();
+        assert_eq!(an, bn);
+    }
+
+    #[test]
+    fn extra_label_is_applied_everywhere() {
+        let mut spec = small_spec();
+        spec.extra_node_label = Some("Integration".into());
+        let (g, _) = generate(&spec, 5);
+        assert!(g.nodes().all(|n| n.labels.contains("Integration")));
+    }
+}

@@ -1,0 +1,46 @@
+//! Ground-truth type assignments for scoring.
+
+use pg_model::{EdgeId, NodeId};
+use std::collections::HashMap;
+
+/// Ground truth: which type each generated node/edge instantiates.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Node id → ground-truth type name.
+    pub node_type: HashMap<NodeId, String>,
+    /// Edge id → ground-truth type name.
+    pub edge_type: HashMap<EdgeId, String>,
+}
+
+impl GroundTruth {
+    /// Number of distinct ground-truth node types actually instantiated.
+    pub fn node_type_count(&self) -> usize {
+        let mut names: Vec<&str> = self.node_type.values().map(String::as_str).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+
+    /// Number of distinct ground-truth edge types actually instantiated.
+    pub fn edge_type_count(&self) -> usize {
+        let mut names: Vec<&str> = self.edge_type.values().map(String::as_str).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_types() {
+        let mut gt = GroundTruth::default();
+        gt.node_type.insert(NodeId(1), "A".into());
+        gt.node_type.insert(NodeId(2), "A".into());
+        gt.node_type.insert(NodeId(3), "B".into());
+        assert_eq!(gt.node_type_count(), 2);
+        assert_eq!(gt.edge_type_count(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pg-datasets
+//!
+//! Synthetic statistical twins of the eight benchmark graphs PG-HIVE is
+//! evaluated on (Table 2): POLE, MB6, HET.IO, FIB25, ICIJ, CORD19, LDBC,
+//! and IYP.
+//!
+//! The real datasets cannot ship with this repository (sizes up to 44.5 M
+//! nodes, external licensing), so each twin reproduces the *structure*
+//! that drives schema-discovery difficulty — the number of node/edge
+//! types, individual labels, multi-label combinations, property-set
+//! overlap, and pattern multiplicity — at a configurable scale. F1*
+//! depends on exactly these structural properties, not on raw size, and
+//! runtimes scale with element count, so method *ratios* remain
+//! meaningful (see DESIGN.md, "Substitutions").
+//!
+//! * [`spec`] — declarative dataset specifications.
+//! * [`gen`] — the deterministic generator (spec + seed → graph + ground
+//!   truth).
+//! * [`catalog`] — the eight benchmark specs.
+//! * [`noise`] — the evaluation's noise model: remove 0–40 % of property
+//!   instances, keep labels on 100/50/0 % of elements (§5, "Noise
+//!   injection").
+//! * [`ground_truth`] — per-instance type assignments for scoring.
+
+pub mod catalog;
+pub mod gen;
+pub mod ground_truth;
+pub mod noise;
+pub mod spec;
+
+pub use catalog::{all_specs, spec_by_name};
+pub use gen::generate;
+pub use ground_truth::GroundTruth;
+pub use noise::{inject_noise, NoiseConfig};
+pub use spec::{CardStyle, DatasetSpec, EdgeTypeSpec, GenValue, NodeTypeSpec, PropSpec};

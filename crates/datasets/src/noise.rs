@@ -1,0 +1,174 @@
+//! Noise injection (§5, "Noise injection").
+//!
+//! The evaluation removes 0–40 % of node/edge property *instances*
+//! uniformly at random and controls label availability at 100 %, 50 %,
+//! or 0 % (an element either keeps its whole label set or loses it).
+
+use pg_model::PropertyGraph;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The noise model's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability of removing each property instance (0.0–0.4 in §5).
+    pub property_removal: f64,
+    /// Probability that an element keeps its labels (1.0, 0.5, 0.0).
+    pub label_availability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl NoiseConfig {
+    /// A clean configuration (no noise, full labels).
+    pub fn clean() -> NoiseConfig {
+        NoiseConfig {
+            property_removal: 0.0,
+            label_availability: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Apply the noise model in place.
+///
+/// # Panics
+/// Panics if probabilities are outside `[0, 1]`.
+pub fn inject_noise(graph: &mut PropertyGraph, cfg: NoiseConfig) {
+    assert!(
+        (0.0..=1.0).contains(&cfg.property_removal),
+        "property_removal out of range"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.label_availability),
+        "label_availability out of range"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    for node in graph.nodes_mut() {
+        if cfg.property_removal > 0.0 {
+            node.props
+                .retain(|_, _| rng.gen::<f64>() >= cfg.property_removal);
+        }
+        if cfg.label_availability < 1.0 && rng.gen::<f64>() >= cfg.label_availability {
+            node.labels = pg_model::LabelSet::empty();
+        }
+    }
+    for edge in graph.edges_mut() {
+        if cfg.property_removal > 0.0 {
+            edge.props
+                .retain(|_, _| rng.gen::<f64>() >= cfg.property_removal);
+        }
+        if cfg.label_availability < 1.0 && rng.gen::<f64>() >= cfg.label_availability {
+            edge.labels = pg_model::LabelSet::empty();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{LabelSet, Node};
+
+    fn graph(n: u64) -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        for i in 0..n {
+            g.add_node(
+                Node::new(i, LabelSet::single("T"))
+                    .with_prop("a", 1i64)
+                    .with_prop("b", 2i64),
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn clean_config_is_identity() {
+        let mut g = graph(50);
+        let before: Vec<_> = g.nodes().cloned().collect();
+        inject_noise(&mut g, NoiseConfig::clean());
+        let after: Vec<_> = g.nodes().cloned().collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn property_removal_rate_is_roughly_respected() {
+        let mut g = graph(2000);
+        inject_noise(
+            &mut g,
+            NoiseConfig {
+                property_removal: 0.4,
+                label_availability: 1.0,
+                seed: 1,
+            },
+        );
+        let remaining: usize = g.nodes().map(|n| n.props.len()).sum();
+        let frac = remaining as f64 / 4000.0;
+        assert!((0.55..=0.65).contains(&frac), "kept {frac}");
+        // Labels untouched at availability 1.0.
+        assert!(g.nodes().all(|n| !n.labels.is_empty()));
+    }
+
+    #[test]
+    fn zero_label_availability_strips_every_label() {
+        let mut g = graph(100);
+        inject_noise(
+            &mut g,
+            NoiseConfig {
+                property_removal: 0.0,
+                label_availability: 0.0,
+                seed: 2,
+            },
+        );
+        assert!(g.nodes().all(|n| n.labels.is_empty()));
+        // Properties untouched.
+        assert!(g.nodes().all(|n| n.props.len() == 2));
+    }
+
+    #[test]
+    fn half_label_availability_is_roughly_half() {
+        let mut g = graph(2000);
+        inject_noise(
+            &mut g,
+            NoiseConfig {
+                property_removal: 0.0,
+                label_availability: 0.5,
+                seed: 3,
+            },
+        );
+        let labeled = g.nodes().filter(|n| !n.labels.is_empty()).count();
+        assert!((900..=1100).contains(&labeled), "labeled = {labeled}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = NoiseConfig {
+            property_removal: 0.3,
+            label_availability: 0.5,
+            seed: 9,
+        };
+        let mut a = graph(100);
+        let mut b = graph(100);
+        inject_noise(&mut a, cfg);
+        inject_noise(&mut b, cfg);
+        let av: Vec<_> = a.nodes().collect();
+        let bv: Vec<_> = b.nodes().collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_probability_panics() {
+        let mut g = graph(1);
+        inject_noise(
+            &mut g,
+            NoiseConfig {
+                property_removal: 1.5,
+                label_availability: 1.0,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Declarative dataset specifications.
+
+/// What kind of values a generated property takes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenValue {
+    /// Integers.
+    Int,
+    /// Floats.
+    Float,
+    /// Booleans.
+    Bool,
+    /// Calendar dates.
+    Date,
+    /// Timestamps.
+    DateTime,
+    /// Strings.
+    Str,
+    /// Mostly integers with a small fraction of string outliers —
+    /// drives the data-type sampling-error experiment (Figure 8).
+    MixedIntStr {
+        /// Fraction of values that are strings.
+        str_frac: f64,
+    },
+    /// Mostly dates with occasional malformed strings.
+    MixedDateStr {
+        /// Fraction of values that are non-date strings.
+        str_frac: f64,
+    },
+}
+
+/// One property of a type.
+#[derive(Debug, Clone)]
+pub struct PropSpec {
+    /// Property key.
+    pub key: String,
+    /// Value kind.
+    pub value: GenValue,
+    /// Probability that an instance carries the property
+    /// (1.0 = mandatory by construction).
+    pub presence: f64,
+}
+
+impl PropSpec {
+    /// Convenience constructor.
+    pub fn new(key: &str, value: GenValue, presence: f64) -> PropSpec {
+        assert!((0.0..=1.0).contains(&presence), "presence out of range");
+        PropSpec {
+            key: key.to_owned(),
+            value,
+            presence,
+        }
+    }
+}
+
+/// A ground-truth node type.
+#[derive(Debug, Clone)]
+pub struct NodeTypeSpec {
+    /// Ground-truth type name (scoring key).
+    pub name: String,
+    /// The label set instances carry (before noise).
+    pub labels: Vec<String>,
+    /// Properties.
+    pub props: Vec<PropSpec>,
+    /// Relative share of the dataset's nodes.
+    pub weight: f64,
+}
+
+/// How edge endpoints are wired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardStyle {
+    /// Each source connects to exactly one target (`N:1` overall).
+    ManyToOne,
+    /// Sources and targets connect freely (`M:N`).
+    ManyToMany,
+    /// Bijective-ish pairing (`0:1`).
+    OneToOne,
+}
+
+/// A ground-truth edge type.
+#[derive(Debug, Clone)]
+pub struct EdgeTypeSpec {
+    /// Ground-truth type name.
+    pub name: String,
+    /// Edge label set.
+    pub labels: Vec<String>,
+    /// Properties.
+    pub props: Vec<PropSpec>,
+    /// Source node-type name.
+    pub src: String,
+    /// Target node-type name.
+    pub tgt: String,
+    /// Relative share of the dataset's edges.
+    pub weight: f64,
+    /// Endpoint wiring.
+    pub cardinality: CardStyle,
+}
+
+/// A full dataset specification.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name (Table 2 row).
+    pub name: String,
+    /// Whether the original is a real (R) or synthetic (S) dataset.
+    pub real: bool,
+    /// Original node count (Table 2).
+    pub full_nodes: usize,
+    /// Original edge count (Table 2).
+    pub full_edges: usize,
+    /// Node count to generate.
+    pub nodes: usize,
+    /// Edge count to generate.
+    pub edges: usize,
+    /// Ground-truth node types.
+    pub node_types: Vec<NodeTypeSpec>,
+    /// Ground-truth edge types.
+    pub edge_types: Vec<EdgeTypeSpec>,
+    /// A label added to every node (HET.IO's `HetionetNode` pattern;
+    /// also used by LDBC/ICIJ/IYP per §5).
+    pub extra_node_label: Option<String>,
+}
+
+impl DatasetSpec {
+    /// Rescale the generated size, keeping at least 50 nodes and the
+    /// original edge/node ratio (capped to keep edge counts sane).
+    pub fn scaled(mut self, factor: f64) -> DatasetSpec {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.nodes = ((self.nodes as f64 * factor) as usize).max(50);
+        self.edges = ((self.edges as f64 * factor) as usize).max(50);
+        self
+    }
+
+    /// Number of distinct individual node labels in the spec.
+    pub fn node_label_count(&self) -> usize {
+        let mut labels: Vec<&str> = self
+            .node_types
+            .iter()
+            .flat_map(|t| t.labels.iter().map(|s| s.as_str()))
+            .chain(self.extra_node_label.as_deref())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Number of distinct individual edge labels in the spec.
+    pub fn edge_label_count(&self) -> usize {
+        let mut labels: Vec<&str> = self
+            .edge_types
+            .iter()
+            .flat_map(|t| t.labels.iter().map(|s| s.as_str()))
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop_spec_validates_presence() {
+        let p = PropSpec::new("age", GenValue::Int, 0.5);
+        assert_eq!(p.key, "age");
+    }
+
+    #[test]
+    #[should_panic(expected = "presence")]
+    fn bad_presence_panics() {
+        let _ = PropSpec::new("x", GenValue::Int, 1.5);
+    }
+
+    #[test]
+    fn scaling_keeps_minimums() {
+        let spec = DatasetSpec {
+            name: "t".into(),
+            real: false,
+            full_nodes: 1000,
+            full_edges: 1000,
+            nodes: 1000,
+            edges: 2000,
+            node_types: vec![],
+            edge_types: vec![],
+            extra_node_label: None,
+        };
+        let s = spec.clone().scaled(0.001);
+        assert_eq!(s.nodes, 50);
+        assert_eq!(s.edges, 50);
+        let s2 = spec.scaled(2.0);
+        assert_eq!(s2.nodes, 2000);
+        assert_eq!(s2.edges, 4000);
+    }
+
+    #[test]
+    fn label_counts_dedup() {
+        let spec = DatasetSpec {
+            name: "t".into(),
+            real: false,
+            full_nodes: 0,
+            full_edges: 0,
+            nodes: 0,
+            edges: 0,
+            node_types: vec![
+                NodeTypeSpec {
+                    name: "a".into(),
+                    labels: vec!["X".into(), "Y".into()],
+                    props: vec![],
+                    weight: 1.0,
+                },
+                NodeTypeSpec {
+                    name: "b".into(),
+                    labels: vec!["Y".into()],
+                    props: vec![],
+                    weight: 1.0,
+                },
+            ],
+            edge_types: vec![],
+            extra_node_label: Some("X".into()),
+        };
+        assert_eq!(spec.node_label_count(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests over the dataset generator and noise model:
+//! whatever scale, seed, and noise level, the invariants the evaluation
+//! relies on must hold.
+
+use pg_datasets::{all_specs, generate, inject_noise, NoiseConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_well_formed_at_any_scale(
+        which in 0usize..8,
+        scale in 0.01f64..0.2,
+        seed in 0u64..1000,
+    ) {
+        let spec = all_specs().swap_remove(which).scaled(scale);
+        let (graph, gt) = generate(&spec, seed);
+        // Sizes: what the spec asked for (node remainder logic keeps the
+        // total within the spec's count ± the per-type minimum slack).
+        prop_assert!(graph.node_count() >= spec.nodes);
+        prop_assert!(graph.node_count() <= spec.nodes + spec.node_types.len());
+        // Ground truth covers everything exactly once.
+        prop_assert_eq!(gt.node_type.len(), graph.node_count());
+        prop_assert_eq!(gt.edge_type.len(), graph.edge_count());
+        // Every edge's endpoints exist (add_edge enforces it; double-check
+        // via lookups).
+        for e in graph.edges() {
+            prop_assert!(graph.node(e.src).is_some());
+            prop_assert!(graph.node(e.tgt).is_some());
+        }
+        // Labels in the graph are drawn from the spec's label universe.
+        let universe: std::collections::BTreeSet<&str> = spec
+            .node_types
+            .iter()
+            .flat_map(|t| t.labels.iter().map(String::as_str))
+            .chain(spec.extra_node_label.as_deref())
+            .collect();
+        for l in graph.node_labels() {
+            prop_assert!(universe.contains(l.as_ref()), "alien label {l}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(which in 0usize..8, seed in 0u64..1000) {
+        let spec = all_specs().swap_remove(which).scaled(0.02);
+        let (a, _) = generate(&spec, seed);
+        let (b, _) = generate(&spec, seed);
+        prop_assert_eq!(a.node_count(), b.node_count());
+        let an: Vec<_> = a.nodes().collect();
+        let bn: Vec<_> = b.nodes().collect();
+        prop_assert_eq!(an, bn);
+    }
+
+    #[test]
+    fn noise_only_removes(
+        removal in 0.0f64..=1.0,
+        avail in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = all_specs().swap_remove(0).scaled(0.02);
+        let (clean, _) = generate(&spec, 3);
+        let mut noisy = clean.clone();
+        inject_noise(&mut noisy, NoiseConfig {
+            property_removal: removal,
+            label_availability: avail,
+            seed,
+        });
+        prop_assert_eq!(noisy.node_count(), clean.node_count());
+        prop_assert_eq!(noisy.edge_count(), clean.edge_count());
+        for (n_clean, n_noisy) in clean.nodes().zip(noisy.nodes()) {
+            // Properties only ever shrink, and surviving values are
+            // unchanged.
+            prop_assert!(n_noisy.props.len() <= n_clean.props.len());
+            for (k, v) in &n_noisy.props {
+                prop_assert_eq!(n_clean.props.get(k), Some(v));
+            }
+            // Labels are all-or-nothing.
+            prop_assert!(
+                n_noisy.labels == n_clean.labels || n_noisy.labels.is_empty()
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_types_have_consistent_label_sets(
+        which in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        // All instances of one ground-truth type carry the same labels
+        // (before noise) — the invariant F1* scoring leans on.
+        let spec = all_specs().swap_remove(which).scaled(0.02);
+        let (graph, gt) = generate(&spec, seed);
+        let mut label_of_type: std::collections::HashMap<&str, &pg_model::LabelSet> =
+            std::collections::HashMap::new();
+        for node in graph.nodes() {
+            let t = gt.node_type[&node.id].as_str();
+            match label_of_type.get(t) {
+                None => {
+                    label_of_type.insert(t, &node.labels);
+                }
+                Some(expected) => prop_assert_eq!(*expected, &node.labels, "type {}", t),
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Label-corpus construction (§4.1).
+//!
+//! Sentences are short sequences of canonical label tokens:
+//!
+//! * each edge yields `[src-token, edge-token, tgt-token]` (tokens for
+//!   unlabeled endpoints/edges are skipped — they embed as zero vectors
+//!   and must not influence training);
+//! * each labeled node yields a unigram sentence, which registers its
+//!   token in the vocabulary even if the node is isolated.
+
+use pg_model::LabelSet;
+use pg_store::{EdgeRecord, NodeRecord};
+
+/// Build the training corpus from loaded records.
+pub fn build_sentences(nodes: &[NodeRecord], edges: &[EdgeRecord]) -> Vec<Vec<String>> {
+    let mut sentences = Vec::with_capacity(nodes.len() + edges.len());
+    for n in nodes {
+        if let Some(tok) = n.labels.canonical_token() {
+            sentences.push(vec![tok]);
+        }
+    }
+    for e in edges {
+        let sent: Vec<String> = [
+            token_of(&e.src_labels),
+            token_of(&e.edge.labels),
+            token_of(&e.tgt_labels),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        if !sent.is_empty() {
+            sentences.push(sent);
+        }
+    }
+    sentences
+}
+
+fn token_of(labels: &LabelSet) -> Option<String> {
+    labels.canonical_token()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{Edge, LabelSet, Node, NodeId};
+
+    #[test]
+    fn corpus_shapes() {
+        let nodes = vec![
+            Node::new(1, LabelSet::single("Person")),
+            Node::new(2, LabelSet::empty()),
+            Node::new(3, LabelSet::from_iter(["Student", "Person"])),
+        ];
+        let edges = vec![EdgeRecord {
+            edge: Edge::new(9, NodeId(1), NodeId(3), LabelSet::single("KNOWS")),
+            src_labels: LabelSet::single("Person"),
+            tgt_labels: LabelSet::from_iter(["Person", "Student"]),
+        }];
+        let s = build_sentences(&nodes, &edges);
+        // Unlabeled node contributes nothing.
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], vec!["Person".to_string()]);
+        assert_eq!(s[1], vec!["Person|Student".to_string()]);
+        assert_eq!(
+            s[2],
+            vec![
+                "Person".to_string(),
+                "KNOWS".to_string(),
+                "Person|Student".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn fully_unlabeled_edge_is_skipped() {
+        let edges = vec![EdgeRecord {
+            edge: Edge::new(1, NodeId(1), NodeId(2), LabelSet::empty()),
+            src_labels: LabelSet::empty(),
+            tgt_labels: LabelSet::empty(),
+        }];
+        assert!(build_sentences(&[], &edges).is_empty());
+    }
+}

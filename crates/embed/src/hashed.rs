@@ -1,0 +1,78 @@
+//! Training-free hashed embeddings: each token maps to a deterministic
+//! pseudo-random unit vector.
+//!
+//! In high dimension, independent random unit vectors are nearly
+//! orthogonal with high probability, so distinct label sets are well
+//! separated — which is the property PG-HIVE's clustering needs. Unlike
+//! Word2Vec, hashed embeddings carry no co-occurrence semantics; the
+//! `embed_ablation` benchmark quantifies the difference.
+
+use crate::word2vec::unit_from_hash;
+use crate::LabelEmbedder;
+
+/// Deterministic hashed embedder.
+#[derive(Debug, Clone)]
+pub struct HashedEmbedder {
+    dim: usize,
+    seed: u64,
+}
+
+impl HashedEmbedder {
+    /// Create an embedder with the given dimensionality and seed.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        HashedEmbedder { dim, seed }
+    }
+}
+
+impl LabelEmbedder for HashedEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed_token(&self, token: &str) -> Vec<f64> {
+        // FNV-1a over the token bytes, mixed with the seed.
+        let mut h: u64 = 0xcbf29ce484222325 ^ self.seed;
+        for b in token.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        unit_from_hash(h, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_unit_norm() {
+        let e = HashedEmbedder::new(8, 42);
+        let a = e.embed_token("Person");
+        assert_eq!(a, e.embed_token("Person"));
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_tokens_are_separated() {
+        let e = HashedEmbedder::new(16, 7);
+        let a = e.embed_token("Person");
+        let b = e.embed_token("Organization");
+        let cos: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!(cos.abs() < 0.9, "near-orthogonal expected, got {cos}");
+    }
+
+    #[test]
+    fn seed_changes_embedding() {
+        let a = HashedEmbedder::new(8, 1).embed_token("X");
+        let b = HashedEmbedder::new(8, 2).embed_token("X");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn none_embeds_to_zero() {
+        let e = HashedEmbedder::new(4, 0);
+        assert_eq!(e.embed_opt(None), vec![0.0; 4]);
+    }
+}

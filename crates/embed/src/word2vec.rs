@@ -1,0 +1,385 @@
+//! Skip-gram Word2Vec with negative sampling, from scratch.
+//!
+//! This is a faithful, small-scale implementation of Mikolov et al.'s
+//! SGNS objective, adequate for PG-HIVE's setting: the vocabulary is the
+//! set of canonical label tokens (tens to low thousands of entries), and
+//! the corpus is the label co-occurrence structure of the graph. Training
+//! is deterministic given the seed.
+//!
+//! Output vectors are L2-normalized so that the ELSH distance scale is
+//! controlled: identical tokens have distance 0; distinct tokens have
+//! distance in `(0, 2]`.
+
+use crate::LabelEmbedder;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality `d` (the paper's running example uses 5;
+    /// we default to 8).
+    pub dim: usize,
+    /// Number of passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate, linearly decayed to 10 % over training.
+    pub learning_rate: f64,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Context window (sentences are ≤ 3 tokens, so 2 covers them fully).
+    pub window: usize,
+    /// RNG seed; training is deterministic given this.
+    pub seed: u64,
+    /// Cap on training pairs per epoch; large corpora are subsampled
+    /// (labels repeat heavily, so a subsample preserves the distribution).
+    pub max_pairs_per_epoch: usize,
+    /// Identity blending weight λ: each trained vector is re-normalized
+    /// from `w + λ·h(token)` where `h` is a deterministic per-token unit
+    /// vector. Skip-gram places labels with identical contexts (e.g.
+    /// CALLER/CALLED, both occurring between the same endpoint types)
+    /// arbitrarily close together, but PG-HIVE's featurization needs
+    /// *distinct label sets to stay separated* (§4.1: the representation
+    /// "prevents semantically different nodes, or edges, from being
+    /// merged due to their same structure"). λ = 1 guarantees a distance
+    /// floor of ≈1 between distinct tokens while preserving the semantic
+    /// gradient; λ = 0 is pure SGNS.
+    pub identity_blend: f64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig {
+            dim: 8,
+            epochs: 12,
+            learning_rate: 0.05,
+            negatives: 5,
+            window: 2,
+            seed: 0x9e3779b97f4a7c15,
+            max_pairs_per_epoch: 200_000,
+            identity_blend: 1.0,
+        }
+    }
+}
+
+/// A trained Word2Vec model over label tokens.
+#[derive(Debug, Clone)]
+pub struct Word2Vec {
+    dim: usize,
+    index: HashMap<String, usize>,
+    /// Row-major `vocab × dim` input embeddings (L2-normalized).
+    vectors: Vec<f64>,
+    /// Deterministic seed reused for out-of-vocabulary fallbacks.
+    oov_seed: u64,
+}
+
+impl Word2Vec {
+    /// Train on a corpus of token sentences.
+    ///
+    /// An empty corpus produces an empty model where every token falls
+    /// back to the deterministic OOV embedding.
+    pub fn train(sentences: &[Vec<String>], cfg: &Word2VecConfig) -> Word2Vec {
+        assert!(cfg.dim > 0, "embedding dimension must be positive");
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut counts: Vec<usize> = Vec::new();
+        for s in sentences {
+            for tok in s {
+                match index.get(tok) {
+                    Some(&i) => counts[i] += 1,
+                    None => {
+                        index.insert(tok.clone(), counts.len());
+                        counts.push(1);
+                    }
+                }
+            }
+        }
+        let vocab = counts.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        // Xavier-ish init for input vectors, zeros for output vectors.
+        let mut input: Vec<f64> = (0..vocab * cfg.dim)
+            .map(|_| (rng.gen::<f64>() - 0.5) / cfg.dim as f64)
+            .collect();
+        let mut output: Vec<f64> = vec![0.0; vocab * cfg.dim];
+
+        // Unigram^0.75 negative-sampling table.
+        let neg_table = build_negative_table(&counts);
+
+        // Collect the positive pairs once (corpus is small after dedup of
+        // repeated sentences would bias counts, so keep multiplicity).
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for s in sentences {
+            let idxs: Vec<usize> = s.iter().map(|t| index[t]).collect();
+            for (i, &center) in idxs.iter().enumerate() {
+                let lo = i.saturating_sub(cfg.window);
+                let hi = (i + cfg.window + 1).min(idxs.len());
+                for (j, &ctx) in idxs.iter().enumerate().take(hi).skip(lo) {
+                    if i != j && center != ctx {
+                        pairs.push((center, ctx));
+                    }
+                }
+            }
+        }
+
+        if vocab > 0 && !pairs.is_empty() {
+            let per_epoch = pairs.len().min(cfg.max_pairs_per_epoch);
+            let total_steps = (cfg.epochs * per_epoch).max(1);
+            let mut step = 0usize;
+            for _epoch in 0..cfg.epochs {
+                for _ in 0..per_epoch {
+                    let &(center, ctx) = &pairs[rng.gen_range(0..pairs.len())];
+                    let lr = cfg.learning_rate
+                        * (1.0 - 0.9 * step as f64 / total_steps as f64);
+                    sgns_step(
+                        &mut input,
+                        &mut output,
+                        cfg.dim,
+                        center,
+                        ctx,
+                        &neg_table,
+                        cfg.negatives,
+                        lr,
+                        &mut rng,
+                    );
+                    step += 1;
+                }
+            }
+        }
+
+        // Normalize rows, blend in the per-token identity direction, and
+        // re-normalize. A numerically-zero row falls back to the pure
+        // identity vector.
+        let mut token_of_row: Vec<&String> = vec![&EMPTY_STRING; vocab];
+        for (tok, &i) in &index {
+            token_of_row[i] = tok;
+        }
+        for row in 0..vocab {
+            let v = &mut input[row * cfg.dim..(row + 1) * cfg.dim];
+            let ident = unit_from_hash(hash_token(token_of_row[row]) ^ cfg.seed, cfg.dim);
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                for (x, h) in v.iter_mut().zip(&ident) {
+                    *x = *x / norm + cfg.identity_blend * h;
+                }
+                let n2 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                if n2 > 1e-12 {
+                    v.iter_mut().for_each(|x| *x /= n2);
+                } else {
+                    v.copy_from_slice(&ident);
+                }
+            } else {
+                v.copy_from_slice(&ident);
+            }
+        }
+
+        Word2Vec {
+            dim: cfg.dim,
+            index,
+            vectors: input,
+            oov_seed: cfg.seed,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the token was observed in training.
+    pub fn contains(&self, token: &str) -> bool {
+        self.index.contains_key(token)
+    }
+
+    /// Cosine similarity between two tokens (via OOV fallback if needed).
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.embed_token(a);
+        let vb = self.embed_token(b);
+        va.iter().zip(&vb).map(|(x, y)| x * y).sum()
+    }
+}
+
+impl LabelEmbedder for Word2Vec {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed_token(&self, token: &str) -> Vec<f64> {
+        match self.index.get(token) {
+            Some(&i) => self.vectors[i * self.dim..(i + 1) * self.dim].to_vec(),
+            None => unit_from_hash(hash_token(token) ^ self.oov_seed, self.dim),
+        }
+    }
+}
+
+static EMPTY_STRING: String = String::new();
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One SGNS gradient step for the pair `(center, ctx)`.
+#[allow(clippy::too_many_arguments)]
+fn sgns_step(
+    input: &mut [f64],
+    output: &mut [f64],
+    dim: usize,
+    center: usize,
+    ctx: usize,
+    neg_table: &[usize],
+    negatives: usize,
+    lr: f64,
+    rng: &mut ChaCha8Rng,
+) {
+    let mut grad_center = vec![0.0; dim];
+    {
+        // Positive sample.
+        let (vi, vo) = (center * dim, ctx * dim);
+        let dot: f64 = (0..dim).map(|k| input[vi + k] * output[vo + k]).sum();
+        let g = (sigmoid(dot) - 1.0) * lr;
+        for k in 0..dim {
+            grad_center[k] += g * output[vo + k];
+            output[vo + k] -= g * input[vi + k];
+        }
+    }
+    for _ in 0..negatives {
+        let neg = neg_table[rng.gen_range(0..neg_table.len())];
+        if neg == ctx {
+            continue;
+        }
+        let (vi, vo) = (center * dim, neg * dim);
+        let dot: f64 = (0..dim).map(|k| input[vi + k] * output[vo + k]).sum();
+        let g = sigmoid(dot) * lr;
+        for k in 0..dim {
+            grad_center[k] += g * output[vo + k];
+            output[vo + k] -= g * input[vi + k];
+        }
+    }
+    let vi = center * dim;
+    for k in 0..dim {
+        input[vi + k] -= grad_center[k];
+    }
+}
+
+/// Unigram^0.75 sampling table (size-bounded).
+fn build_negative_table(counts: &[usize]) -> Vec<usize> {
+    const TABLE: usize = 10_000;
+    if counts.is_empty() {
+        return vec![0];
+    }
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut table = Vec::with_capacity(TABLE);
+    for (i, w) in weights.iter().enumerate() {
+        let n = ((w / total) * TABLE as f64).ceil() as usize;
+        table.extend(std::iter::repeat_n(i, n.max(1)));
+    }
+    table
+}
+
+fn hash_token(token: &str) -> u64 {
+    // FNV-1a, stable across runs (std's Hash is not guaranteed stable).
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in token.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Deterministic pseudo-random unit vector from a hash seed.
+pub(crate) fn unit_from_hash(seed: u64, dim: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    loop {
+        let v: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus() -> Vec<Vec<String>> {
+        // Two communities: Person-KNOWS-Person and Gene-BINDS-Protein.
+        let mut s = Vec::new();
+        for _ in 0..50 {
+            s.push(vec!["Person".into(), "KNOWS".into(), "Person".into()]);
+            s.push(vec!["Person".into(), "WORKS_AT".into(), "Org".into()]);
+            s.push(vec!["Gene".into(), "BINDS".into(), "Protein".into()]);
+        }
+        s
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = toy_corpus();
+        let cfg = Word2VecConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let a = Word2Vec::train(&corpus, &cfg);
+        let b = Word2Vec::train(&corpus, &cfg);
+        assert_eq!(a.embed_token("Person"), b.embed_token("Person"));
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let m = Word2Vec::train(&toy_corpus(), &Word2VecConfig::default());
+        for tok in ["Person", "KNOWS", "Gene"] {
+            let v = m.embed_token(tok);
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "{tok} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn distributionally_similar_tokens_are_closer() {
+        // Skip-gram places tokens with shared *contexts* nearby: KNOWS and
+        // WORKS_AT both occur next to Person, while BINDS occurs next to
+        // Gene/Protein only. Identity blending is disabled so the pure
+        // SGNS geometry is visible.
+        let m = Word2Vec::train(
+            &toy_corpus(),
+            &Word2VecConfig {
+                identity_blend: 0.0,
+                ..Default::default()
+            },
+        );
+        let close = m.cosine("KNOWS", "WORKS_AT");
+        let far = m.cosine("KNOWS", "BINDS");
+        assert!(
+            close > far,
+            "expected cosine(KNOWS,WORKS_AT)={close} > cosine(KNOWS,BINDS)={far}"
+        );
+    }
+
+    #[test]
+    fn oov_is_deterministic_and_unit() {
+        let m = Word2Vec::train(&toy_corpus(), &Word2VecConfig::default());
+        let a = m.embed_token("NeverSeen");
+        let b = m.embed_token("NeverSeen");
+        assert_eq!(a, b);
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert_ne!(a, m.embed_token("AlsoNeverSeen"));
+    }
+
+    #[test]
+    fn empty_corpus_still_embeds() {
+        let m = Word2Vec::train(&[], &Word2VecConfig::default());
+        assert_eq!(m.vocab_size(), 0);
+        let v = m.embed_token("anything");
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn embed_opt_zero_for_unlabeled() {
+        let m = Word2Vec::train(&toy_corpus(), &Word2VecConfig::default());
+        assert_eq!(m.embed_opt(None), vec![0.0; 8]);
+        assert_ne!(m.embed_opt(Some("Person")), vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Minimal CLI argument parsing shared by the experiment binaries.
+
+/// Parsed experiment options.
+#[derive(Debug, Clone)]
+pub struct EvalArgs {
+    /// Dataset scale multiplier (`--scale 0.5`).
+    pub scale: f64,
+    /// Restrict to these datasets (`--datasets POLE,MB6`); empty = all.
+    pub datasets: Vec<String>,
+    /// Base seed (`--seed 7`).
+    pub seed: u64,
+}
+
+impl Default for EvalArgs {
+    fn default() -> Self {
+        EvalArgs {
+            scale: 1.0,
+            datasets: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+impl EvalArgs {
+    /// Parse from `std::env::args` (skipping the binary name). Unknown
+    /// flags abort with a usage message.
+    pub fn parse() -> EvalArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> EvalArgs {
+        let mut out = EvalArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    out.scale = value("--scale")
+                        .parse()
+                        .expect("--scale must be a positive float");
+                    assert!(out.scale > 0.0, "--scale must be positive");
+                }
+                "--datasets" => {
+                    out.datasets = value("--datasets")
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                }
+                "--seed" => {
+                    out.seed = value("--seed").parse().expect("--seed must be an integer");
+                }
+                other => panic!(
+                    "unknown flag {other:?}; supported: --scale <f>, --datasets <a,b>, --seed <n>"
+                ),
+            }
+        }
+        out
+    }
+
+    /// The dataset names this run covers.
+    pub fn dataset_names(&self) -> Vec<String> {
+        if self.datasets.is_empty() {
+            pg_datasets::all_specs()
+                .into_iter()
+                .map(|s| s.name)
+                .collect()
+        } else {
+            self.datasets.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> EvalArgs {
+        EvalArgs::parse_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 1.0);
+        assert_eq!(a.dataset_names().len(), 8);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--scale", "0.5", "--datasets", "POLE, MB6", "--seed", "9"]);
+        assert_eq!(a.scale, 0.5);
+        assert_eq!(a.datasets, vec!["POLE", "MB6"]);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.dataset_names(), vec!["POLE", "MB6"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--wat"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_panics() {
+        let _ = parse(&["--scale", "0"]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Run every experiment binary's logic in sequence (Tables 1–2, Figures
+//! 3–8). Accepts the same flags as the individual binaries; pass
+//! `--scale 0.2` for a quick smoke run.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::PathBuf::from));
+    for bin in [
+        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ext_sparse",
+        "ext_refine",
+    ] {
+        println!("\n================ {bin} ================\n");
+        let path = exe_dir
+            .as_ref()
+            .map(|d| d.join(bin))
+            .filter(|p| p.exists());
+        let status = match path {
+            Some(p) => Command::new(p).args(&args).status(),
+            None => Command::new("cargo")
+                .args(["run", "--release", "-p", "pg-eval", "--bin", bin, "--"])
+                .args(&args)
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+}

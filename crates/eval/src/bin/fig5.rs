@@ -1,0 +1,55 @@
+//! Figure 5: execution time until type discovery, per dataset and noise
+//! level, for all four methods (100 % labels). Expected shape: PG-HIVE
+//! flat w.r.t. noise and faster than SchemI; GMM grows with noise.
+
+use pg_eval::args::EvalArgs;
+use pg_eval::report::render_table;
+use pg_eval::{run_cell, CellSpec, Method};
+
+fn main() {
+    let args = EvalArgs::parse();
+    let noise_levels = [0.0, 0.1, 0.2, 0.3, 0.4];
+
+    for ds in args.dataset_names() {
+        println!("\nFigure 5 — {ds} (seconds until type discovery):");
+        let header: Vec<String> = std::iter::once("Method".to_string())
+            .chain(noise_levels.iter().map(|n| format!("{:.0}%", n * 100.0)))
+            .collect();
+        let mut rows = Vec::new();
+        let mut per_method: Vec<(Method, Vec<f64>)> = Vec::new();
+        for m in Method::all() {
+            let mut row = vec![m.name().to_string()];
+            let mut times = Vec::new();
+            for &noise in &noise_levels {
+                let r = run_cell(&CellSpec {
+                    dataset: ds.clone(),
+                    noise,
+                    label_availability: 1.0,
+                    method: m,
+                    seed: args.seed,
+                    scale: args.scale,
+                });
+                row.push(format!("{:.3}", r.seconds));
+                times.push(r.seconds);
+            }
+            per_method.push((m, times));
+            rows.push(row);
+        }
+        println!("{}", render_table(&header, &rows));
+
+        // Speedup summary, as the paper reports "up to 1.95× vs SchemI".
+        let avg = |m: Method| -> f64 {
+            per_method
+                .iter()
+                .find(|(x, _)| *x == m)
+                .map(|(_, t)| t.iter().sum::<f64>() / t.len() as f64)
+                .unwrap_or(f64::NAN)
+        };
+        let hive = avg(Method::HiveElsh);
+        println!(
+            "  PG-HIVE-ELSH vs SchemI speedup: {:.2}x  |  vs GMMSchema: {:.2}x",
+            avg(Method::SchemI) / hive,
+            avg(Method::Gmm) / hive
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 6: F1\* heatmaps over the (T, α) grid for ELSH at 100 % label
+//! availability and 0 % noise, with the adaptive choice marked ×.
+//!
+//! α scales the adaptive base bucket length (`b = b_base · α`), so the
+//! sweep explores the same axis the paper does.
+
+use pg_eval::args::EvalArgs;
+use pg_eval::report::render_heatmap;
+use pg_eval::runner::{eval_hive_config, prepare_graph};
+use pg_eval::{CellSpec, Method};
+use pg_hive::{LshMethod, PgHive};
+use pg_model::{EdgeId, NodeId};
+
+const TABLES: [usize; 6] = [10, 15, 20, 25, 30, 35];
+const ALPHAS: [f64; 6] = [0.5, 0.75, 1.0, 1.25, 1.5, 2.0];
+
+fn main() {
+    let args = EvalArgs::parse();
+
+    for ds in args.dataset_names() {
+        let spec = CellSpec {
+            dataset: ds.clone(),
+            noise: 0.0,
+            label_availability: 1.0,
+            method: Method::HiveElsh,
+            seed: args.seed,
+            scale: args.scale,
+        };
+        let (graph, gt) = prepare_graph(&spec);
+
+        // Run once adaptively to learn b_base and the adaptive (T, α).
+        let adaptive =
+            PgHive::new(eval_hive_config(LshMethod::Elsh, args.seed)).discover_graph(&graph);
+        let Some(params) = adaptive.node_params else {
+            eprintln!("{ds}: no adaptive parameters (empty graph?)");
+            continue;
+        };
+
+        let mut values = Vec::new();
+        let mut edge_values = Vec::new();
+        for &t in &TABLES {
+            let mut row = Vec::new();
+            let mut edge_row = Vec::new();
+            for &alpha in &ALPHAS {
+                let cfg = eval_hive_config(LshMethod::Elsh, args.seed)
+                    .with_manual_params(params.b_base * alpha, t);
+                let result = PgHive::new(cfg).discover_graph(&graph);
+                let clusters: Vec<Vec<NodeId>> =
+                    result.node_members().into_values().collect();
+                let f1 = pg_eval::majority_f1(&clusters, &gt.node_type);
+                row.push(f1.macro_f1);
+                let edge_clusters: Vec<Vec<EdgeId>> =
+                    result.edge_members().into_values().collect();
+                let ef1 = pg_eval::majority_f1(&edge_clusters, &gt.edge_type);
+                edge_row.push(ef1.macro_f1);
+            }
+            values.push(row);
+            edge_values.push(edge_row);
+        }
+
+        // Nearest grid cell to the adaptive choice.
+        let marked_row = TABLES
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t.abs_diff(params.tables))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let marked_col = ALPHAS
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - params.alpha).abs().total_cmp(&(b.1 - params.alpha).abs())
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        println!(
+            "\nFigure 6 — {ds} (ELSH, 0% noise, 100% labels). \
+             Adaptive: T={}, α={:.2}, b_base={:.3} (× marks nearest grid cell)",
+            params.tables, params.alpha, params.b_base
+        );
+        println!(
+            "NODES:\n{}",
+            render_heatmap(
+                &TABLES.iter().map(|t| format!("T={t}")).collect::<Vec<_>>(),
+                &ALPHAS.iter().map(|a| format!("α={a}")).collect::<Vec<_>>(),
+                &values,
+                Some((marked_row, marked_col)),
+            )
+        );
+        println!(
+            "EDGES:\n{}",
+            render_heatmap(
+                &TABLES.iter().map(|t| format!("T={t}")).collect::<Vec<_>>(),
+                &ALPHAS.iter().map(|a| format!("α={a}")).collect::<Vec<_>>(),
+                &edge_values,
+                Some((marked_row, marked_col)),
+            )
+        );
+    }
+}

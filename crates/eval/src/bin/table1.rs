@@ -1,0 +1,6 @@
+//! Table 1: capability matrix of schema-discovery approaches.
+
+fn main() {
+    println!("Table 1: Schema discovery approaches on property graphs\n");
+    println!("{}", pg_eval::report::capability_matrix());
+}

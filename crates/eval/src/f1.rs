@@ -1,0 +1,181 @@
+//! Majority-based F1\*-score (§5, "Evaluation metrics").
+//!
+//! Discovered clusters have no a-priori labels; each cluster is assigned
+//! the most frequent ground-truth type among its members, and an
+//! instance's placement is correct iff its own type matches its
+//! cluster's majority type. Per-type precision/recall/F1 are then
+//! macro-averaged. Over-merging (mixed clusters) is punished; pure
+//! over-fragmentation is not — matching the paper's preference for more
+//! separate types before the merging step.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The score breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Score {
+    /// Macro-averaged F1 over ground-truth types (the paper's F1\*).
+    pub macro_f1: f64,
+    /// Fraction of instances whose cluster majority matches their type.
+    pub accuracy: f64,
+    /// Number of clusters scored.
+    pub clusters: usize,
+    /// Number of ground-truth types present.
+    pub types: usize,
+}
+
+/// Compute the majority-based F1\* for a clustering against ground
+/// truth. Instances missing from `truth` are ignored; empty clusterings
+/// score 0.
+pub fn majority_f1<Id: Eq + Hash + Copy>(
+    clusters: &[Vec<Id>],
+    truth: &HashMap<Id, String>,
+) -> F1Score {
+    // Majority type per cluster.
+    let mut predicted: HashMap<Id, &str> = HashMap::new();
+    let mut scored_clusters = 0;
+    for members in clusters {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for id in members {
+            if let Some(t) = truth.get(id) {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+        let Some((&majority, _)) = counts
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)))
+        else {
+            continue;
+        };
+        scored_clusters += 1;
+        for id in members {
+            if truth.contains_key(id) {
+                predicted.insert(*id, majority);
+            }
+        }
+    }
+
+    if predicted.is_empty() {
+        return F1Score {
+            macro_f1: 0.0,
+            accuracy: 0.0,
+            clusters: 0,
+            types: 0,
+        };
+    }
+
+    // Per-type confusion counts.
+    let mut tp: HashMap<&str, usize> = HashMap::new();
+    let mut fp: HashMap<&str, usize> = HashMap::new();
+    let mut fn_: HashMap<&str, usize> = HashMap::new();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (id, actual) in truth {
+        let Some(&pred) = predicted.get(id) else {
+            // Unclustered instance: a miss for its type.
+            *fn_.entry(actual.as_str()).or_insert(0) += 1;
+            continue;
+        };
+        total += 1;
+        if pred == actual.as_str() {
+            correct += 1;
+            *tp.entry(pred).or_insert(0) += 1;
+        } else {
+            *fp.entry(pred).or_insert(0) += 1;
+            *fn_.entry(actual.as_str()).or_insert(0) += 1;
+        }
+    }
+
+    let mut type_names: Vec<&str> = truth.values().map(String::as_str).collect();
+    type_names.sort_unstable();
+    type_names.dedup();
+
+    let mut f1_sum = 0.0;
+    for t in &type_names {
+        let tp = *tp.get(t).unwrap_or(&0) as f64;
+        let fp = *fp.get(t).unwrap_or(&0) as f64;
+        let fn_ = *fn_.get(t).unwrap_or(&0) as f64;
+        let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+        let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        f1_sum += f1;
+    }
+
+    F1Score {
+        macro_f1: f1_sum / type_names.len() as f64,
+        accuracy: correct as f64 / total.max(1) as f64,
+        clusters: scored_clusters,
+        types: type_names.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(pairs: &[(u64, &str)]) -> HashMap<u64, String> {
+        pairs.iter().map(|(i, t)| (*i, (*t).to_owned())).collect()
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let t = truth(&[(1, "A"), (2, "A"), (3, "B"), (4, "B")]);
+        let clusters = vec![vec![1, 2], vec![3, 4]];
+        let s = majority_f1(&clusters, &t);
+        assert_eq!(s.macro_f1, 1.0);
+        assert_eq!(s.accuracy, 1.0);
+        assert_eq!(s.clusters, 2);
+        assert_eq!(s.types, 2);
+    }
+
+    #[test]
+    fn pure_fragmentation_is_not_punished() {
+        // Four singletons, all pure → still perfect.
+        let t = truth(&[(1, "A"), (2, "A"), (3, "B"), (4, "B")]);
+        let clusters = vec![vec![1], vec![2], vec![3], vec![4]];
+        let s = majority_f1(&clusters, &t);
+        assert_eq!(s.macro_f1, 1.0);
+    }
+
+    #[test]
+    fn over_merging_is_punished() {
+        // One giant mixed cluster: majority = A (tie broken to "A"),
+        // all B instances are wrong.
+        let t = truth(&[(1, "A"), (2, "A"), (3, "A"), (4, "B"), (5, "B")]);
+        let clusters = vec![vec![1, 2, 3, 4, 5]];
+        let s = majority_f1(&clusters, &t);
+        assert!(s.macro_f1 < 0.5, "macro F1 {}", s.macro_f1);
+        assert_eq!(s.accuracy, 0.6);
+    }
+
+    #[test]
+    fn unclustered_instances_count_as_misses() {
+        let t = truth(&[(1, "A"), (2, "A"), (3, "A"), (4, "A")]);
+        let clusters = vec![vec![1, 2]];
+        let s = majority_f1(&clusters, &t);
+        // Recall for A = 0.5, precision = 1 → F1 = 2/3.
+        assert!((s.macro_f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let t = truth(&[(1, "A")]);
+        assert_eq!(majority_f1::<u64>(&[], &t).macro_f1, 0.0);
+        let empty: HashMap<u64, String> = HashMap::new();
+        assert_eq!(majority_f1(&[vec![1u64]], &empty).macro_f1, 0.0);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // 1:1 tie inside a cluster → lexicographically larger... our rule
+        // picks max by (count, name): names tie-break deterministically.
+        let t = truth(&[(1, "A"), (2, "B")]);
+        let s1 = majority_f1(&[vec![1, 2]], &t);
+        let s2 = majority_f1(&[vec![2, 1]], &t);
+        assert_eq!(s1, s2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # pg-eval
+//!
+//! The evaluation harness reproducing every table and figure of the
+//! PG-HIVE paper (§5):
+//!
+//! * [`f1`] — the majority-based F1\*-score: each discovered cluster is
+//!   assigned its majority ground-truth type; an instance is correct iff
+//!   its type matches its cluster's majority.
+//! * [`ranks`] — average ranks across test cases and the Nemenyi
+//!   critical-difference test (Figure 3).
+//! * [`sampling_error`] — the data-type sampling-error metric, binned as
+//!   in Figure 8.
+//! * [`runner`] — one evaluation *cell*: generate a dataset twin, inject
+//!   noise, run a method (PG-HIVE-ELSH, PG-HIVE-MinHash, GMMSchema,
+//!   SchemI), score it, time it.
+//! * [`report`] — plain-text table/heatmap rendering.
+//!
+//! One binary per figure/table regenerates the corresponding artifact:
+//! `cargo run -p pg-eval --release --bin fig4` etc. Each binary accepts
+//! `--scale <f>` (dataset size multiplier), `--datasets A,B`, and
+//! `--seed <n>`.
+
+pub mod args;
+pub mod f1;
+pub mod ranks;
+pub mod report;
+pub mod runner;
+pub mod sampling_error;
+
+pub use f1::{majority_f1, F1Score};
+pub use ranks::{average_ranks, nemenyi_critical_difference};
+pub use runner::{run_cell, CellResult, CellSpec, Method};

@@ -1,0 +1,122 @@
+//! Average ranks and the Nemenyi critical-difference test (Figure 3).
+//!
+//! Methods are ranked per test case (rank 1 = best F1\*, ties share the
+//! mean rank, methods that produce no output rank last); ranks are
+//! averaged over all cases. Two methods differ significantly at
+//! α = 0.05 if their average ranks differ by more than the critical
+//! difference `CD = q_α · √(k(k+1) / (6N))`.
+
+/// Average ranks of `k` methods over `n` cases.
+///
+/// `scores[case][method]` holds the per-case scores; `None` means the
+/// method could not run (ranked strictly below every real score).
+/// Higher scores are better. Returns one average rank per method.
+pub fn average_ranks(scores: &[Vec<Option<f64>>]) -> Vec<f64> {
+    assert!(!scores.is_empty(), "need at least one case");
+    let k = scores[0].len();
+    assert!(scores.iter().all(|c| c.len() == k), "ragged score matrix");
+    let mut sums = vec![0.0; k];
+    for case in scores {
+        let ranks = rank_one_case(case);
+        for (m, r) in ranks.iter().enumerate() {
+            sums[m] += r;
+        }
+    }
+    sums.iter().map(|s| s / scores.len() as f64).collect()
+}
+
+/// Rank one case: rank 1 = highest score; `None` scores rank below
+/// everything; ties get the mean of their rank positions.
+fn rank_one_case(scores: &[Option<f64>]) -> Vec<f64> {
+    let k = scores.len();
+    // Sort method indices by score descending, None last.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| match (scores[a], scores[b]) {
+        (Some(x), Some(y)) => y.total_cmp(&x),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => std::cmp::Ordering::Equal,
+    });
+    let mut ranks = vec![0.0; k];
+    let mut i = 0;
+    while i < k {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < k && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let mean_rank = ((i + 1 + j) as f64) / 2.0; // mean of i+1 ..= j
+        for &m in &order[i..j] {
+            ranks[m] = mean_rank;
+        }
+        i = j;
+    }
+    ranks
+}
+
+/// Nemenyi critical difference at α = 0.05 for `k` methods over `n`
+/// cases. Uses the standard q_α table (studentized range / √2).
+pub fn nemenyi_critical_difference(k: usize, n: usize) -> f64 {
+    let q = match k {
+        0 | 1 => 0.0,
+        2 => 1.960,
+        3 => 2.343,
+        4 => 2.569,
+        5 => 2.728,
+        6 => 2.850,
+        7 => 2.949,
+        8 => 3.031,
+        9 => 3.102,
+        _ => 3.164,
+    };
+    q * ((k * (k + 1)) as f64 / (6.0 * n as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranking() {
+        let scores = vec![
+            vec![Some(0.9), Some(0.5), Some(0.7)],
+            vec![Some(0.8), Some(0.6), Some(0.7)],
+        ];
+        let r = average_ranks(&scores);
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_share_mean_rank() {
+        let scores = vec![vec![Some(0.9), Some(0.9), Some(0.1)]];
+        let r = average_ranks(&scores);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn missing_methods_rank_last() {
+        let scores = vec![vec![Some(0.2), None, Some(0.9)]];
+        let r = average_ranks(&scores);
+        assert_eq!(r, vec![2.0, 3.0, 1.0]);
+        // Two Nones tie for last.
+        let scores = vec![vec![Some(0.2), None, None]];
+        let r = average_ranks(&scores);
+        assert_eq!(r, vec![1.0, 2.5, 2.5]);
+    }
+
+    #[test]
+    fn critical_difference_reference_value() {
+        // k=4 methods, n=40 cases (the paper's Figure 3 setting):
+        // CD = 2.569 · √(20/240) ≈ 0.741.
+        let cd = nemenyi_critical_difference(4, 40);
+        assert!((cd - 0.7416).abs() < 1e-3, "cd = {cd}");
+        // More cases → tighter CD.
+        assert!(nemenyi_critical_difference(4, 80) < cd);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        let _ = average_ranks(&[vec![Some(1.0)], vec![Some(1.0), Some(2.0)]]);
+    }
+}

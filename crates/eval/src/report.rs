@@ -1,0 +1,156 @@
+//! Plain-text rendering of tables and heatmaps for the experiment
+//! binaries.
+
+/// Render an aligned table: header row + data rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a numeric heatmap with an ASCII shade per cell plus the value,
+/// marking one cell (the adaptive choice in Figure 6) with `×`.
+pub fn render_heatmap(
+    row_labels: &[String],
+    col_labels: &[String],
+    values: &[Vec<f64>],
+    marked: Option<(usize, usize)>,
+) -> String {
+    let (lo, hi) = values
+        .iter()
+        .flatten()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let shade = |v: f64| -> char {
+        if !v.is_finite() || hi <= lo {
+            return '▒';
+        }
+        let t = (v - lo) / (hi - lo);
+        match (t * 4.0) as usize {
+            0 => '░',
+            1 => '▒',
+            2 => '▓',
+            _ => '█',
+        }
+    };
+    let mut header = vec![String::new()];
+    header.extend(col_labels.iter().cloned());
+    let mut rows = Vec::new();
+    for (r, rl) in row_labels.iter().enumerate() {
+        let mut row = vec![rl.clone()];
+        for (c, &v) in values[r].iter().enumerate() {
+            let mark = if marked == Some((r, c)) { "×" } else { "" };
+            row.push(format!("{}{:.3}{mark}", shade(v), v));
+        }
+        rows.push(row);
+    }
+    render_table(&header, &rows)
+}
+
+/// Format an optional score.
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "—".to_owned(),
+    }
+}
+
+/// The Table 1 capability matrix (static facts from the paper).
+pub fn capability_matrix() -> String {
+    let header = vec![
+        "Capability".to_owned(),
+        "SchemI".to_owned(),
+        "GMMSchema".to_owned(),
+        "DiscoPG".to_owned(),
+        "PG-HIVE".to_owned(),
+    ];
+    let rows = vec![
+        vec!["Label independent", "x", "x", "x", "yes"],
+        vec!["Multilabeled elements", "x", "yes", "yes", "yes"],
+        vec![
+            "Schema elements",
+            "Nodes & Edges",
+            "Nodes only",
+            "Nodes + assoc. edges",
+            "Nodes, Edges & constraints",
+        ],
+        vec!["Constraints", "x", "x", "x", "yes"],
+        vec!["Incremental", "x", "x", "yes", "yes"],
+        vec!["Automation", "yes", "yes", "yes", "yes"],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(str::to_owned).collect())
+    .collect::<Vec<Vec<String>>>();
+    render_table(&header, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["a".into(), "bb".into()],
+            &[
+                vec!["xxx".into(), "y".into()],
+                vec!["z".into(), "wwww".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xxx"));
+    }
+
+    #[test]
+    fn heatmap_marks_the_adaptive_cell() {
+        let h = render_heatmap(
+            &["r1".into()],
+            &["c1".into(), "c2".into()],
+            &[vec![0.1, 0.9]],
+            Some((0, 1)),
+        );
+        assert!(h.contains('×'));
+        assert!(h.contains("0.900×"));
+    }
+
+    #[test]
+    fn capability_matrix_mentions_all_methods() {
+        let m = capability_matrix();
+        for name in ["SchemI", "GMMSchema", "DiscoPG", "PG-HIVE"] {
+            assert!(m.contains(name));
+        }
+    }
+
+    #[test]
+    fn fmt_opt_renders_dash_for_none() {
+        assert_eq!(fmt_opt(None), "—");
+        assert_eq!(fmt_opt(Some(0.5)), "0.500");
+    }
+}

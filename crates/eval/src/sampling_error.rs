@@ -1,0 +1,152 @@
+//! The data-type sampling-error distribution (Figure 8).
+//!
+//! For every property of every discovered type, compare the individual
+//! types of a without-replacement value sample against the full-scan
+//! inference; bin the per-property error rates into the paper's four
+//! bins and normalize by property count.
+
+use pg_hive::{DatatypeSampling, DiscoveryResult};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The paper's error bins: `[0, .05)`, `[.05, .1)`, `[.1, .2)`, `[.2, 1]`.
+pub const BIN_LABELS: [&str; 4] = ["0-0.05", "0.05-0.10", "0.10-0.20", ">=0.20"];
+
+/// Per-bin fractions (sum to 1 unless no properties exist).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorBins {
+    /// Fraction of properties per bin.
+    pub fractions: [f64; 4],
+    /// Total properties measured.
+    pub properties: usize,
+}
+
+fn bin_of(error: f64) -> usize {
+    if error < 0.05 {
+        0
+    } else if error < 0.10 {
+        1
+    } else if error < 0.20 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Compute the sampling-error distribution over every property of every
+/// type in a discovery result.
+pub fn sampling_error_bins(
+    result: &DiscoveryResult,
+    sampling: DatatypeSampling,
+    seed: u64,
+) -> ErrorBins {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+
+    let hists = result
+        .state
+        .node_accums
+        .values()
+        .flat_map(|a| a.dtype_hist.values())
+        .chain(
+            result
+                .state
+                .edge_accums
+                .values()
+                .flat_map(|a| a.dtype_hist.values()),
+        );
+    for hist in hists {
+        let size = pg_hive::datatypes::sample_size(hist.total(), sampling);
+        if let Some(err) = hist.sampling_error(size, &mut rng) {
+            counts[bin_of(err)] += 1;
+            total += 1;
+        }
+    }
+
+    let mut fractions = [0.0; 4];
+    if total > 0 {
+        for i in 0..4 {
+            fractions[i] = counts[i] as f64 / total as f64;
+        }
+    }
+    ErrorBins {
+        fractions,
+        properties: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_hive::{HiveConfig, PgHive};
+    use pg_model::{LabelSet, Node, PropertyGraph};
+
+    #[test]
+    fn bin_boundaries() {
+        assert_eq!(bin_of(0.0), 0);
+        assert_eq!(bin_of(0.049), 0);
+        assert_eq!(bin_of(0.05), 1);
+        assert_eq!(bin_of(0.1), 2);
+        assert_eq!(bin_of(0.19), 2);
+        assert_eq!(bin_of(0.2), 3);
+        assert_eq!(bin_of(1.0), 3);
+    }
+
+    #[test]
+    fn homogeneous_properties_land_in_lowest_bin() {
+        let mut g = PropertyGraph::new();
+        for i in 0..500u64 {
+            g.add_node(
+                Node::new(i, LabelSet::single("T"))
+                    .with_prop("a", i as i64)
+                    .with_prop("b", format!("s{i}")),
+            )
+            .unwrap();
+        }
+        let result = PgHive::new(HiveConfig::default()).discover_graph(&g);
+        let bins = sampling_error_bins(
+            &result,
+            DatatypeSampling {
+                fraction: 0.1,
+                min_values: 10,
+            },
+            1,
+        );
+        assert_eq!(bins.properties, 2);
+        assert!((bins.fractions[0] - 1.0).abs() < 1e-9, "{bins:?}");
+    }
+
+    #[test]
+    fn mixed_property_lands_in_top_bin() {
+        // 80 % ints + 20 % strings → full join Str, sampled values
+        // disagree ~80 % of the time → bin ≥ 0.20.
+        let mut g = PropertyGraph::new();
+        for i in 0..500u64 {
+            let n = Node::new(i, LabelSet::single("T"));
+            let n = if i % 5 == 0 {
+                n.with_prop("mixed", "text")
+            } else {
+                n.with_prop("mixed", i as i64)
+            };
+            g.add_node(n).unwrap();
+        }
+        let result = PgHive::new(HiveConfig::default()).discover_graph(&g);
+        let bins = sampling_error_bins(
+            &result,
+            DatatypeSampling {
+                fraction: 0.2,
+                min_values: 50,
+            },
+            2,
+        );
+        assert!(bins.fractions[3] > 0.9, "{bins:?}");
+    }
+
+    #[test]
+    fn empty_result_has_no_properties() {
+        let result = PgHive::new(HiveConfig::default()).discover_graph(&PropertyGraph::new());
+        let bins = sampling_error_bins(&result, DatatypeSampling::default(), 0);
+        assert_eq!(bins.properties, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Euclidean LSH: bucketed random projections (p-stable LSH for ℓ₂).
+//!
+//! Each of the `T` hash tables draws one Gaussian projection vector `a`
+//! and an offset `u ~ U[0, b)`; the hash of `v` in that table is
+//! `⌊(a·v + u) / b⌋` (Datar et al., the scheme Spark MLlib's
+//! `BucketedRandomProjectionLSH` implements — the reference the paper
+//! cites). Tables are combined under the OR rule: two vectors are
+//! *colliding* if they share a bucket in at least one table. Clusters are
+//! the transitive closure of collisions.
+
+use crate::sparse::SparseVec;
+use crate::unionfind::UnionFind;
+use crate::Clustering;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A configured Euclidean LSH family.
+#[derive(Debug, Clone)]
+pub struct EuclideanLsh {
+    /// Bucket length `b > 0` (granularity of similarity).
+    bucket_length: f64,
+    /// Gaussian projection per table, each of length `dim`.
+    projections: Vec<Vec<f64>>,
+    /// Uniform offset per table in `[0, b)`.
+    offsets: Vec<f64>,
+}
+
+impl EuclideanLsh {
+    /// Create a family with `tables` hash tables over `dim`-dimensional
+    /// input, deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `bucket_length <= 0`, `tables == 0`, or `dim == 0`.
+    pub fn new(dim: usize, tables: usize, bucket_length: f64, seed: u64) -> EuclideanLsh {
+        assert!(bucket_length > 0.0, "bucket length must be positive");
+        assert!(tables > 0, "need at least one hash table");
+        assert!(dim > 0, "dimension must be positive");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let projections = (0..tables)
+            .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
+            .collect();
+        let offsets = (0..tables)
+            .map(|_| rng.gen::<f64>() * bucket_length)
+            .collect();
+        EuclideanLsh {
+            bucket_length,
+            projections,
+            offsets,
+        }
+    }
+
+    /// Number of hash tables `T`.
+    pub fn tables(&self) -> usize {
+        self.projections.len()
+    }
+
+    /// The bucket length `b`.
+    pub fn bucket_length(&self) -> f64 {
+        self.bucket_length
+    }
+
+    /// Hash one vector in one table.
+    pub fn hash_in_table(&self, v: &SparseVec, table: usize) -> i64 {
+        let dot = v.dot_dense(&self.projections[table]);
+        ((dot + self.offsets[table]) / self.bucket_length).floor() as i64
+    }
+
+    /// The full signature (one bucket id per table).
+    pub fn signature(&self, v: &SparseVec) -> Vec<i64> {
+        (0..self.tables())
+            .map(|t| self.hash_in_table(v, t))
+            .collect()
+    }
+
+    /// Cluster by *full signature* equality (AND over all `T` tables).
+    ///
+    /// This mirrors the Spark pattern the paper's artifact uses
+    /// (`transform` + `groupBy(hashes)`): a cluster is a set of items
+    /// whose bucket ids agree in **every** table. It deliberately
+    /// over-fragments — PG-HIVE "prefers more separate types" because the
+    /// type-extraction step merges afterwards (§4.2/§4.3). Increasing `T`
+    /// or shrinking `b` increases selectivity, matching the paper's
+    /// parameter-effect discussion.
+    pub fn cluster_signature(&self, items: &[SparseVec]) -> Clustering {
+        let signatures: Vec<Vec<i64>> = items
+            .par_iter()
+            .map(|v| self.signature(v))
+            .collect();
+        let mut buckets: HashMap<&[i64], usize> = HashMap::new();
+        let mut raw = Vec::with_capacity(items.len());
+        for sig in &signatures {
+            let next = buckets.len();
+            raw.push(*buckets.entry(sig.as_slice()).or_insert(next));
+        }
+        Clustering::from_assignment(raw)
+    }
+
+    /// Cluster under the OR rule: items sharing a bucket in *any* table
+    /// are merged transitively (union-find over collisions). This is the
+    /// search-style amplification `P_{b,T}(d) = 1-(1-p_b(d))^T`; it has
+    /// high recall but chains aggressively on dense datasets, which is
+    /// why the pipeline uses [`Self::cluster_signature`] by default. The
+    /// `merge_ablation` benchmark contrasts the two.
+    pub fn cluster(&self, items: &[SparseVec]) -> Clustering {
+        let n = items.len();
+        if n == 0 {
+            return Clustering::from_assignment(vec![]);
+        }
+        // Compute signatures in parallel (the hot loop: O(N·T·nnz)).
+        let signatures: Vec<Vec<i64>> = items
+            .par_iter()
+            .map(|v| self.signature(v))
+            .collect();
+
+        let mut uf = UnionFind::new(n);
+        let mut buckets: HashMap<i64, usize> = HashMap::new();
+        for t in 0..self.tables() {
+            buckets.clear();
+            for (i, sig) in signatures.iter().enumerate() {
+                match buckets.entry(sig[t]) {
+                    std::collections::hash_map::Entry::Occupied(first) => {
+                        uf.union(*first.get(), i);
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                }
+            }
+        }
+        Clustering::from_assignment(uf.labels())
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(coords: &[f64]) -> SparseVec {
+        SparseVec::from_dense(coords)
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let lsh = EuclideanLsh::new(4, 10, 1.0, 1);
+        let a = point(&[0.3, -1.0, 2.0, 0.0]);
+        let b = a.clone();
+        assert_eq!(lsh.signature(&a), lsh.signature(&b));
+    }
+
+    #[test]
+    fn well_separated_clusters_are_recovered() {
+        // Two tight blobs far apart.
+        let mut items = Vec::new();
+        for i in 0..20 {
+            let eps = (i as f64) * 1e-3;
+            items.push(point(&[0.0 + eps, 0.0, 0.0]));
+            items.push(point(&[100.0 + eps, 100.0, 100.0]));
+        }
+        let lsh = EuclideanLsh::new(3, 8, 1.0, 7);
+        let c = lsh.cluster(&items);
+        assert_eq!(c.num_clusters, 2);
+        // Even items (blob A) share a cluster; odd items (blob B) share
+        // the other.
+        let a = c.assignment[0];
+        let b = c.assignment[1];
+        assert_ne!(a, b);
+        for i in 0..items.len() {
+            assert_eq!(c.assignment[i], if i % 2 == 0 { a } else { b });
+        }
+    }
+
+    #[test]
+    fn larger_buckets_merge_more() {
+        let items: Vec<SparseVec> = (0..40)
+            .map(|i| point(&[i as f64 * 0.5, 0.0]))
+            .collect();
+        let fine = EuclideanLsh::new(2, 6, 0.25, 3).cluster(&items);
+        let coarse = EuclideanLsh::new(2, 6, 50.0, 3).cluster(&items);
+        assert!(
+            coarse.num_clusters <= fine.num_clusters,
+            "coarse {} vs fine {}",
+            coarse.num_clusters,
+            fine.num_clusters
+        );
+        assert_eq!(coarse.num_clusters, 1, "a giant bucket swallows all");
+    }
+
+    #[test]
+    fn clustering_is_deterministic_per_seed() {
+        let items: Vec<SparseVec> = (0..30)
+            .map(|i| point(&[(i % 3) as f64 * 10.0, (i % 5) as f64]))
+            .collect();
+        let a = EuclideanLsh::new(2, 5, 1.0, 11).cluster(&items);
+        let b = EuclideanLsh::new(2, 5, 1.0, 11).cluster(&items);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let lsh = EuclideanLsh::new(2, 3, 1.0, 0);
+        let c = lsh.cluster(&[]);
+        assert!(c.is_empty());
+        assert!(lsh.cluster_signature(&[]).is_empty());
+    }
+
+    #[test]
+    fn signature_clustering_groups_identical_vectors() {
+        let lsh = EuclideanLsh::new(3, 12, 1.0, 5);
+        let items = vec![
+            point(&[1.0, 2.0, 3.0]),
+            point(&[50.0, -2.0, 0.0]),
+            point(&[1.0, 2.0, 3.0]),
+            point(&[50.0, -2.0, 0.0]),
+        ];
+        let c = lsh.cluster_signature(&items);
+        assert_eq!(c.assignment[0], c.assignment[2]);
+        assert_eq!(c.assignment[1], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[1]);
+    }
+
+    #[test]
+    fn signature_clustering_is_at_least_as_fine_as_or_rule() {
+        let items: Vec<SparseVec> = (0..60)
+            .map(|i| point(&[(i % 4) as f64 * 3.0, (i % 2) as f64]))
+            .collect();
+        let lsh = EuclideanLsh::new(2, 6, 1.0, 9);
+        let and = lsh.cluster_signature(&items);
+        let or = lsh.cluster(&items);
+        assert!(
+            and.num_clusters >= or.num_clusters,
+            "AND {} should fragment at least as much as OR {}",
+            and.num_clusters,
+            or.num_clusters
+        );
+        // AND never separates items the OR rule puts in different
+        // clusters... the converse: OR merges everything AND merges.
+        for i in 0..items.len() {
+            for j in 0..items.len() {
+                if and.assignment[i] == and.assignment[j] {
+                    assert_eq!(or.assignment[i], or.assignment[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket length")]
+    fn zero_bucket_length_panics() {
+        let _ = EuclideanLsh::new(2, 3, 0.0, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! # pg-lsh
+//!
+//! Locality-Sensitive Hashing for PG-HIVE's clustering step (§4.2):
+//!
+//! * [`elsh::EuclideanLsh`] — bucketed random projections (p-stable LSH
+//!   for ℓ₂ distance) with bucket length `b` and `T` hash tables combined
+//!   under the OR rule; collisions are closed transitively with a
+//!   union-find, so a *cluster* is a connected component of the collision
+//!   graph.
+//! * [`minhash::MinHashLsh`] — MinHash over element sets, `T` hash
+//!   functions, OR rule.
+//! * [`adaptive`] — the paper's adaptive parameterization: sample the
+//!   graph, estimate the distance scale μ, set `b = 1.2·μ·α` with α tiered
+//!   by label count, and scale `T` with dataset size.
+//! * [`prob`] — collision-probability math: `p_b(d)` for one table
+//!   (Datar et al.) and the OR-amplified `P_{b,T}(d) = 1-(1-p_b(d))^T`.
+//! * [`sparse::SparseVec`] — the sparse feature vectors produced by
+//!   PG-HIVE's featurization (dense label embedding ‖ sparse binary
+//!   property indicators).
+
+pub mod adaptive;
+pub mod elsh;
+pub mod minhash;
+pub mod prob;
+pub mod sparse;
+pub mod unionfind;
+
+pub use adaptive::{AdaptiveParams, ElementKind};
+pub use elsh::EuclideanLsh;
+pub use minhash::MinHashLsh;
+pub use sparse::SparseVec;
+pub use unionfind::UnionFind;
+
+/// A clustering of `n` items: `assignment[i]` is the cluster id of item
+/// `i`; ids are dense in `0..num_clusters`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Cluster id per item.
+    pub assignment: Vec<usize>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+}
+
+impl Clustering {
+    /// Build from a raw assignment, renumbering ids densely while
+    /// preserving first-appearance order.
+    pub fn from_assignment(raw: Vec<usize>) -> Clustering {
+        let mut remap = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(raw.len());
+        for r in raw {
+            let next = remap.len();
+            let id = *remap.entry(r).or_insert(next);
+            assignment.push(id);
+        }
+        Clustering {
+            assignment,
+            num_clusters: remap.len(),
+        }
+    }
+
+    /// Group item indices per cluster.
+    pub fn groups(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.num_clusters];
+        for (item, &c) in self.assignment.iter().enumerate() {
+            groups[c].push(item);
+        }
+        groups
+    }
+
+    /// Number of items clustered.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the clustering is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_assignment_renumbers_densely() {
+        let c = Clustering::from_assignment(vec![5, 5, 9, 5, 2]);
+        assert_eq!(c.assignment, vec![0, 0, 1, 0, 2]);
+        assert_eq!(c.num_clusters, 3);
+        assert_eq!(c.groups(), vec![vec![0, 1, 3], vec![2], vec![4]]);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let c = Clustering::from_assignment(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters, 0);
+        assert!(c.groups().is_empty());
+    }
+}

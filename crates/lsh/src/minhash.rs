@@ -1,0 +1,213 @@
+//! MinHash LSH over element sets.
+//!
+//! `Pr[h(A) = h(B)] = J(A, B)` for a min-wise independent hash family;
+//! with `T` hash functions under the OR rule, similar sets collide in at
+//! least one function with probability `1 - (1 - J)^T`. This mirrors
+//! Spark MLlib's `MinHashLSH` (the reference the paper cites), where each
+//! "table" is a single min-hash value.
+
+use crate::unionfind::UnionFind;
+use crate::Clustering;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// A large Mersenne prime used for the universal hash family
+/// `h(x) = (a·x + b) mod p`.
+const PRIME: u64 = (1 << 61) - 1;
+
+/// A configured MinHash family with `T` hash functions.
+#[derive(Debug, Clone)]
+pub struct MinHashLsh {
+    coeffs: Vec<(u64, u64)>,
+}
+
+impl MinHashLsh {
+    /// Create a family with `tables` hash functions, deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `tables == 0`.
+    pub fn new(tables: usize, seed: u64) -> MinHashLsh {
+        assert!(tables > 0, "need at least one hash function");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let coeffs = (0..tables)
+            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
+            .collect();
+        MinHashLsh { coeffs }
+    }
+
+    /// Number of hash functions `T`.
+    pub fn tables(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// MinHash signature of a set of element ids. The empty set hashes to
+    /// a dedicated sentinel signature so that empty sets collide with each
+    /// other (two property-less elements are structurally identical) but
+    /// not with non-empty sets except with negligible probability.
+    pub fn signature(&self, set: &[u64]) -> Vec<u64> {
+        if set.is_empty() {
+            return vec![u64::MAX; self.tables()];
+        }
+        self.coeffs
+            .iter()
+            .map(|&(a, b)| {
+                set.iter()
+                    .map(|&x| {
+                        // (a*x + b) mod p via u128 to avoid overflow.
+                        ((a as u128 * x as u128 + b as u128) % PRIME as u128) as u64
+                    })
+                    .min()
+                    .expect("non-empty")
+            })
+            .collect()
+    }
+
+    /// Estimate Jaccard similarity from two signatures.
+    pub fn estimate_jaccard(sig_a: &[u64], sig_b: &[u64]) -> f64 {
+        assert_eq!(sig_a.len(), sig_b.len());
+        if sig_a.is_empty() {
+            return 0.0;
+        }
+        let agree = sig_a.iter().zip(sig_b).filter(|(a, b)| a == b).count();
+        agree as f64 / sig_a.len() as f64
+    }
+
+    /// Cluster by *full signature* equality (AND over all `T` functions),
+    /// the Spark `groupBy(hashes)` analog used by the pipeline. Sets with
+    /// identical membership always share a cluster; near-duplicates
+    /// collide with probability `J^T`.
+    pub fn cluster_signature(&self, items: &[Vec<u64>]) -> Clustering {
+        let signatures: Vec<Vec<u64>> = items
+            .par_iter()
+            .map(|s| self.signature(s))
+            .collect();
+        let mut buckets: HashMap<&[u64], usize> = HashMap::new();
+        let mut raw = Vec::with_capacity(items.len());
+        for sig in &signatures {
+            let next = buckets.len();
+            raw.push(*buckets.entry(sig.as_slice()).or_insert(next));
+        }
+        Clustering::from_assignment(raw)
+    }
+
+    /// Cluster sets under the OR rule: items whose signatures agree in at
+    /// least one hash function are merged transitively.
+    pub fn cluster(&self, items: &[Vec<u64>]) -> Clustering {
+        let n = items.len();
+        if n == 0 {
+            return Clustering::from_assignment(vec![]);
+        }
+        let signatures: Vec<Vec<u64>> = items
+            .par_iter()
+            .map(|s| self.signature(s))
+            .collect();
+        let mut uf = UnionFind::new(n);
+        let mut buckets: HashMap<u64, usize> = HashMap::new();
+        for t in 0..self.tables() {
+            buckets.clear();
+            for (i, sig) in signatures.iter().enumerate() {
+                match buckets.entry(sig[t]) {
+                    std::collections::hash_map::Entry::Occupied(first) => {
+                        uf.union(*first.get(), i);
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                }
+            }
+        }
+        Clustering::from_assignment(uf.labels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let mh = MinHashLsh::new(16, 5);
+        let a = vec![1, 2, 3, 4];
+        assert_eq!(mh.signature(&a), mh.signature(&a.clone()));
+    }
+
+    #[test]
+    fn jaccard_estimate_tracks_true_jaccard() {
+        let mh = MinHashLsh::new(512, 9);
+        // |A ∩ B| = 50, |A ∪ B| = 150 → J = 1/3.
+        let a: Vec<u64> = (0..100).collect();
+        let b: Vec<u64> = (50..150).collect();
+        let est = MinHashLsh::estimate_jaccard(&mh.signature(&a), &mh.signature(&b));
+        assert!(
+            (est - 1.0 / 3.0).abs() < 0.08,
+            "estimate {est} too far from 1/3"
+        );
+    }
+
+    #[test]
+    fn disjoint_large_sets_rarely_collide() {
+        let mh = MinHashLsh::new(16, 2);
+        let a: Vec<u64> = (0..50).collect();
+        let b: Vec<u64> = (1000..1050).collect();
+        let est = MinHashLsh::estimate_jaccard(&mh.signature(&a), &mh.signature(&b));
+        assert!(est < 0.2, "disjoint sets estimated {est}");
+    }
+
+    #[test]
+    fn clustering_groups_similar_sets() {
+        let mh = MinHashLsh::new(24, 3);
+        let mut items = Vec::new();
+        // Group A: sets around {0..20}; group B: sets around {100..120}.
+        for i in 0..10u64 {
+            let mut s: Vec<u64> = (0..20).collect();
+            s.push(20 + i); // tiny perturbation, J ≈ 20/22
+            items.push(s);
+            let mut s: Vec<u64> = (100..120).collect();
+            s.push(200 + i);
+            items.push(s);
+        }
+        let c = mh.cluster(&items);
+        assert_eq!(c.num_clusters, 2, "got {} clusters", c.num_clusters);
+        let a = c.assignment[0];
+        for i in (0..items.len()).step_by(2) {
+            assert_eq!(c.assignment[i], a);
+        }
+    }
+
+    #[test]
+    fn empty_sets_cluster_together() {
+        let mh = MinHashLsh::new(8, 1);
+        let items = vec![vec![], vec![], vec![1, 2, 3]];
+        let c = mh.cluster(&items);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_ne!(c.assignment[0], c.assignment[2]);
+    }
+
+    #[test]
+    fn signature_clustering_groups_identical_sets() {
+        let mh = MinHashLsh::new(12, 4);
+        let items = vec![
+            vec![1, 2, 3],
+            vec![7, 8, 9, 10],
+            vec![3, 2, 1],
+            vec![],
+            vec![],
+        ];
+        let c = mh.cluster_signature(&items);
+        assert_eq!(c.assignment[0], c.assignment[2], "order-insensitive");
+        assert_eq!(c.assignment[3], c.assignment[4], "empty sets together");
+        assert_ne!(c.assignment[0], c.assignment[1]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let items: Vec<Vec<u64>> = (0..20).map(|i| vec![i, i + 1, i % 5]).collect();
+        let a = MinHashLsh::new(8, 42).cluster(&items);
+        let b = MinHashLsh::new(8, 42).cluster(&items);
+        assert_eq!(a, b);
+    }
+}

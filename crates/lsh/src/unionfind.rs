@@ -1,0 +1,109 @@
+//! Disjoint-set forest with path halving and union by size.
+//!
+//! Used to close LSH collisions transitively: items sharing a bucket in
+//! at least one hash table end up in one component.
+
+/// A union-find structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint components.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Find the representative of `x` (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    /// Union the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Dense component labels in `0..component_count`, ordered by first
+    /// appearance.
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut remap = std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = self.find(i);
+            let next = remap.len();
+            out.push(*remap.entry(r).or_insert(next));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.labels(), vec![0, 0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 5);
+        uf.union(5, 3);
+        assert_eq!(uf.find(0), uf.find(3));
+        assert_ne!(uf.find(0), uf.find(1));
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.labels().is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types shared across the model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or manipulating property graphs and
+/// schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An edge referenced a node id that is not present in the graph.
+    DanglingEndpoint {
+        /// The offending node id (raw value).
+        node: u64,
+    },
+    /// A node id was inserted twice.
+    DuplicateNode {
+        /// The duplicated node id (raw value).
+        node: u64,
+    },
+    /// An edge id was inserted twice.
+    DuplicateEdge {
+        /// The duplicated edge id (raw value).
+        edge: u64,
+    },
+    /// A date or datetime literal failed validation.
+    InvalidTemporal {
+        /// The rejected literal.
+        literal: String,
+    },
+    /// A serialized graph or schema could not be parsed.
+    Parse {
+        /// Human-readable description of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DanglingEndpoint { node } => {
+                write!(f, "edge references unknown node id {node}")
+            }
+            ModelError::DuplicateNode { node } => write!(f, "duplicate node id {node}"),
+            ModelError::DuplicateEdge { edge } => write!(f, "duplicate edge id {edge}"),
+            ModelError::InvalidTemporal { literal } => {
+                write!(f, "invalid date/datetime literal {literal:?}")
+            }
+            ModelError::Parse { message } => write!(f, "parse error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::DanglingEndpoint { node: 7 };
+        assert!(e.to_string().contains('7'));
+        let e = ModelError::InvalidTemporal {
+            literal: "2024-13-40".into(),
+        };
+        assert!(e.to_string().contains("2024-13-40"));
+    }
+}

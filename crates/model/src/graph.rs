@@ -1,0 +1,548 @@
+//! The property graph itself (Definition 3.1).
+//!
+//! `G = (V, E, ρ, λ, π)`: disjoint node/edge sets, a total endpoint function
+//! for edges, a partial label assignment, and a partial key–value property
+//! assignment. Both nodes and edges may carry zero or more labels and zero
+//! or more properties.
+
+use crate::error::ModelError;
+use crate::label::{LabelSet, Symbol};
+use crate::value::PropertyValue;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of a node. Ids are stable across batches, which the
+/// incremental pipeline relies on.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u64);
+
+/// Identifier of an edge.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct EdgeId(pub u64);
+
+/// A node: entity with labels and key–value properties.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Stable identifier.
+    pub id: NodeId,
+    /// Possibly empty label set (λ is partial).
+    pub labels: LabelSet,
+    /// Key–value properties (π is partial; absent keys are simply missing).
+    pub props: BTreeMap<Symbol, PropertyValue>,
+}
+
+impl Node {
+    /// Create a node with no properties.
+    pub fn new(id: u64, labels: LabelSet) -> Self {
+        Node {
+            id: NodeId(id),
+            labels,
+            props: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style property attachment.
+    pub fn with_prop(mut self, key: &str, value: impl Into<PropertyValue>) -> Self {
+        self.props.insert(crate::label::sym(key), value.into());
+        self
+    }
+
+    /// The set of property keys present on this node.
+    pub fn key_set(&self) -> BTreeSet<Symbol> {
+        self.props.keys().cloned().collect()
+    }
+}
+
+/// An edge: a directed relationship between two nodes, with labels and
+/// properties of its own.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Stable identifier.
+    pub id: EdgeId,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Target endpoint.
+    pub tgt: NodeId,
+    /// Possibly empty label set.
+    pub labels: LabelSet,
+    /// Key–value properties.
+    pub props: BTreeMap<Symbol, PropertyValue>,
+}
+
+impl Edge {
+    /// Create an edge with no properties.
+    pub fn new(id: u64, src: NodeId, tgt: NodeId, labels: LabelSet) -> Self {
+        Edge {
+            id: EdgeId(id),
+            src,
+            tgt,
+            labels,
+            props: BTreeMap::new(),
+        }
+    }
+
+    /// Builder-style property attachment.
+    pub fn with_prop(mut self, key: &str, value: impl Into<PropertyValue>) -> Self {
+        self.props.insert(crate::label::sym(key), value.into());
+        self
+    }
+
+    /// The set of property keys present on this edge.
+    pub fn key_set(&self) -> BTreeSet<Symbol> {
+        self.props.keys().cloned().collect()
+    }
+}
+
+/// An in-memory directed property multigraph.
+///
+/// Nodes and edges are stored densely; id → position maps support O(1)
+/// lookup, and adjacency lists support degree queries (used for
+/// cardinality inference, §4.4).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PropertyGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    node_pos: HashMap<u64, u32>,
+    edge_pos: HashMap<u64, u32>,
+    out_adj: HashMap<u64, Vec<u32>>,
+    in_adj: HashMap<u64, Vec<u32>>,
+}
+
+impl PropertyGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        PropertyGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            node_pos: HashMap::with_capacity(nodes),
+            edge_pos: HashMap::with_capacity(edges),
+            out_adj: HashMap::with_capacity(nodes),
+            in_adj: HashMap::with_capacity(nodes),
+        }
+    }
+
+    /// Insert a node. Fails on duplicate id.
+    pub fn add_node(&mut self, node: Node) -> Result<NodeId, ModelError> {
+        let id = node.id;
+        if self.node_pos.contains_key(&id.0) {
+            return Err(ModelError::DuplicateNode { node: id.0 });
+        }
+        self.node_pos.insert(id.0, self.nodes.len() as u32);
+        self.nodes.push(node);
+        Ok(id)
+    }
+
+    /// Insert an edge. Fails on duplicate id or a missing endpoint.
+    pub fn add_edge(&mut self, edge: Edge) -> Result<EdgeId, ModelError> {
+        if self.edge_pos.contains_key(&edge.id.0) {
+            return Err(ModelError::DuplicateEdge { edge: edge.id.0 });
+        }
+        for ep in [edge.src, edge.tgt] {
+            if !self.node_pos.contains_key(&ep.0) {
+                return Err(ModelError::DanglingEndpoint { node: ep.0 });
+            }
+        }
+        let pos = self.edges.len() as u32;
+        self.edge_pos.insert(edge.id.0, pos);
+        self.out_adj.entry(edge.src.0).or_default().push(pos);
+        self.in_adj.entry(edge.tgt.0).or_default().push(pos);
+        self.edges.push(edge);
+        Ok(self.edges.last().expect("just pushed").id)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no nodes and no edges.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Look up a node by id.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.node_pos.get(&id.0).map(|&p| &self.nodes[p as usize])
+    }
+
+    /// Look up an edge by id.
+    pub fn edge(&self, id: EdgeId) -> Option<&Edge> {
+        self.edge_pos.get(&id.0).map(|&p| &self.edges[p as usize])
+    }
+
+    /// Mutable node lookup (used by noise injection).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        let p = *self.node_pos.get(&id.0)?;
+        self.nodes.get_mut(p as usize)
+    }
+
+    /// Mutable edge lookup (used by noise injection).
+    pub fn edge_mut(&mut self, id: EdgeId) -> Option<&mut Edge> {
+        let p = *self.edge_pos.get(&id.0)?;
+        self.edges.get_mut(p as usize)
+    }
+
+    /// Iterate all nodes in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterate all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> {
+        self.edges.iter()
+    }
+
+    /// Mutable iteration over nodes (noise injection).
+    pub fn nodes_mut(&mut self) -> impl Iterator<Item = &mut Node> {
+        self.nodes.iter_mut()
+    }
+
+    /// Mutable iteration over edges (noise injection).
+    pub fn edges_mut(&mut self) -> impl Iterator<Item = &mut Edge> {
+        self.edges.iter_mut()
+    }
+
+    /// Outgoing edges of a node.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.out_adj
+            .get(&id.0)
+            .into_iter()
+            .flatten()
+            .map(move |&p| &self.edges[p as usize])
+    }
+
+    /// Incoming edges of a node.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &Edge> {
+        self.in_adj
+            .get(&id.0)
+            .into_iter()
+            .flatten()
+            .map(move |&p| &self.edges[p as usize])
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, id: NodeId) -> usize {
+        self.out_adj.get(&id.0).map_or(0, Vec::len)
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.in_adj.get(&id.0).map_or(0, Vec::len)
+    }
+
+    /// All distinct property keys appearing on nodes, in sorted order.
+    /// This is the global key set `K` that fixes the width of the binary
+    /// property vector (§4.1).
+    pub fn node_property_keys(&self) -> Vec<Symbol> {
+        let set: BTreeSet<Symbol> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.props.keys().cloned())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// All distinct property keys appearing on edges, sorted (the set `Q`).
+    pub fn edge_property_keys(&self) -> Vec<Symbol> {
+        let set: BTreeSet<Symbol> = self
+            .edges
+            .iter()
+            .flat_map(|e| e.props.keys().cloned())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// All distinct node labels (individual labels, not label sets).
+    pub fn node_labels(&self) -> BTreeSet<Symbol> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.labels.iter().cloned())
+            .collect()
+    }
+
+    /// All distinct edge labels.
+    pub fn edge_labels(&self) -> BTreeSet<Symbol> {
+        self.edges
+            .iter()
+            .flat_map(|e| e.labels.iter().cloned())
+            .collect()
+    }
+
+    /// Remove an edge. Returns the removed edge, or `None` if absent.
+    pub fn remove_edge(&mut self, id: EdgeId) -> Option<Edge> {
+        let pos = self.edge_pos.remove(&id.0)? as usize;
+        let last = self.edges.len() - 1;
+        // Swap-remove, then repair the position map and adjacency lists
+        // for the edge that moved into `pos`.
+        let removed = self.edges.swap_remove(pos);
+        self.detach_edge(&removed, pos as u32);
+        if pos != last {
+            let moved_id = self.edges[pos].id.0;
+            self.edge_pos.insert(moved_id, pos as u32);
+            let (src, tgt) = (self.edges[pos].src.0, self.edges[pos].tgt.0);
+            for (map, node) in [(&mut self.out_adj, src), (&mut self.in_adj, tgt)] {
+                if let Some(v) = map.get_mut(&node) {
+                    for p in v.iter_mut() {
+                        if *p == last as u32 {
+                            *p = pos as u32;
+                        }
+                    }
+                }
+            }
+        }
+        Some(removed)
+    }
+
+    /// Remove a node **and all its incident edges**. Returns the removed
+    /// node, or `None` if absent.
+    pub fn remove_node(&mut self, id: NodeId) -> Option<Node> {
+        self.node_pos.get(&id.0)?;
+        // Collect incident edge ids first (both directions).
+        let incident: Vec<EdgeId> = self
+            .out_edges(id)
+            .map(|e| e.id)
+            .chain(self.in_edges(id).map(|e| e.id))
+            .collect();
+        for eid in incident {
+            self.remove_edge(eid);
+        }
+        let pos = self.node_pos.remove(&id.0)? as usize;
+        let removed = self.nodes.swap_remove(pos);
+        if pos < self.nodes.len() {
+            let moved_id = self.nodes[pos].id.0;
+            self.node_pos.insert(moved_id, pos as u32);
+        }
+        self.out_adj.remove(&id.0);
+        self.in_adj.remove(&id.0);
+        Some(removed)
+    }
+
+    /// Drop `edge`'s entries from the adjacency lists (it occupied
+    /// position `pos` before removal).
+    fn detach_edge(&mut self, edge: &Edge, pos: u32) {
+        if let Some(v) = self.out_adj.get_mut(&edge.src.0) {
+            v.retain(|&p| p != pos);
+        }
+        if let Some(v) = self.in_adj.get_mut(&edge.tgt.0) {
+            v.retain(|&p| p != pos);
+        }
+    }
+
+    /// Absorb another graph (disjoint ids assumed; duplicates error).
+    /// Used to assemble a full graph from batches.
+    pub fn absorb(&mut self, other: PropertyGraph) -> Result<(), ModelError> {
+        for n in other.nodes {
+            self.add_node(n)?;
+        }
+        for e in other.edges {
+            self.add_edge(e)?;
+        }
+        Ok(())
+    }
+
+    /// The labels of an edge's endpoints, if both are present. Edges whose
+    /// endpoints live in a different batch yield `None` for the missing
+    /// side, modeled as an empty label set.
+    pub fn endpoint_labels(&self, edge: &Edge) -> (LabelSet, LabelSet) {
+        let src = self
+            .node(edge.src)
+            .map(|n| n.labels.clone())
+            .unwrap_or_default();
+        let tgt = self
+            .node(edge.tgt)
+            .map(|n| n.labels.clone())
+            .unwrap_or_default();
+        (src, tgt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelSet;
+
+    fn person(id: u64) -> Node {
+        Node::new(id, LabelSet::single("Person"))
+            .with_prop("name", "x")
+            .with_prop("age", 30i64)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut g = PropertyGraph::new();
+        g.add_node(person(1)).unwrap();
+        g.add_node(person(2)).unwrap();
+        let e = Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("KNOWS"))
+            .with_prop("since", 2020i64);
+        g.add_edge(e).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.node(NodeId(1)).is_some());
+        assert!(g.node(NodeId(3)).is_none());
+        assert_eq!(g.edge(EdgeId(10)).unwrap().src, NodeId(1));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut g = PropertyGraph::new();
+        g.add_node(person(1)).unwrap();
+        assert_eq!(
+            g.add_node(person(1)),
+            Err(ModelError::DuplicateNode { node: 1 })
+        );
+        g.add_node(person(2)).unwrap();
+        g.add_edge(Edge::new(5, NodeId(1), NodeId(2), LabelSet::empty()))
+            .unwrap();
+        assert_eq!(
+            g.add_edge(Edge::new(5, NodeId(2), NodeId(1), LabelSet::empty())),
+            Err(ModelError::DuplicateEdge { edge: 5 })
+        );
+    }
+
+    #[test]
+    fn dangling_endpoints_rejected() {
+        let mut g = PropertyGraph::new();
+        g.add_node(person(1)).unwrap();
+        let err = g
+            .add_edge(Edge::new(5, NodeId(1), NodeId(99), LabelSet::empty()))
+            .unwrap_err();
+        assert_eq!(err, ModelError::DanglingEndpoint { node: 99 });
+        // Failed insert must not corrupt state.
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.out_degree(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let mut g = PropertyGraph::new();
+        for i in 1..=3 {
+            g.add_node(person(i)).unwrap();
+        }
+        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
+            .unwrap();
+        g.add_edge(Edge::new(11, NodeId(1), NodeId(3), LabelSet::single("KNOWS")))
+            .unwrap();
+        g.add_edge(Edge::new(12, NodeId(2), NodeId(1), LabelSet::single("KNOWS")))
+            .unwrap();
+        assert_eq!(g.out_degree(NodeId(1)), 2);
+        assert_eq!(g.in_degree(NodeId(1)), 1);
+        assert_eq!(g.out_edges(NodeId(1)).count(), 2);
+        assert_eq!(g.in_edges(NodeId(3)).count(), 1);
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn key_universe_is_sorted_and_distinct() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::empty()).with_prop("b", 1i64).with_prop("a", 2i64))
+            .unwrap();
+        g.add_node(Node::new(2, LabelSet::empty()).with_prop("b", 3i64).with_prop("c", 4i64))
+            .unwrap();
+        let keys = g.node_property_keys();
+        let names: Vec<&str> = keys.iter().map(|s| s.as_ref()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn remove_edge_repairs_indexes() {
+        let mut g = PropertyGraph::new();
+        for i in 1..=3 {
+            g.add_node(person(i)).unwrap();
+        }
+        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("E")))
+            .unwrap();
+        g.add_edge(Edge::new(11, NodeId(2), NodeId(3), LabelSet::single("E")))
+            .unwrap();
+        g.add_edge(Edge::new(12, NodeId(1), NodeId(3), LabelSet::single("E")))
+            .unwrap();
+        // Remove the first edge: edge 12 is swap-moved into its slot.
+        let removed = g.remove_edge(EdgeId(10)).unwrap();
+        assert_eq!(removed.id, EdgeId(10));
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.edge(EdgeId(10)).is_none());
+        assert_eq!(g.edge(EdgeId(12)).unwrap().tgt, NodeId(3));
+        // Adjacency is consistent after the swap.
+        assert_eq!(g.out_degree(NodeId(1)), 1);
+        assert_eq!(g.in_degree(NodeId(2)), 0);
+        assert_eq!(g.out_edges(NodeId(1)).next().unwrap().id, EdgeId(12));
+        // Removing again is a no-op.
+        assert!(g.remove_edge(EdgeId(10)).is_none());
+    }
+
+    #[test]
+    fn remove_node_cascades_to_incident_edges() {
+        let mut g = PropertyGraph::new();
+        for i in 1..=3 {
+            g.add_node(person(i)).unwrap();
+        }
+        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("E")))
+            .unwrap();
+        g.add_edge(Edge::new(11, NodeId(3), NodeId(1), LabelSet::single("E")))
+            .unwrap();
+        g.add_edge(Edge::new(12, NodeId(2), NodeId(3), LabelSet::single("E")))
+            .unwrap();
+        let removed = g.remove_node(NodeId(1)).unwrap();
+        assert_eq!(removed.id, NodeId(1));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1, "both incident edges removed");
+        assert!(g.edge(EdgeId(12)).is_some());
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+        assert!(g.remove_node(NodeId(1)).is_none());
+        // The graph still accepts new edges between survivors.
+        g.add_edge(Edge::new(13, NodeId(3), NodeId(2), LabelSet::single("E")))
+            .unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn remove_last_edge_and_node() {
+        let mut g = PropertyGraph::new();
+        g.add_node(person(1)).unwrap();
+        g.add_edge(Edge::new(5, NodeId(1), NodeId(1), LabelSet::empty()))
+            .unwrap();
+        assert!(g.remove_edge(EdgeId(5)).is_some());
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.remove_node(NodeId(1)).is_some());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_batches() {
+        let mut a = PropertyGraph::new();
+        a.add_node(person(1)).unwrap();
+        let mut b = PropertyGraph::new();
+        b.add_node(person(2)).unwrap();
+        a.absorb(b).unwrap();
+        assert_eq!(a.node_count(), 2);
+    }
+
+    #[test]
+    fn endpoint_labels_default_to_empty_for_missing_nodes() {
+        let mut g = PropertyGraph::new();
+        g.add_node(person(1)).unwrap();
+        g.add_node(person(2)).unwrap();
+        let e = Edge::new(7, NodeId(1), NodeId(2), LabelSet::single("KNOWS"));
+        g.add_edge(e.clone()).unwrap();
+        let (s, t) = g.endpoint_labels(&e);
+        assert_eq!(s, LabelSet::single("Person"));
+        assert_eq!(t, LabelSet::single("Person"));
+        // An edge object pointing at nodes this graph does not contain.
+        let phantom = Edge::new(8, NodeId(50), NodeId(51), LabelSet::empty());
+        let (s, t) = g.endpoint_labels(&phantom);
+        assert!(s.is_empty() && t.is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! Standalone schema merging (§4.6, "Schema merging").
+//!
+//! Given two schema graphs `S₁`, `S₂`, produce `S_merged` such that any
+//! graph conforming to either input conforms to the merge — the least
+//! general schema covering both. The merge rules mirror Algorithm 2 at
+//! the schema level:
+//!
+//! * **Node types.** Labeled types with the same label set merge
+//!   (property/label union, Lemma 1). Unlabeled types merge first with
+//!   a labeled type of Jaccard-similar structure (≥ θ), then with a
+//!   similar unlabeled type, else transfer as ABSTRACT types.
+//! * **Edge types.** Merge on matching labels and endpoint label sets
+//!   (connectivity ρ updated by union, Lemma 2).
+//! * **Properties.** Specs union: data types join on the lattice,
+//!   presence merges pessimistically.
+//!
+//! The result generalizes both inputs: `S₁ ⊑ S_merged` and
+//! `S₂ ⊑ S_merged` (checked by [`SchemaGraph::is_generalized_by`] in the
+//! tests, and property-tested in the workspace suite).
+
+use crate::pattern::jaccard;
+use crate::schema::{EdgeType, NodeType, SchemaGraph};
+
+/// Jaccard threshold for structure-based merging of unlabeled types.
+pub const DEFAULT_MERGE_THETA: f64 = 0.9;
+
+/// Merge two schemas into their least general upper bound (θ controls
+/// how similar unlabeled types must be to unify).
+pub fn merge_schemas(s1: &SchemaGraph, s2: &SchemaGraph, theta: f64) -> SchemaGraph {
+    let mut out = SchemaGraph::new();
+
+    // Seed with S₁'s types (fresh ids).
+    for t in &s1.node_types {
+        let mut c = t.clone();
+        c.instance_count = t.instance_count;
+        out.push_node_type(c);
+    }
+    for t in &s1.edge_types {
+        out.push_edge_type(t.clone());
+    }
+
+    // Fold S₂'s node types in.
+    for t in &s2.node_types {
+        if !t.labels.is_empty() {
+            match out
+                .node_types
+                .iter_mut()
+                .find(|o| !o.labels.is_empty() && o.labels == t.labels)
+            {
+                Some(o) => o.merge_from(t),
+                None => {
+                    out.push_node_type(t.clone());
+                }
+            }
+            continue;
+        }
+        // Unlabeled: labeled candidates first, then unlabeled.
+        let id = best_node_match(&out, t, false, theta)
+            .or_else(|| best_node_match(&out, t, true, theta));
+        match id {
+            Some(idx) => out.node_types[idx].merge_from(t),
+            None => {
+                out.push_node_type(t.clone());
+            }
+        }
+    }
+
+    // Fold S₂'s edge types in (label + endpoint key, per Def 3.6's R).
+    for t in &s2.edge_types {
+        let found = out.edge_types.iter_mut().find(|o| {
+            o.labels == t.labels
+                && endpoints_compatible(o, t)
+                && (!o.labels.is_empty() || jaccard(&o.key_set(), &t.key_set()) >= theta)
+        });
+        match found {
+            Some(o) => o.merge_from(t),
+            None => {
+                out.push_edge_type(t.clone());
+            }
+        }
+    }
+
+    out
+}
+
+fn endpoints_compatible(a: &EdgeType, b: &EdgeType) -> bool {
+    let side = |x: &crate::label::LabelSet, y: &crate::label::LabelSet| {
+        x.is_empty() || y.is_empty() || x == y
+    };
+    side(&a.src_labels, &b.src_labels) && side(&a.tgt_labels, &b.tgt_labels)
+}
+
+fn best_node_match(
+    out: &SchemaGraph,
+    t: &NodeType,
+    want_abstract: bool,
+    theta: f64,
+) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, o) in out.node_types.iter().enumerate() {
+        if o.is_abstract != want_abstract {
+            continue;
+        }
+        let sim = jaccard(&t.key_set(), &o.key_set());
+        if sim >= theta && best.map(|(b, _)| sim > b).unwrap_or(true) {
+            best = Some((sim, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelSet;
+    use crate::schema::TypeId;
+
+    fn nt(labels: &[&str], keys: &[&str]) -> NodeType {
+        let mut t = NodeType::new(
+            TypeId(0),
+            LabelSet::from_iter(labels),
+            keys.iter().map(|k| crate::label::sym(k)),
+        );
+        t.is_abstract = labels.is_empty();
+        t.instance_count = 1;
+        t
+    }
+
+    fn et(label: &str, src: &str, tgt: &str) -> EdgeType {
+        EdgeType::new(
+            TypeId(0),
+            LabelSet::single(label),
+            std::iter::empty(),
+            LabelSet::single(src),
+            LabelSet::single(tgt),
+        )
+    }
+
+    fn schema(nodes: Vec<NodeType>, edges: Vec<EdgeType>) -> SchemaGraph {
+        let mut s = SchemaGraph::new();
+        for n in nodes {
+            s.push_node_type(n);
+        }
+        for e in edges {
+            s.push_edge_type(e);
+        }
+        s
+    }
+
+    #[test]
+    fn merge_generalizes_both_inputs() {
+        let s1 = schema(
+            vec![nt(&["Person"], &["name"]), nt(&[], &["x", "y"])],
+            vec![et("KNOWS", "Person", "Person")],
+        );
+        let s2 = schema(
+            vec![nt(&["Person"], &["age"]), nt(&["Org"], &["url"])],
+            vec![et("KNOWS", "Person", "Person"), et("WORKS_AT", "Person", "Org")],
+        );
+        let m = merge_schemas(&s1, &s2, DEFAULT_MERGE_THETA);
+        assert!(s1.is_generalized_by(&m), "S1 not covered");
+        assert!(s2.is_generalized_by(&m), "S2 not covered");
+        // Person merged: one type with both keys.
+        let persons: Vec<_> = m
+            .node_types
+            .iter()
+            .filter(|t| t.labels.contains("Person"))
+            .collect();
+        assert_eq!(persons.len(), 1);
+        assert!(persons[0].properties.contains_key("name"));
+        assert!(persons[0].properties.contains_key("age"));
+        // KNOWS merged once; WORKS_AT added.
+        assert_eq!(m.edge_types.len(), 2);
+    }
+
+    #[test]
+    fn unlabeled_types_merge_by_structure() {
+        let s1 = schema(vec![nt(&[], &["a", "b", "c"])], vec![]);
+        let s2 = schema(vec![nt(&[], &["a", "b", "c"])], vec![]);
+        let m = merge_schemas(&s1, &s2, 0.9);
+        assert_eq!(m.node_types.len(), 1);
+        assert!(m.node_types[0].is_abstract);
+        assert_eq!(m.node_types[0].instance_count, 2);
+    }
+
+    #[test]
+    fn unlabeled_prefers_similar_labeled_type() {
+        let s1 = schema(vec![nt(&["T"], &["a", "b"])], vec![]);
+        let s2 = schema(vec![nt(&[], &["a", "b"])], vec![]);
+        let m = merge_schemas(&s1, &s2, 0.9);
+        assert_eq!(m.node_types.len(), 1);
+        assert!(!m.node_types[0].is_abstract);
+    }
+
+    #[test]
+    fn dissimilar_unlabeled_kept_abstract() {
+        let s1 = schema(vec![nt(&["T"], &["a", "b"])], vec![]);
+        let s2 = schema(vec![nt(&[], &["p", "q"])], vec![]);
+        let m = merge_schemas(&s1, &s2, 0.9);
+        assert_eq!(m.node_types.len(), 2);
+        assert_eq!(m.node_types.iter().filter(|t| t.is_abstract).count(), 1);
+    }
+
+    #[test]
+    fn edge_types_with_different_endpoints_stay_distinct() {
+        let s1 = schema(vec![], vec![et("ConnectsTo", "Neuron", "Neuron")]);
+        let s2 = schema(vec![], vec![et("ConnectsTo", "Segment", "Neuron")]);
+        let m = merge_schemas(&s1, &s2, 0.9);
+        assert_eq!(m.edge_types.len(), 2);
+        // Same endpoints merge.
+        let m2 = merge_schemas(&s1, &s1.clone(), 0.9);
+        assert_eq!(m2.edge_types.len(), 1);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identityish() {
+        let s1 = schema(vec![nt(&["A"], &["x"])], vec![et("E", "A", "A")]);
+        let empty = SchemaGraph::new();
+        let m = merge_schemas(&s1, &empty, 0.9);
+        assert!(s1.is_generalized_by(&m));
+        assert_eq!(m.node_types.len(), 1);
+        let m2 = merge_schemas(&empty, &s1, 0.9);
+        assert!(s1.is_generalized_by(&m2));
+    }
+
+    #[test]
+    fn merge_is_commutative_up_to_coverage() {
+        let s1 = schema(
+            vec![nt(&["A"], &["x"]), nt(&[], &["p", "q"])],
+            vec![et("E", "A", "A")],
+        );
+        let s2 = schema(
+            vec![nt(&["A"], &["y"]), nt(&["B"], &["z"])],
+            vec![et("F", "B", "A")],
+        );
+        let m12 = merge_schemas(&s1, &s2, 0.9);
+        let m21 = merge_schemas(&s2, &s1, 0.9);
+        // Not necessarily identical (ids/order), but mutually covering.
+        assert!(m12.is_generalized_by(&m21));
+        assert!(m21.is_generalized_by(&m12));
+    }
+}

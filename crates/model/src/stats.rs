@@ -1,0 +1,107 @@
+//! Dataset statistics in the shape of the paper's Table 2.
+
+use crate::graph::PropertyGraph;
+use crate::pattern::{edge_patterns, node_patterns};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Statistics of one property graph, matching Table 2's columns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct node label *sets* with at least one member
+    /// (a proxy for "Node Types" when ground truth types are label sets).
+    pub node_label_sets: usize,
+    /// Number of distinct edge label sets (non-empty).
+    pub edge_label_sets: usize,
+    /// Distinct individual node labels.
+    pub node_labels: usize,
+    /// Distinct individual edge labels.
+    pub edge_labels: usize,
+    /// Distinct node patterns (Definition 3.5).
+    pub node_patterns: usize,
+    /// Distinct edge patterns (Definition 3.6).
+    pub edge_patterns: usize,
+}
+
+impl GraphStats {
+    /// Compute all statistics with a single pass per component.
+    pub fn of(graph: &PropertyGraph) -> GraphStats {
+        let node_label_sets: BTreeSet<_> = graph
+            .nodes()
+            .filter(|n| !n.labels.is_empty())
+            .map(|n| n.labels.clone())
+            .collect();
+        let edge_label_sets: BTreeSet<_> = graph
+            .edges()
+            .filter(|e| !e.labels.is_empty())
+            .map(|e| e.labels.clone())
+            .collect();
+        GraphStats {
+            nodes: graph.node_count(),
+            edges: graph.edge_count(),
+            node_label_sets: node_label_sets.len(),
+            edge_label_sets: edge_label_sets.len(),
+            node_labels: graph.node_labels().len(),
+            edge_labels: graph.edge_labels().len(),
+            node_patterns: node_patterns(graph).len(),
+            edge_patterns: edge_patterns(graph).len(),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, {}/{} node/edge label sets, {}/{} labels, {}/{} patterns",
+            self.nodes,
+            self.edges,
+            self.node_label_sets,
+            self.edge_label_sets,
+            self.node_labels,
+            self.edge_labels,
+            self.node_patterns,
+            self.edge_patterns
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Edge, Node, NodeId};
+    use crate::label::LabelSet;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("Person")).with_prop("name", "a"))
+            .unwrap();
+        g.add_node(Node::new(2, LabelSet::from_iter(["Person", "Student"])).with_prop("name", "b"))
+            .unwrap();
+        g.add_node(Node::new(3, LabelSet::empty()).with_prop("name", "c"))
+            .unwrap();
+        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
+            .unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.node_label_sets, 2, "unlabeled node excluded");
+        assert_eq!(s.node_labels, 2, "Person and Student");
+        assert_eq!(s.edge_labels, 1);
+        assert_eq!(s.node_patterns, 3);
+        assert_eq!(s.edge_patterns, 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = GraphStats::of(&PropertyGraph::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.node_patterns, 0);
+    }
+}

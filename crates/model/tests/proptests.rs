@@ -1,0 +1,106 @@
+//! Property-based tests for the data-model invariants.
+
+use pg_model::pattern::jaccard;
+use pg_model::{DataType, Date, DateTime, LabelSet, PropertyValue, Symbol};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_labelset() -> impl Strategy<Value = LabelSet> {
+    prop::collection::vec("[A-Z][a-z]{0,6}", 0..5).prop_map(LabelSet::from_iter)
+}
+
+fn arb_keyset() -> impl Strategy<Value = BTreeSet<Symbol>> {
+    prop::collection::btree_set("[a-z]{1,6}", 0..8)
+        .prop_map(|s| s.into_iter().map(|k| pg_model::sym(&k)).collect())
+}
+
+proptest! {
+    // --- LabelSet is a lattice under union.
+    #[test]
+    fn labelset_union_is_commutative_associative_idempotent(
+        a in arb_labelset(), b in arb_labelset(), c in arb_labelset()
+    ) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        // Union upper-bounds both operands.
+        prop_assert!(a.is_subset_of(&a.union(&b)));
+        prop_assert!(b.is_subset_of(&a.union(&b)));
+    }
+
+    #[test]
+    fn labelset_canonical_token_is_order_insensitive(
+        mut labels in prop::collection::vec("[A-Z][a-z]{0,6}", 1..5)
+    ) {
+        let a = LabelSet::from_iter(labels.clone());
+        labels.reverse();
+        let b = LabelSet::from_iter(labels);
+        prop_assert_eq!(a.canonical_token(), b.canonical_token());
+    }
+
+    #[test]
+    fn labelset_subset_iff_union_absorbs(a in arb_labelset(), b in arb_labelset()) {
+        prop_assert_eq!(a.is_subset_of(&b), a.union(&b) == b);
+    }
+
+    // --- Jaccard similarity is a proper similarity.
+    #[test]
+    fn jaccard_bounds_and_symmetry(a in arb_keyset(), b in arb_keyset()) {
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, jaccard(&b, &a));
+        prop_assert_eq!(jaccard(&a, &a), 1.0);
+    }
+
+    // --- Data-type lattice.
+    #[test]
+    fn datatype_join_is_an_upper_bound(raw_a in ".*", raw_b in ".*") {
+        let ta = DataType::infer_raw(&raw_a);
+        let tb = DataType::infer_raw(&raw_b);
+        let j = ta.join(tb);
+        prop_assert_eq!(j.join(ta), j);
+        prop_assert_eq!(j.join(tb), j);
+        // The joined type admits both original values.
+        prop_assert!(j.admits(&PropertyValue::infer(&raw_a)));
+        prop_assert!(j.admits(&PropertyValue::infer(&raw_b)));
+    }
+
+    // --- Value rendering round-trips through inference.
+    #[test]
+    fn int_values_round_trip(v in any::<i64>()) {
+        let pv = PropertyValue::Int(v);
+        prop_assert_eq!(PropertyValue::infer(&pv.render()), pv);
+    }
+
+    #[test]
+    fn date_round_trips(y in 1000i32..3000, m in 1u8..=12, d in 1u8..=28) {
+        let date = Date::new(y, m, d).unwrap();
+        prop_assert_eq!(Date::parse(&date.to_string()), Some(date));
+        let pv = PropertyValue::Date(date);
+        prop_assert_eq!(PropertyValue::infer(&pv.render()), pv);
+    }
+
+    #[test]
+    fn datetime_round_trips(
+        y in 1000i32..3000, m in 1u8..=12, d in 1u8..=28,
+        h in 0u8..24, min in 0u8..60, s in 0u8..60
+    ) {
+        let dt = DateTime::new(Date::new(y, m, d).unwrap(), h, min, s).unwrap();
+        prop_assert_eq!(DateTime::parse(&dt.to_string()), Some(dt));
+    }
+
+    // --- Inference never panics on arbitrary input.
+    #[test]
+    fn inference_is_total(raw in ".*") {
+        let _ = PropertyValue::infer(&raw);
+        let _ = DataType::infer_raw(&raw);
+    }
+
+    // --- total_cmp is a total order (antisymmetric + transitive on a
+    //     sample).
+    #[test]
+    fn value_ordering_is_consistent(a in any::<i64>(), b in any::<i64>()) {
+        let (va, vb) = (PropertyValue::Int(a), PropertyValue::Int(b));
+        prop_assert_eq!(va.total_cmp(&vb), vb.total_cmp(&va).reverse());
+    }
+}

@@ -1,0 +1,287 @@
+//! CSV import/export of property graphs.
+//!
+//! The paper's datasets ship as CSV dumps (e.g. the neuPrint and LDBC
+//! exports). This module reads/writes a wide CSV layout:
+//!
+//! * `nodes.csv`: `id,labels,<key1>,<key2>,…` — one column per distinct
+//!   property key; empty cells mean the property is absent; labels are
+//!   `;`-separated inside one cell.
+//! * `edges.csv`: `id,src,tgt,labels,<key1>,…`.
+//!
+//! Values are rendered with [`pg_model::PropertyValue::render`] and
+//! re-typed on load with [`pg_model::PropertyValue::infer`], mirroring how
+//! the paper ingests untyped CSV values and infers data types later.
+
+use pg_model::{Edge, LabelSet, ModelError, Node, NodeId, PropertyGraph, PropertyValue};
+use std::fmt::Write as _;
+
+/// Escape one CSV field (RFC-4180 style quoting).
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut s = String::with_capacity(field.len() + 2);
+        s.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                s.push('"');
+            }
+            s.push(c);
+        }
+        s.push('"');
+        s
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Split one CSV line into fields, honoring quotes.
+fn split_line(line: &str) -> Result<Vec<String>, ModelError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(ModelError::Parse {
+            message: format!("unterminated quote in line {line:?}"),
+        });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Serialize the nodes of a graph to CSV.
+pub fn nodes_to_csv(graph: &PropertyGraph) -> String {
+    let keys = graph.node_property_keys();
+    let mut out = String::new();
+    out.push_str("id,labels");
+    for k in &keys {
+        let _ = write!(out, ",{}", escape(k));
+    }
+    out.push('\n');
+    for n in graph.nodes() {
+        let labels = n
+            .labels
+            .iter()
+            .map(|l| l.as_ref())
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = write!(out, "{},{}", n.id.0, escape(&labels));
+        for k in &keys {
+            out.push(',');
+            if let Some(v) = n.props.get(k) {
+                out.push_str(&escape(&v.render()));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialize the edges of a graph to CSV.
+pub fn edges_to_csv(graph: &PropertyGraph) -> String {
+    let keys = graph.edge_property_keys();
+    let mut out = String::new();
+    out.push_str("id,src,tgt,labels");
+    for k in &keys {
+        let _ = write!(out, ",{}", escape(k));
+    }
+    out.push('\n');
+    for e in graph.edges() {
+        let labels = e
+            .labels
+            .iter()
+            .map(|l| l.as_ref())
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = write!(out, "{},{},{},{}", e.id.0, e.src.0, e.tgt.0, escape(&labels));
+        for k in &keys {
+            out.push(',');
+            if let Some(v) = e.props.get(k) {
+                out.push_str(&escape(&v.render()));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_labels(cell: &str) -> LabelSet {
+    if cell.is_empty() {
+        LabelSet::empty()
+    } else {
+        LabelSet::from_iter(cell.split(';'))
+    }
+}
+
+/// Parse a graph from node and edge CSVs produced by [`nodes_to_csv`] /
+/// [`edges_to_csv`].
+pub fn graph_from_csv(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph, ModelError> {
+    let mut graph = PropertyGraph::new();
+
+    let mut node_lines = nodes_csv.lines().filter(|l| !l.trim().is_empty());
+    if let Some(header) = node_lines.next() {
+        let cols = split_line(header)?;
+        if cols.len() < 2 || cols[0] != "id" || cols[1] != "labels" {
+            return Err(ModelError::Parse {
+                message: "node CSV header must start with id,labels".into(),
+            });
+        }
+        for line in node_lines {
+            let fields = split_line(line)?;
+            if fields.len() != cols.len() {
+                return Err(ModelError::Parse {
+                    message: format!("node row has {} fields, expected {}", fields.len(), cols.len()),
+                });
+            }
+            let id: u64 = fields[0].parse().map_err(|_| ModelError::Parse {
+                message: format!("bad node id {:?}", fields[0]),
+            })?;
+            let mut node = Node::new(id, parse_labels(&fields[1]));
+            for (col, val) in cols.iter().zip(&fields).skip(2) {
+                if !val.is_empty() {
+                    node.props
+                        .insert(pg_model::sym(col), PropertyValue::infer(val));
+                }
+            }
+            graph.add_node(node)?;
+        }
+    }
+
+    let mut edge_lines = edges_csv.lines().filter(|l| !l.trim().is_empty());
+    if let Some(header) = edge_lines.next() {
+        let cols = split_line(header)?;
+        if cols.len() < 4 || cols[0] != "id" || cols[1] != "src" || cols[2] != "tgt" {
+            return Err(ModelError::Parse {
+                message: "edge CSV header must start with id,src,tgt,labels".into(),
+            });
+        }
+        for line in edge_lines {
+            let fields = split_line(line)?;
+            if fields.len() != cols.len() {
+                return Err(ModelError::Parse {
+                    message: format!("edge row has {} fields, expected {}", fields.len(), cols.len()),
+                });
+            }
+            let parse_u64 = |s: &str| -> Result<u64, ModelError> {
+                s.parse().map_err(|_| ModelError::Parse {
+                    message: format!("bad id {s:?}"),
+                })
+            };
+            let mut edge = Edge::new(
+                parse_u64(&fields[0])?,
+                NodeId(parse_u64(&fields[1])?),
+                NodeId(parse_u64(&fields[2])?),
+                parse_labels(&fields[3]),
+            );
+            for (col, val) in cols.iter().zip(&fields).skip(4) {
+                if !val.is_empty() {
+                    edge.props
+                        .insert(pg_model::sym(col), PropertyValue::infer(val));
+                }
+            }
+            graph.add_edge(edge)?;
+        }
+    }
+
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node(
+            Node::new(1, LabelSet::from_iter(["Person", "Student"]))
+                .with_prop("name", "Alice, \"the\" brave")
+                .with_prop("age", 30i64),
+        )
+        .unwrap();
+        g.add_node(Node::new(2, LabelSet::single("Org")).with_prop("url", "x.org"))
+            .unwrap();
+        g.add_edge(
+            Edge::new(9, NodeId(1), NodeId(2), LabelSet::single("WORKS_AT"))
+                .with_prop("from", 2020i64),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = sample();
+        let n = nodes_to_csv(&g);
+        let e = edges_to_csv(&g);
+        let g2 = graph_from_csv(&n, &e).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        let alice = g2.node(NodeId(1)).unwrap();
+        assert_eq!(alice.labels, LabelSet::from_iter(["Person", "Student"]));
+        assert_eq!(
+            alice.props.get("name"),
+            Some(&PropertyValue::Str("Alice, \"the\" brave".into()))
+        );
+        assert_eq!(alice.props.get("age"), Some(&PropertyValue::Int(30)));
+        let w = g2.edge(pg_model::EdgeId(9)).unwrap();
+        assert_eq!(w.props.get("from"), Some(&PropertyValue::Int(2020)));
+    }
+
+    #[test]
+    fn quoting_is_rfc4180() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(
+            split_line("a,\"b,c\",\"d\"\"e\"").unwrap(),
+            vec!["a", "b,c", "d\"e"]
+        );
+        assert!(split_line("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        assert!(graph_from_csv("nope,labels\n", "id,src,tgt,labels\n").is_err());
+        assert!(graph_from_csv("id,labels\n", "id,source,target,labels\n").is_err());
+    }
+
+    #[test]
+    fn row_width_mismatch_is_rejected() {
+        let bad = "id,labels,name\n1,Person\n";
+        assert!(graph_from_csv(bad, "id,src,tgt,labels\n").is_err());
+    }
+
+    #[test]
+    fn empty_cells_mean_absent_properties() {
+        let nodes = "id,labels,name,age\n1,Person,Bob,\n2,Person,,41\n";
+        let g = graph_from_csv(nodes, "id,src,tgt,labels\n").unwrap();
+        assert_eq!(g.node(NodeId(1)).unwrap().props.len(), 1);
+        assert_eq!(g.node(NodeId(2)).unwrap().props.len(), 1);
+        assert_eq!(
+            g.node(NodeId(2)).unwrap().props.get("age"),
+            Some(&PropertyValue::Int(41))
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Secondary indexes over a property graph: label → elements and
+//! property-key → elements.
+//!
+//! The paper motivates schema discovery partly through query
+//! optimization (§1); these indexes provide the ground-truth
+//! cardinalities that `pg-hive`'s schema-based selectivity estimates are
+//! validated against, and give store consumers fast lookups.
+
+use pg_model::{EdgeId, LabelSet, NodeId, PropertyGraph, Symbol};
+use std::collections::HashMap;
+
+/// Immutable secondary indexes built from one pass over the graph.
+#[derive(Debug, Clone, Default)]
+pub struct GraphIndex {
+    nodes_by_label: HashMap<Symbol, Vec<NodeId>>,
+    nodes_by_key: HashMap<Symbol, Vec<NodeId>>,
+    edges_by_label: HashMap<Symbol, Vec<EdgeId>>,
+    edges_by_key: HashMap<Symbol, Vec<EdgeId>>,
+    node_count: usize,
+    edge_count: usize,
+}
+
+impl GraphIndex {
+    /// Build all indexes in a single scan.
+    pub fn build(graph: &PropertyGraph) -> GraphIndex {
+        let mut idx = GraphIndex {
+            node_count: graph.node_count(),
+            edge_count: graph.edge_count(),
+            ..GraphIndex::default()
+        };
+        for n in graph.nodes() {
+            for l in n.labels.iter() {
+                idx.nodes_by_label.entry(l.clone()).or_default().push(n.id);
+            }
+            for k in n.props.keys() {
+                idx.nodes_by_key.entry(k.clone()).or_default().push(n.id);
+            }
+        }
+        for e in graph.edges() {
+            for l in e.labels.iter() {
+                idx.edges_by_label.entry(l.clone()).or_default().push(e.id);
+            }
+            for k in e.props.keys() {
+                idx.edges_by_key.entry(k.clone()).or_default().push(e.id);
+            }
+        }
+        idx
+    }
+
+    /// Nodes carrying a label.
+    pub fn nodes_with_label(&self, label: &str) -> &[NodeId] {
+        self.nodes_by_label
+            .get(label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Nodes carrying a property key.
+    pub fn nodes_with_key(&self, key: &str) -> &[NodeId] {
+        self.nodes_by_key
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Edges carrying a label.
+    pub fn edges_with_label(&self, label: &str) -> &[EdgeId] {
+        self.edges_by_label
+            .get(label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Edges carrying a property key.
+    pub fn edges_with_key(&self, key: &str) -> &[EdgeId] {
+        self.edges_by_key
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Nodes matching an entire label set (intersection of per-label
+    /// postings; cheapest list drives).
+    pub fn nodes_with_labels(&self, labels: &LabelSet) -> Vec<NodeId> {
+        let mut lists: Vec<&[NodeId]> = labels
+            .iter()
+            .map(|l| self.nodes_with_label(l.as_ref()))
+            .collect();
+        if lists.is_empty() {
+            return Vec::new();
+        }
+        lists.sort_by_key(|l| l.len());
+        let (first, rest) = lists.split_first().expect("non-empty");
+        let rest_sets: Vec<std::collections::HashSet<&NodeId>> =
+            rest.iter().map(|l| l.iter().collect()).collect();
+        first
+            .iter()
+            .filter(|id| rest_sets.iter().all(|s| s.contains(id)))
+            .copied()
+            .collect()
+    }
+
+    /// Indexed node universe size.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Indexed edge universe size.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{Edge, Node};
+
+    fn graph() -> PropertyGraph {
+        let mut g = PropertyGraph::new();
+        g.add_node(
+            Node::new(1, LabelSet::from_iter(["Person", "Student"])).with_prop("name", "a"),
+        )
+        .unwrap();
+        g.add_node(Node::new(2, LabelSet::single("Person")).with_prop("age", 30i64))
+            .unwrap();
+        g.add_node(Node::new(3, LabelSet::single("Org")).with_prop("name", "x"))
+            .unwrap();
+        g.add_edge(
+            Edge::new(10, NodeId(1), NodeId(3), LabelSet::single("WORKS_AT"))
+                .with_prop("from", 2020i64),
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn label_and_key_lookups() {
+        let idx = GraphIndex::build(&graph());
+        assert_eq!(idx.nodes_with_label("Person"), &[NodeId(1), NodeId(2)]);
+        assert_eq!(idx.nodes_with_label("Org"), &[NodeId(3)]);
+        assert!(idx.nodes_with_label("Nope").is_empty());
+        assert_eq!(idx.nodes_with_key("name"), &[NodeId(1), NodeId(3)]);
+        assert_eq!(idx.edges_with_label("WORKS_AT"), &[EdgeId(10)]);
+        assert_eq!(idx.edges_with_key("from"), &[EdgeId(10)]);
+        assert_eq!(idx.node_count(), 3);
+        assert_eq!(idx.edge_count(), 1);
+    }
+
+    #[test]
+    fn label_set_intersection() {
+        let idx = GraphIndex::build(&graph());
+        assert_eq!(
+            idx.nodes_with_labels(&LabelSet::from_iter(["Person", "Student"])),
+            vec![NodeId(1)]
+        );
+        assert_eq!(
+            idx.nodes_with_labels(&LabelSet::single("Person")),
+            vec![NodeId(1), NodeId(2)]
+        );
+        assert!(idx.nodes_with_labels(&LabelSet::empty()).is_empty());
+        assert!(idx
+            .nodes_with_labels(&LabelSet::from_iter(["Person", "Org"]))
+            .is_empty());
+    }
+
+    #[test]
+    fn empty_graph_index() {
+        let idx = GraphIndex::build(&PropertyGraph::new());
+        assert!(idx.nodes_with_label("X").is_empty());
+        assert_eq!(idx.node_count(), 0);
+    }
+}

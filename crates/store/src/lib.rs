@@ -1,0 +1,29 @@
+//! # pg-store
+//!
+//! The storage substrate PG-HIVE reads from. The paper loads nodes and
+//! edges from Neo4j with a single query into a Spark DataFrame; this crate
+//! plays both roles:
+//!
+//! * [`GraphStore`] — a thread-safe in-memory property-graph store.
+//! * [`load()`] — the "single query" loading step: it materializes
+//!   [`NodeRecord`]s and [`EdgeRecord`]s, where each edge record already
+//!   carries its endpoint labels (the paper queries edges together with
+//!   the labels of their source and target so the edge feature vector can
+//!   be built without joins).
+//! * [`csv`] / [`jsonl`] — flat-file import/export, standing in for the
+//!   CSV dumps the paper's datasets ship as.
+//! * [`batch`] — the random batch splitter used by the incremental
+//!   experiments (§5, Figure 7).
+//! * [`query`] — degree aggregations used for cardinality inference.
+
+pub mod batch;
+pub mod index;
+pub mod csv;
+pub mod jsonl;
+pub mod load;
+pub mod memstore;
+pub mod query;
+
+pub use batch::{split_batches, GraphBatch};
+pub use load::{load, EdgeRecord, NodeRecord};
+pub use memstore::GraphStore;

@@ -1,0 +1,78 @@
+//! Degree aggregations used by cardinality inference (§4.4).
+//!
+//! For an edge type ρ the paper computes
+//! `max_out(ρ) = max_s |{t : (s→t) ∈ E, type(s→t)=ρ}|` and symmetrically
+//! `max_in(ρ)`, counting *distinct* endpoints.
+
+use pg_model::{Cardinality, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Compute `(max_out, max_in)` over a set of `(src, tgt)` endpoint pairs
+/// belonging to a single edge type, counting distinct neighbors.
+///
+/// Returns `Cardinality { max_out: 0, max_in: 0 }` for an empty input.
+pub fn max_degrees<I>(pairs: I) -> Cardinality
+where
+    I: IntoIterator<Item = (NodeId, NodeId)>,
+{
+    let mut out: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let mut inc: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    for (s, t) in pairs {
+        out.entry(s).or_default().insert(t);
+        inc.entry(t).or_default().insert(s);
+    }
+    Cardinality {
+        max_out: out.values().map(|s| s.len() as u64).max().unwrap_or(0),
+        max_in: inc.values().map(|s| s.len() as u64).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::CardinalityClass;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = max_degrees(std::iter::empty());
+        assert_eq!(c.max_out, 0);
+        assert_eq!(c.max_in, 0);
+    }
+
+    #[test]
+    fn works_at_is_n_to_1() {
+        // Many people work at one org; each person works at exactly one.
+        let pairs = vec![(n(1), n(10)), (n(2), n(10)), (n(3), n(10))];
+        let c = max_degrees(pairs);
+        assert_eq!(c.max_out, 1);
+        assert_eq!(c.max_in, 3);
+        assert_eq!(c.class(), CardinalityClass::OneToMany);
+    }
+
+    #[test]
+    fn knows_is_m_to_n() {
+        let pairs = vec![
+            (n(1), n(2)),
+            (n(1), n(3)),
+            (n(2), n(1)),
+            (n(3), n(1)),
+        ];
+        let c = max_degrees(pairs);
+        assert_eq!(c.max_out, 2);
+        assert_eq!(c.max_in, 2);
+        assert_eq!(c.class(), CardinalityClass::ManyToMany);
+    }
+
+    #[test]
+    fn duplicate_pairs_count_once() {
+        let pairs = vec![(n(1), n(2)), (n(1), n(2)), (n(1), n(2))];
+        let c = max_degrees(pairs);
+        assert_eq!(c.max_out, 1);
+        assert_eq!(c.max_in, 1);
+        assert_eq!(c.class(), CardinalityClass::OneToOne);
+    }
+}

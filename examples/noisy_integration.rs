@@ -1,0 +1,71 @@
+//! The integration scenario the paper motivates: heterogeneous data
+//! with missing properties and partial labels. PG-HIVE keeps working
+//! where the baselines refuse or degrade.
+//!
+//! ```sh
+//! cargo run --release --example noisy_integration
+//! ```
+
+use pg_baselines::{GmmSchema, SchemI};
+use pg_datasets::{generate, inject_noise, spec_by_name, NoiseConfig};
+use pg_eval::majority_f1;
+use pg_hive::{HiveConfig, PgHive};
+use pg_model::NodeId;
+
+fn main() {
+    // The ICIJ twin: offshore-leaks integration, hundreds of structural
+    // patterns over five entity types.
+    let spec = spec_by_name("ICIJ").expect("catalog dataset").scaled(0.3);
+
+    println!("ICIJ twin under increasing degradation (node-type F1*):\n");
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "scenario", "PG-HIVE", "GMMSchema", "SchemI"
+    );
+
+    for (name, noise, avail) in [
+        ("clean, all labels", 0.0, 1.0),
+        ("30% noise, all labels", 0.3, 1.0),
+        ("30% noise, half labels", 0.3, 0.5),
+        ("40% noise, no labels", 0.4, 0.0),
+    ] {
+        let (mut graph, gt) = generate(&spec, 9);
+        inject_noise(
+            &mut graph,
+            NoiseConfig {
+                property_removal: noise,
+                label_availability: avail,
+                seed: 5,
+            },
+        );
+
+        let hive = PgHive::new(HiveConfig::default()).discover_graph(&graph);
+        let hive_clusters: Vec<Vec<NodeId>> = hive.node_members().into_values().collect();
+        let hive_f1 = majority_f1(&hive_clusters, &gt.node_type).macro_f1;
+
+        let gmm = GmmSchema::new()
+            .discover(&graph)
+            .map(|o| majority_f1(&o.node_clusters, &gt.node_type).macro_f1);
+        let schemi = SchemI::new()
+            .discover(&graph)
+            .map(|o| majority_f1(&o.node_clusters, &gt.node_type).macro_f1);
+
+        let fmt = |r: Result<f64, pg_baselines::BaselineError>| match r {
+            Ok(f) => format!("{f:.3}"),
+            Err(_) => "refuses".to_owned(),
+        };
+        println!(
+            "{:<28} {:>10.3} {:>10} {:>10}",
+            name,
+            hive_f1,
+            fmt(gmm),
+            fmt(schemi)
+        );
+    }
+
+    println!(
+        "\nPG-HIVE's hybrid features (label embedding + property bitmap) and\n\
+         its Jaccard merging step keep clusters type-pure even when labels\n\
+         vanish; the baselines either refuse (missing labels) or mix types."
+    );
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the PG-HIVE workspace: hosts the runnable examples
+//! and cross-crate integration tests. Re-exports the member crates for
+//! convenience.
+
+pub use pg_baselines as baselines;
+pub use pg_datasets as datasets;
+pub use pg_embed as embed;
+pub use pg_eval as eval;
+pub use pg_hive as hive;
+pub use pg_lsh as lsh;
+pub use pg_model as model;
+pub use pg_store as store;

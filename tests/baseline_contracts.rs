@@ -1,0 +1,103 @@
+//! Cross-crate contracts of the baselines against generated datasets —
+//! the Table 1 capability matrix, executed.
+
+use pg_baselines::{BaselineError, GmmSchema, SchemI};
+use pg_datasets::{generate, inject_noise, spec_by_name, NoiseConfig};
+use pg_eval::majority_f1;
+
+#[test]
+fn baselines_run_on_every_fully_labeled_dataset() {
+    for name in ["POLE", "MB6", "HET.IO", "FIB25", "ICIJ", "CORD19", "LDBC"] {
+        let spec = spec_by_name(name).unwrap().scaled(0.04);
+        let (graph, gt) = generate(&spec, 1);
+        let schemi = SchemI::new().discover(&graph).unwrap();
+        assert!(!schemi.node_clusters.is_empty(), "{name}");
+        let f1 = majority_f1(&schemi.node_clusters, &gt.node_type).macro_f1;
+        assert!(f1 > 0.3, "{name}: SchemI F1 {f1} implausibly low");
+
+        let gmm = GmmSchema::new().discover(&graph).unwrap();
+        assert!(gmm.edge_clusters.is_none(), "{name}: GMM must not emit edges");
+        let total: usize = gmm.node_clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, graph.node_count(), "{name}: GMM must cover all nodes");
+    }
+}
+
+#[test]
+fn both_baselines_refuse_any_missing_label() {
+    let spec = spec_by_name("POLE").unwrap().scaled(0.04);
+    let (mut graph, _) = generate(&spec, 2);
+    inject_noise(
+        &mut graph,
+        NoiseConfig {
+            property_removal: 0.0,
+            label_availability: 0.5,
+            seed: 3,
+        },
+    );
+    assert!(matches!(
+        SchemI::new().discover(&graph),
+        Err(BaselineError::RequiresFullLabels { .. })
+    ));
+    assert!(matches!(
+        GmmSchema::new().discover(&graph),
+        Err(BaselineError::RequiresFullLabels { .. })
+    ));
+}
+
+#[test]
+fn schemi_mixes_multilabel_datasets() {
+    // MB6's Neuron {Cell, DataModel, Neuron} and Segment {Cell, Segment}
+    // both type as "Cell" under first-label typing → SchemI mixes them,
+    // while PG-HIVE keeps them apart. This is the 100%-labels accuracy
+    // gap of Figure 4.
+    let spec = spec_by_name("MB6").unwrap().scaled(0.04);
+    let (graph, gt) = generate(&spec, 4);
+    let schemi = SchemI::new().discover(&graph).unwrap();
+    let schemi_f1 = majority_f1(&schemi.node_clusters, &gt.node_type).macro_f1;
+    assert!(
+        schemi_f1 < 0.95,
+        "SchemI should mix MB6's multilabel types, got {schemi_f1}"
+    );
+
+    let hive = pg_hive::PgHive::new(pg_hive::HiveConfig::default()).discover_graph(&graph);
+    let clusters: Vec<Vec<pg_model::NodeId>> = hive.node_members().into_values().collect();
+    let hive_f1 = majority_f1(&clusters, &gt.node_type).macro_f1;
+    assert!(hive_f1 > schemi_f1, "PG-HIVE {hive_f1} vs SchemI {schemi_f1}");
+}
+
+#[test]
+fn gmm_degrades_with_noise_while_hive_does_not() {
+    let spec = spec_by_name("MB6").unwrap().scaled(0.06);
+    let mut gmm_scores = Vec::new();
+    let mut hive_scores = Vec::new();
+    for noise in [0.0, 0.4] {
+        let (mut graph, gt) = generate(&spec, 5);
+        inject_noise(
+            &mut graph,
+            NoiseConfig {
+                property_removal: noise,
+                label_availability: 1.0,
+                seed: 6,
+            },
+        );
+        gmm_scores.push(
+            GmmSchema::new()
+                .discover(&graph)
+                .map(|o| majority_f1(&o.node_clusters, &gt.node_type).macro_f1)
+                .unwrap(),
+        );
+        let hive =
+            pg_hive::PgHive::new(pg_hive::HiveConfig::default()).discover_graph(&graph);
+        let clusters: Vec<Vec<pg_model::NodeId>> =
+            hive.node_members().into_values().collect();
+        hive_scores.push(majority_f1(&clusters, &gt.node_type).macro_f1);
+    }
+    assert!(
+        gmm_scores[1] < gmm_scores[0] - 0.1,
+        "GMM should drop under 40% noise: {gmm_scores:?}"
+    );
+    assert!(
+        hive_scores[1] > 0.95,
+        "PG-HIVE should stay high: {hive_scores:?}"
+    );
+}

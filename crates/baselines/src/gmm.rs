@@ -79,10 +79,7 @@ impl Gmm {
                     },
                 )
             })
-            .max_by(|a, b| {
-                a.log_likelihood(data)
-                    .total_cmp(&b.log_likelihood(data))
-            })
+            .max_by(|a, b| a.log_likelihood(data).total_cmp(&b.log_likelihood(data)))
             .expect("at least one run")
     }
 
@@ -111,8 +108,7 @@ impl Gmm {
                 .map(|(row_resp, x)| {
                     let logp: Vec<f64> = (0..k)
                         .map(|c| {
-                            weights[c].max(1e-300).ln()
-                                + log_gaussian_diag(x, &means[c], &vars[c])
+                            weights[c].max(1e-300).ln() + log_gaussian_diag(x, &means[c], &vars[c])
                         })
                         .collect();
                     let mx = logp.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -135,8 +131,8 @@ impl Gmm {
                 let nc_safe = nc.max(1e-10);
                 weights[c] = nc / n as f64;
                 for d in 0..dim {
-                    let mean: f64 = (0..n).map(|i| resp[i * k + c] * data[i][d]).sum::<f64>()
-                        / nc_safe;
+                    let mean: f64 =
+                        (0..n).map(|i| resp[i * k + c] * data[i][d]).sum::<f64>() / nc_safe;
                     means[c][d] = mean;
                 }
                 for d in 0..dim {
@@ -265,10 +261,7 @@ fn global_variance(data: &[Vec<f64>], floor: f64) -> Vec<f64> {
 fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut ChaCha8Rng) -> Vec<Vec<f64>> {
     let mut centers = Vec::with_capacity(k);
     centers.push(data[rng.gen_range(0..data.len())].clone());
-    let mut d2: Vec<f64> = data
-        .iter()
-        .map(|x| sq_dist(x, &centers[0]))
-        .collect();
+    let mut d2: Vec<f64> = data.iter().map(|x| sq_dist(x, &centers[0])).collect();
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let idx = if total <= f64::EPSILON {
@@ -306,10 +299,7 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..n {
             let center = if i % 2 == 0 { 0.0 } else { 10.0 };
-            data.push(vec![
-                center + rng.gen::<f64>(),
-                center - rng.gen::<f64>(),
-            ]);
+            data.push(vec![center + rng.gen::<f64>(), center - rng.gen::<f64>()]);
         }
         data
     }

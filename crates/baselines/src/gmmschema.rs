@@ -114,10 +114,8 @@ impl GmmSchema {
             v
         };
 
-        let all: Vec<(pg_model::NodeId, Vec<f64>)> = graph
-            .nodes()
-            .map(|n| (n.id, featurize(n)))
-            .collect();
+        let all: Vec<(pg_model::NodeId, Vec<f64>)> =
+            graph.nodes().map(|n| (n.id, featurize(n))).collect();
 
         // Sampling for large graphs (limitation (iv) in §2).
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.gmm.seed);

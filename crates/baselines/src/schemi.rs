@@ -46,16 +46,10 @@ impl SchemI {
             return Err(BaselineError::RequiresFullLabels { unlabeled });
         }
 
-        let (node_clusters, node_patterns) = cluster_by_first_label(
-            graph
-                .nodes()
-                .map(|n| (n.id, &n.labels, n.key_set())),
-        );
-        let (edge_clusters, edge_patterns) = cluster_by_first_label(
-            graph
-                .edges()
-                .map(|e| (e.id, &e.labels, e.key_set())),
-        );
+        let (node_clusters, node_patterns) =
+            cluster_by_first_label(graph.nodes().map(|n| (n.id, &n.labels, n.key_set())));
+        let (edge_clusters, edge_patterns) =
+            cluster_by_first_label(graph.edges().map(|e| (e.id, &e.labels, e.key_set())));
         // Hierarchy inference (the original SchemI's subtype lattice):
         // exhaustive pairwise containment. The result is not needed for
         // scoring, but the pass is part of the method's cost profile.
@@ -157,8 +151,10 @@ mod tests {
     fn groups_by_label_when_disjoint() {
         let mut g = PropertyGraph::new();
         for i in 0..10u64 {
-            g.add_node(Node::new(i, LabelSet::single("Person"))).unwrap();
-            g.add_node(Node::new(100 + i, LabelSet::single("Org"))).unwrap();
+            g.add_node(Node::new(i, LabelSet::single("Person")))
+                .unwrap();
+            g.add_node(Node::new(100 + i, LabelSet::single("Org")))
+                .unwrap();
         }
         let out = SchemI::new().discover(&g).unwrap();
         assert_eq!(out.node_clusters.len(), 2);
@@ -170,7 +166,8 @@ mod tests {
         // {Person} and {Person, Student} both type as "Person" (mixing
         // on datasets whose ground truth distinguishes the two).
         let mut g = PropertyGraph::new();
-        g.add_node(Node::new(1, LabelSet::single("Person"))).unwrap();
+        g.add_node(Node::new(1, LabelSet::single("Person")))
+            .unwrap();
         g.add_node(Node::new(2, LabelSet::from_iter(["Person", "Student"])))
             .unwrap();
         g.add_node(Node::new(3, LabelSet::single("Org"))).unwrap();
@@ -187,8 +184,11 @@ mod tests {
         let mut g = PropertyGraph::new();
         g.add_node(Node::new(1, LabelSet::from_iter(["Gene", "HetionetNode"])))
             .unwrap();
-        g.add_node(Node::new(2, LabelSet::from_iter(["Disease", "HetionetNode"])))
-            .unwrap();
+        g.add_node(Node::new(
+            2,
+            LabelSet::from_iter(["Disease", "HetionetNode"]),
+        ))
+        .unwrap();
         let out = SchemI::new().discover(&g).unwrap();
         assert_eq!(out.node_clusters.len(), 2);
     }
@@ -214,12 +214,27 @@ mod tests {
         for i in 0..4u64 {
             g.add_node(Node::new(i, LabelSet::single("N"))).unwrap();
         }
-        g.add_edge(Edge::new(10, NodeId(0), NodeId(1), LabelSet::single("KNOWS")))
-            .unwrap();
-        g.add_edge(Edge::new(11, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
-            .unwrap();
-        g.add_edge(Edge::new(12, NodeId(2), NodeId(3), LabelSet::single("LIKES")))
-            .unwrap();
+        g.add_edge(Edge::new(
+            10,
+            NodeId(0),
+            NodeId(1),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::new(
+            11,
+            NodeId(1),
+            NodeId(2),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::new(
+            12,
+            NodeId(2),
+            NodeId(3),
+            LabelSet::single("LIKES"),
+        ))
+        .unwrap();
         let out = SchemI::new().discover(&g).unwrap();
         let ec = out.edge_clusters.unwrap();
         assert_eq!(ec.len(), 2);
@@ -233,11 +248,7 @@ mod tests {
             label: pg_model::sym(label),
             keys: keys.iter().map(|k| pg_model::sym(k)).collect(),
         };
-        let pats = vec![
-            p("A", &["x", "y"]),
-            p("A", &["x"]),
-            p("B", &["x"]),
-        ];
+        let pats = vec![p("A", &["x", "y"]), p("A", &["x"]), p("B", &["x"])];
         let h = pattern_hierarchy(&pats);
         assert!(h.contains(&(0, 1)), "A{{x,y}} subsumes A{{x}}");
         assert!(!h.contains(&(0, 2)), "different labels never subsume");

@@ -10,7 +10,9 @@ use std::time::Duration;
 
 fn adaptive_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptive_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     for ds in BENCH_DATASETS {
         let (graph, _) = bench_graph(ds, 0.2, 1.0);
@@ -19,12 +21,9 @@ fn adaptive_ablation(c: &mut Criterion) {
             let engine = PgHive::new(bench_hive_config(LshMethod::Elsh));
             b.iter(|| black_box(engine.discover_graph(g)))
         });
-        for (name, bucket, tables) in
-            [("manual_small", 0.5, 15), ("manual_large", 4.0, 35)]
-        {
+        for (name, bucket, tables) in [("manual_small", 0.5, 15), ("manual_large", 4.0, 35)] {
             group.bench_with_input(BenchmarkId::new(name, ds), &graph, |b, g| {
-                let cfg = bench_hive_config(LshMethod::Elsh)
-                    .with_manual_params(bucket, tables);
+                let cfg = bench_hive_config(LshMethod::Elsh).with_manual_params(bucket, tables);
                 let engine = PgHive::new(cfg);
                 b.iter(|| black_box(engine.discover_graph(g)))
             });

@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn embed_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("embed_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     for ds in BENCH_DATASETS {
         let (graph, _) = bench_graph(ds, 0.0, 1.0);

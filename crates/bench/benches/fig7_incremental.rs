@@ -11,49 +11,63 @@ use std::time::Duration;
 
 fn fig7(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_incremental");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     for ds in BENCH_DATASETS {
         let (graph, _) = bench_graph(ds, 0.0, 1.0);
         let batches = split_batches(&graph, 10, 42);
 
         // Cost of processing batch 1 into an empty schema.
-        group.bench_with_input(BenchmarkId::new("first_batch", ds), &batches, |b, batches| {
-            b.iter(|| {
-                let mut session = HiveSession::new(bench_hive_config(LshMethod::Elsh));
-                black_box(session.process_graph_batch(&batches[0]));
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("first_batch", ds),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut session = HiveSession::new(bench_hive_config(LshMethod::Elsh));
+                    black_box(session.process_graph_batch(&batches[0]));
+                })
+            },
+        );
 
         // Cost of processing batch 10 into a schema built from batches
         // 1–9 (prepared outside the timed closure).
-        group.bench_with_input(BenchmarkId::new("last_batch", ds), &batches, |b, batches| {
-            b.iter_batched(
-                || {
-                    let mut session = HiveSession::new(bench_hive_config(LshMethod::Elsh));
-                    for batch in &batches[..9] {
-                        session.process_graph_batch(batch);
-                    }
-                    session
-                },
-                |mut session| {
-                    black_box(session.process_graph_batch(&batches[9]));
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("last_batch", ds),
+            &batches,
+            |b, batches| {
+                b.iter_batched(
+                    || {
+                        let mut session = HiveSession::new(bench_hive_config(LshMethod::Elsh));
+                        for batch in &batches[..9] {
+                            session.process_graph_batch(batch);
+                        }
+                        session
+                    },
+                    |mut session| {
+                        black_box(session.process_graph_batch(&batches[9]));
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
 
         // Full incremental pass vs one-shot, for the recomputation-saved
         // comparison.
-        group.bench_with_input(BenchmarkId::new("all_batches", ds), &batches, |b, batches| {
-            b.iter(|| {
-                let mut session = HiveSession::new(bench_hive_config(LshMethod::Elsh));
-                for batch in batches {
-                    session.process_graph_batch(batch);
-                }
-                black_box(session.schema().type_count())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_batches", ds),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut session = HiveSession::new(bench_hive_config(LshMethod::Elsh));
+                    for batch in batches {
+                        session.process_graph_batch(batch);
+                    }
+                    black_box(session.schema().type_count())
+                })
+            },
+        );
 
         // DiscoPG-style memoization: later batches are mostly repeated
         // patterns, so the cache should shrink their cost.

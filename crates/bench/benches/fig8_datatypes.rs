@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn fig8(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_datatypes");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     for ds in BENCH_DATASETS {
         let (graph, _) = bench_graph(ds, 0.0, 1.0);

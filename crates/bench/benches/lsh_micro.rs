@@ -32,7 +32,9 @@ fn sets(n: usize, universe: u64, size: usize, seed: u64) -> Vec<Vec<u64>> {
 
 fn lsh_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("lsh_micro");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     const N: usize = 20_000;
     for tables in [15, 35] {

@@ -16,7 +16,9 @@ use std::time::Duration;
 
 fn merge_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
     for ds in BENCH_DATASETS {
         let (graph, _) = bench_graph(ds, 0.1, 1.0);
@@ -38,10 +40,14 @@ fn merge_ablation(c: &mut Criterion) {
         );
 
         // Endpoint-aware vs label-only edge merging (full pipeline).
-        group.bench_with_input(BenchmarkId::new("edges_endpoint_aware", ds), &graph, |b, g| {
-            let engine = PgHive::new(bench_hive_config(LshMethod::Elsh));
-            b.iter(|| black_box(engine.discover_graph(g)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("edges_endpoint_aware", ds),
+            &graph,
+            |b, g| {
+                let engine = PgHive::new(bench_hive_config(LshMethod::Elsh));
+                b.iter(|| black_box(engine.discover_graph(g)))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("edges_label_only", ds), &graph, |b, g| {
             let mut cfg = bench_hive_config(LshMethod::Elsh);
             cfg.edge_endpoint_aware = false;

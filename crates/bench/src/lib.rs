@@ -30,7 +30,11 @@ pub const BENCH_DATASETS: [&str; 3] = ["POLE", "MB6", "ICIJ"];
 pub const BENCH_SCALE: f64 = 0.25;
 
 /// Prepare one noisy benchmark graph.
-pub fn bench_graph(dataset: &str, noise: f64, label_availability: f64) -> (PropertyGraph, GroundTruth) {
+pub fn bench_graph(
+    dataset: &str,
+    noise: f64,
+    label_availability: f64,
+) -> (PropertyGraph, GroundTruth) {
     let spec = spec_by_name(dataset)
         .unwrap_or_else(|| panic!("unknown dataset {dataset}"))
         .scaled(BENCH_SCALE);

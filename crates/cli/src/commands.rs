@@ -20,6 +20,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             method,
             theta,
             seed,
+            threads,
             no_post,
             merge_similarity,
             refine,
@@ -28,6 +29,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         } => {
             let graph = read_graph(input)?;
             let config = HiveConfig {
+                threads: *threads,
                 method: if method == "minhash" {
                     LshMethod::MinHash
                 } else {
@@ -198,8 +200,8 @@ fn read_graph(input: &GraphInput) -> Result<PropertyGraph, CliError> {
 }
 
 fn read_schema(path: &Path) -> Result<SchemaGraph, CliError> {
-    let text = fs::read_to_string(path)
-        .map_err(|e| CliError::Failed(format!("reading {path:?}: {e}")))?;
+    let text =
+        fs::read_to_string(path).map_err(|e| CliError::Failed(format!("reading {path:?}: {e}")))?;
     serde_json::from_str(&text)
         .map_err(|e| CliError::Failed(format!("parsing schema {path:?}: {e}")))
 }
@@ -211,7 +213,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("pg-hive-cli-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("pg-hive-cli-test-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -228,7 +231,13 @@ mod tests {
 
         // 1. Generate a small POLE twin.
         let out = run(&parse(&argv(&[
-            "generate", "--dataset", "POLE", "--out-dir", dir_s, "--scale", "0.05",
+            "generate",
+            "--dataset",
+            "POLE",
+            "--out-dir",
+            dir_s,
+            "--scale",
+            "0.05",
         ]))
         .unwrap())
         .unwrap();
@@ -241,10 +250,14 @@ mod tests {
         let schema_path = dir.join("schema.json");
         let out = run(&parse(&argv(&[
             "discover",
-            "--nodes", nodes.to_str().unwrap(),
-            "--edges", edges.to_str().unwrap(),
-            "--format", "json",
-            "--out", schema_path.to_str().unwrap(),
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--format",
+            "json",
+            "--out",
+            schema_path.to_str().unwrap(),
         ]))
         .unwrap())
         .unwrap();
@@ -254,10 +267,14 @@ mod tests {
         // 3. Validate the same data against the discovered schema.
         let out = run(&parse(&argv(&[
             "validate",
-            "--schema", schema_path.to_str().unwrap(),
-            "--nodes", nodes.to_str().unwrap(),
-            "--edges", edges.to_str().unwrap(),
-            "--mode", "strict",
+            "--schema",
+            schema_path.to_str().unwrap(),
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--mode",
+            "strict",
         ]))
         .unwrap())
         .unwrap();
@@ -266,8 +283,10 @@ mod tests {
         // 4. Diff the schema against itself.
         let out = run(&parse(&argv(&[
             "diff",
-            "--old", schema_path.to_str().unwrap(),
-            "--new", schema_path.to_str().unwrap(),
+            "--old",
+            schema_path.to_str().unwrap(),
+            "--new",
+            schema_path.to_str().unwrap(),
         ]))
         .unwrap())
         .unwrap();
@@ -276,8 +295,10 @@ mod tests {
         // 5. Stats.
         let out = run(&parse(&argv(&[
             "stats",
-            "--nodes", nodes.to_str().unwrap(),
-            "--edges", edges.to_str().unwrap(),
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
         ]))
         .unwrap())
         .unwrap();
@@ -291,7 +312,14 @@ mod tests {
         let dir = tmpdir("formats");
         let dir_s = dir.to_str().unwrap();
         run(&parse(&argv(&[
-            "generate", "--dataset", "POLE", "--out-dir", dir_s, "--scale", "0.05", "--jsonl",
+            "generate",
+            "--dataset",
+            "POLE",
+            "--out-dir",
+            dir_s,
+            "--scale",
+            "0.05",
+            "--jsonl",
         ]))
         .unwrap())
         .unwrap();
@@ -303,7 +331,11 @@ mod tests {
             ("json", "node_types"),
         ] {
             let out = run(&parse(&argv(&[
-                "discover", "--jsonl", jsonl.to_str().unwrap(), "--format", fmt,
+                "discover",
+                "--jsonl",
+                jsonl.to_str().unwrap(),
+                "--format",
+                fmt,
             ]))
             .unwrap())
             .unwrap();
@@ -316,8 +348,16 @@ mod tests {
     fn noisy_generation_strips_labels() {
         let dir = tmpdir("noisy");
         run(&parse(&argv(&[
-            "generate", "--dataset", "MB6", "--out-dir", dir.to_str().unwrap(),
-            "--scale", "0.05", "--label-availability", "0.0", "--jsonl",
+            "generate",
+            "--dataset",
+            "MB6",
+            "--out-dir",
+            dir.to_str().unwrap(),
+            "--scale",
+            "0.05",
+            "--label-availability",
+            "0.0",
+            "--jsonl",
         ]))
         .unwrap())
         .unwrap();
@@ -334,7 +374,11 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, CliError::Failed(_)));
         let err = run(&parse(&argv(&[
-            "generate", "--dataset", "NOPE", "--out-dir", "/tmp/x",
+            "generate",
+            "--dataset",
+            "NOPE",
+            "--out-dir",
+            "/tmp/x",
         ]))
         .unwrap())
         .unwrap_err();

@@ -17,4 +17,4 @@ pub mod commands;
 pub mod opts;
 
 pub use commands::run;
-pub use opts::{Command, CliError};
+pub use opts::{CliError, Command};

@@ -33,6 +33,7 @@ Commands:
             [--format pg-schema-strict|pg-schema-loose|xsd|json]
             [--method elsh|minhash] [--theta <f>] [--seed <n>]
             [--merge-similarity binary|weighted] [--refine]
+            [--threads <n>] (0 = all cores, 1 = sequential; same schema)
             [--no-post] [--sample-datatypes] [--out <file>]
   validate  --schema <json> (--nodes <csv> --edges <csv> | --jsonl <file>)
             [--mode strict|loose]
@@ -93,6 +94,9 @@ pub enum Command {
         theta: f64,
         /// Seed.
         seed: u64,
+        /// Worker threads (0 = available parallelism, 1 = sequential;
+        /// the discovered schema is identical either way).
+        threads: usize,
         /// Skip post-processing.
         no_post: bool,
         /// "binary" or "weighted" unlabeled-cluster merging.
@@ -209,9 +213,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 Some("pg-schema-loose") => OutputFormat::PgSchemaLoose,
                 Some("xsd") => OutputFormat::Xsd,
                 Some("json") => OutputFormat::Json,
-                Some(other) => {
-                    return Err(CliError::Usage(format!("unknown format {other:?}")))
-                }
+                Some(other) => return Err(CliError::Usage(format!("unknown format {other:?}"))),
             };
             let method = flags
                 .get("--method")
@@ -235,6 +237,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 method,
                 theta: f64_flag("--theta", 0.9)?,
                 seed: u64_flag("--seed", 42)?,
+                threads: u64_flag("--threads", 0)? as usize,
                 no_post: switches.contains("--no-post"),
                 merge_similarity,
                 refine: switches.contains("--refine"),
@@ -304,9 +307,25 @@ mod tests {
     #[test]
     fn parse_discover_full() {
         let c = parse(&args(&[
-            "discover", "--nodes", "n.csv", "--edges", "e.csv", "--format", "xsd",
-            "--method", "minhash", "--theta", "0.8", "--seed", "7", "--no-post",
-            "--sample-datatypes", "--out", "schema.xsd",
+            "discover",
+            "--nodes",
+            "n.csv",
+            "--edges",
+            "e.csv",
+            "--format",
+            "xsd",
+            "--method",
+            "minhash",
+            "--theta",
+            "0.8",
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+            "--no-post",
+            "--sample-datatypes",
+            "--out",
+            "schema.xsd",
         ]))
         .unwrap();
         match c {
@@ -316,6 +335,7 @@ mod tests {
                 method,
                 theta,
                 seed,
+                threads,
                 no_post,
                 sample_datatypes,
                 out,
@@ -326,6 +346,7 @@ mod tests {
                 assert_eq!(method, "minhash");
                 assert_eq!(theta, 0.8);
                 assert_eq!(seed, 7);
+                assert_eq!(threads, 4);
                 assert!(no_post && sample_datatypes);
                 assert_eq!(out, Some(PathBuf::from("schema.xsd")));
             }
@@ -334,9 +355,27 @@ mod tests {
     }
 
     #[test]
+    fn threads_defaults_to_all_cores() {
+        let c = parse(&args(&["discover", "--jsonl", "g.jsonl"])).unwrap();
+        match c {
+            Command::Discover { threads, .. } => assert_eq!(threads, 0),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            parse(&args(&["discover", "--jsonl", "g", "--threads", "x"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
     fn parse_discover_extensions() {
         let c = parse(&args(&[
-            "discover", "--jsonl", "g.jsonl", "--merge-similarity", "weighted", "--refine",
+            "discover",
+            "--jsonl",
+            "g.jsonl",
+            "--merge-similarity",
+            "weighted",
+            "--refine",
         ]))
         .unwrap();
         match c {
@@ -352,7 +391,11 @@ mod tests {
         }
         assert!(matches!(
             parse(&args(&[
-                "discover", "--jsonl", "g", "--merge-similarity", "cosine"
+                "discover",
+                "--jsonl",
+                "g",
+                "--merge-similarity",
+                "cosine"
             ])),
             Err(CliError::Usage(_))
         ));
@@ -372,7 +415,10 @@ mod tests {
 
     #[test]
     fn unknown_bits_are_rejected() {
-        assert!(matches!(parse(&args(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse(&args(&["discover", "--jsonl", "g", "--format", "yaml"])),
             Err(CliError::Usage(_))
@@ -387,8 +433,18 @@ mod tests {
     #[test]
     fn parse_generate() {
         let c = parse(&args(&[
-            "generate", "--dataset", "POLE", "--out-dir", "/tmp/x", "--scale", "0.5",
-            "--noise", "0.2", "--label-availability", "0.5", "--jsonl",
+            "generate",
+            "--dataset",
+            "POLE",
+            "--out-dir",
+            "/tmp/x",
+            "--scale",
+            "0.5",
+            "--noise",
+            "0.2",
+            "--label-availability",
+            "0.5",
+            "--jsonl",
         ]))
         .unwrap();
         match c {

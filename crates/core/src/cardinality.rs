@@ -104,7 +104,12 @@ mod tests {
             CardinalityClass::OneToOne
         );
         // Second batch adds fan-out for the same type.
-        integrate_edge_clusters(&mut state, vec![edge_cluster("E", &[(1, 3), (1, 4)])], 0.9, true);
+        integrate_edge_clusters(
+            &mut state,
+            vec![edge_cluster("E", &[(1, 3), (1, 4)])],
+            0.9,
+            true,
+        );
         compute_cardinalities(&mut state);
         let c = state.schema.edge_types[0].cardinality.unwrap();
         assert_eq!(c.max_out, 3, "endpoints accumulate across batches");

@@ -13,8 +13,8 @@ use crate::state::{EdgeTypeAccum, NodeTypeAccum};
 use pg_lsh::adaptive::{self, AdaptiveParams, ElementKind};
 use pg_lsh::{Clustering, EuclideanLsh, MinHashLsh, SparseVec};
 use pg_model::{LabelSet, Symbol};
-use rayon::prelude::*;
 use pg_store::{EdgeRecord, NodeRecord};
+use rayon::prelude::*;
 use std::collections::BTreeSet;
 
 /// A candidate node type: cluster representative + accumulator.
@@ -167,30 +167,90 @@ pub fn cluster_edges(
     (assemble_edge_clusters(edges, &clustering), params)
 }
 
+/// Number of chunks cluster assembly folds in parallel. Chunk
+/// boundaries depend only on the record count, never the thread count,
+/// so the chunk-ordered merge below is deterministic.
+const ASSEMBLE_SHARDS: usize = 64;
+
+impl NodeCluster {
+    /// Fold another partial cluster in. Label/key unions are
+    /// order-insensitive (sorted sets) and the accumulator's counters
+    /// are additive, while `members` concatenate — so merging per-chunk
+    /// partials in chunk order reproduces the sequential fold exactly.
+    fn merge(&mut self, other: &NodeCluster) {
+        self.labels = self.labels.union(&other.labels);
+        self.keys.extend(other.keys.iter().cloned());
+        self.accum.merge(&other.accum);
+    }
+}
+
+impl EdgeCluster {
+    /// Fold another partial cluster in (see [`NodeCluster::merge`]).
+    fn merge(&mut self, other: &EdgeCluster) {
+        self.labels = self.labels.union(&other.labels);
+        self.src_labels = self.src_labels.union(&other.src_labels);
+        self.tgt_labels = self.tgt_labels.union(&other.tgt_labels);
+        self.keys.extend(other.keys.iter().cloned());
+        self.accum.merge(&other.accum);
+    }
+}
+
 fn assemble_node_clusters(nodes: &[NodeRecord], clustering: &Clustering) -> Vec<NodeCluster> {
+    let shard = nodes.len().div_ceil(ASSEMBLE_SHARDS).max(1);
+    let partials: Vec<Vec<NodeCluster>> = nodes
+        .par_chunks(shard)
+        .zip(clustering.assignment.par_chunks(shard))
+        .map(|(chunk, assignment)| {
+            let mut clusters: Vec<NodeCluster> = (0..clustering.num_clusters)
+                .map(|_| NodeCluster::default())
+                .collect();
+            for (node, &cid) in chunk.iter().zip(assignment) {
+                let c = &mut clusters[cid];
+                c.labels = c.labels.union(&node.labels);
+                c.keys.extend(node.props.keys().cloned());
+                c.accum.observe(node);
+            }
+            clusters
+        })
+        .collect();
     let mut clusters: Vec<NodeCluster> = (0..clustering.num_clusters)
         .map(|_| NodeCluster::default())
         .collect();
-    for (i, node) in nodes.iter().enumerate() {
-        let c = &mut clusters[clustering.assignment[i]];
-        c.labels = c.labels.union(&node.labels);
-        c.keys.extend(node.props.keys().cloned());
-        c.accum.observe(node);
+    for partial in &partials {
+        for (dst, src) in clusters.iter_mut().zip(partial) {
+            dst.merge(src);
+        }
     }
     clusters
 }
 
 fn assemble_edge_clusters(edges: &[EdgeRecord], clustering: &Clustering) -> Vec<EdgeCluster> {
+    let shard = edges.len().div_ceil(ASSEMBLE_SHARDS).max(1);
+    let partials: Vec<Vec<EdgeCluster>> = edges
+        .par_chunks(shard)
+        .zip(clustering.assignment.par_chunks(shard))
+        .map(|(chunk, assignment)| {
+            let mut clusters: Vec<EdgeCluster> = (0..clustering.num_clusters)
+                .map(|_| EdgeCluster::default())
+                .collect();
+            for (rec, &cid) in chunk.iter().zip(assignment) {
+                let c = &mut clusters[cid];
+                c.labels = c.labels.union(&rec.edge.labels);
+                c.src_labels = c.src_labels.union(&rec.src_labels);
+                c.tgt_labels = c.tgt_labels.union(&rec.tgt_labels);
+                c.keys.extend(rec.edge.props.keys().cloned());
+                c.accum.observe(&rec.edge);
+            }
+            clusters
+        })
+        .collect();
     let mut clusters: Vec<EdgeCluster> = (0..clustering.num_clusters)
         .map(|_| EdgeCluster::default())
         .collect();
-    for (i, rec) in edges.iter().enumerate() {
-        let c = &mut clusters[clustering.assignment[i]];
-        c.labels = c.labels.union(&rec.edge.labels);
-        c.src_labels = c.src_labels.union(&rec.src_labels);
-        c.tgt_labels = c.tgt_labels.union(&rec.tgt_labels);
-        c.keys.extend(rec.edge.props.keys().cloned());
-        c.accum.observe(&rec.edge);
+    for partial in &partials {
+        for (dst, src) in clusters.iter_mut().zip(partial) {
+            dst.merge(src);
+        }
     }
     clusters
 }
@@ -283,7 +343,12 @@ mod tests {
         }
         for i in 0..19u64 {
             edges.push(EdgeRecord {
-                edge: Edge::new(1000 + i, NodeId(i), NodeId(i + 1), LabelSet::single("KNOWS")),
+                edge: Edge::new(
+                    1000 + i,
+                    NodeId(i),
+                    NodeId(i + 1),
+                    LabelSet::single("KNOWS"),
+                ),
                 src_labels: LabelSet::single("Person"),
                 tgt_labels: LabelSet::single("Person"),
             });
@@ -310,6 +375,33 @@ mod tests {
         assert_eq!(works.src_labels, LabelSet::single("Person"));
         assert_eq!(works.tgt_labels, LabelSet::single("Org"));
         assert_eq!(works.accum.endpoints.len(), 19);
+    }
+
+    #[test]
+    fn assembly_is_thread_count_invariant() {
+        let nodes = two_type_nodes();
+        let cfg = quick_cfg(LshMethod::Elsh);
+        let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| cluster_nodes(&nodes, &fs, &cfg).0)
+        };
+        let seq = run(1);
+        for t in [2, 4, 8] {
+            let par = run(t);
+            assert_eq!(seq.len(), par.len(), "threads = {t}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.labels, b.labels, "threads = {t}");
+                assert_eq!(a.keys, b.keys, "threads = {t}");
+                assert_eq!(a.accum.count, b.accum.count, "threads = {t}");
+                // Member order is part of the contract: chunk-ordered
+                // merge must reproduce the sequential visit order.
+                assert_eq!(a.accum.members, b.accum.members, "threads = {t}");
+            }
+        }
     }
 
     #[test]

@@ -117,6 +117,14 @@ pub struct HiveConfig {
     /// already been found" (§2). Off by default to match the paper's
     /// PG-HIVE; the `fig7_incremental` bench measures the speedup.
     pub memoize: bool,
+    /// Worker threads for the parallel hot path (featurization, LSH
+    /// signatures, cluster assembly). `0` means "use the available
+    /// parallelism" (rayon's default, overridable via
+    /// `RAYON_NUM_THREADS`); `1` runs the exact sequential path. The
+    /// schema output is bit-for-bit identical for every value — see
+    /// DESIGN.md's "Parallel execution" section and the
+    /// `equivalence` test suite.
+    pub threads: usize,
     /// Master seed: the pipeline is deterministic given config + input.
     pub seed: u64,
 }
@@ -134,6 +142,7 @@ impl Default for HiveConfig {
             datatype_sampling: None,
             edge_endpoint_aware: true,
             memoize: false,
+            threads: 0,
             seed: 42,
         }
     }
@@ -151,6 +160,14 @@ impl HiveConfig {
     /// Builder-style seed override.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style worker-thread override: `0` = available
+    /// parallelism, `1` = sequential. Any value yields the same schema;
+    /// only wall-clock time changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -195,10 +212,15 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = HiveConfig::minhash().with_seed(7).with_theta(0.8);
+        let c = HiveConfig::minhash()
+            .with_seed(7)
+            .with_theta(0.8)
+            .with_threads(4);
         assert_eq!(c.method, LshMethod::MinHash);
         assert_eq!(c.seed, 7);
         assert_eq!(c.theta, 0.8);
+        assert_eq!(c.threads, 4);
+        assert_eq!(HiveConfig::default().threads, 0, "default = all cores");
         let m = HiveConfig::default().with_manual_params(2.0, 20);
         assert_eq!(
             m.node_params,

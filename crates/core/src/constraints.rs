@@ -62,7 +62,10 @@ mod tests {
         accum.observe(&Node::new(2, LabelSet::single("Post")).with_prop("content", "b"));
         let cluster = NodeCluster {
             labels: LabelSet::single("Post"),
-            keys: ["content", "imgFile"].iter().map(|k| pg_model::sym(k)).collect::<BTreeSet<_>>(),
+            keys: ["content", "imgFile"]
+                .iter()
+                .map(|k| pg_model::sym(k))
+                .collect::<BTreeSet<_>>(),
             accum,
         };
         let mut state = DiscoveryState::new();
@@ -94,7 +97,10 @@ mod tests {
         }
         let cluster = NodeCluster {
             labels: LabelSet::single("T"),
-            keys: ["always", "sometimes"].iter().map(|k| pg_model::sym(k)).collect(),
+            keys: ["always", "sometimes"]
+                .iter()
+                .map(|k| pg_model::sym(k))
+                .collect(),
             accum,
         };
         let mut state = DiscoveryState::new();

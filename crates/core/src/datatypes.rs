@@ -13,11 +13,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Infer and write data types for every property of every type.
-pub fn infer_datatypes(
-    state: &mut DiscoveryState,
-    sampling: Option<DatatypeSampling>,
-    seed: u64,
-) {
+pub fn infer_datatypes(state: &mut DiscoveryState, sampling: Option<DatatypeSampling>, seed: u64) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for t in &mut state.schema.node_types {
         let Some(acc) = state.node_accums.get(&t.id) else {
@@ -123,15 +119,27 @@ mod tests {
         );
         let cluster = NodeCluster {
             labels: LabelSet::single("P"),
-            keys: ["age", "name", "bday"].iter().map(|k| pg_model::sym(k)).collect(),
+            keys: ["age", "name", "bday"]
+                .iter()
+                .map(|k| pg_model::sym(k))
+                .collect(),
             accum,
         };
         let mut state = DiscoveryState::new();
         integrate_node_clusters(&mut state, vec![cluster], 0.9);
         infer_datatypes(&mut state, None, 0);
         let t = &state.schema.node_types[0];
-        assert_eq!(t.properties[&pg_model::sym("age")].datatype, Some(DataType::Int));
-        assert_eq!(t.properties[&pg_model::sym("name")].datatype, Some(DataType::Str));
-        assert_eq!(t.properties[&pg_model::sym("bday")].datatype, Some(DataType::Date));
+        assert_eq!(
+            t.properties[&pg_model::sym("age")].datatype,
+            Some(DataType::Int)
+        );
+        assert_eq!(
+            t.properties[&pg_model::sym("name")].datatype,
+            Some(DataType::Str)
+        );
+        assert_eq!(
+            t.properties[&pg_model::sym("bday")].datatype,
+            Some(DataType::Date)
+        );
     }
 }

@@ -77,14 +77,16 @@ impl SchemaDiff {
     pub fn is_pure_extension(&self) -> bool {
         self.removed_node_types.is_empty()
             && self.removed_edge_types.is_empty()
-            && self
-                .changed_node_types
-                .iter()
-                .all(|d| d.properties.iter().all(|p| !matches!(p, PropertyChange::Removed(_))))
-            && self
-                .changed_edge_types
-                .iter()
-                .all(|d| d.properties.iter().all(|p| !matches!(p, PropertyChange::Removed(_))))
+            && self.changed_node_types.iter().all(|d| {
+                d.properties
+                    .iter()
+                    .all(|p| !matches!(p, PropertyChange::Removed(_)))
+            })
+            && self.changed_edge_types.iter().all(|d| {
+                d.properties
+                    .iter()
+                    .all(|p| !matches!(p, PropertyChange::Removed(_)))
+            })
     }
 }
 
@@ -100,7 +102,12 @@ impl fmt::Display for SchemaDiff {
             writeln!(f, "- node type {t}")?;
         }
         for d in &self.changed_node_types {
-            writeln!(f, "~ node type {} ({} property changes)", d.labels, d.properties.len())?;
+            writeln!(
+                f,
+                "~ node type {} ({} property changes)",
+                d.labels,
+                d.properties.len()
+            )?;
         }
         for (l, s, t) in &self.added_edge_types {
             writeln!(f, "+ edge type {l} ({s} -> {t})")?;
@@ -114,7 +121,11 @@ impl fmt::Display for SchemaDiff {
                 "~ edge type {} ({} property changes{})",
                 d.labels,
                 d.properties.len(),
-                if d.cardinality_changed { ", cardinality" } else { "" }
+                if d.cardinality_changed {
+                    ", cardinality"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())

@@ -143,7 +143,10 @@ pub fn integrate_node_clusters_opts(
         };
         assigned[idx] = Some(id);
     }
-    assigned.into_iter().map(|a| a.expect("every cluster assigned")).collect()
+    assigned
+        .into_iter()
+        .map(|a| a.expect("every cluster assigned"))
+        .collect()
 }
 
 /// Find the type (labeled or abstract, per `want_abstract`) with the
@@ -222,7 +225,11 @@ fn push_node_cluster(
 }
 
 fn node_type_from_cluster(cluster: &NodeCluster, is_abstract: bool) -> NodeType {
-    let mut t = NodeType::new(TypeId(0), cluster.labels.clone(), cluster.keys.iter().cloned());
+    let mut t = NodeType::new(
+        TypeId(0),
+        cluster.labels.clone(),
+        cluster.keys.iter().cloned(),
+    );
     t.is_abstract = is_abstract && cluster.labels.is_empty();
     t.instance_count = cluster.accum.count;
     t
@@ -304,7 +311,10 @@ pub fn integrate_edge_clusters_opts(
         };
         assigned[idx] = Some(id);
     }
-    assigned.into_iter().map(|a| a.expect("every cluster assigned")).collect()
+    assigned
+        .into_iter()
+        .map(|a| a.expect("every cluster assigned"))
+        .collect()
 }
 
 /// Endpoint label sets are compatible when equal, or when either side is

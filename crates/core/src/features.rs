@@ -15,7 +15,27 @@ use pg_embed::{build_sentences, HashedEmbedder, LabelEmbedder, Word2Vec};
 use pg_lsh::SparseVec;
 use pg_model::Symbol;
 use pg_store::{EdgeRecord, NodeRecord};
+use rayon::prelude::*;
 use std::collections::HashMap;
+
+/// Chunks the key-universe scan splits into; boundaries depend only on
+/// the record count, and the per-chunk key lists are sorted + deduped
+/// afterwards, so the universe is identical for any thread count.
+const KEY_SCAN_SHARDS: usize = 64;
+
+/// Collect the sorted, deduplicated universe of property keys over
+/// `records`, scanning chunks in parallel.
+fn key_universe<R: Sync>(records: &[R], keys_of: impl Fn(&R) -> Vec<Symbol> + Sync) -> Vec<Symbol> {
+    let shard = records.len().div_ceil(KEY_SCAN_SHARDS).max(1);
+    let chunks: Vec<Vec<Symbol>> = records
+        .par_chunks(shard)
+        .map(|chunk| chunk.iter().flat_map(&keys_of).collect())
+        .collect();
+    let mut keys: Vec<Symbol> = chunks.into_iter().flatten().collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
 
 /// Namespace tags that keep MinHash set elements of different roles
 /// disjoint (a property key can never collide with a label token).
@@ -53,18 +73,8 @@ impl FeatureSpace {
         embedding: &EmbeddingKind,
         seed: u64,
     ) -> FeatureSpace {
-        let mut node_keys: Vec<Symbol> = nodes
-            .iter()
-            .flat_map(|n| n.props.keys().cloned())
-            .collect();
-        node_keys.sort();
-        node_keys.dedup();
-        let mut edge_keys: Vec<Symbol> = edges
-            .iter()
-            .flat_map(|e| e.edge.props.keys().cloned())
-            .collect();
-        edge_keys.sort();
-        edge_keys.dedup();
+        let node_keys = key_universe(nodes, |n| n.props.keys().cloned().collect());
+        let edge_keys = key_universe(edges, |e| e.edge.props.keys().cloned().collect());
 
         let embedder: Box<dyn LabelEmbedder> = match embedding {
             EmbeddingKind::Word2Vec(cfg) => {
@@ -132,8 +142,7 @@ impl FeatureSpace {
     /// `f_e ∈ R^{3d+Q}` for one edge record.
     pub fn edge_vector(&self, rec: &EdgeRecord) -> SparseVec {
         let d = self.dim();
-        let mut entries: Vec<(u32, f64)> =
-            Vec::with_capacity(3 * d + rec.edge.props.len());
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(3 * d + rec.edge.props.len());
         let blocks = [
             self.embedder
                 .embed_opt(rec.edge.labels.canonical_token().as_deref()),
@@ -313,7 +322,7 @@ mod tests {
         assert_eq!(ns.len(), 3); // 2 keys + 1 label token
         let es = fs.edge_set(&edges[0]);
         assert_eq!(es.len(), 4); // 1 key + 3 label tokens
-        // Node key ids and edge key ids never collide.
+                                 // Node key ids and edge key ids never collide.
         for a in &ns {
             for b in &es {
                 assert_ne!(a, b);

@@ -1,0 +1,77 @@
+//! Shared test/demo fixtures. Kept in the library (not `#[cfg(test)]`)
+//! so unit tests, the integration suites, and the golden-snapshot test
+//! all construct the paper's running example identically.
+
+use pg_model::{Edge, LabelSet, Node, NodeId, PropertyGraph};
+
+/// The paper's Figure 1 running example: Person/Org/Post/Place nodes
+/// (with the unlabeled-but-structurally-Person "Alice") and the
+/// KNOWS/LIKES/WORKS_AT/LOCATED_IN edges.
+pub fn figure1() -> PropertyGraph {
+    let mut g = PropertyGraph::new();
+    g.add_node(
+        Node::new(1, LabelSet::single("Person"))
+            .with_prop("name", "Bob")
+            .with_prop("gender", "m")
+            .with_prop("bday", pg_model::Date::new(1999, 12, 19).unwrap()),
+    )
+    .unwrap();
+    g.add_node(
+        Node::new(2, LabelSet::single("Person"))
+            .with_prop("name", "John")
+            .with_prop("gender", "m")
+            .with_prop("bday", pg_model::Date::new(1985, 3, 2).unwrap()),
+    )
+    .unwrap();
+    // Alice: unlabeled but structurally a Person.
+    g.add_node(
+        Node::new(3, LabelSet::empty())
+            .with_prop("name", "Alice")
+            .with_prop("gender", "f")
+            .with_prop("bday", pg_model::Date::new(2000, 1, 1).unwrap()),
+    )
+    .unwrap();
+    g.add_node(
+        Node::new(4, LabelSet::single("Org"))
+            .with_prop("name", "FORTH")
+            .with_prop("url", "ics.forth.gr"),
+    )
+    .unwrap();
+    g.add_node(Node::new(5, LabelSet::single("Post")).with_prop("imgFile", "x.png"))
+        .unwrap();
+    g.add_node(Node::new(6, LabelSet::single("Post")).with_prop("content", "hello"))
+        .unwrap();
+    g.add_node(Node::new(7, LabelSet::single("Place")).with_prop("name", "Heraklion"))
+        .unwrap();
+    g.add_edge(
+        Edge::new(10, NodeId(3), NodeId(2), LabelSet::single("KNOWS")).with_prop("since", 2015i64),
+    )
+    .unwrap();
+    g.add_edge(Edge::new(
+        11,
+        NodeId(1),
+        NodeId(2),
+        LabelSet::single("KNOWS"),
+    ))
+    .unwrap();
+    g.add_edge(Edge::new(
+        12,
+        NodeId(3),
+        NodeId(5),
+        LabelSet::single("LIKES"),
+    ))
+    .unwrap();
+    g.add_edge(
+        Edge::new(13, NodeId(1), NodeId(4), LabelSet::single("WORKS_AT"))
+            .with_prop("from", 2019i64),
+    )
+    .unwrap();
+    g.add_edge(Edge::new(
+        14,
+        NodeId(1),
+        NodeId(7),
+        LabelSet::single("LOCATED_IN"),
+    ))
+    .unwrap();
+    g
+}

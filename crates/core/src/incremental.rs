@@ -25,6 +25,11 @@ use std::time::{Duration, Instant};
 pub struct BatchTiming {
     /// 0-based batch index within the session.
     pub batch_index: usize,
+    /// Worker threads the batch ran with (resolved: the config's `0`
+    /// becomes the actual default parallelism). Lets the bench harness
+    /// report sequential-vs-parallel speedups next to the raw stage
+    /// timings.
+    pub threads: usize,
     /// Nodes in the batch.
     pub nodes: usize,
     /// Edges in the batch.
@@ -63,7 +68,10 @@ pub struct SessionCheckpoint {
 }
 
 /// Pattern key for node memoization: (labels, property keys).
-type NodePatternKey = (pg_model::LabelSet, std::collections::BTreeSet<pg_model::Symbol>);
+type NodePatternKey = (
+    pg_model::LabelSet,
+    std::collections::BTreeSet<pg_model::Symbol>,
+);
 /// Pattern key for edge memoization: (labels, keys, src labels, tgt labels).
 type EdgePatternKey = (
     pg_model::LabelSet,
@@ -146,8 +154,12 @@ impl HiveSession {
                             .get_mut(&tid)
                             .expect("cached type exists")
                             .observe(node);
-                        if let Some(t) =
-                            self.state.schema.node_types.iter_mut().find(|t| t.id == tid)
+                        if let Some(t) = self
+                            .state
+                            .schema
+                            .node_types
+                            .iter_mut()
+                            .find(|t| t.id == tid)
                         {
                             t.instance_count += 1;
                         }
@@ -171,8 +183,12 @@ impl HiveSession {
                             .get_mut(&tid)
                             .expect("cached type exists")
                             .observe(&rec.edge);
-                        if let Some(t) =
-                            self.state.schema.edge_types.iter_mut().find(|t| t.id == tid)
+                        if let Some(t) = self
+                            .state
+                            .schema
+                            .edge_types
+                            .iter_mut()
+                            .find(|t| t.id == tid)
                         {
                             t.instance_count += 1;
                         }
@@ -186,6 +202,50 @@ impl HiveSession {
         };
         let (nodes, edges) = (nodes.as_slice(), edges.as_slice());
 
+        // The parallel hot path runs under a scoped thread pool sized by
+        // the `threads` knob (0 = available parallelism, 1 = the exact
+        // sequential path). Every parallel reduction inside is
+        // deterministic, so the schema is bit-identical for any count.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.threads)
+            .build()
+            .expect("thread pool construction is infallible");
+        let threads = pool.current_num_threads();
+        let (preprocess, cluster, extract) =
+            pool.install(|| self.batch_hot_path(nodes, edges, batch_seed));
+
+        let post = if self.config.post_processing {
+            let t3 = Instant::now();
+            pool.install(|| self.post_process());
+            Some(t3.elapsed())
+        } else {
+            None
+        };
+
+        let timing = BatchTiming {
+            batch_index,
+            threads,
+            nodes: batch_nodes,
+            edges: batch_edges,
+            preprocess,
+            cluster,
+            extract,
+            post,
+            total: start.elapsed(),
+        };
+        self.timings.push(timing);
+        timing
+    }
+
+    /// Featurize → cluster → extract/merge for one batch (Algorithm 1,
+    /// lines 3–6). Runs inside the session's thread pool; returns the
+    /// per-stage wall-clock durations.
+    fn batch_hot_path(
+        &mut self,
+        nodes: &[NodeRecord],
+        edges: &[EdgeRecord],
+        batch_seed: u64,
+    ) -> (Duration, Duration, Duration) {
         // Preprocess: train the embedder on the batch labels and build
         // the per-batch feature space.
         let t0 = Instant::now();
@@ -254,27 +314,7 @@ impl HiveSession {
             }
         }
         let extract = t2.elapsed();
-
-        let post = if self.config.post_processing {
-            let t3 = Instant::now();
-            self.post_process();
-            Some(t3.elapsed())
-        } else {
-            None
-        };
-
-        let timing = BatchTiming {
-            batch_index,
-            nodes: batch_nodes,
-            edges: batch_edges,
-            preprocess,
-            cluster,
-            extract,
-            post,
-            total: start.elapsed(),
-        };
-        self.timings.push(timing);
-        timing
+        (preprocess, cluster, extract)
     }
 
     /// Convenience wrapper over a [`GraphBatch`].
@@ -370,10 +410,8 @@ mod tests {
                     .with_prop("age", i as i64),
             )
             .unwrap();
-            g.add_node(
-                Node::new(n + i, LabelSet::single("Org")).with_prop("url", format!("o{i}")),
-            )
-            .unwrap();
+            g.add_node(Node::new(n + i, LabelSet::single("Org")).with_prop("url", format!("o{i}")))
+                .unwrap();
         }
         for i in 0..n {
             g.add_edge(
@@ -413,13 +451,11 @@ mod tests {
 
         let single = crate::pipeline::PgHive::new(quick_config()).discover_graph(&g);
 
-        let labels =
-            |s: &SchemaGraph| -> Vec<String> {
-                let mut v: Vec<String> =
-                    s.node_types.iter().map(|t| t.labels.to_string()).collect();
-                v.sort();
-                v
-            };
+        let labels = |s: &SchemaGraph| -> Vec<String> {
+            let mut v: Vec<String> = s.node_types.iter().map(|t| t.labels.to_string()).collect();
+            v.sort();
+            v
+        };
         assert_eq!(labels(&inc.schema), labels(&single.schema));
         assert_eq!(inc.schema.edge_types.len(), single.schema.edge_types.len());
     }
@@ -452,6 +488,7 @@ mod tests {
         assert_eq!(session.timings().len(), 3);
         for (i, t) in session.timings().iter().enumerate() {
             assert_eq!(t.batch_index, i);
+            assert!(t.threads >= 1, "resolved thread count is concrete");
             assert!(t.total >= t.extract);
             assert!(t.post.is_none(), "post_processing disabled");
         }

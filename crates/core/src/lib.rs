@@ -53,6 +53,7 @@ pub mod datatypes;
 pub mod diff;
 pub mod extract;
 pub mod features;
+pub mod fixtures;
 pub mod incremental;
 pub mod pipeline;
 pub mod refine;

@@ -89,12 +89,14 @@ pub fn refine_abstract_types(
 
         // Group members by context signature. Members not present in
         // this graph (e.g. earlier batches) keep the original type.
-        let mut groups: BTreeMap<BTreeSet<(String, bool)>, Vec<pg_model::NodeId>> =
-            BTreeMap::new();
+        let mut groups: BTreeMap<BTreeSet<(String, bool)>, Vec<pg_model::NodeId>> = BTreeMap::new();
         let mut absent: Vec<pg_model::NodeId> = Vec::new();
         for &m in &accum.members {
             if graph.node(m).is_some() {
-                groups.entry(context_signature(graph, m)).or_default().push(m);
+                groups
+                    .entry(context_signature(graph, m))
+                    .or_default()
+                    .push(m);
             } else {
                 absent.push(m);
             }
@@ -194,10 +196,8 @@ mod tests {
                 .unwrap();
             g.add_node(Node::new(100 + i, LabelSet::empty()).with_prop("serial", i as i64))
                 .unwrap();
-            g.add_node(
-                Node::new(200 + i, LabelSet::single("Hub")).with_prop("name", "h"),
-            )
-            .unwrap();
+            g.add_node(Node::new(200 + i, LabelSet::single("Hub")).with_prop("name", "h"))
+                .unwrap();
         }
         for i in 0..n {
             g.add_edge(Edge::new(
@@ -270,7 +270,8 @@ mod tests {
         for i in 0..10u64 {
             g.add_node(Node::new(i, LabelSet::empty()).with_prop("x", 1i64))
                 .unwrap();
-            g.add_node(Node::new(100 + i, LabelSet::single("Hub"))).unwrap();
+            g.add_node(Node::new(100 + i, LabelSet::single("Hub")))
+                .unwrap();
             g.add_edge(Edge::new(
                 1000 + i,
                 NodeId(i),
@@ -281,8 +282,7 @@ mod tests {
         }
         let mut result = PgHive::new(HiveConfig::default()).discover_graph(&g);
         let before = result.schema.node_types.len();
-        let report =
-            refine_abstract_types(&mut result.state, &g, RefineConfig::default());
+        let report = refine_abstract_types(&mut result.state, &g, RefineConfig::default());
         assert!(report.splits.is_empty());
         assert_eq!(result.state.schema.node_types.len(), before);
     }
@@ -313,8 +313,7 @@ mod tests {
     fn small_types_are_skipped() {
         let g = ambiguous_graph(1); // 2 members < min_members
         let mut result = PgHive::new(HiveConfig::default()).discover_graph(&g);
-        let report =
-            refine_abstract_types(&mut result.state, &g, RefineConfig::default());
+        let report = refine_abstract_types(&mut result.state, &g, RefineConfig::default());
         assert_eq!(report.examined, 0);
     }
 }

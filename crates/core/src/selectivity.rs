@@ -39,11 +39,7 @@ pub fn estimate_nodes_with_label(state: &DiscoveryState, label: &str) -> f64 {
 
 /// Estimated number of nodes carrying `label` **and** property `key`,
 /// using per-type presence rates.
-pub fn estimate_nodes_with_label_and_key(
-    state: &DiscoveryState,
-    label: &str,
-    key: &str,
-) -> f64 {
+pub fn estimate_nodes_with_label_and_key(state: &DiscoveryState, label: &str, key: &str) -> f64 {
     state
         .schema
         .node_types
@@ -137,7 +133,10 @@ mod tests {
             "est {est} vs truth {truth}"
         );
         // A key that never occurs on the label estimates ~0.
-        assert_eq!(estimate_nodes_with_label_and_key(&state, "Phone", "year"), 0.0);
+        assert_eq!(
+            estimate_nodes_with_label_and_key(&state, "Phone", "year"),
+            0.0
+        );
     }
 
     #[test]

@@ -50,7 +50,13 @@ fn edge_type_name(t: &EdgeType, idx: usize) -> String {
 
 fn sanitize(s: &str) -> String {
     s.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -176,7 +182,7 @@ pub fn to_xsd(schema: &SchemaGraph) -> String {
         out.push_str("    <xs:complexType>\n      <xs:sequence>\n");
         for (k, spec) in &t.properties {
             let min = if spec.presence == Some(Presence::Mandatory) {
-                 1
+                1
             } else {
                 0
             };
@@ -245,9 +251,7 @@ pub fn to_json(schema: &SchemaGraph) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pg_model::{
-        Cardinality, LabelSet, PropertySpec, TypeId,
-    };
+    use pg_model::{Cardinality, LabelSet, PropertySpec, TypeId};
 
     fn sample_schema() -> SchemaGraph {
         let mut s = SchemaGraph::new();

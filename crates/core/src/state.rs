@@ -71,12 +71,7 @@ impl DtypeHist {
     /// size (capped at the total) and return the join over the sample.
     pub fn sample_join(&self, sample_size: usize, rng: &mut ChaCha8Rng) -> Option<DataType> {
         let sample = self.draw(sample_size, rng);
-        DataType::join_all(
-            ALL_TYPES
-                .iter()
-                .copied()
-                .filter(|&t| sample[slot(t)] > 0),
-        )
+        DataType::join_all(ALL_TYPES.iter().copied().filter(|&t| sample[slot(t)] > 0))
     }
 
     /// The paper's sampling-error metric (§5, "Evaluation metrics"):

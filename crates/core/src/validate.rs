@@ -119,7 +119,9 @@ pub fn validate(graph: &PropertyGraph, schema: &SchemaGraph, mode: SchemaMode) -
     // --- Nodes.
     for node in graph.nodes() {
         match best_node_type(schema, node) {
-            None => report.violations.push(Violation::NodeHasNoType { node: node.id }),
+            None => report
+                .violations
+                .push(Violation::NodeHasNoType { node: node.id }),
             Some(t) => {
                 if mode == SchemaMode::Strict {
                     check_node_strict(node, t, &mut report);
@@ -133,7 +135,9 @@ pub fn validate(graph: &PropertyGraph, schema: &SchemaGraph, mode: SchemaMode) -
     for edge in graph.edges() {
         let (src_labels, tgt_labels) = graph.endpoint_labels(edge);
         match best_edge_type(schema, edge, &src_labels, &tgt_labels) {
-            None => report.violations.push(Violation::EdgeHasNoType { edge: edge.id }),
+            None => report
+                .violations
+                .push(Violation::EdgeHasNoType { edge: edge.id }),
             Some(t) => {
                 if mode == SchemaMode::Strict {
                     check_edge_strict(edge, t, &src_labels, &tgt_labels, &mut report);
@@ -336,15 +340,18 @@ mod tests {
                     .with_prop("age", i as i64),
             )
             .unwrap();
-            g.add_node(
-                Node::new(100 + i, LabelSet::single("Org")).with_prop("url", "u"),
-            )
-            .unwrap();
+            g.add_node(Node::new(100 + i, LabelSet::single("Org")).with_prop("url", "u"))
+                .unwrap();
         }
         for i in 0..10u64 {
             g.add_edge(
-                Edge::new(1000 + i, NodeId(i), NodeId(100 + i), LabelSet::single("WORKS_AT"))
-                    .with_prop("from", 2000 + i as i64),
+                Edge::new(
+                    1000 + i,
+                    NodeId(i),
+                    NodeId(100 + i),
+                    LabelSet::single("WORKS_AT"),
+                )
+                .with_prop("from", 2000 + i as i64),
             )
             .unwrap();
         }
@@ -412,7 +419,11 @@ mod tests {
         let strict = validate(&g, &s, SchemaMode::Strict);
         assert!(matches!(
             strict.violations.as_slice(),
-            [Violation::DatatypeMismatch { declared: DataType::Int, observed: DataType::Str, .. }]
+            [Violation::DatatypeMismatch {
+                declared: DataType::Int,
+                observed: DataType::Str,
+                ..
+            }]
         ));
     }
 
@@ -445,10 +456,13 @@ mod tests {
         )
         .unwrap();
         let strict = validate(&g, &s, SchemaMode::Strict);
-        assert!(strict
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::EndpointMismatch { source_side: true, .. })));
+        assert!(strict.violations.iter().any(|v| matches!(
+            v,
+            Violation::EndpointMismatch {
+                source_side: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -477,7 +491,12 @@ mod tests {
         assert!(
             strict.violations.iter().any(|v| matches!(
                 v,
-                Violation::CardinalityExceeded { out_side: true, observed: 2, bound: 1, .. }
+                Violation::CardinalityExceeded {
+                    out_side: true,
+                    observed: 2,
+                    bound: 1,
+                    ..
+                }
             )),
             "violations: {:?}",
             strict.violations

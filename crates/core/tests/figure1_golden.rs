@@ -1,0 +1,71 @@
+//! Golden-snapshot test for the Figure 1 running example.
+//!
+//! Discovers the schema of `pg_hive::fixtures::figure1()` with a
+//! pinned configuration and compares the serialized JSON byte-for-byte
+//! against a checked-in fixture. Any change to featurization, LSH,
+//! type extraction, post-processing, or serialization that alters the
+//! output — intentionally or not — shows up as a readable JSON diff.
+//!
+//! To update the snapshot after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p pg-hive --test figure1_golden
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use pg_hive::{serialize, EmbeddingKind, HiveConfig, PgHive};
+use pg_model::SchemaGraph;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/figure1_schema.json"
+);
+
+/// The pinned configuration: quick Word2Vec (dim 5, epochs 2), seed 42,
+/// post-processing on so constraints/datatypes/cardinalities are part
+/// of the snapshot. Changing any of these invalidates the fixture.
+fn pinned_config() -> HiveConfig {
+    let mut c = HiveConfig::default().with_seed(42);
+    if let EmbeddingKind::Word2Vec(ref mut w) = c.embedding {
+        w.dim = 5;
+        w.epochs = 2;
+    }
+    c
+}
+
+#[test]
+fn figure1_schema_matches_golden_snapshot() {
+    let result = PgHive::new(pinned_config()).discover_graph(&pg_hive::fixtures::figure1());
+    let json = serialize::to_json(&result.schema);
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).expect("writing golden fixture");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing fixture; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json.trim_end(),
+        golden.trim_end(),
+        "discovered schema diverged from tests/fixtures/figure1_schema.json; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_snapshot_round_trips_through_serde() {
+    let result = PgHive::new(pinned_config()).discover_graph(&pg_hive::fixtures::figure1());
+    let json = serialize::to_json(&result.schema);
+    let parsed: SchemaGraph = serde_json::from_str(&json).expect("fixture JSON deserializes");
+    assert_eq!(parsed, result.schema, "serialize → deserialize → eq");
+
+    // The checked-in fixture itself must also parse back to the same
+    // schema (guards against hand-edits that break the format).
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing fixture; regenerate with UPDATE_GOLDEN=1");
+    let golden_schema: SchemaGraph =
+        serde_json::from_str(&golden).expect("checked-in fixture deserializes");
+    assert_eq!(golden_schema, result.schema);
+}

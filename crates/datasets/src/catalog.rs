@@ -65,54 +65,242 @@ pub fn pole() -> DatasetSpec {
         nodes: 3_000,
         edges: 5_200,
         node_types: vec![
-            nt("Person", &["Person"], vec![
-                prop("name", Str, 1.0), prop("surname", Str, 1.0), prop("nhs_no", Str, 1.0),
-            ], 8.0),
-            nt("Officer", &["Officer"], vec![
-                prop("badge_no", Str, 1.0), prop("rank", Str, 1.0), prop("name", Str, 1.0),
-            ], 2.0),
-            nt("Crime", &["Crime"], vec![
-                prop("date", Date, 1.0), prop("type", Str, 1.0), prop("outcome", Str, 0.8),
-                prop("note", Str, 0.3),
-            ], 6.0),
-            nt("Location", &["Location"], vec![
-                prop("address", Str, 1.0), prop("postcode", Str, 1.0),
-                prop("latitude", Float, 1.0), prop("longitude", Float, 1.0),
-            ], 6.0),
+            nt(
+                "Person",
+                &["Person"],
+                vec![
+                    prop("name", Str, 1.0),
+                    prop("surname", Str, 1.0),
+                    prop("nhs_no", Str, 1.0),
+                ],
+                8.0,
+            ),
+            nt(
+                "Officer",
+                &["Officer"],
+                vec![
+                    prop("badge_no", Str, 1.0),
+                    prop("rank", Str, 1.0),
+                    prop("name", Str, 1.0),
+                ],
+                2.0,
+            ),
+            nt(
+                "Crime",
+                &["Crime"],
+                vec![
+                    prop("date", Date, 1.0),
+                    prop("type", Str, 1.0),
+                    prop("outcome", Str, 0.8),
+                    prop("note", Str, 0.3),
+                ],
+                6.0,
+            ),
+            nt(
+                "Location",
+                &["Location"],
+                vec![
+                    prop("address", Str, 1.0),
+                    prop("postcode", Str, 1.0),
+                    prop("latitude", Float, 1.0),
+                    prop("longitude", Float, 1.0),
+                ],
+                6.0,
+            ),
             nt("Phone", &["Phone"], vec![prop("phoneNo", Str, 1.0)], 3.0),
-            nt("Email", &["Email"], vec![prop("email_address", Str, 1.0)], 2.0),
-            nt("Vehicle", &["Vehicle"], vec![
-                prop("make", Str, 1.0), prop("model", Str, 1.0), prop("reg", Str, 1.0),
-                prop("year", Int, 0.9),
-            ], 2.0),
+            nt(
+                "Email",
+                &["Email"],
+                vec![prop("email_address", Str, 1.0)],
+                2.0,
+            ),
+            nt(
+                "Vehicle",
+                &["Vehicle"],
+                vec![
+                    prop("make", Str, 1.0),
+                    prop("model", Str, 1.0),
+                    prop("reg", Str, 1.0),
+                    prop("year", Int, 0.9),
+                ],
+                2.0,
+            ),
             nt("Area", &["Area"], vec![prop("areaCode", Str, 1.0)], 1.0),
             nt("PostCode", &["PostCode"], vec![prop("code", Str, 1.0)], 2.0),
-            nt("Object", &["Object"], vec![prop("description", Str, 1.0), prop("id", Int, 1.0)], 1.0),
-            nt("PhoneCall", &["PhoneCall"], vec![
-                prop("call_date", Date, 1.0), prop("call_time", Str, 1.0),
-                prop("call_duration", Int, 1.0), prop("call_type", Str, 1.0),
-            ], 4.0),
+            nt(
+                "Object",
+                &["Object"],
+                vec![prop("description", Str, 1.0), prop("id", Int, 1.0)],
+                1.0,
+            ),
+            nt(
+                "PhoneCall",
+                &["PhoneCall"],
+                vec![
+                    prop("call_date", Date, 1.0),
+                    prop("call_time", Str, 1.0),
+                    prop("call_duration", Int, 1.0),
+                    prop("call_type", Str, 1.0),
+                ],
+                4.0,
+            ),
         ],
         edge_types: vec![
-            et("KNOWS", &["KNOWS"], vec![], "Person", "Person", 6.0, ManyToMany),
-            et("KNOWS_LW", &["KNOWS_LW"], vec![], "Person", "Person", 2.0, ManyToMany),
-            et("KNOWS_SN", &["KNOWS_SN"], vec![], "Person", "Person", 2.0, ManyToMany),
+            et(
+                "KNOWS",
+                &["KNOWS"],
+                vec![],
+                "Person",
+                "Person",
+                6.0,
+                ManyToMany,
+            ),
+            et(
+                "KNOWS_LW",
+                &["KNOWS_LW"],
+                vec![],
+                "Person",
+                "Person",
+                2.0,
+                ManyToMany,
+            ),
+            et(
+                "KNOWS_SN",
+                &["KNOWS_SN"],
+                vec![],
+                "Person",
+                "Person",
+                2.0,
+                ManyToMany,
+            ),
             // Phone-to-phone links reuse the KNOWS label (17 edge types,
             // 16 distinct edge labels, matching Table 2).
-            et("KNOWS_PHONE", &["KNOWS"], vec![], "Phone", "Phone", 1.0, ManyToMany),
-            et("FAMILY_REL", &["FAMILY_REL"], vec![prop("rel_type", Str, 1.0)], "Person", "Person", 2.0, ManyToMany),
-            et("CURRENT_ADDRESS", &["CURRENT_ADDRESS"], vec![], "Person", "Location", 4.0, ManyToOne),
-            et("HAS_PHONE", &["HAS_PHONE"], vec![], "Person", "Phone", 3.0, ManyToOne),
-            et("HAS_EMAIL", &["HAS_EMAIL"], vec![], "Person", "Email", 2.0, ManyToOne),
-            et("OCCURRED_AT", &["OCCURRED_AT"], vec![], "Crime", "Location", 5.0, ManyToOne),
-            et("INVESTIGATED_BY", &["INVESTIGATED_BY"], vec![], "Crime", "Officer", 4.0, ManyToOne),
-            et("PARTY_TO", &["PARTY_TO"], vec![], "Person", "Crime", 4.0, ManyToMany),
-            et("INVOLVED_IN", &["INVOLVED_IN"], vec![], "Vehicle", "Crime", 1.0, ManyToMany),
-            et("CALLED", &["CALLED"], vec![], "PhoneCall", "Phone", 3.0, ManyToOne),
-            et("CALLER", &["CALLER"], vec![], "PhoneCall", "Phone", 3.0, ManyToOne),
-            et("LOCATION_IN_AREA", &["LOCATION_IN_AREA"], vec![], "Location", "Area", 2.0, ManyToOne),
-            et("HAS_POSTCODE", &["HAS_POSTCODE"], vec![], "Location", "PostCode", 2.0, ManyToOne),
-            et("POSTCODE_IN_AREA", &["POSTCODE_IN_AREA"], vec![], "PostCode", "Area", 1.0, ManyToOne),
+            et(
+                "KNOWS_PHONE",
+                &["KNOWS"],
+                vec![],
+                "Phone",
+                "Phone",
+                1.0,
+                ManyToMany,
+            ),
+            et(
+                "FAMILY_REL",
+                &["FAMILY_REL"],
+                vec![prop("rel_type", Str, 1.0)],
+                "Person",
+                "Person",
+                2.0,
+                ManyToMany,
+            ),
+            et(
+                "CURRENT_ADDRESS",
+                &["CURRENT_ADDRESS"],
+                vec![],
+                "Person",
+                "Location",
+                4.0,
+                ManyToOne,
+            ),
+            et(
+                "HAS_PHONE",
+                &["HAS_PHONE"],
+                vec![],
+                "Person",
+                "Phone",
+                3.0,
+                ManyToOne,
+            ),
+            et(
+                "HAS_EMAIL",
+                &["HAS_EMAIL"],
+                vec![],
+                "Person",
+                "Email",
+                2.0,
+                ManyToOne,
+            ),
+            et(
+                "OCCURRED_AT",
+                &["OCCURRED_AT"],
+                vec![],
+                "Crime",
+                "Location",
+                5.0,
+                ManyToOne,
+            ),
+            et(
+                "INVESTIGATED_BY",
+                &["INVESTIGATED_BY"],
+                vec![],
+                "Crime",
+                "Officer",
+                4.0,
+                ManyToOne,
+            ),
+            et(
+                "PARTY_TO",
+                &["PARTY_TO"],
+                vec![],
+                "Person",
+                "Crime",
+                4.0,
+                ManyToMany,
+            ),
+            et(
+                "INVOLVED_IN",
+                &["INVOLVED_IN"],
+                vec![],
+                "Vehicle",
+                "Crime",
+                1.0,
+                ManyToMany,
+            ),
+            et(
+                "CALLED",
+                &["CALLED"],
+                vec![],
+                "PhoneCall",
+                "Phone",
+                3.0,
+                ManyToOne,
+            ),
+            et(
+                "CALLER",
+                &["CALLER"],
+                vec![],
+                "PhoneCall",
+                "Phone",
+                3.0,
+                ManyToOne,
+            ),
+            et(
+                "LOCATION_IN_AREA",
+                &["LOCATION_IN_AREA"],
+                vec![],
+                "Location",
+                "Area",
+                2.0,
+                ManyToOne,
+            ),
+            et(
+                "HAS_POSTCODE",
+                &["HAS_POSTCODE"],
+                vec![],
+                "Location",
+                "PostCode",
+                2.0,
+                ManyToOne,
+            ),
+            et(
+                "POSTCODE_IN_AREA",
+                &["POSTCODE_IN_AREA"],
+                vec![],
+                "PostCode",
+                "Area",
+                1.0,
+                ManyToOne,
+            ),
         ],
         extra_node_label: None,
     }
@@ -160,30 +348,85 @@ fn connectome_spec(
         node_types: vec![
             // Multi-label neurons: {Neuron, Cell, <dataset>} etc. — 10
             // individual labels across 4 types.
-            nt("Neuron", &["Neuron", "Cell", "DataModel"], neuron_props.clone(), 10.0),
-            nt("Segment", &["Segment", "Cell"], vec![
-                prop("bodyId", Int, 1.0),
-                prop("size", Int, 1.0),
-                prop("roi", Str, 0.5),
-            ], 5.0),
-            nt("SynapseSet", &["SynapseSet", "Connectivity", "Element"], vec![
-                prop("timeStamp", DateTime, 1.0),
-            ], 3.0),
-            nt("Meta", &["Meta", "Dataset", "Provenance"], vec![
-                prop("uuid", Str, 1.0),
-                prop("lastDatabaseEdit", DateTime, 1.0),
-                prop("voxelSize", Float, 1.0),
-            ], 1.0),
+            nt(
+                "Neuron",
+                &["Neuron", "Cell", "DataModel"],
+                neuron_props.clone(),
+                10.0,
+            ),
+            nt(
+                "Segment",
+                &["Segment", "Cell"],
+                vec![
+                    prop("bodyId", Int, 1.0),
+                    prop("size", Int, 1.0),
+                    prop("roi", Str, 0.5),
+                ],
+                5.0,
+            ),
+            nt(
+                "SynapseSet",
+                &["SynapseSet", "Connectivity", "Element"],
+                vec![prop("timeStamp", DateTime, 1.0)],
+                3.0,
+            ),
+            nt(
+                "Meta",
+                &["Meta", "Dataset", "Provenance"],
+                vec![
+                    prop("uuid", Str, 1.0),
+                    prop("lastDatabaseEdit", DateTime, 1.0),
+                    prop("voxelSize", Float, 1.0),
+                ],
+                1.0,
+            ),
         ],
         edge_types: vec![
-            et("ConnectsTo", &["ConnectsTo"], vec![
-                prop("weight", Int, 1.0),
-                prop("roiInfo", Str, 0.6),
-            ], "Neuron", "Neuron", 12.0, ManyToMany),
-            et("SynapsesTo", &["ConnectsTo"], vec![prop("weight", Int, 1.0)], "Segment", "Neuron", 4.0, ManyToMany),
-            et("Contains", &["Contains"], vec![], "Neuron", "SynapseSet", 4.0, ManyToMany),
-            et("ContainsSeg", &["Contains"], vec![], "Segment", "SynapseSet", 2.0, ManyToMany),
-            et("From", &["From"], vec![], "SynapseSet", "Meta", 1.0, ManyToOne),
+            et(
+                "ConnectsTo",
+                &["ConnectsTo"],
+                vec![prop("weight", Int, 1.0), prop("roiInfo", Str, 0.6)],
+                "Neuron",
+                "Neuron",
+                12.0,
+                ManyToMany,
+            ),
+            et(
+                "SynapsesTo",
+                &["ConnectsTo"],
+                vec![prop("weight", Int, 1.0)],
+                "Segment",
+                "Neuron",
+                4.0,
+                ManyToMany,
+            ),
+            et(
+                "Contains",
+                &["Contains"],
+                vec![],
+                "Neuron",
+                "SynapseSet",
+                4.0,
+                ManyToMany,
+            ),
+            et(
+                "ContainsSeg",
+                &["Contains"],
+                vec![],
+                "Segment",
+                "SynapseSet",
+                2.0,
+                ManyToMany,
+            ),
+            et(
+                "From",
+                &["From"],
+                vec![],
+                "SynapseSet",
+                "Meta",
+                1.0,
+                ManyToOne,
+            ),
         ],
         extra_node_label: None,
     }
@@ -194,9 +437,17 @@ fn connectome_spec(
 pub fn hetio() -> DatasetSpec {
     use CardStyle::*;
     let kinds = [
-        ("Gene", 8.0), ("Disease", 2.0), ("Compound", 3.0), ("Anatomy", 1.0),
-        ("BiologicalProcess", 4.0), ("CellularComponent", 2.0), ("MolecularFunction", 2.0),
-        ("Pathway", 2.0), ("PharmacologicClass", 1.0), ("SideEffect", 3.0), ("Symptom", 1.0),
+        ("Gene", 8.0),
+        ("Disease", 2.0),
+        ("Compound", 3.0),
+        ("Anatomy", 1.0),
+        ("BiologicalProcess", 4.0),
+        ("CellularComponent", 2.0),
+        ("MolecularFunction", 2.0),
+        ("Pathway", 2.0),
+        ("PharmacologicClass", 1.0),
+        ("SideEffect", 3.0),
+        ("Symptom", 1.0),
     ];
     let node_types = kinds
         .iter()
@@ -217,7 +468,15 @@ pub fn hetio() -> DatasetSpec {
         })
         .collect();
     let rel = |name: &str, src: &str, tgt: &str, w: f64| {
-        et(name, &[name], vec![prop("sources", Str, 0.8)], src, tgt, w, ManyToMany)
+        et(
+            name,
+            &[name],
+            vec![prop("sources", Str, 0.8)],
+            src,
+            tgt,
+            w,
+            ManyToMany,
+        )
     };
     DatasetSpec {
         name: "HET.IO".into(),
@@ -263,10 +522,7 @@ pub fn icij() -> DatasetSpec {
     use CardStyle::*;
     // Many optional properties → dozens of patterns per type.
     let heterogeneous = |mandatory: &[(&str, GenValue)], optional: &[&str]| -> Vec<PropSpec> {
-        let mut v: Vec<PropSpec> = mandatory
-            .iter()
-            .map(|(k, g)| prop(k, *g, 1.0))
-            .collect();
+        let mut v: Vec<PropSpec> = mandatory.iter().map(|(k, g)| prop(k, *g, 1.0)).collect();
         for k in optional {
             v.push(prop(k, Str, 0.4));
         }
@@ -280,43 +536,190 @@ pub fn icij() -> DatasetSpec {
         nodes: 5_000,
         edges: 8_200,
         node_types: vec![
-            nt("Entity", &["Entity"], heterogeneous(
-                &[("name", Str), ("jurisdiction", Str)],
-                &["incorporation_date", "inactivation_date", "struck_off_date",
-                  "service_provider", "status", "company_type", "note"],
-            ), 8.0),
-            nt("Officer", &["Officer"], heterogeneous(
-                &[("name", Str)],
-                &["country_codes", "status", "valid_until", "note"],
-            ), 6.0),
-            nt("Intermediary", &["Intermediary"], heterogeneous(
-                &[("name", Str)],
-                &["country_codes", "status", "internal_id", "address"],
-            ), 2.0),
-            nt("Address", &["Address"], heterogeneous(
-                &[("address", Str)],
-                &["country_codes", "valid_until", "icij_id"],
-            ), 4.0),
-            nt("Other", &["Other"], heterogeneous(
-                &[("name", Str)],
-                &["incorporation_date", "jurisdiction", "closed_date", ],
-            ), 1.0),
+            nt(
+                "Entity",
+                &["Entity"],
+                heterogeneous(
+                    &[("name", Str), ("jurisdiction", Str)],
+                    &[
+                        "incorporation_date",
+                        "inactivation_date",
+                        "struck_off_date",
+                        "service_provider",
+                        "status",
+                        "company_type",
+                        "note",
+                    ],
+                ),
+                8.0,
+            ),
+            nt(
+                "Officer",
+                &["Officer"],
+                heterogeneous(
+                    &[("name", Str)],
+                    &["country_codes", "status", "valid_until", "note"],
+                ),
+                6.0,
+            ),
+            nt(
+                "Intermediary",
+                &["Intermediary"],
+                heterogeneous(
+                    &[("name", Str)],
+                    &["country_codes", "status", "internal_id", "address"],
+                ),
+                2.0,
+            ),
+            nt(
+                "Address",
+                &["Address"],
+                heterogeneous(
+                    &[("address", Str)],
+                    &["country_codes", "valid_until", "icij_id"],
+                ),
+                4.0,
+            ),
+            nt(
+                "Other",
+                &["Other"],
+                heterogeneous(
+                    &[("name", Str)],
+                    &["incorporation_date", "jurisdiction", "closed_date"],
+                ),
+                1.0,
+            ),
         ],
         edge_types: vec![
-            et("OFFICER_OF", &["officer_of"], vec![prop("link", Str, 0.7), prop("start_date", MixedDateStr { str_frac: 0.02 }, 0.3)], "Officer", "Entity", 6.0, ManyToMany),
-            et("INTERMEDIARY_OF", &["intermediary_of"], vec![prop("link", Str, 0.5)], "Intermediary", "Entity", 3.0, ManyToMany),
-            et("REGISTERED_ADDRESS_E", &["registered_address"], vec![], "Entity", "Address", 4.0, ManyToOne),
-            et("REGISTERED_ADDRESS_O", &["registered_address_officer"], vec![], "Officer", "Address", 2.0, ManyToOne),
-            et("SIMILAR", &["similar"], vec![], "Entity", "Entity", 1.0, ManyToMany),
-            et("SAME_NAME_AS", &["same_name_as"], vec![], "Entity", "Entity", 1.0, ManyToMany),
-            et("SAME_ID_AS", &["same_id_as"], vec![], "Entity", "Entity", 0.5, ManyToMany),
-            et("SAME_AS_OFFICER", &["same_as"], vec![], "Officer", "Officer", 0.5, ManyToMany),
-            et("CONNECTED_TO", &["connected_to"], vec![], "Other", "Entity", 0.5, ManyToMany),
-            et("PROBABLY_SAME", &["probably_same_officer_as"], vec![], "Officer", "Officer", 0.5, ManyToMany),
-            et("UNDERLYING", &["underlying"], vec![], "Entity", "Other", 0.3, ManyToMany),
-            et("ALIAS", &["alias"], vec![], "Officer", "Officer", 0.3, ManyToMany),
-            et("SHAREHOLDER_OF", &["shareholder_of"], vec![prop("link", Str, 0.6)], "Officer", "Entity", 1.5, ManyToMany),
-            et("DIRECTOR_OF", &["director_of"], vec![prop("link", Str, 0.6)], "Officer", "Entity", 1.5, ManyToMany),
+            et(
+                "OFFICER_OF",
+                &["officer_of"],
+                vec![
+                    prop("link", Str, 0.7),
+                    prop("start_date", MixedDateStr { str_frac: 0.02 }, 0.3),
+                ],
+                "Officer",
+                "Entity",
+                6.0,
+                ManyToMany,
+            ),
+            et(
+                "INTERMEDIARY_OF",
+                &["intermediary_of"],
+                vec![prop("link", Str, 0.5)],
+                "Intermediary",
+                "Entity",
+                3.0,
+                ManyToMany,
+            ),
+            et(
+                "REGISTERED_ADDRESS_E",
+                &["registered_address"],
+                vec![],
+                "Entity",
+                "Address",
+                4.0,
+                ManyToOne,
+            ),
+            et(
+                "REGISTERED_ADDRESS_O",
+                &["registered_address_officer"],
+                vec![],
+                "Officer",
+                "Address",
+                2.0,
+                ManyToOne,
+            ),
+            et(
+                "SIMILAR",
+                &["similar"],
+                vec![],
+                "Entity",
+                "Entity",
+                1.0,
+                ManyToMany,
+            ),
+            et(
+                "SAME_NAME_AS",
+                &["same_name_as"],
+                vec![],
+                "Entity",
+                "Entity",
+                1.0,
+                ManyToMany,
+            ),
+            et(
+                "SAME_ID_AS",
+                &["same_id_as"],
+                vec![],
+                "Entity",
+                "Entity",
+                0.5,
+                ManyToMany,
+            ),
+            et(
+                "SAME_AS_OFFICER",
+                &["same_as"],
+                vec![],
+                "Officer",
+                "Officer",
+                0.5,
+                ManyToMany,
+            ),
+            et(
+                "CONNECTED_TO",
+                &["connected_to"],
+                vec![],
+                "Other",
+                "Entity",
+                0.5,
+                ManyToMany,
+            ),
+            et(
+                "PROBABLY_SAME",
+                &["probably_same_officer_as"],
+                vec![],
+                "Officer",
+                "Officer",
+                0.5,
+                ManyToMany,
+            ),
+            et(
+                "UNDERLYING",
+                &["underlying"],
+                vec![],
+                "Entity",
+                "Other",
+                0.3,
+                ManyToMany,
+            ),
+            et(
+                "ALIAS",
+                &["alias"],
+                vec![],
+                "Officer",
+                "Officer",
+                0.3,
+                ManyToMany,
+            ),
+            et(
+                "SHAREHOLDER_OF",
+                &["shareholder_of"],
+                vec![prop("link", Str, 0.6)],
+                "Officer",
+                "Entity",
+                1.5,
+                ManyToMany,
+            ),
+            et(
+                "DIRECTOR_OF",
+                &["director_of"],
+                vec![prop("link", Str, 0.6)],
+                "Officer",
+                "Entity",
+                1.5,
+                ManyToMany,
+            ),
         ],
         extra_node_label: Some("OffshoreLeaksNode".into()),
     }
@@ -327,10 +730,22 @@ pub fn icij() -> DatasetSpec {
 pub fn cord19() -> DatasetSpec {
     use CardStyle::*;
     let kinds: [(&str, f64); 16] = [
-        ("Paper", 10.0), ("Author", 12.0), ("Affiliation", 3.0), ("Abstract", 8.0),
-        ("BodyText", 10.0), ("Citation", 8.0), ("Journal", 1.0), ("PaperID", 6.0),
-        ("Gene", 4.0), ("Protein", 4.0), ("Disease", 2.0), ("Pathway", 1.0),
-        ("GeneSymbol", 3.0), ("Transcript", 3.0), ("ClinicalTrial", 1.0), ("Patent", 1.0),
+        ("Paper", 10.0),
+        ("Author", 12.0),
+        ("Affiliation", 3.0),
+        ("Abstract", 8.0),
+        ("BodyText", 10.0),
+        ("Citation", 8.0),
+        ("Journal", 1.0),
+        ("PaperID", 6.0),
+        ("Gene", 4.0),
+        ("Protein", 4.0),
+        ("Disease", 2.0),
+        ("Pathway", 1.0),
+        ("GeneSymbol", 3.0),
+        ("Transcript", 3.0),
+        ("ClinicalTrial", 1.0),
+        ("Patent", 1.0),
     ];
     let node_types = kinds
         .iter()
@@ -377,7 +792,13 @@ pub fn cord19() -> DatasetSpec {
             rel("PAPER_HAS_AUTHOR", "Paper", "Author", 8.0, ManyToMany),
             rel("PAPER_HAS_PAPERID", "Paper", "PaperID", 4.0, ManyToOne),
             rel("PAPER_IN_JOURNAL", "Paper", "Journal", 3.0, ManyToOne),
-            rel("AUTHOR_HAS_AFFILIATION", "Author", "Affiliation", 4.0, ManyToOne),
+            rel(
+                "AUTHOR_HAS_AFFILIATION",
+                "Author",
+                "Affiliation",
+                4.0,
+                ManyToOne,
+            ),
             rel("MENTIONS_GENE", "BodyText", "Gene", 3.0, ManyToMany),
             rel("MENTIONS_PROTEIN", "BodyText", "Protein", 3.0, ManyToMany),
             rel("MENTIONS_DISEASE", "Abstract", "Disease", 2.0, ManyToMany),
@@ -385,7 +806,13 @@ pub fn cord19() -> DatasetSpec {
             rel("GENE_HAS_SYMBOL", "Gene", "GeneSymbol", 2.0, ManyToOne),
             rel("GENE_HAS_TRANSCRIPT", "Gene", "Transcript", 2.0, ManyToMany),
             rel("PROTEIN_IN_PATHWAY", "Protein", "Pathway", 1.0, ManyToMany),
-            rel("TRIAL_STUDIES_DISEASE", "ClinicalTrial", "Disease", 0.5, ManyToMany),
+            rel(
+                "TRIAL_STUDIES_DISEASE",
+                "ClinicalTrial",
+                "Disease",
+                0.5,
+                ManyToMany,
+            ),
             rel("PATENT_CITES_PAPER", "Patent", "Paper", 0.5, ManyToMany),
         ],
         extra_node_label: None,
@@ -404,54 +831,233 @@ pub fn ldbc() -> DatasetSpec {
         nodes: 4_000,
         edges: 15_700,
         node_types: vec![
-            nt("Person", &["Person"], vec![
-                prop("firstName", Str, 1.0), prop("lastName", Str, 1.0),
-                prop("gender", Str, 1.0), prop("birthday", Date, 1.0),
-                prop("creationDate", DateTime, 1.0), prop("browserUsed", Str, 1.0),
-                prop("locationIP", Str, 1.0),
-            ], 2.0),
-            nt("Post", &["Message", "Post"], vec![
-                prop("creationDate", DateTime, 1.0), prop("browserUsed", Str, 1.0),
-                prop("locationIP", Str, 1.0), prop("content", Str, 0.7),
-                prop("imageFile", Str, 0.3), prop("length", Int, 1.0),
-                prop("language", Str, 0.7),
-            ], 8.0),
-            nt("Comment", &["Comment", "Message"], vec![
-                prop("creationDate", DateTime, 1.0), prop("browserUsed", Str, 1.0),
-                prop("locationIP", Str, 1.0), prop("content", Str, 1.0),
-                prop("length", Int, 1.0),
-            ], 10.0),
-            nt("Forum", &["Forum"], vec![
-                prop("title", Str, 1.0), prop("creationDate", DateTime, 1.0),
-            ], 2.0),
-            nt("Organisation", &["Organisation"], vec![
-                prop("name", Str, 1.0), prop("url", Str, 1.0), prop("type", Str, 1.0),
-            ], 1.0),
-            nt("Place", &["Place"], vec![
-                prop("name", Str, 1.0), prop("url", Str, 1.0), prop("type", Str, 1.0),
-            ], 1.0),
-            nt("Tag", &["Tag"], vec![
-                prop("name", Str, 1.0), prop("url", Str, 1.0),
-            ], 1.5),
+            nt(
+                "Person",
+                &["Person"],
+                vec![
+                    prop("firstName", Str, 1.0),
+                    prop("lastName", Str, 1.0),
+                    prop("gender", Str, 1.0),
+                    prop("birthday", Date, 1.0),
+                    prop("creationDate", DateTime, 1.0),
+                    prop("browserUsed", Str, 1.0),
+                    prop("locationIP", Str, 1.0),
+                ],
+                2.0,
+            ),
+            nt(
+                "Post",
+                &["Message", "Post"],
+                vec![
+                    prop("creationDate", DateTime, 1.0),
+                    prop("browserUsed", Str, 1.0),
+                    prop("locationIP", Str, 1.0),
+                    prop("content", Str, 0.7),
+                    prop("imageFile", Str, 0.3),
+                    prop("length", Int, 1.0),
+                    prop("language", Str, 0.7),
+                ],
+                8.0,
+            ),
+            nt(
+                "Comment",
+                &["Comment", "Message"],
+                vec![
+                    prop("creationDate", DateTime, 1.0),
+                    prop("browserUsed", Str, 1.0),
+                    prop("locationIP", Str, 1.0),
+                    prop("content", Str, 1.0),
+                    prop("length", Int, 1.0),
+                ],
+                10.0,
+            ),
+            nt(
+                "Forum",
+                &["Forum"],
+                vec![prop("title", Str, 1.0), prop("creationDate", DateTime, 1.0)],
+                2.0,
+            ),
+            nt(
+                "Organisation",
+                &["Organisation"],
+                vec![
+                    prop("name", Str, 1.0),
+                    prop("url", Str, 1.0),
+                    prop("type", Str, 1.0),
+                ],
+                1.0,
+            ),
+            nt(
+                "Place",
+                &["Place"],
+                vec![
+                    prop("name", Str, 1.0),
+                    prop("url", Str, 1.0),
+                    prop("type", Str, 1.0),
+                ],
+                1.0,
+            ),
+            nt(
+                "Tag",
+                &["Tag"],
+                vec![prop("name", Str, 1.0), prop("url", Str, 1.0)],
+                1.5,
+            ),
         ],
         edge_types: vec![
-            et("KNOWS", &["KNOWS"], vec![prop("creationDate", DateTime, 1.0)], "Person", "Person", 6.0, ManyToMany),
-            et("HAS_CREATOR_POST", &["HAS_CREATOR"], vec![], "Post", "Person", 7.0, ManyToOne),
-            et("HAS_CREATOR_COMMENT", &["HAS_CREATOR"], vec![], "Comment", "Person", 9.0, ManyToOne),
-            et("LIKES_POST", &["LIKES"], vec![prop("creationDate", DateTime, 1.0)], "Person", "Post", 6.0, ManyToMany),
-            et("LIKES_COMMENT", &["LIKES_COMMENT"], vec![prop("creationDate", DateTime, 1.0)], "Person", "Comment", 6.0, ManyToMany),
-            et("REPLY_OF_POST", &["REPLY_OF"], vec![], "Comment", "Post", 6.0, ManyToOne),
-            et("REPLY_OF_COMMENT", &["REPLY_OF_COMMENT"], vec![], "Comment", "Comment", 4.0, ManyToOne),
-            et("CONTAINER_OF", &["CONTAINER_OF"], vec![], "Forum", "Post", 5.0, OneToOne),
-            et("HAS_MEMBER", &["HAS_MEMBER"], vec![prop("joinDate", DateTime, 1.0)], "Forum", "Person", 6.0, ManyToMany),
-            et("HAS_MODERATOR", &["HAS_MODERATOR"], vec![], "Forum", "Person", 1.0, ManyToOne),
-            et("HAS_INTEREST", &["HAS_INTEREST"], vec![], "Person", "Tag", 3.0, ManyToMany),
-            et("HAS_TAG_POST", &["HAS_TAG"], vec![], "Post", "Tag", 4.0, ManyToMany),
-            et("HAS_TAG_COMMENT", &["HAS_TAG"], vec![], "Comment", "Tag", 4.0, ManyToMany),
-            et("IS_LOCATED_IN_PERSON", &["IS_LOCATED_IN"], vec![], "Person", "Place", 2.0, ManyToOne),
-            et("IS_LOCATED_IN_ORG", &["IS_PART_OF"], vec![], "Organisation", "Place", 1.0, ManyToOne),
-            et("STUDY_AT", &["STUDY_AT"], vec![prop("classYear", Int, 1.0)], "Person", "Organisation", 1.5, ManyToOne),
-            et("WORK_AT", &["WORK_AT"], vec![prop("workFrom", Int, 1.0)], "Person", "Organisation", 2.0, ManyToMany),
+            et(
+                "KNOWS",
+                &["KNOWS"],
+                vec![prop("creationDate", DateTime, 1.0)],
+                "Person",
+                "Person",
+                6.0,
+                ManyToMany,
+            ),
+            et(
+                "HAS_CREATOR_POST",
+                &["HAS_CREATOR"],
+                vec![],
+                "Post",
+                "Person",
+                7.0,
+                ManyToOne,
+            ),
+            et(
+                "HAS_CREATOR_COMMENT",
+                &["HAS_CREATOR"],
+                vec![],
+                "Comment",
+                "Person",
+                9.0,
+                ManyToOne,
+            ),
+            et(
+                "LIKES_POST",
+                &["LIKES"],
+                vec![prop("creationDate", DateTime, 1.0)],
+                "Person",
+                "Post",
+                6.0,
+                ManyToMany,
+            ),
+            et(
+                "LIKES_COMMENT",
+                &["LIKES_COMMENT"],
+                vec![prop("creationDate", DateTime, 1.0)],
+                "Person",
+                "Comment",
+                6.0,
+                ManyToMany,
+            ),
+            et(
+                "REPLY_OF_POST",
+                &["REPLY_OF"],
+                vec![],
+                "Comment",
+                "Post",
+                6.0,
+                ManyToOne,
+            ),
+            et(
+                "REPLY_OF_COMMENT",
+                &["REPLY_OF_COMMENT"],
+                vec![],
+                "Comment",
+                "Comment",
+                4.0,
+                ManyToOne,
+            ),
+            et(
+                "CONTAINER_OF",
+                &["CONTAINER_OF"],
+                vec![],
+                "Forum",
+                "Post",
+                5.0,
+                OneToOne,
+            ),
+            et(
+                "HAS_MEMBER",
+                &["HAS_MEMBER"],
+                vec![prop("joinDate", DateTime, 1.0)],
+                "Forum",
+                "Person",
+                6.0,
+                ManyToMany,
+            ),
+            et(
+                "HAS_MODERATOR",
+                &["HAS_MODERATOR"],
+                vec![],
+                "Forum",
+                "Person",
+                1.0,
+                ManyToOne,
+            ),
+            et(
+                "HAS_INTEREST",
+                &["HAS_INTEREST"],
+                vec![],
+                "Person",
+                "Tag",
+                3.0,
+                ManyToMany,
+            ),
+            et(
+                "HAS_TAG_POST",
+                &["HAS_TAG"],
+                vec![],
+                "Post",
+                "Tag",
+                4.0,
+                ManyToMany,
+            ),
+            et(
+                "HAS_TAG_COMMENT",
+                &["HAS_TAG"],
+                vec![],
+                "Comment",
+                "Tag",
+                4.0,
+                ManyToMany,
+            ),
+            et(
+                "IS_LOCATED_IN_PERSON",
+                &["IS_LOCATED_IN"],
+                vec![],
+                "Person",
+                "Place",
+                2.0,
+                ManyToOne,
+            ),
+            et(
+                "IS_LOCATED_IN_ORG",
+                &["IS_PART_OF"],
+                vec![],
+                "Organisation",
+                "Place",
+                1.0,
+                ManyToOne,
+            ),
+            et(
+                "STUDY_AT",
+                &["STUDY_AT"],
+                vec![prop("classYear", Int, 1.0)],
+                "Person",
+                "Organisation",
+                1.5,
+                ManyToOne,
+            ),
+            et(
+                "WORK_AT",
+                &["WORK_AT"],
+                vec![prop("workFrom", Int, 1.0)],
+                "Person",
+                "Organisation",
+                2.0,
+                ManyToMany,
+            ),
         ],
         extra_node_label: None,
     }
@@ -463,17 +1069,59 @@ pub fn ldbc() -> DatasetSpec {
 pub fn iyp() -> DatasetSpec {
     use CardStyle::*;
     const LABELS: [&str; 33] = [
-        "AS", "Prefix", "IP", "DomainName", "HostName", "URL", "IXP", "Facility",
-        "Country", "Organization", "Name", "PeeringLAN", "BGPCollector", "Ranking",
-        "AtlasProbe", "AtlasMeasurement", "OpaqueID", "Tag", "CaidaIXID", "PeeringdbOrgID",
-        "PeeringdbFacID", "PeeringdbIXID", "PeeringdbNetID", "IPVersion", "Estimate",
-        "AuthoritativeNameServer", "Resolver", "PopularHostName", "TopDomain",
-        "GeoPrefix", "RPKIRoute", "IRRRoute", "CollectorPeer",
+        "AS",
+        "Prefix",
+        "IP",
+        "DomainName",
+        "HostName",
+        "URL",
+        "IXP",
+        "Facility",
+        "Country",
+        "Organization",
+        "Name",
+        "PeeringLAN",
+        "BGPCollector",
+        "Ranking",
+        "AtlasProbe",
+        "AtlasMeasurement",
+        "OpaqueID",
+        "Tag",
+        "CaidaIXID",
+        "PeeringdbOrgID",
+        "PeeringdbFacID",
+        "PeeringdbIXID",
+        "PeeringdbNetID",
+        "IPVersion",
+        "Estimate",
+        "AuthoritativeNameServer",
+        "Resolver",
+        "PopularHostName",
+        "TopDomain",
+        "GeoPrefix",
+        "RPKIRoute",
+        "IRRRoute",
+        "CollectorPeer",
     ];
     let prop_pool = [
-        "asn", "name", "prefix", "af", "country_code", "registry", "source",
-        "reference_org", "reference_url", "reference_time", "rank", "value",
-        "descr", "origin", "ttl", "visibility", "hege", "delegated",
+        "asn",
+        "name",
+        "prefix",
+        "af",
+        "country_code",
+        "registry",
+        "source",
+        "reference_org",
+        "reference_url",
+        "reference_time",
+        "rank",
+        "value",
+        "descr",
+        "origin",
+        "ttl",
+        "visibility",
+        "hege",
+        "delegated",
     ];
     let mut node_types = Vec::with_capacity(86);
     for i in 0..86usize {
@@ -493,7 +1141,11 @@ pub fn iyp() -> DatasetSpec {
         // 2–4 extra properties, a couple optional → ~14 patterns/type.
         props.push(prop(prop_pool[(i * 3 + 1) % prop_pool.len()], Int, 1.0));
         props.push(prop(prop_pool[(i * 5 + 2) % prop_pool.len()], Str, 0.5));
-        props.push(prop(prop_pool[(i * 7 + 3) % prop_pool.len()], MixedIntStr { str_frac: 0.01 }, 0.4));
+        props.push(prop(
+            prop_pool[(i * 7 + 3) % prop_pool.len()],
+            MixedIntStr { str_frac: 0.01 },
+            0.4,
+        ));
         node_types.push(NodeTypeSpec {
             name: format!("iyp_t{i:02}"),
             labels: labels.into_iter().map(str::to_owned).collect(),
@@ -502,10 +1154,31 @@ pub fn iyp() -> DatasetSpec {
         });
     }
     let edge_labels = [
-        "ORIGINATE", "DEPENDS_ON", "MANAGED_BY", "RESOLVES_TO", "PART_OF", "MEMBER_OF",
-        "PEERS_WITH", "LOCATED_IN", "COUNTRY", "WEBSITE", "NAME", "RANK", "CATEGORIZED",
-        "ASSIGNED", "AVAILABLE", "REGISTERED", "ROUTE_ORIGIN", "QUERIED_FROM", "SIBLING_OF",
-        "ALIAS_OF", "TARGET", "CENSORED", "POPULATION", "EXTERNAL_ID", "PARENT",
+        "ORIGINATE",
+        "DEPENDS_ON",
+        "MANAGED_BY",
+        "RESOLVES_TO",
+        "PART_OF",
+        "MEMBER_OF",
+        "PEERS_WITH",
+        "LOCATED_IN",
+        "COUNTRY",
+        "WEBSITE",
+        "NAME",
+        "RANK",
+        "CATEGORIZED",
+        "ASSIGNED",
+        "AVAILABLE",
+        "REGISTERED",
+        "ROUTE_ORIGIN",
+        "QUERIED_FROM",
+        "SIBLING_OF",
+        "ALIAS_OF",
+        "TARGET",
+        "CENSORED",
+        "POPULATION",
+        "EXTERNAL_ID",
+        "PARENT",
     ];
     let mut edge_types = Vec::with_capacity(25);
     for (i, lbl) in edge_labels.iter().enumerate() {
@@ -635,11 +1308,20 @@ mod tests {
     #[test]
     fn every_edge_type_references_existing_node_types() {
         for spec in all_specs() {
-            let names: BTreeSet<&str> =
-                spec.node_types.iter().map(|t| t.name.as_str()).collect();
+            let names: BTreeSet<&str> = spec.node_types.iter().map(|t| t.name.as_str()).collect();
             for e in &spec.edge_types {
-                assert!(names.contains(e.src.as_str()), "{} src {}", spec.name, e.src);
-                assert!(names.contains(e.tgt.as_str()), "{} tgt {}", spec.name, e.tgt);
+                assert!(
+                    names.contains(e.src.as_str()),
+                    "{} src {}",
+                    spec.name,
+                    e.src
+                );
+                assert!(
+                    names.contains(e.tgt.as_str()),
+                    "{} tgt {}",
+                    spec.name,
+                    e.tgt
+                );
             }
         }
     }

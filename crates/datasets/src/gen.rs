@@ -21,7 +21,11 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> (PropertyGraph, GroundTruth) {
     let mut next_id: u64 = 0;
     let mut members: HashMap<&str, Vec<NodeId>> = HashMap::new();
     for (ti, t) in spec.node_types.iter().enumerate() {
-        let share = if total_w > 0.0 { t.weight / total_w } else { 0.0 };
+        let share = if total_w > 0.0 {
+            t.weight / total_w
+        } else {
+            0.0
+        };
         let mut count = (spec.nodes as f64 * share).round() as usize;
         if ti == spec.node_types.len() - 1 {
             // Give the remainder to the last type so totals are exact-ish.
@@ -53,10 +57,8 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> (PropertyGraph, GroundTruth) {
     let total_ew: f64 = spec.edge_types.iter().map(|t| t.weight).sum();
     let mut edge_id: u64 = 1_000_000_000;
     for (ti, t) in spec.edge_types.iter().enumerate() {
-        let (Some(srcs), Some(tgts)) = (
-            members.get(t.src.as_str()),
-            members.get(t.tgt.as_str()),
-        ) else {
+        let (Some(srcs), Some(tgts)) = (members.get(t.src.as_str()), members.get(t.tgt.as_str()))
+        else {
             continue;
         };
         if srcs.is_empty() || tgts.is_empty() {

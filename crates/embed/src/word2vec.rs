@@ -129,8 +129,7 @@ impl Word2Vec {
             for _epoch in 0..cfg.epochs {
                 for _ in 0..per_epoch {
                     let &(center, ctx) = &pairs[rng.gen_range(0..pairs.len())];
-                    let lr = cfg.learning_rate
-                        * (1.0 - 0.9 * step as f64 / total_steps as f64);
+                    let lr = cfg.learning_rate * (1.0 - 0.9 * step as f64 / total_steps as f64);
                     sgns_step(
                         &mut input,
                         &mut output,

@@ -10,14 +10,19 @@ fn main() {
         .ok()
         .and_then(|p| p.parent().map(std::path::PathBuf::from));
     for bin in [
-        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "ext_sparse",
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "ext_sparse",
         "ext_refine",
     ] {
         println!("\n================ {bin} ================\n");
-        let path = exe_dir
-            .as_ref()
-            .map(|d| d.join(bin))
-            .filter(|p| p.exists());
+        let path = exe_dir.as_ref().map(|d| d.join(bin)).filter(|p| p.exists());
         let status = match path {
             Some(p) => Command::new(p).args(&args).status(),
             None => Command::new("cargo")

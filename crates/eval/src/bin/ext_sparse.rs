@@ -43,8 +43,7 @@ fn main() {
                 cfg.merge_similarity = similarity;
                 cfg.theta = theta;
                 let result = PgHive::new(cfg).discover_graph(&graph);
-                let clusters: Vec<Vec<NodeId>> =
-                    result.node_members().into_values().collect();
+                let clusters: Vec<Vec<NodeId>> = result.node_members().into_values().collect();
                 let f1 = majority_f1(&clusters, &gt.node_type);
                 // F1* does not punish fragmentation, so also report how
                 // compact the schema is: discovered node types vs ground

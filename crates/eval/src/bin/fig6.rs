@@ -45,12 +45,10 @@ fn main() {
                 let cfg = eval_hive_config(LshMethod::Elsh, args.seed)
                     .with_manual_params(params.b_base * alpha, t);
                 let result = PgHive::new(cfg).discover_graph(&graph);
-                let clusters: Vec<Vec<NodeId>> =
-                    result.node_members().into_values().collect();
+                let clusters: Vec<Vec<NodeId>> = result.node_members().into_values().collect();
                 let f1 = pg_eval::majority_f1(&clusters, &gt.node_type);
                 row.push(f1.macro_f1);
-                let edge_clusters: Vec<Vec<EdgeId>> =
-                    result.edge_members().into_values().collect();
+                let edge_clusters: Vec<Vec<EdgeId>> = result.edge_members().into_values().collect();
                 let ef1 = pg_eval::majority_f1(&edge_clusters, &gt.edge_type);
                 edge_row.push(ef1.macro_f1);
             }
@@ -69,7 +67,9 @@ fn main() {
             .iter()
             .enumerate()
             .min_by(|a, b| {
-                (a.1 - params.alpha).abs().total_cmp(&(b.1 - params.alpha).abs())
+                (a.1 - params.alpha)
+                    .abs()
+                    .total_cmp(&(b.1 - params.alpha).abs())
             })
             .map(|(i, _)| i)
             .unwrap_or(0);

@@ -12,8 +12,18 @@ fn main() {
     let names = args.dataset_names();
 
     let header: Vec<String> = [
-        "Dataset", "Nodes", "Edges", "NodeTypes", "EdgeTypes", "NodeLabels", "EdgeLabels",
-        "NodePat", "EdgePat", "R/S", "OrigNodes", "OrigEdges",
+        "Dataset",
+        "Nodes",
+        "Edges",
+        "NodeTypes",
+        "EdgeTypes",
+        "NodeLabels",
+        "EdgeLabels",
+        "NodePat",
+        "EdgePat",
+        "R/S",
+        "OrigNodes",
+        "OrigEdges",
     ]
     .iter()
     .map(|s| s.to_string())

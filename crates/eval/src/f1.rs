@@ -41,9 +41,7 @@ pub fn majority_f1<Id: Eq + Hash + Copy>(
                 *counts.entry(t.as_str()).or_insert(0) += 1;
             }
         }
-        let Some((&majority, _)) = counts
-            .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)))
+        let Some((&majority, _)) = counts.iter().max_by(|a, b| a.1.cmp(b.1).then(a.0.cmp(b.0)))
         else {
             continue;
         };

@@ -145,51 +145,47 @@ pub fn run_method_on(
     seed: u64,
 ) -> CellResult {
     let start = Instant::now();
-    let (node_clusters, edge_clusters): (Vec<Vec<NodeId>>, Option<Vec<Vec<EdgeId>>>) =
-        match method {
-            Method::HiveElsh | Method::HiveMinHash => {
-                let lsh = if method == Method::HiveElsh {
-                    LshMethod::Elsh
-                } else {
-                    LshMethod::MinHash
-                };
-                let result = PgHive::new(eval_hive_config(lsh, seed)).discover_graph(graph);
-                let nodes: Vec<Vec<NodeId>> =
-                    result.node_members().into_values().collect();
-                let edges: Vec<Vec<EdgeId>> =
-                    result.edge_members().into_values().collect();
-                (nodes, Some(edges))
+    let (node_clusters, edge_clusters): (Vec<Vec<NodeId>>, Option<Vec<Vec<EdgeId>>>) = match method
+    {
+        Method::HiveElsh | Method::HiveMinHash => {
+            let lsh = if method == Method::HiveElsh {
+                LshMethod::Elsh
+            } else {
+                LshMethod::MinHash
+            };
+            let result = PgHive::new(eval_hive_config(lsh, seed)).discover_graph(graph);
+            let nodes: Vec<Vec<NodeId>> = result.node_members().into_values().collect();
+            let edges: Vec<Vec<EdgeId>> = result.edge_members().into_values().collect();
+            (nodes, Some(edges))
+        }
+        Method::Gmm => match GmmSchema::new().discover(graph) {
+            Ok(out) => (out.node_clusters, out.edge_clusters),
+            Err(_) => {
+                return CellResult {
+                    node_f1: None,
+                    edge_f1: None,
+                    seconds: start.elapsed().as_secs_f64(),
+                    node_clusters: 0,
+                }
             }
-            Method::Gmm => match GmmSchema::new().discover(graph) {
-                Ok(out) => (out.node_clusters, out.edge_clusters),
-                Err(_) => {
-                    return CellResult {
-                        node_f1: None,
-                        edge_f1: None,
-                        seconds: start.elapsed().as_secs_f64(),
-                        node_clusters: 0,
-                    }
+        },
+        Method::SchemI => match SchemI::new().discover(graph) {
+            Ok(out) => (out.node_clusters, out.edge_clusters),
+            Err(_) => {
+                return CellResult {
+                    node_f1: None,
+                    edge_f1: None,
+                    seconds: start.elapsed().as_secs_f64(),
+                    node_clusters: 0,
                 }
-            },
-            Method::SchemI => match SchemI::new().discover(graph) {
-                Ok(out) => (out.node_clusters, out.edge_clusters),
-                Err(_) => {
-                    return CellResult {
-                        node_f1: None,
-                        edge_f1: None,
-                        seconds: start.elapsed().as_secs_f64(),
-                        node_clusters: 0,
-                    }
-                }
-            },
-        };
+            }
+        },
+    };
     let seconds = start.elapsed().as_secs_f64();
 
     let node_f1 = Some(majority_f1(&node_clusters, &gt.node_type));
     let edge_truth: HashMap<EdgeId, String> = gt.edge_type.clone();
-    let edge_f1 = edge_clusters
-        .as_ref()
-        .map(|c| majority_f1(c, &edge_truth));
+    let edge_f1 = edge_clusters.as_ref().map(|c| majority_f1(c, &edge_truth));
 
     CellResult {
         node_f1,

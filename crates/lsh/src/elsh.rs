@@ -84,18 +84,13 @@ impl EuclideanLsh {
     /// type-extraction step merges afterwards (§4.2/§4.3). Increasing `T`
     /// or shrinking `b` increases selectivity, matching the paper's
     /// parameter-effect discussion.
+    ///
+    /// Signatures are hashed in parallel and grouped by
+    /// [`crate::cluster_by_signature`]'s sharded accumulation; bucket ids
+    /// follow first-occurrence order regardless of thread count.
     pub fn cluster_signature(&self, items: &[SparseVec]) -> Clustering {
-        let signatures: Vec<Vec<i64>> = items
-            .par_iter()
-            .map(|v| self.signature(v))
-            .collect();
-        let mut buckets: HashMap<&[i64], usize> = HashMap::new();
-        let mut raw = Vec::with_capacity(items.len());
-        for sig in &signatures {
-            let next = buckets.len();
-            raw.push(*buckets.entry(sig.as_slice()).or_insert(next));
-        }
-        Clustering::from_assignment(raw)
+        let signatures: Vec<Vec<i64>> = items.par_iter().map(|v| self.signature(v)).collect();
+        crate::cluster_by_signature(&signatures)
     }
 
     /// Cluster under the OR rule: items sharing a bucket in *any* table
@@ -110,10 +105,7 @@ impl EuclideanLsh {
             return Clustering::from_assignment(vec![]);
         }
         // Compute signatures in parallel (the hot loop: O(N·T·nnz)).
-        let signatures: Vec<Vec<i64>> = items
-            .par_iter()
-            .map(|v| self.signature(v))
-            .collect();
+        let signatures: Vec<Vec<i64>> = items.par_iter().map(|v| self.signature(v)).collect();
 
         let mut uf = UnionFind::new(n);
         let mut buckets: HashMap<i64, usize> = HashMap::new();
@@ -185,9 +177,7 @@ mod tests {
 
     #[test]
     fn larger_buckets_merge_more() {
-        let items: Vec<SparseVec> = (0..40)
-            .map(|i| point(&[i as f64 * 0.5, 0.0]))
-            .collect();
+        let items: Vec<SparseVec> = (0..40).map(|i| point(&[i as f64 * 0.5, 0.0])).collect();
         let fine = EuclideanLsh::new(2, 6, 0.25, 3).cluster(&items);
         let coarse = EuclideanLsh::new(2, 6, 50.0, 3).cluster(&items);
         assert!(
@@ -215,6 +205,17 @@ mod tests {
         let c = lsh.cluster(&[]);
         assert!(c.is_empty());
         assert!(lsh.cluster_signature(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_zero_vectors_hash_without_panicking() {
+        // Audit companion to minhash's empty-set regression: ELSH's
+        // degenerate input is the all-zero vector (no reduce to panic
+        // on — the dot product of an empty entry list is just 0.0).
+        let lsh = EuclideanLsh::new(3, 4, 1.0, 2);
+        let items = vec![point(&[0.0, 0.0, 0.0]); 5];
+        let c = lsh.cluster_signature(&items);
+        assert_eq!(c.num_clusters, 1, "identical zero vectors share a bucket");
     }
 
     #[test]

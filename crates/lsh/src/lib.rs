@@ -31,6 +31,63 @@ pub use minhash::MinHashLsh;
 pub use sparse::SparseVec;
 pub use unionfind::UnionFind;
 
+/// Number of shards signature grouping is split into. Shard boundaries
+/// are derived from the input length alone — never from the thread
+/// count — so the bucket numbering below is bit-identical no matter how
+/// many worker threads hash the shards.
+const GROUP_SHARDS: usize = 64;
+
+/// Group items by full-signature equality (the AND rule), assigning
+/// dense bucket ids in **first-occurrence order** — exactly what a
+/// sequential scan with a `HashMap<signature, next_id>` produces.
+///
+/// The parallel construction is a sharded accumulation with a stable
+/// merge: each shard maps its signatures to shard-local ids (recording
+/// the distinct signatures in local first-occurrence order), then the
+/// shard tables are merged strictly in shard order. The first shard
+/// containing a signature fixes its global id, which is the same shard
+/// and position a left-to-right scan would have hit first, so the
+/// output is independent of the thread count.
+pub fn cluster_by_signature<T: Eq + std::hash::Hash + Sync>(signatures: &[Vec<T>]) -> Clustering {
+    use rayon::prelude::*;
+    if signatures.is_empty() {
+        return Clustering::from_assignment(Vec::new());
+    }
+    let shard = signatures.len().div_ceil(GROUP_SHARDS).max(1);
+    #[allow(clippy::type_complexity)]
+    let shards: Vec<(Vec<usize>, Vec<&[T]>)> = signatures
+        .par_chunks(shard)
+        .map(|chunk| {
+            let mut local: std::collections::HashMap<&[T], usize> =
+                std::collections::HashMap::new();
+            let mut order: Vec<&[T]> = Vec::new();
+            let mut raw = Vec::with_capacity(chunk.len());
+            for sig in chunk {
+                let next = local.len();
+                let id = *local.entry(sig.as_slice()).or_insert_with(|| {
+                    order.push(sig.as_slice());
+                    next
+                });
+                raw.push(id);
+            }
+            (raw, order)
+        })
+        .collect();
+    let mut global: std::collections::HashMap<&[T], usize> = std::collections::HashMap::new();
+    let mut assignment = Vec::with_capacity(signatures.len());
+    for (raw, order) in &shards {
+        let mapping: Vec<usize> = order
+            .iter()
+            .map(|sig| {
+                let next = global.len();
+                *global.entry(sig).or_insert(next)
+            })
+            .collect();
+        assignment.extend(raw.iter().map(|&local_id| mapping[local_id]));
+    }
+    Clustering::from_assignment(assignment)
+}
+
 /// A clustering of `n` items: `assignment[i]` is the cluster id of item
 /// `i`; ids are dense in `0..num_clusters`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,5 +153,50 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.num_clusters, 0);
         assert!(c.groups().is_empty());
+    }
+
+    /// Reference implementation: the sequential first-occurrence scan
+    /// the sharded grouping must reproduce exactly.
+    fn sequential_group(signatures: &[Vec<u64>]) -> Clustering {
+        let mut buckets: std::collections::HashMap<&[u64], usize> =
+            std::collections::HashMap::new();
+        let mut raw = Vec::with_capacity(signatures.len());
+        for sig in signatures {
+            let next = buckets.len();
+            raw.push(*buckets.entry(sig.as_slice()).or_insert(next));
+        }
+        Clustering::from_assignment(raw)
+    }
+
+    #[test]
+    fn sharded_grouping_matches_sequential_scan() {
+        // Enough items to span many shards, with heavy duplication so
+        // signatures recur across shard boundaries.
+        let signatures: Vec<Vec<u64>> =
+            (0..1500).map(|i| vec![(i * 7) % 13, (i * 3) % 5]).collect();
+        let expected = sequential_group(&signatures);
+        for threads in [1, 2, 3, 4, 8] {
+            let got = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| cluster_by_signature(&signatures));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sharded_grouping_handles_tiny_and_empty_inputs() {
+        assert!(cluster_by_signature::<u64>(&[]).is_empty());
+        let one = cluster_by_signature(&[vec![9u64]]);
+        assert_eq!(one.assignment, vec![0]);
+        assert_eq!(one.num_clusters, 1);
+    }
+
+    #[test]
+    fn sharded_grouping_ids_follow_first_occurrence() {
+        let signatures = vec![vec![5u64], vec![1], vec![5], vec![2], vec![1]];
+        let c = cluster_by_signature(&signatures);
+        assert_eq!(c.assignment, vec![0, 1, 0, 2, 1]);
     }
 }

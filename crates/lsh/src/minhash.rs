@@ -45,23 +45,20 @@ impl MinHashLsh {
     }
 
     /// MinHash signature of a set of element ids. The empty set hashes to
-    /// a dedicated sentinel signature so that empty sets collide with each
-    /// other (two property-less elements are structurally identical) but
-    /// not with non-empty sets except with negligible probability.
+    /// the sentinel signature `[u64::MAX; T]` — the fold identity below —
+    /// so that empty sets collide with each other (two property-less
+    /// elements are structurally identical) but not with non-empty sets
+    /// except with negligible probability: every hash value is strictly
+    /// below `PRIME < u64::MAX`, so a non-empty set can never produce the
+    /// sentinel.
     pub fn signature(&self, set: &[u64]) -> Vec<u64> {
-        if set.is_empty() {
-            return vec![u64::MAX; self.tables()];
-        }
         self.coeffs
             .iter()
             .map(|&(a, b)| {
-                set.iter()
-                    .map(|&x| {
-                        // (a*x + b) mod p via u128 to avoid overflow.
-                        ((a as u128 * x as u128 + b as u128) % PRIME as u128) as u64
-                    })
-                    .min()
-                    .expect("non-empty")
+                set.iter().fold(u64::MAX, |best, &x| {
+                    // (a*x + b) mod p via u128 to avoid overflow.
+                    best.min(((a as u128 * x as u128 + b as u128) % PRIME as u128) as u64)
+                })
             })
             .collect()
     }
@@ -80,18 +77,13 @@ impl MinHashLsh {
     /// the Spark `groupBy(hashes)` analog used by the pipeline. Sets with
     /// identical membership always share a cluster; near-duplicates
     /// collide with probability `J^T`.
+    ///
+    /// Signatures are hashed in parallel and grouped by
+    /// [`crate::cluster_by_signature`]'s sharded accumulation; bucket ids
+    /// follow first-occurrence order regardless of thread count.
     pub fn cluster_signature(&self, items: &[Vec<u64>]) -> Clustering {
-        let signatures: Vec<Vec<u64>> = items
-            .par_iter()
-            .map(|s| self.signature(s))
-            .collect();
-        let mut buckets: HashMap<&[u64], usize> = HashMap::new();
-        let mut raw = Vec::with_capacity(items.len());
-        for sig in &signatures {
-            let next = buckets.len();
-            raw.push(*buckets.entry(sig.as_slice()).or_insert(next));
-        }
-        Clustering::from_assignment(raw)
+        let signatures: Vec<Vec<u64>> = items.par_iter().map(|s| self.signature(s)).collect();
+        crate::cluster_by_signature(&signatures)
     }
 
     /// Cluster sets under the OR rule: items whose signatures agree in at
@@ -101,10 +93,7 @@ impl MinHashLsh {
         if n == 0 {
             return Clustering::from_assignment(vec![]);
         }
-        let signatures: Vec<Vec<u64>> = items
-            .par_iter()
-            .map(|s| self.signature(s))
-            .collect();
+        let signatures: Vec<Vec<u64>> = items.par_iter().map(|s| self.signature(s)).collect();
         let mut uf = UnionFind::new(n);
         let mut buckets: HashMap<u64, usize> = HashMap::new();
         for t in 0..self.tables() {
@@ -201,6 +190,26 @@ mod tests {
         assert_eq!(c.assignment[0], c.assignment[2], "order-insensitive");
         assert_eq!(c.assignment[3], c.assignment[4], "empty sets together");
         assert_ne!(c.assignment[0], c.assignment[1]);
+    }
+
+    #[test]
+    fn empty_set_signature_is_the_sentinel() {
+        // Regression: `signature` once reduced with `.min().expect(
+        // "non-empty")` behind an early-return guard; the fold identity
+        // now produces the sentinel structurally, with no panic path.
+        let mh = MinHashLsh::new(6, 11);
+        assert_eq!(mh.signature(&[]), vec![u64::MAX; 6]);
+        // A non-empty set can never reach the sentinel (hashes < PRIME).
+        assert!(mh.signature(&[0, u64::MAX]).iter().all(|&h| h < PRIME));
+    }
+
+    #[test]
+    fn all_empty_input_clusters_without_panicking() {
+        let mh = MinHashLsh::new(4, 8);
+        let items: Vec<Vec<u64>> = vec![vec![]; 10];
+        let c = mh.cluster_signature(&items);
+        assert_eq!(c.num_clusters, 1, "all empty sets share one bucket");
+        assert!(mh.cluster(&items).num_clusters == 1);
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub fn elsh_collision_prob(bucket_length: f64, distance: f64) -> f64 {
         return 1.0;
     }
     let t = bucket_length / distance;
-    let p = 1.0 - 2.0 * normal_cdf(-t)
+    let p = 1.0
+        - 2.0 * normal_cdf(-t)
         - (2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t)) * (1.0 - (-t * t / 2.0).exp());
     p.clamp(0.0, 1.0)
 }

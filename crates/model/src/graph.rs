@@ -432,12 +432,27 @@ mod tests {
         for i in 1..=3 {
             g.add_node(person(i)).unwrap();
         }
-        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
-            .unwrap();
-        g.add_edge(Edge::new(11, NodeId(1), NodeId(3), LabelSet::single("KNOWS")))
-            .unwrap();
-        g.add_edge(Edge::new(12, NodeId(2), NodeId(1), LabelSet::single("KNOWS")))
-            .unwrap();
+        g.add_edge(Edge::new(
+            10,
+            NodeId(1),
+            NodeId(2),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::new(
+            11,
+            NodeId(1),
+            NodeId(3),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::new(
+            12,
+            NodeId(2),
+            NodeId(1),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
         assert_eq!(g.out_degree(NodeId(1)), 2);
         assert_eq!(g.in_degree(NodeId(1)), 1);
         assert_eq!(g.out_edges(NodeId(1)).count(), 2);
@@ -448,10 +463,18 @@ mod tests {
     #[test]
     fn key_universe_is_sorted_and_distinct() {
         let mut g = PropertyGraph::new();
-        g.add_node(Node::new(1, LabelSet::empty()).with_prop("b", 1i64).with_prop("a", 2i64))
-            .unwrap();
-        g.add_node(Node::new(2, LabelSet::empty()).with_prop("b", 3i64).with_prop("c", 4i64))
-            .unwrap();
+        g.add_node(
+            Node::new(1, LabelSet::empty())
+                .with_prop("b", 1i64)
+                .with_prop("a", 2i64),
+        )
+        .unwrap();
+        g.add_node(
+            Node::new(2, LabelSet::empty())
+                .with_prop("b", 3i64)
+                .with_prop("c", 4i64),
+        )
+        .unwrap();
         let keys = g.node_property_keys();
         let names: Vec<&str> = keys.iter().map(|s| s.as_ref()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);

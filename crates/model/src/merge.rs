@@ -155,7 +155,10 @@ mod tests {
         );
         let s2 = schema(
             vec![nt(&["Person"], &["age"]), nt(&["Org"], &["url"])],
-            vec![et("KNOWS", "Person", "Person"), et("WORKS_AT", "Person", "Org")],
+            vec![
+                et("KNOWS", "Person", "Person"),
+                et("WORKS_AT", "Person", "Org"),
+            ],
         );
         let m = merge_schemas(&s1, &s2, DEFAULT_MERGE_THETA);
         assert!(s1.is_generalized_by(&m), "S1 not covered");

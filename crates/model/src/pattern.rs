@@ -215,10 +215,20 @@ mod tests {
         let p = NodePattern::new(LabelSet::single("Person"), keys(&["name"]));
         assert_eq!(pats[&p], 2);
 
-        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
-            .unwrap();
-        g.add_edge(Edge::new(11, NodeId(2), NodeId(3), LabelSet::single("KNOWS")))
-            .unwrap();
+        g.add_edge(Edge::new(
+            10,
+            NodeId(1),
+            NodeId(2),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
+        g.add_edge(Edge::new(
+            11,
+            NodeId(2),
+            NodeId(3),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
         let eps = edge_patterns(&g);
         // Same edge label but structurally identical endpoints/keys → one
         // pattern with multiplicity 2.

@@ -414,19 +414,35 @@ mod tests {
     #[test]
     fn cardinality_classes() {
         assert_eq!(
-            Cardinality { max_out: 1, max_in: 1 }.class(),
+            Cardinality {
+                max_out: 1,
+                max_in: 1
+            }
+            .class(),
             CardinalityClass::OneToOne
         );
         assert_eq!(
-            Cardinality { max_out: 5, max_in: 1 }.class(),
+            Cardinality {
+                max_out: 5,
+                max_in: 1
+            }
+            .class(),
             CardinalityClass::ManyToOne
         );
         assert_eq!(
-            Cardinality { max_out: 1, max_in: 9 }.class(),
+            Cardinality {
+                max_out: 1,
+                max_in: 9
+            }
+            .class(),
             CardinalityClass::OneToMany
         );
         assert_eq!(
-            Cardinality { max_out: 2, max_in: 2 }.class(),
+            Cardinality {
+                max_out: 2,
+                max_in: 2
+            }
+            .class(),
             CardinalityClass::ManyToMany
         );
         assert_eq!(CardinalityClass::ManyToOne.to_string(), "N:1");
@@ -434,9 +450,21 @@ mod tests {
 
     #[test]
     fn cardinality_merge_takes_maxima() {
-        let a = Cardinality { max_out: 3, max_in: 1 };
-        let b = Cardinality { max_out: 1, max_in: 4 };
-        assert_eq!(a.merge(&b), Cardinality { max_out: 3, max_in: 4 });
+        let a = Cardinality {
+            max_out: 3,
+            max_in: 1,
+        };
+        let b = Cardinality {
+            max_out: 1,
+            max_in: 4,
+        };
+        assert_eq!(
+            a.merge(&b),
+            Cardinality {
+                max_out: 3,
+                max_in: 4
+            }
+        );
     }
 
     #[test]

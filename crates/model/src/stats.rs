@@ -86,8 +86,13 @@ mod tests {
             .unwrap();
         g.add_node(Node::new(3, LabelSet::empty()).with_prop("name", "c"))
             .unwrap();
-        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
-            .unwrap();
+        g.add_edge(Edge::new(
+            10,
+            NodeId(1),
+            NodeId(2),
+            LabelSet::single("KNOWS"),
+        ))
+        .unwrap();
         let s = GraphStats::of(&g);
         assert_eq!(s.nodes, 3);
         assert_eq!(s.edges, 1);

@@ -311,8 +311,14 @@ mod tests {
 
     #[test]
     fn date_parsing_both_layouts() {
-        assert_eq!(Date::parse("1999-12-19"), Some(Date::new(1999, 12, 19).unwrap()));
-        assert_eq!(Date::parse("19/12/1999"), Some(Date::new(1999, 12, 19).unwrap()));
+        assert_eq!(
+            Date::parse("1999-12-19"),
+            Some(Date::new(1999, 12, 19).unwrap())
+        );
+        assert_eq!(
+            Date::parse("19/12/1999"),
+            Some(Date::new(1999, 12, 19).unwrap())
+        );
         assert_eq!(Date::parse("19-12-1999"), None); // ambiguous layout rejected
         assert_eq!(Date::parse("1999-12-19-00"), None);
         assert_eq!(Date::parse("not a date"), None);

@@ -115,11 +115,10 @@ mod tests {
             assert_eq!(x.edges, y.edges);
         }
         let c = split_batches(&g, 4, 43);
-        let same = a
-            .iter()
-            .zip(&c)
-            .all(|(x, y)| x.nodes.iter().map(|n| n.id).collect::<Vec<_>>()
-                == y.nodes.iter().map(|n| n.id).collect::<Vec<_>>());
+        let same = a.iter().zip(&c).all(|(x, y)| {
+            x.nodes.iter().map(|n| n.id).collect::<Vec<_>>()
+                == y.nodes.iter().map(|n| n.id).collect::<Vec<_>>()
+        });
         assert!(!same, "different seeds should shuffle differently");
     }
 

@@ -115,7 +115,14 @@ pub fn edges_to_csv(graph: &PropertyGraph) -> String {
             .map(|l| l.as_ref())
             .collect::<Vec<_>>()
             .join(";");
-        let _ = write!(out, "{},{},{},{}", e.id.0, e.src.0, e.tgt.0, escape(&labels));
+        let _ = write!(
+            out,
+            "{},{},{},{}",
+            e.id.0,
+            e.src.0,
+            e.tgt.0,
+            escape(&labels)
+        );
         for k in &keys {
             out.push(',');
             if let Some(v) = e.props.get(k) {
@@ -152,7 +159,11 @@ pub fn graph_from_csv(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph,
             let fields = split_line(line)?;
             if fields.len() != cols.len() {
                 return Err(ModelError::Parse {
-                    message: format!("node row has {} fields, expected {}", fields.len(), cols.len()),
+                    message: format!(
+                        "node row has {} fields, expected {}",
+                        fields.len(),
+                        cols.len()
+                    ),
                 });
             }
             let id: u64 = fields[0].parse().map_err(|_| ModelError::Parse {
@@ -181,7 +192,11 @@ pub fn graph_from_csv(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph,
             let fields = split_line(line)?;
             if fields.len() != cols.len() {
                 return Err(ModelError::Parse {
-                    message: format!("edge row has {} fields, expected {}", fields.len(), cols.len()),
+                    message: format!(
+                        "edge row has {} fields, expected {}",
+                        fields.len(),
+                        cols.len()
+                    ),
                 });
             }
             let parse_u64 = |s: &str| -> Result<u64, ModelError> {

@@ -57,10 +57,7 @@ impl GraphIndex {
 
     /// Nodes carrying a property key.
     pub fn nodes_with_key(&self, key: &str) -> &[NodeId] {
-        self.nodes_by_key
-            .get(key)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.nodes_by_key.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Edges carrying a label.
@@ -73,10 +70,7 @@ impl GraphIndex {
 
     /// Edges carrying a property key.
     pub fn edges_with_key(&self, key: &str) -> &[EdgeId] {
-        self.edges_by_key
-            .get(key)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.edges_by_key.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Nodes matching an entire label set (intersection of per-label
@@ -118,10 +112,8 @@ mod tests {
 
     fn graph() -> PropertyGraph {
         let mut g = PropertyGraph::new();
-        g.add_node(
-            Node::new(1, LabelSet::from_iter(["Person", "Student"])).with_prop("name", "a"),
-        )
-        .unwrap();
+        g.add_node(Node::new(1, LabelSet::from_iter(["Person", "Student"])).with_prop("name", "a"))
+            .unwrap();
         g.add_node(Node::new(2, LabelSet::single("Person")).with_prop("age", 30i64))
             .unwrap();
         g.add_node(Node::new(3, LabelSet::single("Org")).with_prop("name", "x"))

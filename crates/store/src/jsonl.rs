@@ -82,10 +82,7 @@ mod tests {
         assert_eq!(g2.edge_count(), 1);
         let n1 = g2.node(NodeId(1)).unwrap();
         assert_eq!(n1.props.get("score"), Some(&PropertyValue::Float(1.5)));
-        assert!(matches!(
-            n1.props.get("bday"),
-            Some(PropertyValue::Date(_))
-        ));
+        assert!(matches!(n1.props.get("bday"), Some(PropertyValue::Date(_))));
     }
 
     #[test]

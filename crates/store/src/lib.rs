@@ -17,8 +17,8 @@
 //! * [`query`] — degree aggregations used for cardinality inference.
 
 pub mod batch;
-pub mod index;
 pub mod csv;
+pub mod index;
 pub mod jsonl;
 pub mod load;
 pub mod memstore;

@@ -57,7 +57,8 @@ mod tests {
     #[test]
     fn load_resolves_endpoint_labels() {
         let mut g = PropertyGraph::new();
-        g.add_node(Node::new(1, LabelSet::single("Person"))).unwrap();
+        g.add_node(Node::new(1, LabelSet::single("Person")))
+            .unwrap();
         g.add_node(Node::new(2, LabelSet::single("Org"))).unwrap();
         g.add_edge(
             Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("WORKS_AT"))

@@ -85,12 +85,7 @@ mod tests {
             .insert_node(Node::new(2, LabelSet::single("B")))
             .unwrap();
         store
-            .insert_edge(Edge::new(
-                1,
-                NodeId(1),
-                NodeId(2),
-                LabelSet::single("REL"),
-            ))
+            .insert_edge(Edge::new(1, NodeId(1), NodeId(2), LabelSet::single("REL")))
             .unwrap();
         let snap = store.snapshot();
         assert_eq!(snap.node_count(), 2);

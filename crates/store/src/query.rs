@@ -55,12 +55,7 @@ mod tests {
 
     #[test]
     fn knows_is_m_to_n() {
-        let pairs = vec![
-            (n(1), n(2)),
-            (n(1), n(3)),
-            (n(2), n(1)),
-            (n(3), n(1)),
-        ];
+        let pairs = vec![(n(1), n(2)), (n(1), n(3)), (n(2), n(1)), (n(3), n(1))];
         let c = max_degrees(pairs);
         assert_eq!(c.max_out, 2);
         assert_eq!(c.max_in, 2);

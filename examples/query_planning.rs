@@ -24,7 +24,10 @@ fn main() {
     let result = PgHive::new(HiveConfig::default()).discover_graph(&graph);
     let index = GraphIndex::build(&graph);
 
-    println!("Schema-as-statistics on the LDBC twin ({} nodes):\n", graph.node_count());
+    println!(
+        "Schema-as-statistics on the LDBC twin ({} nodes):\n",
+        graph.node_count()
+    );
     println!(
         "{:<14} {:>10} {:>10} {:>12}",
         "label", "estimate", "actual", "selectivity"

@@ -51,17 +51,32 @@ fn main() {
         Edge::new(10, NodeId(3), NodeId(2), LabelSet::single("KNOWS")).with_prop("since", 2015i64),
     )
     .unwrap();
-    g.add_edge(Edge::new(11, NodeId(1), NodeId(2), LabelSet::single("KNOWS")))
-        .unwrap();
-    g.add_edge(Edge::new(12, NodeId(3), NodeId(5), LabelSet::single("LIKES")))
-        .unwrap();
+    g.add_edge(Edge::new(
+        11,
+        NodeId(1),
+        NodeId(2),
+        LabelSet::single("KNOWS"),
+    ))
+    .unwrap();
+    g.add_edge(Edge::new(
+        12,
+        NodeId(3),
+        NodeId(5),
+        LabelSet::single("LIKES"),
+    ))
+    .unwrap();
     g.add_edge(
         Edge::new(13, NodeId(1), NodeId(4), LabelSet::single("WORKS_AT"))
             .with_prop("from", 2019i64),
     )
     .unwrap();
-    g.add_edge(Edge::new(14, NodeId(1), NodeId(7), LabelSet::single("LOCATED_IN")))
-        .unwrap();
+    g.add_edge(Edge::new(
+        14,
+        NodeId(1),
+        NodeId(7),
+        LabelSet::single("LOCATED_IN"),
+    ))
+    .unwrap();
 
     // Discover with the paper's default configuration: adaptive ELSH,
     // Word2Vec label embeddings, θ = 0.9, full post-processing.
@@ -80,9 +95,15 @@ fn main() {
     );
 
     println!("=== PG-Schema (STRICT) ===");
-    println!("{}", serialize::to_pg_schema(&result.schema, SchemaMode::Strict));
+    println!(
+        "{}",
+        serialize::to_pg_schema(&result.schema, SchemaMode::Strict)
+    );
     println!("=== PG-Schema (LOOSE) ===");
-    println!("{}", serialize::to_pg_schema(&result.schema, SchemaMode::Loose));
+    println!(
+        "{}",
+        serialize::to_pg_schema(&result.schema, SchemaMode::Loose)
+    );
     println!("=== XSD ===");
     println!("{}", serialize::to_xsd(&result.schema));
 }

@@ -50,7 +50,10 @@ fn main() {
     bad.add_node(Node::new(2, LabelSet::single("Drone")).with_prop("rotor_count", 4i64))
         .unwrap();
     let report = validate(&bad, &schema_v1, SchemaMode::Strict);
-    println!("\ngatekeeper: {} violations in incoming payload:", report.violations.len());
+    println!(
+        "\ngatekeeper: {} violations in incoming payload:",
+        report.violations.len()
+    );
     for v in &report.violations {
         println!("  {v:?}");
     }

@@ -27,11 +27,7 @@ fn hive_node_f1(dataset: &str, method: Method, noise: f64, avail: f64) -> f64 {
 fn elsh_scores_high_on_every_clean_dataset() {
     for spec in all_specs() {
         let f1 = hive_node_f1(&spec.name, Method::HiveElsh, 0.0, 1.0);
-        assert!(
-            f1 > 0.95,
-            "{}: clean node F1 {f1} below 0.95",
-            spec.name
-        );
+        assert!(f1 > 0.95, "{}: clean node F1 {f1} below 0.95", spec.name);
     }
 }
 
@@ -39,11 +35,7 @@ fn elsh_scores_high_on_every_clean_dataset() {
 fn minhash_scores_high_on_every_clean_dataset() {
     for spec in all_specs() {
         let f1 = hive_node_f1(&spec.name, Method::HiveMinHash, 0.0, 1.0);
-        assert!(
-            f1 > 0.95,
-            "{}: clean node F1 {f1} below 0.95",
-            spec.name
-        );
+        assert!(f1 > 0.95, "{}: clean node F1 {f1} below 0.95", spec.name);
     }
 }
 

@@ -48,8 +48,7 @@ fn jsonl_round_trip_is_lossless() {
 fn discovery_after_csv_import_matches_direct_discovery() {
     let spec = spec_by_name("POLE").unwrap().scaled(0.04);
     let (graph, _) = generate(&spec, 4);
-    let reloaded =
-        graph_from_csv(&nodes_to_csv(&graph), &edges_to_csv(&graph)).unwrap();
+    let reloaded = graph_from_csv(&nodes_to_csv(&graph), &edges_to_csv(&graph)).unwrap();
     let a = PgHive::new(HiveConfig::default()).discover_graph(&graph);
     let b = PgHive::new(HiveConfig::default()).discover_graph(&reloaded);
     let labels = |s: &SchemaGraph| {

@@ -1,0 +1,760 @@
+//! Vendored offline property-testing harness implementing the subset
+//! of the proptest API this workspace uses.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   assertion message) and the RNG seed, but is not minimized.
+//! - **Deterministic by default.** The generator seed is fixed unless
+//!   `PROPTEST_SEED` is set in the environment, so CI runs are
+//!   reproducible; `PROPTEST_CASES` scales case counts globally.
+//! - **Regex-subset string strategies**: char classes (ranges,
+//!   literals, escapes), `{m}`/`{m,n}`/`?`/`*`/`+` quantifiers, `.`,
+//!   and literal characters — the forms this repo's tests use.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::SeedableRng;
+
+/// The RNG driving all generation.
+pub type TestRng = ChaCha8Rng;
+
+/// Build the per-test RNG: `PROPTEST_SEED` env override or a fixed
+/// default seed.
+pub fn test_rng() -> TestRng {
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x9E37_79B9_7F4A_7C15);
+    TestRng::seed_from_u64(seed)
+}
+
+/// Result of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not a failure.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Runner configuration (`cases` is the only knob this repo uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(32);
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators.
+// ---------------------------------------------------------------------------
+
+/// A generator of values. Object-safe (`generate` only); combinators
+/// require `Sized`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Type-erase for heterogeneous unions (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// Mapped strategy.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(*self.start()..=*self.end())
+    }
+}
+
+/// String strategies from a regex subset.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_gen::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($idx:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Full-range strategies for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy over a primitive's full value range.
+pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for FullRange<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats across a wide magnitude spread.
+        let mantissa: f64 = rng.gen_range(-1.0..1.0);
+        let exponent: i32 = rng.gen_range(-64..64);
+        mantissa * (2.0f64).powi(exponent)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = FullRange<f64>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(std::marker::PhantomData)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collection / option / sample modules (the `prop::` namespace).
+// ---------------------------------------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::ops::Range;
+
+        /// Element-count specification: an exact size or a range.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_exclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_exclusive: n + 1,
+                }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max_exclusive: r.end,
+                }
+            }
+        }
+
+        impl SizeRange {
+            fn sample(&self, rng: &mut TestRng) -> usize {
+                use rand::Rng;
+                rng.gen_range(self.min..self.max_exclusive)
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.sample(rng);
+                (0..n)
+                    .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                    .collect()
+            }
+        }
+
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy {
+                key,
+                value,
+                size: size.into(),
+            }
+        }
+
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let n = self.size.sample(rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    pub mod option {
+        use super::super::{Strategy, TestRng};
+
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                use rand::Rng;
+                if rng.gen_bool(0.5) {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                use rand::Rng;
+                self.options[rng.gen_range(0..self.options.len())].clone()
+            }
+        }
+
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select { options }
+        }
+    }
+
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        pub struct Any;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                use rand::Rng;
+                rng.gen()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string generation.
+// ---------------------------------------------------------------------------
+
+mod regex_gen {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+        AnyChar,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let ch = chars.next().expect("unterminated char class in strategy");
+            match ch {
+                ']' => {
+                    if let Some(p) = pending {
+                        set.push(p);
+                    }
+                    return set;
+                }
+                '\\' => {
+                    if let Some(p) =
+                        pending.replace(chars.next().expect("dangling escape in char class"))
+                    {
+                        set.push(p);
+                    }
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    assert!(lo <= hi, "inverted range in char class");
+                    set.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+                }
+                c => {
+                    if let Some(p) = pending.replace(c) {
+                        set.push(p);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(ch) = chars.next() {
+            let atom = match ch {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '.' => Atom::AnyChar,
+                '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+                c => Atom::Literal(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    if let Some((lo, hi)) = spec.split_once(',') {
+                        (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        )
+                    } else {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => out.push(rng.gen_range(0x20u8..0x7f) as char),
+                    Atom::Class(set) => {
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng();
+                let mut __ran: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __ran < __config.cases {
+                    assert!(
+                        __rejected <= __config.cases.saturating_mul(16).max(256),
+                        "too many prop_assume! rejections in {}",
+                        stringify!($name),
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => { __ran += 1; }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                            __rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                            panic!("proptest {} failed on case {}: {}",
+                                stringify!($name), __ran, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0.25f64..=0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+        }
+
+        #[test]
+        fn string_strategy_matches_class(s in "[a-z]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len = {}", s.len());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u8..4, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn oneof_covers_arms(x in prop_oneof![0u64..10, 100u64..110]) {
+            prop_assert!((0..10).contains(&x) || (100..110).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn escaped_class_generates_quote() {
+        let mut rng = crate::test_rng();
+        let pattern = "[a\\\"b]{64}";
+        let s = crate::Strategy::generate(&pattern, &mut rng);
+        assert!(s.chars().all(|c| c == 'a' || c == '"' || c == 'b'));
+        assert!(s.contains('"'));
+    }
+}

@@ -1,0 +1,514 @@
+//! Vendored offline data-parallelism layer exposing the subset of the
+//! rayon API this workspace uses, built on `std::thread::scope`.
+//!
+//! # Determinism contract
+//!
+//! Unlike upstream rayon — whose join-based splitting adapts to thread
+//! availability — this implementation splits every parallel operation
+//! into a **fixed set of work units derived from the input length
+//! alone** (see [`WORK_UNITS`]). Worker threads pull unit indices from
+//! an atomic queue and write each unit's result into its own slot;
+//! results are then combined strictly in unit order. Consequently every
+//! `map`/`collect`/fold pipeline — including ones that reduce floating
+//! point values — produces bit-identical output for any thread count,
+//! which is the invariant the PG-HIVE discovery pipeline's
+//! `threads = 1` vs `threads = N` equivalence tests assert.
+//!
+//! The thread count is a scoped setting: `ThreadPoolBuilder` builds a
+//! lightweight [`ThreadPool`] whose `install` sets a thread-local count
+//! for the duration of a closure. Worker threads are spawned per
+//! operation (scoped, so borrows work) rather than pooled; for the
+//! workloads here the spawn cost is dwarfed by per-unit work.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of work units a parallel operation is split into, regardless
+/// of thread count. Chosen large enough to load-balance up to ~32
+/// threads yet small enough that per-unit bookkeeping is negligible.
+pub const WORK_UNITS: usize = 64;
+
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static SCOPED_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    SCOPED_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (infallible here, kept
+/// for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`]. `num_threads(0)` means "use the
+/// default" (available parallelism), matching rayon semantics.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped thread-count setting rather than a persistent pool: workers
+/// are spawned per operation inside `std::thread::scope`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Threads parallel operations will use inside [`ThreadPool::install`].
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count active for every parallel
+    /// operation it performs (on the calling thread).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        SCOPED_THREADS.with(|c| {
+            let prev = c.replace(Some(self.num_threads));
+            let out = op();
+            c.set(prev);
+            out
+        })
+    }
+}
+
+/// Deterministic unit boundaries for an input of `len` items: unit size
+/// depends only on `len`, never on the thread count.
+fn unit_bounds(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let size = len.div_ceil(WORK_UNITS);
+    (0..len)
+        .step_by(size)
+        .map(|start| (start, (start + size).min(len)))
+        .collect()
+}
+
+/// Core engine: evaluate `work` over every unit and return the results
+/// in unit order. Sequential when one thread (or one unit) suffices.
+fn execute<R: Send>(len: usize, work: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    let units = unit_bounds(len);
+    let threads = current_num_threads().min(units.len()).max(1);
+    if threads == 1 {
+        return units.into_iter().map(|(s, e)| work(s..e)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = units.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let (s, e) = units[i];
+                let result = work(s..e);
+                *slots[i].lock().expect("unit slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("unit slot poisoned")
+                .expect("unit not executed")
+        })
+        .collect()
+}
+
+/// An indexed parallel pipeline: a length plus a pure per-index
+/// producer. All combinators compose producers; terminal operations run
+/// the deterministic engine.
+pub trait ParallelIterator: Sync + Sized {
+    type Item: Send;
+
+    /// Total number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produce the item at `index`. Must be safe to call concurrently
+    /// from multiple threads.
+    fn par_get(&self, index: usize) -> Self::Item;
+
+    /// Transform each item.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pair up with another pipeline index-by-index (length = shorter).
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Collect into a container, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Run `f` on every item (no ordering guarantee between units).
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        execute(self.par_len(), |range| {
+            for i in range {
+                f(self.par_get(i));
+            }
+        });
+    }
+
+    /// Sum items in deterministic unit order (unit partials are reduced
+    /// left-to-right, so floating point sums are thread-count stable).
+    fn sum<S>(self) -> S
+    where
+        S: Send + Default + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        execute(self.par_len(), |range| {
+            range.map(|i| self.par_get(i)).sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// Conversion from a parallel pipeline, order-preserving.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(p: P) -> Self {
+        let parts = execute(p.par_len(), |range| {
+            range.map(|i| p.par_get(i)).collect::<Vec<T>>()
+        });
+        let mut out = Vec::with_capacity(p.par_len());
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// Borrowing iteration over a slice (`.par_iter()`).
+pub struct Iter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for Iter<'data, T> {
+    type Item = &'data T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn par_get(&self, index: usize) -> &'data T {
+        &self.items[index]
+    }
+}
+
+/// Fixed-size chunk iteration over a slice (`.par_chunks(n)`).
+pub struct Chunks<'data, T> {
+    items: &'data [T],
+    size: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for Chunks<'data, T> {
+    type Item = &'data [T];
+
+    fn par_len(&self) -> usize {
+        self.items.len().div_ceil(self.size)
+    }
+
+    fn par_get(&self, index: usize) -> &'data [T] {
+        let start = index * self.size;
+        let end = (start + self.size).min(self.items.len());
+        &self.items[start..end]
+    }
+}
+
+/// Parallel iteration over a `Range<usize>` (`(0..n).into_par_iter()`).
+pub struct RangeIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    fn par_get(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+/// Index-aligned pair of two pipelines.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+
+    fn par_len(&self) -> usize {
+        self.a.par_len().min(self.b.par_len())
+    }
+
+    fn par_get(&self, index: usize) -> (A::Item, B::Item) {
+        (self.a.par_get(index), self.b.par_get(index))
+    }
+}
+
+/// Disjoint mutable chunk iteration over a slice
+/// (`.par_chunks_mut(n)`).
+///
+/// Stored as a raw pointer so chunks can be produced from a shared
+/// reference inside worker threads. Soundness rests on the engine
+/// calling `par_get` exactly once per index — each index addresses a
+/// disjoint chunk, so no two live `&mut [T]` alias.
+pub struct ChunksMut<'data, T> {
+    ptr: *mut T,
+    len: usize,
+    size: usize,
+    _marker: std::marker::PhantomData<&'data mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMut<'_, T> {}
+unsafe impl<T: Send> Send for ChunksMut<'_, T> {}
+
+impl<'data, T: Send + 'data> ParallelIterator for ChunksMut<'data, T> {
+    type Item = &'data mut [T];
+
+    fn par_len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+
+    fn par_get(&self, index: usize) -> &'data mut [T] {
+        let start = index * self.size;
+        let end = (start + self.size).min(self.len);
+        // SAFETY: chunks [start, end) are pairwise disjoint per index,
+        // and the engine visits each index exactly once.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) }
+    }
+}
+
+/// Mapped pipeline stage.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, O, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    O: Send,
+    F: Fn(B::Item) -> O + Sync,
+{
+    type Item = O;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, index: usize) -> O {
+        (self.f)(self.base.par_get(index))
+    }
+}
+
+/// `par_iter()` entry point for borrowed collections.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = Iter<'data, T>;
+
+    fn par_iter(&'data self) -> Iter<'data, T> {
+        Iter { items: self }
+    }
+}
+
+/// `into_par_iter()` entry point for owned ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = RangeIter;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+/// `par_chunks()` entry point for slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        Chunks {
+            items: self,
+            size: chunk_size,
+        }
+    }
+}
+
+/// `par_chunks_mut()` entry point for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ChunksMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            size: chunk_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let run = |threads: usize| -> f64 {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| v.par_iter().map(|x| x * 1.000001).sum::<f64>())
+        };
+        let t1 = run(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(t1.to_bits(), run(t).to_bits(), "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let v: Vec<u32> = (0..257).collect();
+        let sums: Vec<u32> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 26);
+        let total: u32 = sums.iter().sum();
+        assert_eq!(total, (0..257).sum::<u32>());
+        assert_eq!(sums[0], (0..10).sum::<u32>());
+        assert_eq!(*sums.last().unwrap(), (250..257).sum::<u32>());
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (5..25).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, (5..25).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,608 @@
+//! Vendored value-tree serialization framework.
+//!
+//! Upstream serde's visitor architecture exists to avoid materializing
+//! an intermediate representation; this workspace only ever serializes
+//! to / from JSON text, so the vendored design goes through an explicit
+//! [`Value`] tree instead: `Serialize` produces a `Value`,
+//! `Deserialize` consumes one, and `serde_json` is just a text
+//! encoding of `Value`. Determinism notes:
+//!
+//! - `Object` preserves field insertion order (derived structs emit
+//!   declaration order, stable diffs).
+//! - `HashMap` / `HashSet` contents are sorted by key before encoding,
+//!   so hash-iteration order never leaks into output.
+//! - Integers keep exact `I64`/`U64` variants; floats are `F64` and
+//!   round-trip losslessly through the shortest-display encoding.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// The intermediate representation every serializable type maps onto.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Ordered key/value pairs (insertion order is meaningful).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup (first match; objects here never hold
+    /// duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|fields| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Look up `key` in an object's fields, yielding `Null` when absent so
+/// `Option` fields deserialize to `None` without special cases.
+pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+/// Total order over values, used to sort hash-based containers into a
+/// canonical encoding order. Floats compare via `total_cmp`.
+pub fn canonical_cmp(a: &Value, b: &Value) -> Ordering {
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 2,
+            Value::U64(_) => 3,
+            Value::F64(_) => 4,
+            Value::Str(_) => 5,
+            Value::Array(_) => 6,
+            Value::Object(_) => 7,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::I64(x), Value::I64(y)) => x.cmp(y),
+        (Value::U64(x), Value::U64(y)) => x.cmp(y),
+        (Value::F64(x), Value::F64(y)) => x.total_cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => {
+            for (xa, ya) in x.iter().zip(y.iter()) {
+                let ord = canonical_cmp(xa, ya);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            for ((xk, xv), (yk, yv)) in x.iter().zip(y.iter()) {
+                let ord = xk.cmp(yk).then_with(|| canonical_cmp(xv, yv));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+/// Serialization / deserialization error: a message with optional
+/// `outer.inner` context breadcrumbs added as it propagates upward.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn custom(message: &str) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+
+    /// Wrap an inner error with the path segment it occurred under.
+    pub fn context(path: &str, inner: Error) -> Self {
+        Error {
+            message: format!("{path}: {}", inner.message),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: i64 = match value {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    _ => return Err(Error::custom("expected integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let wide: u64 = match value {
+                    Value::U64(n) => *n,
+                    Value::I64(n) => u64::try_from(*n)
+                        .map_err(|_| Error::custom("negative integer for unsigned field"))?,
+                    _ => return Err(Error::custom("expected integer")),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(Arc::from(s.as_str())),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wrapper and container impls.
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        items
+            .try_into()
+            .map_err(|_| Error::custom("wrong array length"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($idx:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(Error::custom("wrong tuple arity"));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+fn serialize_map<'a, K, V, I>(entries: I, presorted: bool) -> Value
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut pairs: Vec<(Value, Value)> =
+        entries.map(|(k, v)| (k.to_value(), v.to_value())).collect();
+    if !presorted {
+        pairs.sort_by(|(a, _), (b, _)| canonical_cmp(a, b));
+    }
+    if pairs.iter().all(|(k, _)| matches!(k, Value::Str(_))) {
+        Value::Object(
+            pairs
+                .into_iter()
+                .map(|(k, v)| match k {
+                    Value::Str(s) => (s, v),
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    } else {
+        Value::Array(
+            pairs
+                .into_iter()
+                .map(|(k, v)| Value::Array(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+fn deserialize_map_entries(value: &Value) -> Result<Vec<(Value, &Value)>, Error> {
+    match value {
+        Value::Object(fields) => Ok(fields
+            .iter()
+            .map(|(k, v)| (Value::Str(k.clone()), v))
+            .collect()),
+        Value::Array(items) => items
+            .iter()
+            .map(|item| {
+                let pair = item
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| Error::custom("expected [key, value] pair"))?;
+                Ok((pair[0].clone(), &pair[1]))
+            })
+            .collect(),
+        _ => Err(Error::custom("expected map")),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        serialize_map(self.iter(), false)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        deserialize_map_entries(value)?
+            .into_iter()
+            .map(|(k, v)| Ok((K::from_value(&k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        serialize_map(self.iter(), true)
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        deserialize_map_entries(value)?
+            .into_iter()
+            .map(|(k, v)| Ok((K::from_value(&k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_value).collect();
+        items.sort_by(canonical_cmp);
+        Value::Array(items)
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Some(3u64).to_value(), Value::U64(3));
+    }
+
+    #[test]
+    fn hashmap_with_string_keys_sorts_into_object() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u64);
+        m.insert("a".to_string(), 1u64);
+        let v = m.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("a".to_string(), Value::U64(1)),
+                ("b".to_string(), Value::U64(2)),
+            ])
+        );
+        let back: HashMap<String, u64> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn non_string_keys_become_pair_arrays() {
+        let mut m = HashMap::new();
+        m.insert(2u64, "two".to_string());
+        m.insert(1u64, "one".to_string());
+        let v = m.to_value();
+        let back: HashMap<u64, String> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn fixed_array_round_trip() {
+        let a = [1u64, 2, 3, 4, 5, 6];
+        let back: [u64; 6] = Deserialize::from_value(&a.to_value()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1u64, "x".to_string(), true);
+        let back: (u64, String, bool) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+}

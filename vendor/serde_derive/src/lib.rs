@@ -1,0 +1,568 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the workspace's value-tree serde subset.
+//!
+//! The upstream derive sits on syn + quote; neither is available
+//! offline, so this implementation parses the item's `TokenStream`
+//! directly. Supported shapes — the full set this workspace derives on:
+//!
+//! - structs with named fields, tuple structs (newtype arity-1 gets the
+//!   transparent representation), unit structs
+//! - enums with unit / newtype / tuple / struct variants, externally
+//!   tagged by default
+//! - `#[serde(tag = "...")]` internally tagged enums, with
+//!   `#[serde(rename_all = "snake_case")]` applied to variant names
+//!
+//! Generics and field-level serde attributes are intentionally
+//! unsupported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the deriving item.
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    kind: ContainerKind,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+enum ContainerKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tree: &TokenTree, ch: char) -> bool {
+    matches!(tree, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn literal_str(tree: &TokenTree) -> String {
+    let repr = tree.to_string();
+    repr.trim_matches('"').to_string()
+}
+
+/// Consume leading `#[...]` attributes, extracting `tag` / `rename_all`
+/// from any `#[serde(...)]` among them.
+fn skip_attrs(iter: &mut TokenIter, tag: &mut Option<String>, rename_all: &mut Option<String>) {
+    while matches!(iter.peek(), Some(t) if is_punct(t, '#')) {
+        iter.next();
+        let group = match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: expected [...] after '#', got {other:?}"),
+        };
+        let mut inner = group.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde derive: expected (...) in #[serde], got {other:?}"),
+        };
+        let mut toks = args.stream().into_iter().peekable();
+        while let Some(tok) = toks.next() {
+            let key = match tok {
+                TokenTree::Ident(id) => id.to_string(),
+                TokenTree::Punct(p) if p.as_char() == ',' => continue,
+                other => panic!("serde derive: unexpected token in #[serde(...)]: {other:?}"),
+            };
+            match toks.next() {
+                Some(t) if is_punct(&t, '=') => {}
+                other => panic!("serde derive: expected '=' after {key}, got {other:?}"),
+            }
+            let value = literal_str(&toks.next().unwrap_or_else(|| {
+                panic!("serde derive: expected literal after {key} =");
+            }));
+            match key.as_str() {
+                "tag" => *tag = Some(value),
+                "rename_all" => *rename_all = Some(value),
+                other => panic!("serde derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_visibility(iter: &mut TokenIter) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn ident_name(tree: TokenTree) -> String {
+    match tree {
+        TokenTree::Ident(id) => {
+            let s = id.to_string();
+            s.strip_prefix("r#").unwrap_or(&s).to_string()
+        }
+        other => panic!("serde derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Skip type tokens until a top-level `,` (angle-bracket aware) or the
+/// end of the stream. Groups are atomic in a token stream, so only
+/// `<`/`>` depth needs tracking.
+fn skip_type(iter: &mut TokenIter) {
+    let mut depth = 0i32;
+    while let Some(tok) = iter.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    let (mut ignored_tag, mut ignored_rename) = (None, None);
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter, &mut ignored_tag, &mut ignored_rename);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        let name = ident_name(iter.next().expect("field name"));
+        match iter.next() {
+            Some(t) if is_punct(&t, ':') => {}
+            other => panic!("serde derive: expected ':' after field {name}, got {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    let (mut ignored_tag, mut ignored_rename) = (None, None);
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter, &mut ignored_tag, &mut ignored_rename);
+        if iter.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut iter);
+        skip_type(&mut iter);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    let (mut ignored_tag, mut ignored_rename) = (None, None);
+    while iter.peek().is_some() {
+        skip_attrs(&mut iter, &mut ignored_tag, &mut ignored_rename);
+        if iter.peek().is_none() {
+            break;
+        }
+        let name = ident_name(iter.next().expect("variant name"));
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                iter.next();
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional explicit discriminant `= expr`.
+        if matches!(iter.peek(), Some(t) if is_punct(t, '=')) {
+            iter.next();
+            let mut depth = 0i32;
+            while let Some(tok) = iter.peek() {
+                match tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                    _ => {}
+                }
+                iter.next();
+            }
+        }
+        if matches!(iter.peek(), Some(t) if is_punct(t, ',')) {
+            iter.next();
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut iter = input.into_iter().peekable();
+    let mut tag = None;
+    let mut rename_all = None;
+    skip_attrs(&mut iter, &mut tag, &mut rename_all);
+    skip_visibility(&mut iter);
+    let keyword = ident_name(iter.next().expect("struct/enum keyword"));
+    let name = ident_name(iter.next().expect("type name"));
+    if matches!(iter.peek(), Some(t) if is_punct(t, '<')) {
+        panic!("serde derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ContainerKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ContainerKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(&t, ';') => ContainerKind::UnitStruct,
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ContainerKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Container {
+        name,
+        kind,
+        tag,
+        rename_all,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers.
+// ---------------------------------------------------------------------------
+
+fn apply_rename(name: &str, rename_all: Option<&str>) -> String {
+    match rename_all {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some("UPPERCASE") => name.to_ascii_uppercase(),
+        Some(other) => panic!("serde derive: unsupported rename_all = \"{other}\""),
+        None => name.to_string(),
+    }
+}
+
+fn binding_list(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize.
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        ContainerKind::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        ContainerKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ContainerKind::TupleStruct(arity) => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ContainerKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ContainerKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = apply_rename(vname, c.rename_all.as_deref());
+                match (&v.shape, &c.tag) {
+                    (VariantShape::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{wire}\".to_string()),\n"
+                        ));
+                    }
+                    (VariantShape::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string()))]),\n"
+                        ));
+                    }
+                    (VariantShape::Tuple(1), None) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                        ));
+                    }
+                    (VariantShape::Tuple(1), Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{\n\
+                             let mut __v = ::serde::Serialize::to_value(__f0);\n\
+                             match &mut __v {{\n\
+                             ::serde::Value::Object(__fields) => __fields.insert(0, (\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string()))),\n\
+                             _ => panic!(\"internally tagged variant {name}::{vname} must serialize to an object\"),\n\
+                             }}\n\
+                             __v\n\
+                             }}\n"
+                        ));
+                    }
+                    (VariantShape::Tuple(arity), None) => {
+                        let binds = binding_list(*arity);
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    (VariantShape::Named(fields), tag) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{tag}\".to_string(), ::serde::Value::Str(\"{wire}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        let wrap = if tag.is_some() {
+                            "::serde::Value::Object(__fields)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(\"{wire}\".to_string(), ::serde::Value::Object(__fields))])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}{wrap}\n}}\n"
+                        ));
+                    }
+                    (VariantShape::Tuple(arity), Some(_)) => panic!(
+                        "serde derive: internally tagged tuple variant {name}::{vname} with arity {arity} is unsupported"
+                    ),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize.
+// ---------------------------------------------------------------------------
+
+fn named_struct_builder(type_path: &str, fields: &[String], source: &str) -> String {
+    let mut s = format!(
+        "let __obj = {source}.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {type_path}\"))?;\n"
+    );
+    s.push_str(&format!("::std::result::Result::Ok({type_path} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\")).map_err(|e| ::serde::Error::context(\"{type_path}.{f}\", e))?,\n"
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        ContainerKind::NamedStruct(fields) => named_struct_builder(name, fields, "__value"),
+        ContainerKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value).map_err(|e| ::serde::Error::context(\"{name}\", e))?))"
+        ),
+        ContainerKind::TupleStruct(arity) => {
+            let mut s = format!(
+                "let __arr = __value.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n"
+            );
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            s.push_str(&format!(
+                "::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            ));
+            s
+        }
+        ContainerKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ContainerKind::Enum(variants) => match &c.tag {
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let wire = apply_rename(vname, c.rename_all.as_deref());
+                    match &v.shape {
+                        VariantShape::Unit => arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        VariantShape::Tuple(1) => arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__value).map_err(|e| ::serde::Error::context(\"{name}::{vname}\", e))?)),\n"
+                        )),
+                        VariantShape::Named(fields) => {
+                            let builder =
+                                named_struct_builder(&format!("{name}::{vname}"), fields, "__value");
+                            arms.push_str(&format!("\"{wire}\" => {{ {builder} }},\n"));
+                        }
+                        VariantShape::Tuple(arity) => panic!(
+                            "serde derive: internally tagged tuple variant {name}::{vname} with arity {arity} is unsupported"
+                        ),
+                    }
+                }
+                format!(
+                    "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = ::serde::field(__obj, \"{tag}\").as_str().ok_or_else(|| ::serde::Error::custom(\"missing tag `{tag}` for {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(&format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }}"
+                )
+            }
+            None => {
+                let mut unit_arms = String::new();
+                let mut obj_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let wire = apply_rename(vname, c.rename_all.as_deref());
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            unit_arms.push_str(&format!(
+                                "\"{wire}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                            obj_arms.push_str(&format!(
+                                "\"{wire}\" => return ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                        }
+                        VariantShape::Tuple(1) => obj_arms.push_str(&format!(
+                            "\"{wire}\" => return ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__content).map_err(|e| ::serde::Error::context(\"{name}::{vname}\", e))?)),\n"
+                        )),
+                        VariantShape::Tuple(arity) => {
+                            let mut arm = format!(
+                                "\"{wire}\" => {{\n\
+                                 let __arr = __content.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 if __arr.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n"
+                            );
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                                .collect();
+                            arm.push_str(&format!(
+                                "return ::std::result::Result::Ok({name}::{vname}({}));\n}}\n",
+                                elems.join(", ")
+                            ));
+                            obj_arms.push_str(&arm);
+                        }
+                        VariantShape::Named(fields) => {
+                            let builder = named_struct_builder(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__content",
+                            );
+                            obj_arms.push_str(&format!(
+                                "\"{wire}\" => {{ return {builder}; }},\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "if let ::serde::Value::Str(__s) = __value {{\n\
+                     match __s.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                     if let ::std::option::Option::Some(__obj) = __value.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                     let (__k, __content) = &__obj[0];\n\
+                     match __k.as_str() {{\n{obj_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                     }}\n\
+                     ::std::result::Result::Err(::serde::Error::custom(\"unrecognized {name} variant\"))"
+                )
+            }
+        },
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}

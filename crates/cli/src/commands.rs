@@ -4,12 +4,20 @@
 use crate::opts::{CliError, Command, GraphInput, OutputFormat};
 use pg_datasets::{generate, inject_noise, spec_by_name, NoiseConfig};
 use pg_hive::{
-    diff, serialize, validate, DatatypeSampling, HiveConfig, LshMethod, PgHive, SchemaMode,
+    diff, serialize, validate, CheckpointStore, DatatypeSampling, DiscoveryResult, HiveConfig,
+    HiveSession, LshMethod, PgHive, SchemaMode, SessionCheckpoint,
 };
 use pg_model::{GraphStats, PropertyGraph, SchemaGraph};
+use pg_store::{split_batches, ErrorPolicy, Quarantine};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
+
+/// Salt for the deterministic batch split of incremental `discover`
+/// runs. Must never change: `--resume` re-derives the identical batch
+/// sequence from the input file and the seed, then skips the batches a
+/// checkpoint already covers.
+const BATCH_SPLIT_SALT: u64 = 0xba7c4;
 
 /// Execute a parsed command; returns the report/serialization text.
 pub fn run(cmd: &Command) -> Result<String, CliError> {
@@ -26,8 +34,15 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             refine,
             sample_datatypes,
             out,
+            batches,
+            on_error,
+            checkpoint_dir,
+            checkpoint_every,
+            checkpoint_keep,
+            resume,
+            kill_after_batch,
         } => {
-            let graph = read_graph(input)?;
+            let (graph, quarantine) = read_graph_with_policy(input, *on_error)?;
             let config = HiveConfig {
                 threads: *threads,
                 method: if method == "minhash" {
@@ -46,7 +61,22 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             .with_theta(*theta)
             .with_seed(*seed);
-            let mut result = PgHive::new(config).discover_graph(&graph);
+
+            let incremental =
+                *batches > 1 || checkpoint_dir.is_some() || kill_after_batch.is_some();
+            let (mut result, mut notes) = if incremental {
+                let opts = IncrementalOpts {
+                    batches: *batches,
+                    checkpoint_dir: checkpoint_dir.as_deref(),
+                    checkpoint_every: *checkpoint_every,
+                    checkpoint_keep: *checkpoint_keep,
+                    resume: *resume,
+                    kill_after_batch: *kill_after_batch,
+                };
+                discover_incremental(&graph, config, &opts)?
+            } else {
+                (PgHive::new(config).discover_graph(&graph), String::new())
+            };
             if *refine {
                 pg_hive::refine::refine_abstract_types(
                     &mut result.state,
@@ -59,6 +89,9 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     pg_hive::cardinality::compute_cardinalities(&mut result.state);
                 }
                 result.schema = result.state.schema.clone();
+            }
+            if !quarantine.is_empty() {
+                notes.push_str(&quarantine.summary());
             }
             let text = match format {
                 OutputFormat::PgSchemaStrict => {
@@ -74,12 +107,17 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 fs::write(path, &text)
                     .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
                 Ok(format!(
-                    "discovered {} node types, {} edge types -> {}\n",
+                    "{notes}discovered {} node types, {} edge types -> {}\n",
                     result.schema.node_types.len(),
                     result.schema.edge_types.len(),
                     path.display()
                 ))
             } else {
+                // Keep stdout machine-parseable (it carries the schema):
+                // diagnostics go to stderr.
+                if !notes.is_empty() {
+                    eprint!("{notes}");
+                }
                 Ok(text)
             }
         }
@@ -182,28 +220,156 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
     }
 }
 
+/// Knobs of the incremental (batched / checkpointed) discover path.
+struct IncrementalOpts<'a> {
+    batches: usize,
+    checkpoint_dir: Option<&'a Path>,
+    checkpoint_every: usize,
+    checkpoint_keep: usize,
+    resume: bool,
+    kill_after_batch: Option<usize>,
+}
+
+/// Run discovery as an incremental session over a deterministic batch
+/// split, with optional durable checkpoints, crash resume, and a panic
+/// boundary that writes an emergency checkpoint before reporting a
+/// state error. Returns the result plus human-readable status notes
+/// (resume provenance, corrupt checkpoints skipped).
+fn discover_incremental(
+    graph: &PropertyGraph,
+    config: HiveConfig,
+    opts: &IncrementalOpts<'_>,
+) -> Result<(DiscoveryResult, String), CliError> {
+    let store = opts
+        .checkpoint_dir
+        .map(|d| CheckpointStore::open(d).map(|s| s.with_retention(opts.checkpoint_keep)))
+        .transpose()
+        .map_err(|e| CliError::State(e.to_string()))?;
+    let batch_list = split_batches(graph, opts.batches, config.seed ^ BATCH_SPLIT_SALT);
+    let mut notes = String::new();
+
+    let (mut session, start_batch) = match (&store, opts.resume) {
+        (Some(store), true) => {
+            let outcome = store.resume().map_err(|e| CliError::State(e.to_string()))?;
+            for (path, why) in &outcome.skipped {
+                let _ = writeln!(
+                    notes,
+                    "skipped corrupt checkpoint {}: {why}",
+                    path.display()
+                );
+            }
+            match (outcome.checkpoint, outcome.path) {
+                (Some(ckpt), Some(path)) => {
+                    let start = ckpt.batches_processed;
+                    if start > batch_list.len() {
+                        return Err(CliError::State(format!(
+                            "checkpoint {} covers {start} batches but the input splits \
+                             into only {} — wrong input file or --batches value?",
+                            path.display(),
+                            batch_list.len()
+                        )));
+                    }
+                    let _ = writeln!(
+                        notes,
+                        "resumed from {} at batch {start}/{}",
+                        path.display(),
+                        batch_list.len()
+                    );
+                    (HiveSession::restore(config, ckpt), start)
+                }
+                _ => {
+                    let _ = writeln!(notes, "no checkpoint found; starting fresh");
+                    (HiveSession::new(config), 0)
+                }
+            }
+        }
+        _ => (HiveSession::new(config), 0),
+    };
+
+    // The panic boundary: a panic anywhere in batch processing must not
+    // lose the session — the last completed batch's state is written as
+    // an emergency checkpoint before the error surfaces.
+    let mut last_checkpoint: Option<SessionCheckpoint> = None;
+    let mut completed = start_batch;
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Result<(), CliError> {
+            for (i, batch) in batch_list.iter().enumerate().skip(start_batch) {
+                session.process_graph_batch(batch);
+                completed = i + 1;
+                if let Some(store) = &store {
+                    let ckpt = session.checkpoint();
+                    if (i + 1) % opts.checkpoint_every == 0 || i + 1 == batch_list.len() {
+                        store
+                            .save(&ckpt)
+                            .map_err(|e| CliError::State(e.to_string()))?;
+                    }
+                    last_checkpoint = Some(ckpt);
+                }
+                if opts.kill_after_batch == Some(i + 1) {
+                    panic!("fault injection: --kill-after-batch {}", i + 1);
+                }
+            }
+            Ok(())
+        }));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(e),
+        Err(_) => {
+            let mut msg = format!(
+                "panic during batch processing ({completed} of {} batches completed)",
+                batch_list.len()
+            );
+            if let (Some(store), Some(ckpt)) = (&store, &last_checkpoint) {
+                match store.save(ckpt) {
+                    Ok(path) => {
+                        let _ = write!(msg, "; emergency checkpoint -> {}", path.display());
+                    }
+                    Err(e) => {
+                        let _ = write!(msg, "; emergency checkpoint failed: {e}");
+                    }
+                }
+            }
+            return Err(CliError::State(msg));
+        }
+    }
+    Ok((session.finish(), notes))
+}
+
 fn read_graph(input: &GraphInput) -> Result<PropertyGraph, CliError> {
+    read_graph_with_policy(input, ErrorPolicy::Strict).map(|(g, _)| g)
+}
+
+/// Read a graph from CSV or JSONL under an error policy. Malformed
+/// lines land in the returned [`Quarantine`] (empty under `Strict`,
+/// which fails fast instead).
+fn read_graph_with_policy(
+    input: &GraphInput,
+    policy: ErrorPolicy,
+) -> Result<(PropertyGraph, Quarantine), CliError> {
     if let Some(jsonl) = &input.jsonl {
         let text = fs::read_to_string(jsonl)
-            .map_err(|e| CliError::Failed(format!("reading {jsonl:?}: {e}")))?;
-        return pg_store::jsonl::from_jsonl(&text)
-            .map_err(|e| CliError::Failed(format!("parsing {jsonl:?}: {e}")));
+            .map_err(|e| CliError::Input(format!("reading {jsonl:?}: {e}")))?;
+        return pg_store::jsonl::from_jsonl_with_policy(&text, policy)
+            .map_err(|e| CliError::Input(format!("parsing {jsonl:?}: {e}")));
     }
-    let nodes_path = input.nodes.as_ref().expect("validated");
-    let edges_path = input.edges.as_ref().expect("validated");
+    let (Some(nodes_path), Some(edges_path)) = (&input.nodes, &input.edges) else {
+        return Err(CliError::Usage(
+            "provide either --nodes with --edges, or --jsonl".into(),
+        ));
+    };
     let nodes = fs::read_to_string(nodes_path)
-        .map_err(|e| CliError::Failed(format!("reading {nodes_path:?}: {e}")))?;
+        .map_err(|e| CliError::Input(format!("reading {nodes_path:?}: {e}")))?;
     let edges = fs::read_to_string(edges_path)
-        .map_err(|e| CliError::Failed(format!("reading {edges_path:?}: {e}")))?;
-    pg_store::csv::graph_from_csv(&nodes, &edges)
-        .map_err(|e| CliError::Failed(format!("parsing CSV: {e}")))
+        .map_err(|e| CliError::Input(format!("reading {edges_path:?}: {e}")))?;
+    pg_store::csv::graph_from_csv_with_policy(&nodes, &edges, policy)
+        .map_err(|e| CliError::Input(e.to_string()))
 }
 
 fn read_schema(path: &Path) -> Result<SchemaGraph, CliError> {
     let text =
-        fs::read_to_string(path).map_err(|e| CliError::Failed(format!("reading {path:?}: {e}")))?;
+        fs::read_to_string(path).map_err(|e| CliError::Input(format!("reading {path:?}: {e}")))?;
     serde_json::from_str(&text)
-        .map_err(|e| CliError::Failed(format!("parsing schema {path:?}: {e}")))
+        .map_err(|e| CliError::Input(format!("parsing schema {path:?}: {e}")))
 }
 
 #[cfg(test)]
@@ -372,7 +538,8 @@ mod tests {
     fn missing_files_fail_cleanly() {
         let err = run(&parse(&argv(&["stats", "--jsonl", "/nonexistent/file.jsonl"])).unwrap())
             .unwrap_err();
-        assert!(matches!(err, CliError::Failed(_)));
+        assert!(matches!(err, CliError::Input(_)));
+        assert_eq!(err.exit_code(), 3);
         let err = run(&parse(&argv(&[
             "generate",
             "--dataset",

@@ -16,7 +16,9 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            // Distinct exit codes per error class: 1 failure, 2 usage,
+            // 3 bad input data, 4 bad session state (see opts::CliError).
+            ExitCode::from(e.exit_code())
         }
     }
 }

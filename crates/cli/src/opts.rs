@@ -4,19 +4,45 @@
 use std::fmt;
 use std::path::PathBuf;
 
-/// CLI-level errors.
+/// CLI-level errors. Each variant maps to a distinct process exit code
+/// (see [`CliError::exit_code`]) so scripts can tell bad *input* (fix
+/// the data, rerun) from bad *state* (inspect the checkpoint directory)
+/// apart without parsing stderr.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliError {
-    /// Bad invocation (unknown flag, missing value, …).
+    /// Bad invocation (unknown flag, missing value, …). Exit code 2.
     Usage(String),
-    /// Runtime failure (I/O, parse, …).
+    /// The input data could not be read or parsed (missing file,
+    /// malformed CSV/JSONL line, strict-mode quarantine trip). Exit
+    /// code 3.
+    Input(String),
+    /// Session state is damaged or unrecoverable (corrupt checkpoints,
+    /// checkpoint I/O failure, panic during batch processing). Exit
+    /// code 4.
+    State(String),
+    /// Any other runtime failure (e.g. writing the output file). Exit
+    /// code 1.
     Failed(String),
+}
+
+impl CliError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Failed(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::State(_) => 4,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Input(m) => write!(f, "input error: {m}"),
+            CliError::State(m) => write!(f, "state error: {m}"),
             CliError::Failed(m) => write!(f, "error: {m}"),
         }
     }
@@ -35,6 +61,17 @@ Commands:
             [--merge-similarity binary|weighted] [--refine]
             [--threads <n>] (0 = all cores, 1 = sequential; same schema)
             [--no-post] [--sample-datatypes] [--out <file>]
+            [--batches <k>] (split input into k incremental batches)
+            [--on-error strict|skip|cap:<n>] (malformed input lines:
+              fail fast, quarantine and continue, or tolerate up to n)
+            [--checkpoint-dir <dir>] [--checkpoint-every <n>]
+            [--checkpoint-keep <k>] [--resume]
+            (durable checkpoints: save session state every n batches,
+             keep the last k; --resume continues from the newest valid
+             checkpoint after a crash)
+
+Exit codes: 0 ok, 1 failure, 2 usage, 3 bad input data, 4 bad session
+state (corrupt checkpoints, crash during batch processing).
   validate  --schema <json> (--nodes <csv> --edges <csv> | --jsonl <file>)
             [--mode strict|loose]
   diff      --old <schema.json> --new <schema.json>
@@ -107,6 +144,23 @@ pub enum Command {
         sample_datatypes: bool,
         /// Output path (stdout if None).
         out: Option<PathBuf>,
+        /// Split the input into this many incremental batches (1 =
+        /// classic one-shot discovery).
+        batches: usize,
+        /// Policy for malformed input lines.
+        on_error: pg_store::ErrorPolicy,
+        /// Directory for durable checkpoints (None = no persistence).
+        checkpoint_dir: Option<PathBuf>,
+        /// Checkpoint every N batches.
+        checkpoint_every: usize,
+        /// Retain the last K checkpoints.
+        checkpoint_keep: usize,
+        /// Resume from the newest valid checkpoint in `checkpoint_dir`.
+        resume: bool,
+        /// Fault injection for tests/CI: panic after this many batches
+        /// have been processed (exercises the panic boundary and the
+        /// emergency checkpoint). Hidden from USAGE on purpose.
+        kill_after_batch: Option<usize>,
     },
     /// Validate a graph against a schema.
     Validate {
@@ -159,7 +213,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut flags: std::collections::HashMap<String, String> = std::collections::HashMap::new();
     let mut switches: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut i = 0;
-    let boolean_flags = ["--no-post", "--sample-datatypes", "--jsonl-out", "--refine"];
+    let boolean_flags = [
+        "--no-post",
+        "--sample-datatypes",
+        "--jsonl-out",
+        "--refine",
+        "--resume",
+    ];
     while i < rest.len() {
         let flag = rest[i].as_str();
         if !flag.starts_with("--") {
@@ -231,6 +291,33 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "unknown merge similarity {merge_similarity:?}"
                 )));
             }
+            let on_error = match flags.get("--on-error").map(String::as_str) {
+                None | Some("strict") => pg_store::ErrorPolicy::Strict,
+                Some("skip") => pg_store::ErrorPolicy::Skip,
+                Some(other) => match other.strip_prefix("cap:").and_then(|n| n.parse().ok()) {
+                    Some(n) => pg_store::ErrorPolicy::Cap(n),
+                    None => {
+                        return Err(CliError::Usage(format!(
+                            "unknown error policy {other:?} (strict, skip, or cap:<n>)"
+                        )))
+                    }
+                },
+            };
+            let batches = u64_flag("--batches", 1)? as usize;
+            if batches == 0 {
+                return Err(CliError::Usage("--batches must be at least 1".into()));
+            }
+            let checkpoint_every = u64_flag("--checkpoint-every", 1)? as usize;
+            if checkpoint_every == 0 {
+                return Err(CliError::Usage(
+                    "--checkpoint-every must be at least 1".into(),
+                ));
+            }
+            let checkpoint_dir = path("--checkpoint-dir");
+            let resume = switches.contains("--resume");
+            if resume && checkpoint_dir.is_none() {
+                return Err(CliError::Usage("--resume requires --checkpoint-dir".into()));
+            }
             Ok(Command::Discover {
                 input: input()?,
                 format,
@@ -243,6 +330,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 refine: switches.contains("--refine"),
                 sample_datatypes: switches.contains("--sample-datatypes"),
                 out: path("--out"),
+                batches,
+                on_error,
+                checkpoint_dir,
+                checkpoint_every,
+                checkpoint_keep: u64_flag("--checkpoint-keep", 3)?.max(1) as usize,
+                resume,
+                kill_after_batch: flags
+                    .get("--kill-after-batch")
+                    .map(|v| {
+                        v.parse::<usize>().map_err(|_| {
+                            CliError::Usage("--kill-after-batch must be an integer".into())
+                        })
+                    })
+                    .transpose()?,
             })
         }
         "validate" => Ok(Command::Validate {
@@ -464,6 +565,96 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_discover_robustness_flags() {
+        let c = parse(&args(&[
+            "discover",
+            "--jsonl",
+            "g.jsonl",
+            "--batches",
+            "8",
+            "--on-error",
+            "skip",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-keep",
+            "5",
+            "--resume",
+        ]))
+        .unwrap();
+        match c {
+            Command::Discover {
+                batches,
+                on_error,
+                checkpoint_dir,
+                checkpoint_every,
+                checkpoint_keep,
+                resume,
+                kill_after_batch,
+                ..
+            } => {
+                assert_eq!(batches, 8);
+                assert_eq!(on_error, pg_store::ErrorPolicy::Skip);
+                assert_eq!(checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+                assert_eq!(checkpoint_every, 2);
+                assert_eq!(checkpoint_keep, 5);
+                assert!(resume);
+                assert_eq!(kill_after_batch, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: one batch, strict, no persistence.
+        match parse(&args(&["discover", "--jsonl", "g.jsonl"])).unwrap() {
+            Command::Discover {
+                batches,
+                on_error,
+                checkpoint_dir,
+                resume,
+                ..
+            } => {
+                assert_eq!(batches, 1);
+                assert_eq!(on_error, pg_store::ErrorPolicy::Strict);
+                assert_eq!(checkpoint_dir, None);
+                assert!(!resume);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Cap policy.
+        match parse(&args(&["discover", "--jsonl", "g", "--on-error", "cap:7"])).unwrap() {
+            Command::Discover { on_error, .. } => {
+                assert_eq!(on_error, pg_store::ErrorPolicy::Cap(7));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn robustness_flag_misuse_is_rejected() {
+        for bad in [
+            vec!["discover", "--jsonl", "g", "--on-error", "ignore"],
+            vec!["discover", "--jsonl", "g", "--on-error", "cap:x"],
+            vec!["discover", "--jsonl", "g", "--batches", "0"],
+            vec!["discover", "--jsonl", "g", "--checkpoint-every", "0"],
+            vec!["discover", "--jsonl", "g", "--resume"],
+            vec!["discover", "--jsonl", "g", "--kill-after-batch", "soon"],
+        ] {
+            assert!(
+                matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        assert_eq!(CliError::Failed("x".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Input("x".into()).exit_code(), 3);
+        assert_eq!(CliError::State("x".into()).exit_code(), 4);
     }
 
     #[test]

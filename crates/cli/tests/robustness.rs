@@ -1,0 +1,304 @@
+//! End-to-end robustness tests driven through the command layer
+//! (`parse` + `run`), covering the ISSUE 2 CLI contracts: `--on-error`
+//! strict/skip behaviour, kill-and-resume through the panic boundary,
+//! and degenerate inputs (zero nodes, zero edges, quarantined
+//! endpoints) flowing through full discovery.
+
+use pg_hive_cli::opts::{parse, CliError};
+use pg_hive_cli::run;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pg-hive-robustness-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn argv(a: &[&str]) -> Vec<String> {
+    a.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// A CSV pair with three malformed lines: a node with a non-numeric id
+/// (line 3), a node row with the wrong width (line 4), and an edge
+/// whose target only existed on a quarantined row (line 3).
+fn write_dirty_csvs(dir: &std::path::Path) -> (PathBuf, PathBuf) {
+    let nodes = dir.join("nodes.csv");
+    let edges = dir.join("edges.csv");
+    fs::write(
+        &nodes,
+        "id,labels,name\n1,Person,Ada\nbogus,Person,Broken\n3,Person\n4,Person,Bob\n",
+    )
+    .unwrap();
+    fs::write(&edges, "id,src,tgt,labels\n10,1,4,KNOWS\n11,1,3,KNOWS\n").unwrap();
+    (nodes, edges)
+}
+
+#[test]
+fn strict_mode_fails_fast_on_dirty_input() {
+    let dir = tmpdir("strict");
+    let (nodes, edges) = write_dirty_csvs(&dir);
+    let err = run(&parse(&argv(&[
+        "discover",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap_err();
+    assert!(matches!(err, CliError::Input(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 3);
+    let msg = err.to_string();
+    assert!(msg.contains("nodes.csv line 3"), "{msg}");
+    assert!(msg.contains("bad node id"), "{msg}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn skip_mode_quarantines_and_discovery_proceeds() {
+    let dir = tmpdir("skip");
+    let (nodes, edges) = write_dirty_csvs(&dir);
+    let out_path = dir.join("schema.json");
+    // With --out, the returned text is the status line prefixed by the
+    // quarantine summary (without --out the summary goes to stderr so
+    // stdout stays machine-parseable).
+    let text = run(&parse(&argv(&[
+        "discover",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--on-error",
+        "skip",
+        "--format",
+        "json",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+    assert!(text.contains("quarantined 3 malformed lines"), "{text}");
+    assert!(text.contains("nodes.csv:3"), "{text}");
+    assert!(text.contains("nodes.csv:4"), "{text}");
+    // The edge whose endpoint was quarantined is itself quarantined —
+    // it never reaches discovery as a dangling reference.
+    assert!(text.contains("edges.csv:3"), "{text}");
+    assert!(text.contains("discovered"), "{text}");
+    // The surviving rows (nodes 1 and 4, edge 10) still make a schema.
+    let schema = fs::read_to_string(&out_path).unwrap();
+    assert!(schema.contains("Person"), "{schema}");
+    assert!(schema.contains("KNOWS"), "{schema}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cap_policy_aborts_beyond_budget_through_cli() {
+    let dir = tmpdir("cap");
+    let (nodes, edges) = write_dirty_csvs(&dir);
+    let err = run(&parse(&argv(&[
+        "discover",
+        "--nodes",
+        nodes.to_str().unwrap(),
+        "--edges",
+        edges.to_str().unwrap(),
+        "--on-error",
+        "cap:1",
+    ]))
+    .unwrap())
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 3);
+    assert!(err.to_string().contains("cap of 1"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// The full crash drill, entirely through `run()`: discover in batches,
+/// kill mid-run via the fault-injection flag (exit class 4, emergency
+/// checkpoint written), resume, and end with a byte-identical schema to
+/// the uninterrupted run.
+#[test]
+fn kill_then_resume_reproduces_the_uninterrupted_schema() {
+    let dir = tmpdir("killresume");
+    let dir_s = dir.to_str().unwrap();
+    run(&parse(&argv(&[
+        "generate",
+        "--dataset",
+        "POLE",
+        "--out-dir",
+        dir_s,
+        "--scale",
+        "0.05",
+        "--jsonl",
+    ]))
+    .unwrap())
+    .unwrap();
+    let jsonl = dir.join("graph.jsonl");
+    let jsonl_s = jsonl.to_str().unwrap();
+    let ckpt_dir = dir.join("ckpt");
+
+    // Reference: the same batched run, never interrupted.
+    let full_path = dir.join("full.json");
+    run(&parse(&argv(&[
+        "discover",
+        "--jsonl",
+        jsonl_s,
+        "--batches",
+        "4",
+        "--format",
+        "json",
+        "--out",
+        full_path.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+
+    // The crashing run. --checkpoint-every 4 means no periodic
+    // checkpoint has fired by batch 2: only the emergency checkpoint
+    // written by the panic boundary preserves the session.
+    let err = run(&parse(&argv(&[
+        "discover",
+        "--jsonl",
+        jsonl_s,
+        "--batches",
+        "4",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "4",
+        "--kill-after-batch",
+        "2",
+    ]))
+    .unwrap())
+    .unwrap_err();
+    assert!(matches!(err, CliError::State(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 4);
+    let msg = err.to_string();
+    assert!(msg.contains("2 of 4 batches completed"), "{msg}");
+    assert!(msg.contains("emergency checkpoint ->"), "{msg}");
+
+    // Resume and finish.
+    let resumed_path = dir.join("resumed.json");
+    let text = run(&parse(&argv(&[
+        "discover",
+        "--jsonl",
+        jsonl_s,
+        "--batches",
+        "4",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--resume",
+        "--format",
+        "json",
+        "--out",
+        resumed_path.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+    assert!(text.contains("resumed from"), "{text}");
+    assert!(text.contains("at batch 2/4"), "{text}");
+
+    let full = fs::read_to_string(&full_path).unwrap();
+    let resumed = fs::read_to_string(&resumed_path).unwrap();
+    assert_eq!(full, resumed, "resumed schema differs from uninterrupted");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `--resume` on an empty checkpoint directory is a fresh start, not an
+/// error.
+#[test]
+fn resume_with_no_checkpoints_starts_fresh() {
+    let dir = tmpdir("freshresume");
+    fs::write(dir.join("nodes.csv"), "id,labels\n1,P\n2,P\n").unwrap();
+    fs::write(dir.join("edges.csv"), "id,src,tgt,labels\n9,1,2,R\n").unwrap();
+    let out_path = dir.join("schema.json");
+    let text = run(&parse(&argv(&[
+        "discover",
+        "--nodes",
+        dir.join("nodes.csv").to_str().unwrap(),
+        "--edges",
+        dir.join("edges.csv").to_str().unwrap(),
+        "--batches",
+        "2",
+        "--checkpoint-dir",
+        dir.join("ckpt").to_str().unwrap(),
+        "--resume",
+        "--out",
+        out_path.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+    assert!(
+        text.contains("no checkpoint found; starting fresh"),
+        "{text}"
+    );
+    assert!(out_path.exists());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Zero-node and zero-edge graphs flow through the full discover
+/// pipeline — one-shot and batched (which feeds empty batches through
+/// the session) — without errors.
+#[test]
+fn degenerate_graphs_discover_cleanly() {
+    let dir = tmpdir("degenerate");
+    let empty_nodes = dir.join("empty_nodes.csv");
+    let empty_edges = dir.join("empty_edges.csv");
+    fs::write(&empty_nodes, "id,labels\n").unwrap();
+    fs::write(&empty_edges, "id,src,tgt,labels\n").unwrap();
+
+    // Zero nodes, zero edges: one-shot and batched.
+    for batches in ["1", "3"] {
+        let out = run(&parse(&argv(&[
+            "discover",
+            "--nodes",
+            empty_nodes.to_str().unwrap(),
+            "--edges",
+            empty_edges.to_str().unwrap(),
+            "--format",
+            "json",
+            "--batches",
+            batches,
+        ]))
+        .unwrap())
+        .unwrap();
+        let schema: pg_model::SchemaGraph = serde_json::from_str(&out).unwrap();
+        assert!(schema.node_types.is_empty(), "batches={batches}");
+        assert!(schema.edge_types.is_empty(), "batches={batches}");
+    }
+
+    // Nodes but zero edges.
+    let some_nodes = dir.join("some_nodes.csv");
+    fs::write(&some_nodes, "id,labels,name\n1,Person,Ada\n2,Person,Bob\n").unwrap();
+    let out = run(&parse(&argv(&[
+        "discover",
+        "--nodes",
+        some_nodes.to_str().unwrap(),
+        "--edges",
+        empty_edges.to_str().unwrap(),
+        "--format",
+        "json",
+        "--batches",
+        "2",
+    ]))
+    .unwrap())
+    .unwrap();
+    let schema: pg_model::SchemaGraph = serde_json::from_str(&out).unwrap();
+    assert_eq!(schema.node_types.len(), 1, "{out}");
+    assert!(schema.edge_types.is_empty(), "{out}");
+    assert!(out.contains("Person"), "{out}");
+
+    // stats on the empty pair also stays calm.
+    let out = run(&parse(&argv(&[
+        "stats",
+        "--nodes",
+        empty_nodes.to_str().unwrap(),
+        "--edges",
+        empty_edges.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+    assert!(out.contains("0"), "{out}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,579 @@
+//! Durable session checkpoints: versioned envelope, atomic writes,
+//! retention, and corruption-tolerant resume.
+//!
+//! A long-running incremental session (§4.6) is only useful if hours of
+//! accumulated schema state survive a crash. [`CheckpointStore`]
+//! persists [`SessionCheckpoint`]s to a directory with the guarantees a
+//! stream consumer actually needs:
+//!
+//! * **Versioned envelope** — every file starts with a one-line ASCII
+//!   header `PGHIVE-CKPT v1 len=<n> crc32=<hex>` followed by the JSON
+//!   payload. The length catches truncation, the CRC-32 catches bit
+//!   rot (CRC-32 detects *all* single-bit errors), and the version
+//!   gates format evolution.
+//! * **Atomic writes** — payloads are written to a temp file in the
+//!   same directory, fsynced, then renamed over the final name; the
+//!   directory is fsynced afterwards. A crash mid-write leaves at
+//!   worst a stray temp file, never a half-written checkpoint under a
+//!   valid name.
+//! * **Retention** — only the newest `keep` checkpoints are retained
+//!   (default [`CheckpointStore::DEFAULT_KEEP`]); older ones are
+//!   pruned after each successful save.
+//! * **Fallback resume** — [`CheckpointStore::resume`] walks
+//!   checkpoints newest-first, skipping any file that fails envelope
+//!   validation, and loads the newest *valid* one. Corrupt files are
+//!   reported, not trusted.
+//!
+//! The byte-level [`encode`]/[`decode`] functions are exposed so
+//! fault-injection tests can corrupt envelopes at arbitrary offsets
+//! without going through the filesystem.
+
+use crate::incremental::SessionCheckpoint;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Current envelope format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &str = "PGHIVE-CKPT";
+const FILE_SUFFIX: &str = ".pghive";
+
+/// Errors raised by checkpoint persistence.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// An envelope failed validation (bad magic, version, length,
+    /// checksum, or payload).
+    Corrupt {
+        /// The offending file, when the bytes came from disk.
+        path: Option<PathBuf>,
+        /// What failed.
+        reason: String,
+    },
+    /// `resume()` found checkpoint files but none of them were valid.
+    NoValidCheckpoint {
+        /// Every file tried, newest first, with its failure reason.
+        skipped: Vec<(PathBuf, String)>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { context, source } => {
+                write!(f, "checkpoint I/O error while {context}: {source}")
+            }
+            CheckpointError::Corrupt { path, reason } => match path {
+                Some(p) => write!(f, "corrupt checkpoint {}: {reason}", p.display()),
+                None => write!(f, "corrupt checkpoint: {reason}"),
+            },
+            CheckpointError::NoValidCheckpoint { skipped } => {
+                write!(f, "no valid checkpoint found; tried {}:", skipped.len())?;
+                for (p, why) in skipped {
+                    write!(f, "\n  {}: {why}", p.display())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(std::io::Error) -> CheckpointError {
+    let context = context.into();
+    move |source| CheckpointError::Io { context, source }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the payload
+/// checksum of the envelope. Table-free bitwise form: the store writes
+/// checkpoints once per batch, so throughput is irrelevant next to the
+/// serde pass, and the bitwise form is obviously correct.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialize a checkpoint into its envelope bytes.
+pub fn encode(ckpt: &SessionCheckpoint) -> Result<Vec<u8>, CheckpointError> {
+    let payload = serde_json::to_string(ckpt).map_err(|e| CheckpointError::Corrupt {
+        path: None,
+        reason: format!("serializing checkpoint: {e}"),
+    })?;
+    let payload = payload.into_bytes();
+    let mut out = format!(
+        "{MAGIC} v{FORMAT_VERSION} len={} crc32={:08x}\n",
+        payload.len(),
+        crc32(&payload)
+    )
+    .into_bytes();
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Serialize a checkpoint directly into a writer (the fault-injection
+/// harness wraps this with a failing writer to model torn writes).
+pub fn encode_to<W: std::io::Write>(
+    ckpt: &SessionCheckpoint,
+    w: &mut W,
+) -> Result<(), CheckpointError> {
+    let bytes = encode(ckpt)?;
+    w.write_all(&bytes).map_err(io_err("writing checkpoint"))
+}
+
+/// Validate an envelope and deserialize the checkpoint inside. Any
+/// deviation — missing or garbled header, wrong magic, unsupported
+/// version, short or long payload, checksum mismatch, undecodable JSON
+/// — yields [`CheckpointError::Corrupt`]; garbage is never returned as
+/// a checkpoint.
+pub fn decode(bytes: &[u8]) -> Result<SessionCheckpoint, CheckpointError> {
+    let corrupt = |reason: String| CheckpointError::Corrupt { path: None, reason };
+
+    // The header is one short ASCII line; cap the newline scan so a
+    // corrupt multi-gigabyte blob is rejected cheaply.
+    let header_end = bytes
+        .iter()
+        .take(128)
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("missing envelope header".into()))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| corrupt("header is not UTF-8".into()))?;
+
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    let [magic, version, len, crc] = parts.as_slice() else {
+        return Err(corrupt(format!("malformed header {header:?}")));
+    };
+    if *magic != MAGIC {
+        return Err(corrupt(format!("bad magic {magic:?}")));
+    }
+    let version: u32 = version
+        .strip_prefix('v')
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(format!("malformed version {version:?}")))?;
+    if version != FORMAT_VERSION {
+        return Err(corrupt(format!(
+            "unsupported format version {version} (this build reads v{FORMAT_VERSION})"
+        )));
+    }
+    let expected_len: usize = len
+        .strip_prefix("len=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(format!("malformed length field {len:?}")))?;
+    let expected_crc: u32 = crc
+        .strip_prefix("crc32=")
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt(format!("malformed checksum field {crc:?}")))?;
+
+    let payload = &bytes[header_end + 1..];
+    if payload.len() < expected_len {
+        return Err(corrupt(format!(
+            "truncated payload: have {} of {expected_len} bytes",
+            payload.len()
+        )));
+    }
+    if payload.len() > expected_len {
+        return Err(corrupt(format!(
+            "trailing garbage: have {} of {expected_len} bytes",
+            payload.len()
+        )));
+    }
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {expected_crc:08x}, computed {actual_crc:08x}"
+        )));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| corrupt("payload is not UTF-8".into()))?;
+    serde_json::from_str(text).map_err(|e| corrupt(format!("undecodable payload: {e}")))
+}
+
+/// The result of [`CheckpointStore::resume`].
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The newest valid checkpoint, or `None` if the directory holds no
+    /// checkpoint files at all (a fresh start, not an error).
+    pub checkpoint: Option<SessionCheckpoint>,
+    /// The file the checkpoint was loaded from.
+    pub path: Option<PathBuf>,
+    /// Files that failed validation and were skipped, newest first.
+    pub skipped: Vec<(PathBuf, String)>,
+}
+
+/// A directory of durable, sequence-numbered checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Checkpoints retained by default.
+    pub const DEFAULT_KEEP: usize = 3;
+
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointStore, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(io_err(format!("creating directory {}", dir.display())))?;
+        Ok(CheckpointStore {
+            dir,
+            keep: Self::DEFAULT_KEEP,
+        })
+    }
+
+    /// Set how many checkpoints to retain (minimum 1).
+    pub fn with_retention(mut self, keep: usize) -> CheckpointStore {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The directory checkpoints live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Sequence-numbered checkpoint files, sorted oldest → newest.
+    /// Files whose names don't match `ckpt-<seq>.pghive` are ignored.
+    pub fn list(&self) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+        let mut found = Vec::new();
+        let entries =
+            fs::read_dir(&self.dir).map_err(io_err(format!("listing {}", self.dir.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err(format!("listing {}", self.dir.display())))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix("ckpt-")
+                .and_then(|r| r.strip_suffix(FILE_SUFFIX))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            found.push((seq, entry.path()));
+        }
+        found.sort_unstable_by_key(|(seq, _)| *seq);
+        Ok(found)
+    }
+
+    /// Persist a checkpoint atomically (temp file + fsync + rename +
+    /// directory fsync) under the next sequence number, then prune
+    /// checkpoints beyond the retention limit. Returns the final path.
+    pub fn save(&self, ckpt: &SessionCheckpoint) -> Result<PathBuf, CheckpointError> {
+        let seq = self.list()?.last().map_or(0, |(s, _)| s + 1);
+        let final_path = self.dir.join(format!("ckpt-{seq:08}{FILE_SUFFIX}"));
+        let tmp_path = self.dir.join(format!(".tmp-ckpt-{seq:08}"));
+
+        let bytes = encode(ckpt)?;
+        let mut f =
+            File::create(&tmp_path).map_err(io_err(format!("creating {}", tmp_path.display())))?;
+        f.write_all(&bytes)
+            .map_err(io_err(format!("writing {}", tmp_path.display())))?;
+        f.sync_all()
+            .map_err(io_err(format!("fsyncing {}", tmp_path.display())))?;
+        drop(f);
+        fs::rename(&tmp_path, &final_path).map_err(io_err(format!(
+            "renaming {} to {}",
+            tmp_path.display(),
+            final_path.display()
+        )))?;
+        // Make the rename itself durable. Directory fsync is
+        // best-effort: some platforms refuse to open directories.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+
+        self.prune()?;
+        Ok(final_path)
+    }
+
+    /// Delete checkpoints beyond the retention limit, oldest first.
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let files = self.list()?;
+        if files.len() > self.keep {
+            for (_, path) in &files[..files.len() - self.keep] {
+                fs::remove_file(path).map_err(io_err(format!("pruning {}", path.display())))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the newest valid checkpoint, skipping (and reporting) any
+    /// that fail envelope validation. An empty directory is a fresh
+    /// start (`checkpoint: None`); a directory with only corrupt files
+    /// is [`CheckpointError::NoValidCheckpoint`].
+    pub fn resume(&self) -> Result<ResumeOutcome, CheckpointError> {
+        let mut files = self.list()?;
+        files.reverse(); // newest first
+        if files.is_empty() {
+            return Ok(ResumeOutcome {
+                checkpoint: None,
+                path: None,
+                skipped: Vec::new(),
+            });
+        }
+        let mut skipped = Vec::new();
+        for (_, path) in files {
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    skipped.push((path, format!("unreadable: {e}")));
+                    continue;
+                }
+            };
+            match decode(&bytes) {
+                Ok(ckpt) => {
+                    return Ok(ResumeOutcome {
+                        checkpoint: Some(ckpt),
+                        path: Some(path),
+                        skipped,
+                    });
+                }
+                Err(e) => skipped.push((path, e.to_string())),
+            }
+        }
+        Err(CheckpointError::NoValidCheckpoint { skipped })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HiveConfig;
+    use crate::incremental::HiveSession;
+    use pg_model::{LabelSet, Node, PropertyGraph};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pg-hive-ckpt-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_checkpoint() -> SessionCheckpoint {
+        let mut g = PropertyGraph::new();
+        for i in 0..8 {
+            g.add_node(Node::new(i, LabelSet::single("Person")).with_prop("age", i as i64))
+                .unwrap();
+        }
+        let mut cfg = HiveConfig::default();
+        if let crate::config::EmbeddingKind::Word2Vec(ref mut w) = cfg.embedding {
+            w.dim = 4;
+            w.epochs = 1;
+        }
+        cfg.post_processing = false;
+        let mut session = HiveSession::new(cfg);
+        let (nodes, edges) = pg_store::load(&g);
+        session.process_batch(&nodes, &edges);
+        session.checkpoint()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let ckpt = small_checkpoint();
+        let bytes = encode(&ckpt).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.batches_processed, ckpt.batches_processed);
+        assert_eq!(back.schema, ckpt.schema);
+        assert_eq!(back.node_accums.len(), ckpt.node_accums.len());
+    }
+
+    #[test]
+    fn header_is_humane_ascii() {
+        let bytes = encode(&small_checkpoint()).unwrap();
+        let header: Vec<u8> = bytes.iter().copied().take_while(|&b| b != b'\n').collect();
+        let header = String::from_utf8(header).unwrap();
+        assert!(header.starts_with("PGHIVE-CKPT v1 len="), "{header}");
+        assert!(header.contains("crc32="), "{header}");
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_boundary() {
+        let bytes = encode(&small_checkpoint()).unwrap();
+        // Spot-check a spread of prefixes including the empty file.
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Corrupt { .. }),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let bytes = encode(&small_checkpoint()).unwrap();
+        for pos in [0, 3, 14, bytes.len() / 2, bytes.len() - 1] {
+            for bit in [0, 4, 7] {
+                let mut evil = bytes.clone();
+                evil[pos] ^= 1 << bit;
+                assert!(
+                    decode(&evil).is_err(),
+                    "flip at byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode(&small_checkpoint()).unwrap();
+        bytes.extend_from_slice(b"junk");
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn future_versions_are_refused_not_misread() {
+        let bytes = encode(&small_checkpoint()).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let bumped = text.replacen("PGHIVE-CKPT v1 ", "PGHIVE-CKPT v2 ", 1);
+        let err = decode(bumped.as_bytes()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported format version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn save_resume_round_trips_through_disk() {
+        let dir = tmpdir("roundtrip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let ckpt = small_checkpoint();
+        let path = store.save(&ckpt).unwrap();
+        assert!(path.exists());
+        let outcome = store.resume().unwrap();
+        assert_eq!(outcome.path.as_deref(), Some(path.as_path()));
+        assert!(outcome.skipped.is_empty());
+        assert_eq!(outcome.checkpoint.unwrap().schema, ckpt.schema);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_is_a_fresh_start() {
+        let dir = tmpdir("fresh");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let outcome = store.resume().unwrap();
+        assert!(outcome.checkpoint.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_prunes_oldest() {
+        let dir = tmpdir("retention");
+        let store = CheckpointStore::open(&dir).unwrap().with_retention(2);
+        let ckpt = small_checkpoint();
+        for _ in 0..5 {
+            store.save(&ckpt).unwrap();
+        }
+        let files = store.list().unwrap();
+        assert_eq!(files.len(), 2);
+        assert_eq!(
+            files.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![3, 4],
+            "the newest sequence numbers survive"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_falls_back_past_a_corrupt_newest() {
+        let dir = tmpdir("fallback");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let ckpt = small_checkpoint();
+        let good = store.save(&ckpt).unwrap();
+        let newest = store.save(&ckpt).unwrap();
+        // Truncate the newest file to half its size.
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let outcome = store.resume().unwrap();
+        assert_eq!(outcome.path.as_deref(), Some(good.as_path()));
+        assert_eq!(outcome.skipped.len(), 1);
+        assert_eq!(outcome.skipped[0].0, newest);
+        assert!(outcome.checkpoint.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_corrupt_is_an_error_not_garbage() {
+        let dir = tmpdir("all-corrupt");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let ckpt = small_checkpoint();
+        for _ in 0..2 {
+            store.save(&ckpt).unwrap();
+        }
+        for (_, path) in store.list().unwrap() {
+            fs::write(&path, b"PGHIVE-CKPT v1 len=4 crc32=deadbeef\nXXXX").unwrap();
+        }
+        let err = store.resume().unwrap_err();
+        match err {
+            CheckpointError::NoValidCheckpoint { skipped } => assert_eq!(skipped.len(), 2),
+            other => panic!("wrong error {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_files_are_ignored_by_listing() {
+        let dir = tmpdir("stray");
+        let store = CheckpointStore::open(&dir).unwrap();
+        fs::write(dir.join("notes.txt"), "hi").unwrap();
+        fs::write(dir.join(".tmp-ckpt-00000000"), "torn write leftovers").unwrap();
+        let ckpt = small_checkpoint();
+        store.save(&ckpt).unwrap();
+        assert_eq!(store.list().unwrap().len(), 1);
+        assert!(store.resume().unwrap().checkpoint.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_via_faulty_writer_is_detected() {
+        use pg_store::faults::{FaultKind, FaultyWriter};
+        let ckpt = small_checkpoint();
+        let full = encode(&ckpt).unwrap();
+
+        // A writer that silently drops everything past half the
+        // envelope models a crash between write() and fsync().
+        let mut w = FaultyWriter::new(Vec::new(), full.len() / 2, FaultKind::SilentTruncate);
+        encode_to(&ckpt, &mut w).unwrap();
+        let torn = w.into_inner();
+        assert!(torn.len() < full.len());
+        assert!(decode(&torn).is_err(), "torn write must not decode");
+
+        // An erroring writer surfaces the failure instead of passing
+        // a half-written checkpoint off as saved.
+        let mut w = FaultyWriter::new(Vec::new(), full.len() / 2, FaultKind::Error);
+        assert!(encode_to(&ckpt, &mut w).is_err());
+    }
+}

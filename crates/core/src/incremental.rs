@@ -84,6 +84,11 @@ type EdgePatternKey = (
 pub struct HiveSession {
     config: HiveConfig,
     state: DiscoveryState,
+    /// Batches applied before this process (restored from a
+    /// checkpoint). Batch indices — and therefore per-batch seeds —
+    /// continue from here, so a resumed session is bit-identical to an
+    /// uninterrupted one.
+    batch_offset: usize,
     timings: Vec<BatchTiming>,
     node_params: Option<AdaptiveParams>,
     edge_params: Option<AdaptiveParams>,
@@ -98,6 +103,7 @@ impl HiveSession {
         HiveSession {
             config,
             state: DiscoveryState::new(),
+            batch_offset: 0,
             timings: Vec::new(),
             node_params: None,
             edge_params: None,
@@ -110,6 +116,12 @@ impl HiveSession {
     /// Number of elements served from the memoization cache so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Total batches applied to this session's state, including batches
+    /// restored from a checkpoint.
+    pub fn batches_processed(&self) -> usize {
+        self.batch_offset + self.timings.len()
     }
 
     /// The session configuration.
@@ -136,7 +148,7 @@ impl HiveSession {
     /// lines 7–10 when `post_processing` is set).
     pub fn process_batch(&mut self, nodes: &[NodeRecord], edges: &[EdgeRecord]) -> BatchTiming {
         let start = Instant::now();
-        let batch_index = self.timings.len();
+        let batch_index = self.batches_processed();
         let batch_seed = self.config.seed.wrapping_add(batch_index as u64 * 0x9e37);
         let (batch_nodes, batch_edges) = (nodes.len(), edges.len());
 
@@ -363,7 +375,7 @@ impl HiveSession {
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
             cache_hits: self.cache_hits,
-            batches_processed: self.timings.len(),
+            batches_processed: self.batches_processed(),
         }
     }
 
@@ -372,6 +384,7 @@ impl HiveSession {
     /// timing log but continues the batch numbering.
     pub fn restore(config: HiveConfig, checkpoint: SessionCheckpoint) -> HiveSession {
         let mut session = HiveSession::new(config);
+        session.batch_offset = checkpoint.batches_processed;
         session.state.schema = checkpoint.schema;
         session.state.node_accums = checkpoint.node_accums.into_iter().collect();
         session.state.edge_accums = checkpoint.edge_accums.into_iter().collect();
@@ -613,5 +626,32 @@ mod tests {
         session.process_batch(&[], &[]);
         let r = session.finish();
         assert_eq!(r.schema.type_count(), 0);
+    }
+
+    #[test]
+    fn empty_batch_mid_session_changes_nothing_but_the_count() {
+        let g = dataset(30);
+        let batches = split_batches(&g, 2, 8);
+
+        let mut session = HiveSession::new(quick_config());
+        session.process_graph_batch(&batches[0]);
+        let before = session.schema().clone();
+        session.process_batch(&[], &[]);
+        assert_eq!(session.schema(), &before, "empty batch mutated the schema");
+        assert_eq!(session.batches_processed(), 2, "but it still counts");
+        session.process_graph_batch(&batches[1]);
+        let with_gap = session.finish();
+
+        // A checkpoint taken right after the empty batch restores to the
+        // same place: an idle period in a stream is representable state.
+        let mut reference = HiveSession::new(quick_config());
+        reference.process_graph_batch(&batches[0]);
+        reference.process_batch(&[], &[]);
+        let mut restored = HiveSession::restore(quick_config(), reference.checkpoint());
+        assert_eq!(restored.batches_processed(), 2);
+        restored.process_graph_batch(&batches[1]);
+        let resumed = restored.finish();
+
+        assert_eq!(with_gap.schema, resumed.schema);
     }
 }

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod cardinality;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod constraints;
@@ -62,6 +63,7 @@ pub mod serialize;
 pub mod state;
 pub mod validate;
 
+pub use checkpoint::{CheckpointError, CheckpointStore, ResumeOutcome};
 pub use config::{
     DatatypeSampling, EmbeddingKind, HiveConfig, LshMethod, LshParams, MergeSimilarity,
 };

@@ -20,70 +20,13 @@
 //!    bit-identical — cluster ids depend on arrival order — so this
 //!    asserts the paper's equivalence relation, not `==`.)
 
-use pg_datasets::{generate, inject_noise, spec_by_name, NoiseConfig};
-use pg_hive::{EmbeddingKind, HiveConfig, HiveSession, LshMethod, PgHive};
-use pg_model::{PropertyGraph, SchemaGraph};
+use pg_hive::{HiveSession, LshMethod, PgHive};
 use proptest::prelude::*;
 
-/// A quick configuration (small embedding, few epochs) so each proptest
-/// case stays cheap; post-processing stays on so constraints, data
-/// types, and cardinalities are part of the bit-identity check.
-fn quick_config(method: LshMethod, seed: u64, threads: usize) -> HiveConfig {
-    let mut c = HiveConfig::default().with_seed(seed).with_threads(threads);
-    c.method = method;
-    if let EmbeddingKind::Word2Vec(ref mut w) = c.embedding {
-        w.dim = 5;
-        w.epochs = 2;
-    }
-    c
-}
-
-/// A small dataset twin, optionally noised, for equivalence cases.
-fn case_graph(dataset: &str, seed: u64, noise: f64, label_availability: f64) -> PropertyGraph {
-    let spec = spec_by_name(dataset).expect("known dataset").scaled(0.03);
-    let (mut graph, _) = generate(&spec, seed);
-    if noise > 0.0 || label_availability < 1.0 {
-        inject_noise(
-            &mut graph,
-            NoiseConfig {
-                property_removal: noise,
-                label_availability,
-                seed: seed ^ 0x5eed,
-            },
-        );
-    }
-    graph
-}
-
-/// Sorted (element id, type id) pairs — a canonical, order-insensitive
-/// view of an assignment map.
-fn sorted_node_assignment(r: &pg_hive::DiscoveryResult) -> Vec<(u64, u32)> {
-    let mut v: Vec<(u64, u32)> = r
-        .node_assignment()
-        .into_iter()
-        .map(|(n, t)| (n.0, t.0))
-        .collect();
-    v.sort_unstable();
-    v
-}
-
-fn sorted_edge_assignment(r: &pg_hive::DiscoveryResult) -> Vec<(u64, u32)> {
-    let mut v: Vec<(u64, u32)> = r
-        .edge_assignment()
-        .into_iter()
-        .map(|(e, t)| (e.0, t.0))
-        .collect();
-    v.sort_unstable();
-    v
-}
-
-/// Sorted node-type label-set strings — the schema-equivalence view
-/// used by the §4.6 batched-vs-one-shot contract.
-fn sorted_labels(s: &SchemaGraph) -> Vec<String> {
-    let mut v: Vec<String> = s.node_types.iter().map(|t| t.labels.to_string()).collect();
-    v.sort();
-    v
-}
+mod common;
+use common::{
+    case_graph, quick_config, sorted_edge_assignment, sorted_labels, sorted_node_assignment,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]

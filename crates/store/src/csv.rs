@@ -11,7 +11,16 @@
 //! Values are rendered with [`pg_model::PropertyValue::render`] and
 //! re-typed on load with [`pg_model::PropertyValue::infer`], mirroring how
 //! the paper ingests untyped CSV values and infers data types later.
+//!
+//! Parsing is record-aware, not line-aware: quoted fields may contain
+//! embedded newlines (RFC 4180), and every error carries the 1-based
+//! physical line number where the offending record *starts*. Besides the
+//! fail-fast [`graph_from_csv`], a lenient entry point
+//! [`graph_from_csv_with_policy`] diverts malformed rows to a
+//! [`Quarantine`] report under an [`ErrorPolicy`] instead of aborting
+//! the whole load.
 
+use crate::ingest::{ErrorPolicy, Quarantine};
 use pg_model::{Edge, LabelSet, ModelError, Node, NodeId, PropertyGraph, PropertyValue};
 use std::fmt::Write as _;
 
@@ -33,18 +42,61 @@ fn escape(field: &str) -> String {
     }
 }
 
-/// Split one CSV line into fields, honoring quotes.
-fn split_line(line: &str) -> Result<Vec<String>, ModelError> {
-    let mut fields = Vec::new();
+/// One raw CSV record: where it starts, its raw text, and its parsed
+/// fields (or why field-splitting failed).
+struct RawRecord {
+    /// 1-based physical line number of the record's first line.
+    line: usize,
+    /// Raw record text (without the terminating newline).
+    raw: String,
+    /// Parsed fields, or a parse failure (unterminated quote).
+    fields: Result<Vec<String>, String>,
+}
+
+/// Split CSV text into records, honoring quotes: a newline inside a
+/// quoted field continues the record instead of terminating it. Blank
+/// records are skipped. Never fails as a whole — a malformed record is
+/// reported in its own `fields` slot so lenient callers can quarantine
+/// it and keep going.
+fn split_records(text: &str) -> Vec<RawRecord> {
+    let mut records = Vec::new();
+    let mut start_line = 1usize;
+    let mut line = 1usize;
+    let mut raw = String::new();
+    let mut fields: Vec<String> = Vec::new();
     let mut cur = String::new();
-    let mut chars = line.chars().peekable();
     let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    macro_rules! finish_record {
+        () => {{
+            // A record is blank if it has no fields yet and the pending
+            // text is only whitespace (matches the old `lines()` filter).
+            if !(fields.is_empty() && raw.trim().is_empty()) {
+                fields.push(std::mem::take(&mut cur));
+                records.push(RawRecord {
+                    line: start_line,
+                    raw: std::mem::take(&mut raw),
+                    fields: Ok(std::mem::take(&mut fields)),
+                });
+            } else {
+                raw.clear();
+                cur.clear();
+            }
+        }};
+    }
+
     while let Some(c) = chars.next() {
+        if c == '\n' {
+            line += 1;
+        }
         if in_quotes {
+            raw.push(c);
             match c {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         cur.push('"');
+                        raw.push('"');
                         chars.next();
                     } else {
                         in_quotes = false;
@@ -54,21 +106,43 @@ fn split_line(line: &str) -> Result<Vec<String>, ModelError> {
             }
         } else {
             match c {
-                '"' if cur.is_empty() => in_quotes = true,
+                '\n' => {
+                    // Strip a CRLF's carriage return from both the field
+                    // and the raw excerpt.
+                    if cur.ends_with('\r') {
+                        cur.pop();
+                    }
+                    if raw.ends_with('\r') {
+                        raw.pop();
+                    }
+                    finish_record!();
+                    start_line = line;
+                }
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    raw.push(c);
+                }
                 ',' => {
+                    raw.push(c);
                     fields.push(std::mem::take(&mut cur));
                 }
-                _ => cur.push(c),
+                _ => {
+                    raw.push(c);
+                    cur.push(c);
+                }
             }
         }
     }
     if in_quotes {
-        return Err(ModelError::Parse {
-            message: format!("unterminated quote in line {line:?}"),
+        records.push(RawRecord {
+            line: start_line,
+            raw,
+            fields: Err("unterminated quote".into()),
         });
+    } else if !(fields.is_empty() && raw.trim().is_empty()) {
+        finish_record!();
     }
-    fields.push(cur);
-    Ok(fields)
+    records
 }
 
 /// Serialize the nodes of a graph to CSV.
@@ -142,85 +216,181 @@ fn parse_labels(cell: &str) -> LabelSet {
     }
 }
 
+/// Validate a header: required leading columns present, no duplicates.
+/// Returns the header fields on success.
+fn check_header(
+    source: &str,
+    rec: &RawRecord,
+    required: &[&str],
+) -> Result<Vec<String>, ModelError> {
+    let cols = match &rec.fields {
+        Ok(f) => f.clone(),
+        Err(reason) => {
+            return Err(ModelError::Parse {
+                message: format!("{source} line {}: {reason}", rec.line),
+            })
+        }
+    };
+    if cols.len() < required.len() || cols.iter().zip(required).any(|(c, r)| c != r) {
+        return Err(ModelError::Parse {
+            message: format!(
+                "{source} line {}: header must start with {}",
+                rec.line,
+                required.join(",")
+            ),
+        });
+    }
+    // Duplicate detection covers the property columns. A property may
+    // share a *reserved* column's name (the paper's POLE dump has a
+    // property literally called "id") — positions disambiguate those —
+    // but two identically-named property columns are unresolvable.
+    let mut seen = std::collections::HashSet::new();
+    for c in &cols[required.len()..] {
+        if !seen.insert(c.as_str()) {
+            return Err(ModelError::Parse {
+                message: format!("{source} line {}: duplicate header column {c:?}", rec.line),
+            });
+        }
+    }
+    Ok(cols)
+}
+
+/// The per-record outcome of the shared row walker.
+enum RowOutcome<T> {
+    Parsed(T),
+    Bad { line: usize, reason: String },
+}
+
+/// Parse one data record against the header, mapping any failure to a
+/// line-numbered reason.
+fn parse_row<T>(
+    cols: &[String],
+    rec: &RawRecord,
+    build: impl FnOnce(&[String]) -> Result<T, String>,
+) -> RowOutcome<T> {
+    let fields = match &rec.fields {
+        Ok(f) => f,
+        Err(reason) => {
+            return RowOutcome::Bad {
+                line: rec.line,
+                reason: reason.clone(),
+            }
+        }
+    };
+    if fields.len() != cols.len() {
+        return RowOutcome::Bad {
+            line: rec.line,
+            reason: format!("row has {} fields, expected {}", fields.len(), cols.len()),
+        };
+    }
+    match build(fields) {
+        Ok(t) => RowOutcome::Parsed(t),
+        Err(reason) => RowOutcome::Bad {
+            line: rec.line,
+            reason,
+        },
+    }
+}
+
 /// Parse a graph from node and edge CSVs produced by [`nodes_to_csv`] /
-/// [`edges_to_csv`].
+/// [`edges_to_csv`]. Fail-fast: the first malformed row aborts with a
+/// line-numbered [`ModelError`].
 pub fn graph_from_csv(nodes_csv: &str, edges_csv: &str) -> Result<PropertyGraph, ModelError> {
+    graph_from_csv_with_policy(nodes_csv, edges_csv, ErrorPolicy::Strict).map(|(g, _)| g)
+}
+
+/// Parse a graph from node and edge CSVs under an [`ErrorPolicy`].
+/// Malformed rows are diverted to the returned [`Quarantine`] (which
+/// records `nodes.csv`/`edges.csv` as the source); header errors are
+/// always fatal because nothing after a broken header is interpretable.
+/// Edges whose endpoints are missing — including endpoints that were
+/// themselves quarantined — are quarantined as dangling.
+pub fn graph_from_csv_with_policy(
+    nodes_csv: &str,
+    edges_csv: &str,
+    policy: ErrorPolicy,
+) -> Result<(PropertyGraph, Quarantine), ModelError> {
     let mut graph = PropertyGraph::new();
+    let mut quarantine = Quarantine::new();
 
-    let mut node_lines = nodes_csv.lines().filter(|l| !l.trim().is_empty());
-    if let Some(header) = node_lines.next() {
-        let cols = split_line(header)?;
-        if cols.len() < 2 || cols[0] != "id" || cols[1] != "labels" {
-            return Err(ModelError::Parse {
-                message: "node CSV header must start with id,labels".into(),
+    let node_records = split_records(nodes_csv);
+    if let Some((header, rows)) = node_records.split_first() {
+        let cols = check_header("nodes.csv", header, &["id", "labels"])?;
+        for rec in rows {
+            let outcome = parse_row(&cols, rec, |fields| {
+                let id: u64 = fields[0]
+                    .parse()
+                    .map_err(|_| format!("bad node id {:?}", fields[0]))?;
+                let mut node = Node::new(id, parse_labels(&fields[1]));
+                for (col, val) in cols.iter().zip(fields).skip(2) {
+                    if !val.is_empty() {
+                        node.props
+                            .insert(pg_model::sym(col), PropertyValue::infer(val));
+                    }
+                }
+                Ok(node)
             });
-        }
-        for line in node_lines {
-            let fields = split_line(line)?;
-            if fields.len() != cols.len() {
-                return Err(ModelError::Parse {
-                    message: format!(
-                        "node row has {} fields, expected {}",
-                        fields.len(),
-                        cols.len()
-                    ),
-                });
-            }
-            let id: u64 = fields[0].parse().map_err(|_| ModelError::Parse {
-                message: format!("bad node id {:?}", fields[0]),
-            })?;
-            let mut node = Node::new(id, parse_labels(&fields[1]));
-            for (col, val) in cols.iter().zip(&fields).skip(2) {
-                if !val.is_empty() {
-                    node.props
-                        .insert(pg_model::sym(col), PropertyValue::infer(val));
+            match outcome {
+                RowOutcome::Parsed(node) => {
+                    if let Err(e) = graph.add_node(node) {
+                        quarantine.divert(
+                            policy,
+                            "nodes.csv",
+                            rec.line,
+                            e.to_string(),
+                            &rec.raw,
+                        )?;
+                    }
+                }
+                RowOutcome::Bad { line, reason } => {
+                    quarantine.divert(policy, "nodes.csv", line, reason, &rec.raw)?;
                 }
             }
-            graph.add_node(node)?;
         }
     }
 
-    let mut edge_lines = edges_csv.lines().filter(|l| !l.trim().is_empty());
-    if let Some(header) = edge_lines.next() {
-        let cols = split_line(header)?;
-        if cols.len() < 4 || cols[0] != "id" || cols[1] != "src" || cols[2] != "tgt" {
-            return Err(ModelError::Parse {
-                message: "edge CSV header must start with id,src,tgt,labels".into(),
+    let edge_records = split_records(edges_csv);
+    if let Some((header, rows)) = edge_records.split_first() {
+        let cols = check_header("edges.csv", header, &["id", "src", "tgt", "labels"])?;
+        for rec in rows {
+            let outcome = parse_row(&cols, rec, |fields| {
+                let parse_u64 = |s: &str| -> Result<u64, String> {
+                    s.parse().map_err(|_| format!("bad id {s:?}"))
+                };
+                let mut edge = Edge::new(
+                    parse_u64(&fields[0])?,
+                    NodeId(parse_u64(&fields[1])?),
+                    NodeId(parse_u64(&fields[2])?),
+                    parse_labels(&fields[3]),
+                );
+                for (col, val) in cols.iter().zip(fields).skip(4) {
+                    if !val.is_empty() {
+                        edge.props
+                            .insert(pg_model::sym(col), PropertyValue::infer(val));
+                    }
+                }
+                Ok(edge)
             });
-        }
-        for line in edge_lines {
-            let fields = split_line(line)?;
-            if fields.len() != cols.len() {
-                return Err(ModelError::Parse {
-                    message: format!(
-                        "edge row has {} fields, expected {}",
-                        fields.len(),
-                        cols.len()
-                    ),
-                });
-            }
-            let parse_u64 = |s: &str| -> Result<u64, ModelError> {
-                s.parse().map_err(|_| ModelError::Parse {
-                    message: format!("bad id {s:?}"),
-                })
-            };
-            let mut edge = Edge::new(
-                parse_u64(&fields[0])?,
-                NodeId(parse_u64(&fields[1])?),
-                NodeId(parse_u64(&fields[2])?),
-                parse_labels(&fields[3]),
-            );
-            for (col, val) in cols.iter().zip(&fields).skip(4) {
-                if !val.is_empty() {
-                    edge.props
-                        .insert(pg_model::sym(col), PropertyValue::infer(val));
+            match outcome {
+                RowOutcome::Parsed(edge) => {
+                    if let Err(e) = graph.add_edge(edge) {
+                        quarantine.divert(
+                            policy,
+                            "edges.csv",
+                            rec.line,
+                            e.to_string(),
+                            &rec.raw,
+                        )?;
+                    }
+                }
+                RowOutcome::Bad { line, reason } => {
+                    quarantine.divert(policy, "edges.csv", line, reason, &rec.raw)?;
                 }
             }
-            graph.add_edge(edge)?;
         }
     }
 
-    Ok(graph)
+    Ok((graph, quarantine))
 }
 
 #[cfg(test)]
@@ -269,11 +439,33 @@ mod tests {
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let recs = split_records("a,\"b,c\",\"d\"\"e\"");
         assert_eq!(
-            split_line("a,\"b,c\",\"d\"\"e\"").unwrap(),
-            vec!["a", "b,c", "d\"e"]
+            recs[0].fields.as_ref().unwrap(),
+            &vec!["a".to_owned(), "b,c".into(), "d\"e".into()]
         );
-        assert!(split_line("\"unterminated").is_err());
+        let recs = split_records("\"unterminated");
+        assert!(recs[0].fields.is_err());
+    }
+
+    #[test]
+    fn quoted_newlines_stay_inside_one_record() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("Person")).with_prop("bio", "line one\nline two"))
+            .unwrap();
+        let csv = nodes_to_csv(&g);
+        assert!(csv.matches('\n').count() > 2, "newline embedded in a field");
+        let g2 = graph_from_csv(&csv, "id,src,tgt,labels\n").unwrap();
+        assert_eq!(
+            g2.node(NodeId(1)).unwrap().props.get("bio"),
+            Some(&PropertyValue::Str("line one\nline two".into()))
+        );
+
+        // Line numbers keep counting physical lines: the record after a
+        // two-line quoted record starts two lines later.
+        let nodes = "id,labels,bio\n1,P,\"a\nb\"\noops\n";
+        let err = graph_from_csv(nodes, "id,src,tgt,labels\n").unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
     }
 
     #[test]
@@ -283,9 +475,75 @@ mod tests {
     }
 
     #[test]
-    fn row_width_mismatch_is_rejected() {
-        let bad = "id,labels,name\n1,Person\n";
-        assert!(graph_from_csv(bad, "id,src,tgt,labels\n").is_err());
+    fn duplicate_header_columns_are_rejected() {
+        let err = graph_from_csv("id,labels,name,name\n", "id,src,tgt,labels\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate header column"), "{err}");
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = graph_from_csv("id,labels\n", "id,src,tgt,labels,w,w\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate header column"), "{err}");
+        // A property *sharing* a reserved column's name is fine (the
+        // POLE dump has a property called "id") — positions
+        // disambiguate — but repeating it as a property is not.
+        let g = graph_from_csv("id,labels,id\n1,P,77\n", "id,src,tgt,labels\n").unwrap();
+        assert_eq!(
+            g.node(NodeId(1)).unwrap().props.get("id"),
+            Some(&PropertyValue::Int(77))
+        );
+        let err = graph_from_csv("id,labels,id,id\n", "id,src,tgt,labels\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn row_width_mismatch_is_rejected_with_line_number() {
+        let bad = "id,labels,name\n1,Person,ok\n2,Person\n";
+        let err = graph_from_csv(bad, "id,src,tgt,labels\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("2 fields, expected 3"), "{msg}");
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_malformed_rows() {
+        let nodes = "id,labels,name\n1,Person,Ada\nbogus,Person,x\n3,Person\n4,Person,Bob\n";
+        let edges = "id,src,tgt,labels\n10,1,4,KNOWS\n11,1,999,KNOWS\n";
+        let (g, q) = graph_from_csv_with_policy(nodes, edges, ErrorPolicy::Skip).unwrap();
+        assert_eq!(g.node_count(), 2, "rows 2 and 4 survive");
+        assert_eq!(g.edge_count(), 1, "dangling edge quarantined");
+        let lines: Vec<(String, usize)> = q
+            .entries()
+            .iter()
+            .map(|e| (e.source.clone(), e.line))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("nodes.csv".to_owned(), 3),
+                ("nodes.csv".to_owned(), 4),
+                ("edges.csv".to_owned(), 3)
+            ]
+        );
+        assert!(q.entries()[0].reason.contains("bad node id"), "{q:?}");
+        assert!(q.entries()[2].reason.contains("unknown node"), "{q:?}");
+    }
+
+    #[test]
+    fn lenient_mode_respects_cap() {
+        let nodes = "id,labels\nx,P\ny,P\nz,P\n";
+        let err = graph_from_csv_with_policy(nodes, "id,src,tgt,labels\n", ErrorPolicy::Cap(1))
+            .unwrap_err();
+        assert!(err.to_string().contains("cap of 1"), "{err}");
+        let ok = graph_from_csv_with_policy(nodes, "id,src,tgt,labels\n", ErrorPolicy::Cap(3));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn duplicate_node_rows_are_quarantined_not_fatal() {
+        let nodes = "id,labels\n1,P\n1,P\n";
+        let (g, q) =
+            graph_from_csv_with_policy(nodes, "id,src,tgt,labels\n", ErrorPolicy::Skip).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.entries()[0].reason.contains("duplicate node"), "{q:?}");
     }
 
     #[test]
@@ -297,6 +555,17 @@ mod tests {
         assert_eq!(
             g.node(NodeId(2)).unwrap().props.get("age"),
             Some(&PropertyValue::Int(41))
+        );
+    }
+
+    #[test]
+    fn crlf_line_endings_parse() {
+        let nodes = "id,labels,name\r\n1,Person,Ada\r\n";
+        let g = graph_from_csv(nodes, "id,src,tgt,labels\r\n").unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(
+            g.node(NodeId(1)).unwrap().props.get("name"),
+            Some(&PropertyValue::Str("Ada".into()))
         );
     }
 }

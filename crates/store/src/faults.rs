@@ -1,0 +1,169 @@
+//! Injectable-failure I/O wrappers for fault-tolerance tests.
+//!
+//! Crash-safety claims ("a torn checkpoint write never corrupts
+//! resume") are only credible if the failure is actually exercised.
+//! These wrappers let tests cut an I/O stream at an exact byte offset:
+//!
+//! * [`FaultyWriter`] forwards writes to the inner writer until a byte
+//!   budget is exhausted, then either errors ([`FaultKind::Error`]) or
+//!   silently drops the rest ([`FaultKind::SilentTruncate`]) — the two
+//!   ways a crash or full disk tears a write in practice.
+//! * [`FaultyReader`] mirrors the same for reads, modelling a file that
+//!   went unreadable partway through.
+
+use std::io::{self, Read, Write};
+
+/// What happens once the byte budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return an `io::Error` (kind `Other`, message `"injected fault"`).
+    Error,
+    /// Pretend the bytes were written/read but drop them — models a
+    /// crash between `write()` and `fsync()`.
+    SilentTruncate,
+}
+
+/// A writer that fails after forwarding `budget` bytes.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    budget: usize,
+    kind: FaultKind,
+    written: usize,
+    tripped: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wrap `inner`; the first `budget` bytes pass through untouched.
+    pub fn new(inner: W, budget: usize, kind: FaultKind) -> FaultyWriter<W> {
+        FaultyWriter {
+            inner,
+            budget,
+            kind,
+            written: 0,
+            tripped: false,
+        }
+    }
+
+    /// Bytes actually forwarded to the inner writer.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Whether the fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Unwrap the inner writer (e.g. to inspect the partial output).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let room = self.budget.saturating_sub(self.written);
+        if room == 0 {
+            self.tripped = true;
+            return match self.kind {
+                FaultKind::Error => Err(io::Error::other("injected fault")),
+                // Claim success so the caller keeps going, exactly like
+                // data sitting in a page cache that never hits disk.
+                FaultKind::SilentTruncate => Ok(buf.len()),
+            };
+        }
+        let n = room.min(buf.len());
+        let n = self.inner.write(&buf[..n])?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A reader that fails after yielding `budget` bytes.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    budget: usize,
+    kind: FaultKind,
+    read: usize,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wrap `inner`; the first `budget` bytes read normally.
+    pub fn new(inner: R, budget: usize, kind: FaultKind) -> FaultyReader<R> {
+        FaultyReader {
+            inner,
+            budget,
+            kind,
+            read: 0,
+        }
+    }
+
+    /// Bytes yielded so far.
+    pub fn bytes_read(&self) -> usize {
+        self.read
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let room = self.budget.saturating_sub(self.read);
+        if room == 0 {
+            return match self.kind {
+                FaultKind::Error => Err(io::Error::other("injected fault")),
+                // EOF early: the file looks shorter than it was.
+                FaultKind::SilentTruncate => Ok(0),
+            };
+        }
+        let cap = room.min(buf.len());
+        let n = self.inner.read(&mut buf[..cap])?;
+        self.read += n;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_errors_at_the_budget() {
+        let mut w = FaultyWriter::new(Vec::new(), 5, FaultKind::Error);
+        assert_eq!(w.write(b"abc").unwrap(), 3);
+        assert_eq!(w.write(b"defg").unwrap(), 2, "clipped to the budget");
+        assert!(w.write(b"h").is_err());
+        assert!(w.tripped());
+        assert_eq!(w.into_inner(), b"abcde");
+    }
+
+    #[test]
+    fn writer_silent_truncate_claims_success() {
+        let mut w = FaultyWriter::new(Vec::new(), 4, FaultKind::SilentTruncate);
+        w.write_all(b"0123456789").unwrap();
+        assert_eq!(w.written(), 4);
+        assert_eq!(
+            w.into_inner(),
+            b"0123",
+            "everything past the budget vanished"
+        );
+    }
+
+    #[test]
+    fn reader_cuts_at_the_budget() {
+        let data = b"hello world".to_vec();
+        let mut r = FaultyReader::new(&data[..], 5, FaultKind::SilentTruncate);
+        let mut out = String::new();
+        r.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello");
+
+        let mut r = FaultyReader::new(&data[..], 5, FaultKind::Error);
+        let mut out = Vec::new();
+        assert!(r.read_to_end(&mut out).is_err());
+        assert_eq!(out, b"hello", "prefix still delivered before the fault");
+    }
+}

@@ -1,8 +1,10 @@
 //! JSON-lines import/export: one JSON object per line, tagged as a node
 //! or an edge. Lossless for all property value variants.
 
+use crate::ingest::{ErrorPolicy, Quarantine};
 use pg_model::{Edge, ModelError, Node, PropertyGraph};
 use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
 
 /// One line of a JSON-lines graph dump.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -14,49 +16,81 @@ pub enum Element {
     Edge(Edge),
 }
 
-/// Serialize a graph to JSON-lines (nodes first, then edges, so a stream
-/// consumer can insert in order without deferring edges).
-pub fn to_jsonl(graph: &PropertyGraph) -> String {
-    let mut out = String::new();
+/// Stream a graph as JSON-lines into `w` (nodes first, then edges, so a
+/// stream consumer can insert in order without deferring edges). Unlike
+/// [`to_jsonl`] this never materializes the whole dump in memory, and
+/// write failures surface as `Err` instead of panicking.
+pub fn write_jsonl<W: Write>(graph: &PropertyGraph, w: &mut W) -> io::Result<()> {
+    let mut emit = |el: Element| -> io::Result<()> {
+        let line = serde_json::to_string(&el)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")
+    };
     for n in graph.nodes() {
-        out.push_str(&serde_json::to_string(&Element::Node(n.clone())).expect("serializable"));
-        out.push('\n');
+        emit(Element::Node(n.clone()))?;
     }
     for e in graph.edges() {
-        out.push_str(&serde_json::to_string(&Element::Edge(e.clone())).expect("serializable"));
-        out.push('\n');
+        emit(Element::Edge(e.clone()))?;
     }
-    out
+    Ok(())
+}
+
+/// Serialize a graph to a JSON-lines string. Thin wrapper over
+/// [`write_jsonl`] into an in-memory buffer (which cannot fail on I/O).
+pub fn to_jsonl(graph: &PropertyGraph) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(graph, &mut buf).expect("in-memory JSONL serialization cannot fail");
+    String::from_utf8(buf).expect("serde_json emits UTF-8")
 }
 
 /// Parse a JSON-lines dump. Edges may appear before their endpoints; they
-/// are buffered and inserted after all nodes.
+/// are buffered and inserted after all nodes. Fail-fast: the first
+/// malformed line aborts with a line-numbered [`ModelError`].
 pub fn from_jsonl(text: &str) -> Result<PropertyGraph, ModelError> {
+    from_jsonl_with_policy(text, ErrorPolicy::Strict).map(|(g, _)| g)
+}
+
+/// Parse a JSON-lines dump under an [`ErrorPolicy`]. Malformed lines are
+/// diverted to the returned [`Quarantine`] (source `"jsonl"`), as are
+/// duplicate elements and edges whose endpoints are missing — including
+/// endpoints that were themselves quarantined.
+pub fn from_jsonl_with_policy(
+    text: &str,
+    policy: ErrorPolicy,
+) -> Result<(PropertyGraph, Quarantine), ModelError> {
     let mut graph = PropertyGraph::new();
-    let mut pending_edges = Vec::new();
-    for (lineno, line) in text.lines().enumerate() {
+    let mut quarantine = Quarantine::new();
+    let mut pending_edges: Vec<(usize, String, Edge)> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let el: Element = serde_json::from_str(line).map_err(|e| ModelError::Parse {
-            message: format!("line {}: {e}", lineno + 1),
-        })?;
-        match el {
-            Element::Node(n) => {
-                graph.add_node(n)?;
+        match serde_json::from_str::<Element>(line) {
+            Ok(Element::Node(n)) => {
+                if let Err(e) = graph.add_node(n) {
+                    quarantine.divert(policy, "jsonl", lineno, e.to_string(), line)?;
+                }
             }
-            Element::Edge(e) => pending_edges.push(e),
+            Ok(Element::Edge(e)) => pending_edges.push((lineno, line.to_owned(), e)),
+            Err(e) => {
+                quarantine.divert(policy, "jsonl", lineno, e.to_string(), line)?;
+            }
         }
     }
-    for e in pending_edges {
-        graph.add_edge(e)?;
+    for (lineno, raw, e) in pending_edges {
+        if let Err(err) = graph.add_edge(e) {
+            quarantine.divert(policy, "jsonl", lineno, err.to_string(), &raw)?;
+        }
     }
-    Ok(graph)
+    Ok((graph, quarantine))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultyWriter};
     use pg_model::{Date, LabelSet, NodeId, PropertyValue};
 
     #[test]
@@ -86,6 +120,30 @@ mod tests {
     }
 
     #[test]
+    fn write_jsonl_streams_and_matches_to_jsonl() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("A"))).unwrap();
+        g.add_node(Node::new(2, LabelSet::single("B"))).unwrap();
+        g.add_edge(Edge::new(3, NodeId(1), NodeId(2), LabelSet::single("R")))
+            .unwrap();
+        let mut buf = Vec::new();
+        write_jsonl(&g, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_jsonl(&g));
+    }
+
+    #[test]
+    fn write_jsonl_propagates_io_errors() {
+        let mut g = PropertyGraph::new();
+        for i in 0..100 {
+            g.add_node(Node::new(i, LabelSet::single("N")).with_prop("k", i as i64))
+                .unwrap();
+        }
+        let mut w = FaultyWriter::new(Vec::new(), 64, FaultKind::Error);
+        let err = write_jsonl(&g, &mut w).unwrap_err();
+        assert_eq!(err.to_string(), "injected fault");
+    }
+
+    #[test]
     fn edges_before_nodes_are_buffered() {
         let mut g = PropertyGraph::new();
         g.add_node(Node::new(1, LabelSet::empty())).unwrap();
@@ -105,5 +163,31 @@ mod tests {
     fn malformed_lines_error_with_location() {
         let err = from_jsonl("{\"kind\":\"node\"").unwrap_err();
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn lenient_mode_quarantines_bad_lines_and_dangling_edges() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("P"))).unwrap();
+        g.add_node(Node::new(2, LabelSet::single("P"))).unwrap();
+        g.add_edge(Edge::new(10, NodeId(1), NodeId(2), LabelSet::single("K")))
+            .unwrap();
+        let mut text = to_jsonl(&g);
+        // Line 4: garbage. Line 5: edge to a node that never loads.
+        text.push_str("this is not json\n");
+        let dangling = Edge::new(11, NodeId(1), NodeId(999), LabelSet::single("K"));
+        text.push_str(&serde_json::to_string(&Element::Edge(dangling)).unwrap());
+        text.push('\n');
+        let (g2, q) = from_jsonl_with_policy(&text, ErrorPolicy::Skip).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.entries()[0].line, 4);
+        assert_eq!(q.entries()[1].line, 5);
+        assert!(q.entries()[1].reason.contains("unknown node"), "{q:?}");
+
+        // Strict policy on the same dirt fails at line 4.
+        let err = from_jsonl_with_policy(&text, ErrorPolicy::Strict).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
     }
 }

@@ -15,15 +15,22 @@
 //! * [`batch`] — the random batch splitter used by the incremental
 //!   experiments (§5, Figure 7).
 //! * [`query`] — degree aggregations used for cardinality inference.
+//! * [`ingest`] — lenient-loading error policies and the quarantine
+//!   report for malformed input lines.
+//! * [`faults`] — injectable-failure `Read`/`Write` wrappers for
+//!   fault-tolerance tests.
 
 pub mod batch;
 pub mod csv;
+pub mod faults;
 pub mod index;
+pub mod ingest;
 pub mod jsonl;
 pub mod load;
 pub mod memstore;
 pub mod query;
 
 pub use batch::{split_batches, GraphBatch};
+pub use ingest::{ErrorPolicy, Quarantine, QuarantineEntry};
 pub use load::{load, EdgeRecord, NodeRecord};
 pub use memstore::GraphStore;

@@ -1,0 +1,65 @@
+//! pg-synth scale sweep: generator throughput at 10k / 100k / 1M
+//! elements, plus discovery + STRICT validation on generated corpora at
+//! the two smaller scales (the oracle pipeline the CI smoke test runs
+//! end to end, measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pg_bench::bench_hive_config;
+use pg_hive::{validate, LshMethod, PgHive, SchemaMode};
+use pg_synth::{random_schema, synthesize, SchemaParams, SynthSpec};
+use std::hint::black_box;
+use std::time::Duration;
+
+const SEED: u64 = 42;
+
+fn spec_at(total: usize) -> SynthSpec {
+    let schema = random_schema(&SchemaParams::default(), SEED);
+    SynthSpec::new(schema).sized_for(total)
+}
+
+fn synth_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth_scale");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
+
+    // Generator throughput alone — the 1M point is the one the paper's
+    // larger corpora need; the generator is single-threaded by design
+    // (bit determinism), so this is the scaling ceiling to watch.
+    for total in [10_000usize, 100_000, 1_000_000] {
+        let spec = spec_at(total);
+        group.bench_with_input(BenchmarkId::new("generate", total), &spec, |b, spec| {
+            b.iter(|| black_box(synthesize(spec, SEED).graph.node_count()));
+        });
+    }
+
+    // Oracle pipeline on generated corpora: discovery, then STRICT
+    // validation against the declared schema.
+    for total in [10_000usize, 100_000] {
+        let spec = spec_at(total);
+        let out = synthesize(&spec, SEED);
+        group.bench_with_input(
+            BenchmarkId::new("discover", total),
+            &out.graph,
+            |b, graph| {
+                b.iter(|| {
+                    let result =
+                        PgHive::new(bench_hive_config(LshMethod::Elsh)).discover_graph(graph);
+                    black_box(result.schema.type_count())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("validate_strict", total),
+            &(&out.graph, &spec.schema),
+            |b, (graph, schema)| {
+                b.iter(|| black_box(validate(graph, schema, SchemaMode::Strict).violations.len()));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, synth_scale);
+criterion_main!(benches);

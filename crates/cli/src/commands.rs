@@ -217,6 +217,86 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             Ok(text)
         }
+
+        Command::Synth {
+            schema,
+            types,
+            out_dir,
+            size,
+            seed,
+            unlabeled,
+            missing_optional,
+            label_noise,
+            missing_mandatory,
+            jsonl,
+        } => {
+            let truth_schema = match schema {
+                Some(path) => read_schema(path)?,
+                None => pg_synth::random_schema(
+                    &pg_synth::SchemaParams {
+                        node_types: *types,
+                        edge_types: (*types * 3 / 4).max(1),
+                        ..Default::default()
+                    },
+                    *seed,
+                ),
+            };
+            let spec = pg_synth::SynthSpec::new(truth_schema)
+                .sized_for(*size)
+                .with_noise(pg_synth::NoiseProfile {
+                    unlabeled_fraction: *unlabeled,
+                    missing_optional_rate: *missing_optional,
+                    label_noise_rate: *label_noise,
+                    missing_mandatory_rate: *missing_mandatory,
+                });
+            let out = pg_synth::synthesize(&spec, *seed);
+            fs::create_dir_all(out_dir)
+                .map_err(|e| CliError::Failed(format!("creating {out_dir:?}: {e}")))?;
+            let mut written = if *jsonl {
+                let path = out_dir.join("graph.jsonl");
+                fs::write(&path, pg_store::jsonl::to_jsonl(&out.graph))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                vec![path]
+            } else {
+                let nodes = out_dir.join("nodes.csv");
+                let edges = out_dir.join("edges.csv");
+                fs::write(&nodes, pg_store::csv::nodes_to_csv(&out.graph))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                fs::write(&edges, pg_store::csv::edges_to_csv(&out.graph))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                vec![nodes, edges]
+            };
+            // The declared ground truth, in the same JSON the validate
+            // and diff commands read back.
+            let schema_path = out_dir.join("truth-schema.json");
+            fs::write(&schema_path, serialize::to_json(&spec.schema))
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            written.push(schema_path);
+            // The per-element type assignment, sorted for determinism.
+            let types_path = out_dir.join("truth-types.csv");
+            let mut lines = vec!["kind,id,type".to_owned()];
+            let mut node_rows: Vec<_> = out.truth.node_type.iter().collect();
+            node_rows.sort();
+            lines.extend(node_rows.iter().map(|(id, t)| format!("node,{},{t}", id.0)));
+            let mut edge_rows: Vec<_> = out.truth.edge_type.iter().collect();
+            edge_rows.sort();
+            lines.extend(edge_rows.iter().map(|(id, t)| format!("edge,{},{t}", id.0)));
+            fs::write(&types_path, lines.join("\n") + "\n")
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            written.push(types_path);
+
+            let mut text = format!(
+                "synthesized {} nodes, {} edges from {} node types, {} edge types (seed {seed}):\n",
+                out.graph.node_count(),
+                out.graph.edge_count(),
+                spec.schema.node_types.len(),
+                spec.schema.edge_types.len(),
+            );
+            for p in written {
+                let _ = writeln!(text, "  {}", p.display());
+            }
+            Ok(text)
+        }
     }
 }
 
@@ -532,6 +612,113 @@ mod tests {
                 .unwrap();
         assert!(graph.nodes().all(|n| n.labels.is_empty()));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn synth_discover_validate_round_trip() {
+        let dir = tmpdir("synthtrip");
+        let dir_s = dir.to_str().unwrap();
+
+        // 1. Synthesize a clean ground-truth corpus.
+        let out = run(&parse(&argv(&[
+            "synth",
+            "--out-dir",
+            dir_s,
+            "--types",
+            "4",
+            "--size",
+            "600",
+            "--seed",
+            "11",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("synthesized"), "{out}");
+        let nodes = dir.join("nodes.csv");
+        let edges = dir.join("edges.csv");
+        let truth_schema = dir.join("truth-schema.json");
+        assert!(nodes.exists() && edges.exists() && truth_schema.exists());
+        assert!(dir.join("truth-types.csv").exists());
+
+        // 2. The clean corpus STRICT-validates against its declared
+        // ground truth — the oracle baseline, via the CLI end to end.
+        let out = run(&parse(&argv(&[
+            "validate",
+            "--schema",
+            truth_schema.to_str().unwrap(),
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--mode",
+            "strict",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("VALID"), "{out}");
+
+        // 3. Discovery on the corpus, diffed against the ground truth:
+        // every declared type must be recovered (label sets match).
+        let discovered = dir.join("discovered.json");
+        run(&parse(&argv(&[
+            "discover",
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--format",
+            "json",
+            "--out",
+            discovered.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let diff_out = run(&parse(&argv(&[
+            "diff",
+            "--old",
+            truth_schema.to_str().unwrap(),
+            "--new",
+            discovered.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(
+            !diff_out.contains("- node type"),
+            "discovery lost a declared node type:\n{diff_out}"
+        );
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn synth_is_deterministic_across_runs() {
+        let a = tmpdir("synthdet-a");
+        let b = tmpdir("synthdet-b");
+        for dir in [&a, &b] {
+            run(&parse(&argv(&[
+                "synth",
+                "--out-dir",
+                dir.to_str().unwrap(),
+                "--size",
+                "400",
+                "--seed",
+                "3",
+                "--unlabeled",
+                "0.2",
+                "--jsonl",
+            ]))
+            .unwrap())
+            .unwrap();
+        }
+        for file in ["graph.jsonl", "truth-schema.json", "truth-types.csv"] {
+            assert_eq!(
+                fs::read_to_string(a.join(file)).unwrap(),
+                fs::read_to_string(b.join(file)).unwrap(),
+                "{file} differs between identical runs"
+            );
+        }
+        let _ = fs::remove_dir_all(&a);
+        let _ = fs::remove_dir_all(&b);
     }
 
     #[test]

@@ -78,6 +78,13 @@ state (corrupt checkpoints, crash during batch processing).
   stats     --nodes <csv> --edges <csv> | --jsonl <file>
   generate  --dataset <name> --out-dir <dir> [--scale <f>] [--seed <n>]
             [--noise <f>] [--label-availability <f>] [--jsonl]
+  synth     --out-dir <dir> [--schema <json> | --types <n>] [--size <n>]
+            [--seed <n>] [--unlabeled <f>] [--missing-optional <f>]
+            [--label-noise <f>] [--missing-mandatory <f>] [--jsonl]
+            (ground-truth corpus: generate a graph *from* a declared
+             schema — given by --schema or drawn randomly with --types
+             node types — plus truth-schema.json and truth-types.csv;
+             bit-deterministic for a fixed seed)
 ";
 
 /// Where to read a graph from.
@@ -200,6 +207,31 @@ pub enum Command {
         /// Emit JSON-lines instead of CSV.
         jsonl: bool,
     },
+    /// Generate a ground-truth synthetic corpus (pg-synth).
+    Synth {
+        /// Declared schema JSON (None = draw a random ground truth).
+        schema: Option<PathBuf>,
+        /// Node-type count for the random ground truth (ignored with
+        /// `--schema`).
+        types: usize,
+        /// Output directory.
+        out_dir: PathBuf,
+        /// Total element budget (nodes + edges) of the clean graph.
+        size: usize,
+        /// Seed (generation is bit-deterministic given schema + seed).
+        seed: u64,
+        /// Unlabeled-node fraction.
+        unlabeled: f64,
+        /// Missing-optional-property rate.
+        missing_optional: f64,
+        /// Spurious-label rate.
+        label_noise: f64,
+        /// Missing-MANDATORY-property rate (erodes the property
+        /// discriminator; the graph stops STRICT-conforming).
+        missing_mandatory: f64,
+        /// Emit JSON-lines instead of CSV.
+        jsonl: bool,
+    },
 }
 
 /// Parse argv (without the program name).
@@ -225,7 +257,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         if !flag.starts_with("--") {
             return Err(CliError::Usage(format!("unexpected argument {flag:?}")));
         }
-        if boolean_flags.contains(&flag) || (flag == "--jsonl" && cmd == "generate") {
+        if boolean_flags.contains(&flag)
+            || (flag == "--jsonl" && (cmd == "generate" || cmd == "synth"))
+        {
             switches.insert(flag.to_owned());
             i += 1;
         } else {
@@ -373,6 +407,46 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             label_availability: f64_flag("--label-availability", 1.0)?,
             jsonl: switches.contains("--jsonl"),
         }),
+        "synth" => {
+            let schema = path("--schema");
+            if schema.is_some() && flags.contains_key("--types") {
+                return Err(CliError::Usage(
+                    "--schema and --types are mutually exclusive".into(),
+                ));
+            }
+            let types = u64_flag("--types", 4)? as usize;
+            if types == 0 {
+                return Err(CliError::Usage("--types must be at least 1".into()));
+            }
+            let size = u64_flag("--size", 1_000)? as usize;
+            if size == 0 {
+                return Err(CliError::Usage("--size must be at least 1".into()));
+            }
+            for rate in [
+                "--unlabeled",
+                "--missing-optional",
+                "--label-noise",
+                "--missing-mandatory",
+            ] {
+                let v = f64_flag(rate, 0.0)?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(CliError::Usage(format!("{rate} must be in [0, 1]")));
+                }
+            }
+            Ok(Command::Synth {
+                schema,
+                types,
+                out_dir: path("--out-dir")
+                    .ok_or_else(|| CliError::Usage("--out-dir is required".into()))?,
+                size,
+                seed: u64_flag("--seed", 42)?,
+                unlabeled: f64_flag("--unlabeled", 0.0)?,
+                missing_optional: f64_flag("--missing-optional", 0.0)?,
+                label_noise: f64_flag("--label-noise", 0.0)?,
+                missing_mandatory: f64_flag("--missing-mandatory", 0.0)?,
+                jsonl: switches.contains("--jsonl"),
+            })
+        }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -564,6 +638,82 @@ mod tests {
                 assert!(jsonl);
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_synth() {
+        let c = parse(&args(&[
+            "synth",
+            "--out-dir",
+            "/tmp/x",
+            "--types",
+            "6",
+            "--size",
+            "5000",
+            "--seed",
+            "9",
+            "--unlabeled",
+            "0.2",
+            "--missing-optional",
+            "0.1",
+            "--missing-mandatory",
+            "0.05",
+            "--jsonl",
+        ]))
+        .unwrap();
+        match c {
+            Command::Synth {
+                schema,
+                types,
+                size,
+                seed,
+                unlabeled,
+                missing_optional,
+                label_noise,
+                missing_mandatory,
+                jsonl,
+                ..
+            } => {
+                assert_eq!(schema, None);
+                assert_eq!(types, 6);
+                assert_eq!(size, 5000);
+                assert_eq!(seed, 9);
+                assert_eq!(unlabeled, 0.2);
+                assert_eq!(missing_optional, 0.1);
+                assert_eq!(label_noise, 0.0);
+                assert_eq!(missing_mandatory, 0.05);
+                assert!(jsonl);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // --schema excludes --types; rates must be probabilities.
+        for bad in [
+            vec![
+                "synth",
+                "--out-dir",
+                "/tmp/x",
+                "--schema",
+                "s.json",
+                "--types",
+                "3",
+            ],
+            vec!["synth", "--out-dir", "/tmp/x", "--unlabeled", "1.5"],
+            vec![
+                "synth",
+                "--out-dir",
+                "/tmp/x",
+                "--missing-mandatory",
+                "-0.1",
+            ],
+            vec!["synth", "--out-dir", "/tmp/x", "--types", "0"],
+            vec!["synth", "--out-dir", "/tmp/x", "--size", "0"],
+            vec!["synth"],
+        ] {
+            assert!(
+                matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
         }
     }
 

@@ -205,6 +205,160 @@ fn kill_then_resume_reproduces_the_uninterrupted_schema() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Retention floor: `--checkpoint-keep 1` holds even through the
+/// emergency write (exactly one file survives the crash), and when a
+/// *newer* checkpoint file is garbage (a torn write), `--resume` skips
+/// it and still resumes from the emergency checkpoint — finishing with
+/// the uninterrupted run's byte-identical schema.
+#[test]
+fn keep_one_survives_crash_and_corrupt_newest() {
+    let dir = tmpdir("keepone");
+    let dir_s = dir.to_str().unwrap();
+    run(&parse(&argv(&[
+        "generate",
+        "--dataset",
+        "POLE",
+        "--out-dir",
+        dir_s,
+        "--scale",
+        "0.05",
+        "--jsonl",
+    ]))
+    .unwrap())
+    .unwrap();
+    let jsonl = dir.join("graph.jsonl");
+    let jsonl_s = jsonl.to_str().unwrap();
+    let ckpt_dir = dir.join("ckpt");
+
+    let full_path = dir.join("full.json");
+    run(&parse(&argv(&[
+        "discover",
+        "--jsonl",
+        jsonl_s,
+        "--batches",
+        "4",
+        "--format",
+        "json",
+        "--out",
+        full_path.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+
+    // Crash at batch 2 with per-batch checkpoints but retention 1: the
+    // periodic checkpoints are pruned as they rotate, and the emergency
+    // write prunes the last periodic one behind itself.
+    let err = run(&parse(&argv(&[
+        "discover",
+        "--jsonl",
+        jsonl_s,
+        "--batches",
+        "4",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--checkpoint-every",
+        "1",
+        "--checkpoint-keep",
+        "1",
+        "--kill-after-batch",
+        "2",
+    ]))
+    .unwrap())
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 4);
+    assert!(err.to_string().contains("emergency checkpoint ->"), "{err}");
+
+    let survivors: Vec<_> = fs::read_dir(&ckpt_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ckpt-") && n.ends_with(".pghive"))
+        .collect();
+    assert_eq!(
+        survivors.len(),
+        1,
+        "retention 1 must leave exactly the emergency checkpoint: {survivors:?}"
+    );
+
+    // A garbage file with a higher sequence number shadows the good one.
+    fs::write(ckpt_dir.join("ckpt-00000099.pghive"), b"torn write").unwrap();
+
+    let resumed_path = dir.join("resumed.json");
+    let text = run(&parse(&argv(&[
+        "discover",
+        "--jsonl",
+        jsonl_s,
+        "--batches",
+        "4",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--checkpoint-keep",
+        "1",
+        "--resume",
+        "--format",
+        "json",
+        "--out",
+        resumed_path.to_str().unwrap(),
+    ]))
+    .unwrap())
+    .unwrap();
+    assert!(text.contains("skipped corrupt checkpoint"), "{text}");
+    assert!(text.contains("ckpt-00000099"), "{text}");
+    assert!(
+        text.contains(&format!(
+            "resumed from {}",
+            ckpt_dir.join(&survivors[0]).display()
+        )),
+        "{text}"
+    );
+    assert!(text.contains("at batch 2/4"), "{text}");
+
+    let full = fs::read_to_string(&full_path).unwrap();
+    let resumed = fs::read_to_string(&resumed_path).unwrap();
+    assert_eq!(full, resumed, "resumed schema differs from uninterrupted");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `--resume` from a directory holding only corrupt checkpoint files is
+/// a state error (exit code 4) naming every file it tried — NOT a
+/// silent fresh start, which would quietly recompute and mask the loss.
+#[test]
+fn resume_from_only_corrupt_checkpoints_is_a_state_error() {
+    let dir = tmpdir("allcorrupt");
+    fs::write(dir.join("nodes.csv"), "id,labels\n1,P\n2,P\n").unwrap();
+    fs::write(dir.join("edges.csv"), "id,src,tgt,labels\n9,1,2,R\n").unwrap();
+    let ckpt_dir = dir.join("ckpt");
+    fs::create_dir_all(&ckpt_dir).unwrap();
+    fs::write(ckpt_dir.join("ckpt-00000000.pghive"), b"not a checkpoint").unwrap();
+    fs::write(
+        ckpt_dir.join("ckpt-00000001.pghive"),
+        b"PGHIVE-CKPT but truncated",
+    )
+    .unwrap();
+
+    let err = run(&parse(&argv(&[
+        "discover",
+        "--nodes",
+        dir.join("nodes.csv").to_str().unwrap(),
+        "--edges",
+        dir.join("edges.csv").to_str().unwrap(),
+        "--batches",
+        "2",
+        "--checkpoint-dir",
+        ckpt_dir.to_str().unwrap(),
+        "--resume",
+    ]))
+    .unwrap())
+    .unwrap_err();
+    assert!(matches!(err, CliError::State(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 4);
+    let msg = err.to_string();
+    assert!(msg.contains("no valid checkpoint found; tried 2"), "{msg}");
+    assert!(msg.contains("ckpt-00000000.pghive"), "{msg}");
+    assert!(msg.contains("ckpt-00000001.pghive"), "{msg}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// `--resume` on an empty checkpoint directory is a fresh start, not an
 /// error.
 #[test]

@@ -507,6 +507,41 @@ mod tests {
     }
 
     #[test]
+    fn retention_one_keeps_exactly_the_newest_and_recovers_past_corruption() {
+        let dir = tmpdir("retention-one");
+        let store = CheckpointStore::open(&dir).unwrap().with_retention(1);
+        let ckpt = small_checkpoint();
+        for _ in 0..3 {
+            store.save(&ckpt).unwrap();
+        }
+        let files = store.list().unwrap();
+        assert_eq!(files.len(), 1, "keep=1 retains a single file");
+        assert_eq!(files[0].0, 2, "and it is the newest sequence");
+
+        // Corrupt the sole survivor: resume must refuse (there is
+        // nothing valid to fall back to), not fabricate a fresh start.
+        fs::write(&files[0].1, b"scribbled over").unwrap();
+        match store.resume().unwrap_err() {
+            CheckpointError::NoValidCheckpoint { skipped } => assert_eq!(skipped.len(), 1),
+            other => panic!("wrong error {other}"),
+        }
+
+        // The next save sequences past the corrupt file, prunes it, and
+        // resume is healthy again.
+        store.save(&ckpt).unwrap();
+        let files = store.list().unwrap();
+        assert_eq!(files.len(), 1);
+        assert_eq!(
+            files[0].0, 3,
+            "sequence numbering continues past the corpse"
+        );
+        let outcome = store.resume().unwrap();
+        assert!(outcome.checkpoint.is_some());
+        assert!(outcome.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn resume_falls_back_past_a_corrupt_newest() {
         let dir = tmpdir("fallback");
         let store = CheckpointStore::open(&dir).unwrap();

@@ -1,30 +1,50 @@
-//! Schema diffing: structural comparison of two schema graphs.
+//! Schema diffing: structural comparison of two schema graphs, and the
+//! inverse operation of replaying a diff onto a base schema.
 //!
 //! Useful for tracking schema evolution across incremental batches (what
 //! did the last batch add?), for regression-testing discovery runs, and
 //! as the foundation for the paper's future-work item on handling
-//! updates and deletions.
+//! updates and deletions. The diff is *applicable*: [`apply`] replays
+//! `diff(old, new)` onto `old` and reproduces `new` up to type ids,
+//! instance counts, and type ordering — the round-trip the property
+//! tests in this module pin down.
 
-use pg_model::{EdgeType, LabelSet, NodeType, SchemaGraph, Symbol};
-use std::collections::BTreeSet;
+use pg_model::{Cardinality, EdgeType, LabelSet, NodeType, PropertySpec, SchemaGraph, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// A change to one property of a type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// A change to one property of a type. `Added` and `SpecChanged` carry
+/// the *new* specification so the change can be replayed.
+#[derive(Debug, Clone, PartialEq)]
 pub enum PropertyChange {
     /// The property exists only in the newer schema.
-    Added(Symbol),
+    Added(Symbol, PropertySpec),
     /// The property exists only in the older schema.
     Removed(Symbol),
-    /// Data type or presence changed.
-    SpecChanged(Symbol),
+    /// Data type or presence changed; carries the new spec.
+    SpecChanged(Symbol, PropertySpec),
 }
 
-/// A change to a node type (keyed by label set).
+impl PropertyChange {
+    /// The property key the change concerns.
+    pub fn key(&self) -> &Symbol {
+        match self {
+            PropertyChange::Added(k, _)
+            | PropertyChange::Removed(k)
+            | PropertyChange::SpecChanged(k, _) => k,
+        }
+    }
+}
+
+/// A change to a node type (keyed by label set; ABSTRACT types are
+/// keyed by their property-key set in the *old* schema).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeTypeDiff {
     /// The type's label set (the matching key).
     pub labels: LabelSet,
+    /// The old schema's property-key set: locates the type during
+    /// [`apply`] when `labels` is empty (ABSTRACT).
+    pub old_keys: BTreeSet<Symbol>,
     /// Property-level changes.
     pub properties: Vec<PropertyChange>,
 }
@@ -42,21 +62,26 @@ pub struct EdgeTypeDiff {
     pub properties: Vec<PropertyChange>,
     /// Whether the cardinality annotation changed.
     pub cardinality_changed: bool,
+    /// The new cardinality (meaningful only when `cardinality_changed`;
+    /// `None` then means the annotation was dropped).
+    pub new_cardinality: Option<Cardinality>,
 }
 
-/// The full diff `old → new`.
+/// The full diff `old → new`. Added types carry their complete
+/// definition; removed types carry the old definition (whose labels /
+/// key set identify what to delete on replay).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SchemaDiff {
     /// Node types present only in `new`.
-    pub added_node_types: Vec<LabelSet>,
+    pub added_node_types: Vec<NodeType>,
     /// Node types present only in `old`.
-    pub removed_node_types: Vec<LabelSet>,
+    pub removed_node_types: Vec<NodeType>,
     /// Node types present in both but changed.
     pub changed_node_types: Vec<NodeTypeDiff>,
-    /// Edge types present only in `new` (label + endpoints key).
-    pub added_edge_types: Vec<(LabelSet, LabelSet, LabelSet)>,
+    /// Edge types present only in `new`.
+    pub added_edge_types: Vec<EdgeType>,
     /// Edge types present only in `old`.
-    pub removed_edge_types: Vec<(LabelSet, LabelSet, LabelSet)>,
+    pub removed_edge_types: Vec<EdgeType>,
     /// Edge types present in both but changed.
     pub changed_edge_types: Vec<EdgeTypeDiff>,
 }
@@ -96,10 +121,10 @@ impl fmt::Display for SchemaDiff {
             return writeln!(f, "schemas are identical");
         }
         for t in &self.added_node_types {
-            writeln!(f, "+ node type {t}")?;
+            writeln!(f, "+ node type {}", t.labels)?;
         }
         for t in &self.removed_node_types {
-            writeln!(f, "- node type {t}")?;
+            writeln!(f, "- node type {}", t.labels)?;
         }
         for d in &self.changed_node_types {
             writeln!(
@@ -109,11 +134,19 @@ impl fmt::Display for SchemaDiff {
                 d.properties.len()
             )?;
         }
-        for (l, s, t) in &self.added_edge_types {
-            writeln!(f, "+ edge type {l} ({s} -> {t})")?;
+        for t in &self.added_edge_types {
+            writeln!(
+                f,
+                "+ edge type {} ({} -> {})",
+                t.labels, t.src_labels, t.tgt_labels
+            )?;
         }
-        for (l, s, t) in &self.removed_edge_types {
-            writeln!(f, "- edge type {l} ({s} -> {t})")?;
+        for t in &self.removed_edge_types {
+            writeln!(
+                f,
+                "- edge type {} ({} -> {})",
+                t.labels, t.src_labels, t.tgt_labels
+            )?;
         }
         for d in &self.changed_edge_types {
             writeln!(
@@ -132,21 +165,17 @@ impl fmt::Display for SchemaDiff {
     }
 }
 
-fn diff_properties(old: &NodeType, new: &NodeType) -> Vec<PropertyChange> {
-    diff_prop_maps(&old.properties, &new.properties)
-}
-
 fn diff_prop_maps(
-    old: &std::collections::BTreeMap<Symbol, pg_model::PropertySpec>,
-    new: &std::collections::BTreeMap<Symbol, pg_model::PropertySpec>,
+    old: &BTreeMap<Symbol, PropertySpec>,
+    new: &BTreeMap<Symbol, PropertySpec>,
 ) -> Vec<PropertyChange> {
     let mut out = Vec::new();
     let keys: BTreeSet<&Symbol> = old.keys().chain(new.keys()).collect();
     for k in keys {
         match (old.get(k), new.get(k)) {
-            (None, Some(_)) => out.push(PropertyChange::Added(k.clone())),
+            (None, Some(b)) => out.push(PropertyChange::Added(k.clone(), *b)),
             (Some(_), None) => out.push(PropertyChange::Removed(k.clone())),
-            (Some(a), Some(b)) if a != b => out.push(PropertyChange::SpecChanged(k.clone())),
+            (Some(a), Some(b)) if a != b => out.push(PropertyChange::SpecChanged(k.clone(), *b)),
             _ => {}
         }
     }
@@ -166,12 +195,13 @@ pub fn diff(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
     // --- Node types.
     for nt in &new.node_types {
         match old.node_types.iter().find(|o| node_matches(o, nt)) {
-            None => out.added_node_types.push(nt.labels.clone()),
+            None => out.added_node_types.push(nt.clone()),
             Some(o) => {
-                let props = diff_properties(o, nt);
+                let props = diff_prop_maps(&o.properties, &nt.properties);
                 if !props.is_empty() {
                     out.changed_node_types.push(NodeTypeDiff {
                         labels: nt.labels.clone(),
+                        old_keys: o.key_set(),
                         properties: props,
                     });
                 }
@@ -180,14 +210,14 @@ pub fn diff(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
     }
     for ot in &old.node_types {
         if !new.node_types.iter().any(|n| node_matches(ot, n)) {
-            out.removed_node_types.push(ot.labels.clone());
+            out.removed_node_types.push(ot.clone());
         }
     }
 
     // --- Edge types.
     for et in &new.edge_types {
         match old.edge_types.iter().find(|o| edge_key(o) == edge_key(et)) {
-            None => out.added_edge_types.push(edge_key(et)),
+            None => out.added_edge_types.push(et.clone()),
             Some(o) => {
                 let props = diff_prop_maps(&o.properties, &et.properties);
                 let cardinality_changed = o.cardinality != et.cardinality;
@@ -198,6 +228,7 @@ pub fn diff(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
                         tgt_labels: et.tgt_labels.clone(),
                         properties: props,
                         cardinality_changed,
+                        new_cardinality: et.cardinality,
                     });
                 }
             }
@@ -205,7 +236,7 @@ pub fn diff(old: &SchemaGraph, new: &SchemaGraph) -> SchemaDiff {
     }
     for ot in &old.edge_types {
         if !new.edge_types.iter().any(|n| edge_key(ot) == edge_key(n)) {
-            out.removed_edge_types.push(edge_key(ot));
+            out.removed_edge_types.push(ot.clone());
         }
     }
 
@@ -220,6 +251,82 @@ fn node_matches(a: &NodeType, b: &NodeType) -> bool {
     } else {
         a.labels == b.labels
     }
+}
+
+/// Whether a changed-type record addresses this (old-schema) node type.
+fn change_matches(c: &NodeTypeDiff, t: &NodeType) -> bool {
+    if c.labels.is_empty() && t.labels.is_empty() {
+        c.old_keys == t.key_set()
+    } else {
+        c.labels == t.labels
+    }
+}
+
+fn apply_prop_changes(props: &mut BTreeMap<Symbol, PropertySpec>, changes: &[PropertyChange]) {
+    for ch in changes {
+        match ch {
+            PropertyChange::Added(k, spec) | PropertyChange::SpecChanged(k, spec) => {
+                props.insert(k.clone(), *spec);
+            }
+            PropertyChange::Removed(k) => {
+                props.remove(k);
+            }
+        }
+    }
+}
+
+/// Replay a diff onto a base schema: `apply(old, &diff(old, new))`
+/// reproduces `new` up to type ids, instance counts, and the ordering
+/// of type lists (kept: surviving base order, then additions in diff
+/// order). Removals and changes that address no base type are silently
+/// skipped, so applying a diff twice is idempotent.
+pub fn apply(base: &SchemaGraph, d: &SchemaDiff) -> SchemaGraph {
+    let mut out = SchemaGraph::new();
+
+    for nt in &base.node_types {
+        if d.removed_node_types.iter().any(|r| node_matches(r, nt)) {
+            continue;
+        }
+        if d.added_node_types.iter().any(|a| node_matches(a, nt)) {
+            // The addition below supersedes the base definition.
+            continue;
+        }
+        let mut t = nt.clone();
+        if let Some(ch) = d.changed_node_types.iter().find(|c| change_matches(c, nt)) {
+            apply_prop_changes(&mut t.properties, &ch.properties);
+        }
+        out.push_node_type(t);
+    }
+    for nt in &d.added_node_types {
+        out.push_node_type(nt.clone());
+    }
+
+    for et in &base.edge_types {
+        let key = edge_key(et);
+        if d.removed_edge_types.iter().any(|r| edge_key(r) == key) {
+            continue;
+        }
+        if d.added_edge_types.iter().any(|a| edge_key(a) == key) {
+            continue;
+        }
+        let mut t = et.clone();
+        if let Some(ch) = d
+            .changed_edge_types
+            .iter()
+            .find(|c| (&c.labels, &c.src_labels, &c.tgt_labels) == (&key.0, &key.1, &key.2))
+        {
+            apply_prop_changes(&mut t.properties, &ch.properties);
+            if ch.cardinality_changed {
+                t.cardinality = ch.new_cardinality;
+            }
+        }
+        out.push_edge_type(t);
+    }
+    for et in &d.added_edge_types {
+        out.push_edge_type(et.clone());
+    }
+
+    out
 }
 
 #[cfg(test)]
@@ -252,30 +359,33 @@ mod tests {
         let mut new = SchemaGraph::new();
         new.push_node_type(node_type(&["B"], &["y"]));
         let d = diff(&old, &new);
-        assert_eq!(d.added_node_types, vec![LabelSet::single("B")]);
-        assert_eq!(d.removed_node_types, vec![LabelSet::single("A")]);
+        assert_eq!(d.added_node_types.len(), 1);
+        assert_eq!(d.added_node_types[0].labels, LabelSet::single("B"));
+        assert_eq!(d.removed_node_types.len(), 1);
+        assert_eq!(d.removed_node_types[0].labels, LabelSet::single("A"));
         assert!(!d.is_pure_extension());
     }
 
     #[test]
-    fn property_changes_detected() {
+    fn property_changes_detected_with_new_specs() {
         let mut old = SchemaGraph::new();
         old.push_node_type(node_type(&["A"], &["x"]));
         let mut new = SchemaGraph::new();
         let mut t = node_type(&["A"], &["x", "y"]);
-        t.properties.insert(
-            pg_model::sym("x"),
-            PropertySpec {
-                datatype: Some(pg_model::DataType::Int),
-                presence: None,
-            },
-        );
+        let int_spec = PropertySpec {
+            datatype: Some(pg_model::DataType::Int),
+            presence: None,
+        };
+        t.properties.insert(pg_model::sym("x"), int_spec);
         new.push_node_type(t);
         let d = diff(&old, &new);
         assert_eq!(d.changed_node_types.len(), 1);
         let changes = &d.changed_node_types[0].properties;
-        assert!(changes.contains(&PropertyChange::Added(pg_model::sym("y"))));
-        assert!(changes.contains(&PropertyChange::SpecChanged(pg_model::sym("x"))));
+        assert!(changes.contains(&PropertyChange::Added(
+            pg_model::sym("y"),
+            PropertySpec::default()
+        )));
+        assert!(changes.contains(&PropertyChange::SpecChanged(pg_model::sym("x"), int_spec)));
         assert!(d.is_pure_extension(), "additions + spec changes only");
     }
 
@@ -311,5 +421,29 @@ mod tests {
         let mut new = SchemaGraph::new();
         new.push_node_type(t);
         assert!(diff(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn apply_replays_added_removed_and_changed_types() {
+        let mut old = SchemaGraph::new();
+        old.push_node_type(node_type(&["A"], &["x"]));
+        old.push_node_type(node_type(&["Gone"], &["z"]));
+        let mut new = SchemaGraph::new();
+        let mut a = node_type(&["A"], &["x", "y"]);
+        a.properties.insert(
+            pg_model::sym("x"),
+            PropertySpec {
+                datatype: Some(pg_model::DataType::Str),
+                presence: None,
+            },
+        );
+        new.push_node_type(a);
+        new.push_node_type(node_type(&["B"], &["w"]));
+        let replayed = apply(&old, &diff(&old, &new));
+        assert!(
+            diff(&replayed, &new).is_empty(),
+            "{}",
+            diff(&replayed, &new)
+        );
     }
 }

@@ -67,7 +67,7 @@ pub use checkpoint::{CheckpointError, CheckpointStore, ResumeOutcome};
 pub use config::{
     DatatypeSampling, EmbeddingKind, HiveConfig, LshMethod, LshParams, MergeSimilarity,
 };
-pub use diff::{diff, SchemaDiff};
+pub use diff::{apply, diff, EdgeTypeDiff, NodeTypeDiff, PropertyChange, SchemaDiff};
 pub use incremental::{BatchTiming, HiveSession, SessionCheckpoint};
 pub use pipeline::{DiscoveryResult, PgHive};
 pub use serialize::SchemaMode;

@@ -1,0 +1,144 @@
+//! Round-trip property tests for schema diffing: `apply(A, diff(A, B))`
+//! must reproduce `B` up to the structural equivalence `diff` itself
+//! defines (type identity by label set / key set, ids and instance
+//! counts ignored), and `diff(A, A)` must always be empty.
+//!
+//! Schemas come from `pg-synth`'s `random_schema`, both as independent
+//! pairs (worst case: the diff is mostly removals + additions) and as
+//! seeded small evolutions of one schema (the realistic case: property
+//! spec changes, cardinality changes, dropped and added types).
+
+use pg_hive::{apply, diff};
+use pg_model::{sym, Cardinality, DataType, Presence, PropertySpec, SchemaGraph};
+use pg_synth::{random_schema, SchemaParams};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn params_strategy() -> impl Strategy<Value = SchemaParams> {
+    (1usize..6, 0usize..5, 0usize..4, 0.0f64..0.6, 0.0f64..0.8).prop_map(
+        |(node_types, edge_types, max_extra_props, multi_label_overlap, optional_rate)| {
+            SchemaParams {
+                node_types,
+                edge_types,
+                max_extra_props,
+                multi_label_overlap,
+                optional_rate,
+            }
+        },
+    )
+}
+
+/// A small seeded evolution of `base`: drop a node type, mutate property
+/// specs, change or clear a cardinality, and graft in a fresh type.
+fn evolve(base: &SchemaGraph, seed: u64) -> SchemaGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out = base.clone();
+
+    if out.node_types.len() > 1 && rng.gen_bool(0.5) {
+        let victim = rng.gen_range(0..out.node_types.len());
+        let gone = out.node_types.remove(victim);
+        // Types referencing the dropped one as an endpoint go with it.
+        out.edge_types
+            .retain(|et| et.src_labels != gone.labels && et.tgt_labels != gone.labels);
+    }
+
+    if let Some(t) = out.node_types.first_mut() {
+        // Widen one datatype and flip one presence.
+        if let Some((_, spec)) = t.properties.iter_mut().next() {
+            spec.datatype = Some(DataType::Str);
+        }
+        t.properties.insert(
+            sym("evolved_flag"),
+            PropertySpec {
+                datatype: Some(DataType::Bool),
+                presence: Some(Presence::Optional),
+            },
+        );
+    }
+
+    if let Some(et) = out.edge_types.first_mut() {
+        et.cardinality = if rng.gen_bool(0.5) {
+            None
+        } else {
+            Some(Cardinality {
+                max_out: rng.gen_range(1..10),
+                max_in: rng.gen_range(1..10),
+            })
+        };
+    }
+
+    // Graft in one node type from a disjoint generation so the diff also
+    // carries an addition (labels are index-suffixed, so a high-index
+    // generation cannot collide with `base`).
+    let donor = random_schema(
+        &SchemaParams {
+            node_types: 8,
+            edge_types: 0,
+            ..SchemaParams::default()
+        },
+        seed ^ 0xd1ff,
+    );
+    if let Some(extra) = donor.node_types.last() {
+        if !out.node_types.iter().any(|t| t.labels == extra.labels) {
+            out.node_types.push(extra.clone());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A schema never differs from itself.
+    #[test]
+    fn diff_self_is_empty(params in params_strategy(), seed in 0u64..1_000_000) {
+        let a = random_schema(&params, seed);
+        let d = diff(&a, &a);
+        prop_assert!(d.is_empty(), "self-diff not empty:\n{}", d);
+        // And replaying the empty diff changes nothing.
+        prop_assert!(diff(&apply(&a, &d), &a).is_empty());
+    }
+
+    /// Worst-case round trip: two unrelated schemas.
+    #[test]
+    fn apply_reproduces_unrelated_schema(
+        pa in params_strategy(),
+        pb in params_strategy(),
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        let a = random_schema(&pa, seed_a);
+        let b = random_schema(&pb, seed_b);
+        let d = diff(&a, &b);
+        let replayed = apply(&a, &d);
+        let residue = diff(&replayed, &b);
+        prop_assert!(
+            residue.is_empty(),
+            "replayed schema still differs from target:\n{}",
+            residue
+        );
+    }
+
+    /// Realistic round trip: `B` is a small evolution of `A`, so the diff
+    /// mixes property changes, cardinality changes, removals, additions.
+    #[test]
+    fn apply_reproduces_evolved_schema(
+        params in params_strategy(),
+        seed in 0u64..1_000_000,
+        evolution_seed in 0u64..1_000_000,
+    ) {
+        let a = random_schema(&params, seed);
+        let b = evolve(&a, evolution_seed);
+        let d = diff(&a, &b);
+        let replayed = apply(&a, &d);
+        let residue = diff(&replayed, &b);
+        prop_assert!(
+            residue.is_empty(),
+            "replayed evolution still differs from target:\n{}",
+            residue
+        );
+        // Replay is idempotent: applying the same diff twice is a no-op.
+        prop_assert!(diff(&apply(&replayed, &d), &b).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Property-based conformance tests for `validate` driven by `pg-synth`.
+//!
+//! The generator emits graphs that conform to their declared schema *by
+//! construction*, which turns validation testing into an exact science:
+//! a clean generated graph must produce **zero** violations in both
+//! modes, and a graph with exactly one conformance-breaking mutation
+//! must produce **exactly** the violation that mutation implies — the
+//! right variant, on the right element, and nothing else.
+
+use pg_hive::{validate, SchemaMode, Violation};
+use pg_model::{LabelSet, NodeId, Presence, PropertyValue};
+use pg_synth::{edge_instance, edge_type_name, random_schema, synthesize, SchemaParams, SynthSpec};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+
+fn params_strategy() -> impl Strategy<Value = SchemaParams> {
+    (2usize..6, 0usize..5, 0usize..4, 0.0f64..0.6, 0.0f64..0.8).prop_map(
+        |(node_types, edge_types, max_extra_props, multi_label_overlap, optional_rate)| {
+            SchemaParams {
+                node_types,
+                edge_types,
+                max_extra_props,
+                multi_label_overlap,
+                optional_rate,
+            }
+        },
+    )
+}
+
+/// The unique mandatory key every generated node type declares.
+fn mandatory_key(t: &pg_model::NodeType) -> pg_model::Symbol {
+    t.properties
+        .iter()
+        .find(|(_, spec)| spec.presence == Some(Presence::Mandatory))
+        .map(|(k, _)| k.clone())
+        .expect("every generated node type has a mandatory id property")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Untouched generated graphs are conformant in both modes.
+    #[test]
+    fn conforming_graph_has_zero_violations(params in params_strategy(), seed in 0u64..1_000_000) {
+        let spec = SynthSpec::new(random_schema(&params, seed));
+        let out = synthesize(&spec, seed);
+        for mode in [SchemaMode::Loose, SchemaMode::Strict] {
+            let report = validate(&out.graph, &spec.schema, mode);
+            prop_assert!(
+                report.is_valid(),
+                "clean graph not conformant under {:?}: {:?}",
+                mode,
+                report.violations
+            );
+        }
+    }
+
+    /// Dropping one mandatory property from one node yields exactly one
+    /// `MissingMandatory` on that node with that key — STRICT only.
+    #[test]
+    fn dropping_mandatory_property_is_the_only_violation(
+        params in params_strategy(),
+        seed in 0u64..1_000_000,
+        pick in 0usize..1_000,
+    ) {
+        let spec = SynthSpec::new(random_schema(&params, seed));
+        let mut out = synthesize(&spec, seed);
+
+        let t = &spec.schema.node_types[pick % spec.schema.node_types.len()];
+        let key = mandatory_key(t);
+        let victim = out.graph.nodes().find(|n| n.props.contains_key(&key)).unwrap().id;
+        for node in out.graph.nodes_mut() {
+            if node.id == victim {
+                node.props.remove(&key);
+            }
+        }
+
+        let strict = validate(&out.graph, &spec.schema, SchemaMode::Strict);
+        prop_assert_eq!(
+            strict.violations,
+            vec![Violation::MissingMandatory { node: victim, type_id: t.id, key }],
+            "expected exactly one MissingMandatory"
+        );
+        // LOOSE ignores presence constraints entirely.
+        prop_assert!(validate(&out.graph, &spec.schema, SchemaMode::Loose).is_valid());
+    }
+
+    /// Retyping one value (the Int id becomes a Str) yields exactly one
+    /// `DatatypeMismatch` with the declared/observed pair.
+    #[test]
+    fn retyping_a_value_is_the_only_violation(
+        params in params_strategy(),
+        seed in 0u64..1_000_000,
+        pick in 0usize..1_000,
+    ) {
+        let spec = SynthSpec::new(random_schema(&params, seed));
+        let mut out = synthesize(&spec, seed);
+
+        let t = &spec.schema.node_types[pick % spec.schema.node_types.len()];
+        // The id property: mandatory AND Int-declared, so a Str value is
+        // not admitted (retyping a Str-declared property would be legal —
+        // Str is the lattice top).
+        let key = t
+            .properties
+            .iter()
+            .find(|(_, spec)| {
+                spec.presence == Some(Presence::Mandatory)
+                    && spec.datatype == Some(pg_model::DataType::Int)
+            })
+            .map(|(k, _)| k.clone())
+            .expect("every generated node type has a mandatory Int id");
+        let victim = out.graph.nodes().find(|n| n.props.contains_key(&key)).unwrap().id;
+        for node in out.graph.nodes_mut() {
+            if node.id == victim {
+                node.props.insert(key.clone(), PropertyValue::Str("oops".into()));
+            }
+        }
+
+        let strict = validate(&out.graph, &spec.schema, SchemaMode::Strict);
+        prop_assert_eq!(
+            strict.violations,
+            vec![Violation::DatatypeMismatch {
+                element: victim.0,
+                key,
+                declared: pg_model::DataType::Int,
+                observed: pg_model::DataType::Str,
+            }],
+            "expected exactly one DatatypeMismatch"
+        );
+    }
+
+    /// Adding conforming edges from one source until its distinct
+    /// out-neighbor count exceeds the declared bound yields exactly one
+    /// `CardinalityExceeded` on the out side for that source.
+    #[test]
+    fn exceeding_out_cardinality_is_the_only_violation(
+        params in (2usize..6, 1usize..5, 0usize..4).prop_map(|(n, e, p)| SchemaParams {
+            node_types: n,
+            edge_types: e,
+            max_extra_props: p,
+            ..SchemaParams::default()
+        }),
+        seed in 0u64..1_000_000,
+        pick in 0usize..1_000,
+    ) {
+        let mut spec = SynthSpec::new(random_schema(&params, seed));
+        // A sparse wiring leaves plenty of spare in-capacity for the
+        // extra edges the mutation adds.
+        spec.nodes_per_type = 40;
+        spec.edges_per_type = 8;
+        let mut out = synthesize(&spec, seed);
+
+        let bounded: Vec<_> = spec
+            .schema
+            .edge_types
+            .iter()
+            .filter(|et| et.cardinality.is_some())
+            .collect();
+        prop_assume!(!bounded.is_empty());
+        let et = bounded[pick % bounded.len()];
+        let card = et.cardinality.unwrap();
+        let name = edge_type_name(et);
+
+        // Current distinct out-neighbors and in-sources among this
+        // type's edges (clean graphs match edges to their generator).
+        let mut out_nb: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+        let mut in_src: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+        for e in out.graph.edges() {
+            if out.truth.edge_type.get(&e.id).map(String::as_str) == Some(name.as_str()) {
+                out_nb.entry(e.src).or_default().insert(e.tgt);
+                in_src.entry(e.tgt).or_default().insert(e.src);
+            }
+        }
+
+        let src_type = spec.schema.node_types.iter().find(|t| t.labels == et.src_labels).unwrap();
+        let tgt_type = spec.schema.node_types.iter().find(|t| t.labels == et.tgt_labels).unwrap();
+        let sources = out.truth.nodes_of(&pg_synth::node_type_name(src_type));
+        let targets = out.truth.nodes_of(&pg_synth::node_type_name(tgt_type));
+
+        let s = sources[pick % sources.len()];
+        let have = out_nb.get(&s).map_or(0, HashSet::len) as u64;
+        let need = (card.max_out + 1 - have) as usize;
+        let candidates: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|t| {
+                *t != s
+                    && !out_nb.get(&s).is_some_and(|nb| nb.contains(t))
+                    && (in_src.get(t).map_or(0, HashSet::len) as u64) < card.max_in
+            })
+            .take(need)
+            .collect();
+        prop_assume!(candidates.len() == need);
+
+        let first_free = out.graph.edges().map(|e| e.id.0).max().map_or(0, |m| m + 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ca1e);
+        for (next_id, t) in (first_free..).zip(candidates) {
+            let edge = edge_instance(next_id, et, s, t, &spec.values, &mut rng);
+            out.graph.add_edge(edge).unwrap();
+        }
+
+        let strict = validate(&out.graph, &spec.schema, SchemaMode::Strict);
+        prop_assert_eq!(
+            strict.violations,
+            vec![Violation::CardinalityExceeded {
+                type_id: et.id,
+                node: s,
+                out_side: true,
+                observed: card.max_out + 1,
+                bound: card.max_out,
+            }],
+            "expected exactly one out-side CardinalityExceeded"
+        );
+        // Cardinality is a STRICT-only constraint.
+        prop_assert!(validate(&out.graph, &spec.schema, SchemaMode::Loose).is_valid());
+    }
+
+    /// Relabeling one isolated node to a label no type declares yields
+    /// exactly one `NodeHasNoType` — in both modes, since typing is the
+    /// one constraint LOOSE also enforces.
+    #[test]
+    fn foreign_label_is_the_only_violation(
+        params in (2usize..6, 0usize..4).prop_map(|(n, p)| SchemaParams {
+            node_types: n,
+            edge_types: 0, // isolated nodes: no endpoint checks in play
+            max_extra_props: p,
+            ..SchemaParams::default()
+        }),
+        seed in 0u64..1_000_000,
+        pick in 0usize..1_000,
+    ) {
+        let spec = SynthSpec::new(random_schema(&params, seed));
+        let mut out = synthesize(&spec, seed);
+
+        let ids: Vec<NodeId> = out.graph.nodes().map(|n| n.id).collect();
+        let victim = ids[pick % ids.len()];
+        for node in out.graph.nodes_mut() {
+            if node.id == victim {
+                node.labels = LabelSet::single("ZZ_Undeclared");
+            }
+        }
+
+        for mode in [SchemaMode::Loose, SchemaMode::Strict] {
+            let report = validate(&out.graph, &spec.schema, mode);
+            prop_assert_eq!(
+                report.violations.clone(),
+                vec![Violation::NodeHasNoType { node: victim }],
+                "expected exactly one NodeHasNoType under {:?}",
+                mode
+            );
+        }
+    }
+
+    /// Merely *stripping* labels is not a violation: node/type matching
+    /// uses subset semantics (∅ ⊆ anything), and the generated types
+    /// stay identifiable through their unique mandatory property keys.
+    #[test]
+    fn stripping_labels_alone_stays_conformant(
+        params in params_strategy(),
+        seed in 0u64..1_000_000,
+        pick in 0usize..1_000,
+    ) {
+        let spec = SynthSpec::new(random_schema(&params, seed));
+        let mut out = synthesize(&spec, seed);
+
+        let ids: Vec<NodeId> = out.graph.nodes().map(|n| n.id).collect();
+        let victim = ids[pick % ids.len()];
+        for node in out.graph.nodes_mut() {
+            if node.id == victim {
+                node.labels = LabelSet::empty();
+            }
+        }
+
+        let report = validate(&out.graph, &spec.schema, SchemaMode::Strict);
+        prop_assert!(
+            report.is_valid(),
+            "label stripping should not violate subset-semantics typing: {:?}",
+            report.violations
+        );
+    }
+}

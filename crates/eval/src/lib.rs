@@ -13,6 +13,9 @@
 //! * [`runner`] — one evaluation *cell*: generate a dataset twin, inject
 //!   noise, run a method (PG-HIVE-ELSH, PG-HIVE-MinHash, GMMSchema,
 //!   SchemI), score it, time it.
+//! * [`oracle`] — the correctness oracle: pg-synth graphs generated from
+//!   a declared schema, scored against their exact ground truth
+//!   (F1\* = 1.0 and zero STRICT violations when noise-free).
 //! * [`report`] — plain-text table/heatmap rendering.
 //!
 //! One binary per figure/table regenerates the corresponding artifact:
@@ -22,11 +25,13 @@
 
 pub mod args;
 pub mod f1;
+pub mod oracle;
 pub mod ranks;
 pub mod report;
 pub mod runner;
 pub mod sampling_error;
 
 pub use f1::{majority_f1, F1Score};
+pub use oracle::{noise_curve, run_oracle, CurvePoint, OracleResult};
 pub use ranks::{average_ranks, nemenyi_critical_difference};
 pub use runner::{run_cell, CellResult, CellSpec, Method};

@@ -1,0 +1,346 @@
+//! Generator specifications: what to synthesize, and random
+//! ground-truth schemas to synthesize from.
+
+use crate::profile::{NoiseProfile, ValueModel};
+use pg_model::{
+    sym, Cardinality, DataType, EdgeType, LabelSet, NodeType, Presence, PropertySpec, SchemaGraph,
+    TypeId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A full generation request: the declared ground-truth schema plus
+/// sizing, noise, and value-distribution knobs.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// The ground truth. Every generated element is an instance of one
+    /// of these types.
+    pub schema: SchemaGraph,
+    /// Instances generated per node type.
+    pub nodes_per_type: usize,
+    /// Instances requested per edge type (capped by the type's
+    /// cardinality bounds and the available endpoints).
+    pub edges_per_type: usize,
+    /// Noise applied on top of the clean graph.
+    pub noise: NoiseProfile,
+    /// Value distributions per data type.
+    pub values: ValueModel,
+}
+
+impl SynthSpec {
+    /// A spec with default sizing (30 nodes per type, 40 edges per
+    /// type) and no noise.
+    pub fn new(schema: SchemaGraph) -> SynthSpec {
+        SynthSpec {
+            schema,
+            nodes_per_type: 30,
+            edges_per_type: 40,
+            noise: NoiseProfile::clean(),
+            values: ValueModel::default(),
+        }
+    }
+
+    /// Builder-style noise profile.
+    pub fn with_noise(mut self, noise: NoiseProfile) -> SynthSpec {
+        self.noise = noise;
+        self
+    }
+
+    /// Size the per-type counts so the clean graph holds roughly
+    /// `total_elements` nodes + edges (used by the CLI and the scale
+    /// sweeps; the edge count can fall short when cardinality bounds
+    /// saturate first).
+    pub fn sized_for(mut self, total_elements: usize) -> SynthSpec {
+        let nt = self.schema.node_types.len().max(1);
+        let et = self.schema.edge_types.len();
+        // Split elements half nodes, half edges (all nodes if no edge
+        // types are declared).
+        let node_share = if et == 0 {
+            total_elements
+        } else {
+            total_elements / 2
+        };
+        self.nodes_per_type = (node_share / nt).max(1);
+        self.edges_per_type = (total_elements - node_share)
+            .checked_div(et)
+            .map_or(0, |per| per.max(1));
+        self
+    }
+}
+
+/// Shape of a randomly drawn ground-truth schema. The invariants the
+/// oracle relies on are enforced by construction:
+///
+/// * every node type has a unique primary label and a unique mandatory
+///   `<primary>_id` INT property, so label sets are pairwise distinct
+///   and never subset-related, and property-key sets identify types
+///   even after labels are stripped;
+/// * every edge type has a unique label and a single source/target
+///   node type.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaParams {
+    /// Number of node types.
+    pub node_types: usize,
+    /// Number of edge types.
+    pub edge_types: usize,
+    /// Maximum shared-pool properties added to a node type (on top of
+    /// the unique id property).
+    pub max_extra_props: usize,
+    /// Probability that a node type carries the shared secondary label
+    /// (multi-label overlap).
+    pub multi_label_overlap: f64,
+    /// Probability that a pool property is OPTIONAL rather than
+    /// MANDATORY.
+    pub optional_rate: f64,
+}
+
+impl Default for SchemaParams {
+    fn default() -> Self {
+        SchemaParams {
+            node_types: 4,
+            edge_types: 3,
+            max_extra_props: 3,
+            multi_label_overlap: 0.3,
+            optional_rate: 0.4,
+        }
+    }
+}
+
+/// Per-edge-type cardinality profile: the declared `(max_out, max_in)`
+/// bounds the generator wires edges within.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardinalityProfile {
+    /// `(1, 1)` — a partial matching.
+    OneToOne,
+    /// `(3, 1)` — fan-out, unique sources per target.
+    FanOut,
+    /// `(1, 3)` — fan-in, unique target per source.
+    FanIn,
+    /// `(3, 3)` — bounded many-to-many.
+    ManyToMany,
+    /// No declared bound (the generator still keeps fan-out/fan-in
+    /// modest so observed cardinalities stay meaningful).
+    Unbounded,
+}
+
+impl CardinalityProfile {
+    /// The declared bound, if any.
+    pub fn declared(&self) -> Option<Cardinality> {
+        let (max_out, max_in) = match self {
+            CardinalityProfile::OneToOne => (1, 1),
+            CardinalityProfile::FanOut => (3, 1),
+            CardinalityProfile::FanIn => (1, 3),
+            CardinalityProfile::ManyToMany => (3, 3),
+            CardinalityProfile::Unbounded => return None,
+        };
+        Some(Cardinality { max_out, max_in })
+    }
+
+    fn all() -> [CardinalityProfile; 5] {
+        [
+            CardinalityProfile::OneToOne,
+            CardinalityProfile::FanOut,
+            CardinalityProfile::FanIn,
+            CardinalityProfile::ManyToMany,
+            CardinalityProfile::Unbounded,
+        ]
+    }
+}
+
+const PRIMARY_NAMES: [&str; 8] = [
+    "Person", "Org", "Place", "Event", "Device", "Paper", "Account", "Tag",
+];
+const EDGE_NAMES: [&str; 8] = [
+    "KNOWS",
+    "WORKS_AT",
+    "LOCATED_IN",
+    "ATTENDED",
+    "OWNS",
+    "CITES",
+    "FOLLOWS",
+    "TAGGED",
+];
+/// Shared-pool node properties: `(key, datatype)`. Data types are fixed
+/// per key so independently drawn types stay mergeable.
+const NODE_PROP_POOL: [(&str, DataType); 8] = [
+    ("name", DataType::Str),
+    ("score", DataType::Float),
+    ("active", DataType::Bool),
+    ("since", DataType::Date),
+    ("updated", DataType::DateTime),
+    ("note", DataType::Str),
+    ("rank", DataType::Int),
+    ("ratio", DataType::Float),
+];
+const EDGE_PROP_POOL: [(&str, DataType); 3] = [
+    ("weight", DataType::Float),
+    ("from", DataType::Date),
+    ("count", DataType::Int),
+];
+/// The shared secondary label (multi-label overlap knob).
+pub const OVERLAP_LABEL: &str = "Entity";
+
+/// Draw a random ground-truth schema. Deterministic in `(params, seed)`.
+pub fn random_schema(params: &SchemaParams, seed: u64) -> SchemaGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut schema = SchemaGraph::new();
+
+    for i in 0..params.node_types.max(1) {
+        let primary = format!("{}{i}", PRIMARY_NAMES[i % PRIMARY_NAMES.len()]);
+        let mut labels = vec![primary.clone()];
+        if rng.gen_bool(params.multi_label_overlap.clamp(0.0, 1.0)) {
+            labels.push(OVERLAP_LABEL.to_owned());
+        }
+        let mut t = NodeType::new(
+            TypeId(0),
+            LabelSet::from_iter(labels.iter().map(String::as_str)),
+            [],
+        );
+        // The unique, mandatory id property: keeps the type identifiable
+        // from its property keys alone and gives every type a non-string
+        // mandatory property for the mutation tests to target.
+        t.properties.insert(
+            sym(&format!("{}_id", primary.to_lowercase())),
+            PropertySpec {
+                datatype: Some(DataType::Int),
+                presence: Some(Presence::Mandatory),
+            },
+        );
+        let extra = rng.gen_range(0..=params.max_extra_props.min(NODE_PROP_POOL.len()));
+        let mut pool: Vec<usize> = (0..NODE_PROP_POOL.len()).collect();
+        rand::seq::SliceRandom::shuffle(&mut pool[..], &mut rng);
+        for &p in pool.iter().take(extra) {
+            let (key, dt) = NODE_PROP_POOL[p];
+            t.properties.insert(
+                sym(key),
+                PropertySpec {
+                    datatype: Some(dt),
+                    presence: Some(if rng.gen_bool(params.optional_rate.clamp(0.0, 1.0)) {
+                        Presence::Optional
+                    } else {
+                        Presence::Mandatory
+                    }),
+                },
+            );
+        }
+        schema.push_node_type(t);
+    }
+
+    for i in 0..params.edge_types {
+        let label = format!("{}{i}", EDGE_NAMES[i % EDGE_NAMES.len()]);
+        let src = rng.gen_range(0..schema.node_types.len());
+        let tgt = rng.gen_range(0..schema.node_types.len());
+        let mut t = EdgeType::new(
+            TypeId(0),
+            LabelSet::single(&label),
+            [],
+            schema.node_types[src].labels.clone(),
+            schema.node_types[tgt].labels.clone(),
+        );
+        let profiles = CardinalityProfile::all();
+        t.cardinality = profiles[rng.gen_range(0..profiles.len())].declared();
+        let extra = rng.gen_range(0..=2usize.min(EDGE_PROP_POOL.len()));
+        let mut pool: Vec<usize> = (0..EDGE_PROP_POOL.len()).collect();
+        rand::seq::SliceRandom::shuffle(&mut pool[..], &mut rng);
+        for &p in pool.iter().take(extra) {
+            let (key, dt) = EDGE_PROP_POOL[p];
+            t.properties.insert(
+                sym(key),
+                PropertySpec {
+                    datatype: Some(dt),
+                    presence: Some(if rng.gen_bool(params.optional_rate.clamp(0.0, 1.0)) {
+                        Presence::Optional
+                    } else {
+                        Presence::Mandatory
+                    }),
+                },
+            );
+        }
+        schema.push_edge_type(t);
+    }
+
+    schema
+}
+
+/// Ground-truth name of a node type: its sorted labels joined with `&`,
+/// or `ABSTRACT[key,…]` for unlabeled types. Distinct types in a
+/// [`random_schema`] always get distinct names.
+pub fn node_type_name(t: &NodeType) -> String {
+    if t.labels.is_empty() {
+        let keys: Vec<&str> = t.properties.keys().map(|k| k.as_ref()).collect();
+        format!("ABSTRACT[{}]", keys.join(","))
+    } else {
+        let labels: Vec<&str> = t.labels.iter().map(|l| l.as_ref()).collect();
+        labels.join("&")
+    }
+}
+
+/// Ground-truth name of an edge type: labels plus endpoint labels (two
+/// edge types may share a label but differ in endpoints).
+pub fn edge_type_name(t: &EdgeType) -> String {
+    let join = |ls: &LabelSet| {
+        let v: Vec<&str> = ls.iter().map(|l| l.as_ref()).collect();
+        v.join("&")
+    };
+    format!(
+        "{}({}->{})",
+        join(&t.labels),
+        join(&t.src_labels),
+        join(&t.tgt_labels)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn random_schema_is_deterministic() {
+        let p = SchemaParams::default();
+        assert_eq!(random_schema(&p, 7), random_schema(&p, 7));
+    }
+
+    #[test]
+    fn random_schema_type_keys_are_unique_and_not_subset_related() {
+        for seed in 0..30u64 {
+            let s = random_schema(&SchemaParams::default(), seed);
+            let labels: BTreeSet<String> =
+                s.node_types.iter().map(|t| t.labels.to_string()).collect();
+            assert_eq!(labels.len(), s.node_types.len(), "seed {seed}");
+            for a in &s.node_types {
+                for b in &s.node_types {
+                    if a.id != b.id {
+                        assert!(!a.labels.is_subset_of(&b.labels), "seed {seed}");
+                        assert_ne!(a.key_set(), b.key_set(), "seed {seed}");
+                    }
+                }
+            }
+            let edge_labels: BTreeSet<String> =
+                s.edge_types.iter().map(|t| t.labels.to_string()).collect();
+            assert_eq!(edge_labels.len(), s.edge_types.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_type_has_a_mandatory_int_property() {
+        let s = random_schema(&SchemaParams::default(), 3);
+        for t in &s.node_types {
+            assert!(t
+                .properties
+                .values()
+                .any(|p| p.datatype == Some(DataType::Int)
+                    && p.presence == Some(Presence::Mandatory)));
+        }
+    }
+
+    #[test]
+    fn sized_for_hits_the_requested_scale() {
+        let s = random_schema(&SchemaParams::default(), 1);
+        let spec = SynthSpec::new(s).sized_for(10_000);
+        let nodes = spec.nodes_per_type * spec.schema.node_types.len();
+        let edges = spec.edges_per_type * spec.schema.edge_types.len();
+        let total = nodes + edges;
+        assert!((8_000..=12_000).contains(&total), "total {total}");
+    }
+}

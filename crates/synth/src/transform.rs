@@ -1,0 +1,179 @@
+//! Metamorphic transforms: graph rewrites that must not change what a
+//! schema-discovery run sees, up to renaming.
+//!
+//! * [`permute_ids`] — relabel element ids by a random permutation and
+//!   shuffle insertion order. Discovery output must induce the same
+//!   partition (modulo the id map).
+//! * [`rename_graph_labels`] / [`rename_schema_labels`] — apply an
+//!   injective label renaming. Discovery output must be the same schema
+//!   with labels renamed.
+
+use pg_model::{EdgeId, LabelSet, NodeId, PropertyGraph, SchemaGraph};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Permute node and edge ids by a seeded random permutation and shuffle
+/// insertion order. Returns the rewritten graph plus the old→new id
+/// maps (so ground-truth assignments can follow along via
+/// [`crate::TypeAssignment::remapped`]).
+pub fn permute_ids(
+    graph: &PropertyGraph,
+    seed: u64,
+) -> (
+    PropertyGraph,
+    HashMap<NodeId, NodeId>,
+    HashMap<EdgeId, EdgeId>,
+) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let node_ids: Vec<NodeId> = graph.nodes().map(|n| n.id).collect();
+    let mut node_perm = node_ids.clone();
+    node_perm.shuffle(&mut rng);
+    let node_map: HashMap<NodeId, NodeId> = node_ids
+        .iter()
+        .copied()
+        .zip(node_perm.iter().copied())
+        .collect();
+
+    let edge_ids: Vec<EdgeId> = graph.edges().map(|e| e.id).collect();
+    let mut edge_perm = edge_ids.clone();
+    edge_perm.shuffle(&mut rng);
+    let edge_map: HashMap<EdgeId, EdgeId> = edge_ids
+        .iter()
+        .copied()
+        .zip(edge_perm.iter().copied())
+        .collect();
+
+    let mut node_order: Vec<usize> = (0..node_ids.len()).collect();
+    node_order.shuffle(&mut rng);
+    let mut edge_order: Vec<usize> = (0..edge_ids.len()).collect();
+    edge_order.shuffle(&mut rng);
+
+    let nodes: Vec<_> = graph.nodes().collect();
+    let edges: Vec<_> = graph.edges().collect();
+    let mut out = PropertyGraph::with_capacity(nodes.len(), edges.len());
+    for i in node_order {
+        let mut n = nodes[i].clone();
+        n.id = node_map[&n.id];
+        out.add_node(n).expect("a permutation keeps ids unique");
+    }
+    for i in edge_order {
+        let mut e = edges[i].clone();
+        e.id = edge_map[&e.id];
+        e.src = node_map[&e.src];
+        e.tgt = node_map[&e.tgt];
+        out.add_edge(e).expect("permuted endpoints exist");
+    }
+    (out, node_map, edge_map)
+}
+
+fn map_labels(ls: &LabelSet, rename: &dyn Fn(&str) -> String) -> LabelSet {
+    LabelSet::from_iter(ls.iter().map(|l| rename(l.as_ref())))
+}
+
+/// Apply a label renaming to every node and edge. The renaming should
+/// be injective on the labels actually used, or distinct types may
+/// collapse.
+pub fn rename_graph_labels(
+    graph: &PropertyGraph,
+    rename: &dyn Fn(&str) -> String,
+) -> PropertyGraph {
+    let mut out = PropertyGraph::with_capacity(graph.node_count(), graph.edge_count());
+    for n in graph.nodes() {
+        let mut n = n.clone();
+        n.labels = map_labels(&n.labels, rename);
+        out.add_node(n).expect("ids unchanged by renaming");
+    }
+    for e in graph.edges() {
+        let mut e = e.clone();
+        e.labels = map_labels(&e.labels, rename);
+        out.add_edge(e).expect("ids unchanged by renaming");
+    }
+    out
+}
+
+/// Apply the same renaming to a schema (type labels and edge endpoint
+/// labels), producing the expected discovery output for a renamed graph.
+pub fn rename_schema_labels(schema: &SchemaGraph, rename: &dyn Fn(&str) -> String) -> SchemaGraph {
+    let mut s = schema.clone();
+    for t in &mut s.node_types {
+        t.labels = map_labels(&t.labels, rename);
+    }
+    for t in &mut s.edge_types {
+        t.labels = map_labels(&t.labels, rename);
+        t.src_labels = map_labels(&t.src_labels, rename);
+        t.tgt_labels = map_labels(&t.tgt_labels, rename);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{random_schema, SchemaParams};
+    use crate::{synthesize, SynthSpec};
+    use std::collections::BTreeSet;
+
+    fn sample() -> crate::SynthOutput {
+        let schema = random_schema(&SchemaParams::default(), 11);
+        synthesize(&SynthSpec::new(schema), 11)
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_preserving_structure() {
+        let out = sample();
+        let (permuted, node_map, edge_map) = permute_ids(&out.graph, 42);
+        assert_eq!(permuted.node_count(), out.graph.node_count());
+        assert_eq!(permuted.edge_count(), out.graph.edge_count());
+        let new_ids: BTreeSet<_> = node_map.values().collect();
+        assert_eq!(new_ids.len(), node_map.len(), "node map is injective");
+        let new_eids: BTreeSet<_> = edge_map.values().collect();
+        assert_eq!(new_eids.len(), edge_map.len(), "edge map is injective");
+        for n in out.graph.nodes() {
+            let moved = permuted.node(node_map[&n.id]).expect("mapped node exists");
+            assert_eq!(moved.labels, n.labels);
+            assert_eq!(moved.props, n.props);
+        }
+        for e in out.graph.edges() {
+            let moved = permuted.edge(edge_map[&e.id]).expect("mapped edge exists");
+            assert_eq!(moved.src, node_map[&e.src]);
+            assert_eq!(moved.tgt, node_map[&e.tgt]);
+            assert_eq!(moved.labels, e.labels);
+        }
+    }
+
+    #[test]
+    fn renaming_back_is_identity_on_labels() {
+        let out = sample();
+        let fwd = |l: &str| format!("X_{l}");
+        let back = |l: &str| l.strip_prefix("X_").unwrap_or(l).to_owned();
+        let renamed = rename_graph_labels(&out.graph, &fwd);
+        let restored = rename_graph_labels(&renamed, &back);
+        for (a, b) in out.graph.nodes().zip(restored.nodes()) {
+            assert_eq!(a.labels, b.labels);
+        }
+        for (a, b) in out.graph.edges().zip(restored.edges()) {
+            assert_eq!(a.labels, b.labels);
+        }
+    }
+
+    #[test]
+    fn schema_renaming_tracks_graph_renaming() {
+        let schema = random_schema(&SchemaParams::default(), 13);
+        let fwd = |l: &str| format!("Z{l}");
+        let renamed = rename_schema_labels(&schema, &fwd);
+        assert_eq!(renamed.node_types.len(), schema.node_types.len());
+        for (a, b) in schema.node_types.iter().zip(renamed.node_types.iter()) {
+            assert_eq!(a.labels.len(), b.labels.len());
+            for l in b.labels.iter() {
+                assert!(l.as_ref().starts_with('Z'));
+            }
+        }
+        for (a, b) in schema.edge_types.iter().zip(renamed.edge_types.iter()) {
+            assert_eq!(a.src_labels.len(), b.src_labels.len());
+            assert_eq!(a.tgt_labels.len(), b.tgt_labels.len());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! HTTP load generator for pg-serve: N concurrent clients streaming
+//! synthetic JSONL batches into their own live sessions, reporting
+//! ingest latency percentiles and row throughput.
+//!
+//! Against an external server (CI smoke, manual runs):
+//!
+//! ```text
+//! load_gen --addr 127.0.0.1:8686 --clients 2 --batches 5
+//! ```
+//!
+//! Without `--addr` an in-process server is started on an ephemeral
+//! port, loaded, and shut down — a self-contained benchmark run.
+
+use pg_serve::{Client, Server, ServerConfig};
+use pg_store::jsonl::Element;
+use pg_synth::{random_schema, synthesize, SchemaParams, SynthSpec};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    addr: Option<SocketAddr>,
+    clients: usize,
+    batches: usize,
+    rows: usize,
+    seed: u64,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        addr: None,
+        clients: 4,
+        batches: 20,
+        rows: 200,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{} requires a value", args[i]))?;
+        match args[i].as_str() {
+            "--addr" => {
+                opts.addr = Some(value.parse().map_err(|_| format!("bad --addr {value:?}"))?)
+            }
+            "--clients" => opts.clients = parse_num(value, "--clients")?,
+            "--batches" => opts.batches = parse_num(value, "--batches")?,
+            "--batch-rows" => opts.rows = parse_num(value, "--batch-rows")?,
+            "--seed" => opts.seed = parse_num(value, "--seed")? as u64,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if opts.clients == 0 || opts.batches == 0 || opts.rows == 0 {
+        return Err("--clients, --batches, and --batch-rows must be at least 1".into());
+    }
+    Ok(opts)
+}
+
+fn parse_num(value: &str, flag: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} must be an integer, got {value:?}"))
+}
+
+/// The JSONL bodies one client will post: nodes first, then edges, cut
+/// into `batches` bodies of ~`rows` lines.
+fn client_bodies(client_id: usize, opts: &Opts) -> Vec<String> {
+    let seed = opts.seed ^ (client_id as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    let schema = random_schema(&SchemaParams::default(), seed);
+    let target = opts.batches * opts.rows;
+    let graph = synthesize(&SynthSpec::new(schema).sized_for(target), seed).graph;
+    let mut lines: Vec<String> = graph
+        .nodes()
+        .map(|n| serde_json::to_string(&Element::Node(n.clone())).unwrap())
+        .collect();
+    lines.extend(
+        graph
+            .edges()
+            .map(|e| serde_json::to_string(&Element::Edge(e.clone())).unwrap()),
+    );
+    lines
+        .chunks(lines.len().div_ceil(opts.batches).max(1))
+        .map(|c| c.join("\n"))
+        .collect()
+}
+
+struct ClientReport {
+    latencies: Vec<Duration>,
+    rows: usize,
+    errors: usize,
+    final_hash: String,
+}
+
+fn run_client(addr: SocketAddr, client_id: usize, opts: &Opts, go: &Barrier) -> ClientReport {
+    let bodies = client_bodies(client_id, opts);
+    let session = format!("load-{client_id}");
+    let mut client = Client::new(addr);
+    let resp = client
+        .post(
+            "/sessions",
+            format!("{{\"name\":\"{session}\"}}").as_bytes(),
+        )
+        .expect("create session");
+    assert!(
+        resp.status == 201 || resp.status == 409,
+        "creating {session}: {}",
+        resp.text()
+    );
+    let path = format!("/sessions/{session}/ingest");
+    let mut report = ClientReport {
+        latencies: Vec::with_capacity(bodies.len()),
+        rows: 0,
+        errors: 0,
+        final_hash: String::new(),
+    };
+    go.wait();
+    for body in &bodies {
+        let rows = body.lines().count();
+        let started = Instant::now();
+        match client.post(&path, body.as_bytes()) {
+            Ok(resp) if resp.status == 200 => {
+                report.latencies.push(started.elapsed());
+                report.rows += rows;
+                if let Ok(v) = resp.json() {
+                    if let Some(h) = v.get("hash").and_then(|h| h.as_str()) {
+                        report.final_hash = h.to_owned();
+                    }
+                }
+            }
+            Ok(resp) => {
+                report.errors += 1;
+                eprintln!("{session}: HTTP {} — {}", resp.status, resp.text());
+            }
+            Err(e) => {
+                report.errors += 1;
+                eprintln!("{session}: {e}");
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!(
+                "load_gen: {e}\nusage: load_gen [--addr ip:port] [--clients N] \
+                 [--batches N] [--batch-rows N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    // Either target the given server or bring up our own.
+    let mut local: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)> = None;
+    let addr = match opts.addr {
+        Some(addr) => addr,
+        None => {
+            let flag = Arc::new(AtomicBool::new(false));
+            let server = Server::bind(ServerConfig::default(), Arc::clone(&flag))
+                .expect("bind in-process server");
+            let addr = server.local_addr();
+            let handle = std::thread::spawn(move || {
+                server.run().expect("in-process server run");
+            });
+            local = Some((flag, handle));
+            addr
+        }
+    };
+
+    let go = Arc::new(Barrier::new(opts.clients));
+    let opts = Arc::new(opts);
+    let wall = Instant::now();
+    let reports: Vec<ClientReport> = {
+        let threads: Vec<_> = (0..opts.clients)
+            .map(|id| {
+                let go = Arc::clone(&go);
+                let opts = Arc::clone(&opts);
+                std::thread::spawn(move || run_client(addr, id, &opts, &go))
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("client thread"))
+            .collect()
+    };
+    let wall = wall.elapsed();
+
+    let mut latencies: Vec<Duration> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort();
+    let rows: usize = reports.iter().map(|r| r.rows).sum();
+    let errors: usize = reports.iter().map(|r| r.errors).sum();
+
+    println!(
+        "pg-serve load_gen: {} clients x {} batches x ~{} rows (seed {})",
+        opts.clients, opts.batches, opts.rows, opts.seed
+    );
+    println!("  target          {addr}");
+    println!("  rows ingested   {rows}");
+    println!("  wall time       {:.2} s", wall.as_secs_f64());
+    println!(
+        "  throughput      {:.0} rows/s",
+        rows as f64 / wall.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "  ingest latency  p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms   max {:.2} ms",
+        ms(percentile(&latencies, 0.50)),
+        ms(percentile(&latencies, 0.95)),
+        ms(percentile(&latencies, 0.99)),
+        ms(latencies.last().copied().unwrap_or_default()),
+    );
+    println!("  http errors     {errors}");
+    for (id, r) in reports.iter().enumerate() {
+        println!("  session load-{id}: final hash {}", r.final_hash);
+    }
+
+    if let Some((flag, handle)) = local {
+        flag.store(true, Ordering::SeqCst);
+        handle.join().expect("server thread");
+    }
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -297,6 +297,63 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             Ok(text)
         }
+
+        Command::Serve {
+            addr,
+            state_dir,
+            workers,
+            queue,
+            max_body_mb,
+            checkpoint_every,
+            checkpoint_keep,
+        } => {
+            let addr: std::net::SocketAddr = addr
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--addr {addr:?} is not ip:port")))?;
+            let config = pg_serve::ServerConfig {
+                addr,
+                workers: *workers,
+                queue: *queue,
+                max_body: max_body_mb * 1024 * 1024,
+                state_dir: state_dir.clone(),
+                checkpoint_every: *checkpoint_every,
+                checkpoint_keep: *checkpoint_keep,
+                ..pg_serve::ServerConfig::default()
+            };
+            let flag = pg_serve::shutdown_flag();
+            pg_serve::install_signal_handlers(&flag);
+            let server = pg_serve::Server::bind(config, flag)
+                .map_err(|e| CliError::Failed(format!("binding {addr}: {e}")))?;
+            // Announce the resolved address before blocking so scripts
+            // (and the e2e tests) can discover an ephemeral port.
+            println!("listening on {}", server.local_addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            let summary = server
+                .run()
+                .map_err(|e| CliError::Failed(format!("serving: {e}")))?;
+            if !summary.persist_failures.is_empty() {
+                return Err(CliError::State(format!(
+                    "final checkpoint failed for {} session(s): {}",
+                    summary.persist_failures.len(),
+                    summary
+                        .persist_failures
+                        .iter()
+                        .map(|(n, e)| format!("{n}: {e}"))
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )));
+            }
+            Ok(format!(
+                "shut down cleanly: {} connection(s) served, {} session(s) persisted\n",
+                summary.connections, summary.sessions_persisted
+            ))
+        }
+
+        Command::Hash { schema } => {
+            let schema = read_schema(schema)?;
+            Ok(format!("{}\n", serialize::content_hash_hex(&schema)))
+        }
     }
 }
 

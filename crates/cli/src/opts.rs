@@ -85,6 +85,17 @@ state (corrupt checkpoints, crash during batch processing).
              schema — given by --schema or drawn randomly with --types
              node types — plus truth-schema.json and truth-types.csv;
              bit-deterministic for a fixed seed)
+  serve     [--addr <ip:port>] [--state-dir <dir>] [--workers <n>]
+            [--queue <n>] [--max-body-mb <n>] [--checkpoint-every <n>]
+            [--checkpoint-keep <k>]
+            (HTTP server hosting live discovery sessions; with
+             --state-dir sessions checkpoint on cadence and at graceful
+             shutdown (SIGINT/SIGTERM) and a restart resumes them
+             bit-identically; --addr with port 0 picks a free port,
+             printed as \"listening on <ip:port>\" at startup)
+  hash      --schema <json>
+            (print the canonical schema content hash — the same value
+             the server reports and embeds in ETags)
 ";
 
 /// Where to read a graph from.
@@ -231,6 +242,28 @@ pub enum Command {
         missing_mandatory: f64,
         /// Emit JSON-lines instead of CSV.
         jsonl: bool,
+    },
+    /// Run the pg-serve HTTP server.
+    Serve {
+        /// Listen address (`ip:port`; port 0 = ephemeral).
+        addr: String,
+        /// Durable session state directory (None = in-memory only).
+        state_dir: Option<PathBuf>,
+        /// Worker threads.
+        workers: usize,
+        /// Accept-queue depth before 503s start.
+        queue: usize,
+        /// Largest accepted request body, in MiB.
+        max_body_mb: usize,
+        /// Default batches between cadence checkpoints.
+        checkpoint_every: u64,
+        /// Checkpoints retained per session.
+        checkpoint_keep: usize,
+    },
+    /// Print the canonical content hash of a schema JSON file.
+    Hash {
+        /// Path to the schema JSON.
+        schema: PathBuf,
     },
 }
 
@@ -447,6 +480,34 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 jsonl: switches.contains("--jsonl"),
             })
         }
+        "serve" => {
+            let checkpoint_every = u64_flag("--checkpoint-every", 8)?;
+            if checkpoint_every == 0 {
+                return Err(CliError::Usage(
+                    "--checkpoint-every must be at least 1".into(),
+                ));
+            }
+            let max_body_mb = u64_flag("--max-body-mb", 64)? as usize;
+            if max_body_mb == 0 {
+                return Err(CliError::Usage("--max-body-mb must be at least 1".into()));
+            }
+            Ok(Command::Serve {
+                addr: flags
+                    .get("--addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:8686".into()),
+                state_dir: path("--state-dir"),
+                workers: u64_flag("--workers", 4)?.max(1) as usize,
+                queue: u64_flag("--queue", 64)?.max(1) as usize,
+                max_body_mb,
+                checkpoint_every,
+                checkpoint_keep: u64_flag("--checkpoint-keep", 4)?.max(1) as usize,
+            })
+        }
+        "hash" => Ok(Command::Hash {
+            schema: path("--schema")
+                .ok_or_else(|| CliError::Usage("--schema is required".into()))?,
+        }),
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -796,6 +857,72 @@ mod tests {
                 matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
                 "{bad:?} should be a usage error"
             );
+        }
+    }
+
+    #[test]
+    fn parse_serve_and_hash() {
+        match parse(&args(&["serve"])).unwrap() {
+            Command::Serve {
+                addr,
+                state_dir,
+                workers,
+                queue,
+                max_body_mb,
+                checkpoint_every,
+                checkpoint_keep,
+            } => {
+                assert_eq!(addr, "127.0.0.1:8686");
+                assert_eq!(state_dir, None);
+                assert_eq!(workers, 4);
+                assert_eq!(queue, 64);
+                assert_eq!(max_body_mb, 64);
+                assert_eq!(checkpoint_every, 8);
+                assert_eq!(checkpoint_keep, 4);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:0",
+            "--state-dir",
+            "/tmp/sessions",
+            "--workers",
+            "2",
+            "--max-body-mb",
+            "8",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                state_dir,
+                workers,
+                max_body_mb,
+                ..
+            } => {
+                assert_eq!(addr, "0.0.0.0:0");
+                assert_eq!(state_dir, Some(PathBuf::from("/tmp/sessions")));
+                assert_eq!(workers, 2);
+                assert_eq!(max_body_mb, 8);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        for bad in [
+            vec!["serve", "--checkpoint-every", "0"],
+            vec!["serve", "--max-body-mb", "0"],
+            vec!["serve", "--workers", "x"],
+            vec!["hash"],
+        ] {
+            assert!(
+                matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
+        match parse(&args(&["hash", "--schema", "s.json"])).unwrap() {
+            Command::Hash { schema } => assert_eq!(schema, PathBuf::from("s.json")),
+            other => panic!("wrong command {other:?}"),
         }
     }
 

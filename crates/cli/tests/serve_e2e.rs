@@ -1,0 +1,189 @@
+//! End-to-end `pg-hive serve` test against the real binary: start a
+//! durable server, push half a graph, SIGINT it mid-stream, restart,
+//! push the rest, and require the final schema content hash to equal
+//! offline one-shot discovery — the acceptance bar for the serving
+//! layer. Also exercises `pg-hive hash` on the served schema JSON.
+
+#![cfg(unix)]
+
+use pg_hive::serialize::content_hash_hex;
+use pg_hive::{HiveConfig, PgHive};
+use pg_serve::Client;
+use pg_store::jsonl::Element;
+use pg_synth::{random_schema, synthesize, SchemaParams, SynthSpec};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pg-hive-serve-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A `pg-hive serve` child process plus the address it announced.
+struct ServeProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+fn spawn_server(state_dir: &std::path::Path) -> ServeProc {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pg-hive"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--state-dir",
+            state_dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn pg-hive serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read startup line");
+    let addr: SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line {line:?}"))
+        .parse()
+        .expect("parse announced address");
+    // Keep draining stdout so the child never blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while reader.read_line(&mut sink).is_ok_and(|n| n > 0) {
+            sink.clear();
+        }
+    });
+    ServeProc { child, addr }
+}
+
+fn sigint(child: &Child) {
+    let status = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -INT failed");
+}
+
+fn ingest_ok(client: &mut Client, path: &str, body: &str) {
+    let resp = client.post(path, body.as_bytes()).expect("ingest");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+}
+
+#[test]
+fn sigint_mid_stream_then_restart_matches_offline_discovery() {
+    let state = tmpdir("state");
+
+    // The workload: a synthetic graph whose offline one-shot schema is
+    // the ground truth the served sessions must reproduce bit-for-bit.
+    let truth = random_schema(&SchemaParams::default(), 5);
+    let graph = synthesize(&SynthSpec::new(truth).sized_for(200), 55).graph;
+    let offline = PgHive::new(HiveConfig::default()).discover_graph(&graph);
+    let expected = content_hash_hex(&offline.schema);
+
+    let node_lines: Vec<String> = graph
+        .nodes()
+        .map(|n| serde_json::to_string(&Element::Node(n.clone())).unwrap())
+        .collect();
+    let edge_lines: Vec<String> = graph
+        .edges()
+        .map(|e| serde_json::to_string(&Element::Edge(e.clone())).unwrap())
+        .collect();
+    let node_batches: Vec<String> = node_lines.chunks(25).map(|c| c.join("\n")).collect();
+    assert!(
+        node_batches.len() >= 2,
+        "need batches on both sides of the restart"
+    );
+    let split = node_batches.len() / 2;
+
+    // Phase 1: create the session, push the first half of the node
+    // batches, then SIGINT the server between batches.
+    let server = spawn_server(&state);
+    let mut client = Client::new(server.addr);
+    let resp = client
+        .post("/sessions", br#"{"name":"e2e"}"#)
+        .expect("create session");
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    for body in &node_batches[..split] {
+        ingest_ok(&mut client, "/sessions/e2e/ingest", body);
+    }
+    drop(client);
+    sigint(&server.child);
+    let status = {
+        let mut child = server.child;
+        child.wait().expect("wait for server")
+    };
+    assert!(
+        status.success(),
+        "graceful SIGINT shutdown must exit 0, got {status:?}"
+    );
+
+    // Phase 2: a fresh process resumes the session from the state dir;
+    // push the remaining nodes, then the edges.
+    let server = spawn_server(&state);
+    let mut client = Client::new(server.addr);
+    let summary = client
+        .get("/sessions/e2e")
+        .expect("session summary")
+        .json()
+        .expect("summary JSON");
+    assert_eq!(
+        summary.get("batches"),
+        Some(&serde::Value::U64(split as u64)),
+        "restart lost batches: {summary:?}"
+    );
+    for body in &node_batches[split..] {
+        ingest_ok(&mut client, "/sessions/e2e/ingest", body);
+    }
+    ingest_ok(&mut client, "/sessions/e2e/ingest", &edge_lines.join("\n"));
+
+    let summary = client
+        .get("/sessions/e2e")
+        .expect("session summary")
+        .json()
+        .expect("summary JSON");
+    let served_hash = summary
+        .get("hash")
+        .and_then(|h| h.as_str())
+        .expect("hash in summary")
+        .to_owned();
+    assert_eq!(
+        served_hash, expected,
+        "schema served after SIGINT + restart diverged from offline discovery"
+    );
+
+    // `pg-hive hash` agrees: feed it the schema JSON the server returns.
+    let resp = client
+        .get("/sessions/e2e/schema")
+        .expect("fetch schema JSON");
+    assert_eq!(resp.status, 200);
+    let schema_path = state.join("served-schema.json");
+    std::fs::write(&schema_path, &resp.body).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pg-hive"))
+        .args(["hash", "--schema", schema_path.to_str().unwrap()])
+        .output()
+        .expect("run pg-hive hash");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim(),
+        expected,
+        "hash subcommand disagrees with the served hash"
+    );
+
+    drop(client);
+    sigint(&server.child);
+    let mut child = server.child;
+    assert!(child.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&state);
+}

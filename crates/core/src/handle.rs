@@ -1,0 +1,546 @@
+//! Thread-safe live-session handle used by the serving layer.
+//!
+//! A [`SharedSession`] wraps a [`HiveSession`] behind a mutex together
+//! with everything a *stream* (as opposed to a file) needs on top of the
+//! batch pipeline:
+//!
+//! * a cumulative `NodeId → LabelSet` index so edge endpoint labels can
+//!   be resolved against every node seen so far (the offline loader
+//!   resolves against the full graph; a live session can only resolve
+//!   against history),
+//! * duplicate-element tracking with the same quarantine semantics the
+//!   offline lenient loaders apply,
+//! * a content-addressed [`SchemaHistory`] driven after every batch,
+//! * a panic boundary: if the discovery engine panics mid-batch the
+//!   session is marked broken (its in-memory state can no longer be
+//!   trusted) instead of poisoning the lock — callers get a structured
+//!   error and the last durable checkpoint stays authoritative.
+//!
+//! All of the stream-side state ([`SessionAux`]) is serializable so a
+//! serving process can persist it next to the engine's
+//! [`SessionCheckpoint`] and restore the whole handle bit-identically.
+
+use crate::config::HiveConfig;
+use crate::incremental::{BatchTiming, HiveSession, SessionCheckpoint};
+use crate::serialize::{SchemaHistory, SchemaVersion};
+use pg_model::{LabelSet, ModelError, SchemaGraph};
+use pg_store::jsonl::Element;
+use pg_store::{EdgeRecord, ErrorPolicy, NodeRecord, Quarantine};
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Why an ingest call did not apply its batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// The error policy aborted the batch (Strict, or a Cap exceeded).
+    /// Nothing was applied: session state is exactly as before the call.
+    Rejected(ModelError),
+    /// The discovery engine panicked while processing this batch; the
+    /// in-memory session state is no longer trustworthy and the session
+    /// refuses further work. Resume from the last durable checkpoint.
+    Engine(String),
+    /// The session was already marked broken by an earlier engine
+    /// failure.
+    Broken(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Rejected(e) => write!(f, "batch rejected: {e}"),
+            IngestError::Engine(m) => write!(f, "discovery engine failed: {m}"),
+            IngestError::Broken(m) => {
+                write!(f, "session is broken (earlier engine failure: {m})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Result of one applied ingest batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestOutcome {
+    /// 0-based batch index the elements were processed as.
+    pub batch_index: usize,
+    /// Nodes accepted into the batch.
+    pub nodes: usize,
+    /// Edges accepted into the batch.
+    pub edges: usize,
+    /// Elements diverted to the quarantine by this call.
+    pub quarantined: usize,
+    /// Schema version after the batch.
+    pub version: u64,
+    /// Schema content hash (hex) after the batch.
+    pub hash: String,
+    /// Whether the batch changed the schema (minted a new version).
+    pub changed: bool,
+    /// Engine timing for the batch.
+    pub timing: BatchTiming,
+}
+
+/// Result of a version lookup in the session's history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VersionLookup {
+    /// The version is retained; here is its entry.
+    Found(SchemaVersion),
+    /// The version existed but was evicted from the bounded history.
+    Evicted,
+    /// The version was never assigned.
+    NeverExisted,
+}
+
+/// Serializable stream-side state of a [`SharedSession`] — everything
+/// beyond the engine's own [`SessionCheckpoint`] that a restart needs to
+/// be bit-identical: version history, the endpoint-label index, and the
+/// duplicate-tracking sets.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionAux {
+    /// Content-addressed schema version history.
+    pub history: SchemaHistory,
+    /// Cumulative `NodeId → LabelSet` index (pair list for stable JSON).
+    pub node_labels: Vec<(u64, LabelSet)>,
+    /// Edge ids seen so far (duplicate detection).
+    pub seen_edges: Vec<u64>,
+}
+
+struct Inner {
+    session: HiveSession,
+    history: SchemaHistory,
+    node_labels: HashMap<u64, LabelSet>,
+    seen_edges: HashSet<u64>,
+    broken: Option<String>,
+}
+
+/// A mutex-guarded live discovery session. See the module docs.
+pub struct SharedSession {
+    inner: Mutex<Inner>,
+}
+
+impl SharedSession {
+    /// Start an empty session retaining at most `retain` schema versions.
+    pub fn new(config: HiveConfig, retain: usize) -> SharedSession {
+        let mut history = SchemaHistory::new(retain);
+        let session = HiveSession::new(config);
+        // Version 1 is the empty schema: a session is pollable (and
+        // diffable-from) before its first batch arrives.
+        history.observe(session.schema());
+        SharedSession {
+            inner: Mutex::new(Inner {
+                session,
+                history,
+                node_labels: HashMap::new(),
+                seen_edges: HashSet::new(),
+                broken: None,
+            }),
+        }
+    }
+
+    /// Restore a session from its engine checkpoint plus stream-side
+    /// state, continuing batch numbering and the version counter.
+    pub fn restore(config: HiveConfig, checkpoint: SessionCheckpoint, aux: SessionAux) -> Self {
+        SharedSession {
+            inner: Mutex::new(Inner {
+                session: HiveSession::restore(config, checkpoint),
+                history: aux.history,
+                node_labels: aux.node_labels.into_iter().collect(),
+                seen_edges: aux.seen_edges.into_iter().collect(),
+                broken: None,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // The engine panic boundary in `ingest` means no code path
+        // panics while holding the lock, so poisoning is unreachable;
+        // recover defensively anyway rather than propagating a panic
+        // into a serving thread.
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Ingest one batch of parsed JSONL elements (with their 1-based
+    /// line numbers) under `policy`.
+    ///
+    /// Semantic dirt — duplicate node/edge ids, edges whose endpoints
+    /// were never seen (neither in history nor earlier in this batch) —
+    /// is diverted to `quarantine` with the same reasons the offline
+    /// lenient loaders produce. Edges may precede their endpoints
+    /// *within* a batch (they are buffered, like the offline JSONL
+    /// loader), but not across batches: a stream cannot wait forever.
+    ///
+    /// The batch is transactional: if the policy aborts, no element of
+    /// the batch reaches the engine and the session is unchanged.
+    pub fn ingest(
+        &self,
+        elements: &[(usize, Element)],
+        policy: ErrorPolicy,
+        quarantine: &mut Quarantine,
+        source: &str,
+    ) -> Result<IngestOutcome, IngestError> {
+        let mut inner = self.lock();
+        if let Some(m) = &inner.broken {
+            return Err(IngestError::Broken(m.clone()));
+        }
+        let before_quarantine = quarantine.len();
+
+        // Stage: semantic checks against cumulative + staged state.
+        let mut staged_nodes: Vec<NodeRecord> = Vec::new();
+        let mut staged_labels: HashMap<u64, LabelSet> = HashMap::new();
+        let mut pending_edges: Vec<(usize, pg_model::Edge)> = Vec::new();
+        let divert = |q: &mut Quarantine, line: usize, err: ModelError, raw: String| {
+            q.divert(policy, source, line, err.to_string(), &raw)
+                .map_err(IngestError::Rejected)
+        };
+        for (line, el) in elements {
+            match el {
+                Element::Node(n) => {
+                    let id = n.id.0;
+                    if inner.node_labels.contains_key(&id) || staged_labels.contains_key(&id) {
+                        divert(
+                            quarantine,
+                            *line,
+                            ModelError::DuplicateNode { node: id },
+                            render(el),
+                        )?;
+                    } else {
+                        staged_labels.insert(id, n.labels.clone());
+                        staged_nodes.push(n.clone());
+                    }
+                }
+                Element::Edge(e) => pending_edges.push((*line, e.clone())),
+            }
+        }
+        let mut staged_edges: Vec<EdgeRecord> = Vec::new();
+        let mut staged_edge_ids: HashSet<u64> = HashSet::new();
+        for (line, e) in pending_edges {
+            let id = e.id.0;
+            if inner.seen_edges.contains(&id) || staged_edge_ids.contains(&id) {
+                divert(
+                    quarantine,
+                    line,
+                    ModelError::DuplicateEdge { edge: id },
+                    render(&Element::Edge(e)),
+                )?;
+                continue;
+            }
+            let lookup = |nid: pg_model::NodeId| -> Option<LabelSet> {
+                staged_labels
+                    .get(&nid.0)
+                    .or_else(|| inner.node_labels.get(&nid.0))
+                    .cloned()
+            };
+            let (src_labels, tgt_labels) = match (lookup(e.src), lookup(e.tgt)) {
+                (Some(s), Some(t)) => (s, t),
+                (None, _) => {
+                    divert(
+                        quarantine,
+                        line,
+                        ModelError::DanglingEndpoint { node: e.src.0 },
+                        render(&Element::Edge(e)),
+                    )?;
+                    continue;
+                }
+                (_, None) => {
+                    divert(
+                        quarantine,
+                        line,
+                        ModelError::DanglingEndpoint { node: e.tgt.0 },
+                        render(&Element::Edge(e)),
+                    )?;
+                    continue;
+                }
+            };
+            staged_edge_ids.insert(id);
+            staged_edges.push(EdgeRecord {
+                edge: e,
+                src_labels,
+                tgt_labels,
+            });
+        }
+
+        // Commit: run the engine inside a panic boundary, then fold the
+        // staged stream state in.
+        let inner = &mut *inner;
+        let timing = match catch_unwind(AssertUnwindSafe(|| {
+            inner.session.process_batch(&staged_nodes, &staged_edges)
+        })) {
+            Ok(t) => t,
+            Err(panic) => {
+                let msg = panic_message(panic);
+                inner.broken = Some(msg.clone());
+                return Err(IngestError::Engine(msg));
+            }
+        };
+        inner.node_labels.extend(staged_labels);
+        inner.seen_edges.extend(staged_edge_ids);
+        let (version, changed) = inner.history.observe(inner.session.schema());
+        let hash = inner
+            .history
+            .current()
+            .map(|v| v.hash.clone())
+            .unwrap_or_default();
+        Ok(IngestOutcome {
+            batch_index: timing.batch_index,
+            nodes: staged_nodes.len(),
+            edges: staged_edges.len(),
+            quarantined: quarantine.len() - before_quarantine,
+            version,
+            hash,
+            changed,
+            timing,
+        })
+    }
+
+    /// Snapshot the current schema.
+    pub fn schema(&self) -> SchemaGraph {
+        self.lock().session.schema().clone()
+    }
+
+    /// Current `(version, content-hash-hex)`.
+    pub fn version_info(&self) -> (u64, String) {
+        let inner = self.lock();
+        match inner.history.current() {
+            Some(v) => (v.version, v.hash.clone()),
+            None => (
+                0,
+                crate::serialize::content_hash_hex(inner.session.schema()),
+            ),
+        }
+    }
+
+    /// Look up a historical version.
+    pub fn lookup_version(&self, version: u64) -> VersionLookup {
+        let inner = self.lock();
+        match inner.history.get(version) {
+            Some(v) => VersionLookup::Found(v.clone()),
+            None if inner.history.existed(version) => VersionLookup::Evicted,
+            None => VersionLookup::NeverExisted,
+        }
+    }
+
+    /// Batches applied so far (including restored ones).
+    pub fn batches_processed(&self) -> usize {
+        self.lock().session.batches_processed()
+    }
+
+    /// Nodes seen so far (size of the endpoint-label index).
+    pub fn nodes_seen(&self) -> usize {
+        self.lock().node_labels.len()
+    }
+
+    /// Edges seen so far.
+    pub fn edges_seen(&self) -> usize {
+        self.lock().seen_edges.len()
+    }
+
+    /// The broken-marker message, if the engine failed earlier.
+    pub fn broken(&self) -> Option<String> {
+        self.lock().broken.clone()
+    }
+
+    /// Export the engine checkpoint plus stream-side state for durable
+    /// persistence. Refused for broken sessions: their in-memory state
+    /// must not overwrite the last good checkpoint.
+    pub fn export(&self) -> Result<(SessionCheckpoint, SessionAux), IngestError> {
+        let inner = self.lock();
+        if let Some(m) = &inner.broken {
+            return Err(IngestError::Broken(m.clone()));
+        }
+        let mut node_labels: Vec<(u64, LabelSet)> = inner
+            .node_labels
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        node_labels.sort_by_key(|(k, _)| *k);
+        let mut seen_edges: Vec<u64> = inner.seen_edges.iter().copied().collect();
+        seen_edges.sort_unstable();
+        Ok((
+            inner.session.checkpoint(),
+            SessionAux {
+                history: inner.history.clone(),
+                node_labels,
+                seen_edges,
+            },
+        ))
+    }
+}
+
+fn render(el: &Element) -> String {
+    serde_json::to_string(el).unwrap_or_else(|_| "<unrenderable element>".to_owned())
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{Edge, LabelSet, Node, NodeId};
+
+    fn node(id: u64, label: &str) -> (usize, Element) {
+        (
+            id as usize,
+            Element::Node(Node::new(id, LabelSet::single(label)).with_prop("k", id as i64)),
+        )
+    }
+
+    fn edge(id: u64, src: u64, tgt: u64) -> (usize, Element) {
+        (
+            id as usize,
+            Element::Edge(Edge::new(
+                id,
+                NodeId(src),
+                NodeId(tgt),
+                LabelSet::single("R"),
+            )),
+        )
+    }
+
+    fn quick_config() -> HiveConfig {
+        let mut c = HiveConfig::default();
+        if let crate::config::EmbeddingKind::Word2Vec(ref mut w) = c.embedding {
+            w.dim = 5;
+            w.epochs = 2;
+        }
+        c
+    }
+
+    #[test]
+    fn ingest_resolves_edges_against_history() {
+        let s = SharedSession::new(quick_config(), 8);
+        let mut q = Quarantine::new();
+        // Batch 1: nodes only.
+        let out = s
+            .ingest(
+                &[node(1, "A"), node(2, "B")],
+                ErrorPolicy::Skip,
+                &mut q,
+                "t",
+            )
+            .unwrap();
+        assert_eq!(out.nodes, 2);
+        assert_eq!(out.batch_index, 0);
+        // Batch 2: an edge whose endpoints arrived in batch 1.
+        let out = s
+            .ingest(&[edge(10, 1, 2)], ErrorPolicy::Skip, &mut q, "t")
+            .unwrap();
+        assert_eq!(out.edges, 1);
+        assert!(q.is_empty());
+        let schema = s.schema();
+        let et = &schema.edge_types[0];
+        assert_eq!(et.src_labels, LabelSet::single("A"));
+        assert_eq!(et.tgt_labels, LabelSet::single("B"));
+    }
+
+    #[test]
+    fn duplicates_and_dangling_edges_are_quarantined() {
+        let s = SharedSession::new(quick_config(), 8);
+        let mut q = Quarantine::new();
+        s.ingest(&[node(1, "A")], ErrorPolicy::Skip, &mut q, "t")
+            .unwrap();
+        let out = s
+            .ingest(
+                &[node(1, "A"), edge(10, 1, 999), edge(10, 1, 1)],
+                ErrorPolicy::Skip,
+                &mut q,
+                "t",
+            )
+            .unwrap();
+        // Duplicate node and dangling edge are diverted. The second
+        // edge reuses id 10, but the first never got past quarantine,
+        // so the id was never marked seen and the self-loop goes in.
+        assert_eq!(out.nodes, 0);
+        assert_eq!(out.edges, 1);
+        assert_eq!(out.quarantined, 2);
+        assert!(q.entries()[0].reason.contains("duplicate node id 1"));
+        assert!(q.entries()[1].reason.contains("unknown node id 999"));
+
+        // Re-sending the surviving edge id now IS a duplicate.
+        let out = s
+            .ingest(&[edge(10, 1, 1)], ErrorPolicy::Skip, &mut q, "t")
+            .unwrap();
+        assert_eq!(out.edges, 0);
+        assert!(q.entries()[2].reason.contains("duplicate edge id 10"));
+    }
+
+    #[test]
+    fn strict_policy_rejects_atomically() {
+        let s = SharedSession::new(quick_config(), 8);
+        let mut q = Quarantine::new();
+        s.ingest(&[node(1, "A")], ErrorPolicy::Strict, &mut q, "t")
+            .unwrap();
+        let before = s.schema();
+        let (before_batches, before_nodes) = (s.batches_processed(), s.nodes_seen());
+        let err = s
+            .ingest(
+                &[node(2, "B"), node(1, "A")],
+                ErrorPolicy::Strict,
+                &mut q,
+                "t",
+            )
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Rejected(_)));
+        assert_eq!(s.schema(), before, "rejected batch mutated the schema");
+        assert_eq!(s.batches_processed(), before_batches);
+        assert_eq!(s.nodes_seen(), before_nodes, "staged node 2 leaked");
+        // The offending line is still reported.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn history_versions_advance_only_on_change() {
+        let s = SharedSession::new(quick_config(), 8);
+        let (v, _) = s.version_info();
+        assert_eq!(v, 1, "empty schema is version 1");
+        let mut q = Quarantine::new();
+        s.ingest(&[node(1, "A")], ErrorPolicy::Skip, &mut q, "t")
+            .unwrap();
+        let (v2, h2) = s.version_info();
+        assert_eq!(v2, 2);
+        // An empty batch changes nothing.
+        let out = s.ingest(&[], ErrorPolicy::Skip, &mut q, "t").unwrap();
+        assert!(!out.changed);
+        assert_eq!(s.version_info(), (v2, h2));
+        match s.lookup_version(1) {
+            VersionLookup::Found(v) => assert_eq!(v.schema, SchemaGraph::new()),
+            other => panic!("expected version 1, got {other:?}"),
+        }
+        assert_eq!(s.lookup_version(99), VersionLookup::NeverExisted);
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_bit_identical() {
+        let cfg = quick_config();
+        let a = SharedSession::new(cfg.clone(), 8);
+        let mut q = Quarantine::new();
+        a.ingest(
+            &[node(1, "A"), node(2, "B")],
+            ErrorPolicy::Skip,
+            &mut q,
+            "t",
+        )
+        .unwrap();
+        let (ckpt, aux) = a.export().unwrap();
+        let json = serde_json::to_string(&aux).unwrap();
+        let aux: SessionAux = serde_json::from_str(&json).unwrap();
+        let b = SharedSession::restore(cfg, ckpt, aux);
+
+        let batch = [edge(10, 1, 2), node(3, "A")];
+        let out_a = a.ingest(&batch, ErrorPolicy::Skip, &mut q, "t").unwrap();
+        let out_b = b.ingest(&batch, ErrorPolicy::Skip, &mut q, "t").unwrap();
+        assert_eq!(out_a.hash, out_b.hash);
+        assert_eq!(out_a.version, out_b.version);
+        assert_eq!(out_a.batch_index, out_b.batch_index);
+        assert_eq!(a.schema(), b.schema());
+    }
+}

@@ -55,6 +55,7 @@ pub mod diff;
 pub mod extract;
 pub mod features;
 pub mod fixtures;
+pub mod handle;
 pub mod incremental;
 pub mod pipeline;
 pub mod refine;
@@ -68,8 +69,11 @@ pub use config::{
     DatatypeSampling, EmbeddingKind, HiveConfig, LshMethod, LshParams, MergeSimilarity,
 };
 pub use diff::{apply, diff, EdgeTypeDiff, NodeTypeDiff, PropertyChange, SchemaDiff};
+pub use handle::{IngestError, IngestOutcome, SessionAux, SharedSession, VersionLookup};
 pub use incremental::{BatchTiming, HiveSession, SessionCheckpoint};
 pub use pipeline::{DiscoveryResult, PgHive};
-pub use serialize::SchemaMode;
+pub use serialize::{
+    canonical_form, content_hash, content_hash_hex, SchemaHistory, SchemaMode, SchemaVersion,
+};
 pub use state::{DiscoveryState, DtypeHist, EdgeTypeAccum, NodeTypeAccum};
 pub use validate::{validate, ValidationReport, Violation};

@@ -248,6 +248,205 @@ pub fn to_json(schema: &SchemaGraph) -> String {
     serde_json::to_string_pretty(schema).expect("schema is serializable")
 }
 
+/// A canonical, order-independent textual form of a schema.
+///
+/// Two schemas that describe the same types produce the same canonical
+/// form even when their `TypeId`s or the order of their type vectors
+/// differ — both are artifacts of discovery order (batch arrival,
+/// cluster enumeration), not of the schema itself. Concretely:
+///
+/// * `TypeId`s are dropped.
+/// * Node types are sorted by `(labels, property keys, is_abstract)`;
+///   edge types by `(labels, src, tgt, property keys, is_abstract)`.
+/// * Everything semantically meaningful is kept: label sets, property
+///   specs (datatype + presence), abstractness, instance counts, and
+///   cardinality bounds — all of which are computed from commutative
+///   accumulators, so they agree across batchings and thread counts.
+pub fn canonical_form(schema: &SchemaGraph) -> String {
+    fn props(
+        out: &mut String,
+        props: &std::collections::BTreeMap<pg_model::Symbol, pg_model::PropertySpec>,
+    ) {
+        out.push_str(" props=[");
+        let mut first = true;
+        for (k, spec) in props {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{}:{}:{}",
+                k,
+                spec.datatype.map(DataType::gql_name).unwrap_or("?"),
+                match spec.presence {
+                    Some(Presence::Mandatory) => "man",
+                    Some(Presence::Optional) => "opt",
+                    None => "?",
+                }
+            );
+        }
+        out.push(']');
+    }
+    fn labels(set: &pg_model::LabelSet) -> String {
+        set.iter().map(|l| l.as_ref()).collect::<Vec<_>>().join("|")
+    }
+
+    let mut node_lines: Vec<String> = schema
+        .node_types
+        .iter()
+        .map(|t| {
+            let mut line = format!(
+                "node labels=[{}] abstract={} count={}",
+                labels(&t.labels),
+                t.is_abstract,
+                t.instance_count
+            );
+            props(&mut line, &t.properties);
+            line
+        })
+        .collect();
+    node_lines.sort();
+    let mut edge_lines: Vec<String> = schema
+        .edge_types
+        .iter()
+        .map(|t| {
+            let mut line = format!(
+                "edge labels=[{}] src=[{}] tgt=[{}] abstract={} count={} card={}",
+                labels(&t.labels),
+                labels(&t.src_labels),
+                labels(&t.tgt_labels),
+                t.is_abstract,
+                t.instance_count,
+                t.cardinality
+                    .map(|c| format!("{}:{}", c.max_out, c.max_in))
+                    .unwrap_or_else(|| "?".to_owned()),
+            );
+            props(&mut line, &t.properties);
+            line
+        })
+        .collect();
+    edge_lines.sort();
+
+    let mut out = String::from("pg-hive schema v1\n");
+    for l in node_lines.into_iter().chain(edge_lines) {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Stable 64-bit content hash of a schema: FNV-1a over
+/// [`canonical_form`]. Equal for semantically equal schemas regardless
+/// of thread count, batch split, or ingestion order (see the module
+/// tests and `crates/server`'s equivalence suite); stable across
+/// processes and platforms.
+pub fn content_hash(schema: &SchemaGraph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical_form(schema).as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`content_hash`] rendered as 16 lowercase hex digits — the form used
+/// in ETags, the CLI `hash` subcommand, and persisted version history.
+pub fn content_hash_hex(schema: &SchemaGraph) -> String {
+    format!("{:016x}", content_hash(schema))
+}
+
+/// One retained entry of a [`SchemaHistory`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchemaVersion {
+    /// Monotone version number (1-based; never reused or rewound).
+    pub version: u64,
+    /// [`content_hash_hex`] of `schema`.
+    pub hash: String,
+    /// The schema as of this version.
+    pub schema: SchemaGraph,
+}
+
+/// A monotone, content-addressed version history of a discovery
+/// session's schema.
+///
+/// [`SchemaHistory::observe`] assigns a fresh version number only when
+/// the content hash actually changes, so pollers see a counter that
+/// moves exactly when the schema does (ETag semantics), and
+/// `diff?from=v` can be answered for any still-retained version. At
+/// most `retain` versions are kept; asking for an evicted one is
+/// distinguishable from asking for one that never existed.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SchemaHistory {
+    versions: Vec<SchemaVersion>,
+    next_version: u64,
+    retain: usize,
+}
+
+impl SchemaHistory {
+    /// An empty history retaining at most `retain` versions (min 1).
+    pub fn new(retain: usize) -> SchemaHistory {
+        SchemaHistory {
+            versions: Vec::new(),
+            next_version: 1,
+            retain: retain.max(1),
+        }
+    }
+
+    /// Record the current schema. Returns `(version, changed)`: the
+    /// version now current and whether this observation created it.
+    pub fn observe(&mut self, schema: &SchemaGraph) -> (u64, bool) {
+        let hash = content_hash_hex(schema);
+        if let Some(last) = self.versions.last() {
+            if last.hash == hash {
+                return (last.version, false);
+            }
+        }
+        let version = self.next_version;
+        self.next_version += 1;
+        self.versions.push(SchemaVersion {
+            version,
+            hash,
+            schema: schema.clone(),
+        });
+        if self.versions.len() > self.retain {
+            let excess = self.versions.len() - self.retain;
+            self.versions.drain(..excess);
+        }
+        (version, true)
+    }
+
+    /// The current (latest) version entry, if any schema was observed.
+    pub fn current(&self) -> Option<&SchemaVersion> {
+        self.versions.last()
+    }
+
+    /// The current version number (0 before the first observation).
+    pub fn version(&self) -> u64 {
+        self.versions.last().map(|v| v.version).unwrap_or(0)
+    }
+
+    /// Look up a retained version by number.
+    pub fn get(&self, version: u64) -> Option<&SchemaVersion> {
+        self.versions.iter().find(|v| v.version == version)
+    }
+
+    /// Whether `version` was ever assigned (even if since evicted).
+    pub fn existed(&self, version: u64) -> bool {
+        version >= 1 && version < self.next_version
+    }
+
+    /// Number of retained versions.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether no version was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +538,122 @@ mod tests {
         let text = to_json(&s);
         let back: SchemaGraph = serde_json::from_str(&text).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn content_hash_ignores_type_ids_and_order() {
+        let a = sample_schema();
+        // Same types, different vector order and different TypeIds.
+        let mut b = a.clone();
+        b.node_types.reverse();
+        for (i, t) in b.node_types.iter_mut().enumerate() {
+            t.id = TypeId(90 + i as u32);
+        }
+        b.edge_types[0].id = TypeId(77);
+        assert_ne!(a, b, "structurally different representations");
+        assert_eq!(canonical_form(&a), canonical_form(&b));
+        assert_eq!(content_hash(&a), content_hash(&b));
+
+        // Any semantic change moves the hash.
+        let mut c = a.clone();
+        c.node_types[0].properties.insert(
+            pg_model::sym("email"),
+            PropertySpec {
+                datatype: Some(DataType::Str),
+                presence: Some(Presence::Optional),
+            },
+        );
+        assert_ne!(content_hash(&a), content_hash(&c));
+        let mut d = a.clone();
+        d.edge_types[0].cardinality = Some(Cardinality {
+            max_out: 6,
+            max_in: 7,
+        });
+        assert_ne!(content_hash(&a), content_hash(&d));
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_processes() {
+        // Pinned value: the hash is persisted (ETags, version history,
+        // CI restart checks), so accidental algorithm changes must fail
+        // loudly rather than silently invalidate stored state.
+        assert_eq!(content_hash_hex(&SchemaGraph::new()), "158e42a825006d8d");
+    }
+
+    #[test]
+    fn content_hash_equal_across_thread_counts() {
+        // Discover the same graph with 1 and 4 worker threads: the
+        // schemas are semantically equal, so the content hashes agree.
+        let g = crate::fixtures::figure1();
+        let discover = |threads: usize| {
+            crate::pipeline::PgHive::new(crate::config::HiveConfig::default().with_threads(threads))
+                .discover_graph(&g)
+                .schema
+        };
+        let h1 = content_hash(&discover(1));
+        let h4 = content_hash(&discover(4));
+        assert_eq!(h1, h4);
+    }
+
+    #[test]
+    fn history_counter_is_monotone_and_content_addressed() {
+        let mut hist = SchemaHistory::new(8);
+        assert_eq!(hist.version(), 0);
+        assert!(hist.is_empty());
+
+        let a = sample_schema();
+        let (v1, changed) = hist.observe(&a);
+        assert!(changed);
+        assert_eq!(v1, 1);
+        // Re-observing an unchanged schema does not mint a version.
+        let (v1b, changed) = hist.observe(&a);
+        assert!(!changed);
+        assert_eq!(v1b, 1);
+        assert_eq!(hist.len(), 1);
+
+        let mut b = a.clone();
+        b.node_types[0].instance_count += 1;
+        let (v2, changed) = hist.observe(&b);
+        assert!(changed);
+        assert_eq!(v2, 2);
+        assert_eq!(hist.current().unwrap().version, 2);
+        assert_eq!(hist.get(1).unwrap().schema, a);
+        assert_eq!(hist.get(1).unwrap().hash, content_hash_hex(&a));
+        assert!(hist.existed(2));
+        assert!(!hist.existed(3));
+    }
+
+    #[test]
+    fn history_eviction_keeps_the_counter_monotone() {
+        let mut hist = SchemaHistory::new(2);
+        let mut s = SchemaGraph::new();
+        for i in 0..5u32 {
+            s.push_node_type(NodeType::new(
+                TypeId(0),
+                LabelSet::single(&format!("T{i}")),
+                std::iter::empty(),
+            ));
+            hist.observe(&s);
+        }
+        assert_eq!(hist.version(), 5);
+        assert_eq!(hist.len(), 2, "older versions evicted");
+        assert!(hist.get(1).is_none());
+        assert!(hist.existed(1), "evicted, but it did exist");
+        assert!(hist.get(5).is_some());
+
+        // Round-trips through JSON (persisted in server state dirs).
+        let json = serde_json::to_string(&hist).unwrap();
+        let back: SchemaHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(hist, back);
+        // The counter survives the round trip: the next change is 6.
+        let mut hist = back;
+        s.push_node_type(NodeType::new(
+            TypeId(0),
+            LabelSet::single("T9"),
+            std::iter::empty(),
+        ));
+        let (v, _) = hist.observe(&s);
+        assert_eq!(v, 6);
     }
 
     #[test]

@@ -1,0 +1,531 @@
+//! A from-scratch HTTP/1.1 request/response layer over blocking
+//! streams.
+//!
+//! Deliberately minimal — exactly what a schema-discovery service needs
+//! and nothing more: request-line + header parsing with hard size
+//! limits, `Content-Length` bodies (chunked transfer encoding is
+//! rejected with 501), keep-alive, and structured JSON error bodies.
+//! Everything is generic over `Read + Write` so tests can drive the
+//! server through in-memory duplex streams and through the
+//! `pg_store::faults` wrappers.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted request-line length (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum accepted total header bytes per request.
+pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+
+/// Per-server knobs the parser needs.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum accepted `Content-Length` (larger requests get 413).
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_body: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean connection close before any byte of a new request — the
+    /// normal end of a keep-alive exchange, not an error.
+    Eof,
+    /// The stream failed mid-request (drop, reset, read timeout).
+    Io(io::Error),
+    /// Malformed request (bad request line, bad header, bad
+    /// `Content-Length`, truncated body).
+    BadRequest(String),
+    /// Request line exceeded [`MAX_REQUEST_LINE`].
+    UriTooLong,
+    /// Headers exceeded [`MAX_HEADER_BYTES`].
+    HeaderTooLarge,
+    /// Declared body exceeds the configured limit (the body is *not*
+    /// read; the connection must close after the 413).
+    PayloadTooLarge(usize),
+    /// A feature this server does not speak (chunked encoding).
+    NotImplemented(String),
+}
+
+impl HttpError {
+    /// The error response to send, if one makes sense (I/O failures and
+    /// clean EOF get none — there is nobody left to talk to).
+    pub fn to_response(&self) -> Option<Response> {
+        match self {
+            HttpError::Eof | HttpError::Io(_) => None,
+            HttpError::BadRequest(m) => Some(Response::error(400, "bad_request", m)),
+            HttpError::UriTooLong => Some(Response::error(
+                414,
+                "uri_too_long",
+                &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+            )),
+            HttpError::HeaderTooLarge => Some(Response::error(
+                431,
+                "header_too_large",
+                &format!("headers exceed {MAX_HEADER_BYTES} bytes"),
+            )),
+            HttpError::PayloadTooLarge(limit) => Some(Response::error(
+                413,
+                "payload_too_large",
+                &format!("request body exceeds the {limit}-byte limit"),
+            )),
+            HttpError::NotImplemented(m) => Some(Response::error(501, "not_implemented", m)),
+        }
+    }
+}
+
+/// Read one line (up to `\n`), stripping the trailing `\r\n`/`\n`.
+/// `at_request_start` turns a clean EOF into [`HttpError::Eof`].
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    at_request_start: bool,
+    over_limit: fn() -> HttpError,
+) -> Result<String, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if available.is_empty() {
+            return if buf.is_empty() && at_request_start {
+                Err(HttpError::Eof)
+            } else {
+                Err(HttpError::BadRequest("unexpected end of stream".into()))
+            };
+        }
+        let newline = available.iter().position(|b| *b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(available.len());
+        if buf.len() + take > limit + 2 {
+            return Err(over_limit());
+        }
+        buf.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            break;
+        }
+    }
+    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::BadRequest("non-UTF-8 request data".into()))
+}
+
+/// Minimal percent-decoding (`%XX` and `+` as space) for paths and
+/// query components. Invalid escapes pass through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Read and parse one request from `reader`.
+pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> Result<Request, HttpError> {
+    let line = read_line(reader, MAX_REQUEST_LINE, true, || HttpError::UriTooLong)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line(
+            reader,
+            MAX_HEADER_BYTES.saturating_sub(header_bytes),
+            false,
+            || HttpError::HeaderTooLarge,
+        )?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len() + 2;
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeaderTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let find = |n: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(te) = find("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::NotImplemented(format!(
+                "transfer-encoding {te:?} is not supported; send a Content-Length body"
+            )));
+        }
+    }
+    let content_length = match find("content-length") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > limits.max_body {
+        return Err(HttpError::PayloadTooLarge(limits.max_body));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        io::Read::read_exact(reader, &mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::BadRequest("request body shorter than Content-Length".into())
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let query = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(kv), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(raw_path),
+        query,
+        headers,
+        body,
+        keep_alive,
+    })
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Connection` are added on
+    /// write).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with this status.
+    pub fn empty(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: &str) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// An `application/json` response serialized from `value`.
+    pub fn json<T: serde::Serialize + ?Sized>(status: u16, value: &T) -> Response {
+        let body = serde_json::to_string(value)
+            .unwrap_or_else(|e| format!("{{\"error\":{{\"message\":\"serialize: {e}\"}}}}"));
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "application/json".into())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// The structured JSON error body every failure path uses:
+    /// `{"error":{"status":…,"code":…,"message":…}}`.
+    pub fn error(status: u16, code: &str, message: &str) -> Response {
+        let value = serde::Value::Object(vec![(
+            "error".to_owned(),
+            serde::Value::Object(vec![
+                ("status".to_owned(), serde::Value::U64(u64::from(status))),
+                ("code".to_owned(), serde::Value::Str(code.to_owned())),
+                ("message".to_owned(), serde::Value::Str(message.to_owned())),
+            ]),
+        )]);
+        Response::json(status, &value)
+    }
+
+    /// Builder-style extra header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Canonical reason phrase for the statuses this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            410 => "Gone",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            414 => "URI Too Long",
+            422 => "Unprocessable Entity",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+
+    /// Serialize the full response (status line, headers, body) into
+    /// `w`. The whole response is buffered and written with one call so
+    /// a connection drop can tear the *stream* but never interleave
+    /// with another response.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let mut out = Vec::with_capacity(self.body.len() + 256);
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\n",
+                self.status,
+                Response::reason(self.status)
+            )
+            .as_bytes(),
+        );
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(
+            if keep_alive {
+                "Connection: keep-alive\r\n"
+            } else {
+                "Connection: close\r\n"
+            }
+            .as_bytes(),
+        );
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        w.write_all(&out)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut raw.as_bytes(), Limits::default())
+    }
+
+    #[test]
+    fn parses_a_full_request() {
+        let req = parse(
+            "POST /sessions/s1/ingest?from=3&mode=a%20b HTTP/1.1\r\n\
+             Host: localhost\r\n\
+             Content-Length: 5\r\n\
+             \r\n\
+             hello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/s1/ingest");
+        assert_eq!(req.query_param("from"), Some("3"));
+        assert_eq!(req.query_param("mode"), Some("a b"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for raw in [
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            " / HTTP/1.1\r\n\r\n",
+            "GET / SPDY/3\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::BadRequest(_))),
+                "{raw:?} should be a bad request"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished_from_truncation() {
+        assert!(matches!(parse(""), Err(HttpError::Eof)));
+        assert!(matches!(parse("GET / HTT"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn size_limits_fire() {
+        let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(parse(&long), Err(HttpError::UriTooLong)));
+
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            format!("X-Pad: {}\r\n", "y".repeat(1000)).repeat(40)
+        );
+        assert!(matches!(parse(&many), Err(HttpError::HeaderTooLarge)));
+
+        let big = "POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
+        assert!(matches!(parse(big), Err(HttpError::PayloadTooLarge(_))));
+    }
+
+    #[test]
+    fn chunked_encoding_is_not_implemented() {
+        let raw = "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::NotImplemented(_))));
+    }
+
+    #[test]
+    fn error_responses_are_structured_json() {
+        let resp = HttpError::PayloadTooLarge(1024).to_response().unwrap();
+        assert_eq!(resp.status, 413);
+        let v: serde::Value =
+            serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("status"), Some(&serde::Value::U64(413)));
+        assert_eq!(
+            err.get("code").and_then(|c| c.as_str()),
+            Some("payload_too_large")
+        );
+    }
+
+    #[test]
+    fn responses_round_trip_through_write_to() {
+        let resp = Response::text(200, "hi").with_header("ETag", "\"abc\"");
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("ETag: \"abc\"\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+}

@@ -1,0 +1,255 @@
+//! # pg-serve
+//!
+//! A from-scratch HTTP/1.1 serving layer for PG-HIVE: named live
+//! discovery sessions over `std::net`, no async runtime. The server is
+//! a bounded worker pool draining a non-blocking accept loop; each
+//! connection gets keep-alive request handling with hard size limits
+//! and structured JSON errors.
+//!
+//! ## API
+//!
+//! | route                            | verb   | purpose                              |
+//! |----------------------------------|--------|--------------------------------------|
+//! | `/healthz`                       | GET    | liveness                             |
+//! | `/metrics`                       | GET    | Prometheus text metrics              |
+//! | `/sessions`                      | GET/POST | list / create sessions             |
+//! | `/sessions/{id}`                 | GET/DELETE | inspect / drop a session         |
+//! | `/sessions/{id}/ingest`          | POST   | JSONL batch → incremental discovery  |
+//! | `/sessions/{id}/schema`          | GET    | current schema (ETag = content hash) |
+//! | `/sessions/{id}/diff?from=v`     | GET    | schema delta since version `v`       |
+//! | `/sessions/{id}/validate`        | POST   | LOOSE/STRICT conformance of a subgraph |
+//!
+//! ## Durability
+//!
+//! With a state directory configured, sessions checkpoint through the
+//! core [`pg_hive::CheckpointStore`] on a per-session batch cadence and
+//! once more at graceful shutdown (SIGINT/SIGTERM → stop accepting →
+//! drain workers → persist all → exit), so a restarted server resumes
+//! every session bit-identically — same schema content hash, same batch
+//! numbering.
+
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod router;
+pub mod shutdown;
+
+pub use client::{Client, ClientResponse};
+pub use http::{Limits, Request, Response};
+pub use metrics::{Metrics, SessionStats};
+pub use registry::{LiveSession, Registry, RegistryConfig, SessionSpec};
+pub use router::Ctx;
+pub use shutdown::{install_signal_handlers, shutdown_flag};
+
+use crate::http::HttpError;
+use crate::pool::{Busy, Pool};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything `Server::bind` needs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: SocketAddr,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Connections queued beyond the busy workers before 503s start.
+    pub queue: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Per-connection read timeout (bounds slow-loris style stalls).
+    pub read_timeout: Duration,
+    /// Durable session state directory (`None` = in-memory only).
+    pub state_dir: Option<PathBuf>,
+    /// Default batches between cadence checkpoints for new sessions.
+    pub checkpoint_every: u64,
+    /// Checkpoints retained per session.
+    pub checkpoint_keep: usize,
+    /// Default schema versions retained per session.
+    pub history_retain: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("literal address parses"),
+            workers: 4,
+            queue: 64,
+            max_body: 64 * 1024 * 1024,
+            read_timeout: Duration::from_secs(2),
+            state_dir: None,
+            checkpoint_every: 8,
+            checkpoint_keep: 4,
+            history_retain: 64,
+        }
+    }
+}
+
+/// What a completed [`Server::run`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Sessions persisted during the final shutdown checkpoint.
+    pub sessions_persisted: usize,
+    /// `(session, error)` pairs from the final persist.
+    pub persist_failures: Vec<(String, String)>,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and open (or resume) the session registry.
+    /// Resume warnings for corrupt sessions go to stderr — one bad
+    /// session must not stop the server.
+    pub fn bind(config: ServerConfig, shutdown: Arc<AtomicBool>) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let (registry, warnings) = Registry::open(RegistryConfig {
+            state_dir: config.state_dir.clone(),
+            checkpoint_keep: config.checkpoint_keep,
+            spec_defaults: SessionSpec {
+                checkpoint_every: config.checkpoint_every,
+                history_retain: config.history_retain,
+                ..SessionSpec::default()
+            },
+        });
+        for w in warnings {
+            eprintln!("warning: {w}");
+        }
+        let ctx = Arc::new(Ctx {
+            registry: Arc::new(registry),
+            metrics: Arc::new(Metrics::new()),
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            ctx,
+            config,
+            shutdown,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The session registry (tests drive it directly).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.ctx.registry)
+    }
+
+    /// The metrics sink.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.ctx.metrics)
+    }
+
+    /// Accept and serve until the shutdown flag is set, then drain the
+    /// worker pool, persist every durable session, and return.
+    pub fn run(self) -> io::Result<RunSummary> {
+        let pool = Pool::new(self.config.workers, self.config.queue);
+        let limits = Limits {
+            max_body: self.config.max_body,
+        };
+        let mut connections = 0u64;
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    connections += 1;
+                    self.ctx.metrics.connection_opened();
+                    if let Err(e) = stream.set_nonblocking(false) {
+                        eprintln!("warning: configuring connection: {e}");
+                        continue;
+                    }
+                    let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_write_timeout(Some(self.config.read_timeout));
+                    let _ = stream.set_nodelay(true);
+                    // This is the only thread that enqueues, so between
+                    // this check and try_execute the queue can only
+                    // shrink — the stream is never lost to a Busy race.
+                    if pool.queued() >= self.config.queue {
+                        self.ctx.metrics.busy_rejection();
+                        let resp = Response::error(
+                            503,
+                            "server_busy",
+                            "worker pool saturated; retry with backoff",
+                        );
+                        let _ = resp.write_to(&mut stream, false);
+                        continue;
+                    }
+                    let ctx = Arc::clone(&self.ctx);
+                    if let Err(Busy) = pool.try_execute(Box::new(move || {
+                        handle_connection(stream, &ctx, limits);
+                    })) {
+                        // Only reachable once shutdown flips mid-accept.
+                        self.ctx.metrics.busy_rejection();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(15));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        pool.shutdown();
+        let persist_failures = self.ctx.registry.persist_all();
+        let sessions_persisted = self.ctx.registry.list().len() - persist_failures.len();
+        for (name, err) in &persist_failures {
+            eprintln!("warning: final checkpoint of session {name:?} failed: {err}");
+        }
+        Ok(RunSummary {
+            connections,
+            sessions_persisted,
+            persist_failures,
+        })
+    }
+}
+
+/// Serve one connection: a keep-alive loop of read → dispatch → write.
+/// Generic over the stream type so tests can drive it with in-memory
+/// duplexes and `pg_store::faults` wrappers.
+pub fn handle_connection<S: Read + Write>(stream: S, ctx: &Ctx, limits: Limits) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match http::read_request(&mut reader, limits) {
+            Ok(req) => req,
+            Err(HttpError::Eof) => return,
+            Err(HttpError::Io(_)) => return, // drop/reset/timeout: nobody to answer
+            Err(e) => {
+                if let Some(resp) = e.to_response() {
+                    ctx.metrics
+                        .record("<parse-error>", resp.status, Duration::ZERO);
+                    let _ = resp.write_to(reader.get_mut(), false);
+                }
+                return;
+            }
+        };
+        let started = Instant::now();
+        let (route, resp) = router::dispatch(&req, ctx);
+        ctx.metrics.record(route, resp.status, started.elapsed());
+        // The handler has fully committed by now; a failed write tears
+        // this connection only, never session state.
+        if resp.write_to(reader.get_mut(), req.keep_alive).is_err() {
+            return;
+        }
+        if !req.keep_alive {
+            return;
+        }
+    }
+}

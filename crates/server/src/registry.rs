@@ -1,0 +1,744 @@
+//! Named live discovery sessions and their durable state.
+//!
+//! The [`Registry`] owns every session by name. Each [`LiveSession`]
+//! wraps a thread-safe [`SharedSession`] plus the serving-side extras:
+//! its creation-time [`SessionSpec`], lifetime counters, and (when the
+//! server runs with a state directory) a per-session on-disk layout
+//!
+//! ```text
+//! state_dir/<name>/ckpt/…          engine checkpoints (CheckpointStore)
+//! state_dir/<name>/session.json    sidecar: spec + stream-side state
+//! ```
+//!
+//! The sidecar is written atomically (temp file → fsync → rename →
+//! directory fsync, same discipline as the checkpoint store) at session
+//! creation, on the configured batch cadence, and at graceful shutdown,
+//! so a restarted server resumes every session bit-identically.
+
+use crate::metrics::SessionStats;
+use pg_hive::{
+    CheckpointStore, HiveConfig, IngestError, IngestOutcome, LshMethod, SessionAux, SharedSession,
+};
+use pg_store::jsonl::Element;
+use pg_store::{read_jsonl_elements, ErrorPolicy, LoadError, Quarantine};
+use std::collections::BTreeMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// User-settable knobs of a session, fixed at creation and persisted in
+/// the sidecar so a restart rebuilds the identical engine configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SessionSpec {
+    /// Master seed for the deterministic pipeline.
+    pub seed: u64,
+    /// Merge similarity threshold θ.
+    pub theta: f64,
+    /// Clustering family: `"elsh"` or `"minhash"`.
+    pub method: String,
+    /// Worker threads for the engine (0 = available parallelism).
+    pub threads: u64,
+    /// DiscoPG-style pattern memoization.
+    pub memoize: bool,
+    /// Ingest error policy: `"strict"`, `"skip"`, or `"cap:N"`.
+    pub on_error: String,
+    /// Checkpoint every N applied batches (0 = only at shutdown).
+    pub checkpoint_every: u64,
+    /// Schema versions retained for `diff?from=`.
+    pub history_retain: u64,
+}
+
+impl Default for SessionSpec {
+    fn default() -> SessionSpec {
+        SessionSpec {
+            seed: 42,
+            theta: 0.9,
+            method: "elsh".to_owned(),
+            threads: 0,
+            memoize: false,
+            on_error: "skip".to_owned(),
+            checkpoint_every: 8,
+            history_retain: 64,
+        }
+    }
+}
+
+fn as_u64(v: &serde::Value) -> Option<u64> {
+    match v {
+        serde::Value::U64(n) => Some(*n),
+        serde::Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::F64(n) => Some(*n),
+        serde::Value::U64(n) => Some(*n as f64),
+        serde::Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+impl SessionSpec {
+    /// Parse a spec from a `POST /sessions` body, starting from
+    /// `defaults` and overriding any field present. Unknown fields are
+    /// rejected so typos fail loudly instead of silently configuring
+    /// nothing.
+    pub fn from_value(body: &serde::Value, defaults: &SessionSpec) -> Result<SessionSpec, String> {
+        let obj = body
+            .as_object()
+            .ok_or_else(|| "request body must be a JSON object".to_owned())?;
+        let mut spec = defaults.clone();
+        for (key, value) in obj {
+            let fail = || format!("invalid value for {key:?}");
+            match key.as_str() {
+                "name" => {} // handled by the caller
+                "seed" => spec.seed = as_u64(value).ok_or_else(fail)?,
+                "theta" => spec.theta = as_f64(value).ok_or_else(fail)?,
+                "method" => spec.method = value.as_str().ok_or_else(fail)?.to_owned(),
+                "threads" => spec.threads = as_u64(value).ok_or_else(fail)?,
+                "memoize" => {
+                    spec.memoize = match value {
+                        serde::Value::Bool(b) => *b,
+                        _ => return Err(fail()),
+                    }
+                }
+                "on_error" => spec.on_error = value.as_str().ok_or_else(fail)?.to_owned(),
+                "checkpoint_every" => spec.checkpoint_every = as_u64(value).ok_or_else(fail)?,
+                "history_retain" => spec.history_retain = as_u64(value).ok_or_else(fail)?,
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the cross-field invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(format!("theta must be in [0, 1], got {}", self.theta));
+        }
+        if !matches!(self.method.as_str(), "elsh" | "minhash") {
+            return Err(format!(
+                "method must be \"elsh\" or \"minhash\", got {:?}",
+                self.method
+            ));
+        }
+        if self.history_retain == 0 {
+            return Err("history_retain must be at least 1".to_owned());
+        }
+        self.policy().map(|_| ())
+    }
+
+    /// The engine configuration this spec describes. Fields the spec
+    /// does not expose keep [`HiveConfig::default`]'s values, so a
+    /// default spec discovers bit-identically to the offline CLI.
+    pub fn hive_config(&self) -> HiveConfig {
+        HiveConfig {
+            method: if self.method == "minhash" {
+                LshMethod::MinHash
+            } else {
+                LshMethod::Elsh
+            },
+            theta: self.theta,
+            memoize: self.memoize,
+            threads: self.threads as usize,
+            seed: self.seed,
+            ..HiveConfig::default()
+        }
+    }
+
+    /// The ingest error policy this spec describes.
+    pub fn policy(&self) -> Result<ErrorPolicy, String> {
+        match self.on_error.as_str() {
+            "strict" => Ok(ErrorPolicy::Strict),
+            "skip" => Ok(ErrorPolicy::Skip),
+            other => match other.strip_prefix("cap:").map(str::parse::<usize>) {
+                Some(Ok(n)) => Ok(ErrorPolicy::Cap(n)),
+                _ => Err(format!(
+                    "on_error must be \"strict\", \"skip\", or \"cap:N\", got {other:?}"
+                )),
+            },
+        }
+    }
+}
+
+/// The durable sidecar next to a session's checkpoints.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Sidecar {
+    name: String,
+    spec: SessionSpec,
+    aux: SessionAux,
+    quarantined_total: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    quarantined_total: u64,
+    batches_since_checkpoint: u64,
+}
+
+/// Everything one applied (or refused) ingest call produced.
+pub struct IngestReport {
+    /// The applied batch.
+    pub outcome: IngestOutcome,
+    /// Lines this call diverted (parse dirt and semantic dirt).
+    pub quarantine: Quarantine,
+    /// Whether this call triggered a cadence checkpoint.
+    pub checkpointed: bool,
+    /// Why the cadence checkpoint failed, if it did. A failed
+    /// checkpoint does not fail the ingest — the batch is applied in
+    /// memory and the error is surfaced for the operator.
+    pub checkpoint_error: Option<String>,
+}
+
+/// Why an ingest call applied nothing.
+pub enum IngestFailure {
+    /// Reading the JSONL body aborted (Strict/Cap policy, or stream
+    /// I/O).
+    Parse(LoadError),
+    /// The session refused the batch (policy abort, engine failure, or
+    /// an already-broken session).
+    Session(IngestError),
+}
+
+/// One named live session.
+pub struct LiveSession {
+    name: String,
+    spec: SessionSpec,
+    handle: SharedSession,
+    counters: Mutex<Counters>,
+    store: Option<CheckpointStore>,
+    dir: Option<PathBuf>,
+}
+
+impl LiveSession {
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The creation-time spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// The underlying thread-safe session handle.
+    pub fn handle(&self) -> &SharedSession {
+        &self.handle
+    }
+
+    /// Parse `body` as JSONL and ingest it as one batch under the
+    /// session's error policy. See [`IngestReport`].
+    pub fn ingest_jsonl(&self, body: &[u8]) -> Result<IngestReport, IngestFailure> {
+        let policy = self
+            .spec
+            .policy()
+            .expect("spec was validated at session creation");
+        let (elements, mut quarantine) =
+            read_jsonl_elements(&mut &body[..], policy).map_err(IngestFailure::Parse)?;
+        let outcome = self
+            .handle
+            .ingest(&elements, policy, &mut quarantine, "http")
+            .map_err(IngestFailure::Session)?;
+        let mut checkpointed = false;
+        let mut checkpoint_error = None;
+        {
+            let mut counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+            counters.quarantined_total += quarantine.len() as u64;
+            counters.batches_since_checkpoint += 1;
+            if self.store.is_some()
+                && self.spec.checkpoint_every > 0
+                && counters.batches_since_checkpoint >= self.spec.checkpoint_every
+            {
+                match self.persist_locked(&counters) {
+                    Ok(()) => checkpointed = true,
+                    Err(e) => checkpoint_error = Some(e),
+                }
+                counters.batches_since_checkpoint = 0;
+            }
+        }
+        Ok(IngestReport {
+            outcome,
+            quarantine,
+            checkpointed,
+            checkpoint_error,
+        })
+    }
+
+    /// Parse `body` as JSONL into one batch of elements without
+    /// touching the session (used by `validate`). Always lenient: a
+    /// posted subgraph is checked, not ingested, so dirt is reported
+    /// rather than fatal.
+    pub fn parse_subgraph(body: &[u8]) -> Result<(Vec<(usize, Element)>, Quarantine), LoadError> {
+        read_jsonl_elements(&mut &body[..], ErrorPolicy::Skip)
+    }
+
+    /// Write the engine checkpoint and sidecar, if this session is
+    /// durable. No-op without a state directory.
+    pub fn persist(&self) -> Result<(), String> {
+        if self.store.is_none() {
+            return Ok(());
+        }
+        let counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        self.persist_locked(&counters)
+    }
+
+    /// Persist under an already-held counters lock, which serializes
+    /// concurrent persists of the same session.
+    fn persist_locked(&self, counters: &Counters) -> Result<(), String> {
+        let (store, dir) = match (&self.store, &self.dir) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return Ok(()),
+        };
+        let (checkpoint, aux) = self
+            .handle
+            .export()
+            .map_err(|e| format!("exporting session state: {e}"))?;
+        store
+            .save(&checkpoint)
+            .map_err(|e| format!("saving checkpoint: {e}"))?;
+        let sidecar = Sidecar {
+            name: self.name.clone(),
+            spec: self.spec.clone(),
+            aux,
+            quarantined_total: counters.quarantined_total,
+        };
+        write_sidecar(dir, &sidecar)
+    }
+
+    /// Lifetime quarantine total.
+    pub fn quarantined_total(&self) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .quarantined_total
+    }
+
+    /// The numbers `/metrics` exposes for this session.
+    pub fn stats(&self) -> SessionStats {
+        let (version, _) = self.handle.version_info();
+        SessionStats {
+            name: self.name.clone(),
+            batches: self.handle.batches_processed() as u64,
+            nodes: self.handle.nodes_seen() as u64,
+            edges: self.handle.edges_seen() as u64,
+            quarantined: self.quarantined_total(),
+            version,
+            broken: self.handle.broken().is_some(),
+        }
+    }
+
+    /// The JSON summary `GET /sessions/{id}` returns.
+    pub fn summary(&self) -> serde::Value {
+        let (version, hash) = self.handle.version_info();
+        let spec = serde_json::to_string(&self.spec)
+            .ok()
+            .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+            .unwrap_or(serde::Value::Null);
+        serde::Value::Object(vec![
+            ("name".to_owned(), serde::Value::Str(self.name.clone())),
+            ("spec".to_owned(), spec),
+            (
+                "batches".to_owned(),
+                serde::Value::U64(self.handle.batches_processed() as u64),
+            ),
+            (
+                "nodes".to_owned(),
+                serde::Value::U64(self.handle.nodes_seen() as u64),
+            ),
+            (
+                "edges".to_owned(),
+                serde::Value::U64(self.handle.edges_seen() as u64),
+            ),
+            (
+                "quarantined_total".to_owned(),
+                serde::Value::U64(self.quarantined_total()),
+            ),
+            ("version".to_owned(), serde::Value::U64(version)),
+            ("hash".to_owned(), serde::Value::Str(hash)),
+            (
+                "durable".to_owned(),
+                serde::Value::Bool(self.store.is_some()),
+            ),
+            (
+                "broken".to_owned(),
+                match self.handle.broken() {
+                    Some(m) => serde::Value::Str(m),
+                    None => serde::Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Why a session could not be created.
+#[derive(Debug)]
+pub enum CreateError {
+    /// The name is missing or not `[A-Za-z0-9_-]{1,64}`.
+    InvalidName(String),
+    /// The spec failed validation.
+    InvalidSpec(String),
+    /// A session with this name already exists.
+    Conflict,
+    /// The initial durable write failed.
+    Persist(String),
+}
+
+/// Server-level defaults and the optional state directory.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Where durable sessions live; `None` keeps everything in memory.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoints retained per session.
+    pub checkpoint_keep: usize,
+    /// Default [`SessionSpec`] for fields a create request omits.
+    pub spec_defaults: SessionSpec,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> RegistryConfig {
+        RegistryConfig {
+            state_dir: None,
+            checkpoint_keep: 4,
+            spec_defaults: SessionSpec::default(),
+        }
+    }
+}
+
+/// The named-session registry.
+pub struct Registry {
+    sessions: RwLock<BTreeMap<String, Arc<LiveSession>>>,
+    config: RegistryConfig,
+}
+
+impl Registry {
+    /// Open a registry, resuming every durable session found under the
+    /// state directory. Sessions whose state fails to load are skipped
+    /// with a warning (returned, and the caller logs them) — one
+    /// corrupt session must not take the server down.
+    pub fn open(config: RegistryConfig) -> (Registry, Vec<String>) {
+        let mut sessions = BTreeMap::new();
+        let mut warnings = Vec::new();
+        if let Some(state_dir) = &config.state_dir {
+            match scan_state_dir(state_dir, config.checkpoint_keep) {
+                Ok(resumed) => {
+                    for entry in resumed {
+                        match entry {
+                            Ok(live) => {
+                                sessions.insert(live.name.clone(), Arc::new(live));
+                            }
+                            Err(w) => warnings.push(w),
+                        }
+                    }
+                }
+                Err(w) => warnings.push(w),
+            }
+        }
+        (
+            Registry {
+                sessions: RwLock::new(sessions),
+                config,
+            },
+            warnings,
+        )
+    }
+
+    /// The default spec create requests start from.
+    pub fn spec_defaults(&self) -> &SessionSpec {
+        &self.config.spec_defaults
+    }
+
+    /// Create (and, when durable, immediately persist) a session.
+    pub fn create(&self, name: &str, spec: SessionSpec) -> Result<Arc<LiveSession>, CreateError> {
+        validate_name(name).map_err(CreateError::InvalidName)?;
+        spec.validate().map_err(CreateError::InvalidSpec)?;
+        let mut sessions = self.sessions.write().unwrap_or_else(|p| p.into_inner());
+        if sessions.contains_key(name) {
+            return Err(CreateError::Conflict);
+        }
+        let handle = SharedSession::new(spec.hive_config(), spec.history_retain as usize);
+        let (store, dir) = match &self.config.state_dir {
+            Some(state_dir) => {
+                let dir = state_dir.join(name);
+                let store = CheckpointStore::open(dir.join("ckpt"))
+                    .map_err(|e| CreateError::Persist(e.to_string()))?
+                    .with_retention(self.config.checkpoint_keep);
+                (Some(store), Some(dir))
+            }
+            None => (None, None),
+        };
+        let live = Arc::new(LiveSession {
+            name: name.to_owned(),
+            spec,
+            handle,
+            counters: Mutex::new(Counters::default()),
+            store,
+            dir,
+        });
+        // Persist at creation so a restart finds the session even if it
+        // never ingests a batch.
+        live.persist().map_err(CreateError::Persist)?;
+        sessions.insert(name.to_owned(), Arc::clone(&live));
+        Ok(live)
+    }
+
+    /// Look up a session by name.
+    pub fn get(&self, name: &str) -> Option<Arc<LiveSession>> {
+        self.sessions
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// All sessions, name-ordered.
+    pub fn list(&self) -> Vec<Arc<LiveSession>> {
+        self.sessions
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Remove a session and delete its durable state. Returns whether
+    /// it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        let removed = self
+            .sessions
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(name);
+        match removed {
+            Some(live) => {
+                if let Some(dir) = &live.dir {
+                    if let Err(e) = fs::remove_dir_all(dir) {
+                        eprintln!(
+                            "warning: removing state of session {:?} at {}: {e}",
+                            live.name,
+                            dir.display()
+                        );
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Persist every durable session (graceful shutdown). Returns
+    /// `(session, error)` pairs for sessions that could not be saved.
+    pub fn persist_all(&self) -> Vec<(String, String)> {
+        let mut failures = Vec::new();
+        for live in self.list() {
+            if let Err(e) = live.persist() {
+                failures.push((live.name.clone(), e));
+            }
+        }
+        failures
+    }
+
+    /// Per-session stats for `/metrics`.
+    pub fn stats(&self) -> Vec<SessionStats> {
+        self.list().iter().map(|l| l.stats()).collect()
+    }
+}
+
+/// Session names become directory names, so they are restricted to a
+/// safe charset: `[A-Za-z0-9_-]{1,64}`.
+pub fn validate_name(name: &str) -> Result<(), String> {
+    if name.is_empty() || name.len() > 64 {
+        return Err("session name must be 1–64 characters".to_owned());
+    }
+    if !name
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+    {
+        return Err(format!(
+            "session name {name:?} must match [A-Za-z0-9_-]{{1,64}}"
+        ));
+    }
+    Ok(())
+}
+
+fn write_sidecar(dir: &Path, sidecar: &Sidecar) -> Result<(), String> {
+    let json = serde_json::to_string(sidecar).map_err(|e| format!("serializing sidecar: {e}"))?;
+    let tmp = dir.join(".tmp-session.json");
+    let final_path = dir.join("session.json");
+    let write = || -> std::io::Result<()> {
+        let mut f = File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, &final_path)?;
+        // Make the rename itself durable.
+        File::open(dir)?.sync_all()?;
+        Ok(())
+    };
+    write().map_err(|e| format!("writing sidecar {}: {e}", final_path.display()))
+}
+
+fn scan_state_dir(
+    state_dir: &Path,
+    checkpoint_keep: usize,
+) -> Result<Vec<Result<LiveSession, String>>, String> {
+    fs::create_dir_all(state_dir)
+        .map_err(|e| format!("creating state dir {}: {e}", state_dir.display()))?;
+    let entries = fs::read_dir(state_dir)
+        .map_err(|e| format!("listing state dir {}: {e}", state_dir.display()))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = match entry {
+            Ok(e) => e,
+            Err(e) => {
+                out.push(Err(format!("reading state dir entry: {e}")));
+                continue;
+            }
+        };
+        let dir = entry.path();
+        if !dir.is_dir() || !dir.join("session.json").exists() {
+            continue;
+        }
+        out.push(resume_session(&dir, checkpoint_keep));
+    }
+    Ok(out)
+}
+
+fn resume_session(dir: &Path, checkpoint_keep: usize) -> Result<LiveSession, String> {
+    let skip = |stage: &str, detail: String| {
+        format!("skipping session at {}: {stage}: {detail}", dir.display())
+    };
+    let raw = fs::read_to_string(dir.join("session.json"))
+        .map_err(|e| skip("reading sidecar", e.to_string()))?;
+    let sidecar: Sidecar =
+        serde_json::from_str(&raw).map_err(|e| skip("parsing sidecar", e.to_string()))?;
+    validate_name(&sidecar.name).map_err(|e| skip("validating name", e))?;
+    sidecar
+        .spec
+        .validate()
+        .map_err(|e| skip("validating spec", e))?;
+    let store = CheckpointStore::open(dir.join("ckpt"))
+        .map_err(|e| skip("opening checkpoint store", e.to_string()))?
+        .with_retention(checkpoint_keep);
+    let outcome = store
+        .resume()
+        .map_err(|e| skip("resuming checkpoints", e.to_string()))?;
+    let handle = match outcome.checkpoint {
+        Some(ckpt) => SharedSession::restore(sidecar.spec.hive_config(), ckpt, sidecar.aux),
+        // A sidecar without any valid checkpoint (crash before the first
+        // save completed) restarts the session empty.
+        None => SharedSession::new(
+            sidecar.spec.hive_config(),
+            sidecar.spec.history_retain as usize,
+        ),
+    };
+    Ok(LiveSession {
+        name: sidecar.name,
+        spec: sidecar.spec,
+        handle,
+        counters: Mutex::new(Counters {
+            quarantined_total: sidecar.quarantined_total,
+            batches_since_checkpoint: 0,
+        }),
+        store: Some(store),
+        dir: Some(dir.to_path_buf()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SessionSpec {
+        SessionSpec::default()
+    }
+
+    #[test]
+    fn spec_parsing_applies_defaults_and_rejects_unknown_fields() {
+        let body: serde::Value =
+            serde_json::from_str(r#"{"name":"s1","seed":7,"method":"minhash","on_error":"cap:3"}"#)
+                .unwrap();
+        let parsed = SessionSpec::from_value(&body, &spec()).unwrap();
+        assert_eq!(parsed.seed, 7);
+        assert_eq!(parsed.method, "minhash");
+        assert_eq!(parsed.policy().unwrap(), ErrorPolicy::Cap(3));
+        assert_eq!(parsed.theta, 0.9, "unset fields keep defaults");
+
+        let bad: serde::Value = serde_json::from_str(r#"{"sede":7}"#).unwrap();
+        assert!(SessionSpec::from_value(&bad, &spec())
+            .unwrap_err()
+            .contains("unknown field"));
+        let bad: serde::Value = serde_json::from_str(r#"{"theta":3.0}"#).unwrap();
+        assert!(SessionSpec::from_value(&bad, &spec())
+            .unwrap_err()
+            .contains("theta"));
+    }
+
+    #[test]
+    fn name_validation_rejects_path_hazards() {
+        assert!(validate_name("ok-session_1").is_ok());
+        for bad in ["", "../etc", "a/b", "a b", &"x".repeat(65)] {
+            assert!(validate_name(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn create_get_remove_in_memory() {
+        let (reg, warnings) = Registry::open(RegistryConfig::default());
+        assert!(warnings.is_empty());
+        reg.create("a", spec()).unwrap();
+        assert!(matches!(
+            reg.create("a", spec()),
+            Err(CreateError::Conflict)
+        ));
+        assert!(reg.get("a").is_some());
+        assert_eq!(reg.list().len(), 1);
+        assert!(reg.remove("a"));
+        assert!(!reg.remove("a"));
+        assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn durable_sessions_resume_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "pg-serve-registry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let config = RegistryConfig {
+            state_dir: Some(dir.clone()),
+            ..RegistryConfig::default()
+        };
+
+        let (reg, _) = Registry::open(config.clone());
+        let live = reg.create("s1", spec()).unwrap();
+        let body =
+            b"{\"kind\":\"node\",\"id\":1,\"labels\":[\"A\"],\"props\":{\"k\":{\"Int\":1}}}\n\
+                     {\"kind\":\"node\",\"id\":2,\"labels\":[\"B\"],\"props\":{}}\n";
+        let report = live.ingest_jsonl(body).unwrap_or_else(|_| panic!("ingest"));
+        assert_eq!(report.outcome.nodes, 2);
+        let (v1, h1) = live.handle.version_info();
+        reg.persist_all();
+        drop(reg);
+
+        let (reg2, warnings) = Registry::open(config);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let live2 = reg2.get("s1").expect("session resumed");
+        assert_eq!(live2.handle.version_info(), (v1, h1));
+        assert_eq!(live2.handle.batches_processed(), 1);
+        // The resumed session keeps discovering identically.
+        let edge =
+            b"{\"kind\":\"edge\",\"id\":9,\"src\":1,\"tgt\":2,\"labels\":[\"R\"],\"props\":{}}\n";
+        let r1 = live.ingest_jsonl(edge).unwrap_or_else(|_| panic!("ingest"));
+        let r2 = live2
+            .ingest_jsonl(edge)
+            .unwrap_or_else(|_| panic!("ingest"));
+        assert_eq!(r1.outcome.hash, r2.outcome.hash);
+        assert_eq!(r1.outcome.batch_index, r2.outcome.batch_index);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

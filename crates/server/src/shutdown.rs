@@ -1,0 +1,61 @@
+//! Graceful-shutdown signaling.
+//!
+//! The server polls an `AtomicBool`; anything may set it (tests flip it
+//! directly). [`install_signal_handlers`] additionally wires SIGINT and
+//! SIGTERM to it on Unix via a direct `signal(2)` FFI declaration — std
+//! already links libc, and the vendored-deps-only rule leaves no libc
+//! crate to lean on. The handler body is async-signal-safe: one atomic
+//! store against a process-global flag.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+static SIGNAL_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// A fresh, unset shutdown flag.
+pub fn shutdown_flag() -> Arc<AtomicBool> {
+    Arc::new(AtomicBool::new(false))
+}
+
+#[cfg(unix)]
+mod sys {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    extern "C" {
+        /// `sighandler_t signal(int signum, sighandler_t handler)` —
+        /// declared directly; the symbol comes from the libc std links.
+        pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    if let Some(flag) = SIGNAL_FLAG.get() {
+        flag.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Route SIGINT/SIGTERM to `flag`. Installing twice (or for two
+/// different flags) keeps the first flag — one process, one shutdown
+/// switch. No-op on non-Unix targets (the flag still works manually).
+pub fn install_signal_handlers(flag: &Arc<AtomicBool>) {
+    let _ = SIGNAL_FLAG.set(Arc::clone(flag));
+    #[cfg(unix)]
+    unsafe {
+        sys::signal(sys::SIGINT, on_signal);
+        sys::signal(sys::SIGTERM, on_signal);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_starts_unset_and_is_settable() {
+        let f = shutdown_flag();
+        assert!(!f.load(Ordering::SeqCst));
+        f.store(true, Ordering::SeqCst);
+        assert!(f.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,177 @@
+//! HTTP protocol-level tests against a real listening server: malformed
+//! requests, size limits, unknown routes, truncated bodies, and
+//! keep-alive — everything a misbehaving client can throw at the wire.
+
+use pg_serve::client::read_response;
+use pg_serve::ServerConfig;
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+mod util;
+use util::{node_line, TestServer};
+
+/// Send raw bytes on a fresh connection, return everything the server
+/// answers before closing.
+fn raw_exchange(server: &TestServer, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream.write_all(bytes).expect("send");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
+}
+
+#[test]
+fn malformed_request_lines_get_400() {
+    let server = TestServer::start(ServerConfig::default());
+    for raw in [
+        "GET\r\n\r\n",
+        "GET / HTTP/1.1 junk\r\n\r\n",
+        "FETCH / SPDY/9\r\n\r\n",
+        "GET / HTTP/1.1\r\nno-colon-header\r\n\r\n",
+    ] {
+        let resp = raw_exchange(&server, raw.as_bytes());
+        assert!(
+            resp.starts_with("HTTP/1.1 400 "),
+            "{raw:?} answered {resp:?}"
+        );
+        assert!(resp.contains("\"code\":\"bad_request\""), "{resp}");
+    }
+}
+
+#[test]
+fn oversized_bodies_get_413_without_reading_them() {
+    let server = TestServer::start(ServerConfig {
+        max_body: 1024,
+        ..ServerConfig::default()
+    });
+    // Declare 1 MiB but send none of it: the server must answer from
+    // the header alone.
+    let resp = raw_exchange(
+        &server,
+        b"POST /sessions/s/ingest HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 413 "), "{resp}");
+    assert!(resp.contains("payload_too_large"), "{resp}");
+}
+
+#[test]
+fn unknown_routes_get_404_and_wrong_methods_405() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    let resp = client.get("/no/such/route").unwrap();
+    assert_eq!(resp.status, 404);
+    let err = resp.json().unwrap();
+    assert_eq!(
+        err.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(|c| c.as_str()),
+        Some("not_found")
+    );
+
+    let resp = client.post("/healthz", b"").unwrap();
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+}
+
+#[test]
+fn chunked_transfer_encoding_gets_501() {
+    let server = TestServer::start(ServerConfig::default());
+    let resp = raw_exchange(
+        &server,
+        b"POST /sessions HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 501 "), "{resp}");
+}
+
+#[test]
+fn truncated_jsonl_mid_body_is_quarantined_not_500() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    let resp = client.post("/sessions", br#"{"name":"trunc"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+
+    // A complete line followed by a record cut mid-JSON: the
+    // Content-Length is honest (the *stream* is fine), the payload
+    // just ends in the middle of a record — exactly what a producer
+    // crash leaves behind.
+    let body = format!(
+        "{}\n{{\"kind\":\"node\",\"id\":2,\"lab",
+        node_line(1, "A", "")
+    );
+    let resp = client
+        .post("/sessions/trunc/ingest", body.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("nodes"), Some(&serde::Value::U64(1)));
+    assert_eq!(v.get("quarantined"), Some(&serde::Value::U64(1)));
+    let reason = v
+        .get("quarantine")
+        .and_then(|q| q.as_array())
+        .and_then(|a| a.first())
+        .and_then(|e| e.get("reason"))
+        .and_then(|r| r.as_str())
+        .unwrap_or_default()
+        .to_owned();
+    assert!(
+        !reason.is_empty(),
+        "quarantine entry must explain itself: {v:?}"
+    );
+
+    // The session survived and keeps accepting work.
+    let resp = client
+        .post("/sessions/trunc/ingest", node_line(3, "B", "").as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+}
+
+#[test]
+fn keep_alive_serves_many_requests_per_connection() {
+    let server = TestServer::start(ServerConfig::default());
+    let stream = TcpStream::connect(server.addr).expect("connect");
+    let mut reader = BufReader::new(stream);
+    for i in 0..5 {
+        reader
+            .get_mut()
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let resp = read_response(&mut reader).expect("response");
+        assert_eq!(resp.status, 200, "request {i}");
+        assert_eq!(resp.header("connection"), Some("keep-alive"), "request {i}");
+    }
+    // An explicit close is honored.
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .expect("send");
+    let resp = read_response(&mut reader).expect("response");
+    assert_eq!(resp.header("connection"), Some("close"));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty(), "server wrote after Connection: close");
+}
+
+#[test]
+fn metrics_report_requests_by_route_pattern() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    client.post("/sessions", br#"{"name":"m1"}"#).unwrap();
+    client.get("/sessions/m1").unwrap();
+    client.get("/sessions/nope").unwrap();
+    let text = client.get("/metrics").unwrap().text();
+    assert!(
+        text.contains("pg_serve_requests_total{route=\"/sessions\",status=\"201\"} 1"),
+        "{text}"
+    );
+    // Both the hit and the 404 land under the same pattern label.
+    assert!(
+        text.contains("pg_serve_requests_total{route=\"/sessions/{id}\",status=\"200\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("pg_serve_requests_total{route=\"/sessions/{id}\",status=\"404\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("pg_serve_session_batches_total{session=\"m1\"} 0"));
+}

@@ -1,0 +1,380 @@
+//! Live-session API behaviour: lifecycle, conditional schema fetches,
+//! version diffs, validation, durable restart, and response-path fault
+//! injection.
+
+use pg_serve::{handle_connection, Ctx, Limits, Metrics, Registry, RegistryConfig, ServerConfig};
+use pg_store::{FaultKind, FaultyWriter};
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+
+mod util;
+use util::{edge_line, node_line, scratch_dir, TestServer};
+
+fn err_code(resp: &pg_serve::ClientResponse) -> String {
+    resp.json()
+        .ok()
+        .and_then(|v| {
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str())
+                .map(str::to_owned)
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn session_lifecycle_create_conflict_list_delete() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+
+    let resp = client.post("/sessions", br#"{"name":"alpha"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("alpha"));
+    assert_eq!(v.get("durable"), Some(&serde::Value::Bool(false)));
+    assert_eq!(v.get("batches"), Some(&serde::Value::U64(0)));
+
+    let resp = client.post("/sessions", br#"{"name":"alpha"}"#).unwrap();
+    assert_eq!(resp.status, 409);
+    assert_eq!(err_code(&resp), "session_exists");
+
+    let resp = client
+        .post("/sessions", br#"{"name":"bad name!"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "invalid_name");
+
+    let resp = client
+        .post("/sessions", br#"{"name":"b","theta":2.5}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "invalid_spec");
+
+    let resp = client.get("/sessions").unwrap();
+    let names: Vec<String> = resp
+        .json()
+        .unwrap()
+        .get("sessions")
+        .and_then(|s| s.as_array().map(<[serde::Value]>::to_vec))
+        .unwrap_or_default()
+        .iter()
+        .filter_map(|s| s.get("name").and_then(|n| n.as_str()).map(str::to_owned))
+        .collect();
+    assert_eq!(names, ["alpha"]);
+
+    assert_eq!(client.delete("/sessions/alpha").unwrap().status, 204);
+    assert_eq!(client.delete("/sessions/alpha").unwrap().status, 404);
+    assert_eq!(client.get("/sessions/alpha").unwrap().status, 404);
+}
+
+#[test]
+fn schema_etag_enables_304_roundtrips() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    client.post("/sessions", br#"{"name":"etag"}"#).unwrap();
+    let body = format!(
+        "{}\n{}\n{}",
+        node_line(1, "Person", r#""age":{"Int":30}"#),
+        node_line(2, "Person", r#""age":{"Int":41}"#),
+        edge_line(10, 1, 2, "KNOWS"),
+    );
+    let resp = client
+        .post("/sessions/etag/ingest", body.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let ingest = resp.json().unwrap();
+    assert_eq!(ingest.get("changed"), Some(&serde::Value::Bool(true)));
+    let hash = ingest
+        .get("hash")
+        .and_then(|h| h.as_str())
+        .expect("hash in ingest response")
+        .to_owned();
+
+    let resp = client.get("/sessions/etag/schema").unwrap();
+    assert_eq!(resp.status, 200);
+    let etag = resp.header("etag").expect("ETag header").to_owned();
+    assert!(etag.contains(&hash), "ETag {etag} should embed hash {hash}");
+    let version = resp.header("x-schema-version").unwrap().to_owned();
+    assert!(resp.text().contains("Person"), "{}", resp.text());
+
+    // Same tag → 304 with no body; a stale tag → fresh 200.
+    let resp = client
+        .get_with_headers("/sessions/etag/schema", &[("If-None-Match", &etag)])
+        .unwrap();
+    assert_eq!(resp.status, 304);
+    assert!(resp.body.is_empty());
+    assert_eq!(resp.header("etag"), Some(etag.as_str()));
+
+    let resp = client
+        .get_with_headers("/sessions/etag/schema", &[("If-None-Match", "\"old\"")])
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-schema-version"), Some(version.as_str()));
+
+    // The tag is format-qualified: a PG-Schema render is different
+    // content, so the JSON tag must not suppress it.
+    let resp = client
+        .get_with_headers(
+            "/sessions/etag/schema?format=loose",
+            &[("If-None-Match", &etag)],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("GRAPH TYPE"), "{}", resp.text());
+
+    let resp = client.get("/sessions/etag/schema?format=nope").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "unknown_format");
+}
+
+#[test]
+fn diff_covers_missing_bad_evicted_and_live_versions() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    client
+        .post("/sessions", br#"{"name":"d","history_retain":2}"#)
+        .unwrap();
+
+    // Version 1 is the empty schema at creation; three schema-changing
+    // batches advance to version 4, and retain 2 keeps only {3, 4}.
+    for (i, label) in ["A", "B", "C"].iter().enumerate() {
+        let resp = client
+            .post(
+                "/sessions/d/ingest",
+                node_line(i as u64 + 1, label, "").as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        assert_eq!(
+            resp.json().unwrap().get("changed"),
+            Some(&serde::Value::Bool(true)),
+            "batch {i} should extend the schema"
+        );
+    }
+
+    let resp = client.get("/sessions/d/diff").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "missing_from");
+
+    let resp = client.get("/sessions/d/diff?from=x").unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "bad_from");
+
+    let resp = client.get("/sessions/d/diff?from=99").unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(err_code(&resp), "unknown_version");
+
+    let resp = client.get("/sessions/d/diff?from=1").unwrap();
+    assert_eq!(resp.status, 410, "{}", resp.text());
+    assert_eq!(err_code(&resp), "version_evicted");
+
+    let resp = client.get("/sessions/d/diff?from=3").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("from"), Some(&serde::Value::U64(3)));
+    assert_eq!(v.get("to"), Some(&serde::Value::U64(4)));
+    assert_eq!(v.get("identical"), Some(&serde::Value::Bool(false)));
+    assert_eq!(v.get("pure_extension"), Some(&serde::Value::Bool(true)));
+
+    let resp = client.get("/sessions/d/diff?from=4").unwrap();
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("identical"), Some(&serde::Value::Bool(true)));
+}
+
+#[test]
+fn validate_reports_modes_violations_and_quarantine() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    client.post("/sessions", br#"{"name":"v"}"#).unwrap();
+    let body = format!(
+        "{}\n{}",
+        node_line(1, "Person", r#""age":{"Int":30}"#),
+        node_line(2, "Person", r#""age":{"Int":41}"#),
+    );
+    client.post("/sessions/v/ingest", body.as_bytes()).unwrap();
+
+    // A conforming subgraph passes LOOSE.
+    let resp = client
+        .post(
+            "/sessions/v/validate",
+            node_line(7, "Person", r#""age":{"Int":9}"#).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("valid"), Some(&serde::Value::Bool(true)));
+    assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("loose"));
+    assert_eq!(v.get("nodes_checked"), Some(&serde::Value::U64(1)));
+
+    // An unseen label is a violation; a dirty line is quarantined, not
+    // a request failure.
+    let body = format!("{}\nnot json at all", node_line(8, "Martian", ""));
+    let resp = client
+        .post("/sessions/v/validate?mode=strict", body.as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("valid"), Some(&serde::Value::Bool(false)));
+    assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("strict"));
+    let count = match v.get("violation_count") {
+        Some(serde::Value::U64(n)) => *n,
+        other => panic!("violation_count: {other:?}"),
+    };
+    assert!(count >= 1, "{v:?}");
+    assert_eq!(v.get("quarantined"), Some(&serde::Value::U64(1)));
+
+    let resp = client
+        .post("/sessions/v/validate?mode=psychic", b"")
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "unknown_mode");
+}
+
+#[test]
+fn graceful_stop_persists_and_restart_resumes_bit_identically() {
+    let dir = scratch_dir("resume");
+    let config = ServerConfig {
+        state_dir: Some(dir.clone()),
+        // Large cadence: only the shutdown checkpoint may persist, so
+        // this test proves the drain path, not the cadence path.
+        checkpoint_every: 1000,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(config.clone());
+    let mut client = server.client();
+    let resp = client.post("/sessions", br#"{"name":"durable"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    assert_eq!(
+        resp.json().unwrap().get("durable"),
+        Some(&serde::Value::Bool(true))
+    );
+    for i in 0..3u64 {
+        let body = format!(
+            "{}\n{}",
+            node_line(i * 2 + 1, "N", r#""w":{"Int":5}"#),
+            node_line(i * 2 + 2, "M", ""),
+        );
+        let resp = client
+            .post("/sessions/durable/ingest", body.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    let before = client.get("/sessions/durable").unwrap().json().unwrap();
+    drop(client);
+    let summary = server.stop();
+    assert!(
+        summary.persist_failures.is_empty(),
+        "{:?}",
+        summary.persist_failures
+    );
+    assert_eq!(summary.sessions_persisted, 1);
+
+    // A fresh process (new server, same state dir) resumes the session
+    // with the same batch numbering and content hash.
+    let server = TestServer::start(config);
+    let mut client = server.client();
+    let after = client.get("/sessions/durable").unwrap().json().unwrap();
+    for field in ["batches", "nodes", "edges", "version", "hash"] {
+        assert_eq!(
+            after.get(field),
+            before.get(field),
+            "{field} drifted across restart"
+        );
+    }
+    // And it is live, not a read-only fossil.
+    let resp = client
+        .post(
+            "/sessions/durable/ingest",
+            node_line(100, "N", r#""w":{"Int":1}"#).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An in-memory connection: reads serve a canned request, writes land
+/// in a shared buffer the test can inspect after the server thread is
+/// done with the stream.
+struct Duplex {
+    input: io::Cursor<Vec<u8>>,
+    output: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Duplex {
+    fn new(request: Vec<u8>) -> (Duplex, Arc<Mutex<Vec<u8>>>) {
+        let output = Arc::new(Mutex::new(Vec::new()));
+        (
+            Duplex {
+                input: io::Cursor::new(request),
+                output: Arc::clone(&output),
+            },
+            output,
+        )
+    }
+}
+
+impl Read for Duplex {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for Duplex {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.output.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+fn raw_post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[test]
+fn response_write_fault_does_not_poison_the_session() {
+    let (registry, warnings) = Registry::open(RegistryConfig::default());
+    assert!(warnings.is_empty());
+    let ctx = Ctx {
+        registry: Arc::new(registry),
+        metrics: Arc::new(Metrics::new()),
+    };
+    let limits = Limits {
+        max_body: 1024 * 1024,
+    };
+    ctx.registry
+        .create("frail", pg_serve::SessionSpec::default())
+        .expect("create session");
+
+    // The ingest is applied, then the connection dies 20 bytes into the
+    // response — the client never learns the outcome.
+    let batch = node_line(1, "A", r#""k":{"Int":1}"#);
+    let (duplex, out) = Duplex::new(raw_post("/sessions/frail/ingest", &batch));
+    handle_connection(
+        FaultyWriter::new(duplex, 20, FaultKind::Error),
+        &ctx,
+        limits,
+    );
+    let partial = out.lock().unwrap().clone();
+    assert!(partial.len() <= 20, "fault did not clip the response");
+
+    // The session itself is intact: the batch landed exactly once and
+    // the next request on a healthy connection behaves normally.
+    let live = ctx.registry.get("frail").expect("session still registered");
+    assert_eq!(live.handle().batches_processed(), 1);
+    assert!(live.handle().broken().is_none());
+
+    let (duplex, out) = Duplex::new(raw_post("/sessions/frail/ingest", &node_line(2, "B", "")));
+    handle_connection(duplex, &ctx, limits);
+    let raw = out.lock().unwrap().clone();
+    let resp = pg_serve::client::read_response(&mut &raw[..]).expect("parse response");
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&raw));
+    assert_eq!(live.handle().batches_processed(), 2);
+}

@@ -84,6 +84,15 @@ impl<W: Write> Write for FaultyWriter<W> {
     }
 }
 
+/// Reads pass straight through: wrapping a duplex stream (e.g. a server
+/// connection) in a `FaultyWriter` injects faults into the *response*
+/// direction only, leaving the request readable.
+impl<W: Read> Read for FaultyWriter<W> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.read(buf)
+    }
+}
+
 /// A reader that fails after yielding `budget` bytes.
 #[derive(Debug)]
 pub struct FaultyReader<R> {
@@ -127,6 +136,19 @@ impl<R: Read> Read for FaultyReader<R> {
     }
 }
 
+/// Writes pass straight through: the mirror of `FaultyWriter`'s `Read`
+/// pass-through, so a duplex stream wrapped in a `FaultyReader` injects
+/// faults into the *request* direction only.
+impl<R: Write> Write for FaultyReader<R> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +173,26 @@ mod tests {
             b"0123",
             "everything past the budget vanished"
         );
+    }
+
+    #[test]
+    fn wrappers_are_duplex_pass_through() {
+        // A `Cursor` is both Read and Write, standing in for a
+        // connection stream. Faults fire only in the wrapped direction.
+        let duplex = io::Cursor::new(b"request".to_vec());
+        let mut w = FaultyWriter::new(duplex, 3, FaultKind::Error);
+        let mut req = [0u8; 7];
+        w.read_exact(&mut req).unwrap();
+        assert_eq!(&req, b"request", "reads are untouched");
+        assert_eq!(w.write(b"resp").unwrap(), 3, "writes clip at the budget");
+        assert!(w.write(b"onse").is_err());
+
+        let duplex = io::Cursor::new(b"request".to_vec());
+        let mut r = FaultyReader::new(duplex, 3, FaultKind::Error);
+        let mut part = [0u8; 3];
+        r.read_exact(&mut part).unwrap();
+        assert!(r.read(&mut part).is_err(), "reads fault at the budget");
+        r.flush().unwrap();
     }
 
     #[test]

@@ -4,7 +4,29 @@
 use crate::ingest::{ErrorPolicy, Quarantine};
 use pg_model::{Edge, ModelError, Node, PropertyGraph};
 use serde::{Deserialize, Serialize};
-use std::io::{self, Write};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Why a reader-based JSONL load aborted: the underlying reader failed,
+/// or the [`ErrorPolicy`] rejected the input.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The reader itself failed (socket drop, disk error, …).
+    Io(io::Error),
+    /// The error policy aborted the load (Strict, or Cap exceeded).
+    Policy(ModelError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "read failed: {e}"),
+            LoadError::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
 
 /// One line of a JSON-lines graph dump.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -87,10 +109,110 @@ pub fn from_jsonl_with_policy(
     Ok((graph, quarantine))
 }
 
+/// Parse JSONL elements straight from a reader, line by line, under an
+/// [`ErrorPolicy`] — the streaming ingest path used by the server, where
+/// the "file" is a request body. Returns each well-formed element with
+/// its 1-based line number, plus the quarantine of malformed lines
+/// (including non-UTF-8 lines and a truncated trailing line: both are
+/// dirt in the *input*, not I/O failures, so they quarantine rather than
+/// abort). Reader errors abort with [`LoadError::Io`].
+pub fn read_jsonl_elements<R: BufRead>(
+    mut reader: R,
+    policy: ErrorPolicy,
+) -> Result<(Vec<(usize, Element)>, Quarantine), LoadError> {
+    let mut out = Vec::new();
+    let mut quarantine = Quarantine::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf).map_err(LoadError::Io)?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = match std::str::from_utf8(&buf) {
+            Ok(s) => s.trim(),
+            Err(e) => {
+                quarantine
+                    .divert(
+                        policy,
+                        "jsonl",
+                        lineno,
+                        format!("invalid UTF-8: {e}"),
+                        &String::from_utf8_lossy(&buf),
+                    )
+                    .map_err(LoadError::Policy)?;
+                continue;
+            }
+        };
+        if line.is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Element>(line) {
+            Ok(el) => out.push((lineno, el)),
+            Err(e) => {
+                quarantine
+                    .divert(policy, "jsonl", lineno, e.to_string(), line)
+                    .map_err(LoadError::Policy)?;
+            }
+        }
+    }
+    Ok((out, quarantine))
+}
+
+/// Reader-based counterpart of [`from_jsonl_with_policy`]: stream a
+/// JSONL dump into a [`PropertyGraph`] without materializing the text.
+/// Same semantics — edges may precede their endpoints (buffered), and
+/// duplicates/dangling edges quarantine under the policy.
+pub fn from_jsonl_reader_with_policy<R: BufRead>(
+    reader: R,
+    policy: ErrorPolicy,
+) -> Result<(PropertyGraph, Quarantine), LoadError> {
+    let (elements, mut quarantine) = read_jsonl_elements(reader, policy)?;
+    let mut graph = PropertyGraph::new();
+    let mut pending_edges: Vec<(usize, Edge)> = Vec::new();
+    let rerender = |el: &Element| -> String {
+        serde_json::to_string(el).unwrap_or_else(|_| "<unrenderable element>".to_owned())
+    };
+    for (lineno, el) in elements {
+        match el {
+            Element::Node(n) => {
+                if let Err(e) = graph.add_node(n.clone()) {
+                    quarantine
+                        .divert(
+                            policy,
+                            "jsonl",
+                            lineno,
+                            e.to_string(),
+                            &rerender(&Element::Node(n)),
+                        )
+                        .map_err(LoadError::Policy)?;
+                }
+            }
+            Element::Edge(e) => pending_edges.push((lineno, e)),
+        }
+    }
+    for (lineno, e) in pending_edges {
+        if let Err(err) = graph.add_edge(e.clone()) {
+            quarantine
+                .divert(
+                    policy,
+                    "jsonl",
+                    lineno,
+                    err.to_string(),
+                    &rerender(&Element::Edge(e)),
+                )
+                .map_err(LoadError::Policy)?;
+        }
+    }
+    Ok((graph, quarantine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::faults::{FaultKind, FaultyWriter};
+    use crate::faults::{FaultKind, FaultyReader, FaultyWriter};
     use pg_model::{Date, LabelSet, NodeId, PropertyValue};
 
     #[test]
@@ -163,6 +285,56 @@ mod tests {
     fn malformed_lines_error_with_location() {
         let err = from_jsonl("{\"kind\":\"node\"").unwrap_err();
         assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn reader_path_matches_text_path() {
+        let mut g = PropertyGraph::new();
+        g.add_node(Node::new(1, LabelSet::single("P")).with_prop("x", 1i64))
+            .unwrap();
+        g.add_node(Node::new(2, LabelSet::single("Q"))).unwrap();
+        g.add_edge(Edge::new(9, NodeId(1), NodeId(2), LabelSet::single("R")))
+            .unwrap();
+        let mut text = to_jsonl(&g);
+        text.push_str("not json at all\n");
+        let (gt, qt) = from_jsonl_with_policy(&text, ErrorPolicy::Skip).unwrap();
+        let (gr, qr) = from_jsonl_reader_with_policy(text.as_bytes(), ErrorPolicy::Skip).unwrap();
+        assert_eq!(gt.node_count(), gr.node_count());
+        assert_eq!(gt.edge_count(), gr.edge_count());
+        assert_eq!(qt.len(), qr.len());
+        assert_eq!(qt.entries()[0].line, qr.entries()[0].line);
+    }
+
+    #[test]
+    fn reader_path_quarantines_truncated_trailing_line() {
+        // A body cut mid-record: the last line has no newline and is not
+        // valid JSON. That is quarantined dirt, not an I/O error.
+        let text = "{\"kind\":\"node\",\"id\":1,\"labels\":[],\"props\":{}}\n{\"kind\":\"nod";
+        let (els, q) = read_jsonl_elements(text.as_bytes(), ErrorPolicy::Skip).unwrap();
+        assert_eq!(els.len(), 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.entries()[0].line, 2);
+    }
+
+    #[test]
+    fn reader_path_quarantines_invalid_utf8() {
+        let mut bytes = b"{\"kind\":\"node\",\"id\":1,\"labels\":[],\"props\":{}}\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        let (els, q) = read_jsonl_elements(&bytes[..], ErrorPolicy::Skip).unwrap();
+        assert_eq!(els.len(), 1);
+        assert_eq!(q.len(), 1);
+        assert!(q.entries()[0].reason.contains("UTF-8"));
+        // Strict aborts on the same input.
+        let err = read_jsonl_elements(&bytes[..], ErrorPolicy::Strict).unwrap_err();
+        assert!(matches!(err, LoadError::Policy(_)));
+    }
+
+    #[test]
+    fn reader_path_propagates_io_errors() {
+        let text = "{\"kind\":\"node\",\"id\":1,\"labels\":[],\"props\":{}}\n".repeat(50);
+        let r = FaultyReader::new(text.as_bytes(), 100, FaultKind::Error);
+        let err = read_jsonl_elements(std::io::BufReader::new(r), ErrorPolicy::Skip).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)), "{err}");
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub mod memstore;
 pub mod query;
 
 pub use batch::{split_batches, GraphBatch};
+pub use faults::{FaultKind, FaultyReader, FaultyWriter};
 pub use ingest::{ErrorPolicy, Quarantine, QuarantineEntry};
+pub use jsonl::{from_jsonl_reader_with_policy, read_jsonl_elements, Element, LoadError};
 pub use load::{load, EdgeRecord, NodeRecord};
 pub use memstore::GraphStore;

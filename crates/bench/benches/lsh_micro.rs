@@ -49,6 +49,18 @@ fn lsh_micro(c: &mut Criterion) {
             },
         );
 
+        // The OR merge rule (union-find over per-table collisions) —
+        // the other half of the clustering API. Its hot path is the
+        // flat item-major signature matrix plus one reused bucket map.
+        group.bench_with_input(
+            BenchmarkId::new("elsh_cluster_or", format!("T={tables}")),
+            &points,
+            |b, pts| {
+                let lsh = EuclideanLsh::new(512, tables, 2.0, 3);
+                b.iter(|| black_box(lsh.cluster(pts)))
+            },
+        );
+
         let minhash_sets = sets(N, 1 << 20, 12, 2);
         group.bench_with_input(
             BenchmarkId::new("minhash_cluster_signature", format!("T={tables}")),

@@ -30,6 +30,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             seed,
             threads,
             no_post,
+            no_dedup,
             merge_similarity,
             refine,
             sample_datatypes,
@@ -51,6 +52,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     LshMethod::Elsh
                 },
                 post_processing: !no_post,
+                dedup: !no_dedup,
                 datatype_sampling: sample_datatypes.then(DatatypeSampling::default),
                 merge_similarity: if merge_similarity == "weighted" {
                     pg_hive::MergeSimilarity::WeightedJaccard

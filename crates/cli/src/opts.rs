@@ -60,6 +60,8 @@ Commands:
             [--method elsh|minhash] [--theta <f>] [--seed <n>]
             [--merge-similarity binary|weighted] [--refine]
             [--threads <n>] (0 = all cores, 1 = sequential; same schema)
+            [--no-dedup] (disable the structural-fingerprint dedup fast
+              path; the schema is bit-identical either way)
             [--no-post] [--sample-datatypes] [--out <file>]
             [--batches <k>] (split input into k incremental batches)
             [--on-error strict|skip|cap:<n>] (malformed input lines:
@@ -154,6 +156,8 @@ pub enum Command {
         threads: usize,
         /// Skip post-processing.
         no_post: bool,
+        /// Disable the structural-fingerprint dedup fast path.
+        no_dedup: bool,
         /// "binary" or "weighted" unlabeled-cluster merging.
         merge_similarity: String,
         /// Run the context-refinement pass on ABSTRACT types.
@@ -280,6 +284,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let mut i = 0;
     let boolean_flags = [
         "--no-post",
+        "--no-dedup",
         "--sample-datatypes",
         "--jsonl-out",
         "--refine",
@@ -393,6 +398,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: u64_flag("--seed", 42)?,
                 threads: u64_flag("--threads", 0)? as usize,
                 no_post: switches.contains("--no-post"),
+                no_dedup: switches.contains("--no-dedup"),
                 merge_similarity,
                 refine: switches.contains("--refine"),
                 sample_datatypes: switches.contains("--sample-datatypes"),
@@ -529,13 +535,24 @@ mod tests {
                 method,
                 theta,
                 no_post,
+                no_dedup,
                 ..
             } => {
                 assert_eq!(format, OutputFormat::PgSchemaStrict);
                 assert_eq!(method, "elsh");
                 assert_eq!(theta, 0.9);
                 assert!(!no_post);
+                assert!(!no_dedup, "dedup fast path is on by default");
             }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_no_dedup_switch() {
+        let c = parse(&args(&["discover", "--jsonl", "g.jsonl", "--no-dedup"])).unwrap();
+        match c {
+            Command::Discover { no_dedup, .. } => assert!(no_dedup),
             other => panic!("wrong command {other:?}"),
         }
     }

@@ -8,14 +8,58 @@
 //! into an accumulator for later post-processing.
 
 use crate::config::{HiveConfig, LshMethod, LshParams};
-use crate::features::FeatureSpace;
+use crate::features::{EdgeFingerprint, FeatureSpace, NodeFingerprint};
 use crate::state::{EdgeTypeAccum, NodeTypeAccum};
 use pg_lsh::adaptive::{self, AdaptiveParams, ElementKind};
-use pg_lsh::{Clustering, EuclideanLsh, MinHashLsh, SparseVec};
+use pg_lsh::{group_by_key, Clustering, EuclideanLsh, Grouping, MinHashLsh, SparseVec};
 use pg_model::{LabelSet, Symbol};
 use pg_store::{EdgeRecord, NodeRecord};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
+
+/// How far the structural-fingerprint dedup collapsed one clustering
+/// pass: `records` elements entered, `distinct` fingerprints were
+/// actually featurized and hashed. With dedup disabled
+/// `distinct == records`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DedupStats {
+    /// Elements in the batch.
+    pub records: usize,
+    /// Distinct structural fingerprints (= LSH inputs).
+    pub distinct: usize,
+}
+
+impl DedupStats {
+    /// `records / distinct` — how many records each distinct fingerprint
+    /// stands for on average (1.0 when dedup is off or every record is
+    /// structurally unique).
+    pub fn ratio(&self) -> f64 {
+        if self.distinct == 0 {
+            1.0
+        } else {
+            self.records as f64 / self.distinct as f64
+        }
+    }
+}
+
+/// Broadcast a clustering of fingerprint representatives back to the
+/// full record set. `grouping.reps` is in record first-occurrence order
+/// and `rep_clustering` numbers clusters densely in *rep*
+/// first-occurrence order, so the composed ids are already dense in
+/// record first-occurrence order — exactly what clustering the
+/// materialized per-record inputs would have produced (equal
+/// fingerprints ⇒ bit-identical vectors ⇒ equal signatures).
+fn broadcast(rep_clustering: &Clustering, grouping: &Grouping) -> Clustering {
+    let assignment: Vec<usize> = grouping
+        .assignment
+        .par_iter()
+        .map(|&g| rep_clustering.assignment[g])
+        .collect();
+    Clustering {
+        assignment,
+        num_clusters: rep_clustering.num_clusters,
+    }
+}
 
 /// A candidate node type: cluster representative + accumulator.
 #[derive(Debug, Clone, Default)]
@@ -82,89 +126,228 @@ fn resolve_minhash_tables(
     }
 }
 
-/// Cluster the batch's nodes. Returns the candidate clusters plus the
-/// adaptive parameters actually used (if adaptive).
+/// Cluster the batch's nodes. Returns the candidate clusters, the
+/// adaptive parameters actually used (if adaptive), and the dedup
+/// statistics of the pass.
+///
+/// With `cfg.dedup` (the default), records are first collapsed to their
+/// structural fingerprints and only the distinct fingerprints are
+/// featurized and LSH-hashed; cluster ids are then broadcast back. The
+/// result is bit-identical to the naive per-record path — feature
+/// vectors are value-independent, the adaptive μ sample is computed over
+/// the full *virtual* record set with the same RNG stream, and the
+/// representative cluster assembly below always folds the full record
+/// set (counts, cardinalities, and datatype stats are unaffected).
 pub fn cluster_nodes(
     nodes: &[NodeRecord],
     fs: &FeatureSpace,
     cfg: &HiveConfig,
-) -> (Vec<NodeCluster>, Option<AdaptiveParams>) {
+) -> (Vec<NodeCluster>, Option<AdaptiveParams>, DedupStats) {
     if nodes.is_empty() {
-        return (Vec::new(), None);
+        return (Vec::new(), None, DedupStats::default());
     }
     let distinct_labels: BTreeSet<&str> = nodes
         .iter()
         .flat_map(|n| n.labels.iter().map(|l| l.as_ref()))
         .collect();
 
-    let (clustering, params) = match cfg.method {
-        LshMethod::Elsh => {
-            let vectors: Vec<SparseVec> = nodes.par_iter().map(|n| fs.node_vector(n)).collect();
-            let (b, t, p) = resolve_elsh_params(
-                &cfg.node_params,
-                &vectors,
-                distinct_labels.len(),
-                ElementKind::Node,
-                cfg.seed,
-            );
-            let lsh = EuclideanLsh::new(fs.node_dim().max(1), t, b, cfg.seed);
-            (lsh.cluster_signature(&vectors), p)
+    let (clustering, params, stats) = if cfg.dedup {
+        let fps: Vec<NodeFingerprint> = nodes.par_iter().map(|n| fs.node_fingerprint(n)).collect();
+        let grouping = group_by_key(&fps);
+        let stats = DedupStats {
+            records: nodes.len(),
+            distinct: grouping.num_groups,
+        };
+        match cfg.method {
+            LshMethod::Elsh => {
+                let vectors: Vec<SparseVec> = grouping
+                    .reps
+                    .par_iter()
+                    .map(|&i| fs.node_fingerprint_vector(&fps[i]))
+                    .collect();
+                let (b, t, p) = match &cfg.node_params {
+                    LshParams::Adaptive => {
+                        let p = adaptive::adapt_grouped(
+                            &vectors,
+                            &grouping.assignment,
+                            distinct_labels.len(),
+                            ElementKind::Node,
+                            cfg.seed,
+                        );
+                        (p.bucket_length, p.tables, Some(p))
+                    }
+                    LshParams::Manual {
+                        bucket_length,
+                        tables,
+                    } => (*bucket_length, *tables, None),
+                };
+                let lsh = EuclideanLsh::new(fs.node_dim().max(1), t, b, cfg.seed);
+                (
+                    broadcast(&lsh.cluster_signature(&vectors), &grouping),
+                    p,
+                    stats,
+                )
+            }
+            LshMethod::MinHash => {
+                let sets: Vec<Vec<u64>> = grouping
+                    .reps
+                    .par_iter()
+                    .map(|&i| fs.node_fingerprint_set(&fps[i]))
+                    .collect();
+                // Table count scales with the *record* count, not the
+                // fingerprint count, to match the naive path.
+                let (t, p) = resolve_minhash_tables(
+                    &cfg.node_params,
+                    nodes.len(),
+                    distinct_labels.len(),
+                    ElementKind::Node,
+                );
+                let lsh = MinHashLsh::new(t, cfg.seed);
+                (
+                    broadcast(&lsh.cluster_signature(&sets), &grouping),
+                    p,
+                    stats,
+                )
+            }
         }
-        LshMethod::MinHash => {
-            let sets: Vec<Vec<u64>> = nodes.par_iter().map(|n| fs.node_set(n)).collect();
-            let (t, p) = resolve_minhash_tables(
-                &cfg.node_params,
-                nodes.len(),
-                distinct_labels.len(),
-                ElementKind::Node,
-            );
-            let lsh = MinHashLsh::new(t, cfg.seed);
-            (lsh.cluster_signature(&sets), p)
+    } else {
+        let stats = DedupStats {
+            records: nodes.len(),
+            distinct: nodes.len(),
+        };
+        match cfg.method {
+            LshMethod::Elsh => {
+                let vectors: Vec<SparseVec> = nodes.par_iter().map(|n| fs.node_vector(n)).collect();
+                let (b, t, p) = resolve_elsh_params(
+                    &cfg.node_params,
+                    &vectors,
+                    distinct_labels.len(),
+                    ElementKind::Node,
+                    cfg.seed,
+                );
+                let lsh = EuclideanLsh::new(fs.node_dim().max(1), t, b, cfg.seed);
+                (lsh.cluster_signature(&vectors), p, stats)
+            }
+            LshMethod::MinHash => {
+                let sets: Vec<Vec<u64>> = nodes.par_iter().map(|n| fs.node_set(n)).collect();
+                let (t, p) = resolve_minhash_tables(
+                    &cfg.node_params,
+                    nodes.len(),
+                    distinct_labels.len(),
+                    ElementKind::Node,
+                );
+                let lsh = MinHashLsh::new(t, cfg.seed);
+                (lsh.cluster_signature(&sets), p, stats)
+            }
         }
     };
-    (assemble_node_clusters(nodes, &clustering), params)
+    (assemble_node_clusters(nodes, &clustering), params, stats)
 }
 
-/// Cluster the batch's edges.
+/// Cluster the batch's edges (see [`cluster_nodes`] for the dedup
+/// contract).
 pub fn cluster_edges(
     edges: &[EdgeRecord],
     fs: &FeatureSpace,
     cfg: &HiveConfig,
-) -> (Vec<EdgeCluster>, Option<AdaptiveParams>) {
+) -> (Vec<EdgeCluster>, Option<AdaptiveParams>, DedupStats) {
     if edges.is_empty() {
-        return (Vec::new(), None);
+        return (Vec::new(), None, DedupStats::default());
     }
     let distinct_labels: BTreeSet<&str> = edges
         .iter()
         .flat_map(|e| e.edge.labels.iter().map(|l| l.as_ref()))
         .collect();
 
-    let (clustering, params) = match cfg.method {
-        LshMethod::Elsh => {
-            let vectors: Vec<SparseVec> = edges.par_iter().map(|e| fs.edge_vector(e)).collect();
-            let (b, t, p) = resolve_elsh_params(
-                &cfg.edge_params,
-                &vectors,
-                distinct_labels.len(),
-                ElementKind::Edge,
-                cfg.seed.wrapping_add(1),
-            );
-            let lsh = EuclideanLsh::new(fs.edge_dim().max(1), t, b, cfg.seed.wrapping_add(1));
-            (lsh.cluster_signature(&vectors), p)
+    let (clustering, params, stats) = if cfg.dedup {
+        let fps: Vec<EdgeFingerprint> = edges.par_iter().map(|e| fs.edge_fingerprint(e)).collect();
+        let grouping = group_by_key(&fps);
+        let stats = DedupStats {
+            records: edges.len(),
+            distinct: grouping.num_groups,
+        };
+        match cfg.method {
+            LshMethod::Elsh => {
+                let vectors: Vec<SparseVec> = grouping
+                    .reps
+                    .par_iter()
+                    .map(|&i| fs.edge_fingerprint_vector(&fps[i]))
+                    .collect();
+                let (b, t, p) = match &cfg.edge_params {
+                    LshParams::Adaptive => {
+                        let p = adaptive::adapt_grouped(
+                            &vectors,
+                            &grouping.assignment,
+                            distinct_labels.len(),
+                            ElementKind::Edge,
+                            cfg.seed.wrapping_add(1),
+                        );
+                        (p.bucket_length, p.tables, Some(p))
+                    }
+                    LshParams::Manual {
+                        bucket_length,
+                        tables,
+                    } => (*bucket_length, *tables, None),
+                };
+                let lsh = EuclideanLsh::new(fs.edge_dim().max(1), t, b, cfg.seed.wrapping_add(1));
+                (
+                    broadcast(&lsh.cluster_signature(&vectors), &grouping),
+                    p,
+                    stats,
+                )
+            }
+            LshMethod::MinHash => {
+                let sets: Vec<Vec<u64>> = grouping
+                    .reps
+                    .par_iter()
+                    .map(|&i| fs.edge_fingerprint_set(&fps[i]))
+                    .collect();
+                let (t, p) = resolve_minhash_tables(
+                    &cfg.edge_params,
+                    edges.len(),
+                    distinct_labels.len(),
+                    ElementKind::Edge,
+                );
+                let lsh = MinHashLsh::new(t, cfg.seed.wrapping_add(1));
+                (
+                    broadcast(&lsh.cluster_signature(&sets), &grouping),
+                    p,
+                    stats,
+                )
+            }
         }
-        LshMethod::MinHash => {
-            let sets: Vec<Vec<u64>> = edges.par_iter().map(|e| fs.edge_set(e)).collect();
-            let (t, p) = resolve_minhash_tables(
-                &cfg.edge_params,
-                edges.len(),
-                distinct_labels.len(),
-                ElementKind::Edge,
-            );
-            let lsh = MinHashLsh::new(t, cfg.seed.wrapping_add(1));
-            (lsh.cluster_signature(&sets), p)
+    } else {
+        let stats = DedupStats {
+            records: edges.len(),
+            distinct: edges.len(),
+        };
+        match cfg.method {
+            LshMethod::Elsh => {
+                let vectors: Vec<SparseVec> = edges.par_iter().map(|e| fs.edge_vector(e)).collect();
+                let (b, t, p) = resolve_elsh_params(
+                    &cfg.edge_params,
+                    &vectors,
+                    distinct_labels.len(),
+                    ElementKind::Edge,
+                    cfg.seed.wrapping_add(1),
+                );
+                let lsh = EuclideanLsh::new(fs.edge_dim().max(1), t, b, cfg.seed.wrapping_add(1));
+                (lsh.cluster_signature(&vectors), p, stats)
+            }
+            LshMethod::MinHash => {
+                let sets: Vec<Vec<u64>> = edges.par_iter().map(|e| fs.edge_set(e)).collect();
+                let (t, p) = resolve_minhash_tables(
+                    &cfg.edge_params,
+                    edges.len(),
+                    distinct_labels.len(),
+                    ElementKind::Edge,
+                );
+                let lsh = MinHashLsh::new(t, cfg.seed.wrapping_add(1));
+                (lsh.cluster_signature(&sets), p, stats)
+            }
         }
     };
-    (assemble_edge_clusters(edges, &clustering), params)
+    (assemble_edge_clusters(edges, &clustering), params, stats)
 }
 
 /// Number of chunks cluster assembly folds in parallel. Chunk
@@ -296,7 +479,7 @@ mod tests {
         let nodes = two_type_nodes();
         let cfg = quick_cfg(LshMethod::Elsh);
         let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
-        let (clusters, params) = cluster_nodes(&nodes, &fs, &cfg);
+        let (clusters, params, stats) = cluster_nodes(&nodes, &fs, &cfg);
         assert_eq!(clusters.len(), 2, "two structurally distinct types");
         assert!(params.is_some(), "adaptive params reported");
         let total: u64 = clusters.iter().map(|c| c.accum.count).sum();
@@ -304,6 +487,10 @@ mod tests {
         for c in &clusters {
             assert_eq!(c.labels.len(), 1, "clusters are pure: {}", c.labels);
         }
+        // 60 records, 2 structures: dedup collapses 30:1.
+        assert_eq!(stats.records, 60);
+        assert_eq!(stats.distinct, 2);
+        assert_eq!(stats.ratio(), 30.0);
     }
 
     #[test]
@@ -311,7 +498,7 @@ mod tests {
         let nodes = two_type_nodes();
         let cfg = quick_cfg(LshMethod::MinHash);
         let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
-        let (clusters, _) = cluster_nodes(&nodes, &fs, &cfg);
+        let (clusters, _, _) = cluster_nodes(&nodes, &fs, &cfg);
         assert_eq!(clusters.len(), 2);
     }
 
@@ -325,7 +512,7 @@ mod tests {
         ];
         let cfg = quick_cfg(LshMethod::Elsh);
         let fs = FeatureSpace::build(&nodes, &[], &cfg.embedding, cfg.seed);
-        let (clusters, _) = cluster_nodes(&nodes, &fs, &cfg);
+        let (clusters, _, _) = cluster_nodes(&nodes, &fs, &cfg);
         let all_keys: BTreeSet<_> = clusters.iter().flat_map(|c| c.keys.clone()).collect();
         assert_eq!(all_keys.len(), 2);
         for c in &clusters {
@@ -366,7 +553,7 @@ mod tests {
         }
         let cfg = quick_cfg(LshMethod::Elsh);
         let fs = FeatureSpace::build(&nodes, &edges, &cfg.embedding, cfg.seed);
-        let (clusters, _) = cluster_edges(&edges, &fs, &cfg);
+        let (clusters, _, _) = cluster_edges(&edges, &fs, &cfg);
         assert_eq!(clusters.len(), 2);
         let works = clusters
             .iter()
@@ -408,9 +595,101 @@ mod tests {
     fn empty_inputs() {
         let cfg = quick_cfg(LshMethod::Elsh);
         let fs = FeatureSpace::build(&[], &[], &cfg.embedding, cfg.seed);
-        let (nc, np) = cluster_nodes(&[], &fs, &cfg);
+        let (nc, np, ns) = cluster_nodes(&[], &fs, &cfg);
         assert!(nc.is_empty() && np.is_none());
-        let (ec, ep) = cluster_edges(&[], &fs, &cfg);
+        assert_eq!(ns, DedupStats::default());
+        let (ec, ep, es) = cluster_edges(&[], &fs, &cfg);
         assert!(ec.is_empty() && ep.is_none());
+        assert_eq!(es, DedupStats::default());
+    }
+
+    /// Mixed-structure stream where fingerprints recur in a scrambled
+    /// order: the dedup fast path must assign cluster ids in record
+    /// first-occurrence order, i.e. exactly the ids of the naive path.
+    fn scrambled_nodes() -> Vec<NodeRecord> {
+        let mut v = Vec::new();
+        for i in 0..120u64 {
+            let n = match i % 4 {
+                0 => Node::new(i, LabelSet::single("Person"))
+                    .with_prop("name", format!("p{i}"))
+                    .with_prop("age", i as i64),
+                1 => Node::new(i, LabelSet::single("Org")).with_prop("url", format!("u{i}")),
+                2 => Node::new(i, LabelSet::empty()).with_prop("name", format!("x{i}")),
+                _ => Node::new(i, LabelSet::single("Person")).with_prop("name", format!("q{i}")),
+            };
+            v.push(n);
+        }
+        v
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_cluster_order() {
+        // The naive path is the specification; dedup must reproduce its
+        // cluster representatives *in the same order* (assembly indexes
+        // clusters by id, so any renumbering would reorder the output).
+        let nodes = scrambled_nodes();
+        for method in [LshMethod::Elsh, LshMethod::MinHash] {
+            let on = quick_cfg(method);
+            let off = quick_cfg(method).with_dedup(false);
+            let fs = FeatureSpace::build(&nodes, &[], &on.embedding, on.seed);
+            let (c_on, p_on, s_on) = cluster_nodes(&nodes, &fs, &on);
+            let (c_off, p_off, s_off) = cluster_nodes(&nodes, &fs, &off);
+            assert_eq!(p_on, p_off, "adaptive params must agree ({method:?})");
+            assert_eq!(c_on.len(), c_off.len(), "({method:?})");
+            for (a, b) in c_on.iter().zip(&c_off) {
+                assert_eq!(a.labels, b.labels, "({method:?})");
+                assert_eq!(a.keys, b.keys, "({method:?})");
+                assert_eq!(a.accum.count, b.accum.count, "({method:?})");
+                assert_eq!(a.accum.members, b.accum.members, "({method:?})");
+            }
+            assert_eq!(s_on.records, 120);
+            assert_eq!(s_on.distinct, 4, "four structural fingerprints");
+            assert_eq!(s_off.distinct, 120, "dedup off: no collapsing");
+        }
+    }
+
+    #[test]
+    fn dedup_matches_naive_for_edges() {
+        let mut nodes = Vec::new();
+        let mut edges = Vec::new();
+        for i in 0..40u64 {
+            nodes.push(Node::new(i, LabelSet::single("Person")).with_prop("name", "n"));
+            nodes.push(Node::new(100 + i, LabelSet::single("Org")).with_prop("url", "u"));
+            edges.push(EdgeRecord {
+                edge: Edge::new(
+                    1000 + i,
+                    NodeId(i),
+                    NodeId(i + 1),
+                    LabelSet::single("KNOWS"),
+                ),
+                src_labels: LabelSet::single("Person"),
+                tgt_labels: LabelSet::single("Person"),
+            });
+            edges.push(EdgeRecord {
+                edge: Edge::new(
+                    2000 + i,
+                    NodeId(i),
+                    NodeId(100 + i),
+                    LabelSet::single("WORKS_AT"),
+                )
+                .with_prop("from", 2020 + i as i64),
+                src_labels: LabelSet::single("Person"),
+                tgt_labels: LabelSet::single("Org"),
+            });
+        }
+        let on = quick_cfg(LshMethod::Elsh);
+        let off = quick_cfg(LshMethod::Elsh).with_dedup(false);
+        let fs = FeatureSpace::build(&nodes, &edges, &on.embedding, on.seed);
+        let (c_on, p_on, s_on) = cluster_edges(&edges, &fs, &on);
+        let (c_off, p_off, _) = cluster_edges(&edges, &fs, &off);
+        assert_eq!(p_on, p_off);
+        assert_eq!(c_on.len(), c_off.len());
+        for (a, b) in c_on.iter().zip(&c_off) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.src_labels, b.src_labels);
+            assert_eq!(a.tgt_labels, b.tgt_labels);
+            assert_eq!(a.accum.members, b.accum.members);
+        }
+        assert_eq!(s_on.distinct, 2);
     }
 }

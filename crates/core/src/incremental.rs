@@ -7,7 +7,7 @@
 //! generalizes the schema after batch `i`.
 
 use crate::cardinality::compute_cardinalities;
-use crate::cluster::{cluster_edges, cluster_nodes};
+use crate::cluster::{cluster_edges, cluster_nodes, DedupStats};
 use crate::config::HiveConfig;
 use crate::constraints::infer_property_constraints;
 use crate::datatypes::infer_datatypes;
@@ -34,6 +34,13 @@ pub struct BatchTiming {
     pub nodes: usize,
     /// Edges in the batch.
     pub edges: usize,
+    /// Structural-fingerprint dedup of the node clustering pass
+    /// (`records` = nodes that reached the hot path after memoization,
+    /// `distinct` = fingerprints actually featurized/hashed; equal when
+    /// `HiveConfig::dedup` is off).
+    pub node_dedup: DedupStats,
+    /// Dedup of the edge clustering pass.
+    pub edge_dedup: DedupStats,
     /// Featurization time (vector building + embedder training).
     pub preprocess: Duration,
     /// LSH clustering time.
@@ -44,6 +51,17 @@ pub struct BatchTiming {
     pub post: Option<Duration>,
     /// End-to-end batch time.
     pub total: Duration,
+}
+
+/// What one hot-path run hands back to [`HiveSession::process_batch`]:
+/// stage durations plus the dedup statistics of the two clustering
+/// passes.
+struct HotPathOutcome {
+    preprocess: Duration,
+    cluster: Duration,
+    extract: Duration,
+    node_dedup: DedupStats,
+    edge_dedup: DedupStats,
 }
 
 /// A serializable snapshot of a [`HiveSession`] (see
@@ -153,8 +171,11 @@ impl HiveSession {
         let (batch_nodes, batch_edges) = (nodes.len(), edges.len());
 
         // Memoization (DiscoPG-style): elements whose exact pattern has
-        // already been typed bypass the pipeline entirely.
-        let (nodes, edges): (Vec<NodeRecord>, Vec<EdgeRecord>) = if self.config.memoize {
+        // already been typed bypass the pipeline entirely. Only that
+        // filter needs owned records — with memoization off the batch
+        // slices are used as-is (cloning a million-record batch costs
+        // whole seconds of page faults).
+        let owned: Option<(Vec<NodeRecord>, Vec<EdgeRecord>)> = if self.config.memoize {
             let mut novel_nodes = Vec::new();
             for node in nodes {
                 let key = (node.labels.clone(), node.key_set());
@@ -208,11 +229,14 @@ impl HiveSession {
                     None => novel_edges.push(rec.clone()),
                 }
             }
-            (novel_nodes, novel_edges)
+            Some((novel_nodes, novel_edges))
         } else {
-            (nodes.to_vec(), edges.to_vec())
+            None
         };
-        let (nodes, edges) = (nodes.as_slice(), edges.as_slice());
+        let (nodes, edges) = match &owned {
+            Some((n, e)) => (n.as_slice(), e.as_slice()),
+            None => (nodes, edges),
+        };
 
         // The parallel hot path runs under a scoped thread pool sized by
         // the `threads` knob (0 = available parallelism, 1 = the exact
@@ -223,8 +247,7 @@ impl HiveSession {
             .build()
             .expect("thread pool construction is infallible");
         let threads = pool.current_num_threads();
-        let (preprocess, cluster, extract) =
-            pool.install(|| self.batch_hot_path(nodes, edges, batch_seed));
+        let hot = pool.install(|| self.batch_hot_path(nodes, edges, batch_seed));
 
         let post = if self.config.post_processing {
             let t3 = Instant::now();
@@ -239,9 +262,11 @@ impl HiveSession {
             threads,
             nodes: batch_nodes,
             edges: batch_edges,
-            preprocess,
-            cluster,
-            extract,
+            node_dedup: hot.node_dedup,
+            edge_dedup: hot.edge_dedup,
+            preprocess: hot.preprocess,
+            cluster: hot.cluster,
+            extract: hot.extract,
             post,
             total: start.elapsed(),
         };
@@ -251,13 +276,13 @@ impl HiveSession {
 
     /// Featurize → cluster → extract/merge for one batch (Algorithm 1,
     /// lines 3–6). Runs inside the session's thread pool; returns the
-    /// per-stage wall-clock durations.
+    /// per-stage wall-clock durations plus the dedup statistics.
     fn batch_hot_path(
         &mut self,
         nodes: &[NodeRecord],
         edges: &[EdgeRecord],
         batch_seed: u64,
-    ) -> (Duration, Duration, Duration) {
+    ) -> HotPathOutcome {
         // Preprocess: train the embedder on the batch labels and build
         // the per-batch feature space.
         let t0 = Instant::now();
@@ -268,8 +293,8 @@ impl HiveSession {
         let t1 = Instant::now();
         let mut cfg = self.config.clone();
         cfg.seed = batch_seed;
-        let (node_clusters, np) = cluster_nodes(nodes, &fs, &cfg);
-        let (edge_clusters, ep) = cluster_edges(edges, &fs, &cfg);
+        let (node_clusters, np, node_dedup) = cluster_nodes(nodes, &fs, &cfg);
+        let (edge_clusters, ep, edge_dedup) = cluster_edges(edges, &fs, &cfg);
         if np.is_some() {
             self.node_params = np;
         }
@@ -326,7 +351,13 @@ impl HiveSession {
             }
         }
         let extract = t2.elapsed();
-        (preprocess, cluster, extract)
+        HotPathOutcome {
+            preprocess,
+            cluster,
+            extract,
+            node_dedup,
+            edge_dedup,
+        }
     }
 
     /// Convenience wrapper over a [`GraphBatch`].
@@ -504,6 +535,13 @@ mod tests {
             assert!(t.threads >= 1, "resolved thread count is concrete");
             assert!(t.total >= t.extract);
             assert!(t.post.is_none(), "post_processing disabled");
+            // The dataset has two node structures and one edge
+            // structure total; no memoization, so records = batch size.
+            assert_eq!(t.node_dedup.records, t.nodes);
+            assert_eq!(t.edge_dedup.records, t.edges);
+            assert!((1..=2).contains(&t.node_dedup.distinct));
+            assert!(t.edge_dedup.distinct <= 1);
+            assert!(t.node_dedup.ratio() >= 1.0);
         }
     }
 

@@ -65,6 +65,7 @@ pub mod state;
 pub mod validate;
 
 pub use checkpoint::{CheckpointError, CheckpointStore, ResumeOutcome};
+pub use cluster::DedupStats;
 pub use config::{
     DatatypeSampling, EmbeddingKind, HiveConfig, LshMethod, LshParams, MergeSimilarity,
 };

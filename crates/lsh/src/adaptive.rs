@@ -128,12 +128,49 @@ pub fn from_scale(
 /// (capped at N), then average the Euclidean distance over up to 5 000
 /// random pairs of the sample.
 pub fn sample_distance_scale(items: &[SparseVec], seed: u64) -> f64 {
-    if items.len() < 2 {
+    sampled_scale(items.len(), seed, |a, b| items[a].distance(&items[b]))
+}
+
+/// [`sample_distance_scale`] over a deduplicated item set: `reps[g]` is
+/// the representative vector of fingerprint group `g` and
+/// `assignment[i]` maps virtual item `i` of the *full* record set to its
+/// group. The RNG stream depends only on `(assignment.len(), seed)` and
+/// every virtual pair `(a, b)` measures
+/// `reps[assignment[a]].distance(&reps[assignment[b]])` — which is the
+/// distance the naive path would compute between records `a` and `b`
+/// (vectors are value-independent) — so μ is bit-identical to sampling
+/// the fully materialized vectors.
+pub fn grouped_distance_scale(reps: &[SparseVec], assignment: &[usize], seed: u64) -> f64 {
+    sampled_scale(assignment.len(), seed, |a, b| {
+        reps[assignment[a]].distance(&reps[assignment[b]])
+    })
+}
+
+/// [`adapt`] over a deduplicated item set (see
+/// [`grouped_distance_scale`]); `assignment.len()` is the virtual record
+/// count that also drives the table-count formula.
+pub fn adapt_grouped(
+    reps: &[SparseVec],
+    assignment: &[usize],
+    distinct_labels: usize,
+    kind: ElementKind,
+    seed: u64,
+) -> AdaptiveParams {
+    let mu = grouped_distance_scale(reps, assignment, seed);
+    from_scale(mu, assignment.len(), distinct_labels, kind)
+}
+
+/// The sampling core shared by the direct and grouped entry points. The
+/// entire RNG stream — shuffle, pair draws, collision fallback — depends
+/// only on `(n, seed)`, so two callers with the same virtual item count
+/// and a pointwise-equal `dist` produce the same μ bit-for-bit.
+fn sampled_scale(n: usize, seed: u64, dist: impl Fn(usize, usize) -> f64) -> f64 {
+    if n < 2 {
         return 0.0;
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let want = (items.len() / 100).max(10_000).min(items.len());
-    let mut idx: Vec<usize> = (0..items.len()).collect();
+    let want = (n / 100).max(10_000).min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(&mut rng);
     idx.truncate(want);
 
@@ -149,7 +186,7 @@ pub fn sample_distance_scale(items: &[SparseVec], seed: u64) -> f64 {
                 continue;
             }
         }
-        acc += items[a].distance(&items[b]);
+        acc += dist(a, b);
         count += 1;
     }
     if count == 0 {
@@ -239,5 +276,27 @@ mod tests {
         let a = adapt(&items, 5, ElementKind::Node, 7);
         let b = adapt(&items, 5, ElementKind::Node, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grouped_scale_is_bit_identical_to_direct() {
+        // Build a record set with heavy structural duplication, then the
+        // dedup view of it: distinct reps + assignment. The grouped
+        // estimator must reproduce the direct one exactly.
+        let reps = vec![
+            SparseVec::from_dense(&[0.0, 1.0, 0.0]),
+            SparseVec::from_dense(&[5.0, 0.0, 2.0]),
+            SparseVec::from_dense(&[-3.0, 4.0, 1.0]),
+        ];
+        let assignment: Vec<usize> = (0..700).map(|i| (i * 7) % 3).collect();
+        let full: Vec<SparseVec> = assignment.iter().map(|&g| reps[g].clone()).collect();
+        for seed in [0, 7, 99] {
+            let direct = sample_distance_scale(&full, seed);
+            let grouped = grouped_distance_scale(&reps, &assignment, seed);
+            assert_eq!(direct.to_bits(), grouped.to_bits(), "seed = {seed}");
+            let pd = adapt(&full, 5, ElementKind::Node, seed);
+            let pg = adapt_grouped(&reps, &assignment, 5, ElementKind::Node, seed);
+            assert_eq!(pd, pg, "seed = {seed}");
+        }
     }
 }

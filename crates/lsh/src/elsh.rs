@@ -7,23 +7,34 @@
 //! cites). Tables are combined under the OR rule: two vectors are
 //! *colliding* if they share a bucket in at least one table. Clusters are
 //! the transitive closure of collisions.
+//!
+//! The projection matrix is stored flat in dimension-major ("transposed")
+//! layout — entry `(t, i)` lives at `proj[i * T + t]` — so hashing a
+//! sparse vector walks its nonzeros once and updates all `T` dot-product
+//! accumulators from one contiguous row per nonzero, instead of re-reading
+//! the vector `T` times through `T` separate projection `Vec`s.
 
 use crate::sparse::SparseVec;
 use crate::unionfind::UnionFind;
-use crate::Clustering;
+use crate::{Clustering, GROUP_SHARDS};
+use crate::{FnvBuild, FnvHashMap};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
-use std::collections::HashMap;
 
 /// A configured Euclidean LSH family.
 #[derive(Debug, Clone)]
 pub struct EuclideanLsh {
     /// Bucket length `b > 0` (granularity of similarity).
     bucket_length: f64,
-    /// Gaussian projection per table, each of length `dim`.
-    projections: Vec<Vec<f64>>,
+    /// Input dimensionality.
+    dim: usize,
+    /// Number of hash tables `T`.
+    tables: usize,
+    /// Flat Gaussian projection matrix in dimension-major layout:
+    /// `proj[i * tables + t]` is coordinate `i` of table `t`'s vector.
+    proj: Vec<f64>,
     /// Uniform offset per table in `[0, b)`.
     offsets: Vec<f64>,
 }
@@ -39,22 +50,35 @@ impl EuclideanLsh {
         assert!(tables > 0, "need at least one hash table");
         assert!(dim > 0, "dimension must be positive");
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let projections = (0..tables)
-            .map(|_| (0..dim).map(|_| gaussian(&mut rng)).collect())
-            .collect();
+        // Draw order is part of the determinism contract (all projection
+        // Gaussians table-by-table, then the offsets): the flat layout
+        // only changes where each draw is *stored*, never the stream.
+        let mut proj = vec![0.0; tables * dim];
+        for t in 0..tables {
+            for i in 0..dim {
+                proj[i * tables + t] = gaussian(&mut rng);
+            }
+        }
         let offsets = (0..tables)
             .map(|_| rng.gen::<f64>() * bucket_length)
             .collect();
         EuclideanLsh {
             bucket_length,
-            projections,
+            dim,
+            tables,
+            proj,
             offsets,
         }
     }
 
     /// Number of hash tables `T`.
     pub fn tables(&self) -> usize {
-        self.projections.len()
+        self.tables
+    }
+
+    /// Input dimensionality the family was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
     }
 
     /// The bucket length `b`.
@@ -64,15 +88,43 @@ impl EuclideanLsh {
 
     /// Hash one vector in one table.
     pub fn hash_in_table(&self, v: &SparseVec, table: usize) -> i64 {
-        let dot = v.dot_dense(&self.projections[table]);
+        debug_assert!(table < self.tables);
+        let dot: f64 = v
+            .iter()
+            .map(|(i, x)| x * self.proj[i as usize * self.tables + table])
+            .sum();
         ((dot + self.offsets[table]) / self.bucket_length).floor() as i64
+    }
+
+    /// Compute all `T` bucket ids of `v` in a single pass over its
+    /// nonzeros. `acc` and `sig` are caller-owned scratch of length `T`
+    /// so bulk hashing allocates nothing per item.
+    ///
+    /// The per-table accumulation order matches [`Self::hash_in_table`]
+    /// exactly (terms added in increasing index order starting from 0.0,
+    /// offset added last), so the two paths are bit-identical.
+    pub fn signature_into(&self, v: &SparseVec, acc: &mut [f64], sig: &mut [i64]) {
+        debug_assert_eq!(v.dim(), self.dim);
+        debug_assert_eq!(acc.len(), self.tables);
+        debug_assert_eq!(sig.len(), self.tables);
+        acc.fill(0.0);
+        for (i, x) in v.iter() {
+            let row = &self.proj[i as usize * self.tables..(i as usize + 1) * self.tables];
+            for (a, &p) in acc.iter_mut().zip(row) {
+                *a += x * p;
+            }
+        }
+        for ((s, &a), &u) in sig.iter_mut().zip(acc.iter()).zip(&self.offsets) {
+            *s = ((a + u) / self.bucket_length).floor() as i64;
+        }
     }
 
     /// The full signature (one bucket id per table).
     pub fn signature(&self, v: &SparseVec) -> Vec<i64> {
-        (0..self.tables())
-            .map(|t| self.hash_in_table(v, t))
-            .collect()
+        let mut acc = vec![0.0; self.tables];
+        let mut sig = vec![0i64; self.tables];
+        self.signature_into(v, &mut acc, &mut sig);
+        sig
     }
 
     /// Cluster by *full signature* equality (AND over all `T` tables).
@@ -85,12 +137,101 @@ impl EuclideanLsh {
     /// or shrinking `b` increases selectivity, matching the paper's
     /// parameter-effect discussion.
     ///
-    /// Signatures are hashed in parallel and grouped by
-    /// [`crate::cluster_by_signature`]'s sharded accumulation; bucket ids
-    /// follow first-occurrence order regardless of thread count.
+    /// The grouping path never materializes per-item signature `Vec`s:
+    /// each shard hashes signatures incrementally into a `u64` key from a
+    /// reused scratch buffer, and keeps a full signature only per
+    /// *distinct* group (its first occupant) to verify candidates against,
+    /// so a `u64` collision can never merge two different signatures.
+    /// Shard tables merge strictly in shard order, making bucket ids
+    /// follow first-occurrence order regardless of thread count — the same
+    /// contract as [`crate::cluster_by_signature`].
     pub fn cluster_signature(&self, items: &[SparseVec]) -> Clustering {
-        let signatures: Vec<Vec<i64>> = items.par_iter().map(|v| self.signature(v)).collect();
-        crate::cluster_by_signature(&signatures)
+        if items.is_empty() {
+            return Clustering::from_assignment(Vec::new());
+        }
+        let t = self.tables;
+        let shard = items.len().div_ceil(GROUP_SHARDS).max(1);
+
+        /// Distinct signatures of one shard: local assignment, per-group
+        /// `u64` keys, and the flat group-major representative store.
+        struct ShardGroups {
+            raw: Vec<usize>,
+            hashes: Vec<u64>,
+            rep_sigs: Vec<i64>,
+        }
+
+        let shards: Vec<ShardGroups> = items
+            .par_chunks(shard)
+            .map(|chunk| {
+                let mut acc = vec![0.0; t];
+                let mut sig = vec![0i64; t];
+                let mut buckets: FnvHashMap<u64, Vec<usize>> = FnvHashMap::default();
+                let mut hashes: Vec<u64> = Vec::new();
+                let mut rep_sigs: Vec<i64> = Vec::new();
+                let mut raw = Vec::with_capacity(chunk.len());
+                for v in chunk {
+                    self.signature_into(v, &mut acc, &mut sig);
+                    let h = fnv1a_sig(&sig);
+                    let gids = buckets.entry(h).or_default();
+                    let mut found = None;
+                    for &g in gids.iter() {
+                        if rep_sigs[g * t..(g + 1) * t] == sig[..] {
+                            found = Some(g);
+                            break;
+                        }
+                    }
+                    let gid = match found {
+                        Some(g) => g,
+                        None => {
+                            let g = hashes.len();
+                            hashes.push(h);
+                            rep_sigs.extend_from_slice(&sig);
+                            gids.push(g);
+                            g
+                        }
+                    };
+                    raw.push(gid);
+                }
+                ShardGroups {
+                    raw,
+                    hashes,
+                    rep_sigs,
+                }
+            })
+            .collect();
+
+        let mut global: FnvHashMap<u64, Vec<usize>> = FnvHashMap::default();
+        let mut global_reps: Vec<i64> = Vec::new();
+        let mut assignment = Vec::with_capacity(items.len());
+        for s in &shards {
+            let mut mapping = Vec::with_capacity(s.hashes.len());
+            for (lg, &h) in s.hashes.iter().enumerate() {
+                let lsig = &s.rep_sigs[lg * t..(lg + 1) * t];
+                let gids = global.entry(h).or_default();
+                let mut found = None;
+                for &g in gids.iter() {
+                    if &global_reps[g * t..(g + 1) * t] == lsig {
+                        found = Some(g);
+                        break;
+                    }
+                }
+                let gid = match found {
+                    Some(g) => g,
+                    None => {
+                        let g = global_reps.len() / t;
+                        global_reps.extend_from_slice(lsig);
+                        gids.push(g);
+                        g
+                    }
+                };
+                mapping.push(gid);
+            }
+            assignment.extend(s.raw.iter().map(|&local_id| mapping[local_id]));
+        }
+        Clustering {
+            num_clusters: global_reps.len() / t,
+            assignment,
+        }
     }
 
     /// Cluster under the OR rule: items sharing a bucket in *any* table
@@ -98,21 +239,35 @@ impl EuclideanLsh {
     /// search-style amplification `P_{b,T}(d) = 1-(1-p_b(d))^T`; it has
     /// high recall but chains aggressively on dense datasets, which is
     /// why the pipeline uses [`Self::cluster_signature`] by default. The
-    /// `merge_ablation` benchmark contrasts the two.
+    /// `merge_ablation` benchmark contrasts the two; `lsh_micro` tracks
+    /// this path's throughput.
     pub fn cluster(&self, items: &[SparseVec]) -> Clustering {
         let n = items.len();
         if n == 0 {
             return Clustering::from_assignment(vec![]);
         }
-        // Compute signatures in parallel (the hot loop: O(N·T·nnz)).
-        let signatures: Vec<Vec<i64>> = items.par_iter().map(|v| self.signature(v)).collect();
+        let t = self.tables;
+        // One flat item-major signature matrix (`sigs[i * T + tb]`), filled
+        // shard-parallel with reused scratch — no per-item Vec allocation.
+        let mut sigs = vec![0i64; n * t];
+        let shard = n.div_ceil(GROUP_SHARDS).max(1);
+        sigs.par_chunks_mut(shard * t)
+            .zip(items.par_chunks(shard))
+            .for_each(|(rows, chunk)| {
+                let mut acc = vec![0.0; t];
+                for (v, row) in chunk.iter().zip(rows.chunks_mut(t)) {
+                    self.signature_into(v, &mut acc, row);
+                }
+            });
 
         let mut uf = UnionFind::new(n);
-        let mut buckets: HashMap<i64, usize> = HashMap::new();
-        for t in 0..self.tables() {
+        // One bucket map, preallocated for the worst case (all singleton
+        // buckets) and reused across tables: `clear()` keeps the capacity.
+        let mut buckets: FnvHashMap<i64, usize> = FnvHashMap::with_capacity_and_hasher(n, FnvBuild);
+        for tb in 0..t {
             buckets.clear();
-            for (i, sig) in signatures.iter().enumerate() {
-                match buckets.entry(sig[t]) {
+            for i in 0..n {
+                match buckets.entry(sigs[i * t + tb]) {
                     std::collections::hash_map::Entry::Occupied(first) => {
                         uf.union(*first.get(), i);
                     }
@@ -124,6 +279,20 @@ impl EuclideanLsh {
         }
         Clustering::from_assignment(uf.labels())
     }
+}
+
+/// FNV-1a over a signature's bucket ids (little-endian bytes). Only a
+/// grouping accelerator: equal signatures always agree, and unequal
+/// signatures that collide are separated by the representative check.
+fn fnv1a_sig(sig: &[i64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &s in sig {
+        for b in s.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 /// Standard normal via Box–Muller.
@@ -151,6 +320,57 @@ mod tests {
         let a = point(&[0.3, -1.0, 2.0, 0.0]);
         let b = a.clone();
         assert_eq!(lsh.signature(&a), lsh.signature(&b));
+    }
+
+    #[test]
+    fn single_pass_kernel_matches_per_table_hashing() {
+        // The flat kernel and the scalar `hash_in_table` path must agree
+        // bit-for-bit on every table, including negative buckets.
+        let lsh = EuclideanLsh::new(64, 17, 0.37, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            let entries: Vec<(u32, f64)> = (0..12)
+                .map(|_| (rng.gen_range(0..64u32), rng.gen::<f64>() * 8.0 - 4.0))
+                .collect();
+            let v = SparseVec::new(64, entries);
+            let sig = lsh.signature(&v);
+            assert_eq!(sig.len(), lsh.tables());
+            for (t, &bucket) in sig.iter().enumerate() {
+                assert_eq!(bucket, lsh.hash_in_table(&v, t), "table {t}");
+            }
+        }
+    }
+
+    /// Reference grouping: materialize every signature, group with the
+    /// generic sharded reduction. The hashed fast path must match it.
+    fn reference_cluster_signature(lsh: &EuclideanLsh, items: &[SparseVec]) -> Clustering {
+        let signatures: Vec<Vec<i64>> = items.iter().map(|v| lsh.signature(v)).collect();
+        crate::cluster_by_signature(&signatures)
+    }
+
+    #[test]
+    fn hashed_grouping_matches_materialized_signatures() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Heavy duplication plus unique stragglers, spanning many shards.
+        let items: Vec<SparseVec> = (0..800)
+            .map(|i| {
+                if i % 3 == 0 {
+                    point(&[(i % 5) as f64, 1.0, 0.0])
+                } else {
+                    point(&[rng.gen::<f64>() * 50.0, rng.gen::<f64>(), 2.0])
+                }
+            })
+            .collect();
+        let lsh = EuclideanLsh::new(3, 12, 1.0, 5);
+        let expected = reference_cluster_signature(&lsh, &items);
+        for threads in [1, 2, 4, 8] {
+            let got = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| lsh.cluster_signature(&items));
+            assert_eq!(got, expected, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -255,6 +475,27 @@ mod tests {
                     assert_eq!(or.assignment[i], or.assignment[j]);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn or_rule_is_thread_count_invariant() {
+        let items: Vec<SparseVec> = (0..300)
+            .map(|i| point(&[(i % 7) as f64 * 2.0, (i % 3) as f64, (i % 11) as f64]))
+            .collect();
+        let lsh = EuclideanLsh::new(3, 8, 1.0, 13);
+        let expected = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| lsh.cluster(&items));
+        for threads in [2, 4, 8] {
+            let got = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| lsh.cluster(&items));
+            assert_eq!(got, expected, "threads = {threads}");
         }
     }
 

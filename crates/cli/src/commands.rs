@@ -4,8 +4,9 @@
 use crate::opts::{CliError, Command, GraphInput, OutputFormat};
 use pg_datasets::{generate, inject_noise, spec_by_name, NoiseConfig};
 use pg_hive::{
-    diff, serialize, validate, CheckpointStore, DatatypeSampling, DiscoveryResult, HiveConfig,
-    HiveSession, LshMethod, PgHive, SchemaMode, SessionCheckpoint,
+    diff, merge_states, schema_to_state, serialize, validate, CheckpointStore, DatatypeSampling,
+    DiscoveryResult, HiveConfig, HiveSession, LshMethod, PgHive, SchemaMode, SessionCheckpoint,
+    ShardState, SHARD_SPLIT_SALT,
 };
 use pg_model::{GraphStats, PropertyGraph, SchemaGraph};
 use pg_store::{split_batches, ErrorPolicy, Quarantine};
@@ -42,6 +43,8 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             checkpoint_keep,
             resume,
             kill_after_batch,
+            shard,
+            state_out,
         } => {
             let (graph, quarantine) = read_graph_with_policy(input, *on_error)?;
             let config = HiveConfig {
@@ -76,6 +79,23 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     kill_after_batch: *kill_after_batch,
                 };
                 discover_incremental(&graph, config, &opts)?
+            } else if let Some((index, n)) = shard {
+                // One shard of the same deterministic partition
+                // `discover_sharded` uses: the full graph is loaded so
+                // edge endpoint labels resolve, then only shard i is
+                // discovered. `pg-hive merge` over all n shard states
+                // reproduces the single-node schema bit-identically.
+                let batch = split_batches(&graph, *n, seed ^ SHARD_SPLIT_SALT)
+                    .into_iter()
+                    .nth(*index)
+                    .expect("shard index < n, by parse validation");
+                let result = PgHive::new(config).discover(&batch.nodes, &batch.edges);
+                let notes = format!(
+                    "shard {index}/{n}: {} nodes, {} edges\n",
+                    batch.nodes.len(),
+                    batch.edges.len()
+                );
+                (result, notes)
             } else {
                 (PgHive::new(config).discover_graph(&graph), String::new())
             };
@@ -94,6 +114,14 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             }
             if !quarantine.is_empty() {
                 notes.push_str(&quarantine.summary());
+            }
+            if let Some(path) = state_out {
+                let state = ShardState::from_state(&result.state);
+                let json = serde_json::to_string(&state)
+                    .map_err(|e| CliError::Failed(format!("serializing state: {e}")))?;
+                fs::write(path, json)
+                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+                let _ = writeln!(notes, "state -> {}", path.display());
             }
             let text = match format {
                 OutputFormat::PgSchemaStrict => {
@@ -355,6 +383,62 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
         Command::Hash { schema } => {
             let schema = read_schema(schema)?;
             Ok(format!("{}\n", serialize::content_hash_hex(&schema)))
+        }
+
+        Command::Merge { inputs, out } => {
+            #[derive(Clone, Copy, PartialEq, Debug)]
+            enum Kind {
+                State,
+                Schema,
+            }
+            let mut states = Vec::with_capacity(inputs.len());
+            let mut kind: Option<Kind> = None;
+            for path in inputs {
+                let text = fs::read_to_string(path)
+                    .map_err(|e| CliError::Input(format!("reading {path:?}: {e}")))?;
+                // Shard-state JSON (schema + accumulators) merges
+                // exactly; bare schema JSON merges pessimistically.
+                let (state, this) = match serde_json::from_str::<ShardState>(&text) {
+                    Ok(ss) => (ss.into_state(), Kind::State),
+                    Err(_) => match serde_json::from_str::<SchemaGraph>(&text) {
+                        Ok(schema) => (schema_to_state(&schema), Kind::Schema),
+                        Err(e) => {
+                            return Err(CliError::Input(format!(
+                                "{path:?} is neither shard-state nor schema JSON: {e}"
+                            )))
+                        }
+                    },
+                };
+                match kind {
+                    None => kind = Some(this),
+                    Some(k) if k != this => {
+                        return Err(CliError::Usage(
+                            "cannot mix shard-state and bare-schema inputs in one merge \
+                             (their statistics are not comparable); re-run discover with \
+                             --state-out to export shard states"
+                                .into(),
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                states.push(state);
+            }
+            let merged = merge_states(&states, &HiveConfig::default())
+                .map_err(|e| CliError::Usage(e.to_string()))?;
+            let text = serialize::to_json(&merged.schema);
+            if let Some(path) = out {
+                fs::write(path, &text)
+                    .map_err(|e| CliError::Failed(format!("writing {path:?}: {e}")))?;
+                Ok(format!(
+                    "merged {} input(s) -> {} node types, {} edge types -> {}\n",
+                    inputs.len(),
+                    merged.schema.node_types.len(),
+                    merged.schema.edge_types.len(),
+                    path.display()
+                ))
+            } else {
+                Ok(text)
+            }
         }
     }
 }
@@ -778,6 +862,157 @@ mod tests {
         }
         let _ = fs::remove_dir_all(&a);
         let _ = fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn sharded_discover_then_merge_matches_single_node_hash() {
+        let dir = tmpdir("shardmerge");
+        let dir_s = dir.to_str().unwrap();
+        run(&parse(&argv(&[
+            "synth",
+            "--out-dir",
+            dir_s,
+            "--types",
+            "4",
+            "--size",
+            "800",
+            "--seed",
+            "5",
+        ]))
+        .unwrap())
+        .unwrap();
+        let nodes = dir.join("nodes.csv");
+        let edges = dir.join("edges.csv");
+
+        // Single-node baseline.
+        let single = dir.join("single.json");
+        run(&parse(&argv(&[
+            "discover",
+            "--nodes",
+            nodes.to_str().unwrap(),
+            "--edges",
+            edges.to_str().unwrap(),
+            "--format",
+            "json",
+            "--out",
+            single.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        let single_hash =
+            run(&parse(&argv(&["hash", "--schema", single.to_str().unwrap()])).unwrap()).unwrap();
+
+        // Three independent per-shard runs, states exported.
+        let mut state_files = Vec::new();
+        for i in 0..3 {
+            let state = dir.join(format!("state-{i}.json"));
+            let out = run(&parse(&argv(&[
+                "discover",
+                "--nodes",
+                nodes.to_str().unwrap(),
+                "--edges",
+                edges.to_str().unwrap(),
+                "--shard",
+                &format!("{i}/3"),
+                "--state-out",
+                state.to_str().unwrap(),
+                "--format",
+                "json",
+                "--out",
+                dir.join(format!("shard-{i}.json")).to_str().unwrap(),
+            ]))
+            .unwrap())
+            .unwrap();
+            assert!(out.contains(&format!("shard {i}/3")), "{out}");
+            assert!(state.exists());
+            state_files.push(state);
+        }
+
+        // Merge the shard states; the canonical hash must equal the
+        // single-node run's.
+        let merged = dir.join("merged.json");
+        let mut merge_args = vec!["merge".to_owned()];
+        merge_args.extend(state_files.iter().map(|p| p.to_str().unwrap().to_owned()));
+        merge_args.extend(["--out".to_owned(), merged.to_str().unwrap().to_owned()]);
+        let out = run(&parse(&merge_args).unwrap()).unwrap();
+        assert!(out.contains("merged 3 input(s)"), "{out}");
+        let merged_hash =
+            run(&parse(&argv(&["hash", "--schema", merged.to_str().unwrap()])).unwrap()).unwrap();
+        assert_eq!(
+            merged_hash, single_hash,
+            "sharded discover + merge must reproduce the single-node hash"
+        );
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_rejects_mixed_and_malformed_inputs() {
+        let dir = tmpdir("mergeneg");
+        let dir_s = dir.to_str().unwrap();
+        run(&parse(&argv(&[
+            "synth",
+            "--out-dir",
+            dir_s,
+            "--types",
+            "3",
+            "--size",
+            "300",
+            "--seed",
+            "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        let schema_file = dir.join("truth-schema.json");
+        let state_file = dir.join("state.json");
+        run(&parse(&argv(&[
+            "discover",
+            "--nodes",
+            dir.join("nodes.csv").to_str().unwrap(),
+            "--edges",
+            dir.join("edges.csv").to_str().unwrap(),
+            "--state-out",
+            state_file.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+
+        // Bare schemas merge with themselves (pessimistic algebra).
+        let merged = dir.join("schemas-merged.json");
+        run(&parse(&argv(&[
+            "merge",
+            schema_file.to_str().unwrap(),
+            schema_file.to_str().unwrap(),
+            "--out",
+            merged.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(read_schema(&merged).is_ok());
+
+        // Mixing kinds is a usage error (exit code 2).
+        let err = run(&parse(&argv(&[
+            "merge",
+            schema_file.to_str().unwrap(),
+            state_file.to_str().unwrap(),
+        ]))
+        .unwrap())
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        // Malformed JSON is an input error (exit code 3).
+        let junk = dir.join("junk.json");
+        fs::write(&junk, "{not json").unwrap();
+        let err = run(&parse(&argv(&["merge", junk.to_str().unwrap()])).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)), "{err}");
+        assert_eq!(err.exit_code(), 3);
+
+        // A missing file is also an input error, not a panic.
+        let err = run(&parse(&argv(&["merge", "/nonexistent/state.json"])).unwrap()).unwrap_err();
+        assert!(matches!(err, CliError::Input(_)));
+
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

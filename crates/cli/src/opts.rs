@@ -71,6 +71,12 @@ Commands:
             (durable checkpoints: save session state every n batches,
              keep the last k; --resume continues from the newest valid
              checkpoint after a crash)
+            [--shard <i>/<n>] (discover only shard i of a deterministic
+              n-way partition of the input — run once per shard, then
+              unify the shards with `pg-hive merge`)
+            [--state-out <file>] (also write the full discovery state —
+              schema + accumulators — as shard-state JSON, the exact
+              exchange format `pg-hive merge` consumes)
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 bad input data, 4 bad session
 state (corrupt checkpoints, crash during batch processing).
@@ -98,6 +104,15 @@ state (corrupt checkpoints, crash during batch processing).
   hash      --schema <json>
             (print the canonical schema content hash — the same value
              the server reports and embeds in ETags)
+  merge     <state.json|schema.json>... [--out <file>]
+            (unify per-shard discovery results into one canonical
+             schema, bit-identical regardless of input order.
+             Shard-state JSON (from discover --state-out) merges
+             exactly: constraints, data types, and cardinalities are
+             recomputed from the merged accumulators. Bare schema JSON
+             merges pessimistically: one-sided keys demote to OPTIONAL
+             and declared cardinalities fold as maxima. Inputs must be
+             all one kind)
 ";
 
 /// Where to read a graph from.
@@ -183,6 +198,12 @@ pub enum Command {
         /// have been processed (exercises the panic boundary and the
         /// emergency checkpoint). Hidden from USAGE on purpose.
         kill_after_batch: Option<usize>,
+        /// Discover only shard `i` of a deterministic `n`-way partition
+        /// (`(i, n)` with `i < n`); None = the whole input.
+        shard: Option<(usize, usize)>,
+        /// Also write the discovery state (schema + accumulators) as
+        /// shard-state JSON — the input format of `pg-hive merge`.
+        state_out: Option<PathBuf>,
     },
     /// Validate a graph against a schema.
     Validate {
@@ -269,6 +290,13 @@ pub enum Command {
         /// Path to the schema JSON.
         schema: PathBuf,
     },
+    /// Merge per-shard discovery results into one canonical schema.
+    Merge {
+        /// Input files: all shard-state JSON or all schema JSON.
+        inputs: Vec<PathBuf>,
+        /// Merged schema output path (stdout if None).
+        out: Option<PathBuf>,
+    },
 }
 
 /// Parse argv (without the program name).
@@ -290,9 +318,16 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "--refine",
         "--resume",
     ];
+    let mut positionals: Vec<String> = Vec::new();
     while i < rest.len() {
         let flag = rest[i].as_str();
         if !flag.starts_with("--") {
+            // Only `merge` takes positional operands (its input files).
+            if cmd == "merge" {
+                positionals.push(flag.to_owned());
+                i += 1;
+                continue;
+            }
             return Err(CliError::Usage(format!("unexpected argument {flag:?}")));
         }
         if boolean_flags.contains(&flag)
@@ -390,6 +425,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if resume && checkpoint_dir.is_none() {
                 return Err(CliError::Usage("--resume requires --checkpoint-dir".into()));
             }
+            let shard = flags
+                .get("--shard")
+                .map(|v| -> Result<(usize, usize), CliError> {
+                    let err = || {
+                        CliError::Usage(format!("--shard must be <i>/<n> with i < n, got {v:?}"))
+                    };
+                    let (i, n) = v.split_once('/').ok_or_else(err)?;
+                    let i = i.parse::<usize>().map_err(|_| err())?;
+                    let n = n.parse::<usize>().map_err(|_| err())?;
+                    if n == 0 || i >= n {
+                        return Err(err());
+                    }
+                    Ok((i, n))
+                })
+                .transpose()?;
+            if shard.is_some() && (batches > 1 || checkpoint_dir.is_some()) {
+                return Err(CliError::Usage(
+                    "--shard is one shard of one batch; it cannot combine with \
+                     --batches or checkpointing"
+                        .into(),
+                ));
+            }
             Ok(Command::Discover {
                 input: input()?,
                 format,
@@ -417,6 +474,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         })
                     })
                     .transpose()?,
+                shard,
+                state_out: path("--state-out"),
             })
         }
         "validate" => Ok(Command::Validate {
@@ -514,6 +573,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             schema: path("--schema")
                 .ok_or_else(|| CliError::Usage("--schema is required".into()))?,
         }),
+        "merge" => {
+            if positionals.is_empty() {
+                return Err(CliError::Usage(
+                    "merge requires at least one shard-state or schema JSON file".into(),
+                ));
+            }
+            Ok(Command::Merge {
+                inputs: positionals.iter().map(PathBuf::from).collect(),
+                out: path("--out"),
+            })
+        }
         other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     }
 }
@@ -941,6 +1011,99 @@ mod tests {
             Command::Hash { schema } => assert_eq!(schema, PathBuf::from("s.json")),
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_shard_and_state_out() {
+        match parse(&args(&[
+            "discover",
+            "--jsonl",
+            "g.jsonl",
+            "--shard",
+            "2/4",
+            "--state-out",
+            "s.json",
+        ]))
+        .unwrap()
+        {
+            Command::Discover {
+                shard, state_out, ..
+            } => {
+                assert_eq!(shard, Some((2, 4)));
+                assert_eq!(state_out, Some(PathBuf::from("s.json")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Defaults: no sharding, no state dump.
+        match parse(&args(&["discover", "--jsonl", "g.jsonl"])).unwrap() {
+            Command::Discover {
+                shard, state_out, ..
+            } => {
+                assert_eq!(shard, None);
+                assert_eq!(state_out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        for bad in [
+            vec!["discover", "--jsonl", "g", "--shard", "4"],
+            vec!["discover", "--jsonl", "g", "--shard", "4/4"],
+            vec!["discover", "--jsonl", "g", "--shard", "0/0"],
+            vec!["discover", "--jsonl", "g", "--shard", "a/b"],
+            vec![
+                "discover",
+                "--jsonl",
+                "g",
+                "--shard",
+                "1/4",
+                "--batches",
+                "2",
+            ],
+            vec![
+                "discover",
+                "--jsonl",
+                "g",
+                "--shard",
+                "1/4",
+                "--checkpoint-dir",
+                "/tmp/c",
+            ],
+        ] {
+            assert!(
+                matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_merge() {
+        match parse(&args(&["merge", "a.json", "b.json", "--out", "m.json"])).unwrap() {
+            Command::Merge { inputs, out } => {
+                assert_eq!(
+                    inputs,
+                    vec![PathBuf::from("a.json"), PathBuf::from("b.json")]
+                );
+                assert_eq!(out, Some(PathBuf::from("m.json")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args(&["merge", "solo.json"])).unwrap() {
+            Command::Merge { inputs, out } => {
+                assert_eq!(inputs.len(), 1);
+                assert_eq!(out, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // No inputs → usage error; positionals stay merge-only.
+        assert!(matches!(parse(&args(&["merge"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&args(&["merge", "--out", "m.json"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&args(&["hash", "stray.json", "--schema", "s.json"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -10,16 +10,28 @@
 use crate::state::DiscoveryState;
 use pg_store::query::max_degrees;
 
-/// Compute and store cardinalities for every edge type.
+/// Compute and store cardinalities for every edge type: the bounds
+/// observed from the accumulated endpoint pairs, max-merged with the
+/// accumulator's folded floor (a foreign schema's declared cardinality
+/// whose endpoints are not available locally — see
+/// `EdgeTypeAccum::card_floor`). Types with neither endpoints nor a
+/// floor are left untouched.
 pub fn compute_cardinalities(state: &mut DiscoveryState) {
     for t in &mut state.schema.edge_types {
         let Some(acc) = state.edge_accums.get(&t.id) else {
             continue;
         };
-        if acc.endpoints.is_empty() {
-            continue;
+        let observed = if acc.endpoints.is_empty() {
+            None
+        } else {
+            Some(max_degrees(acc.endpoints.iter().copied()))
+        };
+        match (observed, acc.card_floor) {
+            (Some(o), Some(f)) => t.cardinality = Some(o.merge(&f)),
+            (Some(o), None) => t.cardinality = Some(o),
+            (None, Some(f)) => t.cardinality = Some(f),
+            (None, None) => {}
         }
-        t.cardinality = Some(max_degrees(acc.endpoints.iter().copied()));
     }
 }
 
@@ -92,6 +104,39 @@ mod tests {
         let c = state.schema.edge_types[0].cardinality.unwrap();
         assert_eq!(c.max_out, 3, "node 1 has 3 distinct targets");
         assert_eq!(c.max_in, 2, "node 2 has 2 distinct sources");
+    }
+
+    #[test]
+    fn folded_floor_survives_and_max_merges_with_observations() {
+        use pg_model::Cardinality;
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(&mut state, vec![edge_cluster("E", &[(1, 2)])], 0.9, true);
+        let id = state.schema.edge_types[0].id;
+        // A foreign shard claimed (3, 1) without shipping endpoints.
+        state.edge_accums.get_mut(&id).unwrap().card_floor = Some(Cardinality {
+            max_out: 3,
+            max_in: 1,
+        });
+        compute_cardinalities(&mut state);
+        let c = state.schema.edge_types[0].cardinality.unwrap();
+        assert_eq!((c.max_out, c.max_in), (3, 1), "floor dominates (1,1)");
+
+        // Only a floor, no endpoints at all.
+        let mut floor_only = DiscoveryState::new();
+        integrate_edge_clusters(&mut floor_only, vec![edge_cluster("F", &[])], 0.9, true);
+        let fid = floor_only.schema.edge_types[0].id;
+        floor_only.edge_accums.get_mut(&fid).unwrap().card_floor = Some(Cardinality {
+            max_out: 2,
+            max_in: 5,
+        });
+        compute_cardinalities(&mut floor_only);
+        assert_eq!(
+            floor_only.schema.edge_types[0].cardinality,
+            Some(Cardinality {
+                max_out: 2,
+                max_in: 5
+            })
+        );
     }
 
     #[test]

@@ -45,6 +45,19 @@ impl Default for MergeOptions {
     }
 }
 
+impl MergeOptions {
+    /// The merge knobs a full pipeline configuration implies — shared by
+    /// the incremental session and the distributed shard merge so the
+    /// two integration paths can never drift apart.
+    pub fn from_config(config: &crate::config::HiveConfig) -> MergeOptions {
+        MergeOptions {
+            theta: config.theta,
+            similarity: config.merge_similarity,
+            edge_endpoint_aware: config.edge_endpoint_aware,
+        }
+    }
+}
+
 /// Frequency-weighted Jaccard between two (presence-count, total) maps:
 /// `Σ_k min(f_a(k), f_b(k)) / Σ_k max(f_a(k), f_b(k))` with
 /// `f(k) = presence(k) / instances`. Two property-less sides are

@@ -80,6 +80,21 @@ pub struct IngestOutcome {
     pub timing: BatchTiming,
 }
 
+/// Result of one applied shard-state merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeOutcome {
+    /// Schema version after the merge.
+    pub version: u64,
+    /// Schema content hash (hex) after the merge.
+    pub hash: String,
+    /// Whether the merge changed the schema (minted a new version).
+    pub changed: bool,
+    /// Node types in the schema after the merge.
+    pub node_types: usize,
+    /// Edge types in the schema after the merge.
+    pub edge_types: usize,
+}
+
 /// Result of a version lookup in the session's history.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VersionLookup {
@@ -291,6 +306,41 @@ impl SharedSession {
             hash,
             changed,
             timing,
+        })
+    }
+
+    /// Fold a foreign shard's discovery state into the live session
+    /// (distributed discovery, §4.6) and record the resulting schema in
+    /// the version history. Runs under the same panic boundary as
+    /// [`SharedSession::ingest`]: an engine panic marks the session
+    /// broken instead of poisoning the lock.
+    pub fn merge_state(
+        &self,
+        foreign: &crate::state::DiscoveryState,
+    ) -> Result<MergeOutcome, IngestError> {
+        let mut inner = self.lock();
+        if let Some(m) = &inner.broken {
+            return Err(IngestError::Broken(m.clone()));
+        }
+        let inner = &mut *inner;
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| inner.session.merge_state(foreign))) {
+            let msg = panic_message(panic);
+            inner.broken = Some(msg.clone());
+            return Err(IngestError::Engine(msg));
+        }
+        let (version, changed) = inner.history.observe(inner.session.schema());
+        let hash = inner
+            .history
+            .current()
+            .map(|v| v.hash.clone())
+            .unwrap_or_default();
+        let schema = inner.session.schema();
+        Ok(MergeOutcome {
+            version,
+            hash,
+            changed,
+            node_types: schema.node_types.len(),
+            edge_types: schema.edge_types.len(),
         })
     }
 

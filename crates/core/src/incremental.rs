@@ -314,11 +314,7 @@ impl HiveSession {
             .iter()
             .map(|c| c.accum.members.clone())
             .collect();
-        let merge_opts = crate::extract::MergeOptions {
-            theta: self.config.theta,
-            similarity: self.config.merge_similarity,
-            edge_endpoint_aware: self.config.edge_endpoint_aware,
-        };
+        let merge_opts = crate::extract::MergeOptions::from_config(&self.config);
         let node_assignment =
             integrate_node_clusters_opts(&mut self.state, node_clusters, merge_opts);
         let edge_assignment =
@@ -363,6 +359,21 @@ impl HiveSession {
     /// Convenience wrapper over a [`GraphBatch`].
     pub fn process_graph_batch(&mut self, batch: &GraphBatch) -> BatchTiming {
         self.process_batch(&batch.nodes, &batch.edges)
+    }
+
+    /// Fold a foreign shard's discovery state into this session — the
+    /// session-side half of distributed discovery (§4.6). The foreign
+    /// types re-enter Algorithm 2 as clusters against the live state
+    /// under this session's alignment knobs; existing type ids are never
+    /// renumbered, so the memoization caches stay valid. Post-processing
+    /// then re-derives constraints, data types, and cardinalities from
+    /// the merged accumulators (when the config enables it), exactly as
+    /// after an ingested batch.
+    pub fn merge_state(&mut self, foreign: &DiscoveryState) {
+        crate::merge::fold_state(&mut self.state, foreign, &self.config);
+        if self.config.post_processing {
+            self.post_process();
+        }
     }
 
     /// Run post-processing now (constraints, data types, cardinalities).

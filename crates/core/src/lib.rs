@@ -57,6 +57,7 @@ pub mod features;
 pub mod fixtures;
 pub mod handle;
 pub mod incremental;
+pub mod merge;
 pub mod pipeline;
 pub mod refine;
 pub mod selectivity;
@@ -70,8 +71,14 @@ pub use config::{
     DatatypeSampling, EmbeddingKind, HiveConfig, LshMethod, LshParams, MergeSimilarity,
 };
 pub use diff::{apply, diff, EdgeTypeDiff, NodeTypeDiff, PropertyChange, SchemaDiff};
-pub use handle::{IngestError, IngestOutcome, SessionAux, SharedSession, VersionLookup};
+pub use handle::{
+    IngestError, IngestOutcome, MergeOutcome, SessionAux, SharedSession, VersionLookup,
+};
 pub use incremental::{BatchTiming, HiveSession, SessionCheckpoint};
+pub use merge::{
+    discover_sharded, merge_schemas, merge_schemas_with, merge_states, schema_to_state, MergeError,
+    ShardState, SHARD_SPLIT_SALT,
+};
 pub use pipeline::{DiscoveryResult, PgHive};
 pub use serialize::{
     canonical_form, content_hash, content_hash_hex, SchemaHistory, SchemaMode, SchemaVersion,

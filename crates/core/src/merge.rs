@@ -1,0 +1,642 @@
+//! Distributed discovery: the monotone schema merge of §4.6 lifted from
+//! batches-within-a-session to whole per-shard discovery results.
+//!
+//! Every step of Algorithm 1's merge is a set union or an integer-additive
+//! accumulator fold, so merging is commutative and associative up to type
+//! renumbering. This module makes that a first-class, *canonical*
+//! operation:
+//!
+//! * **Type alignment by structural fingerprint** — every per-shard type
+//!   re-enters Algorithm 2 as a cluster (labels, key set, accumulator):
+//!   labeled types align by exact label set (plus endpoint label sets for
+//!   edges, with unlabeled endpoints as wildcards), unlabeled types by
+//!   property-set Jaccard ≥ θ against labeled then abstract types.
+//! * **Union of property sets with mandatory-key intersection** —
+//!   per-key presence counts add across shards, so a key is MANDATORY in
+//!   the merged type iff it is present in every instance of every shard.
+//! * **Histogram and cardinality merging** — [`NodeTypeAccum::merge`] /
+//!   [`EdgeTypeAccum::merge`] fold the per-type statistics; data types,
+//!   constraints, and cardinalities are then re-derived from the merged
+//!   accumulators, never averaged from per-shard summaries.
+//! * **Deterministic renumbering** — input types are folded in a canonical
+//!   order and the merged state is renumbered canonically, so the result
+//!   is bit-identical regardless of shard order or shard count.
+//!
+//! [`discover_sharded`] builds on this: partition the graph with
+//! [`pg_store::split_batches`], run independent discovery sessions on
+//! worker threads, and merge. With full-scan data-type inference (the
+//! default), the merged schema's [`crate::serialize::content_hash`] equals
+//! single-node discovery's on label-clean inputs — the
+//! `merge_equivalence` suite proves this property-based; sampled
+//! data-type inference draws from a sequential RNG whose stream depends
+//! on type order, so only the full-scan mode carries the bit-equality
+//! guarantee.
+
+use crate::cardinality::compute_cardinalities;
+use crate::cluster::{EdgeCluster, NodeCluster};
+use crate::config::HiveConfig;
+use crate::constraints::infer_property_constraints;
+use crate::datatypes::infer_datatypes;
+use crate::extract::{integrate_edge_clusters_opts, integrate_node_clusters_opts, MergeOptions};
+use crate::pipeline::{DiscoveryResult, PgHive};
+use crate::serialize::{edge_line, node_line};
+use crate::state::{DiscoveryState, DtypeHist, EdgeTypeAccum, NodeTypeAccum};
+use pg_model::{
+    DataType, EdgeType, NodeType, Presence, PropertyGraph, SchemaGraph, Symbol, TypeId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Salt applied to the config seed before [`pg_store::split_batches`], so
+/// shard partitioning and any user-level batch splitting with the same
+/// seed stay decorrelated.
+pub const SHARD_SPLIT_SALT: u64 = 0xd15c0;
+
+/// Why a merge could not run. Merging is total on non-empty input — the
+/// only failures are structural misuse, never data content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// An empty list of schemas/states has no well-defined merge (the
+    /// identity element exists, but callers passing nothing almost always
+    /// hold a bug — return an error instead of inventing an empty schema).
+    EmptyInput,
+    /// `discover_sharded` was asked for zero shards.
+    ZeroShards,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::EmptyInput => write!(f, "cannot merge an empty list of schemas"),
+            MergeError::ZeroShards => write!(f, "shard count must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// A serializable snapshot of one shard's discovery state: the schema plus
+/// the per-type accumulators, with map keys flattened to sorted pairs so
+/// the JSON round-trips (`TypeId` map keys do not). This is the exchange
+/// format of the `pg-hive merge` CLI and `POST /sessions/{id}/merge` —
+/// unlike a bare [`SchemaGraph`], it carries enough statistics to
+/// reproduce global constraints, data types, and cardinalities exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardState {
+    /// The shard's inferred schema.
+    pub schema: SchemaGraph,
+    /// Node accumulators as `(type id, accumulator)` pairs, sorted by id.
+    pub node_accums: Vec<(TypeId, NodeTypeAccum)>,
+    /// Edge accumulators as `(type id, accumulator)` pairs, sorted by id.
+    pub edge_accums: Vec<(TypeId, EdgeTypeAccum)>,
+}
+
+impl ShardState {
+    /// Snapshot a discovery state.
+    pub fn from_state(state: &DiscoveryState) -> ShardState {
+        let mut node_accums: Vec<(TypeId, NodeTypeAccum)> = state
+            .node_accums
+            .iter()
+            .map(|(id, acc)| (*id, acc.clone()))
+            .collect();
+        node_accums.sort_by_key(|(id, _)| *id);
+        let mut edge_accums: Vec<(TypeId, EdgeTypeAccum)> = state
+            .edge_accums
+            .iter()
+            .map(|(id, acc)| (*id, acc.clone()))
+            .collect();
+        edge_accums.sort_by_key(|(id, _)| *id);
+        ShardState {
+            schema: state.schema.clone(),
+            node_accums,
+            edge_accums,
+        }
+    }
+
+    /// Rebuild the discovery state.
+    pub fn into_state(self) -> DiscoveryState {
+        DiscoveryState {
+            schema: self.schema,
+            node_accums: self.node_accums.into_iter().collect(),
+            edge_accums: self.edge_accums.into_iter().collect(),
+        }
+    }
+}
+
+/// Merge per-shard discovery states into one canonical state.
+///
+/// Uses `config` for the Algorithm 2 alignment knobs (θ, similarity,
+/// endpoint awareness) and for post-processing (constraints, data types,
+/// cardinalities — recomputed from the merged accumulators when
+/// `config.post_processing` is set). Errors on an empty input list.
+pub fn merge_states(
+    states: &[DiscoveryState],
+    config: &HiveConfig,
+) -> Result<DiscoveryState, MergeError> {
+    if states.is_empty() {
+        return Err(MergeError::EmptyInput);
+    }
+    let mut node_clusters: Vec<NodeCluster> = Vec::new();
+    let mut edge_clusters: Vec<EdgeCluster> = Vec::new();
+    for state in states {
+        let (nodes, edges) = clusters_of(state);
+        node_clusters.extend(nodes);
+        edge_clusters.extend(edges);
+    }
+    // Canonical input order: integration decisions (and thus the merged
+    // state) depend only on the multiset of per-shard types, never on the
+    // order or grouping of the shard list.
+    node_clusters.sort_by_cached_key(node_cluster_key);
+    edge_clusters.sort_by_cached_key(edge_cluster_key);
+
+    let opts = MergeOptions::from_config(config);
+    let mut state = DiscoveryState::new();
+    integrate_node_clusters_opts(&mut state, node_clusters, opts);
+    integrate_edge_clusters_opts(&mut state, edge_clusters, opts);
+
+    let mut state = canonicalize(state);
+    if config.post_processing {
+        infer_property_constraints(&mut state);
+        infer_datatypes(&mut state, config.datatype_sampling, config.seed);
+        compute_cardinalities(&mut state);
+    }
+    Ok(state)
+}
+
+/// Merge bare schemas (no accumulators) with default alignment settings.
+///
+/// Statistics are reconstructed from each schema's own claims
+/// (`instance_count`, presence flags, data types, cardinalities), so the
+/// merged constraints follow the pessimistic algebra: a key stays
+/// MANDATORY only if every contributing type with instances declares it
+/// mandatory; data types join on the lattice; cardinalities take the
+/// per-component maxima (an observed floor, not a recomputed global —
+/// use [`ShardState`]s / [`merge_states`] when exact global statistics
+/// matter). Unknown presence is normalized to OPTIONAL.
+pub fn merge_schemas(schemas: &[SchemaGraph]) -> Result<SchemaGraph, MergeError> {
+    merge_schemas_with(schemas, &HiveConfig::default())
+}
+
+/// [`merge_schemas`] with explicit alignment/post-processing settings.
+pub fn merge_schemas_with(
+    schemas: &[SchemaGraph],
+    config: &HiveConfig,
+) -> Result<SchemaGraph, MergeError> {
+    if schemas.is_empty() {
+        return Err(MergeError::EmptyInput);
+    }
+    let states: Vec<DiscoveryState> = schemas.iter().map(schema_to_state).collect();
+    Ok(merge_states(&states, config)?.schema)
+}
+
+/// Lift a bare schema into a discovery state by synthesizing the
+/// accumulators its specs imply (see [`merge_schemas`] for the algebra).
+pub fn schema_to_state(schema: &SchemaGraph) -> DiscoveryState {
+    let mut state = DiscoveryState {
+        schema: schema.clone(),
+        node_accums: HashMap::new(),
+        edge_accums: HashMap::new(),
+    };
+    for t in &schema.node_types {
+        state.node_accums.insert(t.id, synthetic_node_accum(t));
+    }
+    for t in &schema.edge_types {
+        state.edge_accums.insert(t.id, synthetic_edge_accum(t));
+    }
+    state
+}
+
+/// Shard-parallel discovery: partition `graph` into `n_shards` via
+/// [`pg_store::split_batches`] (seeded with `config.seed ^
+/// SHARD_SPLIT_SALT`), run an independent discovery session per shard on
+/// its own worker thread, and [`merge_states`] the results.
+///
+/// Edge endpoint labels are resolved against the full graph before
+/// partitioning, so shards see the same records a single-node run would.
+/// With the default full-scan data-type inference the merged schema is
+/// content-hash-equal to single-node discovery whenever type alignment is
+/// unambiguous (in particular on label-clean graphs); the
+/// `merge_equivalence` suite pins this down.
+pub fn discover_sharded(
+    graph: &PropertyGraph,
+    n_shards: usize,
+    config: &HiveConfig,
+) -> Result<DiscoveryResult, MergeError> {
+    if n_shards == 0 {
+        return Err(MergeError::ZeroShards);
+    }
+    let batches = pg_store::split_batches(graph, n_shards, config.seed ^ SHARD_SPLIT_SALT);
+    let hive = PgHive::new(config.clone());
+    let results: Vec<DiscoveryResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .iter()
+            .map(|batch| {
+                let hive = &hive;
+                scope.spawn(move || hive.discover(&batch.nodes, &batch.edges))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard discovery worker panicked"))
+            .collect()
+    });
+    let mut timings = Vec::new();
+    let mut states = Vec::with_capacity(results.len());
+    for r in results {
+        timings.extend(r.timings);
+        states.push(r.state);
+    }
+    let state = merge_states(&states, config)?;
+    Ok(DiscoveryResult {
+        schema: state.schema.clone(),
+        state,
+        node_params: None,
+        edge_params: None,
+        timings,
+    })
+}
+
+/// Re-express every type of `state` as an Algorithm 2 input cluster,
+/// carrying the real accumulator when the state has one and a synthetic
+/// reconstruction (see [`merge_schemas`]) otherwise.
+fn clusters_of(state: &DiscoveryState) -> (Vec<NodeCluster>, Vec<EdgeCluster>) {
+    let mut node_clusters = Vec::with_capacity(state.schema.node_types.len());
+    for t in &state.schema.node_types {
+        let accum = state
+            .node_accums
+            .get(&t.id)
+            .cloned()
+            .unwrap_or_else(|| synthetic_node_accum(t));
+        node_clusters.push(NodeCluster {
+            labels: t.labels.clone(),
+            keys: t.key_set(),
+            accum,
+        });
+    }
+    let mut edge_clusters = Vec::with_capacity(state.schema.edge_types.len());
+    for t in &state.schema.edge_types {
+        let accum = state
+            .edge_accums
+            .get(&t.id)
+            .cloned()
+            .unwrap_or_else(|| synthetic_edge_accum(t));
+        edge_clusters.push(EdgeCluster {
+            labels: t.labels.clone(),
+            keys: t.key_set(),
+            src_labels: t.src_labels.clone(),
+            tgt_labels: t.tgt_labels.clone(),
+            accum,
+        });
+    }
+    (node_clusters, edge_clusters)
+}
+
+/// Fold `foreign` into a live `state` *without* renumbering: existing
+/// type ids survive (so a session's memoization caches stay valid) and
+/// foreign types re-enter Algorithm 2 as clusters exactly as
+/// [`merge_states`] would feed them. Post-processing is the caller's
+/// job — a live session re-derives constraints/datatypes/cardinalities
+/// on its own cadence.
+pub(crate) fn fold_state(
+    state: &mut DiscoveryState,
+    foreign: &DiscoveryState,
+    config: &HiveConfig,
+) {
+    let (mut node_clusters, mut edge_clusters) = clusters_of(foreign);
+    node_clusters.sort_by_cached_key(node_cluster_key);
+    edge_clusters.sort_by_cached_key(edge_cluster_key);
+    let opts = MergeOptions::from_config(config);
+    integrate_node_clusters_opts(state, node_clusters, opts);
+    integrate_edge_clusters_opts(state, edge_clusters, opts);
+}
+
+/// Renumber a state canonically: types sorted by their canonical-form
+/// line (the same rendering [`crate::serialize::canonical_form`] hashes),
+/// ids reassigned densely in that order, accumulator members and
+/// endpoints sorted. Two states describing the same types become
+/// bit-identical.
+fn canonicalize(state: DiscoveryState) -> DiscoveryState {
+    let DiscoveryState {
+        schema,
+        mut node_accums,
+        mut edge_accums,
+    } = state;
+    let mut node_types = schema.node_types;
+    node_types.sort_by_cached_key(node_line);
+    let mut edge_types = schema.edge_types;
+    edge_types.sort_by_cached_key(edge_line);
+
+    let mut out = SchemaGraph::new();
+    let mut new_node_accums = HashMap::new();
+    for t in node_types {
+        let mut acc = node_accums.remove(&t.id).unwrap_or_default();
+        acc.members.sort_unstable();
+        let id = out.push_node_type(t);
+        new_node_accums.insert(id, acc);
+    }
+    let mut new_edge_accums = HashMap::new();
+    for t in edge_types {
+        let mut acc = edge_accums.remove(&t.id).unwrap_or_default();
+        acc.members.sort_unstable();
+        acc.endpoints.sort_unstable();
+        let id = out.push_edge_type(t);
+        new_edge_accums.insert(id, acc);
+    }
+    DiscoveryState {
+        schema: out,
+        node_accums: new_node_accums,
+        edge_accums: new_edge_accums,
+    }
+}
+
+/// Accumulator a bare node type implies: MANDATORY keys present on every
+/// instance, OPTIONAL (or unknown) keys on all but one — enough for
+/// constraint re-inference to reproduce the declared presence whenever
+/// `instance_count > 0`. Declared data types become single-slot
+/// histograms so the lattice join over shards matches
+/// [`pg_model::DataType::join`].
+fn synthetic_node_accum(t: &NodeType) -> NodeTypeAccum {
+    let mut acc = NodeTypeAccum {
+        count: t.instance_count,
+        ..NodeTypeAccum::default()
+    };
+    synthesize_props(
+        t.instance_count,
+        &t.properties,
+        &mut acc.key_present,
+        &mut acc.dtype_hist,
+    );
+    acc
+}
+
+/// Edge-type counterpart of [`synthetic_node_accum`]. No endpoint pairs
+/// exist to recompute cardinality from, so the declared cardinality is
+/// carried as the accumulator's floor (see [`EdgeTypeAccum::card_floor`]).
+fn synthetic_edge_accum(t: &EdgeType) -> EdgeTypeAccum {
+    let mut acc = EdgeTypeAccum {
+        count: t.instance_count,
+        card_floor: t.cardinality,
+        ..EdgeTypeAccum::default()
+    };
+    synthesize_props(
+        t.instance_count,
+        &t.properties,
+        &mut acc.key_present,
+        &mut acc.dtype_hist,
+    );
+    acc
+}
+
+fn synthesize_props(
+    count: u64,
+    properties: &std::collections::BTreeMap<Symbol, pg_model::PropertySpec>,
+    key_present: &mut HashMap<Symbol, u64>,
+    dtype_hist: &mut HashMap<Symbol, DtypeHist>,
+) {
+    for (key, spec) in properties {
+        let present = match spec.presence {
+            Some(Presence::Mandatory) => count,
+            Some(Presence::Optional) | None => count.saturating_sub(1),
+        };
+        key_present.insert(key.clone(), present);
+        if let Some(dt) = spec.datatype {
+            let mut hist = DtypeHist::default();
+            // At least one observation even for never-present optional
+            // keys, so the declared data type survives re-inference.
+            hist.observe_n(dt, present.max(1));
+            dtype_hist.insert(key.clone(), hist);
+        }
+    }
+}
+
+const ALL_DTYPES: [DataType; 6] = [
+    DataType::Int,
+    DataType::Float,
+    DataType::Bool,
+    DataType::Date,
+    DataType::DateTime,
+    DataType::Str,
+];
+
+/// Total order over node clusters: structural identity first (labels,
+/// keys), then the full accumulator fingerprint so even statistically
+/// distinct twins order deterministically.
+fn node_cluster_key(c: &NodeCluster) -> String {
+    let mut s = format!("{}\u{1f}", c.labels);
+    for k in &c.keys {
+        let _ = write!(s, "{k},");
+    }
+    accum_fingerprint(
+        &mut s,
+        c.accum.count,
+        &c.accum.key_present,
+        &c.accum.dtype_hist,
+    );
+    s
+}
+
+/// Total order over edge clusters (labels, endpoints, keys, statistics).
+fn edge_cluster_key(c: &EdgeCluster) -> String {
+    let mut s = format!(
+        "{}\u{1f}{}\u{1f}{}\u{1f}",
+        c.labels, c.src_labels, c.tgt_labels
+    );
+    for k in &c.keys {
+        let _ = write!(s, "{k},");
+    }
+    accum_fingerprint(
+        &mut s,
+        c.accum.count,
+        &c.accum.key_present,
+        &c.accum.dtype_hist,
+    );
+    let _ = write!(s, "\u{1f}{}", c.accum.endpoints.len());
+    if let Some(card) = c.accum.card_floor {
+        let _ = write!(s, "\u{1f}{}:{}", card.max_out, card.max_in);
+    }
+    s
+}
+
+fn accum_fingerprint(
+    out: &mut String,
+    count: u64,
+    key_present: &HashMap<Symbol, u64>,
+    dtype_hist: &HashMap<Symbol, DtypeHist>,
+) {
+    let _ = write!(out, "\u{1f}{count}");
+    let mut present: Vec<(&Symbol, &u64)> = key_present.iter().collect();
+    present.sort();
+    for (k, n) in present {
+        let _ = write!(out, "|{k}:{n}");
+    }
+    let mut hists: Vec<&Symbol> = dtype_hist.keys().collect();
+    hists.sort();
+    for k in hists {
+        let _ = write!(out, "|{k}~");
+        for t in ALL_DTYPES {
+            let _ = write!(out, "{},", dtype_hist[k].count(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::content_hash;
+    use pg_model::{sym, Cardinality, LabelSet, PropertySpec};
+
+    fn labeled_type(labels: &[&str], count: u64, keys: &[(&str, DataType, Presence)]) -> NodeType {
+        let mut t = NodeType::new(TypeId(0), LabelSet::from_iter(labels.iter().copied()), []);
+        t.instance_count = count;
+        for (k, dt, p) in keys {
+            t.properties.insert(
+                sym(k),
+                PropertySpec {
+                    datatype: Some(*dt),
+                    presence: Some(*p),
+                },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn empty_input_is_a_typed_error() {
+        assert_eq!(merge_schemas(&[]), Err(MergeError::EmptyInput));
+        assert_eq!(
+            merge_states(&[], &HiveConfig::default()).map(|_| ()),
+            Err(MergeError::EmptyInput)
+        );
+        assert!(MergeError::EmptyInput.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        let g = PropertyGraph::new();
+        let err = discover_sharded(&g, 0, &HiveConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, MergeError::ZeroShards);
+    }
+
+    #[test]
+    fn identity_merge_with_empty_schema() {
+        let mut s = SchemaGraph::new();
+        s.push_node_type(labeled_type(
+            &["Person"],
+            3,
+            &[("name", DataType::Str, Presence::Mandatory)],
+        ));
+        let merged = merge_schemas(&[s.clone(), SchemaGraph::new()]).unwrap();
+        let alone = merge_schemas(&[s]).unwrap();
+        assert_eq!(merged, alone);
+        assert_eq!(content_hash(&merged), content_hash(&alone));
+    }
+
+    #[test]
+    fn mandatory_key_demotes_when_a_shard_lacks_it() {
+        let mut a = SchemaGraph::new();
+        a.push_node_type(labeled_type(
+            &["Person"],
+            4,
+            &[
+                ("name", DataType::Str, Presence::Mandatory),
+                ("age", DataType::Int, Presence::Mandatory),
+            ],
+        ));
+        let mut b = SchemaGraph::new();
+        b.push_node_type(labeled_type(
+            &["Person"],
+            2,
+            &[("name", DataType::Str, Presence::Mandatory)],
+        ));
+        let merged = merge_schemas(&[a, b]).unwrap();
+        assert_eq!(merged.node_types.len(), 1);
+        let t = &merged.node_types[0];
+        assert_eq!(t.instance_count, 6);
+        assert_eq!(
+            t.properties[&sym("name")].presence,
+            Some(Presence::Mandatory),
+            "present in all 6 instances"
+        );
+        assert_eq!(
+            t.properties[&sym("age")].presence,
+            Some(Presence::Optional),
+            "absent from shard b's instances"
+        );
+    }
+
+    #[test]
+    fn datatypes_join_on_the_lattice() {
+        let mut a = SchemaGraph::new();
+        a.push_node_type(labeled_type(
+            &["M"],
+            1,
+            &[("x", DataType::Int, Presence::Mandatory)],
+        ));
+        let mut b = SchemaGraph::new();
+        b.push_node_type(labeled_type(
+            &["M"],
+            1,
+            &[("x", DataType::Float, Presence::Mandatory)],
+        ));
+        let merged = merge_schemas(&[a, b]).unwrap();
+        assert_eq!(
+            merged.node_types[0].properties[&sym("x")].datatype,
+            Some(DataType::Float),
+            "int ⊔ float = float"
+        );
+    }
+
+    #[test]
+    fn edge_cardinality_floor_survives_schema_merge() {
+        let mk = |max_out, max_in| {
+            let mut s = SchemaGraph::new();
+            let person = labeled_type(&["Person"], 2, &[]);
+            let labels = person.labels.clone();
+            s.push_node_type(person);
+            let mut e = EdgeType::new(
+                TypeId(0),
+                LabelSet::single("KNOWS"),
+                [],
+                labels.clone(),
+                labels,
+            );
+            e.instance_count = 2;
+            e.cardinality = Some(Cardinality { max_out, max_in });
+            s.push_edge_type(e);
+            s
+        };
+        let merged = merge_schemas(&[mk(1, 3), mk(2, 1)]).unwrap();
+        assert_eq!(merged.edge_types.len(), 1);
+        assert_eq!(
+            merged.edge_types[0].cardinality,
+            Some(Cardinality {
+                max_out: 2,
+                max_in: 3
+            }),
+            "per-component maxima"
+        );
+    }
+
+    #[test]
+    fn merge_is_invariant_under_input_order() {
+        let mut a = SchemaGraph::new();
+        a.push_node_type(labeled_type(
+            &["Person"],
+            4,
+            &[("name", DataType::Str, Presence::Mandatory)],
+        ));
+        let mut b = SchemaGraph::new();
+        b.push_node_type(labeled_type(
+            &["Org"],
+            2,
+            &[("url", DataType::Str, Presence::Optional)],
+        ));
+        let ab = merge_schemas(&[a.clone(), b.clone()]).unwrap();
+        let ba = merge_schemas(&[b, a]).unwrap();
+        assert_eq!(ab, ba, "bit-identical, ids included");
+    }
+}

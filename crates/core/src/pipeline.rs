@@ -105,6 +105,18 @@ impl PgHive {
         session.process_batch(nodes, edges);
         session.finish()
     }
+
+    /// Shard-parallel discovery: partition the graph, discover each
+    /// shard on its own worker thread, and merge the results via the
+    /// monotone schema merge (see [`crate::merge::discover_sharded`]).
+    /// Errors only on `n_shards == 0`.
+    pub fn discover_graph_sharded(
+        &self,
+        graph: &PropertyGraph,
+        n_shards: usize,
+    ) -> Result<DiscoveryResult, crate::merge::MergeError> {
+        crate::merge::discover_sharded(graph, n_shards, &self.config)
+    }
 }
 
 #[cfg(test)]

@@ -263,69 +263,9 @@ pub fn to_json(schema: &SchemaGraph) -> String {
 ///   cardinality bounds — all of which are computed from commutative
 ///   accumulators, so they agree across batchings and thread counts.
 pub fn canonical_form(schema: &SchemaGraph) -> String {
-    fn props(
-        out: &mut String,
-        props: &std::collections::BTreeMap<pg_model::Symbol, pg_model::PropertySpec>,
-    ) {
-        out.push_str(" props=[");
-        let mut first = true;
-        for (k, spec) in props {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "{}:{}:{}",
-                k,
-                spec.datatype.map(DataType::gql_name).unwrap_or("?"),
-                match spec.presence {
-                    Some(Presence::Mandatory) => "man",
-                    Some(Presence::Optional) => "opt",
-                    None => "?",
-                }
-            );
-        }
-        out.push(']');
-    }
-    fn labels(set: &pg_model::LabelSet) -> String {
-        set.iter().map(|l| l.as_ref()).collect::<Vec<_>>().join("|")
-    }
-
-    let mut node_lines: Vec<String> = schema
-        .node_types
-        .iter()
-        .map(|t| {
-            let mut line = format!(
-                "node labels=[{}] abstract={} count={}",
-                labels(&t.labels),
-                t.is_abstract,
-                t.instance_count
-            );
-            props(&mut line, &t.properties);
-            line
-        })
-        .collect();
+    let mut node_lines: Vec<String> = schema.node_types.iter().map(node_line).collect();
     node_lines.sort();
-    let mut edge_lines: Vec<String> = schema
-        .edge_types
-        .iter()
-        .map(|t| {
-            let mut line = format!(
-                "edge labels=[{}] src=[{}] tgt=[{}] abstract={} count={} card={}",
-                labels(&t.labels),
-                labels(&t.src_labels),
-                labels(&t.tgt_labels),
-                t.is_abstract,
-                t.instance_count,
-                t.cardinality
-                    .map(|c| format!("{}:{}", c.max_out, c.max_in))
-                    .unwrap_or_else(|| "?".to_owned()),
-            );
-            props(&mut line, &t.properties);
-            line
-        })
-        .collect();
+    let mut edge_lines: Vec<String> = schema.edge_types.iter().map(edge_line).collect();
     edge_lines.sort();
 
     let mut out = String::from("pg-hive schema v1\n");
@@ -334,6 +274,67 @@ pub fn canonical_form(schema: &SchemaGraph) -> String {
         out.push('\n');
     }
     out
+}
+
+fn canonical_props(
+    out: &mut String,
+    props: &std::collections::BTreeMap<pg_model::Symbol, pg_model::PropertySpec>,
+) {
+    out.push_str(" props=[");
+    let mut first = true;
+    for (k, spec) in props {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{}:{}:{}",
+            k,
+            spec.datatype.map(DataType::gql_name).unwrap_or("?"),
+            match spec.presence {
+                Some(Presence::Mandatory) => "man",
+                Some(Presence::Optional) => "opt",
+                None => "?",
+            }
+        );
+    }
+    out.push(']');
+}
+
+fn canonical_labels(set: &pg_model::LabelSet) -> String {
+    set.iter().map(|l| l.as_ref()).collect::<Vec<_>>().join("|")
+}
+
+/// One node type's line of the [`canonical_form`] — also the canonical
+/// sort key the distributed merge renumbers types by, so merged schemas
+/// come out in exactly the order their canonical form lists them.
+pub(crate) fn node_line(t: &pg_model::NodeType) -> String {
+    let mut line = format!(
+        "node labels=[{}] abstract={} count={}",
+        canonical_labels(&t.labels),
+        t.is_abstract,
+        t.instance_count
+    );
+    canonical_props(&mut line, &t.properties);
+    line
+}
+
+/// One edge type's line of the [`canonical_form`] (see [`node_line`]).
+pub(crate) fn edge_line(t: &pg_model::EdgeType) -> String {
+    let mut line = format!(
+        "edge labels=[{}] src=[{}] tgt=[{}] abstract={} count={} card={}",
+        canonical_labels(&t.labels),
+        canonical_labels(&t.src_labels),
+        canonical_labels(&t.tgt_labels),
+        t.is_abstract,
+        t.instance_count,
+        t.cardinality
+            .map(|c| format!("{}:{}", c.max_out, c.max_in))
+            .unwrap_or_else(|| "?".to_owned()),
+    );
+    canonical_props(&mut line, &t.properties);
+    line
 }
 
 /// Stable 64-bit content hash of a schema: FNV-1a over

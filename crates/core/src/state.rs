@@ -8,7 +8,7 @@
 //! They merge by addition/concatenation, so the incremental pipeline
 //! maintains them across batches without recomputation.
 
-use pg_model::{DataType, EdgeId, NodeId, SchemaGraph, Symbol, TypeId};
+use pg_model::{Cardinality, DataType, EdgeId, NodeId, SchemaGraph, Symbol, TypeId};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -44,6 +44,12 @@ impl DtypeHist {
     /// Record one observed value's type.
     pub fn observe(&mut self, t: DataType) {
         self.counts[slot(t)] += 1;
+    }
+
+    /// Record `n` observations of one type at once (used when lifting a
+    /// bare schema's declared data types back into accumulator form).
+    pub fn observe_n(&mut self, t: DataType, n: u64) {
+        self.counts[slot(t)] += n;
     }
 
     /// Total number of observed values.
@@ -115,7 +121,12 @@ impl DtypeHist {
         out
     }
 
-    /// Merge another histogram (incremental batches).
+    /// Merge another histogram (incremental batches). Pure integer
+    /// addition per slot — commutative and associative, so any merge
+    /// order (batch arrival, shard order, reduction tree shape) yields
+    /// the same histogram. There is deliberately no floating-point
+    /// accumulation anywhere in the per-type statistics: fractions like
+    /// presence rates are derived at read time, never accumulated.
     pub fn merge(&mut self, other: &DtypeHist) {
         for i in 0..6 {
             self.counts[i] += other.counts[i];
@@ -176,6 +187,12 @@ pub struct EdgeTypeAccum {
     pub members: Vec<EdgeId>,
     /// Endpoint pairs for cardinality inference.
     pub endpoints: Vec<(NodeId, NodeId)>,
+    /// Cardinality floor folded in from a merged foreign schema whose
+    /// endpoint pairs are unavailable (e.g. a shard schema posted to
+    /// `/sessions/{id}/merge`). Cardinality inference takes the
+    /// component-wise max of this floor and the bounds observed from
+    /// `endpoints`. `None` for locally observed edges.
+    pub card_floor: Option<Cardinality>,
 }
 
 impl EdgeTypeAccum {
@@ -198,6 +215,10 @@ impl EdgeTypeAccum {
         self.count += other.count;
         self.members.extend_from_slice(&other.members);
         self.endpoints.extend_from_slice(&other.endpoints);
+        self.card_floor = match (self.card_floor, other.card_floor) {
+            (Some(a), Some(b)) => Some(a.merge(&b)),
+            (a, b) => a.or(b),
+        };
         for (k, c) in &other.key_present {
             *self.key_present.entry(k.clone()).or_insert(0) += c;
         }
@@ -277,6 +298,108 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         // Sampling more than exists must not loop or overcount.
         assert_eq!(h.sample_join(10, &mut rng), Some(DataType::Bool));
+    }
+
+    /// Audit regression (distributed merge): `DtypeHist::merge` must be
+    /// order-insensitive. The histogram stores pure integer counts, so
+    /// any permutation and any reduction-tree shape must agree bit for
+    /// bit — no float accumulation is allowed to sneak in.
+    #[test]
+    fn dtype_hist_merge_is_order_insensitive() {
+        let parts: Vec<DtypeHist> = (0..6u64)
+            .map(|i| {
+                let mut h = DtypeHist::default();
+                for (j, t) in [
+                    DataType::Int,
+                    DataType::Float,
+                    DataType::Bool,
+                    DataType::Date,
+                    DataType::DateTime,
+                    DataType::Str,
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    for _ in 0..(i * 7 + j as u64 * 3 + 1) {
+                        h.observe(t);
+                    }
+                }
+                h
+            })
+            .collect();
+        // Left fold in input order.
+        let mut forward = DtypeHist::default();
+        for p in &parts {
+            forward.merge(p);
+        }
+        // Left fold in reverse order.
+        let mut backward = DtypeHist::default();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        // Balanced reduction tree: (0+1) + ((2+3) + (4+5)).
+        let pair = |a: &DtypeHist, b: &DtypeHist| {
+            let mut m = a.clone();
+            m.merge(b);
+            m
+        };
+        let tree = pair(
+            &pair(&parts[0], &parts[1]),
+            &pair(&pair(&parts[2], &parts[3]), &pair(&parts[4], &parts[5])),
+        );
+        assert_eq!(forward, backward);
+        assert_eq!(forward, tree);
+        assert_eq!(forward.total(), parts.iter().map(DtypeHist::total).sum());
+    }
+
+    /// Audit regression: the edge accumulator's cardinality floor is an
+    /// integer max-merge, so shard order cannot change it.
+    #[test]
+    fn card_floor_merge_is_order_insensitive() {
+        let floors = [
+            Some(Cardinality {
+                max_out: 1,
+                max_in: 5,
+            }),
+            None,
+            Some(Cardinality {
+                max_out: 4,
+                max_in: 2,
+            }),
+            Some(Cardinality {
+                max_out: 2,
+                max_in: 2,
+            }),
+        ];
+        let fold = |order: &[usize]| {
+            let mut acc = EdgeTypeAccum::default();
+            for &i in order {
+                let other = EdgeTypeAccum {
+                    card_floor: floors[i],
+                    ..EdgeTypeAccum::default()
+                };
+                acc.merge(&other);
+            }
+            acc.card_floor
+        };
+        let expect = Some(Cardinality {
+            max_out: 4,
+            max_in: 5,
+        });
+        assert_eq!(fold(&[0, 1, 2, 3]), expect);
+        assert_eq!(fold(&[3, 2, 1, 0]), expect);
+        assert_eq!(fold(&[1, 3, 0, 2]), expect);
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut a = DtypeHist::default();
+        a.observe_n(DataType::Date, 17);
+        let mut b = DtypeHist::default();
+        for _ in 0..17 {
+            b.observe(DataType::Date);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

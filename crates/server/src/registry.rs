@@ -17,7 +17,8 @@
 
 use crate::metrics::SessionStats;
 use pg_hive::{
-    CheckpointStore, HiveConfig, IngestError, IngestOutcome, LshMethod, SessionAux, SharedSession,
+    CheckpointStore, DiscoveryState, HiveConfig, IngestError, IngestOutcome, LshMethod,
+    MergeOutcome, SessionAux, SharedSession,
 };
 use pg_store::jsonl::Element;
 use pg_store::{read_jsonl_elements, ErrorPolicy, LoadError, Quarantine};
@@ -194,6 +195,17 @@ pub struct IngestReport {
     pub checkpoint_error: Option<String>,
 }
 
+/// Everything one applied shard-state merge produced.
+pub struct MergeReport {
+    /// The applied merge.
+    pub outcome: MergeOutcome,
+    /// Whether this call triggered a cadence checkpoint.
+    pub checkpointed: bool,
+    /// Why the cadence checkpoint failed, if it did (the merge itself
+    /// is applied in memory regardless).
+    pub checkpoint_error: Option<String>,
+}
+
 /// Why an ingest call applied nothing.
 pub enum IngestFailure {
     /// Reading the JSONL body aborted (Strict/Cap policy, or stream
@@ -243,29 +255,48 @@ impl LiveSession {
             .handle
             .ingest(&elements, policy, &mut quarantine, "http")
             .map_err(IngestFailure::Session)?;
-        let mut checkpointed = false;
-        let mut checkpoint_error = None;
-        {
-            let mut counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
-            counters.quarantined_total += quarantine.len() as u64;
-            counters.batches_since_checkpoint += 1;
-            if self.store.is_some()
-                && self.spec.checkpoint_every > 0
-                && counters.batches_since_checkpoint >= self.spec.checkpoint_every
-            {
-                match self.persist_locked(&counters) {
-                    Ok(()) => checkpointed = true,
-                    Err(e) => checkpoint_error = Some(e),
-                }
-                counters.batches_since_checkpoint = 0;
-            }
-        }
+        let (checkpointed, checkpoint_error) = self.cadence_tick(quarantine.len() as u64);
         Ok(IngestReport {
             outcome,
             quarantine,
             checkpointed,
             checkpoint_error,
         })
+    }
+
+    /// Fold a foreign shard's discovery state into the live session
+    /// (`POST /sessions/{id}/merge`). A merge counts as one applied
+    /// batch for the checkpoint cadence: merged schema state is as
+    /// worth persisting as ingested state.
+    pub fn merge_state(&self, foreign: &DiscoveryState) -> Result<MergeReport, IngestError> {
+        let outcome = self.handle.merge_state(foreign)?;
+        let (checkpointed, checkpoint_error) = self.cadence_tick(0);
+        Ok(MergeReport {
+            outcome,
+            checkpointed,
+            checkpoint_error,
+        })
+    }
+
+    /// Count one applied batch (plus any quarantined lines) toward the
+    /// checkpoint cadence, persisting when the cadence fires.
+    fn cadence_tick(&self, quarantined: u64) -> (bool, Option<String>) {
+        let mut checkpointed = false;
+        let mut checkpoint_error = None;
+        let mut counters = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        counters.quarantined_total += quarantined;
+        counters.batches_since_checkpoint += 1;
+        if self.store.is_some()
+            && self.spec.checkpoint_every > 0
+            && counters.batches_since_checkpoint >= self.spec.checkpoint_every
+        {
+            match self.persist_locked(&counters) {
+                Ok(()) => checkpointed = true,
+                Err(e) => checkpoint_error = Some(e),
+            }
+            counters.batches_since_checkpoint = 0;
+        }
+        (checkpointed, checkpoint_error)
     }
 
     /// Parse `body` as JSONL into one batch of elements without

@@ -96,6 +96,17 @@ fn route_of<'a>(req: &'a Request, ctx: &'a Ctx) -> Result<(&'static str, Handler
                 _ => Err(method_not_allowed("POST")),
             }
         }
+        ["sessions", name, "merge"] => {
+            let name = *name;
+            match method {
+                "POST" => route!("/sessions/{id}/merge", move || with_session(
+                    ctx,
+                    name,
+                    |live| merge_shard(req, live)
+                )),
+                _ => Err(method_not_allowed("POST")),
+            }
+        }
         ["sessions", name, "schema"] => {
             let name = *name;
             match method {
@@ -298,6 +309,75 @@ fn ingest(req: &Request, live: &Arc<LiveSession>) -> Response {
             Response::error(500, "engine_failure", &m)
         }
         Err(IngestFailure::Session(IngestError::Broken(m))) => Response::error(
+            500,
+            "session_broken",
+            &format!("resume from the last checkpoint: {m}"),
+        ),
+    }
+}
+
+fn merge_shard(req: &Request, live: &Arc<LiveSession>) -> Response {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => return Response::error(400, "bad_request", "body is not UTF-8"),
+    };
+    // A shard state (schema + accumulators, as `pg-hive discover
+    // --state-out` writes) merges exactly; a bare schema merges under
+    // the pessimistic reconstruction algebra. The two formats have
+    // disjoint required fields, so trying both is unambiguous.
+    let (foreign, kind) = if let Ok(shard) = serde_json::from_str::<pg_hive::ShardState>(body) {
+        (shard.into_state(), "shard_state")
+    } else {
+        match serde_json::from_str::<pg_model::SchemaGraph>(body) {
+            Ok(schema) => (pg_hive::schema_to_state(&schema), "schema"),
+            Err(e) => {
+                return Response::error(
+                    400,
+                    "bad_merge_input",
+                    &format!("body is neither shard-state nor schema JSON: {e}"),
+                )
+            }
+        }
+    };
+    match live.merge_state(&foreign) {
+        Ok(report) => {
+            let o = &report.outcome;
+            let mut fields = vec![
+                (
+                    "session".to_owned(),
+                    serde::Value::Str(live.name().to_owned()),
+                ),
+                ("input".to_owned(), serde::Value::Str(kind.to_owned())),
+                ("version".to_owned(), serde::Value::U64(o.version)),
+                ("hash".to_owned(), serde::Value::Str(o.hash.clone())),
+                ("changed".to_owned(), serde::Value::Bool(o.changed)),
+                (
+                    "node_types".to_owned(),
+                    serde::Value::U64(o.node_types as u64),
+                ),
+                (
+                    "edge_types".to_owned(),
+                    serde::Value::U64(o.edge_types as u64),
+                ),
+                (
+                    "checkpointed".to_owned(),
+                    serde::Value::Bool(report.checkpointed),
+                ),
+            ];
+            if let Some(e) = report.checkpoint_error {
+                eprintln!(
+                    "warning: cadence checkpoint of session {:?} failed: {e}",
+                    live.name()
+                );
+                fields.push(("checkpoint_error".to_owned(), serde::Value::Str(e)));
+            }
+            Response::json(200, &serde::Value::Object(fields))
+        }
+        Err(IngestError::Rejected(e)) => {
+            Response::error(422, "merge_rejected", &format!("nothing was applied: {e}"))
+        }
+        Err(IngestError::Engine(m)) => Response::error(500, "engine_failure", &m),
+        Err(IngestError::Broken(m)) => Response::error(
             500,
             "session_broken",
             &format!("resume from the last checkpoint: {m}"),

@@ -1,0 +1,170 @@
+//! `POST /sessions/{id}/merge`: folding per-shard discovery states into
+//! a live session — happy path, input validation, ETag movement, and
+//! durable restart of merged state.
+
+use pg_hive::{HiveConfig, PgHive, ShardState};
+use pg_model::{LabelSet, Node, PropertyGraph, SchemaGraph};
+use pg_serve::ServerConfig;
+
+mod util;
+use util::{node_line, scratch_dir, TestServer};
+
+fn err_code(resp: &pg_serve::ClientResponse) -> String {
+    resp.json()
+        .ok()
+        .and_then(|v| {
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(|c| c.as_str())
+                .map(str::to_owned)
+        })
+        .unwrap_or_default()
+}
+
+/// A shard state discovered offline, exactly as `pg-hive discover
+/// --state-out` would produce: `n` Org nodes with a mandatory `url`.
+fn org_shard_state(n: u64) -> String {
+    let mut g = PropertyGraph::new();
+    for i in 0..n {
+        g.add_node(Node::new(i, LabelSet::single("Org")).with_prop("url", i as i64))
+            .unwrap();
+    }
+    let result = PgHive::new(HiveConfig::default()).discover_graph(&g);
+    serde_json::to_string(&ShardState::from_state(&result.state)).unwrap()
+}
+
+#[test]
+fn merge_folds_shard_state_and_moves_the_etag() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    client.post("/sessions", br#"{"name":"m"}"#).unwrap();
+    let resp = client
+        .post(
+            "/sessions/m/ingest",
+            node_line(1, "Person", r#""age":{"Int":30}"#).as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    let before = client.get("/sessions/m/schema").unwrap();
+    let etag_before = before.header("etag").expect("ETag header").to_owned();
+
+    let resp = client
+        .post("/sessions/m/merge", org_shard_state(4).as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("input").and_then(|i| i.as_str()), Some("shard_state"));
+    assert_eq!(v.get("changed"), Some(&serde::Value::Bool(true)));
+    assert_eq!(v.get("node_types"), Some(&serde::Value::U64(2)));
+
+    // The merged type is served, and the ETag moved: a cached Person-only
+    // schema must not survive the merge.
+    let after = client.get("/sessions/m/schema").unwrap();
+    let etag_after = after.header("etag").expect("ETag header").to_owned();
+    assert_ne!(etag_before, etag_after);
+    assert!(after.text().contains("Org"), "{}", after.text());
+    assert!(after.text().contains("Person"), "{}", after.text());
+    let resp = client
+        .get_with_headers("/sessions/m/schema", &[("If-None-Match", &etag_before)])
+        .unwrap();
+    assert_eq!(resp.status, 200, "stale tag must refetch after a merge");
+
+    // A bare schema (no accumulators) merges under the pessimistic
+    // algebra; the empty schema is the merge identity.
+    let empty = serde_json::to_string(&SchemaGraph::new()).unwrap();
+    let resp = client.post("/sessions/m/merge", empty.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("input").and_then(|i| i.as_str()), Some("schema"));
+    assert_eq!(v.get("changed"), Some(&serde::Value::Bool(false)));
+}
+
+#[test]
+fn merge_rejects_malformed_bodies_and_unknown_sessions() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+
+    let resp = client
+        .post("/sessions/ghost/merge", org_shard_state(2).as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    assert_eq!(err_code(&resp), "unknown_session");
+
+    client.post("/sessions", br#"{"name":"m"}"#).unwrap();
+    let resp = client.post("/sessions/m/merge", b"{not json").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert_eq!(err_code(&resp), "bad_merge_input");
+
+    // Valid JSON that is neither a shard state nor a schema.
+    let resp = client.post("/sessions/m/merge", br#"{"foo":1}"#).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "bad_merge_input");
+
+    let resp = client.post("/sessions/m/merge", &[0xff, 0xfe]).unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "bad_request");
+
+    // Rejected merges leave the session untouched.
+    let resp = client.get("/sessions/m").unwrap();
+    let v = resp.json().unwrap();
+    assert_eq!(v.get("version"), Some(&serde::Value::U64(1)));
+}
+
+#[test]
+fn merged_state_survives_checkpoint_and_restart_bit_identically() {
+    let dir = scratch_dir("merge-resume");
+    let config = ServerConfig {
+        state_dir: Some(dir.clone()),
+        // Only the shutdown checkpoint persists, proving merged state
+        // flows through the export path, not just the cadence path.
+        checkpoint_every: 1000,
+        ..ServerConfig::default()
+    };
+    let server = TestServer::start(config.clone());
+    let mut client = server.client();
+    let resp = client.post("/sessions", br#"{"name":"dm"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    client
+        .post(
+            "/sessions/dm/ingest",
+            node_line(1, "Person", r#""age":{"Int":30}"#).as_bytes(),
+        )
+        .unwrap();
+    let resp = client
+        .post("/sessions/dm/merge", org_shard_state(4).as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    let before = client.get("/sessions/dm").unwrap().json().unwrap();
+    let schema_before = client.get("/sessions/dm/schema").unwrap().text();
+    drop(client);
+    let summary = server.stop();
+    assert!(
+        summary.persist_failures.is_empty(),
+        "{:?}",
+        summary.persist_failures
+    );
+
+    let server = TestServer::start(config);
+    let mut client = server.client();
+    let after = client.get("/sessions/dm").unwrap().json().unwrap();
+    for field in ["batches", "nodes", "edges", "version", "hash"] {
+        assert_eq!(
+            after.get(field),
+            before.get(field),
+            "{field} drifted across restart"
+        );
+    }
+    assert_eq!(
+        client.get("/sessions/dm/schema").unwrap().text(),
+        schema_before,
+        "merged schema drifted across restart"
+    );
+    // The resumed session keeps accepting merges.
+    let resp = client
+        .post("/sessions/dm/merge", org_shard_state(4).as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let _ = std::fs::remove_dir_all(&dir);
+}

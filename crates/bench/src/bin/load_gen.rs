@@ -10,8 +10,13 @@
 //!
 //! Without `--addr` an in-process server is started on an ephemeral
 //! port, loaded, and shut down — a self-contained benchmark run.
+//!
+//! With `--coordinator` the target is a cluster coordinator: batches go
+//! through `POST /ingest` (WAL-backed shard routing) and the final hash
+//! is read from the merged `GET /schema`. 503 responses are retried
+//! honoring the server's `Retry-After` header in both modes.
 
-use pg_serve::{Client, Server, ServerConfig};
+use pg_serve::{Client, ClientResponse, Server, ServerConfig};
 use pg_store::jsonl::Element;
 use pg_synth::{random_schema, synthesize, SchemaParams, SynthSpec};
 use std::net::SocketAddr;
@@ -25,6 +30,7 @@ struct Opts {
     batches: usize,
     rows: usize,
     seed: u64,
+    coordinator: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -34,10 +40,16 @@ fn parse_opts() -> Result<Opts, String> {
         batches: 20,
         rows: 200,
         seed: 42,
+        coordinator: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
+        if args[i] == "--coordinator" {
+            opts.coordinator = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{} requires a value", args[i]))?;
@@ -52,6 +64,9 @@ fn parse_opts() -> Result<Opts, String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
+    }
+    if opts.coordinator && opts.addr.is_none() {
+        return Err("--coordinator requires --addr (an external coordinator)".into());
     }
     if opts.clients == 0 || opts.batches == 0 || opts.rows == 0 {
         return Err("--clients, --batches, and --batch-rows must be at least 1".into());
@@ -94,22 +109,55 @@ struct ClientReport {
     final_hash: String,
 }
 
+/// POST `body`, retrying 503 busy responses. The sleep is the server's
+/// own `Retry-After` (delta-seconds) when it sends one, a short default
+/// otherwise, so a saturated server is backed off of, not hammered.
+fn post_with_retry(
+    client: &mut Client,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    const ATTEMPTS: usize = 5;
+    let mut resp = client.post(path, body)?;
+    for _ in 1..ATTEMPTS {
+        if resp.status != 503 {
+            break;
+        }
+        let wait = resp
+            .header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(Duration::from_millis(250))
+            .min(Duration::from_secs(2));
+        std::thread::sleep(wait);
+        resp = client.post(path, body)?;
+    }
+    Ok(resp)
+}
+
 fn run_client(addr: SocketAddr, client_id: usize, opts: &Opts, go: &Barrier) -> ClientReport {
     let bodies = client_bodies(client_id, opts);
     let session = format!("load-{client_id}");
     let mut client = Client::new(addr);
-    let resp = client
-        .post(
+    // Coordinator mode: batches go through the cluster-wide ingest
+    // route — no per-client session exists, and the hash comes from the
+    // merged schema afterwards.
+    let path = if opts.coordinator {
+        "/ingest".to_owned()
+    } else {
+        let resp = post_with_retry(
+            &mut client,
             "/sessions",
             format!("{{\"name\":\"{session}\"}}").as_bytes(),
         )
         .expect("create session");
-    assert!(
-        resp.status == 201 || resp.status == 409,
-        "creating {session}: {}",
-        resp.text()
-    );
-    let path = format!("/sessions/{session}/ingest");
+        assert!(
+            resp.status == 201 || resp.status == 409,
+            "creating {session}: {}",
+            resp.text()
+        );
+        format!("/sessions/{session}/ingest")
+    };
     let mut report = ClientReport {
         latencies: Vec::with_capacity(bodies.len()),
         rows: 0,
@@ -120,7 +168,7 @@ fn run_client(addr: SocketAddr, client_id: usize, opts: &Opts, go: &Barrier) -> 
     for body in &bodies {
         let rows = body.lines().count();
         let started = Instant::now();
-        match client.post(&path, body.as_bytes()) {
+        match post_with_retry(&mut client, &path, body.as_bytes()) {
             Ok(resp) if resp.status == 200 => {
                 report.latencies.push(started.elapsed());
                 report.rows += rows;
@@ -137,6 +185,17 @@ fn run_client(addr: SocketAddr, client_id: usize, opts: &Opts, go: &Barrier) -> 
             Err(e) => {
                 report.errors += 1;
                 eprintln!("{session}: {e}");
+            }
+        }
+    }
+    if opts.coordinator {
+        if let Ok(resp) = client.get("/schema") {
+            if resp.status == 200 {
+                if let Ok(v) = resp.json() {
+                    if let Some(h) = v.get("hash").and_then(|h| h.as_str()) {
+                        report.final_hash = h.to_owned();
+                    }
+                }
             }
         }
     }
@@ -161,7 +220,7 @@ fn main() {
         Err(e) => {
             eprintln!(
                 "load_gen: {e}\nusage: load_gen [--addr ip:port] [--clients N] \
-                 [--batches N] [--batch-rows N] [--seed N]"
+                 [--batches N] [--batch-rows N] [--seed N] [--coordinator]"
             );
             std::process::exit(2);
         }
@@ -227,7 +286,11 @@ fn main() {
     );
     println!("  http errors     {errors}");
     for (id, r) in reports.iter().enumerate() {
-        println!("  session load-{id}: final hash {}", r.final_hash);
+        if opts.coordinator {
+            println!("  client {id}: merged schema hash {}", r.final_hash);
+        } else {
+            println!("  session load-{id}: final hash {}", r.final_hash);
+        }
     }
 
     if let Some((flag, handle)) = local {

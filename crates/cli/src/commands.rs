@@ -334,12 +334,34 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             workers,
             queue,
             max_body_mb,
+            cluster,
+            cluster_wal_dir,
+            cluster_session,
+            heartbeat_ms,
             checkpoint_every,
             checkpoint_keep,
         } => {
             let addr: std::net::SocketAddr = addr
                 .parse()
                 .map_err(|_| CliError::Usage(format!("--addr {addr:?} is not ip:port")))?;
+            let cluster = if cluster.is_empty() {
+                None
+            } else {
+                let mut cc = pg_serve::ClusterConfig {
+                    shards: cluster.clone(),
+                    session: cluster_session.clone(),
+                    heartbeat: std::time::Duration::from_millis(*heartbeat_ms),
+                    ..pg_serve::ClusterConfig::default()
+                };
+                // The coordinator's checkpoint cadence governs the shard
+                // sessions it creates, and through them how aggressively
+                // the per-shard WALs are trimmed.
+                cc.spec.checkpoint_every = *checkpoint_every;
+                if let Some(dir) = cluster_wal_dir {
+                    cc.wal_dir = dir.clone();
+                }
+                Some(cc)
+            };
             let config = pg_serve::ServerConfig {
                 addr,
                 workers: *workers,
@@ -348,6 +370,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 state_dir: state_dir.clone(),
                 checkpoint_every: *checkpoint_every,
                 checkpoint_keep: *checkpoint_keep,
+                cluster,
                 ..pg_serve::ServerConfig::default()
             };
             let flag = pg_serve::shutdown_flag();

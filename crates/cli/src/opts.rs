@@ -101,6 +101,13 @@ state (corrupt checkpoints, crash during batch processing).
              shutdown (SIGINT/SIGTERM) and a restart resumes them
              bit-identically; --addr with port 0 picks a free port,
              printed as \"listening on <ip:port>\" at startup)
+            [--cluster <url,url,...>] (run as a cluster coordinator:
+              route POST /ingest across these pg-serve shard instances
+              behind a per-shard write-ahead log and answer GET /schema
+              by merging live shard states — degraded but available
+              while shards are down)
+            [--cluster-wal-dir <dir>] [--cluster-session <name>]
+            [--heartbeat-ms <n>] (coordinator shard-health probe cadence)
   hash      --schema <json>
             (print the canonical schema content hash — the same value
              the server reports and embeds in ETags)
@@ -284,6 +291,15 @@ pub enum Command {
         checkpoint_every: u64,
         /// Checkpoints retained per session.
         checkpoint_keep: usize,
+        /// Shard URLs to coordinate (empty = ordinary single node).
+        cluster: Vec<String>,
+        /// Coordinator WAL directory (None = the default
+        /// `pg-cluster-wal`).
+        cluster_wal_dir: Option<PathBuf>,
+        /// Name of the cluster session on every shard.
+        cluster_session: String,
+        /// Shard health-probe cadence in milliseconds.
+        heartbeat_ms: u64,
     },
     /// Print the canonical content hash of a schema JSON file.
     Hash {
@@ -556,6 +572,37 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if max_body_mb == 0 {
                 return Err(CliError::Usage("--max-body-mb must be at least 1".into()));
             }
+            let cluster: Vec<String> = flags
+                .get("--cluster")
+                .map(|v| {
+                    v.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_owned)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if flags.contains_key("--cluster") && cluster.is_empty() {
+                return Err(CliError::Usage(
+                    "--cluster needs at least one shard URL".into(),
+                ));
+            }
+            let cluster_wal_dir = path("--cluster-wal-dir");
+            let cluster_session = flags
+                .get("--cluster-session")
+                .cloned()
+                .unwrap_or_else(|| "cluster".into());
+            let heartbeat_ms = u64_flag("--heartbeat-ms", 500)?;
+            if heartbeat_ms == 0 {
+                return Err(CliError::Usage("--heartbeat-ms must be at least 1".into()));
+            }
+            if cluster.is_empty()
+                && (cluster_wal_dir.is_some() || flags.contains_key("--cluster-session"))
+            {
+                return Err(CliError::Usage(
+                    "--cluster-wal-dir/--cluster-session only apply with --cluster".into(),
+                ));
+            }
             Ok(Command::Serve {
                 addr: flags
                     .get("--addr")
@@ -567,6 +614,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 max_body_mb,
                 checkpoint_every,
                 checkpoint_keep: u64_flag("--checkpoint-keep", 4)?.max(1) as usize,
+                cluster,
+                cluster_wal_dir,
+                cluster_session,
+                heartbeat_ms,
             })
         }
         "hash" => Ok(Command::Hash {
@@ -958,6 +1009,10 @@ mod tests {
                 max_body_mb,
                 checkpoint_every,
                 checkpoint_keep,
+                cluster,
+                cluster_wal_dir,
+                cluster_session,
+                heartbeat_ms,
             } => {
                 assert_eq!(addr, "127.0.0.1:8686");
                 assert_eq!(state_dir, None);
@@ -966,6 +1021,10 @@ mod tests {
                 assert_eq!(max_body_mb, 64);
                 assert_eq!(checkpoint_every, 8);
                 assert_eq!(checkpoint_keep, 4);
+                assert!(cluster.is_empty(), "single-node by default");
+                assert_eq!(cluster_wal_dir, None);
+                assert_eq!(cluster_session, "cluster");
+                assert_eq!(heartbeat_ms, 500);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1010,6 +1069,48 @@ mod tests {
         match parse(&args(&["hash", "--schema", "s.json"])).unwrap() {
             Command::Hash { schema } => assert_eq!(schema, PathBuf::from("s.json")),
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_serve_cluster_flags() {
+        match parse(&args(&[
+            "serve",
+            "--cluster",
+            "127.0.0.1:7001, http://127.0.0.1:7002/",
+            "--cluster-wal-dir",
+            "/tmp/wal",
+            "--cluster-session",
+            "ring",
+            "--heartbeat-ms",
+            "250",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                cluster,
+                cluster_wal_dir,
+                cluster_session,
+                heartbeat_ms,
+                ..
+            } => {
+                assert_eq!(cluster, vec!["127.0.0.1:7001", "http://127.0.0.1:7002/"]);
+                assert_eq!(cluster_wal_dir, Some(PathBuf::from("/tmp/wal")));
+                assert_eq!(cluster_session, "ring");
+                assert_eq!(heartbeat_ms, 250);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        for bad in [
+            vec!["serve", "--cluster", " , "],
+            vec!["serve", "--heartbeat-ms", "0"],
+            vec!["serve", "--cluster-wal-dir", "/tmp/wal"],
+            vec!["serve", "--cluster-session", "ring"],
+        ] {
+            assert!(
+                matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
         }
     }
 

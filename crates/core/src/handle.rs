@@ -201,10 +201,15 @@ impl SharedSession {
         }
         let before_quarantine = quarantine.len();
 
-        // Stage: semantic checks against cumulative + staged state.
+        // Stage: semantic checks against cumulative + staged state. A
+        // pre-resolved edge carries its endpoint labels (resolved by a
+        // cluster coordinator against the *global* node index), so it
+        // skips the local endpoint lookup entirely.
         let mut staged_nodes: Vec<NodeRecord> = Vec::new();
         let mut staged_labels: HashMap<u64, LabelSet> = HashMap::new();
-        let mut pending_edges: Vec<(usize, pg_model::Edge)> = Vec::new();
+        // (source line, edge, pre-resolved endpoint labels if any)
+        type PendingEdge = (usize, pg_model::Edge, Option<(LabelSet, LabelSet)>);
+        let mut pending_edges: Vec<PendingEdge> = Vec::new();
         let divert = |q: &mut Quarantine, line: usize, err: ModelError, raw: String| {
             q.divert(policy, source, line, err.to_string(), &raw)
                 .map_err(IngestError::Rejected)
@@ -225,47 +230,65 @@ impl SharedSession {
                         staged_nodes.push(n.clone());
                     }
                 }
-                Element::Edge(e) => pending_edges.push((*line, e.clone())),
+                Element::Edge(e) => pending_edges.push((*line, e.clone(), None)),
+                Element::ResolvedEdge(r) => pending_edges.push((
+                    *line,
+                    r.edge.clone(),
+                    Some((r.src_labels.clone(), r.tgt_labels.clone())),
+                )),
             }
         }
         let mut staged_edges: Vec<EdgeRecord> = Vec::new();
         let mut staged_edge_ids: HashSet<u64> = HashSet::new();
-        for (line, e) in pending_edges {
+        for (line, e, resolved) in pending_edges {
             let id = e.id.0;
+            let rerender =
+                |e: pg_model::Edge, resolved: &Option<(LabelSet, LabelSet)>| match resolved {
+                    Some((s, t)) => render(&Element::ResolvedEdge(EdgeRecord {
+                        edge: e,
+                        src_labels: s.clone(),
+                        tgt_labels: t.clone(),
+                    })),
+                    None => render(&Element::Edge(e)),
+                };
             if inner.seen_edges.contains(&id) || staged_edge_ids.contains(&id) {
                 divert(
                     quarantine,
                     line,
                     ModelError::DuplicateEdge { edge: id },
-                    render(&Element::Edge(e)),
+                    rerender(e, &resolved),
                 )?;
                 continue;
             }
-            let lookup = |nid: pg_model::NodeId| -> Option<LabelSet> {
-                staged_labels
-                    .get(&nid.0)
-                    .or_else(|| inner.node_labels.get(&nid.0))
-                    .cloned()
-            };
-            let (src_labels, tgt_labels) = match (lookup(e.src), lookup(e.tgt)) {
-                (Some(s), Some(t)) => (s, t),
-                (None, _) => {
-                    divert(
-                        quarantine,
-                        line,
-                        ModelError::DanglingEndpoint { node: e.src.0 },
-                        render(&Element::Edge(e)),
-                    )?;
-                    continue;
-                }
-                (_, None) => {
-                    divert(
-                        quarantine,
-                        line,
-                        ModelError::DanglingEndpoint { node: e.tgt.0 },
-                        render(&Element::Edge(e)),
-                    )?;
-                    continue;
+            let (src_labels, tgt_labels) = if let Some(pair) = resolved {
+                pair
+            } else {
+                let lookup = |nid: pg_model::NodeId| -> Option<LabelSet> {
+                    staged_labels
+                        .get(&nid.0)
+                        .or_else(|| inner.node_labels.get(&nid.0))
+                        .cloned()
+                };
+                match (lookup(e.src), lookup(e.tgt)) {
+                    (Some(s), Some(t)) => (s, t),
+                    (None, _) => {
+                        divert(
+                            quarantine,
+                            line,
+                            ModelError::DanglingEndpoint { node: e.src.0 },
+                            render(&Element::Edge(e)),
+                        )?;
+                        continue;
+                    }
+                    (_, None) => {
+                        divert(
+                            quarantine,
+                            line,
+                            ModelError::DanglingEndpoint { node: e.tgt.0 },
+                            render(&Element::Edge(e)),
+                        )?;
+                        continue;
+                    }
                 }
             };
             staged_edge_ids.insert(id);
@@ -347,6 +370,18 @@ impl SharedSession {
     /// Snapshot the current schema.
     pub fn schema(&self) -> SchemaGraph {
         self.lock().session.schema().clone()
+    }
+
+    /// Snapshot the full discovery state as a serializable
+    /// [`crate::merge::ShardState`] — schema plus accumulators, the
+    /// exchange format of exact cluster merge-on-read. Refused for
+    /// broken sessions: their in-memory state must not be exported.
+    pub fn shard_state(&self) -> Result<crate::merge::ShardState, IngestError> {
+        let inner = self.lock();
+        if let Some(m) = &inner.broken {
+            return Err(IngestError::Broken(m.clone()));
+        }
+        Ok(crate::merge::ShardState::from_state(inner.session.state()))
     }
 
     /// Current `(version, content-hash-hex)`.
@@ -521,6 +556,64 @@ mod tests {
             .unwrap();
         assert_eq!(out.edges, 0);
         assert!(q.entries()[2].reason.contains("duplicate edge id 10"));
+    }
+
+    #[test]
+    fn resolved_edges_apply_without_local_endpoints() {
+        use pg_store::EdgeRecord;
+        let s = SharedSession::new(quick_config(), 8);
+        let mut q = Quarantine::new();
+        // Neither endpoint was ever ingested here — the labels ride on
+        // the record, as a cluster coordinator would ship them.
+        let rec = EdgeRecord {
+            edge: Edge::new(5, NodeId(100), NodeId(200), LabelSet::single("R")),
+            src_labels: LabelSet::single("A"),
+            tgt_labels: LabelSet::single("B"),
+        };
+        let out = s
+            .ingest(
+                &[(1, Element::ResolvedEdge(rec.clone()))],
+                ErrorPolicy::Skip,
+                &mut q,
+                "t",
+            )
+            .unwrap();
+        assert_eq!(out.edges, 1);
+        assert!(q.is_empty(), "{q:?}");
+        let schema = s.schema();
+        assert_eq!(schema.edge_types[0].src_labels, LabelSet::single("A"));
+        assert_eq!(schema.edge_types[0].tgt_labels, LabelSet::single("B"));
+        // Duplicate ids are still caught across element kinds.
+        let out = s
+            .ingest(
+                &[(2, Element::ResolvedEdge(rec))],
+                ErrorPolicy::Skip,
+                &mut q,
+                "t",
+            )
+            .unwrap();
+        assert_eq!(out.edges, 0);
+        assert!(q.entries()[0].reason.contains("duplicate edge id 5"));
+    }
+
+    #[test]
+    fn shard_state_snapshot_matches_live_schema() {
+        let s = SharedSession::new(quick_config(), 8);
+        let mut q = Quarantine::new();
+        s.ingest(
+            &[node(1, "A"), node(2, "B"), edge(9, 1, 2)],
+            ErrorPolicy::Skip,
+            &mut q,
+            "t",
+        )
+        .unwrap();
+        let state = s.shard_state().unwrap();
+        assert_eq!(state.schema, s.schema());
+        assert_eq!(state.node_accums.len(), state.schema.node_types.len());
+        // It round-trips through JSON (the wire format).
+        let json = serde_json::to_string(&state).unwrap();
+        let back: crate::merge::ShardState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, state.schema);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Deterministic retry pacing for the cluster coordinator: seeded
+//! jittered exponential backoff and a per-shard circuit breaker.
+//!
+//! Both are pure state machines over caller-supplied time, so every
+//! transition is unit-testable with scripted clocks — no sleeping, no
+//! wall-clock reads. The jitter draws from a seeded xorshift stream:
+//! two coordinators configured with the same seed retry on identical
+//! schedules, which keeps fault-injection runs reproducible.
+
+use std::time::Duration;
+
+/// Capped exponential backoff with full jitter over the upper half of
+/// the window: attempt `n` sleeps uniformly in `[d/2, d]` where
+/// `d = min(cap, base · 2ⁿ)`. The half-floor keeps retries from
+/// collapsing to near-zero sleeps while still decorrelating clients.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A backoff schedule seeded for reproducible jitter.
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            // xorshift needs a non-zero state; fold the seed through
+            // splitmix-style mixing so small seeds diverge.
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, seedable, good enough for jitter.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// The sleep before retry number `attempt` (0-based). Monotone in
+    /// expectation up to the cap, never above the cap.
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        let half = exp / 2;
+        let jittered = half + self.next_u64() % (exp - half + 1);
+        Duration::from_millis(jittered)
+    }
+}
+
+/// Circuit breaker states, in the classic closed → open → half-open
+/// cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are being counted.
+    Closed,
+    /// Requests are refused until the cool-down elapses.
+    Open,
+    /// Cool-down elapsed; exactly one probe request may pass.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case name for health/metrics output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// A per-shard circuit breaker over caller-supplied monotonic
+/// milliseconds. `allow` gates requests; `record_success` /
+/// `record_failure` feed outcomes back.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    failure_threshold: u32,
+    open_ms: u64,
+    consecutive_failures: u32,
+    opened_at_ms: u64,
+    probing: bool,
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// Open after `failure_threshold` consecutive failures; stay open
+    /// for `open_ms` before allowing a half-open probe.
+    pub fn new(failure_threshold: u32, open_ms: u64) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            failure_threshold: failure_threshold.max(1),
+            open_ms,
+            consecutive_failures: 0,
+            opened_at_ms: 0,
+            probing: false,
+            opens: 0,
+        }
+    }
+
+    /// Whether a request may be sent at `now_ms`. In half-open, only
+    /// the first caller gets a probe; the rest are refused until the
+    /// probe's outcome is recorded.
+    pub fn allow(&mut self, now_ms: u64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_ms.saturating_sub(self.opened_at_ms) >= self.open_ms {
+                    self.state = BreakerState::HalfOpen;
+                    self.probing = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    false
+                } else {
+                    self.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record a successful request: the circuit closes fully.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.probing = false;
+    }
+
+    /// Record a failed request at `now_ms`. A half-open probe failure
+    /// re-opens immediately; in closed, the failure counter trips the
+    /// breaker at the threshold.
+    pub fn record_failure(&mut self, now_ms: u64) {
+        self.probing = false;
+        match self.state {
+            BreakerState::HalfOpen => self.open_at(now_ms),
+            BreakerState::Open => {}
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.open_at(now_ms);
+                }
+            }
+        }
+    }
+
+    fn open_at(&mut self, now_ms: u64) {
+        self.state = BreakerState::Open;
+        self.opened_at_ms = now_ms;
+        self.consecutive_failures = 0;
+        self.opens += 1;
+    }
+
+    /// The current state (without the half-open transition `allow`
+    /// performs).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has opened over its lifetime.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_sequence_is_reproducible_per_seed() {
+        let mut a = Backoff::new(7, 100, 10_000);
+        let mut b = Backoff::new(7, 100, 10_000);
+        let seq_a: Vec<u64> = (0..8).map(|i| a.delay(i).as_millis() as u64).collect();
+        let seq_b: Vec<u64> = (0..8).map(|i| b.delay(i).as_millis() as u64).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same schedule");
+
+        let mut c = Backoff::new(8, 100, 10_000);
+        let seq_c: Vec<u64> = (0..8).map(|i| c.delay(i).as_millis() as u64).collect();
+        assert_ne!(seq_a, seq_c, "different seeds decorrelate");
+    }
+
+    #[test]
+    fn delays_grow_within_the_jitter_window_and_cap() {
+        let mut b = Backoff::new(1, 100, 1_500);
+        for attempt in 0..32 {
+            let exp = 100u64
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                .min(1_500);
+            let d = b.delay(attempt).as_millis() as u64;
+            assert!(d >= exp / 2, "attempt {attempt}: {d} below window");
+            assert!(d <= exp, "attempt {attempt}: {d} above window");
+            assert!(d <= 1_500, "attempt {attempt}: {d} above cap");
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Two failures stay closed; the third opens.
+        assert!(b.allow(0));
+        b.record_failure(0);
+        assert!(b.allow(10));
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(20));
+        b.record_failure(20);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.opens(), 1);
+
+        // Refused during the cool-down.
+        assert!(!b.allow(500));
+        assert!(!b.allow(1_019));
+
+        // Cool-down elapsed: exactly one probe passes.
+        assert!(b.allow(1_020));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(1_021), "second caller is refused mid-probe");
+
+        // Probe succeeds: closed again, counters reset.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow(1_030));
+        b.record_failure(1_030);
+        assert_eq!(b.state(), BreakerState::Closed, "counter was reset");
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut b = CircuitBreaker::new(1, 100);
+        assert!(b.allow(0));
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.allow(100), "probe after cool-down");
+        b.record_failure(150);
+        assert_eq!(b.state(), BreakerState::Open, "probe failure reopens");
+        assert_eq!(b.opens(), 2);
+        assert!(!b.allow(200), "cool-down restarts from the reopen");
+        assert!(b.allow(250));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(10);
+        assert_eq!(b.state(), BreakerState::Closed, "streak broken by success");
+        b.record_failure(20);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

@@ -48,6 +48,8 @@ impl ClientResponse {
 pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
+    connect_timeout: Option<Duration>,
+    abortive_close: bool,
     conn: Option<BufReader<TcpStream>>,
 }
 
@@ -57,6 +59,8 @@ impl Client {
         Client {
             addr,
             timeout: Duration::from_secs(30),
+            connect_timeout: None,
+            abortive_close: false,
             conn: None,
         }
     }
@@ -64,6 +68,24 @@ impl Client {
     /// Override the per-operation read/write timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self
+    }
+
+    /// Bound the TCP connect itself (default: the OS connect timeout,
+    /// which can be minutes — far too long for a shard health probe).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Client {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Close connections abortively (`SO_LINGER` 0 → RST) instead of
+    /// with an orderly FIN. The cluster coordinator needs this: after a
+    /// shard is killed, an orderly close from our side would park the
+    /// dead shard's half-open socket in TIME_WAIT and block the
+    /// restarted shard from rebinding its port for minutes. An RST
+    /// destroys the remote socket immediately.
+    pub fn with_abortive_close(mut self) -> Client {
+        self.abortive_close = true;
         self
     }
 
@@ -121,10 +143,16 @@ impl Client {
 
     fn ensure_connected(&mut self) -> io::Result<()> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
+            let stream = match self.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+                None => TcpStream::connect(self.addr)?,
+            };
             stream.set_read_timeout(Some(self.timeout))?;
             stream.set_write_timeout(Some(self.timeout))?;
             stream.set_nodelay(true)?;
+            if self.abortive_close {
+                set_linger_zero(&stream);
+            }
             self.conn = Some(BufReader::new(stream));
         }
         Ok(())
@@ -161,6 +189,49 @@ impl Client {
         Ok(resp)
     }
 }
+
+/// Set `SO_LINGER {on, 0s}` so dropping the stream sends RST instead of
+/// FIN. `std` has no stable API for this (`tcp_linger` is unstable), so
+/// on Linux we call `setsockopt` directly — the symbol is always present
+/// in the already-linked libc. Elsewhere this is a no-op: the coordinator
+/// still works, restarted shards just may wait out TIME_WAIT.
+#[cfg(target_os = "linux")]
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::unix::io::AsRawFd;
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const std::ffi::c_void,
+            len: u32,
+        ) -> i32;
+    }
+    let linger = Linger {
+        l_onoff: 1,
+        l_linger: 0,
+    };
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            (&linger as *const Linger).cast(),
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    debug_assert_eq!(rc, 0, "SO_LINGER setsockopt failed");
+}
+
+#[cfg(not(target_os = "linux"))]
+fn set_linger_zero(_stream: &TcpStream) {}
 
 fn retryable(e: &io::Error) -> bool {
     matches!(

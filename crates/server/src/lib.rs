@@ -16,8 +16,19 @@
 //! | `/sessions/{id}`                 | GET/DELETE | inspect / drop a session         |
 //! | `/sessions/{id}/ingest`          | POST   | JSONL batch → incremental discovery  |
 //! | `/sessions/{id}/schema`          | GET    | current schema (ETag = content hash) |
+//! | `/sessions/{id}/state`           | GET    | full shard state (schema + accumulators) |
 //! | `/sessions/{id}/diff?from=v`     | GET    | schema delta since version `v`       |
 //! | `/sessions/{id}/validate`        | POST   | LOOSE/STRICT conformance of a subgraph |
+//!
+//! Coordinator-mode instances (`serve --cluster`) add:
+//!
+//! | route                            | verb   | purpose                              |
+//! |----------------------------------|--------|--------------------------------------|
+//! | `/ingest`                        | POST   | WAL-backed routed ingest across shards |
+//! | `/schema`                        | GET    | exact merge-on-read of live shard states |
+//! | `/cluster/health`                | GET    | per-shard membership, breakers, WAL backlog |
+//!
+//! See [`cluster`] for the failure model.
 //!
 //! ## Durability
 //!
@@ -28,20 +39,28 @@
 //! every session bit-identically — same schema content hash, same batch
 //! numbering.
 
+pub mod backoff;
 pub mod client;
+pub mod cluster;
 pub mod http;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
 pub mod router;
+pub mod shard_client;
 pub mod shutdown;
+pub mod wal;
 
+pub use backoff::{Backoff, BreakerState, CircuitBreaker};
 pub use client::{Client, ClientResponse};
+pub use cluster::{ClusterConfig, Coordinator};
 pub use http::{Limits, Request, Response};
 pub use metrics::{Metrics, SessionStats};
 pub use registry::{LiveSession, Registry, RegistryConfig, SessionSpec};
 pub use router::Ctx;
+pub use shard_client::{ShardClient, ShardClientConfig};
 pub use shutdown::{install_signal_handlers, shutdown_flag};
+pub use wal::Wal;
 
 use crate::http::HttpError;
 use crate::pool::{Busy, Pool};
@@ -73,6 +92,9 @@ pub struct ServerConfig {
     pub checkpoint_keep: usize,
     /// Default schema versions retained per session.
     pub history_retain: u64,
+    /// Cluster coordinator configuration (`None` = single-node /
+    /// shard mode).
+    pub cluster: Option<cluster::ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +109,7 @@ impl Default for ServerConfig {
             checkpoint_every: 8,
             checkpoint_keep: 4,
             history_retain: 64,
+            cluster: None,
         }
     }
 }
@@ -131,9 +154,21 @@ impl Server {
         for w in warnings {
             eprintln!("warning: {w}");
         }
+        let coordinator = match &config.cluster {
+            Some(cluster_config) => {
+                let (coordinator, wal_warnings) = Coordinator::new(cluster_config.clone())?;
+                for w in wal_warnings {
+                    eprintln!("warning: {w}");
+                }
+                Some(Arc::new(coordinator))
+            }
+            None => None,
+        };
         let ctx = Arc::new(Ctx {
             registry: Arc::new(registry),
             metrics: Arc::new(Metrics::new()),
+            cluster: coordinator,
+            shutdown: Arc::clone(&shutdown),
         });
         Ok(Server {
             listener,
@@ -166,6 +201,20 @@ impl Server {
         let limits = Limits {
             max_body: self.config.max_body,
         };
+        // In coordinator mode, the health monitor heartbeats every
+        // shard, reopens circuit breakers, and replays pending WAL
+        // records to recovered shards.
+        let monitor = self.ctx.cluster.as_ref().map(|coordinator| {
+            let coordinator = Arc::clone(coordinator);
+            let stop = Arc::clone(&self.shutdown);
+            let interval = coordinator.config().heartbeat;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    coordinator.heartbeat_tick();
+                    std::thread::sleep(interval);
+                }
+            })
+        });
         let mut connections = 0u64;
         while !self.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
@@ -188,7 +237,8 @@ impl Server {
                             503,
                             "server_busy",
                             "worker pool saturated; retry with backoff",
-                        );
+                        )
+                        .with_header("Retry-After", "1");
                         let _ = resp.write_to(&mut stream, false);
                         continue;
                     }
@@ -208,6 +258,9 @@ impl Server {
             }
         }
         pool.shutdown();
+        if let Some(handle) = monitor {
+            let _ = handle.join();
+        }
         let persist_failures = self.ctx.registry.persist_all();
         let sessions_persisted = self.ctx.registry.list().len() - persist_failures.len();
         for (name, err) in &persist_failures {
@@ -243,12 +296,18 @@ pub fn handle_connection<S: Read + Write>(stream: S, ctx: &Ctx, limits: Limits) 
         let started = Instant::now();
         let (route, resp) = router::dispatch(&req, ctx);
         ctx.metrics.record(route, resp.status, started.elapsed());
+        // Once shutdown starts, answer the in-flight request but close
+        // the connection. Without this a keep-alive client issuing
+        // requests faster than the read timeout (a coordinator
+        // heartbeating a shard, say) would pin this worker forever and
+        // the drain in `Pool::shutdown` would never finish.
+        let keep_alive = req.keep_alive && !ctx.shutdown.load(Ordering::SeqCst);
         // The handler has fully committed by now; a failed write tears
         // this connection only, never session state.
-        if resp.write_to(reader.get_mut(), req.keep_alive).is_err() {
+        if resp.write_to(reader.get_mut(), keep_alive).is_err() {
             return;
         }
-        if !req.keep_alive {
+        if !keep_alive {
             return;
         }
     }

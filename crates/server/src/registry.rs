@@ -340,6 +340,17 @@ impl LiveSession {
         write_sidecar(dir, &sidecar)
     }
 
+    /// Batches applied since the last completed checkpoint (the
+    /// session's checkpoint lag). A cluster coordinator uses this to
+    /// decide how far a shard's write-ahead log can be trimmed: only
+    /// batches the shard has durably checkpointed are safe to drop.
+    pub fn checkpoint_lag(&self) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .batches_since_checkpoint
+    }
+
     /// Lifetime quarantine total.
     pub fn quarantined_total(&self) -> u64 {
         self.counters
@@ -390,6 +401,10 @@ impl LiveSession {
             ),
             ("version".to_owned(), serde::Value::U64(version)),
             ("hash".to_owned(), serde::Value::Str(hash)),
+            (
+                "checkpoint_lag".to_owned(),
+                serde::Value::U64(self.checkpoint_lag()),
+            ),
             (
                 "durable".to_owned(),
                 serde::Value::Bool(self.store.is_some()),

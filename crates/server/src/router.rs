@@ -10,12 +10,14 @@
 //! `/sessions/{id}/ingest`) for metrics, keeping label cardinality
 //! independent of the number of live sessions.
 
+use crate::cluster::{ClusterError, Coordinator};
 use crate::http::{Request, Response};
 use crate::metrics::Metrics;
 use crate::registry::{CreateError, IngestFailure, LiveSession, Registry, SessionSpec};
 use pg_hive::{diff, validate, IngestError, SchemaMode, VersionLookup};
 use pg_store::{from_jsonl_reader_with_policy, ErrorPolicy, LoadError, Quarantine};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 /// Shared state every handler sees.
@@ -24,6 +26,13 @@ pub struct Ctx {
     pub registry: Arc<Registry>,
     /// The metrics sink.
     pub metrics: Arc<Metrics>,
+    /// The cluster coordinator, when this instance runs in coordinator
+    /// mode (`serve --cluster`). `None` on single nodes and shards.
+    pub cluster: Option<Arc<Coordinator>>,
+    /// The server's shutdown flag. Connection loops consult it so a
+    /// draining server closes keep-alive connections after the in-flight
+    /// response instead of serving an eager client forever.
+    pub shutdown: Arc<AtomicBool>,
 }
 
 /// Violations included verbatim in a validate response before the list
@@ -63,11 +72,23 @@ fn route_of<'a>(req: &'a Request, ctx: &'a Ctx) -> Result<(&'static str, Handler
     }
     match segments.as_slice() {
         ["healthz"] => match method {
-            "GET" => route!("/healthz", healthz),
+            "GET" => route!("/healthz", || healthz(ctx)),
             _ => Err(method_not_allowed("GET")),
         },
         ["metrics"] => match method {
             "GET" => route!("/metrics", || metrics(ctx)),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["ingest"] => match method {
+            "POST" => route!("/ingest", || cluster_ingest(req, ctx)),
+            _ => Err(method_not_allowed("POST")),
+        },
+        ["schema"] => match method {
+            "GET" => route!("/schema", || cluster_schema(ctx)),
+            _ => Err(method_not_allowed("GET")),
+        },
+        ["cluster", "health"] => match method {
+            "GET" => route!("/cluster/health", || cluster_health(ctx)),
             _ => Err(method_not_allowed("GET")),
         },
         ["sessions"] => match method {
@@ -105,6 +126,17 @@ fn route_of<'a>(req: &'a Request, ctx: &'a Ctx) -> Result<(&'static str, Handler
                     |live| merge_shard(req, live)
                 )),
                 _ => Err(method_not_allowed("POST")),
+            }
+        }
+        ["sessions", name, "state"] => {
+            let name = *name;
+            match method {
+                "GET" => route!("/sessions/{id}/state", move || with_session(
+                    ctx,
+                    name,
+                    shard_state
+                )),
+                _ => Err(method_not_allowed("GET")),
             }
         }
         ["sessions", name, "schema"] => {
@@ -164,25 +196,172 @@ fn with_session(ctx: &Ctx, name: &str, f: impl FnOnce(&Arc<LiveSession>) -> Resp
     }
 }
 
-fn healthz() -> Response {
+fn healthz(ctx: &Ctx) -> Response {
+    // Session count and total checkpoint lag ride along so a cluster
+    // coordinator (or an operator's probe) learns how far this
+    // instance's in-memory state runs ahead of its durable checkpoints.
+    let sessions = ctx.registry.list();
+    let lag: u64 = sessions.iter().map(|l| l.checkpoint_lag()).sum();
     Response::json(
         200,
-        &serde::Value::Object(vec![(
-            "status".to_owned(),
-            serde::Value::Str("ok".to_owned()),
-        )]),
+        &serde::Value::Object(vec![
+            ("status".to_owned(), serde::Value::Str("ok".to_owned())),
+            (
+                "role".to_owned(),
+                serde::Value::Str(
+                    if ctx.cluster.is_some() {
+                        "coordinator"
+                    } else {
+                        "node"
+                    }
+                    .to_owned(),
+                ),
+            ),
+            (
+                "sessions".to_owned(),
+                serde::Value::U64(sessions.len() as u64),
+            ),
+            ("checkpoint_lag".to_owned(), serde::Value::U64(lag)),
+        ]),
     )
 }
 
 fn metrics(ctx: &Ctx) -> Response {
     let stats = ctx.registry.stats();
+    let mut text = ctx.metrics.render(&stats);
+    if let Some(cluster) = &ctx.cluster {
+        text.push_str(&cluster.render_metrics());
+    }
     Response {
         status: 200,
         headers: vec![(
             "Content-Type".to_owned(),
             "text/plain; version=0.0.4".to_owned(),
         )],
-        body: ctx.metrics.render(&stats).into_bytes(),
+        body: text.into_bytes(),
+    }
+}
+
+fn coordinator_of(ctx: &Ctx) -> Result<&Arc<Coordinator>, Response> {
+    ctx.cluster.as_ref().ok_or_else(|| {
+        Response::error(
+            404,
+            "not_a_coordinator",
+            "this instance does not run in cluster mode; start it with --cluster",
+        )
+    })
+}
+
+fn cluster_ingest(req: &Request, ctx: &Ctx) -> Response {
+    let cluster = match coordinator_of(ctx) {
+        Ok(c) => c,
+        Err(resp) => return resp,
+    };
+    match cluster.ingest(&req.body) {
+        Ok(out) => {
+            let routed: Vec<serde::Value> = out
+                .routed
+                .iter()
+                .map(|(url, lines)| {
+                    serde::Value::Object(vec![
+                        ("shard".to_owned(), serde::Value::Str(url.clone())),
+                        ("lines".to_owned(), serde::Value::U64(*lines as u64)),
+                    ])
+                })
+                .collect();
+            let pending: Vec<serde::Value> = out
+                .pending
+                .iter()
+                .map(|url| serde::Value::Str(url.clone()))
+                .collect();
+            Response::json(
+                200,
+                &serde::Value::Object(vec![
+                    ("batch".to_owned(), serde::Value::U64(out.batch)),
+                    ("nodes".to_owned(), serde::Value::U64(out.nodes as u64)),
+                    ("edges".to_owned(), serde::Value::U64(out.edges as u64)),
+                    (
+                        "quarantined".to_owned(),
+                        serde::Value::U64(out.quarantine.len() as u64),
+                    ),
+                    ("quarantine".to_owned(), quarantine_json(&out.quarantine)),
+                    ("routed".to_owned(), serde::Value::Array(routed)),
+                    ("durable".to_owned(), serde::Value::Bool(true)),
+                    ("pending".to_owned(), serde::Value::Array(pending)),
+                ]),
+            )
+        }
+        Err(ClusterError::Rejected(e)) => {
+            Response::error(422, "batch_rejected", &format!("nothing was applied: {e}"))
+        }
+        Err(ClusterError::BadBody(e)) => Response::error(400, "bad_request", &e),
+        Err(ClusterError::Wal(e)) => Response::error(
+            500,
+            "wal_append_failed",
+            &format!("batch not acked (not durable): {e}"),
+        ),
+        Err(ClusterError::Merge(e)) => Response::error(500, "merge_failed", &e),
+    }
+}
+
+fn cluster_schema(ctx: &Ctx) -> Response {
+    let cluster = match coordinator_of(ctx) {
+        Ok(c) => c,
+        Err(resp) => return resp,
+    };
+    match cluster.schema() {
+        Ok(view) => {
+            let schema_json = pg_hive::serialize::to_json(&view.schema);
+            let schema: serde::Value =
+                serde_json::from_str(&schema_json).unwrap_or(serde::Value::Null);
+            let rows: Vec<serde::Value> = view.shards.iter().map(|r| r.to_value()).collect();
+            Response::json(
+                200,
+                &serde::Value::Object(vec![
+                    ("degraded".to_owned(), serde::Value::Bool(view.degraded)),
+                    ("hash".to_owned(), serde::Value::Str(view.hash.clone())),
+                    (
+                        "node_types".to_owned(),
+                        serde::Value::U64(view.schema.node_types.len() as u64),
+                    ),
+                    (
+                        "edge_types".to_owned(),
+                        serde::Value::U64(view.schema.edge_types.len() as u64),
+                    ),
+                    ("shards".to_owned(), serde::Value::Array(rows)),
+                    ("schema".to_owned(), schema),
+                ]),
+            )
+            .with_header("ETag", &format!("\"cluster-{}\"", view.hash))
+        }
+        Err(ClusterError::Merge(e)) => Response::error(500, "merge_failed", &e),
+        Err(e) => Response::error(500, "cluster_error", &format!("{e:?}")),
+    }
+}
+
+fn cluster_health(ctx: &Ctx) -> Response {
+    match coordinator_of(ctx) {
+        Ok(cluster) => Response::json(200, &cluster.health()),
+        Err(resp) => resp,
+    }
+}
+
+fn shard_state(live: &Arc<LiveSession>) -> Response {
+    match live.handle().shard_state() {
+        Ok(state) => match serde_json::to_string(&state) {
+            Ok(text) => Response {
+                status: 200,
+                headers: vec![("Content-Type".to_owned(), "application/json".to_owned())],
+                body: text.into_bytes(),
+            },
+            Err(e) => Response::error(500, "serialize_failed", &e.to_string()),
+        },
+        Err(IngestError::Broken(m)) => Response::error(
+            500,
+            "session_broken",
+            &format!("resume from the last checkpoint: {m}"),
+        ),
+        Err(e) => Response::error(500, "engine_failure", &e.to_string()),
     }
 }
 

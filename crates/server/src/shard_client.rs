@@ -1,0 +1,218 @@
+//! The coordinator's HTTP client for one shard: connect/read timeouts,
+//! bounded retries with seeded jittered backoff, and `Retry-After`
+//! honoring.
+//!
+//! Transport failures (dial refused, timeout, connection torn) and 503
+//! busy responses are retried up to the configured bound, sleeping the
+//! [`Backoff`] schedule between attempts — or the server's own
+//! `Retry-After` when the 503 carries one, so a saturated shard is
+//! never hammered. Anything else, success or structured HTTP error, is
+//! returned to the caller: the circuit breaker above this layer decides
+//! what repeated failures mean for membership.
+
+use crate::backoff::Backoff;
+use crate::client::{Client, ClientResponse};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a shard request gave up.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Transport-level failure (or persistent 503) after all retries.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Unavailable(m) => write!(f, "shard unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Tuning for a [`ShardClient`].
+#[derive(Debug, Clone)]
+pub struct ShardClientConfig {
+    /// TCP connect bound.
+    pub connect_timeout: Duration,
+    /// Per-operation read/write bound.
+    pub io_timeout: Duration,
+    /// Retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff base delay (ms) between retries.
+    pub backoff_base_ms: u64,
+    /// Backoff cap (ms).
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for ShardClientConfig {
+    fn default() -> ShardClientConfig {
+        ShardClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(10),
+            max_retries: 2,
+            backoff_base_ms: 50,
+            backoff_cap_ms: 2_000,
+        }
+    }
+}
+
+/// Resolve a shard spec (`host:port`, optionally `http://`-prefixed)
+/// to a socket address.
+pub fn resolve_shard_addr(spec: &str) -> io::Result<SocketAddr> {
+    let trimmed = spec
+        .trim()
+        .strip_prefix("http://")
+        .unwrap_or(spec.trim())
+        .trim_end_matches('/');
+    trimmed.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            format!("shard address {spec:?} resolved to nothing"),
+        )
+    })
+}
+
+/// The `Retry-After` delay of a response, if present and parseable
+/// (delta-seconds form only — the HTTP-date form is not worth speaking
+/// between our own binaries).
+pub fn retry_after(resp: &ClientResponse) -> Option<Duration> {
+    resp.header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs)
+}
+
+/// A retrying client bound to one shard.
+pub struct ShardClient {
+    addr: SocketAddr,
+    client: Client,
+    config: ShardClientConfig,
+    backoff: Backoff,
+    retries: u64,
+}
+
+impl ShardClient {
+    /// A client for `addr`; `seed` makes the retry jitter reproducible.
+    pub fn new(addr: SocketAddr, seed: u64, config: ShardClientConfig) -> ShardClient {
+        let client = Client::new(addr)
+            .with_timeout(config.io_timeout)
+            .with_connect_timeout(config.connect_timeout)
+            // RST on close so a killed-and-restarted shard can rebind
+            // its port without waiting out TIME_WAIT.
+            .with_abortive_close();
+        let backoff = Backoff::new(seed, config.backoff_base_ms, config.backoff_cap_ms);
+        ShardClient {
+            addr,
+            client,
+            config,
+            backoff,
+            retries: 0,
+        }
+    }
+
+    /// The shard's resolved address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Retries performed since the last [`ShardClient::take_retries`].
+    pub fn take_retries(&mut self) -> u64 {
+        std::mem::take(&mut self.retries)
+    }
+
+    /// Send one request, retrying transport failures and 503s with
+    /// jittered backoff (honoring `Retry-After` on 503s, capped at the
+    /// backoff cap). Returns the final response — any status — or
+    /// [`ShardError::Unavailable`] once retries are exhausted.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ShardError> {
+        let attempts = self.config.max_retries + 1;
+        let mut last_failure = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            match self.client.request(method, path, &[], body) {
+                Ok(resp) if resp.status == 503 => {
+                    last_failure = "shard answered 503 busy".to_owned();
+                    let delay = retry_after(&resp)
+                        .unwrap_or_else(|| self.backoff.delay(attempt))
+                        .min(Duration::from_millis(self.config.backoff_cap_ms));
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(delay);
+                    }
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    last_failure = e.to_string();
+                    if attempt + 1 < attempts {
+                        std::thread::sleep(self.backoff.delay(attempt));
+                    }
+                }
+            }
+        }
+        Err(ShardError::Unavailable(format!(
+            "{} after {attempts} attempts: {last_failure}",
+            self.addr
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_specs_resolve_with_and_without_scheme() {
+        let a = resolve_shard_addr("127.0.0.1:7001").unwrap();
+        let b = resolve_shard_addr("http://127.0.0.1:7001/").unwrap();
+        assert_eq!(a, b);
+        assert!(resolve_shard_addr("not an address").is_err());
+    }
+
+    #[test]
+    fn retry_after_parses_delta_seconds_only() {
+        let resp = |headers: Vec<(String, String)>| ClientResponse {
+            status: 503,
+            headers,
+            body: Vec::new(),
+        };
+        let r = resp(vec![("retry-after".into(), "2".into())]);
+        assert_eq!(retry_after(&r), Some(Duration::from_secs(2)));
+        let r = resp(vec![("retry-after".into(), "soon".into())]);
+        assert_eq!(retry_after(&r), None);
+        let r = resp(vec![]);
+        assert_eq!(retry_after(&r), None);
+    }
+
+    #[test]
+    fn dead_shard_exhausts_retries_quickly() {
+        // Bind-then-drop yields a port with nothing listening.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut c = ShardClient::new(
+            addr,
+            1,
+            ShardClientConfig {
+                connect_timeout: Duration::from_millis(100),
+                io_timeout: Duration::from_millis(100),
+                max_retries: 2,
+                backoff_base_ms: 1,
+                backoff_cap_ms: 4,
+            },
+        );
+        let err = c.request("GET", "/healthz", &[]).unwrap_err();
+        assert!(err.to_string().contains("3 attempts"), "{err}");
+        assert_eq!(c.take_retries(), 2);
+        assert_eq!(c.take_retries(), 0, "counter drains");
+    }
+}

@@ -1,0 +1,445 @@
+//! Cluster-mode fault injection, end to end: three shard servers behind
+//! a coordinator. A deterministic JSONL stream goes through the
+//! coordinator while one shard is killed mid-stream; reads must stay
+//! available (HTTP 200, `degraded: true`), acks must stay durable, and
+//! after the shard restarts on the same port — empty, as after
+//! `kill -9` — WAL replay must converge the merged cluster schema to
+//! the exact content hash single-node discovery produces for the same
+//! stream.
+
+use pg_serve::{Client, ClusterConfig, ServerConfig, ShardClientConfig};
+use std::time::{Duration, Instant};
+
+mod util;
+use util::{edge_line, node_line, scratch_dir, TestServer};
+
+/// One deterministic JSONL batch: a mix of three node types and two
+/// edge types, plus (in batch 2) a duplicate node and a dangling edge
+/// the coordinator must police exactly like a single node would.
+fn batch(b: u64) -> String {
+    let mut lines = Vec::new();
+    for i in 0..24u64 {
+        let id = 100 * b + i;
+        let (label, props) = match i % 3 {
+            0 => ("Person", format!(r#""age":{{"Int":{}}}"#, 20 + i)),
+            1 => ("Org", format!(r#""url":{{"Int":{id}}}"#)),
+            _ => ("Place", format!(r#""lat":{{"Int":{i}}}"#)),
+        };
+        let props = if i % 6 == 0 {
+            format!(r#"{props},"email":{{"Int":{id}}}"#)
+        } else {
+            props
+        };
+        lines.push(node_line(id, label, &props));
+    }
+    for i in 0..12u64 {
+        let id = 50_000 + 100 * b + i;
+        let src = 100 * b + (i % 24);
+        let tgt = 100 * b + ((i * 7 + 3) % 24);
+        let label = if i % 2 == 0 { "KNOWS" } else { "WORKS_AT" };
+        lines.push(edge_line(id, src, tgt, label));
+    }
+    if b == 2 {
+        lines.push(node_line(200, "Person", r#""age":{"Int":1}"#));
+        lines.push(edge_line(99_999, 0, 999_999, "KNOWS"));
+    }
+    lines.join("\n")
+}
+
+/// The content hash a single pg-serve session reports after ingesting
+/// batches `0..n` of the stream.
+fn single_node_hash(n: u64) -> String {
+    let solo = TestServer::start(ServerConfig::default());
+    let mut client = solo.client();
+    let resp = client.post("/sessions", br#"{"name":"solo"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    for b in 0..n {
+        let resp = client
+            .post("/sessions/solo/ingest", batch(b).as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200, "batch {b}: {}", resp.text());
+    }
+    let summary = client.get("/sessions/solo").unwrap().json().unwrap();
+    summary
+        .get("hash")
+        .and_then(|h| h.as_str())
+        .expect("session summary carries a hash")
+        .to_owned()
+}
+
+fn shard_config(addr: std::net::SocketAddr) -> ServerConfig {
+    ServerConfig {
+        addr,
+        // Short read timeout so a dying shard's keep-alive workers
+        // drain quickly instead of pinning the port.
+        read_timeout: Duration::from_millis(250),
+        ..ServerConfig::default()
+    }
+}
+
+fn coordinator_config(shards: &[String], wal_dir: std::path::PathBuf) -> ServerConfig {
+    ServerConfig {
+        cluster: Some(ClusterConfig {
+            shards: shards.to_vec(),
+            wal_dir,
+            heartbeat: Duration::from_millis(100),
+            failure_threshold: 2,
+            breaker_open_ms: 300,
+            client: ShardClientConfig {
+                connect_timeout: Duration::from_millis(300),
+                io_timeout: Duration::from_secs(2),
+                max_retries: 1,
+                backoff_base_ms: 10,
+                backoff_cap_ms: 100,
+            },
+            ..ClusterConfig::default()
+        }),
+        ..ServerConfig::default()
+    }
+}
+
+fn get_json(client: &mut Client, path: &str) -> serde::Value {
+    let resp = client.get(path).unwrap();
+    assert_eq!(resp.status, 200, "{path}: {}", resp.text());
+    resp.json().unwrap()
+}
+
+#[test]
+fn kill_recover_replay_converges_to_the_single_node_hash() {
+    const BATCHES: u64 = 6;
+    let expected = single_node_hash(BATCHES);
+
+    let shards: Vec<TestServer> = (0..3)
+        .map(|_| TestServer::start(shard_config("127.0.0.1:0".parse().unwrap())))
+        .collect();
+    let shard_urls: Vec<String> = shards.iter().map(|s| s.addr.to_string()).collect();
+    let wal_dir = scratch_dir("cluster-e2e-wal");
+    let coordinator = TestServer::start(coordinator_config(&shard_urls, wal_dir.clone()));
+    let mut client = coordinator.client();
+
+    // Healthy phase: the first batches flow through every shard.
+    for b in 0..2 {
+        let v = get_json(&mut client, "/cluster/health");
+        let _ = v;
+        let resp = client.post("/ingest", batch(b).as_bytes()).unwrap();
+        assert_eq!(resp.status, 200, "batch {b}: {}", resp.text());
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("durable"), Some(&serde::Value::Bool(true)));
+    }
+    // A read now caches every shard's state for later degraded reads.
+    let view = get_json(&mut client, "/schema");
+    assert_eq!(view.get("degraded"), Some(&serde::Value::Bool(false)));
+
+    // Kill shard 1: no state dir, so its sessions die with it — the
+    // in-process stand-in for `kill -9`.
+    let victim_addr = shards[1].addr;
+    let mut shards = shards;
+    let victim = shards.remove(1);
+    drop(victim);
+
+    // Mid-outage ingest: acks must keep coming (WAL-durable), and the
+    // quarantine-carrying batch must report single-node semantics.
+    for b in 2..BATCHES {
+        let resp = client.post("/ingest", batch(b).as_bytes()).unwrap();
+        assert_eq!(resp.status, 200, "batch {b}: {}", resp.text());
+        let v = resp.json().unwrap();
+        assert_eq!(v.get("durable"), Some(&serde::Value::Bool(true)));
+        if b == 2 {
+            assert_eq!(
+                v.get("quarantined"),
+                Some(&serde::Value::U64(2)),
+                "duplicate node + dangling edge: {}",
+                resp.text()
+            );
+        }
+    }
+
+    // Mid-outage read: 200 + degraded, never a 500.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let view = get_json(&mut client, "/schema");
+        if view.get("degraded") == Some(&serde::Value::Bool(true)) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "schema reads never went degraded during the outage"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let health = get_json(&mut client, "/cluster/health");
+    assert_eq!(
+        health.get("status").and_then(|v| v.as_str()),
+        Some("degraded"),
+        "{health:?}"
+    );
+
+    // Recovery: restart the shard on its old port, empty. The
+    // coordinator's heartbeat must notice, recreate the cluster
+    // session, and replay the shard's whole WAL.
+    let revived = TestServer::start_rebinding(shard_config(victim_addr), Duration::from_secs(10));
+    assert_eq!(revived.addr, victim_addr);
+    shards.push(revived);
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let final_hash = loop {
+        let view = get_json(&mut client, "/schema");
+        let degraded = view.get("degraded") == Some(&serde::Value::Bool(true));
+        let hash = view
+            .get("hash")
+            .and_then(|h| h.as_str())
+            .unwrap_or_default()
+            .to_owned();
+        if !degraded && hash == expected {
+            break hash;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no convergence: degraded={degraded}, hash={hash}, expected={expected}"
+        );
+        std::thread::sleep(Duration::from_millis(150));
+    };
+    assert_eq!(final_hash, expected);
+
+    // The replay is visible in the metrics, and health is green again.
+    let resp = client.get("/metrics").unwrap();
+    let metrics = resp.text();
+    let replayed: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("pg_cluster_wal_replayed_records_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("replay counter present");
+    assert!(replayed > 0, "recovery must have replayed WAL records");
+    let health = get_json(&mut client, "/cluster/health");
+    assert_eq!(
+        health.get("status").and_then(|v| v.as_str()),
+        Some("ok"),
+        "{health:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn idle_cluster_heals_a_shard_killed_after_the_stream_ended() {
+    // The nastier timing: the shard dies AFTER the whole stream is
+    // delivered, and no further ingest ever arrives. Recovery must be
+    // driven entirely by the heartbeat — it has to notice the restarted
+    // shard's durable batch count regressed below the delivered
+    // watermark and replay the WAL unprompted. (A watermark cached from
+    // before the kill says "nothing pending"; trusting it silently
+    // drops the shard's whole share of the data from every read.)
+    const BATCHES: u64 = 4;
+    let expected = single_node_hash(BATCHES);
+
+    let shards: Vec<TestServer> = (0..3)
+        .map(|_| TestServer::start(shard_config("127.0.0.1:0".parse().unwrap())))
+        .collect();
+    let shard_urls: Vec<String> = shards.iter().map(|s| s.addr.to_string()).collect();
+    let wal_dir = scratch_dir("cluster-e2e-idle-wal");
+    let coordinator = TestServer::start(coordinator_config(&shard_urls, wal_dir.clone()));
+    let mut client = coordinator.client();
+
+    for b in 0..BATCHES {
+        let resp = client.post("/ingest", batch(b).as_bytes()).unwrap();
+        assert_eq!(resp.status, 200, "batch {b}: {}", resp.text());
+    }
+    let view = get_json(&mut client, "/schema");
+    assert_eq!(view.get("hash").and_then(|h| h.as_str()), Some(&*expected));
+
+    // Only now kill a shard, and restart it empty on the same port.
+    let victim_addr = shards[0].addr;
+    let mut shards = shards;
+    let victim = shards.remove(0);
+    drop(victim);
+    let revived = TestServer::start_rebinding(shard_config(victim_addr), Duration::from_secs(10));
+    shards.push(revived);
+
+    // No ingest from here on: the heartbeat alone must re-deliver.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let view = get_json(&mut client, "/schema");
+        let degraded = view.get("degraded") == Some(&serde::Value::Bool(true));
+        let hash = view
+            .get("hash")
+            .and_then(|h| h.as_str())
+            .unwrap_or_default();
+        if !degraded && hash == expected {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "idle recovery never converged: degraded={degraded}, hash={hash}, expected={expected}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+#[test]
+fn wiping_a_durable_shards_state_dir_is_flagged_as_permanent_loss() {
+    // A durable shard lets the coordinator trim its WAL below the
+    // shard's checkpoint — from then on the shard's state dir is part
+    // of the cluster's data. Restarting such a shard with a wiped
+    // state dir loses the trimmed prefix for good. The coordinator
+    // cannot get it back, but it must say so: schema reads stay
+    // degraded and health reports the shard as `data_loss` with the
+    // missing record count, instead of converging to a silently wrong
+    // hash with `degraded: false`.
+    let state_dir = scratch_dir("cluster-e2e-wipe-state");
+    let durable_shard = |addr: std::net::SocketAddr| ServerConfig {
+        state_dir: Some(state_dir.clone()),
+        checkpoint_every: 1,
+        ..shard_config(addr)
+    };
+    let shard = TestServer::start(durable_shard("127.0.0.1:0".parse().unwrap()));
+    let addr = shard.addr;
+    let wal_dir = scratch_dir("cluster-e2e-wipe-wal");
+    let mut config = coordinator_config(&[addr.to_string()], wal_dir.clone());
+    if let Some(c) = config.cluster.as_mut() {
+        c.spec.checkpoint_every = 1;
+    }
+    let coordinator = TestServer::start(config);
+    let mut client = coordinator.client();
+
+    for b in 0..4 {
+        let resp = client.post("/ingest", batch(b).as_bytes()).unwrap();
+        assert_eq!(resp.status, 200, "batch {b}: {}", resp.text());
+    }
+
+    // Wait for a heartbeat to trim the WAL against the shard's durable
+    // checkpoint. Every batch above was acked, so the log started out
+    // non-empty; once the first retained record climbs above seq 0 —
+    // or the log empties entirely (checkpoint lag zero) — the prefix
+    // is gone from disk.
+    let wal_path = wal_dir.join("shard-00.wal");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let bytes = std::fs::read(&wal_path).unwrap_or_default();
+        let trimmed = bytes.is_empty()
+            || String::from_utf8_lossy(&bytes)
+                .lines()
+                .next()
+                .and_then(|l| l.split(' ').find_map(|p| p.strip_prefix("seq=")))
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|s| s > 0);
+        if trimmed {
+            break;
+        }
+        assert!(Instant::now() < deadline, "WAL was never trimmed");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The operator error: kill the shard AND wipe its state dir, then
+    // restart it on the old port.
+    drop(shard);
+    std::fs::remove_dir_all(&state_dir).unwrap();
+    let revived = TestServer::start_rebinding(durable_shard(addr), Duration::from_secs(10));
+
+    // The coordinator replays what the WAL still holds, but the
+    // trimmed prefix is unrecoverable — and that must be visible.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let health = get_json(&mut client, "/cluster/health");
+        let row = health
+            .get("shards")
+            .and_then(|s| s.as_array())
+            .and_then(|s| s.first())
+            .expect("one shard row");
+        let lost = row
+            .get("lost_records")
+            .and_then(|v| match v {
+                serde::Value::U64(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(0);
+        if lost > 0 {
+            assert_eq!(
+                row.get("status").and_then(|v| v.as_str()),
+                Some("data_loss"),
+                "{health:?}"
+            );
+            assert_eq!(
+                health.get("status").and_then(|v| v.as_str()),
+                Some("degraded"),
+                "{health:?}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "loss was never reported: {health:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let view = get_json(&mut client, "/schema");
+    assert_eq!(
+        view.get("degraded"),
+        Some(&serde::Value::Bool(true)),
+        "an irrecoverably partial view must never read as complete"
+    );
+    let metrics = coordinator.client().get("/metrics").unwrap().text();
+    assert!(
+        metrics.contains("pg_cluster_shard_lost_records"),
+        "loss gauge missing from /metrics"
+    );
+
+    drop(revived);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn coordinator_restart_replays_its_own_wal() {
+    // The coordinator itself dying mid-delivery must not lose acked
+    // batches either: its WALs are on disk, and a fresh coordinator
+    // process replays them to the shards it never delivered to.
+    let shard = TestServer::start(shard_config("127.0.0.1:0".parse().unwrap()));
+    let shard_urls = vec![shard.addr.to_string()];
+    let wal_dir = scratch_dir("cluster-e2e-coord-wal");
+
+    // First coordinator: shard is up but we never let delivery finish —
+    // point the coordinator at a dead port so every batch parks in the
+    // WAL, acked but undelivered.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let first = TestServer::start(coordinator_config(
+        std::slice::from_ref(&dead),
+        wal_dir.clone(),
+    ));
+    let mut client = first.client();
+    for b in 0..3 {
+        let resp = client.post("/ingest", batch(b).as_bytes()).unwrap();
+        assert_eq!(resp.status, 200, "batch {b}: {}", resp.text());
+    }
+    drop(client);
+    drop(first);
+
+    // Second coordinator: same WAL dir, now pointing at the live shard
+    // (in production: the shard came back under its old address). The
+    // heartbeat replays everything the first coordinator acked.
+    let second = TestServer::start(coordinator_config(&shard_urls, wal_dir.clone()));
+    let mut client = second.client();
+    let expected = single_node_hash(3);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let view = get_json(&mut client, "/schema");
+        let degraded = view.get("degraded") == Some(&serde::Value::Bool(true));
+        let hash = view
+            .get("hash")
+            .and_then(|h| h.as_str())
+            .unwrap_or_default();
+        if !degraded && hash == expected {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no convergence after coordinator restart: degraded={degraded}, \
+             hash={hash}, expected={expected}"
+        );
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

@@ -345,6 +345,8 @@ fn response_write_fault_does_not_poison_the_session() {
     let ctx = Ctx {
         registry: Arc::new(registry),
         metrics: Arc::new(Metrics::new()),
+        cluster: None,
+        shutdown: Arc::new(std::sync::atomic::AtomicBool::new(false)),
     };
     let limits = Limits {
         max_body: 1024 * 1024,

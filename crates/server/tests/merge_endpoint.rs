@@ -24,9 +24,14 @@ fn err_code(resp: &pg_serve::ClientResponse) -> String {
 /// A shard state discovered offline, exactly as `pg-hive discover
 /// --state-out` would produce: `n` Org nodes with a mandatory `url`.
 fn org_shard_state(n: u64) -> String {
+    labeled_shard_state("Org", n)
+}
+
+/// A shard state of `n` nodes labeled `label` with a mandatory `url`.
+fn labeled_shard_state(label: &str, n: u64) -> String {
     let mut g = PropertyGraph::new();
     for i in 0..n {
-        g.add_node(Node::new(i, LabelSet::single("Org")).with_prop("url", i as i64))
+        g.add_node(Node::new(i, LabelSet::single(label)).with_prop("url", i as i64))
             .unwrap();
     }
     let result = PgHive::new(HiveConfig::default()).discover_graph(&g);
@@ -109,6 +114,63 @@ fn merge_rejects_malformed_bodies_and_unknown_sessions() {
     let resp = client.get("/sessions/m").unwrap();
     let v = resp.json().unwrap();
     assert_eq!(v.get("version"), Some(&serde::Value::U64(1)));
+}
+
+#[test]
+fn concurrent_merges_serialize_to_a_deterministic_hash() {
+    // Eight clients slam distinct shard states into one session at
+    // once. Merges must serialize — every request succeeds, the version
+    // counter advances once per merge — and the final schema must equal
+    // the same states folded sequentially, in any order, on a second
+    // server: the accumulator algebra is commutative, so interleaving
+    // cannot change the outcome.
+    let states: Vec<String> = (0..8)
+        .map(|i| labeled_shard_state(&format!("Type{i}"), 3 + i))
+        .collect();
+
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    let resp = client.post("/sessions", br#"{"name":"cc"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let go = std::sync::Barrier::new(states.len());
+    std::thread::scope(|scope| {
+        for state in &states {
+            let mut client = server.client();
+            let go = &go;
+            scope.spawn(move || {
+                go.wait();
+                let resp = client.post("/sessions/cc/merge", state.as_bytes()).unwrap();
+                assert_eq!(resp.status, 200, "{}", resp.text());
+            });
+        }
+    });
+    let summary = client.get("/sessions/cc").unwrap().json().unwrap();
+    // Version 1 is the freshly created empty session; every merge
+    // introduces a new type, so each must bump the version exactly once.
+    assert_eq!(
+        summary.get("version"),
+        Some(&serde::Value::U64(states.len() as u64 + 1)),
+        "each merge must land exactly once"
+    );
+    let concurrent_hash = summary.get("hash").cloned();
+
+    // Reference: the same states merged one at a time, reversed.
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+    client.post("/sessions", br#"{"name":"seq"}"#).unwrap();
+    for state in states.iter().rev() {
+        let resp = client
+            .post("/sessions/seq/merge", state.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    let reference = client.get("/sessions/seq").unwrap().json().unwrap();
+    assert_eq!(
+        concurrent_hash,
+        reference.get("hash").cloned(),
+        "concurrent and sequential merge orders must converge"
+    );
+    assert!(concurrent_hash.is_some());
 }
 
 #[test]

@@ -21,6 +21,10 @@ pub enum FaultKind {
     /// Pretend the bytes were written/read but drop them — models a
     /// crash between `write()` and `fsync()`.
     SilentTruncate,
+    /// Keep writing/reading but flip the top bit of every byte past the
+    /// budget — models silent media corruption that only a checksum
+    /// (e.g. the WAL/checkpoint CRC envelope) can catch.
+    Corrupt,
 }
 
 /// A writer that fails after forwarding `budget` bytes.
@@ -71,6 +75,12 @@ impl<W: Write> Write for FaultyWriter<W> {
                 // Claim success so the caller keeps going, exactly like
                 // data sitting in a page cache that never hits disk.
                 FaultKind::SilentTruncate => Ok(buf.len()),
+                FaultKind::Corrupt => {
+                    let garbled: Vec<u8> = buf.iter().map(|b| b ^ 0x80).collect();
+                    let n = self.inner.write(&garbled)?;
+                    self.written += n;
+                    Ok(n)
+                }
             };
         }
         let n = room.min(buf.len());
@@ -127,6 +137,14 @@ impl<R: Read> Read for FaultyReader<R> {
                 FaultKind::Error => Err(io::Error::other("injected fault")),
                 // EOF early: the file looks shorter than it was.
                 FaultKind::SilentTruncate => Ok(0),
+                FaultKind::Corrupt => {
+                    let n = self.inner.read(buf)?;
+                    for b in &mut buf[..n] {
+                        *b ^= 0x80;
+                    }
+                    self.read += n;
+                    Ok(n)
+                }
             };
         }
         let cap = room.min(buf.len());
@@ -193,6 +211,23 @@ mod tests {
         r.read_exact(&mut part).unwrap();
         assert!(r.read(&mut part).is_err(), "reads fault at the budget");
         r.flush().unwrap();
+    }
+
+    #[test]
+    fn corrupt_kind_garbles_past_the_budget() {
+        let mut w = FaultyWriter::new(Vec::new(), 3, FaultKind::Corrupt);
+        w.write_all(b"abcdef").unwrap();
+        let out = w.into_inner();
+        assert_eq!(&out[..3], b"abc", "prefix intact");
+        assert_eq!(out[3], b'd' ^ 0x80, "suffix silently garbled");
+        assert_eq!(out.len(), 6, "nothing is dropped — only damaged");
+
+        let data = b"abcdef".to_vec();
+        let mut r = FaultyReader::new(&data[..], 3, FaultKind::Corrupt);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(&out[..3], b"abc");
+        assert_eq!(out[3], b'd' ^ 0x80);
     }
 
     #[test]

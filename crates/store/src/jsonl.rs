@@ -2,6 +2,7 @@
 //! or an edge. Lossless for all property value variants.
 
 use crate::ingest::{ErrorPolicy, Quarantine};
+use crate::load::EdgeRecord;
 use pg_model::{Edge, ModelError, Node, PropertyGraph};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -36,6 +37,11 @@ pub enum Element {
     Node(Node),
     /// An edge line.
     Edge(Edge),
+    /// An edge whose endpoint labels were resolved upstream (by a
+    /// cluster coordinator holding the global node index). Offline
+    /// loaders treat it as a plain edge — the graph resolves endpoints
+    /// itself; a live session applies the carried labels verbatim.
+    ResolvedEdge(EdgeRecord),
 }
 
 /// Stream a graph as JSON-lines into `w` (nodes first, then edges, so a
@@ -96,6 +102,7 @@ pub fn from_jsonl_with_policy(
                 }
             }
             Ok(Element::Edge(e)) => pending_edges.push((lineno, line.to_owned(), e)),
+            Ok(Element::ResolvedEdge(r)) => pending_edges.push((lineno, line.to_owned(), r.edge)),
             Err(e) => {
                 quarantine.divert(policy, "jsonl", lineno, e.to_string(), line)?;
             }
@@ -191,6 +198,7 @@ pub fn from_jsonl_reader_with_policy<R: BufRead>(
                 }
             }
             Element::Edge(e) => pending_edges.push((lineno, e)),
+            Element::ResolvedEdge(r) => pending_edges.push((lineno, r.edge)),
         }
     }
     for (lineno, e) in pending_edges {
@@ -279,6 +287,34 @@ mod tests {
         let shuffled = lines.join("\n");
         let g2 = from_jsonl(&shuffled).unwrap();
         assert_eq!(g2.edge_count(), 1);
+    }
+
+    #[test]
+    fn resolved_edges_round_trip_and_load_offline() {
+        let rec = EdgeRecord {
+            edge: Edge::new(7, NodeId(1), NodeId(2), LabelSet::single("KNOWS")),
+            src_labels: LabelSet::single("Person"),
+            tgt_labels: LabelSet::single("Org"),
+        };
+        let line = serde_json::to_string(&Element::ResolvedEdge(rec.clone())).unwrap();
+        assert!(line.contains("\"kind\":\"resolved_edge\""), "{line}");
+        match serde_json::from_str::<Element>(&line).unwrap() {
+            Element::ResolvedEdge(back) => assert_eq!(back, rec),
+            other => panic!("expected resolved edge, got {other:?}"),
+        }
+        // Offline loaders treat it as a plain edge (the graph resolves
+        // endpoints itself).
+        let text = format!(
+            "{}\n{}\n{line}\n",
+            serde_json::to_string(&Element::Node(Node::new(1, LabelSet::single("Person"))))
+                .unwrap(),
+            serde_json::to_string(&Element::Node(Node::new(2, LabelSet::single("Org")))).unwrap(),
+        );
+        let g = from_jsonl(&text).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        let (gr, q) = from_jsonl_reader_with_policy(text.as_bytes(), ErrorPolicy::Skip).unwrap();
+        assert_eq!(gr.edge_count(), 1);
+        assert!(q.is_empty());
     }
 
     #[test]

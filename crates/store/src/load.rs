@@ -16,7 +16,13 @@ pub type NodeRecord = Node;
 /// load time. If an endpoint is not present in the loaded graph (possible
 /// for cross-batch edges in the incremental setting), its label set is
 /// empty — exactly the "missing label" case the pipeline already handles.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable because it is also the wire form of a pre-resolved edge
+/// (`kind: "resolved_edge"` JSONL lines, see [`crate::jsonl::Element`]):
+/// a cluster coordinator that has seen every node can resolve endpoints
+/// centrally and ship records a shard can apply without holding the
+/// global node-label index.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EdgeRecord {
     /// The edge itself (labels + properties + endpoint ids).
     pub edge: Edge,

@@ -192,10 +192,27 @@ impl Client {
 
 /// Set `SO_LINGER {on, 0s}` so dropping the stream sends RST instead of
 /// FIN. `std` has no stable API for this (`tcp_linger` is unstable), so
-/// on Linux we call `setsockopt` directly — the symbol is always present
-/// in the already-linked libc. Elsewhere this is a no-op: the coordinator
-/// still works, restarted shards just may wait out TIME_WAIT.
-#[cfg(target_os = "linux")]
+/// we call `setsockopt` directly — the symbol is always present in the
+/// already-linked libc. Gated to Linux targets that use the generic
+/// asm-generic socket constants (`SOL_SOCKET == 1`, `SO_LINGER == 13`);
+/// mips and sparc use different values (`SOL_SOCKET == 0xffff`), so
+/// there — and off Linux — this is a no-op: the coordinator still
+/// works, restarted shards just may wait out TIME_WAIT.
+#[cfg(all(
+    target_os = "linux",
+    any(
+        target_arch = "x86",
+        target_arch = "x86_64",
+        target_arch = "arm",
+        target_arch = "aarch64",
+        target_arch = "riscv32",
+        target_arch = "riscv64",
+        target_arch = "loongarch64",
+        target_arch = "powerpc",
+        target_arch = "powerpc64",
+        target_arch = "s390x",
+    )
+))]
 fn set_linger_zero(stream: &TcpStream) {
     use std::os::unix::io::AsRawFd;
     const SOL_SOCKET: i32 = 1;
@@ -227,10 +244,31 @@ fn set_linger_zero(stream: &TcpStream) {
             std::mem::size_of::<Linger>() as u32,
         )
     };
-    debug_assert_eq!(rc, 0, "SO_LINGER setsockopt failed");
+    if rc != 0 {
+        // Losing the RST close is survivable (slower port rebinds), but
+        // it should not fail silently — and never only in debug builds.
+        eprintln!(
+            "pg-serve: SO_LINGER setsockopt failed: {}",
+            io::Error::last_os_error()
+        );
+    }
 }
 
-#[cfg(not(target_os = "linux"))]
+#[cfg(not(all(
+    target_os = "linux",
+    any(
+        target_arch = "x86",
+        target_arch = "x86_64",
+        target_arch = "arm",
+        target_arch = "aarch64",
+        target_arch = "riscv32",
+        target_arch = "riscv64",
+        target_arch = "loongarch64",
+        target_arch = "powerpc",
+        target_arch = "powerpc64",
+        target_arch = "s390x",
+    )
+)))]
 fn set_linger_zero(_stream: &TcpStream) {}
 
 fn retryable(e: &io::Error) -> bool {

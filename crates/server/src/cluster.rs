@@ -17,11 +17,13 @@
 //! * **Durability.** Each shard's sub-batch is appended (and fsynced)
 //!   to a per-shard CRC-checksummed [`crate::wal::Wal`] *before* the
 //!   client is acked. The WAL record sequence number equals the shard
-//!   session's batch index, and the coordinator is the sole writer of
-//!   the cluster session on every shard, so recovery is exactly-once by
+//!   session's batch index plus the shard's cumulative `lost_records`
+//!   offset (zero until a durable shard irrecoverably loses a trimmed
+//!   prefix), and the coordinator is the sole writer of the cluster
+//!   session on every shard, so recovery is exactly-once by
 //!   construction: ask the shard how many batches it durably holds,
-//!   replay the WAL from there. A shard killed mid-ingest (`kill -9`)
-//!   loses nothing that was acked.
+//!   translate that into seq space, replay the WAL from there. A shard
+//!   killed mid-ingest (`kill -9`) loses nothing that was acked.
 //!
 //! * **Supervision and degraded reads.** A heartbeat thread probes each
 //!   shard's `/healthz`, driving a per-shard circuit breaker
@@ -36,6 +38,16 @@
 //! correspondence airtight. A delivery the shard applied but whose ack
 //! was lost is never re-sent: the watermark is re-read from the shard
 //! immediately before every replay.
+//!
+//! Operational bound: the coordinator's routing state (`NodeId →
+//! LabelSet`, seen edge ids) grows with the number of *distinct*
+//! elements ever ingested — it is the price of exact cluster-global
+//! dedup and endpoint resolution, the same O(|V|+|E|) a single-node
+//! session pays. WAL *payloads* stay on disk (only a fixed-size index
+//! entry per record is in memory), but the logs of non-durable shards
+//! are never trimmed, so their disk footprint grows with total ingest;
+//! give long-lived clusters durable shards (`--state-dir`) so
+//! checkpoints let the logs trim.
 
 use crate::backoff::{BreakerState, CircuitBreaker};
 use crate::registry::SessionSpec;
@@ -128,8 +140,10 @@ pub struct ClusterSchemaView {
     pub schema: SchemaGraph,
     /// Its content hash (hex).
     pub hash: String,
-    /// Whether any shard's live state was unavailable and a cached (or
-    /// missing) snapshot stood in.
+    /// Whether the view may be missing acked data: a shard's live
+    /// state was unavailable (cached or missing snapshot stood in), a
+    /// reachable shard still has a WAL backlog to replay, or records
+    /// were permanently lost.
     pub degraded: bool,
     /// Per-shard read provenance.
     pub shards: Vec<ShardRow>,
@@ -149,7 +163,8 @@ pub struct ShardRow {
     /// Age of the cached state snapshot standing in for a live read
     /// (only set when this read was degraded for this shard).
     pub stale_ms: Option<u64>,
-    /// Batches confirmed delivered to the shard.
+    /// WAL seq watermark confirmed durably applied by the shard (its
+    /// batch count translated by the lost-prefix offset).
     pub delivered: u64,
     /// Batches permanently lost to this shard: trimmed from the WAL
     /// against a durable checkpoint that was later wiped. Nonzero means
@@ -194,14 +209,17 @@ struct ShardRuntime {
     client: ShardClient,
     breaker: CircuitBreaker,
     wal: Wal,
-    /// Shard batches confirmed applied (the replay watermark as of the
-    /// last successful sync; re-read from the shard before every sync).
+    /// The WAL-seq watermark confirmed durably applied (the shard's
+    /// batch count translated into seq space, as of the last successful
+    /// sync; re-read from the shard before every sync).
     delivered: u64,
-    /// Records the shard reported missing that the WAL can no longer
-    /// supply — its prefix was trimmed against a durable checkpoint
-    /// that has since been wiped (a durable shard restarted with a
-    /// fresh state dir). Permanent loss: reads stay degraded and the
-    /// count is surfaced rather than quietly merging a partial view.
+    /// Records the shard is missing that the WAL can no longer supply —
+    /// its prefix was trimmed against a durable checkpoint that has
+    /// since been wiped (a durable shard restarted with a fresh state
+    /// dir). Permanent loss: reads stay degraded and the count is
+    /// surfaced rather than quietly merging a partial view. Doubles as
+    /// the offset between the shard's batch numbering (which restarts
+    /// at the loss point) and WAL seq space — see [`seq_watermark`].
     lost_records: u64,
     /// Last fetched shard state, kept for degraded reads.
     last_state: Option<ShardState>,
@@ -517,7 +535,7 @@ impl Coordinator {
 
     fn try_sync(&self, rt: &mut ShardRuntime, fresh: Option<u64>) -> Result<usize, String> {
         let session = &self.config.session;
-        let watermark = match rt
+        let batches = match rt
             .client
             .request("GET", &format!("/sessions/{session}"), b"")
         {
@@ -533,39 +551,31 @@ impl Coordinator {
             Ok(r) => return Err(format!("GET /sessions/{session}: http {}", r.status)),
             Err(e) => return Err(e.to_string()),
         };
-        // The retained log must reach down to the shard's durable batch
-        // count. When it does not, the prefix was trimmed against a
-        // checkpoint the shard no longer has (its state dir was wiped
-        // between restarts) — those records are unrecoverable from
-        // here. Record the loss and keep delivering what remains: the
-        // merged view gets as close as it can, but stays flagged.
-        let floor = rt.wal.first_seq().unwrap_or_else(|| rt.wal.next_seq());
-        let gap = floor.saturating_sub(watermark);
-        if gap > rt.lost_records {
-            rt.lost_records = gap;
-        }
-        let records: Vec<(u64, Vec<u8>)> = rt
+        let watermark = seq_watermark(rt, batches)?;
+        let records = rt
             .wal
-            .records_from(watermark)
-            .iter()
-            .map(|r| (r.seq, r.payload.clone()))
-            .collect();
+            .read_from(watermark)
+            .map_err(|e| format!("wal read: {e}"))?;
         let mut sent = 0usize;
         let mut replayed = 0u64;
-        for (seq, payload) in records {
+        let mut next = watermark;
+        for record in records {
             let resp = rt
                 .client
-                .request("POST", &format!("/sessions/{session}/ingest"), &payload)
+                .request("POST", &format!("/sessions/{session}/ingest"), &record.payload)
                 .map_err(|e| e.to_string())?;
             if resp.status != 200 {
-                return Err(format!("delivering seq {seq}: http {}", resp.status));
+                return Err(format!("delivering seq {}: http {}", record.seq, resp.status));
             }
             sent += 1;
-            if fresh != Some(seq) {
+            next = record.seq + 1;
+            if fresh != Some(record.seq) {
                 replayed += 1;
             }
         }
-        rt.delivered = watermark + sent as u64;
+        // Advance in *seq* space — the shard's batch count lags it by
+        // `lost_records` once a prefix is gone for good.
+        rt.delivered = next;
         self.wal_replayed.fetch_add(replayed, Ordering::Relaxed);
         Ok(sent)
     }
@@ -634,7 +644,13 @@ impl Coordinator {
                 self.retries
                     .fetch_add(rt.client.take_retries(), Ordering::Relaxed);
             }
-            let wal_pending = rt.wal.records_from(rt.delivered).len() as u64;
+            let wal_pending = rt.wal.pending_from(rt.delivered);
+            // A reachable shard still catching up contributes a live
+            // state that is missing acked data — that view must not
+            // read as complete either.
+            if wal_pending > 0 {
+                degraded = true;
+            }
             let mut stale_ms = None;
             if live_ok {
                 if let Some(s) = &rt.last_state {
@@ -699,7 +715,7 @@ impl Coordinator {
         let mut all_up = true;
         for shard in &self.shards {
             let rt = shard.runtime.lock().unwrap_or_else(|p| p.into_inner());
-            let wal_pending = rt.wal.records_from(rt.delivered).len() as u64;
+            let wal_pending = rt.wal.pending_from(rt.delivered);
             let status = if rt.lost_records > 0 {
                 "data_loss"
             } else {
@@ -764,29 +780,27 @@ impl Coordinator {
                     // A shard that answers /healthz may still have lost
                     // state (killed and restarted between probes, or
                     // resumed from an older checkpoint). Re-read its
-                    // durable batch count and pull the watermark back if
-                    // it regressed — otherwise the pending check below
-                    // trusts stale memory and the replay never happens,
-                    // quietly dropping that shard's share of the data
-                    // from every future read.
+                    // durable batch count and refresh the watermark —
+                    // otherwise the pending check below trusts stale
+                    // memory and the replay never happens, quietly
+                    // dropping that shard's share of the data from
+                    // every future read. `seq_watermark` also detects
+                    // unrecoverable loss: if the log was fully trimmed
+                    // there is nothing pending, so `try_sync` (which
+                    // also checks) would never run.
                     if let Some(summary) = self.fetch_summary(&mut rt) {
                         let batches = summary.get("batches").and_then(value_u64).unwrap_or(0);
-                        if batches < rt.delivered {
-                            rt.delivered = batches;
+                        if let Ok(watermark) = seq_watermark(&mut rt, batches) {
+                            // The shard's own durable count is the
+                            // authority, in both directions: a regression
+                            // means a wipe to replay, an advance means an
+                            // ack we lost.
+                            rt.delivered = watermark;
+                            if rt.wal.pending_from(watermark) > 0 {
+                                let _ = self.sync_shard(&mut rt, None);
+                            }
+                            self.maybe_trim(&mut rt, &summary);
                         }
-                        // Detect unrecoverable loss here too: if the log
-                        // was fully trimmed there is nothing pending, so
-                        // `try_sync` (which also checks) would never run.
-                        let floor = rt.wal.first_seq().unwrap_or_else(|| rt.wal.next_seq());
-                        let gap = floor.saturating_sub(batches);
-                        if gap > rt.lost_records {
-                            rt.lost_records = gap;
-                        }
-                        let has_pending = !rt.wal.records_from(rt.delivered).is_empty();
-                        if has_pending {
-                            let _ = self.sync_shard(&mut rt, None);
-                        }
-                        self.maybe_trim(&mut rt, &summary);
                     }
                 }
                 _ => rt.breaker.record_failure(now),
@@ -830,7 +844,11 @@ impl Coordinator {
         ) else {
             return;
         };
-        let _ = rt.wal.trim_below(batches.saturating_sub(lag));
+        // The checkpointed batch count is in the shard's numbering;
+        // translate into seq space before using it as a trim bound.
+        let _ = rt
+            .wal
+            .trim_below(batches.saturating_sub(lag) + rt.lost_records);
     }
 
     /// Cluster counters and per-shard gauges in Prometheus text format,
@@ -914,7 +932,7 @@ impl Coordinator {
             pending_lines.push_str(&format!(
                 "pg_cluster_shard_wal_pending{{shard=\"{}\"}} {}\n",
                 shard.url,
-                rt.wal.records_from(rt.delivered).len()
+                rt.wal.pending_from(rt.delivered)
             ));
             lost_lines.push_str(&format!(
                 "pg_cluster_shard_lost_records{{shard=\"{}\"}} {}\n",
@@ -934,6 +952,37 @@ impl Coordinator {
         out.push_str(&lost_lines);
         out
     }
+}
+
+/// Translate a shard-reported durable batch count into WAL seq space.
+///
+/// A shard that irrecoverably lost a prefix restarts its batch
+/// numbering at the loss point, so its batch index lags the WAL seq by
+/// the cumulative lost-record count. Two anomalies are resolved here,
+/// in order:
+///
+/// * the WAL fell behind the shard (`watermark > next_seq`: its file
+///   was replaced or wiped while the shard kept its state) — fast-
+///   forward the log so fresh appends never reuse seqs the shard
+///   already holds, which would strand them below the watermark forever;
+/// * the retained log no longer reaches down to the watermark (its
+///   prefix was trimmed against a durable checkpoint that has since
+///   been wiped) — the gap is permanent loss: add it to `lost_records`
+///   and resume from the log's floor, so replay delivers contiguous
+///   seqs and the shard's new batch numbering stays aligned.
+fn seq_watermark(rt: &mut ShardRuntime, batches: u64) -> Result<u64, String> {
+    let mut watermark = batches + rt.lost_records;
+    if watermark > rt.wal.next_seq() {
+        rt.wal
+            .align_to(watermark)
+            .map_err(|e| format!("wal align: {e}"))?;
+    }
+    let floor = rt.wal.first_seq().unwrap_or_else(|| rt.wal.next_seq());
+    if floor > watermark {
+        rt.lost_records += floor - watermark;
+        watermark = floor;
+    }
+    Ok(watermark)
 }
 
 fn value_u64(v: &serde::Value) -> Option<u64> {
@@ -1021,6 +1070,60 @@ mod tests {
             .reason
             .contains("duplicate node"));
         assert!(out.quarantine.entries()[1].reason.contains("unknown node"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watermarks_translate_through_lost_prefixes() {
+        let dir = std::env::temp_dir().join(format!(
+            "pg-cluster-test-watermark-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut wal, _) = Wal::open(&dir.join("w.wal")).unwrap();
+        for i in 0..5u8 {
+            wal.append(&[i]).unwrap();
+        }
+        // A durable checkpoint covered seqs 0..3, so they were trimmed.
+        wal.trim_below(3).unwrap();
+        let mut rt = ShardRuntime {
+            client: ShardClient::new(
+                dead_addr().parse().unwrap(),
+                1,
+                ShardClientConfig::default(),
+            ),
+            breaker: CircuitBreaker::new(3, 100),
+            wal,
+            delivered: 0,
+            lost_records: 0,
+            last_state: None,
+            last_state_at_ms: None,
+            last_ok_ms: None,
+        };
+        // Shard restarted with a wiped state dir: its batch count
+        // regressed to 0, but seqs 0..3 are gone from the log —
+        // permanent loss, and replay resumes at the floor.
+        assert_eq!(seq_watermark(&mut rt, 0).unwrap(), 3);
+        assert_eq!(rt.lost_records, 3);
+        // Re-checking the same regressed count must not double-count.
+        assert_eq!(seq_watermark(&mut rt, 0).unwrap(), 3);
+        assert_eq!(rt.lost_records, 3);
+        // The shard re-applies the two retained records as its batches
+        // 0 and 1; the count translates back into seq space, so nothing
+        // is re-delivered and trim bounds stay aligned.
+        assert_eq!(seq_watermark(&mut rt, 2).unwrap(), 5);
+        assert_eq!(rt.lost_records, 3);
+        assert_eq!(rt.wal.pending_from(5), 0);
+        // A WAL that fell behind its shard (file replaced while the
+        // shard kept its state) fast-forwards: fresh appends must not
+        // reuse seqs the shard already holds.
+        let (wal2, _) = Wal::open(&dir.join("w2.wal")).unwrap();
+        rt.wal = wal2;
+        rt.lost_records = 0;
+        assert_eq!(seq_watermark(&mut rt, 4).unwrap(), 4);
+        assert_eq!(rt.lost_records, 0, "nothing pending, nothing lost");
+        assert_eq!(rt.wal.next_seq(), 4);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

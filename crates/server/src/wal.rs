@@ -14,17 +14,36 @@
 //! PGHIVE-WAL v1 seq=<n> len=<bytes> crc32=<hex>\n<payload>\n
 //! ```
 //!
-//! Sequence numbers are the *shard's batch indices*: the coordinator is
-//! the sole writer of a shard's cluster session, so record `seq` is
-//! applied as the shard's batch `seq`, and "replay everything the shard
-//! has not durably applied" is exactly `records_from(shard_batches)`.
-//! That watermark makes redelivery exact-once: re-ingesting an already
-//! applied batch would double-count statistics, so delivery always
-//! resumes from the shard's own durable batch count.
+//! A trim rewrite leads the log with a zero-length *floor marker* — the
+//! same envelope with a trailing `floor` token — that records the seq
+//! the log's numbering has reached:
+//!
+//! ```text
+//! PGHIVE-WAL v1 seq=<n> len=0 crc32=00000000 floor\n\n
+//! ```
+//!
+//! Without it, fully trimming a log (a durable shard with zero
+//! checkpoint lag) would reset `next_seq` to 0 on the next open, and
+//! every later append would reuse seqs the shard already holds —
+//! permanently below the replay watermark, silently undeliverable. The
+//! marker makes `next_seq` durable across trims.
+//!
+//! Memory stays bounded: only a fixed-size `(seq, offset, len, crc)`
+//! index entry per retained record is held in memory; payloads are read
+//! back from the file (and CRC-verified again) at replay time, so a
+//! long backlog costs disk, not RAM.
+//!
+//! Sequence numbers are the *shard's batch indices*, offset by any
+//! prefix the shard permanently lost (see the coordinator's watermark
+//! translation): the coordinator is the sole writer of a shard's
+//! cluster session, so delivery always resumes from the shard's own
+//! durable batch count mapped into seq space. Re-ingesting an already
+//! applied batch would double-count statistics, so the watermark is
+//! re-read from the shard before every sync.
 
 use pg_hive::checkpoint::crc32;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &str = "PGHIVE-WAL";
@@ -33,7 +52,7 @@ const VERSION: u32 = 1;
 /// blob is rejected cheaply.
 const MAX_HEADER: usize = 128;
 
-/// One durable routed sub-batch.
+/// One routed sub-batch read back from the log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WalRecord {
     /// The shard batch index this payload is (to be) applied as.
@@ -42,12 +61,24 @@ pub struct WalRecord {
     pub payload: Vec<u8>,
 }
 
+/// In-memory index entry for one on-disk record: where its payload
+/// lives, how long it is, and the checksum to verify on read-back.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    seq: u64,
+    offset: u64,
+    len: u32,
+    crc: u32,
+}
+
 /// An append-only, checksummed record log for one shard.
 pub struct Wal {
     path: PathBuf,
     file: File,
-    records: Vec<WalRecord>,
+    entries: Vec<Entry>,
     next_seq: u64,
+    /// Current file length — where the next append lands.
+    end: u64,
 }
 
 /// Serialize one record into its envelope bytes.
@@ -63,11 +94,24 @@ pub fn encode_record(seq: u64, payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Scan raw log bytes into verified records. Returns the records, the
-/// byte offset of the last verifiable record boundary, and what stopped
-/// the scan (`None` = clean end of file).
-fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<String>) {
-    let mut records = Vec::new();
+/// Serialize a floor marker: a zero-length record pinning the log's
+/// sequence floor across trims.
+fn encode_floor(seq: u64) -> Vec<u8> {
+    format!(
+        "{MAGIC} v{VERSION} seq={seq} len=0 crc32={:08x} floor\n\n",
+        crc32(b"")
+    )
+    .into_bytes()
+}
+
+/// Scan raw log bytes into verified index entries. Returns the entries,
+/// the floor marker value (if the log leads with one), the byte offset
+/// of the last verifiable record boundary, and what stopped the scan
+/// (`None` = clean end of file).
+#[allow(clippy::type_complexity)]
+fn scan(bytes: &[u8]) -> (Vec<Entry>, Option<u64>, usize, Option<String>) {
+    let mut entries = Vec::new();
+    let mut floor = None;
     let mut offset = 0usize;
     let stop = loop {
         if offset == bytes.len() {
@@ -93,6 +137,7 @@ fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<String>) {
         let mut seq = None;
         let mut len = None;
         let mut crc = None;
+        let mut is_floor = false;
         for part in parts {
             if let Some(v) = part.strip_prefix("seq=") {
                 seq = v.parse::<u64>().ok();
@@ -100,6 +145,8 @@ fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<String>) {
                 len = v.parse::<usize>().ok();
             } else if let Some(v) = part.strip_prefix("crc32=") {
                 crc = u32::from_str_radix(v, 16).ok();
+            } else if part == "floor" {
+                is_floor = true;
             }
         }
         let (seq, len, crc) = match (seq, len, crc) {
@@ -118,19 +165,33 @@ fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize, Option<String>) {
         if rest[payload_start + len] != b'\n' {
             break Some(format!("record seq={seq} missing terminator"));
         }
-        if let Some(last) = records.last() {
-            let last: &WalRecord = last;
-            if seq != last.seq + 1 {
-                break Some(format!("sequence break: seq={seq} after seq={}", last.seq));
+        if is_floor {
+            // Only a trim rewrite emits a marker, always at the head.
+            if len != 0 || offset != 0 {
+                break Some(format!("misplaced floor marker at offset {offset}"));
             }
+            floor = Some(seq);
+        } else {
+            if let Some(last) = entries.last() {
+                let last: &Entry = last;
+                if seq != last.seq + 1 {
+                    break Some(format!("sequence break: seq={seq} after seq={}", last.seq));
+                }
+            } else if let Some(f) = floor {
+                if seq != f {
+                    break Some(format!("sequence break: seq={seq} after floor {f}"));
+                }
+            }
+            entries.push(Entry {
+                seq,
+                offset: (offset + payload_start) as u64,
+                len: len as u32,
+                crc,
+            });
         }
-        records.push(WalRecord {
-            seq,
-            payload: payload.to_vec(),
-        });
         offset += payload_start + len + 1;
     };
-    (records, offset, stop)
+    (entries, floor, offset, stop)
 }
 
 impl Wal {
@@ -148,7 +209,7 @@ impl Wal {
             .open(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let (records, good_len, stop) = scan(&bytes);
+        let (entries, floor, good_len, stop) = scan(&bytes);
         let warning = match stop {
             Some(reason) => {
                 file.set_len(good_len as u64)?;
@@ -162,13 +223,16 @@ impl Wal {
             }
             None => None,
         };
-        let next_seq = records.last().map(|r| r.seq + 1).unwrap_or(0);
+        // The numbering continues from the last record, or from the
+        // floor a trim persisted when nothing is retained.
+        let next_seq = entries.last().map(|e| e.seq + 1).or(floor).unwrap_or(0);
         Ok((
             Wal {
                 path: path.to_path_buf(),
                 file,
-                records,
+                entries,
                 next_seq,
+                end: good_len as u64,
             },
             warning,
         ))
@@ -180,12 +244,16 @@ impl Wal {
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
         let seq = self.next_seq;
         let bytes = encode_record(seq, payload);
+        let header_len = bytes.len() - payload.len() - 1;
         self.file.write_all(&bytes)?;
         self.file.sync_data()?;
-        self.records.push(WalRecord {
+        self.entries.push(Entry {
             seq,
-            payload: payload.to_vec(),
+            offset: self.end + header_len as u64,
+            len: payload.len() as u32,
+            crc: crc32(payload),
         });
+        self.end += bytes.len() as u64;
         self.next_seq = seq + 1;
         Ok(seq)
     }
@@ -200,41 +268,104 @@ impl Wal {
     /// still replay: a watermark below `first_seq` names records that
     /// were trimmed away and cannot be recovered from here.
     pub fn first_seq(&self) -> Option<u64> {
-        self.records.first().map(|r| r.seq)
+        self.entries.first().map(|e| e.seq)
+    }
+
+    /// How many retained records have `seq >= from` — the backlog a
+    /// shard at watermark `from` still needs, counted without touching
+    /// the file.
+    pub fn pending_from(&self, from: u64) -> u64 {
+        let start = self.entries.partition_point(|e| e.seq < from);
+        (self.entries.len() - start) as u64
     }
 
     /// All retained records with `seq >= from`, in order — the replay
-    /// set for a shard whose durable batch count is `from`.
-    pub fn records_from(&self, from: u64) -> &[WalRecord] {
-        let start = self.records.partition_point(|r| r.seq < from);
-        &self.records[start..]
+    /// set for a shard whose seq watermark is `from`. Payloads are read
+    /// back from the file and CRC-verified.
+    pub fn read_from(&mut self, from: u64) -> io::Result<Vec<WalRecord>> {
+        let start = self.entries.partition_point(|e| e.seq < from);
+        let mut out = Vec::with_capacity(self.entries.len() - start);
+        for i in start..self.entries.len() {
+            let entry = self.entries[i];
+            out.push(WalRecord {
+                seq: entry.seq,
+                payload: self.read_payload(entry)?,
+            });
+        }
+        Ok(out)
+    }
+
+    fn read_payload(&mut self, entry: Entry) -> io::Result<Vec<u8>> {
+        self.file.seek(SeekFrom::Start(entry.offset))?;
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file.read_exact(&mut buf)?;
+        if crc32(&buf) != entry.crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "wal {}: checksum mismatch re-reading seq {}",
+                    self.path.display(),
+                    entry.seq
+                ),
+            ));
+        }
+        Ok(buf)
     }
 
     /// Retained record count.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.entries.len()
     }
 
     /// Whether no records are retained.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.entries.is_empty()
     }
 
     /// Drop records with `seq < below` — safe once the shard has
     /// durably checkpointed past them. Atomic rewrite (temp file →
     /// fsync → rename → directory fsync), so a crash mid-trim leaves
-    /// either the old or the new log, never a torn one. Returns how
+    /// either the old or the new log, never a torn one. The rewrite
+    /// leads with a floor marker so `next_seq` survives a reopen even
+    /// when every record is trimmed. A `below` beyond `next_seq` raises
+    /// the numbering to `below` (see [`Wal::align_to`]). Returns how
     /// many records were dropped.
     pub fn trim_below(&mut self, below: u64) -> io::Result<usize> {
-        let keep_from = self.records.partition_point(|r| r.seq < below);
-        if keep_from == 0 {
+        let keep_from = self.entries.partition_point(|e| e.seq < below);
+        if keep_from == 0 && below <= self.next_seq {
             return Ok(0);
         }
+        // Payloads live only on disk; pull the retained tail into
+        // memory before the rename replaces the file under it.
+        let mut retained = Vec::with_capacity(self.entries.len() - keep_from);
+        for i in keep_from..self.entries.len() {
+            let entry = self.entries[i];
+            retained.push(WalRecord {
+                seq: entry.seq,
+                payload: self.read_payload(entry)?,
+            });
+        }
+        let next_seq = self.next_seq.max(below);
+        let floor = retained.first().map(|r| r.seq).unwrap_or(next_seq);
         let tmp = self.path.with_extension("tmp");
+        let mut entries = Vec::with_capacity(retained.len());
+        let mut end = 0u64;
         {
             let mut f = File::create(&tmp)?;
-            for r in &self.records[keep_from..] {
-                f.write_all(&encode_record(r.seq, &r.payload))?;
+            let marker = encode_floor(floor);
+            f.write_all(&marker)?;
+            end += marker.len() as u64;
+            for r in &retained {
+                let bytes = encode_record(r.seq, &r.payload);
+                let header_len = bytes.len() - r.payload.len() - 1;
+                f.write_all(&bytes)?;
+                entries.push(Entry {
+                    seq: r.seq,
+                    offset: end + header_len as u64,
+                    len: r.payload.len() as u32,
+                    crc: crc32(&r.payload),
+                });
+                end += bytes.len() as u64;
             }
             f.sync_all()?;
         }
@@ -242,11 +373,27 @@ impl Wal {
         if let Some(parent) = self.path.parent() {
             File::open(parent)?.sync_all()?;
         }
-        // Reopen the handle on the renamed file for future appends.
-        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        // Reopen the handle on the renamed file for future appends and
+        // payload read-backs.
+        self.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
         let dropped = keep_from;
-        self.records.drain(..keep_from);
+        self.entries = entries;
+        self.end = end;
+        self.next_seq = next_seq;
         Ok(dropped)
+    }
+
+    /// Fast-forward the numbering to `seq` when the shard's durable
+    /// batch count shows this log fell behind it (its file was replaced
+    /// or wiped while the shard kept its state). Everything below `seq`
+    /// is durably applied on the shard, so it is trimmed along the way,
+    /// and the floor marker makes the new cursor durable. No-op when
+    /// the log is already at or past `seq`.
+    pub fn align_to(&mut self, seq: u64) -> io::Result<usize> {
+        if seq <= self.next_seq {
+            return Ok(0);
+        }
+        self.trim_below(seq)
     }
 }
 
@@ -274,13 +421,19 @@ mod tests {
             assert_eq!(wal.append(b"batch-1").unwrap(), 1);
             assert_eq!(wal.append(b"batch-2").unwrap(), 2);
         }
-        let (wal, warn) = Wal::open(&path).unwrap();
+        let (mut wal, warn) = Wal::open(&path).unwrap();
         assert!(warn.is_none(), "{warn:?}");
         assert_eq!(wal.next_seq(), 3);
-        let all: Vec<&[u8]> = wal.records_from(0).iter().map(|r| &r.payload[..]).collect();
-        assert_eq!(all, vec![&b"batch-0"[..], b"batch-1", b"batch-2"]);
-        assert_eq!(wal.records_from(2).len(), 1, "watermark slices the tail");
-        assert_eq!(wal.records_from(3).len(), 0);
+        let all: Vec<Vec<u8>> = wal
+            .read_from(0)
+            .unwrap()
+            .into_iter()
+            .map(|r| r.payload)
+            .collect();
+        assert_eq!(all, vec![b"batch-0".to_vec(), b"batch-1".to_vec(), b"batch-2".to_vec()]);
+        assert_eq!(wal.pending_from(2), 1, "watermark slices the tail");
+        assert_eq!(wal.read_from(2).unwrap().len(), 1);
+        assert_eq!(wal.pending_from(3), 0);
         let _ = fs::remove_file(&path);
     }
 
@@ -298,10 +451,10 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
 
-        let (wal, warn) = Wal::open(&path).unwrap();
+        let (mut wal, warn) = Wal::open(&path).unwrap();
         assert!(warn.unwrap().contains("cut short"));
         assert_eq!(wal.len(), 1, "only the verifiable record survives");
-        assert_eq!(wal.records_from(0)[0].payload, b"good");
+        assert_eq!(wal.read_from(0).unwrap()[0].payload, b"good");
         assert_eq!(wal.next_seq(), 1, "appends continue after the good tail");
         let _ = fs::remove_file(&path);
     }
@@ -325,10 +478,27 @@ mod tests {
         w.write_all(&bytes).unwrap();
         fs::write(&path, w.into_inner()).unwrap();
 
-        let (wal, warn) = Wal::open(&path).unwrap();
+        let (mut wal, warn) = Wal::open(&path).unwrap();
         assert!(warn.unwrap().contains("checksum mismatch"));
         assert_eq!(wal.len(), 1, "scan stops at the corrupt record");
-        assert_eq!(wal.records_from(0)[0].payload, b"alpha");
+        assert_eq!(wal.read_from(0).unwrap()[0].payload, b"alpha");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corruption_between_open_and_replay_is_caught_on_read_back() {
+        let path = temp_wal("readback");
+        let _ = fs::remove_file(&path);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"payload-under-attack").unwrap();
+        // Garble the payload on disk behind the open handle's back:
+        // the in-memory index still carries the original CRC, so the
+        // read-back must refuse to hand the bytes to a shard.
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(wal.read_from(0).is_err());
         let _ = fs::remove_file(&path);
     }
 
@@ -345,13 +515,68 @@ mod tests {
         assert_eq!(wal.len(), 2);
         assert_eq!(wal.first_seq(), Some(3), "trim raises the replay floor");
         assert_eq!(wal.trim_below(3).unwrap(), 0, "idempotent");
+        // Retained payloads survive the rewrite and read back intact.
+        let kept: Vec<u64> = wal.read_from(0).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+        assert_eq!(wal.read_from(0).unwrap()[0].payload, vec![3u8]);
         // Appends after a trim keep the global numbering.
         assert_eq!(wal.append(b"x").unwrap(), 5);
         drop(wal);
+        let (mut wal, warn) = Wal::open(&path).unwrap();
+        assert!(warn.is_none(), "{warn:?}");
+        let seqs: Vec<u64> = wal.read_from(0).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn full_trim_preserves_next_seq_across_reopen() {
+        // The regression behind silently undeliverable batches: a
+        // durable shard with zero checkpoint lag fully trims its WAL;
+        // reopening must NOT restart numbering at 0, or every later
+        // append sits below the shard's watermark forever.
+        let path = temp_wal("fulltrim");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for i in 0..5u8 {
+                wal.append(&[i]).unwrap();
+            }
+            assert_eq!(wal.trim_below(5).unwrap(), 5);
+            assert!(wal.is_empty());
+            assert_eq!(wal.next_seq(), 5);
+            assert_eq!(wal.first_seq(), None);
+        }
+        let (mut wal, warn) = Wal::open(&path).unwrap();
+        assert!(warn.is_none(), "{warn:?}");
+        assert_eq!(wal.next_seq(), 5, "the floor marker survives reopen");
+        assert_eq!(wal.append(b"fresh").unwrap(), 5);
+        drop(wal);
+        let (mut wal, warn) = Wal::open(&path).unwrap();
+        assert!(warn.is_none(), "{warn:?}");
+        let seqs: Vec<u64> = wal.read_from(0).unwrap().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![5]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn align_to_fast_forwards_and_persists() {
+        let path = temp_wal("align");
+        let _ = fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"stale").unwrap();
+            // The shard durably holds 7 batches this log never saw
+            // (the WAL file was replaced): never hand out seqs < 7.
+            assert_eq!(wal.align_to(7).unwrap(), 1, "stale prefix trimmed");
+            assert_eq!(wal.next_seq(), 7);
+            assert_eq!(wal.align_to(3).unwrap(), 0, "never rewinds");
+            assert_eq!(wal.append(b"new").unwrap(), 7);
+        }
         let (wal, warn) = Wal::open(&path).unwrap();
         assert!(warn.is_none(), "{warn:?}");
-        let seqs: Vec<u64> = wal.records_from(0).iter().map(|r| r.seq).collect();
-        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(wal.next_seq(), 8);
+        assert_eq!(wal.first_seq(), Some(7));
         let _ = fs::remove_file(&path);
     }
 }

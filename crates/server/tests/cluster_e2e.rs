@@ -378,6 +378,57 @@ fn wiping_a_durable_shards_state_dir_is_flagged_as_permanent_loss() {
         Some(&serde::Value::Bool(true)),
         "an irrecoverably partial view must never read as complete"
     );
+
+    // Life goes on after the loss: new ingest lands at WAL seqs above
+    // the lost prefix while the wiped shard numbers its batches from
+    // zero again. Watermarks are tracked in WAL seq space, with the
+    // shard's batch numbering lagging by the lost offset — the shard's
+    // durable batch count plus the lost prefix must equal the delivered
+    // watermark and the backlog must drain. If delivery conflated the
+    // two numberings, the fresh records would be re-sent every
+    // heartbeat (inflating the shard's quarantine) and the backlog
+    // would never read as drained.
+    let resp = client.post("/ingest", batch(4).as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "post-recovery ingest: {}", resp.text());
+    let row_u64 = |row: &serde::Value, key: &str| -> u64 {
+        row.get(key)
+            .and_then(|v| match v {
+                serde::Value::U64(n) => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(0)
+    };
+    let mut shard_client = revived.client();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let health = get_json(&mut client, "/cluster/health");
+        let row = health
+            .get("shards")
+            .and_then(|s| s.as_array())
+            .and_then(|s| s.first())
+            .expect("one shard row")
+            .clone();
+        let batches = {
+            let resp = shard_client.get("/sessions/cluster").unwrap();
+            if resp.status == 200 {
+                row_u64(&resp.json().unwrap(), "batches")
+            } else {
+                0
+            }
+        };
+        if batches > 0
+            && row_u64(&row, "wal_pending") == 0
+            && batches + row_u64(&row, "lost_records") == row_u64(&row, "delivered")
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "seq-space watermark invariant never settled: \
+             shard batches={batches}, row={row:?}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
     let metrics = coordinator.client().get("/metrics").unwrap().text();
     assert!(
         metrics.contains("pg_cluster_shard_lost_records"),

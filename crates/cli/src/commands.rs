@@ -334,6 +334,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             workers,
             queue,
             max_body_mb,
+            transport,
+            max_connections,
+            idle_timeout_ms,
+            session_queue,
             cluster,
             cluster_wal_dir,
             cluster_session,
@@ -344,6 +348,13 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             let addr: std::net::SocketAddr = addr
                 .parse()
                 .map_err(|_| CliError::Usage(format!("--addr {addr:?} is not ip:port")))?;
+            let transport = match transport.as_deref() {
+                Some("epoll") => pg_serve::Transport::Epoll,
+                Some("threaded") => pg_serve::Transport::Threaded,
+                // opts.rs rejects anything else; None defers to the
+                // PG_SERVE_TRANSPORT env var / platform default.
+                _ => pg_serve::Transport::from_env(),
+            };
             let cluster = if cluster.is_empty() {
                 None
             } else {
@@ -370,6 +381,10 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                 state_dir: state_dir.clone(),
                 checkpoint_every: *checkpoint_every,
                 checkpoint_keep: *checkpoint_keep,
+                transport,
+                max_connections: *max_connections,
+                idle_timeout: std::time::Duration::from_millis(*idle_timeout_ms),
+                session_queue: *session_queue,
                 cluster,
                 ..pg_serve::ServerConfig::default()
             };

@@ -291,6 +291,15 @@ pub enum Command {
         checkpoint_every: u64,
         /// Checkpoints retained per session.
         checkpoint_keep: usize,
+        /// Transport to serve on (None = `PG_SERVE_TRANSPORT` env or
+        /// the platform-native choice: epoll on Linux).
+        transport: Option<String>,
+        /// Concurrent-connection ceiling (epoll transport).
+        max_connections: usize,
+        /// Keep-alive idle timeout between requests, in milliseconds.
+        idle_timeout_ms: u64,
+        /// Per-session pending-ingest depth before 503 backpressure.
+        session_queue: usize,
         /// Shard URLs to coordinate (empty = ordinary single node).
         cluster: Vec<String>,
         /// Coordinator WAL directory (None = the default
@@ -596,6 +605,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if heartbeat_ms == 0 {
                 return Err(CliError::Usage("--heartbeat-ms must be at least 1".into()));
             }
+            let transport = flags.get("--transport").cloned();
+            if let Some(t) = &transport {
+                if t != "epoll" && t != "threaded" {
+                    return Err(CliError::Usage(format!(
+                        "--transport must be \"epoll\" or \"threaded\", got {t:?}"
+                    )));
+                }
+            }
+            let idle_timeout_ms = u64_flag("--idle-timeout-ms", 60_000)?;
+            if idle_timeout_ms == 0 {
+                return Err(CliError::Usage(
+                    "--idle-timeout-ms must be at least 1".into(),
+                ));
+            }
             if cluster.is_empty()
                 && (cluster_wal_dir.is_some() || flags.contains_key("--cluster-session"))
             {
@@ -614,6 +637,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 max_body_mb,
                 checkpoint_every,
                 checkpoint_keep: u64_flag("--checkpoint-keep", 4)?.max(1) as usize,
+                transport,
+                max_connections: u64_flag("--max-connections", 10_240)?.max(1) as usize,
+                idle_timeout_ms,
+                session_queue: u64_flag("--session-queue", 64)?.max(1) as usize,
                 cluster,
                 cluster_wal_dir,
                 cluster_session,
@@ -1009,6 +1036,10 @@ mod tests {
                 max_body_mb,
                 checkpoint_every,
                 checkpoint_keep,
+                transport,
+                max_connections,
+                idle_timeout_ms,
+                session_queue,
                 cluster,
                 cluster_wal_dir,
                 cluster_session,
@@ -1021,6 +1052,10 @@ mod tests {
                 assert_eq!(max_body_mb, 64);
                 assert_eq!(checkpoint_every, 8);
                 assert_eq!(checkpoint_keep, 4);
+                assert_eq!(transport, None, "env/native transport by default");
+                assert_eq!(max_connections, 10_240);
+                assert_eq!(idle_timeout_ms, 60_000);
+                assert_eq!(session_queue, 64);
                 assert!(cluster.is_empty(), "single-node by default");
                 assert_eq!(cluster_wal_dir, None);
                 assert_eq!(cluster_session, "cluster");
@@ -1059,6 +1094,8 @@ mod tests {
             vec!["serve", "--checkpoint-every", "0"],
             vec!["serve", "--max-body-mb", "0"],
             vec!["serve", "--workers", "x"],
+            vec!["serve", "--transport", "io_uring"],
+            vec!["serve", "--idle-timeout-ms", "0"],
             vec!["hash"],
         ] {
             assert!(
@@ -1068,6 +1105,41 @@ mod tests {
         }
         match parse(&args(&["hash", "--schema", "s.json"])).unwrap() {
             Command::Hash { schema } => assert_eq!(schema, PathBuf::from("s.json")),
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_serve_transport_flags() {
+        match parse(&args(&[
+            "serve",
+            "--transport",
+            "threaded",
+            "--max-connections",
+            "2000",
+            "--idle-timeout-ms",
+            "5000",
+            "--session-queue",
+            "8",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                transport,
+                max_connections,
+                idle_timeout_ms,
+                session_queue,
+                ..
+            } => {
+                assert_eq!(transport.as_deref(), Some("threaded"));
+                assert_eq!(max_connections, 2000);
+                assert_eq!(idle_timeout_ms, 5000);
+                assert_eq!(session_queue, 8);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args(&["serve", "--transport", "epoll"])).unwrap() {
+            Command::Serve { transport, .. } => assert_eq!(transport.as_deref(), Some("epoll")),
             other => panic!("wrong command {other:?}"),
         }
     }

@@ -8,7 +8,8 @@
 //! without edges, which the paper defers.
 
 use crate::state::DiscoveryState;
-use pg_store::query::max_degrees;
+use pg_model::{Cardinality, NodeId, TypeId};
+use std::collections::{HashMap, HashSet};
 
 /// Compute and store cardinalities for every edge type: the bounds
 /// observed from the accumulated endpoint pairs, max-merged with the
@@ -17,6 +18,73 @@ use pg_store::query::max_degrees;
 /// `EdgeTypeAccum::card_floor`). Types with neither endpoints nor a
 /// floor are left untouched.
 pub fn compute_cardinalities(state: &mut DiscoveryState) {
+    compute_cardinalities_cached(state, &mut CardCache::default());
+}
+
+/// Incremental degree bookkeeping for one edge type: the distinct
+/// endpoint pairs seen so far, per-node distinct-neighbor counts, and
+/// the running maxima — exactly the quantities [`max_degrees`] derives
+/// from a full scan, maintained pair by pair instead.
+///
+/// The running maxima equal the full-scan maxima because degree counts
+/// only ever grow: deduplicating through `seen` makes each count "the
+/// number of distinct neighbors", and the maximum of a set of
+/// monotonically growing counters is the final maximum.
+#[derive(Debug, Default, Clone)]
+struct TypeDegrees {
+    /// How many of the accumulator's `endpoints` entries are folded in.
+    watermark: usize,
+    seen: HashSet<(NodeId, NodeId)>,
+    out_count: HashMap<NodeId, u64>,
+    in_count: HashMap<NodeId, u64>,
+    max_out: u64,
+    max_in: u64,
+}
+
+impl TypeDegrees {
+    fn fold(&mut self, pairs: &[(NodeId, NodeId)]) {
+        for &(s, t) in pairs {
+            if !self.seen.insert((s, t)) {
+                continue;
+            }
+            let out = self.out_count.entry(s).or_insert(0);
+            *out += 1;
+            self.max_out = self.max_out.max(*out);
+            let inc = self.in_count.entry(t).or_insert(0);
+            *inc += 1;
+            self.max_in = self.max_in.max(*inc);
+        }
+    }
+}
+
+/// Cross-batch cardinality cache for an incremental session.
+///
+/// Endpoint lists in [`crate::state::EdgeTypeAccum`] are append-only
+/// under batch ingest (`observe` pushes, `merge` extends), so the cache
+/// folds in only the pairs past its per-type watermark on each
+/// post-processing pass — O(new edges) per batch instead of a full
+/// O(all edges) rescan. Any operation that may rebuild or rekey the
+/// accumulators (a state fold / distributed merge, a restore) must
+/// [`CardCache::invalidate`] the cache; the next pass then rebuilds it
+/// with one full scan and is bit-identical to the uncached path.
+#[derive(Debug, Default)]
+pub struct CardCache {
+    per_type: HashMap<TypeId, TypeDegrees>,
+}
+
+impl CardCache {
+    /// Drop all cached degree state: the next computation rescans every
+    /// endpoint list from scratch. Required after any mutation of the
+    /// accumulators that is not append-only (merges, restores).
+    pub fn invalidate(&mut self) {
+        self.per_type.clear();
+    }
+}
+
+/// [`compute_cardinalities`], incrementally: only endpoint pairs the
+/// cache has not folded in yet are scanned. With an empty (or
+/// invalidated) cache this degenerates to exactly the full scan.
+pub fn compute_cardinalities_cached(state: &mut DiscoveryState, cache: &mut CardCache) {
     for t in &mut state.schema.edge_types {
         let Some(acc) = state.edge_accums.get(&t.id) else {
             continue;
@@ -24,7 +92,18 @@ pub fn compute_cardinalities(state: &mut DiscoveryState) {
         let observed = if acc.endpoints.is_empty() {
             None
         } else {
-            Some(max_degrees(acc.endpoints.iter().copied()))
+            let deg = cache.per_type.entry(t.id).or_default();
+            if deg.watermark > acc.endpoints.len() {
+                // The endpoint list shrank: the accumulator was rebuilt
+                // behind our back. Resync defensively with a full scan.
+                *deg = TypeDegrees::default();
+            }
+            deg.fold(&acc.endpoints[deg.watermark..]);
+            deg.watermark = acc.endpoints.len();
+            Some(Cardinality {
+                max_out: deg.max_out,
+                max_in: deg.max_in,
+            })
         };
         match (observed, acc.card_floor) {
             (Some(o), Some(f)) => t.cardinality = Some(o.merge(&f)),
@@ -137,6 +216,72 @@ mod tests {
                 max_in: 5
             })
         );
+    }
+
+    /// The cached incremental path must agree with [`max_degrees`]'
+    /// full scan for any append sequence, including duplicate pairs and
+    /// re-observations across batches.
+    #[test]
+    fn cached_degrees_match_full_scan_across_appends() {
+        use pg_store::query::max_degrees;
+        // A deterministic pseudo-random pair stream with heavy reuse so
+        // duplicates, fan-out, and fan-in all occur.
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut pairs = Vec::new();
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            pairs.push((NodeId(x % 23), NodeId((x >> 32) % 17)));
+        }
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(&mut state, vec![edge_cluster("E", &[])], 0.9, true);
+        let id = state.schema.edge_types[0].id;
+        let mut cache = CardCache::default();
+        // Feed the stream in uneven increments; after every batch the
+        // cached bounds must equal a from-scratch full scan.
+        for (i, chunk) in pairs.chunks(37).enumerate() {
+            state
+                .edge_accums
+                .get_mut(&id)
+                .unwrap()
+                .endpoints
+                .extend(chunk.iter().copied());
+            compute_cardinalities_cached(&mut state, &mut cache);
+            let cached = state.schema.edge_types[0].cardinality.unwrap();
+            let full = max_degrees(state.edge_accums[&id].endpoints.iter().copied());
+            assert_eq!(cached, full, "divergence after chunk {i}");
+        }
+        // Invalidation rebuilds to the same answer.
+        cache.invalidate();
+        compute_cardinalities_cached(&mut state, &mut cache);
+        assert_eq!(
+            state.schema.edge_types[0].cardinality.unwrap(),
+            max_degrees(state.edge_accums[&id].endpoints.iter().copied()),
+        );
+    }
+
+    /// A rebuilt (shrunk) endpoint list must not panic or leave stale
+    /// maxima behind: the stale cache entry resyncs with a full scan.
+    #[test]
+    fn shrunken_endpoint_list_resyncs_the_cache() {
+        let mut state = DiscoveryState::new();
+        integrate_edge_clusters(
+            &mut state,
+            vec![edge_cluster("E", &[(1, 2), (1, 3), (1, 4)])],
+            0.9,
+            true,
+        );
+        let id = state.schema.edge_types[0].id;
+        let mut cache = CardCache::default();
+        compute_cardinalities_cached(&mut state, &mut cache);
+        assert_eq!(state.schema.edge_types[0].cardinality.unwrap().max_out, 3);
+        // Simulate an accumulator rebuilt by a merge the cache never
+        // heard about.
+        state.edge_accums.get_mut(&id).unwrap().endpoints = vec![(NodeId(9), NodeId(8))];
+        compute_cardinalities_cached(&mut state, &mut cache);
+        let c = state.schema.edge_types[0].cardinality.unwrap();
+        assert_eq!((c.max_out, c.max_in), (1, 1));
     }
 
     #[test]

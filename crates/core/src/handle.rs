@@ -190,7 +190,7 @@ impl SharedSession {
     /// the batch reaches the engine and the session is unchanged.
     pub fn ingest(
         &self,
-        elements: &[(usize, Element)],
+        elements: Vec<(usize, Element)>,
         policy: ErrorPolicy,
         quarantine: &mut Quarantine,
         source: &str,
@@ -214,6 +214,9 @@ impl SharedSession {
             q.divert(policy, source, line, err.to_string(), &raw)
                 .map_err(IngestError::Rejected)
         };
+        // Elements are consumed by value: records move into the staging
+        // buffers instead of deep-cloning every property map, which is
+        // the per-row cost that dominates a serialized ingest stream.
         for (line, el) in elements {
             match el {
                 Element::Node(n) => {
@@ -221,21 +224,19 @@ impl SharedSession {
                     if inner.node_labels.contains_key(&id) || staged_labels.contains_key(&id) {
                         divert(
                             quarantine,
-                            *line,
+                            line,
                             ModelError::DuplicateNode { node: id },
-                            render(el),
+                            render(&Element::Node(n)),
                         )?;
                     } else {
                         staged_labels.insert(id, n.labels.clone());
-                        staged_nodes.push(n.clone());
+                        staged_nodes.push(n);
                     }
                 }
-                Element::Edge(e) => pending_edges.push((*line, e.clone(), None)),
-                Element::ResolvedEdge(r) => pending_edges.push((
-                    *line,
-                    r.edge.clone(),
-                    Some((r.src_labels.clone(), r.tgt_labels.clone())),
-                )),
+                Element::Edge(e) => pending_edges.push((line, e, None)),
+                Element::ResolvedEdge(r) => {
+                    pending_edges.push((line, r.edge, Some((r.src_labels, r.tgt_labels))))
+                }
             }
         }
         let mut staged_edges: Vec<EdgeRecord> = Vec::new();
@@ -507,7 +508,7 @@ mod tests {
         // Batch 1: nodes only.
         let out = s
             .ingest(
-                &[node(1, "A"), node(2, "B")],
+                vec![node(1, "A"), node(2, "B")],
                 ErrorPolicy::Skip,
                 &mut q,
                 "t",
@@ -517,7 +518,7 @@ mod tests {
         assert_eq!(out.batch_index, 0);
         // Batch 2: an edge whose endpoints arrived in batch 1.
         let out = s
-            .ingest(&[edge(10, 1, 2)], ErrorPolicy::Skip, &mut q, "t")
+            .ingest(vec![edge(10, 1, 2)], ErrorPolicy::Skip, &mut q, "t")
             .unwrap();
         assert_eq!(out.edges, 1);
         assert!(q.is_empty());
@@ -531,11 +532,11 @@ mod tests {
     fn duplicates_and_dangling_edges_are_quarantined() {
         let s = SharedSession::new(quick_config(), 8);
         let mut q = Quarantine::new();
-        s.ingest(&[node(1, "A")], ErrorPolicy::Skip, &mut q, "t")
+        s.ingest(vec![node(1, "A")], ErrorPolicy::Skip, &mut q, "t")
             .unwrap();
         let out = s
             .ingest(
-                &[node(1, "A"), edge(10, 1, 999), edge(10, 1, 1)],
+                vec![node(1, "A"), edge(10, 1, 999), edge(10, 1, 1)],
                 ErrorPolicy::Skip,
                 &mut q,
                 "t",
@@ -552,7 +553,7 @@ mod tests {
 
         // Re-sending the surviving edge id now IS a duplicate.
         let out = s
-            .ingest(&[edge(10, 1, 1)], ErrorPolicy::Skip, &mut q, "t")
+            .ingest(vec![edge(10, 1, 1)], ErrorPolicy::Skip, &mut q, "t")
             .unwrap();
         assert_eq!(out.edges, 0);
         assert!(q.entries()[2].reason.contains("duplicate edge id 10"));
@@ -572,7 +573,7 @@ mod tests {
         };
         let out = s
             .ingest(
-                &[(1, Element::ResolvedEdge(rec.clone()))],
+                vec![(1, Element::ResolvedEdge(rec.clone()))],
                 ErrorPolicy::Skip,
                 &mut q,
                 "t",
@@ -586,7 +587,7 @@ mod tests {
         // Duplicate ids are still caught across element kinds.
         let out = s
             .ingest(
-                &[(2, Element::ResolvedEdge(rec))],
+                vec![(2, Element::ResolvedEdge(rec))],
                 ErrorPolicy::Skip,
                 &mut q,
                 "t",
@@ -601,7 +602,7 @@ mod tests {
         let s = SharedSession::new(quick_config(), 8);
         let mut q = Quarantine::new();
         s.ingest(
-            &[node(1, "A"), node(2, "B"), edge(9, 1, 2)],
+            vec![node(1, "A"), node(2, "B"), edge(9, 1, 2)],
             ErrorPolicy::Skip,
             &mut q,
             "t",
@@ -620,13 +621,13 @@ mod tests {
     fn strict_policy_rejects_atomically() {
         let s = SharedSession::new(quick_config(), 8);
         let mut q = Quarantine::new();
-        s.ingest(&[node(1, "A")], ErrorPolicy::Strict, &mut q, "t")
+        s.ingest(vec![node(1, "A")], ErrorPolicy::Strict, &mut q, "t")
             .unwrap();
         let before = s.schema();
         let (before_batches, before_nodes) = (s.batches_processed(), s.nodes_seen());
         let err = s
             .ingest(
-                &[node(2, "B"), node(1, "A")],
+                vec![node(2, "B"), node(1, "A")],
                 ErrorPolicy::Strict,
                 &mut q,
                 "t",
@@ -646,12 +647,12 @@ mod tests {
         let (v, _) = s.version_info();
         assert_eq!(v, 1, "empty schema is version 1");
         let mut q = Quarantine::new();
-        s.ingest(&[node(1, "A")], ErrorPolicy::Skip, &mut q, "t")
+        s.ingest(vec![node(1, "A")], ErrorPolicy::Skip, &mut q, "t")
             .unwrap();
         let (v2, h2) = s.version_info();
         assert_eq!(v2, 2);
         // An empty batch changes nothing.
-        let out = s.ingest(&[], ErrorPolicy::Skip, &mut q, "t").unwrap();
+        let out = s.ingest(vec![], ErrorPolicy::Skip, &mut q, "t").unwrap();
         assert!(!out.changed);
         assert_eq!(s.version_info(), (v2, h2));
         match s.lookup_version(1) {
@@ -667,7 +668,7 @@ mod tests {
         let a = SharedSession::new(cfg.clone(), 8);
         let mut q = Quarantine::new();
         a.ingest(
-            &[node(1, "A"), node(2, "B")],
+            vec![node(1, "A"), node(2, "B")],
             ErrorPolicy::Skip,
             &mut q,
             "t",
@@ -678,9 +679,11 @@ mod tests {
         let aux: SessionAux = serde_json::from_str(&json).unwrap();
         let b = SharedSession::restore(cfg, ckpt, aux);
 
-        let batch = [edge(10, 1, 2), node(3, "A")];
-        let out_a = a.ingest(&batch, ErrorPolicy::Skip, &mut q, "t").unwrap();
-        let out_b = b.ingest(&batch, ErrorPolicy::Skip, &mut q, "t").unwrap();
+        let batch = vec![edge(10, 1, 2), node(3, "A")];
+        let out_a = a
+            .ingest(batch.clone(), ErrorPolicy::Skip, &mut q, "t")
+            .unwrap();
+        let out_b = b.ingest(batch, ErrorPolicy::Skip, &mut q, "t").unwrap();
         assert_eq!(out_a.hash, out_b.hash);
         assert_eq!(out_a.version, out_b.version);
         assert_eq!(out_a.batch_index, out_b.batch_index);

@@ -6,7 +6,6 @@
 //! end. Because every merge is monotone, the schema after batch `i+1`
 //! generalizes the schema after batch `i`.
 
-use crate::cardinality::compute_cardinalities;
 use crate::cluster::{cluster_edges, cluster_nodes, DedupStats};
 use crate::config::HiveConfig;
 use crate::constraints::infer_property_constraints;
@@ -113,6 +112,16 @@ pub struct HiveSession {
     node_cache: std::collections::HashMap<NodePatternKey, pg_model::TypeId>,
     edge_cache: std::collections::HashMap<EdgePatternKey, pg_model::TypeId>,
     cache_hits: u64,
+    /// Cross-batch incremental degree state for cardinality inference:
+    /// per-batch post-processing folds in only the endpoint pairs
+    /// appended since the last pass instead of rescanning every edge
+    /// ever ingested. Not serialized — a restored session rebuilds it
+    /// with one full scan on its first post-processing pass, which is
+    /// bit-identical.
+    card_cache: crate::cardinality::CardCache,
+    /// The batch worker pool, built on first use and reused for every
+    /// subsequent batch (see `process_batch`).
+    pool: Option<rayon::ThreadPool>,
 }
 
 impl HiveSession {
@@ -128,6 +137,8 @@ impl HiveSession {
             node_cache: std::collections::HashMap::new(),
             edge_cache: std::collections::HashMap::new(),
             cache_hits: 0,
+            card_cache: crate::cardinality::CardCache::default(),
+            pool: None,
         }
     }
 
@@ -238,14 +249,19 @@ impl HiveSession {
             None => (nodes, edges),
         };
 
-        // The parallel hot path runs under a scoped thread pool sized by
-        // the `threads` knob (0 = available parallelism, 1 = the exact
+        // The parallel hot path runs under a thread pool sized by the
+        // `threads` knob (0 = available parallelism, 1 = the exact
         // sequential path). Every parallel reduction inside is
         // deterministic, so the schema is bit-identical for any count.
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(self.config.threads)
-            .build()
-            .expect("thread pool construction is infallible");
+        // The pool is built once and kept for the session's lifetime:
+        // spawning worker threads per batch is milliseconds of fixed
+        // cost that dominates small streamed batches.
+        let pool = self.pool.take().unwrap_or_else(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(self.config.threads)
+                .build()
+                .expect("thread pool construction is infallible")
+        });
         let threads = pool.current_num_threads();
         let hot = pool.install(|| self.batch_hot_path(nodes, edges, batch_seed));
 
@@ -256,6 +272,7 @@ impl HiveSession {
         } else {
             None
         };
+        self.pool = Some(pool);
 
         let timing = BatchTiming {
             batch_index,
@@ -371,6 +388,10 @@ impl HiveSession {
     /// after an ingested batch.
     pub fn merge_state(&mut self, foreign: &DiscoveryState) {
         crate::merge::fold_state(&mut self.state, foreign, &self.config);
+        // A fold may rebuild or rekey edge accumulators, which breaks
+        // the append-only premise of the incremental degree cache; the
+        // next post-processing pass rescans from scratch.
+        self.card_cache.invalidate();
         if self.config.post_processing {
             self.post_process();
         }
@@ -384,7 +405,7 @@ impl HiveSession {
             self.config.datatype_sampling,
             self.config.seed,
         );
-        compute_cardinalities(&mut self.state);
+        crate::cardinality::compute_cardinalities_cached(&mut self.state, &mut self.card_cache);
     }
 
     /// Serialize the entire session state (schema, accumulators,

@@ -113,6 +113,32 @@ impl Client {
         self.request("DELETE", path, &[], &[])
     }
 
+    /// `POST path`, retrying 503 backpressure responses up to
+    /// `max_retries` times. Sleeps the server's own `Retry-After`
+    /// (delta-seconds) when present, else 100ms, capped at 2s per wait
+    /// — the polite way to ride out a full session ingest queue or a
+    /// saturated worker pool. The final response (any status) is
+    /// returned once retries are spent.
+    pub fn post_with_retry(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        max_retries: u32,
+    ) -> io::Result<ClientResponse> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.post(path, body)?;
+            if resp.status != 503 || attempt >= max_retries {
+                return Ok(resp);
+            }
+            let delay = crate::shard_client::retry_after(&resp)
+                .unwrap_or(Duration::from_millis(100))
+                .min(Duration::from_secs(2));
+            std::thread::sleep(delay);
+            attempt += 1;
+        }
+    }
+
     /// Send one request, reusing the pooled connection when possible.
     /// A stale pooled connection (closed by the server since the last
     /// exchange) is re-dialed and the request retried once — safe here

@@ -560,12 +560,23 @@ impl Coordinator {
         let mut replayed = 0u64;
         let mut next = watermark;
         for record in records {
+            // X-Atomic-Batch: WAL seq ↔ shard batch index is 1:1; the
+            // shard must never slice this delivery into several
+            // batches.
             let resp = rt
                 .client
-                .request("POST", &format!("/sessions/{session}/ingest"), &record.payload)
+                .request_with_headers(
+                    "POST",
+                    &format!("/sessions/{session}/ingest"),
+                    &[("X-Atomic-Batch", "1")],
+                    &record.payload,
+                )
                 .map_err(|e| e.to_string())?;
             if resp.status != 200 {
-                return Err(format!("delivering seq {}: http {}", record.seq, resp.status));
+                return Err(format!(
+                    "delivering seq {}: http {}",
+                    record.seq, resp.status
+                ));
             }
             sent += 1;
             next = record.seq + 1;

@@ -1,13 +1,20 @@
-//! A from-scratch HTTP/1.1 request/response layer over blocking
-//! streams.
+//! A from-scratch HTTP/1.1 request/response layer.
 //!
 //! Deliberately minimal — exactly what a schema-discovery service needs
 //! and nothing more: request-line + header parsing with hard size
 //! limits, `Content-Length` bodies (chunked transfer encoding is
 //! rejected with 501), keep-alive, and structured JSON error bodies.
-//! Everything is generic over `Read + Write` so tests can drive the
-//! server through in-memory duplex streams and through the
-//! `pg_store::faults` wrappers.
+//!
+//! The parsing core is the *incremental* [`HeadParser`]: it accepts
+//! bytes in arbitrary chunks (down to one byte at a time) and suspends
+//! cleanly between them, which is what the epoll reactor needs to
+//! resume a parse across `EAGAIN`. The blocking-path entry point
+//! [`read_request`] is a thin loop over the same parser, so the
+//! one-shot and streaming paths parse identically by construction
+//! (`tests/reactor_proto.rs` proves it over arbitrary chunk
+//! partitions). Everything stays generic over `Read + Write` so tests
+//! can drive the server through in-memory duplex streams and through
+//! the `pg_store::faults` wrappers.
 
 use std::io::{self, BufRead, Write};
 
@@ -15,6 +22,12 @@ use std::io::{self, BufRead, Write};
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
 /// Maximum accepted total header bytes per request.
 pub const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// How many declared-but-oversized body bytes a transport drains after
+/// answering 413 before giving up and closing the connection instead.
+/// Draining keeps the connection aligned on the next request boundary
+/// so keep-alive survives a bounded oversize; past this cap closing is
+/// cheaper than reading.
+pub const DRAIN_CAP: usize = 256 * 1024;
 
 /// Per-server knobs the parser needs.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +80,50 @@ impl Request {
     }
 }
 
+/// Everything before the body, parsed. Produced incrementally by
+/// [`HeadParser`]; the body-size policy (413) is deliberately *not*
+/// applied here — the declared length must survive so transports can
+/// decide whether draining the oversized body is worth keeping the
+/// connection.
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// Upper-cased method.
+    pub method: String,
+    /// Decoded path component.
+    pub path: String,
+    /// Decoded query pairs, in order.
+    pub query: Vec<(String, String)>,
+    /// Header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl RequestHead {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Attach the body and produce the full [`Request`].
+    pub fn into_request(self, body: Vec<u8>) -> Request {
+        Request {
+            method: self.method,
+            path: self.path,
+            query: self.query,
+            headers: self.headers,
+            body,
+            keep_alive: self.keep_alive,
+        }
+    }
+}
+
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
@@ -82,9 +139,16 @@ pub enum HttpError {
     UriTooLong,
     /// Headers exceeded [`MAX_HEADER_BYTES`].
     HeaderTooLarge,
-    /// Declared body exceeds the configured limit (the body is *not*
-    /// read; the connection must close after the 413).
-    PayloadTooLarge(usize),
+    /// Declared body exceeds the configured limit. Carries the declared
+    /// length so the transport can drain a bounded body and keep the
+    /// connection, or close when draining would cost more than a
+    /// re-dial.
+    PayloadTooLarge {
+        /// The configured `max_body` limit.
+        limit: usize,
+        /// What the `Content-Length` header declared.
+        declared: usize,
+    },
     /// A feature this server does not speak (chunked encoding).
     NotImplemented(String),
 }
@@ -106,7 +170,7 @@ impl HttpError {
                 "header_too_large",
                 &format!("headers exceed {MAX_HEADER_BYTES} bytes"),
             )),
-            HttpError::PayloadTooLarge(limit) => Some(Response::error(
+            HttpError::PayloadTooLarge { limit, .. } => Some(Response::error(
                 413,
                 "payload_too_large",
                 &format!("request body exceeds the {limit}-byte limit"),
@@ -116,43 +180,231 @@ impl HttpError {
     }
 }
 
-/// Read one line (up to `\n`), stripping the trailing `\r\n`/`\n`.
-/// `at_request_start` turns a clean EOF into [`HttpError::Eof`].
-fn read_line<R: BufRead>(
-    reader: &mut R,
-    limit: usize,
-    at_request_start: bool,
-    over_limit: fn() -> HttpError,
-) -> Result<String, HttpError> {
-    let mut buf: Vec<u8> = Vec::new();
-    loop {
-        let available = match reader.fill_buf() {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(HttpError::Io(e)),
-        };
-        if available.is_empty() {
-            return if buf.is_empty() && at_request_start {
-                Err(HttpError::Eof)
-            } else {
-                Err(HttpError::BadRequest("unexpected end of stream".into()))
+enum Stage {
+    RequestLine,
+    Headers {
+        method: String,
+        target: String,
+        http11: bool,
+        headers: Vec<(String, String)>,
+        header_bytes: usize,
+    },
+    Done,
+}
+
+/// An incremental request-head parser: feed it byte slices as they
+/// arrive, get a [`RequestHead`] back once the blank line lands.
+///
+/// The parser is *chunk-invariant*: any partition of the same byte
+/// stream — including one byte at a time — produces the same head or
+/// the same error, because every decision is made on completed lines
+/// and the size limits are checked against accumulated totals, never
+/// against chunk shapes.
+pub struct HeadParser {
+    stage: Stage,
+    line: Vec<u8>,
+}
+
+impl Default for HeadParser {
+    fn default() -> HeadParser {
+        HeadParser::new()
+    }
+}
+
+impl HeadParser {
+    /// A parser positioned at the start of a request.
+    pub fn new() -> HeadParser {
+        HeadParser {
+            stage: Stage::RequestLine,
+            line: Vec::new(),
+        }
+    }
+
+    /// Whether any byte of the current request has been consumed.
+    pub fn started(&self) -> bool {
+        !self.line.is_empty() || !matches!(self.stage, Stage::RequestLine)
+    }
+
+    /// The error a transport should surface when the peer closes the
+    /// stream at the current parse position: clean EOF before the first
+    /// byte is the normal end of keep-alive; anything later is a
+    /// truncated request.
+    pub fn eof_error(&self) -> HttpError {
+        if self.started() {
+            HttpError::BadRequest("unexpected end of stream".into())
+        } else {
+            HttpError::Eof
+        }
+    }
+
+    /// Consume bytes from `input`. Returns how many bytes were used and
+    /// the parsed head once complete; unconsumed bytes (the body, or a
+    /// pipelined next request) stay with the caller. After an error the
+    /// parser must be discarded.
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Option<RequestHead>), HttpError> {
+        let mut consumed = 0;
+        while consumed < input.len() {
+            if matches!(self.stage, Stage::Done) {
+                break;
+            }
+            let rest = &input[consumed..];
+            let newline = rest.iter().position(|b| *b == b'\n');
+            let take = newline.map(|i| i + 1).unwrap_or(rest.len());
+            let (limit, over): (usize, fn() -> HttpError) = match &self.stage {
+                Stage::RequestLine => (MAX_REQUEST_LINE, || HttpError::UriTooLong),
+                Stage::Headers { header_bytes, .. } => {
+                    (MAX_HEADER_BYTES.saturating_sub(*header_bytes), || {
+                        HttpError::HeaderTooLarge
+                    })
+                }
+                Stage::Done => unreachable!("loop exits on Done"),
             };
+            // `+ 2` slack for the line terminator, matching the historic
+            // blocking parser exactly.
+            if self.line.len() + take > limit + 2 {
+                return Err(over());
+            }
+            self.line.extend_from_slice(&rest[..take]);
+            consumed += take;
+            if newline.is_none() {
+                break;
+            }
+            while matches!(self.line.last(), Some(b'\n') | Some(b'\r')) {
+                self.line.pop();
+            }
+            let text = String::from_utf8(std::mem::take(&mut self.line))
+                .map_err(|_| HttpError::BadRequest("non-UTF-8 request data".into()))?;
+            if let Some(head) = self.take_line(text)? {
+                return Ok((consumed, Some(head)));
+            }
         }
-        let newline = available.iter().position(|b| *b == b'\n');
-        let take = newline.map(|i| i + 1).unwrap_or(available.len());
-        if buf.len() + take > limit + 2 {
-            return Err(over_limit());
+        Ok((consumed, None))
+    }
+
+    fn take_line(&mut self, line: String) -> Result<Option<RequestHead>, HttpError> {
+        if matches!(self.stage, Stage::RequestLine) {
+            let mut parts = line.split(' ');
+            let (method, target, version) =
+                match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                    (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => {
+                        (m, t, v)
+                    }
+                    _ => {
+                        return Err(HttpError::BadRequest(format!(
+                            "malformed request line {line:?}"
+                        )))
+                    }
+                };
+            if !version.starts_with("HTTP/1.") {
+                return Err(HttpError::BadRequest(format!(
+                    "unsupported protocol version {version:?}"
+                )));
+            }
+            self.stage = Stage::Headers {
+                method: method.to_ascii_uppercase(),
+                target: target.to_owned(),
+                http11: version == "HTTP/1.1",
+                headers: Vec::new(),
+                header_bytes: 0,
+            };
+            return Ok(None);
         }
-        buf.extend_from_slice(&available[..take]);
-        reader.consume(take);
-        if newline.is_some() {
-            break;
+        if line.is_empty() {
+            let stage = std::mem::replace(&mut self.stage, Stage::Done);
+            let Stage::Headers {
+                method,
+                target,
+                http11,
+                headers,
+                ..
+            } = stage
+            else {
+                unreachable!("request-line stage handled above");
+            };
+            return Ok(Some(finish_head(method, target, http11, headers)?));
+        }
+        let Stage::Headers {
+            headers,
+            header_bytes,
+            ..
+        } = &mut self.stage
+        else {
+            return Ok(None);
+        };
+        *header_bytes += line.len() + 2;
+        if *header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::HeaderTooLarge);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest(format!(
+                "malformed header name {name:?}"
+            )));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        Ok(None)
+    }
+}
+
+/// Validate the collected head lines and assemble the [`RequestHead`].
+fn finish_head(
+    method: String,
+    target: String,
+    http11: bool,
+    headers: Vec<(String, String)>,
+) -> Result<RequestHead, HttpError> {
+    let find = |n: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(te) = find("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::NotImplemented(format!(
+                "transfer-encoding {te:?} is not supported; send a Content-Length body"
+            )));
         }
     }
-    while matches!(buf.last(), Some(b'\n') | Some(b'\r')) {
-        buf.pop();
-    }
-    String::from_utf8(buf).map_err(|_| HttpError::BadRequest("non-UTF-8 request data".into()))
+    let content_length = match find("content-length") {
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {v:?}")))?,
+        None => 0,
+    };
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target.as_str(), None),
+    };
+    let query = raw_query
+        .map(|q| {
+            q.split('&')
+                .filter(|kv| !kv.is_empty())
+                .map(|kv| match kv.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(kv), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    Ok(RequestHead {
+        method,
+        path: percent_decode(raw_path),
+        query,
+        headers,
+        content_length,
+        keep_alive,
+    })
 }
 
 /// Minimal percent-decoding (`%XX` and `+` as space) for paths and
@@ -189,77 +441,33 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// Read and parse one request from `reader`.
+/// Read and parse one request from a blocking `reader` — a loop over
+/// the incremental [`HeadParser`], then the `Content-Length` body.
 pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> Result<Request, HttpError> {
-    let line = read_line(reader, MAX_REQUEST_LINE, true, || HttpError::UriTooLong)?;
-    let mut parts = line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => {
-            return Err(HttpError::BadRequest(format!(
-                "malformed request line {line:?}"
-            )))
+    let mut parser = HeadParser::new();
+    let head = loop {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if available.is_empty() {
+            return Err(parser.eof_error());
+        }
+        let (consumed, head) = parser.feed(available)?;
+        reader.consume(consumed);
+        if let Some(head) = head {
+            break head;
         }
     };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::BadRequest(format!(
-            "unsupported protocol version {version:?}"
-        )));
+    if head.content_length > limits.max_body {
+        return Err(HttpError::PayloadTooLarge {
+            limit: limits.max_body,
+            declared: head.content_length,
+        });
     }
-    let http11 = version == "HTTP/1.1";
-
-    let mut headers: Vec<(String, String)> = Vec::new();
-    let mut header_bytes = 0usize;
-    loop {
-        let line = read_line(
-            reader,
-            MAX_HEADER_BYTES.saturating_sub(header_bytes),
-            false,
-            || HttpError::HeaderTooLarge,
-        )?;
-        if line.is_empty() {
-            break;
-        }
-        header_bytes += line.len() + 2;
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(HttpError::HeaderTooLarge);
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpError::BadRequest(format!(
-                "malformed header name {name:?}"
-            )));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
-    let find = |n: &str| {
-        headers
-            .iter()
-            .find(|(name, _)| name == n)
-            .map(|(_, v)| v.as_str())
-    };
-    if let Some(te) = find("transfer-encoding") {
-        if !te.eq_ignore_ascii_case("identity") {
-            return Err(HttpError::NotImplemented(format!(
-                "transfer-encoding {te:?} is not supported; send a Content-Length body"
-            )));
-        }
-    }
-    let content_length = match find("content-length") {
-        Some(v) => v
-            .trim()
-            .parse::<usize>()
-            .map_err(|_| HttpError::BadRequest(format!("invalid Content-Length {v:?}")))?,
-        None => 0,
-    };
-    if content_length > limits.max_body {
-        return Err(HttpError::PayloadTooLarge(limits.max_body));
-    }
-    let mut body = vec![0u8; content_length];
-    if content_length > 0 {
+    let mut body = vec![0u8; head.content_length];
+    if head.content_length > 0 {
         io::Read::read_exact(reader, &mut body).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 HttpError::BadRequest("request body shorter than Content-Length".into())
@@ -268,37 +476,30 @@ pub fn read_request<R: BufRead>(reader: &mut R, limits: Limits) -> Result<Reques
             }
         })?;
     }
+    Ok(head.into_request(body))
+}
 
-    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
-        Some(c) if c.contains("close") => false,
-        Some(c) if c.contains("keep-alive") => true,
-        _ => http11,
-    };
-
-    let (raw_path, raw_query) = match target.split_once('?') {
-        Some((p, q)) => (p, Some(q)),
-        None => (target, None),
-    };
-    let query = raw_query
-        .map(|q| {
-            q.split('&')
-                .filter(|kv| !kv.is_empty())
-                .map(|kv| match kv.split_once('=') {
-                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
-                    None => (percent_decode(kv), String::new()),
-                })
-                .collect()
-        })
-        .unwrap_or_default();
-
-    Ok(Request {
-        method: method.to_ascii_uppercase(),
-        path: percent_decode(raw_path),
-        query,
-        headers,
-        body,
-        keep_alive,
-    })
+/// Discard exactly `n` body bytes from a blocking `reader`, leaving the
+/// connection aligned on the next request boundary (used after a 413 so
+/// keep-alive can continue).
+pub fn drain_body<R: BufRead>(reader: &mut R, mut n: usize) -> io::Result<()> {
+    while n > 0 {
+        let available = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-drain",
+            ));
+        }
+        let take = available.len().min(n);
+        reader.consume(take);
+        n -= take;
+    }
+    Ok(())
 }
 
 /// An outgoing response.
@@ -387,11 +588,10 @@ impl Response {
         }
     }
 
-    /// Serialize the full response (status line, headers, body) into
-    /// `w`. The whole response is buffered and written with one call so
-    /// a connection drop can tear the *stream* but never interleave
-    /// with another response.
-    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+    /// Serialize the full response (status line, headers, body) into a
+    /// byte vector — the reactor queues these on connection write
+    /// buffers.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.body.len() + 256);
         out.extend_from_slice(
             format!(
@@ -415,7 +615,14 @@ impl Response {
         );
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
-        w.write_all(&out)?;
+        out
+    }
+
+    /// Serialize the full response into `w`. The whole response is
+    /// buffered and written with one call so a connection drop can tear
+    /// the *stream* but never interleave with another response.
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        w.write_all(&self.to_bytes(keep_alive))?;
         w.flush()
     }
 }
@@ -428,23 +635,52 @@ mod tests {
         read_request(&mut raw.as_bytes(), Limits::default())
     }
 
+    /// Feed the head through the incremental parser one byte at a time
+    /// (the worst-case partition), then attach the remaining bytes as
+    /// the body exactly like the reactor does.
+    fn parse_byte_at_a_time(raw: &str) -> Result<Request, HttpError> {
+        let bytes = raw.as_bytes();
+        let mut parser = HeadParser::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let (used, head) = parser.feed(&bytes[pos..pos + 1])?;
+            pos += used;
+            if let Some(head) = head {
+                if head.content_length > Limits::default().max_body {
+                    return Err(HttpError::PayloadTooLarge {
+                        limit: Limits::default().max_body,
+                        declared: head.content_length,
+                    });
+                }
+                let rest = &bytes[pos..];
+                if rest.len() < head.content_length {
+                    return Err(HttpError::BadRequest(
+                        "request body shorter than Content-Length".into(),
+                    ));
+                }
+                let body = rest[..head.content_length].to_vec();
+                return Ok(head.into_request(body));
+            }
+        }
+        Err(parser.eof_error())
+    }
+
     #[test]
     fn parses_a_full_request() {
-        let req = parse(
-            "POST /sessions/s1/ingest?from=3&mode=a%20b HTTP/1.1\r\n\
+        let raw = "POST /sessions/s1/ingest?from=3&mode=a%20b HTTP/1.1\r\n\
              Host: localhost\r\n\
              Content-Length: 5\r\n\
              \r\n\
-             hello",
-        )
-        .unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.path, "/sessions/s1/ingest");
-        assert_eq!(req.query_param("from"), Some("3"));
-        assert_eq!(req.query_param("mode"), Some("a b"));
-        assert_eq!(req.header("host"), Some("localhost"));
-        assert_eq!(req.body, b"hello");
-        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+             hello";
+        for req in [parse(raw).unwrap(), parse_byte_at_a_time(raw).unwrap()] {
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/sessions/s1/ingest");
+            assert_eq!(req.query_param("from"), Some("3"));
+            assert_eq!(req.query_param("mode"), Some("a b"));
+            assert_eq!(req.header("host"), Some("localhost"));
+            assert_eq!(req.body, b"hello");
+            assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        }
     }
 
     #[test]
@@ -468,6 +704,10 @@ mod tests {
                 matches!(parse(raw), Err(HttpError::BadRequest(_))),
                 "{raw:?} should be a bad request"
             );
+            assert!(
+                matches!(parse_byte_at_a_time(raw), Err(HttpError::BadRequest(_))),
+                "{raw:?} should be a bad request byte-at-a-time"
+            );
         }
     }
 
@@ -479,21 +719,60 @@ mod tests {
             parse("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
             Err(HttpError::BadRequest(_))
         ));
+        assert!(matches!(parse_byte_at_a_time(""), Err(HttpError::Eof)));
+        assert!(matches!(
+            parse_byte_at_a_time("GET / HTT"),
+            Err(HttpError::BadRequest(_))
+        ));
     }
 
     #[test]
     fn size_limits_fire() {
         let long = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_REQUEST_LINE));
         assert!(matches!(parse(&long), Err(HttpError::UriTooLong)));
+        assert!(matches!(
+            parse_byte_at_a_time(&long),
+            Err(HttpError::UriTooLong)
+        ));
 
         let many = format!(
             "GET / HTTP/1.1\r\n{}\r\n",
             format!("X-Pad: {}\r\n", "y".repeat(1000)).repeat(40)
         );
         assert!(matches!(parse(&many), Err(HttpError::HeaderTooLarge)));
+        assert!(matches!(
+            parse_byte_at_a_time(&many),
+            Err(HttpError::HeaderTooLarge)
+        ));
 
         let big = "POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
-        assert!(matches!(parse(big), Err(HttpError::PayloadTooLarge(_))));
+        assert!(matches!(parse(big), Err(HttpError::PayloadTooLarge { .. })));
+    }
+
+    #[test]
+    fn payload_too_large_carries_the_declared_length() {
+        let raw = "POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n";
+        match read_request(&mut raw.as_bytes(), Limits { max_body: 1024 }) {
+            Err(HttpError::PayloadTooLarge { limit, declared }) => {
+                assert_eq!(limit, 1024);
+                assert_eq!(declared, 999_999_999_999);
+            }
+            other => panic!("expected PayloadTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn head_parser_reports_leftover_bytes_for_pipelining() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut parser = HeadParser::new();
+        let (used, head) = parser.feed(raw).unwrap();
+        let head = head.expect("first head complete");
+        assert_eq!(head.path, "/a");
+        assert_eq!(used, raw.len() / 2, "second request left unconsumed");
+        let mut second = HeadParser::new();
+        let (used2, head2) = second.feed(&raw[used..]).unwrap();
+        assert_eq!(head2.expect("second head complete").path, "/b");
+        assert_eq!(used + used2, raw.len());
     }
 
     #[test]
@@ -503,8 +782,22 @@ mod tests {
     }
 
     #[test]
+    fn drain_body_consumes_exactly_n_bytes() {
+        let mut reader = &b"0123456789rest"[..];
+        drain_body(&mut reader, 10).unwrap();
+        assert_eq!(reader, b"rest");
+        let mut short = &b"abc"[..];
+        assert!(drain_body(&mut short, 10).is_err());
+    }
+
+    #[test]
     fn error_responses_are_structured_json() {
-        let resp = HttpError::PayloadTooLarge(1024).to_response().unwrap();
+        let resp = HttpError::PayloadTooLarge {
+            limit: 1024,
+            declared: 4096,
+        }
+        .to_response()
+        .unwrap();
         assert_eq!(resp.status, 413);
         let v: serde::Value =
             serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();

@@ -42,9 +42,13 @@
 pub mod backoff;
 pub mod client;
 pub mod cluster;
+#[cfg(target_os = "linux")]
+pub(crate) mod conn;
 pub mod http;
 pub mod metrics;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod registry;
 pub mod router;
 pub mod shard_client;
@@ -54,7 +58,7 @@ pub mod wal;
 pub use backoff::{Backoff, BreakerState, CircuitBreaker};
 pub use client::{Client, ClientResponse};
 pub use cluster::{ClusterConfig, Coordinator};
-pub use http::{Limits, Request, Response};
+pub use http::{HeadParser, Limits, Request, RequestHead, Response};
 pub use metrics::{Metrics, SessionStats};
 pub use registry::{LiveSession, Registry, RegistryConfig, SessionSpec};
 pub use router::Ctx;
@@ -71,19 +75,89 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Which serving transport [`Server::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Readiness-based event loop on raw epoll: one reactor thread
+    /// multiplexes every connection, CPU work runs on the worker pool.
+    /// Linux only; elsewhere it falls back to [`Transport::Threaded`]
+    /// with a warning.
+    Epoll,
+    /// The classic blocking worker pool: one worker thread drives one
+    /// connection end-to-end.
+    Threaded,
+}
+
+impl Transport {
+    /// The build-target default: epoll on Linux, threaded elsewhere.
+    pub fn native() -> Transport {
+        if cfg!(target_os = "linux") {
+            Transport::Epoll
+        } else {
+            Transport::Threaded
+        }
+    }
+
+    /// Resolve from the `PG_SERVE_TRANSPORT` environment variable
+    /// (`"epoll"` / `"threaded"`), falling back to [`Transport::native`].
+    /// The env override is how CI runs the whole suite under both
+    /// transports without touching any test.
+    pub fn from_env() -> Transport {
+        match std::env::var("PG_SERVE_TRANSPORT").ok().as_deref() {
+            Some("epoll") => Transport::Epoll,
+            Some("threaded") => Transport::Threaded,
+            Some(other) => {
+                eprintln!("warning: unknown PG_SERVE_TRANSPORT {other:?}; using default");
+                Transport::native()
+            }
+            None => Transport::native(),
+        }
+    }
+
+    /// Downgrade an impossible selection (epoll off-Linux) to the one
+    /// that works.
+    fn resolve(self) -> Transport {
+        if self == Transport::Epoll && !cfg!(target_os = "linux") {
+            eprintln!("warning: epoll transport is Linux-only; using threaded");
+            return Transport::Threaded;
+        }
+        self
+    }
+}
+
 /// Everything `Server::bind` needs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Listen address; port 0 picks an ephemeral port.
     pub addr: SocketAddr,
-    /// Worker threads handling connections.
+    /// Serving transport (see [`Transport`]).
+    pub transport: Transport,
+    /// Worker threads handling connections (threaded transport) or
+    /// CPU-bound request work (epoll transport).
     pub workers: usize,
-    /// Connections queued beyond the busy workers before 503s start.
+    /// Connections (threaded) or jobs (epoll) queued beyond the busy
+    /// workers before 503s start.
     pub queue: usize,
+    /// Concurrent connections admitted before 503s start (epoll
+    /// transport; the threaded transport is bounded by workers+queue).
+    pub max_connections: usize,
     /// Largest accepted request body in bytes.
     pub max_body: usize,
     /// Per-connection read timeout (bounds slow-loris style stalls).
     pub read_timeout: Duration,
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the reactor closes it (epoll transport only — a blocking
+    /// worker applies `read_timeout` to idle gaps too).
+    pub idle_timeout: Duration,
+    /// In-flight ingests admitted per session before 503s start.
+    pub session_queue: usize,
+    /// Ingest bodies at least this large stream to the session in
+    /// slices instead of buffering whole (epoll transport, Skip-policy
+    /// sessions only).
+    pub stream_threshold: usize,
+    /// Target size of one streamed ingest slice (cut at line
+    /// boundaries).
+    pub slice_bytes: usize,
     /// Durable session state directory (`None` = in-memory only).
     pub state_dir: Option<PathBuf>,
     /// Default batches between cadence checkpoints for new sessions.
@@ -101,16 +175,63 @@ impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".parse().expect("literal address parses"),
+            transport: Transport::from_env(),
             workers: 4,
             queue: 64,
+            max_connections: 10_240,
             max_body: 64 * 1024 * 1024,
             read_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(60),
+            session_queue: 64,
+            stream_threshold: 1024 * 1024,
+            slice_bytes: 1024 * 1024,
             state_dir: None,
             checkpoint_every: 8,
             checkpoint_keep: 4,
             history_retain: 64,
             cluster: None,
         }
+    }
+}
+
+/// Best-effort raise of the process open-files soft limit toward its
+/// hard limit. Serving (or load-generating) 10k+ concurrent
+/// connections overruns the common 1024-descriptor soft default;
+/// raising it needs no privilege. Returns the soft limit afterwards
+/// when known.
+pub fn raise_nofile_limit() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Rlimit {
+            cur: u64,
+            max: u64,
+        }
+        const RLIMIT_NOFILE: i32 = 7;
+        extern "C" {
+            fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+            fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+        }
+        unsafe {
+            let mut lim = Rlimit { cur: 0, max: 0 };
+            if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+                return None;
+            }
+            if lim.cur < lim.max {
+                let want = Rlimit {
+                    cur: lim.max,
+                    max: lim.max,
+                };
+                if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                    return Some(lim.max);
+                }
+            }
+            Some(lim.cur)
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
     }
 }
 
@@ -127,11 +248,11 @@ pub struct RunSummary {
 
 /// A bound, not-yet-running server.
 pub struct Server {
-    listener: TcpListener,
+    pub(crate) listener: TcpListener,
     local_addr: SocketAddr,
-    ctx: Arc<Ctx>,
-    config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
+    pub(crate) ctx: Arc<Ctx>,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -139,6 +260,7 @@ impl Server {
     /// Resume warnings for corrupt sessions go to stderr — one bad
     /// session must not stop the server.
     pub fn bind(config: ServerConfig, shutdown: Arc<AtomicBool>) -> io::Result<Server> {
+        let _ = raise_nofile_limit();
         let listener = TcpListener::bind(config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -150,6 +272,7 @@ impl Server {
                 history_retain: config.history_retain,
                 ..SessionSpec::default()
             },
+            session_queue: config.session_queue,
         });
         for w in warnings {
             eprintln!("warning: {w}");
@@ -194,16 +317,14 @@ impl Server {
         Arc::clone(&self.ctx.metrics)
     }
 
-    /// Accept and serve until the shutdown flag is set, then drain the
-    /// worker pool, persist every durable session, and return.
+    /// Accept and serve until the shutdown flag is set, then drain
+    /// in-flight work, persist every durable session, and return.
+    /// The transport is [`ServerConfig::transport`]; both run the
+    /// identical router against the identical registry.
     pub fn run(self) -> io::Result<RunSummary> {
-        let pool = Pool::new(self.config.workers, self.config.queue);
-        let limits = Limits {
-            max_body: self.config.max_body,
-        };
         // In coordinator mode, the health monitor heartbeats every
         // shard, reopens circuit breakers, and replays pending WAL
-        // records to recovered shards.
+        // records to recovered shards — transport-independent.
         let monitor = self.ctx.cluster.as_ref().map(|coordinator| {
             let coordinator = Arc::clone(coordinator);
             let stop = Arc::clone(&self.shutdown);
@@ -215,6 +336,41 @@ impl Server {
                 }
             })
         });
+        let connections = match self.config.transport.resolve() {
+            Transport::Threaded => self.serve_threaded()?,
+            Transport::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    reactor::serve(&self)?
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    unreachable!("Transport::resolve downgrades epoll off-Linux")
+                }
+            }
+        };
+        if let Some(handle) = monitor {
+            let _ = handle.join();
+        }
+        let persist_failures = self.ctx.registry.persist_all();
+        let sessions_persisted = self.ctx.registry.list().len() - persist_failures.len();
+        for (name, err) in &persist_failures {
+            eprintln!("warning: final checkpoint of session {name:?} failed: {err}");
+        }
+        Ok(RunSummary {
+            connections,
+            sessions_persisted,
+            persist_failures,
+        })
+    }
+
+    /// The blocking transport: a bounded worker pool draining the
+    /// non-blocking accept loop, one worker per live connection.
+    fn serve_threaded(&self) -> io::Result<u64> {
+        let pool = Pool::new(self.config.workers, self.config.queue);
+        let limits = Limits {
+            max_body: self.config.max_body,
+        };
         let mut connections = 0u64;
         while !self.shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
@@ -223,6 +379,7 @@ impl Server {
                     self.ctx.metrics.connection_opened();
                     if let Err(e) = stream.set_nonblocking(false) {
                         eprintln!("warning: configuring connection: {e}");
+                        self.ctx.metrics.connection_closed();
                         continue;
                     }
                     let _ = stream.set_read_timeout(Some(self.config.read_timeout));
@@ -240,14 +397,17 @@ impl Server {
                         )
                         .with_header("Retry-After", "1");
                         let _ = resp.write_to(&mut stream, false);
+                        self.ctx.metrics.connection_closed();
                         continue;
                     }
                     let ctx = Arc::clone(&self.ctx);
                     if let Err(Busy) = pool.try_execute(Box::new(move || {
                         handle_connection(stream, &ctx, limits);
+                        ctx.metrics.connection_closed();
                     })) {
                         // Only reachable once shutdown flips mid-accept.
                         self.ctx.metrics.busy_rejection();
+                        self.ctx.metrics.connection_closed();
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -258,19 +418,7 @@ impl Server {
             }
         }
         pool.shutdown();
-        if let Some(handle) = monitor {
-            let _ = handle.join();
-        }
-        let persist_failures = self.ctx.registry.persist_all();
-        let sessions_persisted = self.ctx.registry.list().len() - persist_failures.len();
-        for (name, err) in &persist_failures {
-            eprintln!("warning: final checkpoint of session {name:?} failed: {err}");
-        }
-        Ok(RunSummary {
-            connections,
-            sessions_persisted,
-            persist_failures,
-        })
+        Ok(connections)
     }
 }
 
@@ -288,6 +436,24 @@ pub fn handle_connection<S: Read + Write>(stream: S, ctx: &Ctx, limits: Limits) 
                 if let Some(resp) = e.to_response() {
                     ctx.metrics
                         .record("<parse-error>", resp.status, Duration::ZERO);
+                    // An oversized body with a modest declared length
+                    // can keep the connection: answer 413 first (the
+                    // client may never send the body at all), then
+                    // swallow the declared bytes so the next request
+                    // starts at a clean boundary. Anything bigger than
+                    // the drain cap closes instead of reading megabytes
+                    // of refused payload.
+                    if let HttpError::PayloadTooLarge { declared, .. } = e {
+                        if declared <= http::DRAIN_CAP {
+                            if resp.write_to(reader.get_mut(), true).is_ok()
+                                && http::drain_body(&mut reader, declared).is_ok()
+                            {
+                                continue;
+                            }
+                            return;
+                        }
+                        // Too big to drain: answer, then close.
+                    }
                     let _ = resp.write_to(reader.get_mut(), false);
                 }
                 return;

@@ -52,7 +52,12 @@ pub struct SessionStats {
 pub struct Metrics {
     started: Instant,
     connections: AtomicU64,
+    closed_connections: AtomicU64,
     busy_rejections: AtomicU64,
+    session_busy_rejections: AtomicU64,
+    idle_timeouts: AtomicU64,
+    connection_limit_rejections: AtomicU64,
+    ingest_slices: AtomicU64,
     routes: Mutex<BTreeMap<&'static str, RouteStat>>,
 }
 
@@ -68,7 +73,12 @@ impl Metrics {
         Metrics {
             started: Instant::now(),
             connections: AtomicU64::new(0),
+            closed_connections: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            session_busy_rejections: AtomicU64::new(0),
+            idle_timeouts: AtomicU64::new(0),
+            connection_limit_rejections: AtomicU64::new(0),
+            ingest_slices: AtomicU64::new(0),
             routes: Mutex::new(BTreeMap::new()),
         }
     }
@@ -78,9 +88,45 @@ impl Metrics {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count a closed connection (the open-connections gauge is
+    /// `opened - closed`).
+    pub fn connection_closed(&self) {
+        self.closed_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> u64 {
+        self.connections
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.closed_connections.load(Ordering::Relaxed))
+    }
+
     /// Count a connection refused with 503 because the pool was full.
     pub fn busy_rejection(&self) {
         self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an ingest refused with 503 because the session's bounded
+    /// ingest queue was full.
+    pub fn session_busy_rejection(&self) {
+        self.session_busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection killed by the idle/slowloris timeout.
+    pub fn idle_timeout(&self) {
+        self.idle_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection refused at accept because the reactor's
+    /// connection limit was reached.
+    pub fn connection_limit_rejection(&self) {
+        self.connection_limit_rejections
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one streamed ingest slice applied to a session.
+    pub fn ingest_slice(&self) {
+        self.ingest_slices.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one handled request under its route pattern.
@@ -129,6 +175,15 @@ impl Metrics {
         );
         push(
             &mut out,
+            "# HELP pg_serve_open_connections Connections currently open.\n\
+             # TYPE pg_serve_open_connections gauge\n",
+        );
+        push(
+            &mut out,
+            &format!("pg_serve_open_connections {}\n", self.open_connections()),
+        );
+        push(
+            &mut out,
             "# HELP pg_serve_busy_rejections_total Connections answered 503 because the worker pool was full.\n\
              # TYPE pg_serve_busy_rejections_total counter\n",
         );
@@ -137,6 +192,54 @@ impl Metrics {
             &format!(
                 "pg_serve_busy_rejections_total {}\n",
                 self.busy_rejections.load(Ordering::Relaxed)
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP pg_serve_session_busy_rejections_total Ingests answered 503 because a session's ingest queue was full.\n\
+             # TYPE pg_serve_session_busy_rejections_total counter\n",
+        );
+        push(
+            &mut out,
+            &format!(
+                "pg_serve_session_busy_rejections_total {}\n",
+                self.session_busy_rejections.load(Ordering::Relaxed)
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP pg_serve_idle_timeouts_total Connections killed by the idle/slowloris timeout.\n\
+             # TYPE pg_serve_idle_timeouts_total counter\n",
+        );
+        push(
+            &mut out,
+            &format!(
+                "pg_serve_idle_timeouts_total {}\n",
+                self.idle_timeouts.load(Ordering::Relaxed)
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP pg_serve_connection_limit_rejections_total Connections refused at accept because the connection limit was reached.\n\
+             # TYPE pg_serve_connection_limit_rejections_total counter\n",
+        );
+        push(
+            &mut out,
+            &format!(
+                "pg_serve_connection_limit_rejections_total {}\n",
+                self.connection_limit_rejections.load(Ordering::Relaxed)
+            ),
+        );
+        push(
+            &mut out,
+            "# HELP pg_serve_ingest_slices_total Streamed ingest slices applied.\n\
+             # TYPE pg_serve_ingest_slices_total counter\n",
+        );
+        push(
+            &mut out,
+            &format!(
+                "pg_serve_ingest_slices_total {}\n",
+                self.ingest_slices.load(Ordering::Relaxed)
             ),
         );
 
@@ -295,6 +398,11 @@ mod tests {
         }]);
         assert!(text.contains("pg_serve_connections_total 1"));
         assert!(text.contains("pg_serve_busy_rejections_total 1"));
+        assert!(text.contains("pg_serve_open_connections 1"));
+        assert!(text.contains("pg_serve_session_busy_rejections_total 0"));
+        assert!(text.contains("pg_serve_idle_timeouts_total 0"));
+        assert!(text.contains("pg_serve_connection_limit_rejections_total 0"));
+        assert!(text.contains("pg_serve_ingest_slices_total 0"));
         assert!(text
             .contains("pg_serve_requests_total{route=\"/sessions/{id}/ingest\",status=\"422\"} 1"));
         assert!(text.contains("pg_serve_requests_total{route=\"/healthz\",status=\"200\"} 1"));

@@ -26,6 +26,7 @@ use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// User-settable knobs of a session, fixed at creation and persisted in
@@ -216,6 +217,21 @@ pub enum IngestFailure {
     Session(IngestError),
 }
 
+/// An RAII slot in a session's bounded ingest queue. Holding one means
+/// the session admitted this ingest; dropping it (success or failure)
+/// releases the slot. Transports acquire a permit *before* doing any
+/// expensive work on a request so an overloaded session can shed load
+/// with 503 + `Retry-After` instead of queueing unboundedly.
+pub struct IngestPermit {
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Drop for IngestPermit {
+    fn drop(&mut self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// One named live session.
 pub struct LiveSession {
     name: String,
@@ -224,6 +240,8 @@ pub struct LiveSession {
     counters: Mutex<Counters>,
     store: Option<CheckpointStore>,
     dir: Option<PathBuf>,
+    inflight: Arc<AtomicUsize>,
+    queue_limit: usize,
 }
 
 impl LiveSession {
@@ -242,6 +260,37 @@ impl LiveSession {
         &self.handle
     }
 
+    /// Try to claim a slot in the session's bounded ingest queue.
+    /// `None` means the queue is full: the caller should answer 503
+    /// with `Retry-After` rather than admit more in-flight work.
+    pub fn try_ingest_permit(&self) -> Option<IngestPermit> {
+        let mut current = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.queue_limit {
+                return None;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Some(IngestPermit {
+                        inflight: Arc::clone(&self.inflight),
+                    })
+                }
+                Err(now) => current = now,
+            }
+        }
+    }
+
+    /// Ingests currently holding a permit (exposed for `/metrics` and
+    /// tests).
+    pub fn inflight_ingests(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
     /// Parse `body` as JSONL and ingest it as one batch under the
     /// session's error policy. See [`IngestReport`].
     pub fn ingest_jsonl(&self, body: &[u8]) -> Result<IngestReport, IngestFailure> {
@@ -249,11 +298,26 @@ impl LiveSession {
             .spec
             .policy()
             .expect("spec was validated at session creation");
-        let (elements, mut quarantine) =
+        let (elements, quarantine) =
             read_jsonl_elements(&mut &body[..], policy).map_err(IngestFailure::Parse)?;
+        self.ingest_parsed(elements, quarantine)
+    }
+
+    /// Apply already-parsed elements as one batch under the session's
+    /// error policy — the shared tail of the buffered and streaming
+    /// ingest paths.
+    pub fn ingest_parsed(
+        &self,
+        elements: Vec<(usize, Element)>,
+        mut quarantine: Quarantine,
+    ) -> Result<IngestReport, IngestFailure> {
+        let policy = self
+            .spec
+            .policy()
+            .expect("spec was validated at session creation");
         let outcome = self
             .handle
-            .ingest(&elements, policy, &mut quarantine, "http")
+            .ingest(elements, policy, &mut quarantine, "http")
             .map_err(IngestFailure::Session)?;
         let (checkpointed, checkpoint_error) = self.cadence_tick(quarantine.len() as u64);
         Ok(IngestReport {
@@ -262,6 +326,33 @@ impl LiveSession {
             checkpointed,
             checkpoint_error,
         })
+    }
+
+    /// Parse one slice of a larger JSONL stream and apply it as one
+    /// batch. `line_offset` is how many lines earlier slices already
+    /// consumed, so quarantine reports carry stream-global line
+    /// numbers. Only meaningful under the `skip` policy — the streaming
+    /// transport's admission check enforces that, because strict/cap
+    /// abort semantics promise "nothing was applied", which a
+    /// partially-applied slice sequence cannot honor.
+    pub fn ingest_slice(
+        &self,
+        chunk: &[u8],
+        line_offset: usize,
+    ) -> Result<IngestReport, IngestFailure> {
+        let policy = self
+            .spec
+            .policy()
+            .expect("spec was validated at session creation");
+        let (mut elements, mut quarantine) =
+            read_jsonl_elements(&mut &chunk[..], policy).map_err(IngestFailure::Parse)?;
+        if line_offset > 0 {
+            for (line, _) in &mut elements {
+                *line += line_offset;
+            }
+            quarantine.offset_lines(line_offset);
+        }
+        self.ingest_parsed(elements, quarantine)
     }
 
     /// Fold a foreign shard's discovery state into the live session
@@ -442,6 +533,8 @@ pub struct RegistryConfig {
     pub checkpoint_keep: usize,
     /// Default [`SessionSpec`] for fields a create request omits.
     pub spec_defaults: SessionSpec,
+    /// In-flight ingests admitted per session before 503s start.
+    pub session_queue: usize,
 }
 
 impl Default for RegistryConfig {
@@ -450,6 +543,7 @@ impl Default for RegistryConfig {
             state_dir: None,
             checkpoint_keep: 4,
             spec_defaults: SessionSpec::default(),
+            session_queue: 64,
         }
     }
 }
@@ -469,7 +563,7 @@ impl Registry {
         let mut sessions = BTreeMap::new();
         let mut warnings = Vec::new();
         if let Some(state_dir) = &config.state_dir {
-            match scan_state_dir(state_dir, config.checkpoint_keep) {
+            match scan_state_dir(state_dir, config.checkpoint_keep, config.session_queue) {
                 Ok(resumed) => {
                     for entry in resumed {
                         match entry {
@@ -523,6 +617,8 @@ impl Registry {
             counters: Mutex::new(Counters::default()),
             store,
             dir,
+            inflight: Arc::new(AtomicUsize::new(0)),
+            queue_limit: self.config.session_queue.max(1),
         });
         // Persist at creation so a restart finds the session even if it
         // never ingests a batch.
@@ -629,6 +725,7 @@ fn write_sidecar(dir: &Path, sidecar: &Sidecar) -> Result<(), String> {
 fn scan_state_dir(
     state_dir: &Path,
     checkpoint_keep: usize,
+    session_queue: usize,
 ) -> Result<Vec<Result<LiveSession, String>>, String> {
     fs::create_dir_all(state_dir)
         .map_err(|e| format!("creating state dir {}: {e}", state_dir.display()))?;
@@ -647,12 +744,16 @@ fn scan_state_dir(
         if !dir.is_dir() || !dir.join("session.json").exists() {
             continue;
         }
-        out.push(resume_session(&dir, checkpoint_keep));
+        out.push(resume_session(&dir, checkpoint_keep, session_queue));
     }
     Ok(out)
 }
 
-fn resume_session(dir: &Path, checkpoint_keep: usize) -> Result<LiveSession, String> {
+fn resume_session(
+    dir: &Path,
+    checkpoint_keep: usize,
+    session_queue: usize,
+) -> Result<LiveSession, String> {
     let skip = |stage: &str, detail: String| {
         format!("skipping session at {}: {stage}: {detail}", dir.display())
     };
@@ -690,6 +791,8 @@ fn resume_session(dir: &Path, checkpoint_keep: usize) -> Result<LiveSession, Str
         }),
         store: Some(store),
         dir: Some(dir.to_path_buf()),
+        inflight: Arc::new(AtomicUsize::new(0)),
+        queue_limit: session_queue.max(1),
     })
 }
 
@@ -744,6 +847,44 @@ mod tests {
         assert!(reg.remove("a"));
         assert!(!reg.remove("a"));
         assert!(reg.get("a").is_none());
+    }
+
+    #[test]
+    fn ingest_permits_are_bounded_and_released_on_drop() {
+        let (reg, _) = Registry::open(RegistryConfig {
+            session_queue: 2,
+            ..RegistryConfig::default()
+        });
+        let live = reg.create("s1", spec()).unwrap();
+        let a = live.try_ingest_permit().expect("first slot");
+        let _b = live.try_ingest_permit().expect("second slot");
+        assert!(live.try_ingest_permit().is_none(), "queue full");
+        assert_eq!(live.inflight_ingests(), 2);
+        drop(a);
+        assert!(live.try_ingest_permit().is_some(), "slot released");
+    }
+
+    #[test]
+    fn slice_ingest_offsets_line_numbers_into_stream_coordinates() {
+        let (reg, _) = Registry::open(RegistryConfig::default());
+        let live = reg.create("s1", spec()).unwrap();
+        let slice1 = b"{\"kind\":\"node\",\"id\":1,\"labels\":[\"A\"],\"props\":{}}\n";
+        let slice2 = b"not json at all\n\
+              {\"kind\":\"node\",\"id\":2,\"labels\":[\"B\"],\"props\":{}}\n";
+        let r1 = live
+            .ingest_slice(slice1, 0)
+            .unwrap_or_else(|_| panic!("slice 1"));
+        assert_eq!(r1.outcome.nodes, 1);
+        let r2 = live
+            .ingest_slice(slice2, 1)
+            .unwrap_or_else(|_| panic!("slice 2"));
+        assert_eq!(r2.outcome.nodes, 1);
+        assert_eq!(r2.quarantine.len(), 1);
+        assert_eq!(
+            r2.quarantine.entries()[0].line,
+            2,
+            "quarantine line is stream-global, not slice-local"
+        );
     }
 
     #[test]

@@ -112,7 +112,7 @@ fn route_of<'a>(req: &'a Request, ctx: &'a Ctx) -> Result<(&'static str, Handler
                 "POST" => route!("/sessions/{id}/ingest", move || with_session(
                     ctx,
                     name,
-                    |live| ingest(req, live)
+                    |live| ingest(req, ctx, live)
                 )),
                 _ => Err(method_not_allowed("POST")),
             }
@@ -421,7 +421,18 @@ fn delete_session(ctx: &Ctx, name: &str) -> Response {
     }
 }
 
-fn quarantine_json(q: &Quarantine) -> serde::Value {
+/// The 503 an over-admitted session answers. `Retry-After` is what
+/// `Client::post_with_retry` and `ShardClient` key their backoff on.
+pub(crate) fn session_busy_response() -> Response {
+    Response::error(
+        503,
+        "session_busy",
+        "session ingest queue is full; retry with backoff",
+    )
+    .with_header("Retry-After", "1")
+}
+
+pub(crate) fn quarantine_json(q: &Quarantine) -> serde::Value {
     let listed: Vec<serde::Value> = q
         .entries()
         .iter()
@@ -436,58 +447,79 @@ fn quarantine_json(q: &Quarantine) -> serde::Value {
     serde::Value::Array(listed)
 }
 
-fn ingest(req: &Request, live: &Arc<LiveSession>) -> Response {
-    match live.ingest_jsonl(&req.body) {
-        Ok(report) => {
-            let o = &report.outcome;
-            let elapsed_us = u64::try_from(o.timing.total.as_micros()).unwrap_or(u64::MAX);
-            let mut fields = vec![
-                (
-                    "session".to_owned(),
-                    serde::Value::Str(live.name().to_owned()),
-                ),
-                (
-                    "batch_index".to_owned(),
-                    serde::Value::U64(o.batch_index as u64),
-                ),
-                ("nodes".to_owned(), serde::Value::U64(o.nodes as u64)),
-                ("edges".to_owned(), serde::Value::U64(o.edges as u64)),
-                (
-                    "quarantined".to_owned(),
-                    serde::Value::U64(report.quarantine.len() as u64),
-                ),
-                ("quarantine".to_owned(), quarantine_json(&report.quarantine)),
-                ("version".to_owned(), serde::Value::U64(o.version)),
-                ("hash".to_owned(), serde::Value::Str(o.hash.clone())),
-                ("changed".to_owned(), serde::Value::Bool(o.changed)),
-                ("elapsed_us".to_owned(), serde::Value::U64(elapsed_us)),
-                (
-                    "checkpointed".to_owned(),
-                    serde::Value::Bool(report.checkpointed),
-                ),
-            ];
-            if let Some(e) = report.checkpoint_error {
-                eprintln!(
-                    "warning: cadence checkpoint of session {:?} failed: {e}",
-                    live.name()
-                );
-                fields.push(("checkpoint_error".to_owned(), serde::Value::Str(e)));
-            }
-            Response::json(200, &serde::Value::Object(fields))
+fn ingest(req: &Request, ctx: &Ctx, live: &Arc<LiveSession>) -> Response {
+    // Admission first: an overloaded session sheds this request before
+    // any parse work happens. The permit covers the whole apply.
+    let _permit = match live.try_ingest_permit() {
+        Some(p) => p,
+        None => {
+            ctx.metrics.session_busy_rejection();
+            return session_busy_response();
         }
-        Err(IngestFailure::Parse(LoadError::Policy(e))) => {
+    };
+    match live.ingest_jsonl(&req.body) {
+        Ok(report) => ingest_success_response(live.name(), &report, None),
+        Err(failure) => ingest_failure_response(&failure),
+    }
+}
+
+/// The 200 body of an applied ingest. `slices` rides along when the
+/// streaming transport applied the body in more than one bounded slice
+/// (the other fields then aggregate over all of them).
+pub(crate) fn ingest_success_response(
+    session: &str,
+    report: &crate::registry::IngestReport,
+    slices: Option<u64>,
+) -> Response {
+    let o = &report.outcome;
+    let elapsed_us = u64::try_from(o.timing.total.as_micros()).unwrap_or(u64::MAX);
+    let mut fields = vec![
+        ("session".to_owned(), serde::Value::Str(session.to_owned())),
+        (
+            "batch_index".to_owned(),
+            serde::Value::U64(o.batch_index as u64),
+        ),
+        ("nodes".to_owned(), serde::Value::U64(o.nodes as u64)),
+        ("edges".to_owned(), serde::Value::U64(o.edges as u64)),
+        (
+            "quarantined".to_owned(),
+            serde::Value::U64(report.quarantine.len() as u64),
+        ),
+        ("quarantine".to_owned(), quarantine_json(&report.quarantine)),
+        ("version".to_owned(), serde::Value::U64(o.version)),
+        ("hash".to_owned(), serde::Value::Str(o.hash.clone())),
+        ("changed".to_owned(), serde::Value::Bool(o.changed)),
+        ("elapsed_us".to_owned(), serde::Value::U64(elapsed_us)),
+        (
+            "checkpointed".to_owned(),
+            serde::Value::Bool(report.checkpointed),
+        ),
+    ];
+    if let Some(n) = slices {
+        fields.push(("slices".to_owned(), serde::Value::U64(n)));
+    }
+    if let Some(e) = &report.checkpoint_error {
+        eprintln!("warning: cadence checkpoint of session {session:?} failed: {e}");
+        fields.push(("checkpoint_error".to_owned(), serde::Value::Str(e.clone())));
+    }
+    Response::json(200, &serde::Value::Object(fields))
+}
+
+/// The error response of a refused ingest — shared by the buffered and
+/// streaming paths so both surface identical failures.
+pub(crate) fn ingest_failure_response(failure: &IngestFailure) -> Response {
+    match failure {
+        IngestFailure::Parse(LoadError::Policy(e)) => {
             Response::error(422, "batch_rejected", &format!("nothing was applied: {e}"))
         }
-        Err(IngestFailure::Parse(LoadError::Io(e))) => {
+        IngestFailure::Parse(LoadError::Io(e)) => {
             Response::error(500, "body_read_failed", &e.to_string())
         }
-        Err(IngestFailure::Session(IngestError::Rejected(e))) => {
+        IngestFailure::Session(IngestError::Rejected(e)) => {
             Response::error(422, "batch_rejected", &format!("nothing was applied: {e}"))
         }
-        Err(IngestFailure::Session(IngestError::Engine(m))) => {
-            Response::error(500, "engine_failure", &m)
-        }
-        Err(IngestFailure::Session(IngestError::Broken(m))) => Response::error(
+        IngestFailure::Session(IngestError::Engine(m)) => Response::error(500, "engine_failure", m),
+        IngestFailure::Session(IngestError::Broken(m)) => Response::error(
             500,
             "session_broken",
             &format!("resume from the last checkpoint: {m}"),

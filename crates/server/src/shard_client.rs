@@ -133,13 +133,29 @@ impl ShardClient {
         path: &str,
         body: &[u8],
     ) -> Result<ClientResponse, ShardError> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`ShardClient::request`] with extra request headers. The
+    /// coordinator uses this to mark WAL deliveries `X-Atomic-Batch`:
+    /// a shard must apply each delivery as exactly one batch (never
+    /// sliced by its streaming ingest path), because WAL sequence
+    /// numbers and shard batch indexes must stay 1:1 for replay
+    /// watermarks to mean anything.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ShardError> {
         let attempts = self.config.max_retries + 1;
         let mut last_failure = String::new();
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.retries += 1;
             }
-            match self.client.request(method, path, &[], body) {
+            match self.client.request(method, path, headers, body) {
                 Ok(resp) if resp.status == 503 => {
                     last_failure = "shard answered 503 busy".to_owned();
                     let delay = retry_after(&resp)

@@ -7,10 +7,15 @@
 //! crate to lean on. The handler body is async-signal-safe: one atomic
 //! store against a process-global flag.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::{Arc, OnceLock};
 
 static SIGNAL_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+/// File descriptor the signal handler pokes so a reactor blocked in
+/// `epoll_wait` wakes immediately instead of on its next tick. `-1`
+/// means nobody is registered.
+static WAKE_FD: AtomicI32 = AtomicI32::new(-1);
 
 /// A fresh, unset shutdown flag.
 pub fn shutdown_flag() -> Arc<AtomicBool> {
@@ -25,6 +30,8 @@ mod sys {
         /// `sighandler_t signal(int signum, sighandler_t handler)` —
         /// declared directly; the symbol comes from the libc std links.
         pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        /// `write(2)` — async-signal-safe, used to poke the wake fd.
+        pub fn write(fd: i32, buf: *const core::ffi::c_void, count: usize) -> isize;
     }
 }
 
@@ -33,6 +40,29 @@ extern "C" fn on_signal(_signum: i32) {
     if let Some(flag) = SIGNAL_FLAG.get() {
         flag.store(true, Ordering::SeqCst);
     }
+    // Poke the reactor's wake pipe so epoll_wait returns now. glibc's
+    // `signal()` installs SA_RESTART handlers, so without this the
+    // syscall would transparently restart and the flag would only be
+    // seen at the next tick. write(2) is on the async-signal-safe list.
+    let fd = WAKE_FD.load(Ordering::SeqCst);
+    if fd >= 0 {
+        let byte = 1u8;
+        unsafe {
+            sys::write(fd, (&byte as *const u8).cast(), 1);
+        }
+    }
+}
+
+/// Register the fd the signal handler pokes on SIGINT/SIGTERM (the
+/// reactor's wake pipe). Pass the raw fd of a nonblocking stream whose
+/// read side the reactor polls.
+pub fn register_signal_wake_fd(fd: i32) {
+    WAKE_FD.store(fd, Ordering::SeqCst);
+}
+
+/// Deregister the wake fd (the reactor is gone; its fd may be reused).
+pub fn clear_signal_wake_fd() {
+    WAKE_FD.store(-1, Ordering::SeqCst);
 }
 
 /// Route SIGINT/SIGTERM to `flag`. Installing twice (or for two

@@ -375,7 +375,10 @@ impl Wal {
         }
         // Reopen the handle on the renamed file for future appends and
         // payload read-backs.
-        self.file = OpenOptions::new().read(true).append(true).open(&self.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
         let dropped = keep_from;
         self.entries = entries;
         self.end = end;
@@ -430,7 +433,14 @@ mod tests {
             .into_iter()
             .map(|r| r.payload)
             .collect();
-        assert_eq!(all, vec![b"batch-0".to_vec(), b"batch-1".to_vec(), b"batch-2".to_vec()]);
+        assert_eq!(
+            all,
+            vec![
+                b"batch-0".to_vec(),
+                b"batch-1".to_vec(),
+                b"batch-2".to_vec()
+            ]
+        );
         assert_eq!(wal.pending_from(2), 1, "watermark slices the tail");
         assert_eq!(wal.read_from(2).unwrap().len(), 1);
         assert_eq!(wal.pending_from(3), 0);

@@ -133,3 +133,130 @@ proptest! {
 fn four_clients_seed_42() {
     concurrent_ingest_matches_offline(42, 4, 2);
 }
+
+/// The 10k-connections claim, scaled to a test: 1024 keep-alive
+/// connections held open simultaneously against the epoll reactor,
+/// each ingesting its share of the graph, interleaved by 8 driver
+/// threads. The discovered schema must still be bit-identical to
+/// one-shot offline discovery, and the server must actually have held
+/// all the connections at once (worker-pool transports cannot — each
+/// parked keep-alive connection would pin a thread, which is the
+/// reason the reactor exists).
+#[test]
+fn thousand_keepalive_connections_interleave_without_divergence() {
+    const CONNS: usize = 1024;
+    const THREADS: usize = 8;
+    pg_serve::raise_nofile_limit();
+
+    let schema = random_schema(&SchemaParams::default(), 77);
+    let graph = synthesize(&SynthSpec::new(schema).sized_for(1200), 77 ^ 0x5eed).graph;
+    let offline = PgHive::new(HiveConfig::default()).discover_graph(&graph);
+    let expected = content_hash_hex(&offline.schema);
+
+    let node_lines: Vec<String> = graph
+        .nodes()
+        .map(|n| serde_json::to_string(&Element::Node(n.clone())).expect("serialize node"))
+        .collect();
+    let edge_lines: Vec<String> = graph
+        .edges()
+        .map(|e| serde_json::to_string(&Element::Edge(e.clone())).expect("serialize edge"))
+        .collect();
+    // One bucket per connection; many buckets are tiny or empty — an
+    // empty batch must be as harmless over 1024 wires as over 4.
+    let deal_into = |lines: &[String]| -> Vec<String> {
+        let mut buckets = vec![Vec::new(); CONNS];
+        for (i, line) in lines.iter().enumerate() {
+            buckets[i % CONNS].push(line.clone());
+        }
+        buckets.into_iter().map(|b| b.join("\n")).collect()
+    };
+    let node_bodies = deal_into(&node_lines);
+    let edge_bodies = deal_into(&edge_lines);
+
+    // The reactor transport, explicitly: a worker-pool transport would
+    // wedge with 1024 parked connections and 4 workers.
+    let server = TestServer::start(ServerConfig {
+        transport: pg_serve::Transport::Epoll,
+        ..ServerConfig::default()
+    });
+    let mut admin = server.client();
+    let resp = admin.post("/sessions", br#"{"name":"swarm"}"#).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+
+    // Open every connection up front and keep each alive for the whole
+    // run: clients pool their connection across requests.
+    let mut clients: Vec<Vec<pg_serve::Client>> = (0..THREADS).map(|_| Vec::new()).collect();
+    for i in 0..CONNS {
+        clients[i % THREADS].push(server.client());
+    }
+    let mut per_thread_bodies: Vec<Vec<(usize, String, String)>> =
+        (0..THREADS).map(|_| Vec::new()).collect();
+    for i in 0..CONNS {
+        per_thread_bodies[i % THREADS].push((i, node_bodies[i].clone(), edge_bodies[i].clone()));
+    }
+
+    // The main thread participates in every barrier so it can observe
+    // the connection gauge at the moment all 1024 are provably open.
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let threads: Vec<_> = clients
+        .into_iter()
+        .zip(per_thread_bodies)
+        .map(|(mut mine, bodies)| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // Phase 1: every connection opens and ingests its node
+                // share, staying open afterwards.
+                barrier.wait();
+                for (client, (i, nodes, _)) in mine.iter_mut().zip(&bodies) {
+                    let resp = client
+                        .post_with_retry("/sessions/swarm/ingest", nodes.as_bytes(), 10)
+                        .unwrap_or_else(|e| panic!("conn {i} nodes: {e}"));
+                    assert_eq!(resp.status, 200, "conn {i}: {}", resp.text());
+                }
+                // Phase 2 (all threads past phase 1, so every node is
+                // known before any edge): the same — still-open —
+                // connections ingest the edge share.
+                barrier.wait();
+                for (client, (i, _, edges)) in mine.iter_mut().zip(&bodies) {
+                    let resp = client
+                        .post_with_retry("/sessions/swarm/ingest", edges.as_bytes(), 10)
+                        .unwrap_or_else(|e| panic!("conn {i} edges: {e}"));
+                    assert_eq!(resp.status, 200, "conn {i}: {}", resp.text());
+                    let v = resp.json().expect("ingest JSON");
+                    assert_eq!(
+                        v.get("quarantined"),
+                        Some(&serde::Value::U64(0)),
+                        "conn {i}: {v:?}"
+                    );
+                }
+                // Hold connections until every thread is done with both
+                // phases, so the peak is genuinely CONNS simultaneous.
+                barrier.wait();
+            })
+        })
+        .collect();
+    barrier.wait(); // start
+    barrier.wait(); // phase 1 complete: every connection has opened
+                    // All 1024 keep-alive connections are simultaneously open right
+                    // now — every thread is at (or headed into) phase 2 and nothing
+                    // has hung up.
+    assert!(
+        server.metrics.open_connections() >= CONNS as u64,
+        "peak connections {} < {CONNS}",
+        server.metrics.open_connections()
+    );
+    barrier.wait(); // release the swarm to hang up
+    for t in threads {
+        t.join().expect("driver thread");
+    }
+
+    let summary = admin.get("/sessions/swarm").unwrap().json().unwrap();
+    let server_hash = summary
+        .get("hash")
+        .and_then(|h| h.as_str())
+        .expect("hash in summary");
+    assert_eq!(
+        server_hash, expected,
+        "1024-connection interleaved ingest diverged from one-shot discovery"
+    );
+}

@@ -55,6 +55,72 @@ fn oversized_bodies_get_413_without_reading_them() {
     assert!(resp.contains("payload_too_large"), "{resp}");
 }
 
+/// Regression: a 413 used to leave the declared body unread on the
+/// wire, so the next "request" on the connection parsed from the
+/// middle of the rejected body. A bounded oversize must now be drained
+/// and the connection stays aligned for keep-alive reuse.
+#[test]
+fn oversized_body_within_drain_cap_keeps_the_connection_usable() {
+    let server = TestServer::start(ServerConfig {
+        max_body: 1024,
+        ..ServerConfig::default()
+    });
+    let stream = TcpStream::connect(server.addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // 4 KiB body: over max_body, under the drain cap. Send all of it.
+    let body = vec![b'z'; 4096];
+    let mut wire = format!(
+        "POST /sessions/s/ingest HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    wire.extend_from_slice(&body);
+    (&stream).write_all(&wire).expect("send oversized");
+    let resp = read_response(&mut reader).expect("413 response");
+    assert_eq!(resp.status, 413, "{}", resp.text());
+    assert_ne!(
+        resp.header("connection"),
+        Some("close"),
+        "bounded oversize must keep the connection"
+    );
+
+    // The very next request on the same connection parses cleanly —
+    // proof the rejected body was consumed, not left on the wire.
+    (&stream)
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("follow-up");
+    let resp = read_response(&mut reader).expect("follow-up response");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+}
+
+/// Past the drain cap, reading the rejected body would cost more than
+/// a re-dial: the 413 carries `Connection: close` and the server hangs
+/// up instead of draining megabytes.
+#[test]
+fn oversized_body_beyond_drain_cap_closes_the_connection() {
+    let server = TestServer::start(ServerConfig {
+        max_body: 1024,
+        ..ServerConfig::default()
+    });
+    let stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    (&stream)
+        .write_all(
+            b"POST /sessions/s/ingest HTTP/1.1\r\nHost: t\r\nContent-Length: 1048576\r\n\r\n",
+        )
+        .expect("send head");
+    let resp = read_response(&mut reader).expect("413 response");
+    assert_eq!(resp.status, 413, "{}", resp.text());
+    assert_eq!(resp.header("connection"), Some("close"));
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("eof");
+    assert!(rest.is_empty(), "server wrote after Connection: close");
+}
+
 #[test]
 fn unknown_routes_get_404_and_wrong_methods_405() {
     let server = TestServer::start(ServerConfig::default());

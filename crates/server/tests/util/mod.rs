@@ -4,7 +4,7 @@
 //! different subset of it.
 #![allow(dead_code)]
 
-use pg_serve::{Client, RunSummary, Server, ServerConfig};
+use pg_serve::{Client, Metrics, Registry, RunSummary, Server, ServerConfig};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -14,6 +14,11 @@ use std::thread::JoinHandle;
 /// drop or via [`TestServer::stop`].
 pub struct TestServer {
     pub addr: SocketAddr,
+    /// Direct handle on the server's session registry — lets tests
+    /// hold ingest permits to provoke backpressure deterministically.
+    pub registry: Arc<Registry>,
+    /// Direct handle on the server's metrics counters.
+    pub metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
     thread: Option<JoinHandle<std::io::Result<RunSummary>>>,
 }
@@ -27,9 +32,13 @@ impl TestServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let server = Server::bind(config, Arc::clone(&shutdown))?;
         let addr = server.local_addr();
+        let registry = server.registry();
+        let metrics = server.metrics();
         let thread = std::thread::spawn(move || server.run());
         Ok(TestServer {
             addr,
+            registry,
+            metrics,
             shutdown,
             thread: Some(thread),
         })

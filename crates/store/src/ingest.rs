@@ -120,6 +120,16 @@ impl Quarantine {
         self.entries.extend(other.entries);
     }
 
+    /// Shift every entry's line number by `offset`. Slice-wise parsers
+    /// (the server's streaming ingest path) restart line numbering at 1
+    /// per slice; this restores stream-global numbers so quarantine
+    /// reports stay identical to a whole-body parse.
+    pub fn offset_lines(&mut self, offset: usize) {
+        for e in &mut self.entries {
+            e.line += offset;
+        }
+    }
+
     /// A human-readable multi-line summary, one line per entry.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;

@@ -45,9 +45,11 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             kill_after_batch,
             shard,
             state_out,
+            stream,
         } => {
             let (graph, quarantine) = read_graph_with_policy(input, *on_error)?;
             let config = HiveConfig {
+                stream: stream.then(pg_hive::StreamConfig::default),
                 threads: *threads,
                 method: if method == "minhash" {
                     LshMethod::MinHash
@@ -259,6 +261,7 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
             label_noise,
             missing_mandatory,
             jsonl,
+            stream_chunks,
         } => {
             let truth_schema = match schema {
                 Some(path) => read_schema(path)?,
@@ -279,9 +282,63 @@ pub fn run(cmd: &Command) -> Result<String, CliError> {
                     label_noise_rate: *label_noise,
                     missing_mandatory_rate: *missing_mandatory,
                 });
-            let out = pg_synth::synthesize(&spec, *seed);
             fs::create_dir_all(out_dir)
                 .map_err(|e| CliError::Failed(format!("creating {out_dir:?}: {e}")))?;
+            if let Some(chunks) = stream_chunks {
+                // Streamed emission: drain the iterator generator in
+                // ~`chunks` fixed-size batches, appending as we go. The
+                // chunking never touches the generator RNG, so the
+                // concatenated output is bit-identical to the one-shot
+                // run (and truth rows arrive already id-sorted: nodes
+                // precede edges globally, ids ascend within each kind).
+                use std::io::Write as _;
+                let estimated = spec.schema.node_types.len() * spec.nodes_per_type
+                    + spec.schema.edge_types.len() * spec.edges_per_type;
+                let chunk_size = (estimated / chunks).max(1);
+                let graph_path = out_dir.join("graph.jsonl");
+                let types_path = out_dir.join("truth-types.csv");
+                let io_err = |e: std::io::Error| CliError::Failed(e.to_string());
+                let mut graph_out =
+                    std::io::BufWriter::new(fs::File::create(&graph_path).map_err(io_err)?);
+                let mut types_out =
+                    std::io::BufWriter::new(fs::File::create(&types_path).map_err(io_err)?);
+                writeln!(types_out, "kind,id,type").map_err(io_err)?;
+                let (mut node_count, mut edge_count) = (0usize, 0usize);
+                for chunk in pg_synth::StreamGen::new(&spec, *seed).with_chunk_size(chunk_size) {
+                    for (node, name) in chunk.nodes.into_iter().zip(chunk.node_types) {
+                        let id = node.id.0;
+                        let line = serde_json::to_string(&pg_store::jsonl::Element::Node(node))
+                            .map_err(|e| CliError::Failed(e.to_string()))?;
+                        writeln!(graph_out, "{line}").map_err(io_err)?;
+                        writeln!(types_out, "node,{id},{name}").map_err(io_err)?;
+                        node_count += 1;
+                    }
+                    for (se, name) in chunk.edges.into_iter().zip(chunk.edge_types) {
+                        let id = se.edge.id.0;
+                        let line = serde_json::to_string(&pg_store::jsonl::Element::Edge(se.edge))
+                            .map_err(|e| CliError::Failed(e.to_string()))?;
+                        writeln!(graph_out, "{line}").map_err(io_err)?;
+                        writeln!(types_out, "edge,{id},{name}").map_err(io_err)?;
+                        edge_count += 1;
+                    }
+                }
+                graph_out.flush().map_err(io_err)?;
+                types_out.flush().map_err(io_err)?;
+                let schema_path = out_dir.join("truth-schema.json");
+                fs::write(&schema_path, serialize::to_json(&spec.schema))
+                    .map_err(|e| CliError::Failed(e.to_string()))?;
+                let mut text = format!(
+                    "synthesized {node_count} nodes, {edge_count} edges from {} node types, \
+                     {} edge types (seed {seed}, streamed in ~{chunks} chunks):\n",
+                    spec.schema.node_types.len(),
+                    spec.schema.edge_types.len(),
+                );
+                for p in [graph_path, schema_path, types_path] {
+                    let _ = writeln!(text, "  {}", p.display());
+                }
+                return Ok(text);
+            }
+            let out = pg_synth::synthesize(&spec, *seed);
             let mut written = if *jsonl {
                 let path = out_dir.join("graph.jsonl");
                 fs::write(&path, pg_store::jsonl::to_jsonl(&out.graph))
@@ -536,7 +593,9 @@ fn discover_incremental(
                         path.display(),
                         batch_list.len()
                     );
-                    (HiveSession::restore(config, ckpt), start)
+                    let session = HiveSession::restore(config, ckpt)
+                        .map_err(|e| CliError::State(e.to_string()))?;
+                    (session, start)
                 }
                 _ => {
                     let _ = writeln!(notes, "no checkpoint found; starting fresh");

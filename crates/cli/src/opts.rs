@@ -77,6 +77,11 @@ Commands:
             [--state-out <file>] (also write the full discovery state —
               schema + accumulators — as shard-state JSON, the exact
               exchange format `pg-hive merge` consumes)
+            [--stream] (bounded-memory streaming mode: per-type
+              statistics live in fixed-size mergeable sketches, so
+              session and checkpoint size are independent of stream
+              length; cardinalities and sampled datatypes become
+              estimates within documented error bounds)
 
 Exit codes: 0 ok, 1 failure, 2 usage, 3 bad input data, 4 bad session
 state (corrupt checkpoints, crash during batch processing).
@@ -93,6 +98,9 @@ state (corrupt checkpoints, crash during batch processing).
              schema — given by --schema or drawn randomly with --types
              node types — plus truth-schema.json and truth-types.csv;
              bit-deterministic for a fixed seed)
+            [--stream-chunks <n>] (emit the corpus in n streamed
+              chunks through the iterator generator; the concatenated
+              output is bit-identical to the one-shot run)
   serve     [--addr <ip:port>] [--state-dir <dir>] [--workers <n>]
             [--queue <n>] [--max-body-mb <n>] [--checkpoint-every <n>]
             [--checkpoint-keep <k>]
@@ -211,6 +219,9 @@ pub enum Command {
         /// Also write the discovery state (schema + accumulators) as
         /// shard-state JSON — the input format of `pg-hive merge`.
         state_out: Option<PathBuf>,
+        /// Bounded-memory streaming mode: swap per-type statistics
+        /// onto fixed-size mergeable sketches.
+        stream: bool,
     },
     /// Validate a graph against a schema.
     Validate {
@@ -274,6 +285,9 @@ pub enum Command {
         missing_mandatory: f64,
         /// Emit JSON-lines instead of CSV.
         jsonl: bool,
+        /// Emit the corpus through the streaming generator in this
+        /// many chunks (None = materialize the graph in one shot).
+        stream_chunks: Option<usize>,
     },
     /// Run the pg-serve HTTP server.
     Serve {
@@ -342,6 +356,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "--jsonl-out",
         "--refine",
         "--resume",
+        "--stream",
     ];
     let mut positionals: Vec<String> = Vec::new();
     while i < rest.len() {
@@ -501,6 +516,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     .transpose()?,
                 shard,
                 state_out: path("--state-out"),
+                stream: switches.contains("--stream"),
             })
         }
         "validate" => Ok(Command::Validate {
@@ -556,6 +572,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     return Err(CliError::Usage(format!("{rate} must be in [0, 1]")));
                 }
             }
+            if flags.contains_key("--stream-chunks") && !switches.contains("--jsonl") {
+                return Err(CliError::Usage(
+                    "--stream-chunks requires --jsonl (CSV headers depend on the \
+                     whole corpus; JSONL chunks concatenate bit-identically)"
+                        .into(),
+                ));
+            }
             Ok(Command::Synth {
                 schema,
                 types,
@@ -568,6 +591,15 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 label_noise: f64_flag("--label-noise", 0.0)?,
                 missing_mandatory: f64_flag("--missing-mandatory", 0.0)?,
                 jsonl: switches.contains("--jsonl"),
+                stream_chunks: flags
+                    .get("--stream-chunks")
+                    .map(|v| match v.parse::<usize>() {
+                        Ok(n) if n > 0 => Ok(n),
+                        _ => Err(CliError::Usage(
+                            "--stream-chunks must be a positive integer".into(),
+                        )),
+                    })
+                    .transpose()?,
             })
         }
         "serve" => {
@@ -1239,6 +1271,60 @@ mod tests {
                 "1/4",
                 "--checkpoint-dir",
                 "/tmp/c",
+            ],
+        ] {
+            assert!(
+                matches!(parse(&args(&bad)), Err(CliError::Usage(_))),
+                "{bad:?} should be a usage error"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_stream_flags() {
+        match parse(&args(&["discover", "--jsonl", "g.jsonl", "--stream"])).unwrap() {
+            Command::Discover { stream, .. } => assert!(stream),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args(&["discover", "--jsonl", "g.jsonl"])).unwrap() {
+            Command::Discover { stream, .. } => assert!(!stream, "exact mode by default"),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args(&[
+            "synth",
+            "--out-dir",
+            "/tmp/x",
+            "--jsonl",
+            "--stream-chunks",
+            "8",
+        ]))
+        .unwrap()
+        {
+            Command::Synth { stream_chunks, .. } => assert_eq!(stream_chunks, Some(8)),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&args(&["synth", "--out-dir", "/tmp/x"])).unwrap() {
+            Command::Synth { stream_chunks, .. } => assert_eq!(stream_chunks, None),
+            other => panic!("wrong command {other:?}"),
+        }
+        for bad in [
+            // Chunked emission is JSONL-only.
+            vec!["synth", "--out-dir", "/tmp/x", "--stream-chunks", "8"],
+            vec![
+                "synth",
+                "--out-dir",
+                "/tmp/x",
+                "--jsonl",
+                "--stream-chunks",
+                "0",
+            ],
+            vec![
+                "synth",
+                "--out-dir",
+                "/tmp/x",
+                "--jsonl",
+                "--stream-chunks",
+                "many",
             ],
         ] {
             assert!(

@@ -456,3 +456,65 @@ fn degenerate_graphs_discover_cleanly() {
     assert!(out.contains("0"), "{out}");
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// A checkpoint records which accumulator family produced it; resuming
+/// it under the other family would silently mix exact and sketched
+/// statistics, so both cross-mode directions must die with the typed
+/// state error (exit class 4) while same-mode resume still works.
+#[test]
+fn cross_mode_resume_is_a_state_error() {
+    let dir = tmpdir("crossmode");
+    let dir_s = dir.to_str().unwrap();
+    run(&parse(&argv(&[
+        "generate",
+        "--dataset",
+        "POLE",
+        "--out-dir",
+        dir_s,
+        "--scale",
+        "0.05",
+        "--jsonl",
+    ]))
+    .unwrap())
+    .unwrap();
+    let jsonl = dir.join("graph.jsonl");
+    let jsonl_s = jsonl.to_str().unwrap();
+
+    let base = |ckpt: &str| {
+        vec![
+            "discover".to_owned(),
+            "--jsonl".to_owned(),
+            jsonl_s.to_owned(),
+            "--batches".to_owned(),
+            "4".to_owned(),
+            "--checkpoint-dir".to_owned(),
+            dir.join(ckpt).to_str().unwrap().to_owned(),
+        ]
+    };
+
+    // Exact run leaves exact checkpoints; `--resume --stream` refuses.
+    run(&parse(&base("exact-ckpt")).unwrap()).unwrap();
+    let mut args = base("exact-ckpt");
+    args.extend(["--resume".to_owned(), "--stream".to_owned()]);
+    let err = run(&parse(&args).unwrap()).unwrap_err();
+    assert!(matches!(err, CliError::State(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 4);
+    assert!(err.to_string().contains("exact"), "{err}");
+    assert!(err.to_string().contains("sketch"), "{err}");
+
+    // Sketched run leaves sketched checkpoints; plain `--resume` refuses...
+    let mut args = base("stream-ckpt");
+    args.push("--stream".to_owned());
+    run(&parse(&args).unwrap()).unwrap();
+    let mut args = base("stream-ckpt");
+    args.push("--resume".to_owned());
+    let err = run(&parse(&args).unwrap()).unwrap_err();
+    assert!(matches!(err, CliError::State(_)), "{err:?}");
+    assert_eq!(err.exit_code(), 4);
+
+    // ...while resuming in the matching mode succeeds.
+    let mut args = base("stream-ckpt");
+    args.extend(["--resume".to_owned(), "--stream".to_owned()]);
+    run(&parse(&args).unwrap()).unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -84,12 +84,22 @@ impl CardCache {
 /// [`compute_cardinalities`], incrementally: only endpoint pairs the
 /// cache has not folded in yet are scanned. With an empty (or
 /// invalidated) cache this degenerates to exactly the full scan.
+///
+/// Memory bound: in batch/incremental mode the cache's `seen` set and
+/// degree maps are bounded by the number of **distinct** endpoint pairs
+/// and nodes of the graph, not the instance stream — still O(graph),
+/// which is why streaming sessions must not use it. A sketched
+/// accumulator (streaming mode) takes the KMV estimation branch
+/// instead: nothing is inserted into the cache, so server sessions in
+/// stream mode hold no per-endpoint state at all.
 pub fn compute_cardinalities_cached(state: &mut DiscoveryState, cache: &mut CardCache) {
     for t in &mut state.schema.edge_types {
         let Some(acc) = state.edge_accums.get(&t.id) else {
             continue;
         };
-        let observed = if acc.endpoints.is_empty() {
+        let observed = if let Some(sk) = &acc.sketch {
+            sk.cardinality_estimate()
+        } else if acc.endpoints.is_empty() {
             None
         } else {
             let deg = cache.per_type.entry(t.id).or_default();

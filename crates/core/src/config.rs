@@ -79,6 +79,40 @@ impl Default for DatatypeSampling {
     }
 }
 
+/// Streaming-mode knobs: sketch sizes and fingerprint-store bounds for
+/// the bounded-memory session (see [`crate::sketch`] and DESIGN.md
+/// §3i). All sketches are seeded from the pipeline seed, so two
+/// sessions with the same config and input produce bit-identical
+/// sketch state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// KMV sketch size `k` for distinct counts (members, endpoint
+    /// pairs, sources, targets). Relative estimation error ≈ `1/√k`
+    /// once a sketch saturates; memory is `8k` bytes per counter.
+    pub distinct_k: usize,
+    /// Bottom-`k` value-sample size per property for sampled data-type
+    /// inference.
+    pub sample_k: usize,
+    /// Fingerprint-store capacity bounding the memoization caches:
+    /// at most this many node patterns and this many edge patterns are
+    /// retained, with lowest-frequency eviction beyond it.
+    pub fingerprint_capacity: usize,
+    /// Pinned (type-defining) fingerprints seen at least this often are
+    /// never evicted.
+    pub frequency_floor: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            distinct_k: 1024,
+            sample_k: 256,
+            fingerprint_capacity: 4096,
+            frequency_floor: 16,
+        }
+    }
+}
+
 /// Full PG-HIVE configuration (Algorithm 1's inputs plus engineering
 /// knobs). `Default` reproduces the paper's settings: adaptive ELSH,
 /// Word2Vec embeddings, θ = 0.9, post-processing on, full-scan data
@@ -136,6 +170,13 @@ pub struct HiveConfig {
     pub threads: usize,
     /// Master seed: the pipeline is deterministic given config + input.
     pub seed: u64,
+    /// Bounded-memory streaming mode: `Some` swaps the per-type
+    /// accumulators onto mergeable sketches (KMV distinct counts for
+    /// cardinalities, bottom-k value samples for data types) and bounds
+    /// the memoization caches with a frequency-aware fingerprint store,
+    /// making session memory and checkpoint size independent of stream
+    /// length. `None` (the default) keeps the exact accumulators.
+    pub stream: Option<StreamConfig>,
 }
 
 impl Default for HiveConfig {
@@ -154,6 +195,7 @@ impl Default for HiveConfig {
             memoize: false,
             threads: 0,
             seed: 42,
+            stream: None,
         }
     }
 }
@@ -200,6 +242,13 @@ impl HiveConfig {
         self
     }
 
+    /// Builder-style streaming-mode override (sketch-based bounded
+    /// memory; see [`StreamConfig`]).
+    pub fn with_stream(mut self, stream: StreamConfig) -> Self {
+        self.stream = Some(stream);
+        self
+    }
+
     /// Builder-style manual node/edge LSH parameters (used by the
     /// Figure 6 sweep).
     pub fn with_manual_params(mut self, bucket_length: f64, tables: usize) -> Self {
@@ -228,6 +277,17 @@ mod tests {
         assert!(c.datatype_sampling.is_none());
         assert_eq!(c.node_params, LshParams::Adaptive);
         assert!(c.dedup, "dedup fast path is on by default");
+        assert!(c.stream.is_none(), "exact accumulators by default");
+    }
+
+    #[test]
+    fn stream_builder() {
+        let c = HiveConfig::default().with_stream(StreamConfig::default());
+        let s = c.stream.expect("stream mode set");
+        assert_eq!(s.distinct_k, 1024);
+        assert_eq!(s.sample_k, 256);
+        assert_eq!(s.fingerprint_capacity, 4096);
+        assert_eq!(s.frequency_floor, 16);
     }
 
     #[test]

@@ -13,6 +13,14 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 /// Infer and write data types for every property of every type.
+///
+/// Sketched accumulators (streaming mode) with sampling enabled join
+/// over the accumulator's bottom-k value sample instead of drawing from
+/// the histogram: a deterministic, RNG-free sample of *distinct*
+/// values, so two sessions that saw the same stream in any order infer
+/// identical types. Full-scan inference (`sampling == None`) uses the
+/// exact histogram in both modes — the histogram stays O(1) per
+/// property regardless of mode, so streaming keeps full fidelity there.
 pub fn infer_datatypes(state: &mut DiscoveryState, sampling: Option<DatatypeSampling>, seed: u64) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     for t in &mut state.schema.node_types {
@@ -20,7 +28,13 @@ pub fn infer_datatypes(state: &mut DiscoveryState, sampling: Option<DatatypeSamp
             continue;
         };
         for (key, spec) in t.properties.iter_mut() {
-            if let Some(hist) = acc.dtype_hist.get(key) {
+            let reservoir = sampling
+                .and(acc.sketch.as_ref())
+                .and_then(|sk| sk.samples.get(key))
+                .filter(|s| !s.is_empty());
+            if let Some(sample) = reservoir {
+                spec.datatype = sample.join();
+            } else if let Some(hist) = acc.dtype_hist.get(key) {
                 spec.datatype = infer_one(hist, sampling, &mut rng);
             }
         }
@@ -30,7 +44,13 @@ pub fn infer_datatypes(state: &mut DiscoveryState, sampling: Option<DatatypeSamp
             continue;
         };
         for (key, spec) in t.properties.iter_mut() {
-            if let Some(hist) = acc.dtype_hist.get(key) {
+            let reservoir = sampling
+                .and(acc.sketch.as_ref())
+                .and_then(|sk| sk.samples.get(key))
+                .filter(|s| !s.is_empty());
+            if let Some(sample) = reservoir {
+                spec.datatype = sample.join();
+            } else if let Some(hist) = acc.dtype_hist.get(key) {
                 spec.datatype = infer_one(hist, sampling, &mut rng);
             }
         }

@@ -19,7 +19,7 @@
 
 use crate::cluster::{EdgeCluster, NodeCluster};
 use crate::config::MergeSimilarity;
-use crate::state::DiscoveryState;
+use crate::state::{DiscoveryState, SketchParams};
 use pg_model::pattern::jaccard;
 use pg_model::{EdgeType, NodeType, Symbol, TypeId};
 use std::collections::HashMap;
@@ -33,6 +33,11 @@ pub struct MergeOptions {
     pub similarity: MergeSimilarity,
     /// Edge merge on the full (L, R) key.
     pub edge_endpoint_aware: bool,
+    /// Streaming mode: sketch the state-side accumulators at
+    /// integration time. Cluster-local accumulators stay exact (they
+    /// are batch-bounded); only the long-lived per-type state switches
+    /// onto sketches, so integration memory is O(types), not O(records).
+    pub stream: Option<SketchParams>,
 }
 
 impl Default for MergeOptions {
@@ -41,6 +46,7 @@ impl Default for MergeOptions {
             theta: 0.9,
             similarity: MergeSimilarity::BinaryJaccard,
             edge_endpoint_aware: true,
+            stream: None,
         }
     }
 }
@@ -54,6 +60,10 @@ impl MergeOptions {
             theta: config.theta,
             similarity: config.merge_similarity,
             edge_endpoint_aware: config.edge_endpoint_aware,
+            stream: config
+                .stream
+                .as_ref()
+                .map(|s| SketchParams::resolve(s, config.seed)),
         }
     }
 }
@@ -133,10 +143,10 @@ pub fn integrate_node_clusters_opts(
             .map(|t| t.id);
         let id = match existing {
             Some(id) => {
-                merge_node_cluster_into(state, id, cluster);
+                merge_node_cluster_into(state, id, cluster, opts.stream);
                 id
             }
-            None => push_node_cluster(state, cluster, false),
+            None => push_node_cluster(state, cluster, false, opts.stream),
         };
         assigned[idx] = Some(id);
     }
@@ -149,10 +159,10 @@ pub fn integrate_node_clusters_opts(
             .or_else(|| best_candidate(state, &cluster, true, theta, opts.similarity));
         let id = match best {
             Some(id) => {
-                merge_node_cluster_into(state, id, cluster);
+                merge_node_cluster_into(state, id, cluster, opts.stream);
                 id
             }
-            None => push_node_cluster(state, cluster, true),
+            None => push_node_cluster(state, cluster, true, opts.stream),
         };
         assigned[idx] = Some(id);
     }
@@ -205,7 +215,12 @@ fn best_candidate(
     best.map(|(_, id)| id)
 }
 
-fn merge_node_cluster_into(state: &mut DiscoveryState, id: TypeId, cluster: NodeCluster) {
+fn merge_node_cluster_into(
+    state: &mut DiscoveryState,
+    id: TypeId,
+    cluster: NodeCluster,
+    stream: Option<SketchParams>,
+) {
     let incoming = node_type_from_cluster(&cluster, false);
     let t = state
         .schema
@@ -214,22 +229,26 @@ fn merge_node_cluster_into(state: &mut DiscoveryState, id: TypeId, cluster: Node
         .find(|t| t.id == id)
         .expect("type id from this schema");
     t.merge_from(&incoming);
-    state
-        .node_accums
-        .entry(id)
-        .or_default()
-        .merge(&cluster.accum);
+    let entry = state.node_accums.entry(id).or_default();
+    if let Some(params) = stream {
+        entry.ensure_sketched(params);
+    }
+    entry.merge(&cluster.accum);
 }
 
 fn push_node_cluster(
     state: &mut DiscoveryState,
     cluster: NodeCluster,
     is_abstract: bool,
+    stream: Option<SketchParams>,
 ) -> TypeId {
     let mut t = node_type_from_cluster(&cluster, is_abstract);
     t.instance_count = 0; // merge_from/push bookkeeping below
     let id = state.schema.push_node_type(t);
     let entry = state.node_accums.entry(id).or_default();
+    if let Some(params) = stream {
+        entry.ensure_sketched(params);
+    }
     entry.merge(&cluster.accum);
     if let Some(t) = state.schema.node_types.iter_mut().find(|t| t.id == id) {
         t.instance_count = entry.count;
@@ -304,10 +323,10 @@ pub fn integrate_edge_clusters_opts(
             .map(|t| t.id);
         let id = match existing {
             Some(id) => {
-                merge_edge_cluster_into(state, id, cluster);
+                merge_edge_cluster_into(state, id, cluster, opts.stream);
                 id
             }
-            None => push_edge_cluster(state, cluster, false),
+            None => push_edge_cluster(state, cluster, false, opts.stream),
         };
         assigned[idx] = Some(id);
     }
@@ -317,10 +336,10 @@ pub fn integrate_edge_clusters_opts(
             .or_else(|| best_edge_candidate(state, &cluster, true, theta, opts.similarity));
         let id = match best {
             Some(id) => {
-                merge_edge_cluster_into(state, id, cluster);
+                merge_edge_cluster_into(state, id, cluster, opts.stream);
                 id
             }
-            None => push_edge_cluster(state, cluster, true),
+            None => push_edge_cluster(state, cluster, true, opts.stream),
         };
         assigned[idx] = Some(id);
     }
@@ -375,7 +394,12 @@ fn best_edge_candidate(
     best.map(|(_, id)| id)
 }
 
-fn merge_edge_cluster_into(state: &mut DiscoveryState, id: TypeId, cluster: EdgeCluster) {
+fn merge_edge_cluster_into(
+    state: &mut DiscoveryState,
+    id: TypeId,
+    cluster: EdgeCluster,
+    stream: Option<SketchParams>,
+) {
     let incoming = edge_type_from_cluster(&cluster, false);
     let t = state
         .schema
@@ -384,22 +408,26 @@ fn merge_edge_cluster_into(state: &mut DiscoveryState, id: TypeId, cluster: Edge
         .find(|t| t.id == id)
         .expect("type id from this schema");
     t.merge_from(&incoming);
-    state
-        .edge_accums
-        .entry(id)
-        .or_default()
-        .merge(&cluster.accum);
+    let entry = state.edge_accums.entry(id).or_default();
+    if let Some(params) = stream {
+        entry.ensure_sketched(params);
+    }
+    entry.merge(&cluster.accum);
 }
 
 fn push_edge_cluster(
     state: &mut DiscoveryState,
     cluster: EdgeCluster,
     is_abstract: bool,
+    stream: Option<SketchParams>,
 ) -> TypeId {
     let mut t = edge_type_from_cluster(&cluster, is_abstract);
     t.instance_count = 0;
     let id = state.schema.push_edge_type(t);
     let entry = state.edge_accums.entry(id).or_default();
+    if let Some(params) = stream {
+        entry.ensure_sketched(params);
+    }
     entry.merge(&cluster.accum);
     if let Some(t) = state.schema.edge_types.iter_mut().find(|t| t.id == id) {
         t.instance_count = entry.count;
@@ -686,6 +714,7 @@ mod tests {
                 theta: 0.45,
                 similarity: MergeSimilarity::WeightedJaccard,
                 edge_endpoint_aware: true,
+                stream: None,
             },
         );
         assert_eq!(state_w.schema.node_types.len(), 1);

@@ -154,16 +154,22 @@ impl SharedSession {
 
     /// Restore a session from its engine checkpoint plus stream-side
     /// state, continuing batch numbering and the version counter.
-    pub fn restore(config: HiveConfig, checkpoint: SessionCheckpoint, aux: SessionAux) -> Self {
-        SharedSession {
+    /// Fails if the checkpoint's accumulator mode does not match the
+    /// mode the configuration implies (see [`HiveSession::restore`]).
+    pub fn restore(
+        config: HiveConfig,
+        checkpoint: SessionCheckpoint,
+        aux: SessionAux,
+    ) -> Result<Self, crate::incremental::ModeMismatch> {
+        Ok(SharedSession {
             inner: Mutex::new(Inner {
-                session: HiveSession::restore(config, checkpoint),
+                session: HiveSession::restore(config, checkpoint)?,
                 history: aux.history,
                 node_labels: aux.node_labels.into_iter().collect(),
                 seen_edges: aux.seen_edges.into_iter().collect(),
                 broken: None,
             }),
-        }
+        })
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -427,6 +433,12 @@ impl SharedSession {
         self.lock().broken.clone()
     }
 
+    /// Estimated engine-side memory (accumulators + memoization
+    /// stores), for the server's per-session `/metrics` gauges.
+    pub fn memory_stats(&self) -> crate::incremental::SessionMemoryStats {
+        self.lock().session.memory_stats()
+    }
+
     /// Export the engine checkpoint plus stream-side state for durable
     /// persistence. Refused for broken sessions: their in-memory state
     /// must not overwrite the last good checkpoint.
@@ -677,7 +689,7 @@ mod tests {
         let (ckpt, aux) = a.export().unwrap();
         let json = serde_json::to_string(&aux).unwrap();
         let aux: SessionAux = serde_json::from_str(&json).unwrap();
-        let b = SharedSession::restore(cfg, ckpt, aux);
+        let b = SharedSession::restore(cfg, ckpt, aux).unwrap();
 
         let batch = vec![edge(10, 1, 2), node(3, "A")];
         let out_a = a

@@ -63,6 +63,52 @@ struct HotPathOutcome {
     edge_dedup: DedupStats,
 }
 
+/// Which statistics representation a session's accumulators use. A
+/// checkpoint records the mode it was written under so a resume can
+/// refuse to mix exact lists with sketched estimates — the two carry
+/// incompatible invariants (exact maxima vs KMV estimates), and a
+/// silent mix would corrupt every downstream cardinality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AccumMode {
+    /// Exact member/endpoint lists (batch and incremental default).
+    Exact,
+    /// Sketched statistics (bounded-memory streaming mode).
+    Sketch,
+}
+
+impl std::fmt::Display for AccumMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AccumMode::Exact => "exact",
+            AccumMode::Sketch => "sketch",
+        })
+    }
+}
+
+/// Typed rejection of a cross-mode resume: the checkpoint was written
+/// under one [`AccumMode`], the resuming configuration implies the
+/// other. The CLI maps this to the state-error exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeMismatch {
+    /// Mode recorded in the checkpoint envelope.
+    pub checkpoint: AccumMode,
+    /// Mode the resuming session's configuration implies.
+    pub session: AccumMode,
+}
+
+impl std::fmt::Display for ModeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint was written in {} accumulator mode but the session is configured for {} \
+             mode; resume with a matching configuration instead of mixing statistics",
+            self.checkpoint, self.session
+        )
+    }
+}
+
+impl std::error::Error for ModeMismatch {}
+
 /// A serializable snapshot of a [`HiveSession`] (see
 /// [`HiveSession::checkpoint`]). Maps are stored as pair lists so the
 /// JSON form is stable and human-inspectable.
@@ -82,6 +128,22 @@ pub struct SessionCheckpoint {
     pub cache_hits: u64,
     /// Batches processed before the checkpoint.
     pub batches_processed: usize,
+    /// Accumulator mode the checkpoint was written under. `None` in
+    /// checkpoints from before streaming mode existed — those were
+    /// always exact.
+    pub mode: Option<AccumMode>,
+    /// Bounded node-pattern memoization store (stream mode only).
+    pub node_fps: Option<crate::sketch::FingerprintStore<NodePatternKey, pg_model::TypeId>>,
+    /// Bounded edge-pattern memoization store (stream mode only).
+    pub edge_fps: Option<crate::sketch::FingerprintStore<EdgePatternKey, pg_model::TypeId>>,
+}
+
+impl SessionCheckpoint {
+    /// The accumulator mode this checkpoint was written under
+    /// (pre-stream checkpoints default to exact).
+    pub fn accum_mode(&self) -> AccumMode {
+        self.mode.unwrap_or(AccumMode::Exact)
+    }
 }
 
 /// Pattern key for node memoization: (labels, property keys).
@@ -97,6 +159,22 @@ type EdgePatternKey = (
     pg_model::LabelSet,
 );
 
+/// Estimated memory retained by a session's long-lived state (see
+/// [`HiveSession::memory_stats`]). All figures are estimates for
+/// observability gauges, not allocator ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionMemoryStats {
+    /// Accumulator heap bytes (members, endpoints, histograms,
+    /// sketches). Grows O(records) in exact mode; bounded in stream
+    /// mode.
+    pub accum_bytes: usize,
+    /// Entries across the memoization stores: the bounded fingerprint
+    /// stores in stream mode, the exact pattern maps otherwise.
+    pub fingerprint_entries: usize,
+    /// Estimated bytes of those stores.
+    pub fingerprint_bytes: usize,
+}
+
 /// An incremental schema-discovery session.
 pub struct HiveSession {
     config: HiveConfig,
@@ -111,6 +189,16 @@ pub struct HiveSession {
     edge_params: Option<AdaptiveParams>,
     node_cache: std::collections::HashMap<NodePatternKey, pg_model::TypeId>,
     edge_cache: std::collections::HashMap<EdgePatternKey, pg_model::TypeId>,
+    /// Stream-mode replacements for the memoization maps above: bounded
+    /// fingerprint stores with frequency-aware eviction, so a drifting
+    /// pattern universe cannot grow the caches without bound. `Some`
+    /// exactly when the config enables streaming.
+    node_fps: Option<crate::sketch::FingerprintStore<NodePatternKey, pg_model::TypeId>>,
+    edge_fps: Option<crate::sketch::FingerprintStore<EdgePatternKey, pg_model::TypeId>>,
+    /// Types whose first (type-defining) pattern was pinned in the
+    /// fingerprint stores. Rebuilt from the stores on restore.
+    pinned_node_types: std::collections::HashSet<pg_model::TypeId>,
+    pinned_edge_types: std::collections::HashSet<pg_model::TypeId>,
     cache_hits: u64,
     /// Cross-batch incremental degree state for cardinality inference:
     /// per-batch post-processing folds in only the endpoint pairs
@@ -127,6 +215,10 @@ pub struct HiveSession {
 impl HiveSession {
     /// Start a session with an empty schema (`S_G ← ∅`).
     pub fn new(config: HiveConfig) -> HiveSession {
+        let fps_bounds = config
+            .stream
+            .as_ref()
+            .map(|s| (s.fingerprint_capacity, s.frequency_floor));
         HiveSession {
             config,
             state: DiscoveryState::new(),
@@ -136,9 +228,22 @@ impl HiveSession {
             edge_params: None,
             node_cache: std::collections::HashMap::new(),
             edge_cache: std::collections::HashMap::new(),
+            node_fps: fps_bounds.map(|(c, f)| crate::sketch::FingerprintStore::new(c, f)),
+            edge_fps: fps_bounds.map(|(c, f)| crate::sketch::FingerprintStore::new(c, f)),
+            pinned_node_types: std::collections::HashSet::new(),
+            pinned_edge_types: std::collections::HashSet::new(),
             cache_hits: 0,
             card_cache: crate::cardinality::CardCache::default(),
             pool: None,
+        }
+    }
+
+    /// The accumulator mode this session's configuration implies.
+    pub fn accum_mode(&self) -> AccumMode {
+        if self.config.stream.is_some() {
+            AccumMode::Sketch
+        } else {
+            AccumMode::Exact
         }
     }
 
@@ -190,8 +295,15 @@ impl HiveSession {
             let mut novel_nodes = Vec::new();
             for node in nodes {
                 let key = (node.labels.clone(), node.key_set());
-                match self.node_cache.get(&key) {
-                    Some(&tid) => {
+                // Stream mode serves lookups from the bounded
+                // fingerprint store (touch also bumps the frequency
+                // that ranks eviction); batch mode from the exact map.
+                let hit = match &mut self.node_fps {
+                    Some(fps) => fps.touch(&key).copied(),
+                    None => self.node_cache.get(&key).copied(),
+                };
+                match hit {
+                    Some(tid) => {
                         self.cache_hits += 1;
                         self.state
                             .node_accums
@@ -219,8 +331,12 @@ impl HiveSession {
                     rec.src_labels.clone(),
                     rec.tgt_labels.clone(),
                 );
-                match self.edge_cache.get(&key) {
-                    Some(&tid) => {
+                let hit = match &mut self.edge_fps {
+                    Some(fps) => fps.touch(&key).copied(),
+                    None => self.edge_cache.get(&key).copied(),
+                };
+                match hit {
+                    Some(tid) => {
                         self.cache_hits += 1;
                         self.state
                             .edge_accums
@@ -336,14 +452,64 @@ impl HiveSession {
             integrate_node_clusters_opts(&mut self.state, node_clusters, merge_opts);
         let edge_assignment =
             integrate_edge_clusters_opts(&mut self.state, edge_clusters, merge_opts);
+        if merge_opts.stream.is_some() {
+            // Sketched accumulators sample property *values* for
+            // data-type inference, but cluster accumulators are exact
+            // and values are gone by integration time — so feed each
+            // record's values into its assigned type's sketch here.
+            // (Member ids were already absorbed by the merge; bottom-k
+            // re-observation would be idempotent anyway.)
+            let by_id: std::collections::HashMap<pg_model::NodeId, &NodeRecord> =
+                nodes.iter().map(|n| (n.id, n)).collect();
+            for (members, tid) in node_members.iter().zip(&node_assignment) {
+                let Some(sk) = self
+                    .state
+                    .node_accums
+                    .get_mut(tid)
+                    .and_then(|a| a.sketch.as_mut())
+                else {
+                    continue;
+                };
+                for id in members {
+                    sk.observe_values(&by_id[id].props);
+                }
+            }
+            let by_id: std::collections::HashMap<pg_model::EdgeId, &EdgeRecord> =
+                edges.iter().map(|e| (e.edge.id, e)).collect();
+            for (members, tid) in edge_members.iter().zip(&edge_assignment) {
+                let Some(sk) = self
+                    .state
+                    .edge_accums
+                    .get_mut(tid)
+                    .and_then(|a| a.sketch.as_mut())
+                else {
+                    continue;
+                };
+                for id in members {
+                    sk.observe_values(&by_id[id].edge.props);
+                }
+            }
+        }
         if self.config.memoize {
             let by_id: std::collections::HashMap<pg_model::NodeId, &NodeRecord> =
                 nodes.iter().map(|n| (n.id, n)).collect();
             for (members, &tid) in node_members.iter().zip(&node_assignment) {
                 for id in members {
                     let node = by_id[id];
-                    self.node_cache
-                        .insert((node.labels.clone(), node.key_set()), tid);
+                    let key = (node.labels.clone(), node.key_set());
+                    match &mut self.node_fps {
+                        Some(fps) => {
+                            // Pin the first pattern recorded for each
+                            // type — the type-defining fingerprint —
+                            // so churn can never evict the pattern
+                            // that anchors an established type.
+                            let pin = self.pinned_node_types.insert(tid);
+                            fps.record(key, tid, pin);
+                        }
+                        None => {
+                            self.node_cache.insert(key, tid);
+                        }
+                    }
                 }
             }
             let by_id: std::collections::HashMap<pg_model::EdgeId, &EdgeRecord> =
@@ -351,15 +517,21 @@ impl HiveSession {
             for (members, &tid) in edge_members.iter().zip(&edge_assignment) {
                 for id in members {
                     let rec = by_id[id];
-                    self.edge_cache.insert(
-                        (
-                            rec.edge.labels.clone(),
-                            rec.edge.key_set(),
-                            rec.src_labels.clone(),
-                            rec.tgt_labels.clone(),
-                        ),
-                        tid,
+                    let key = (
+                        rec.edge.labels.clone(),
+                        rec.edge.key_set(),
+                        rec.src_labels.clone(),
+                        rec.tgt_labels.clone(),
                     );
+                    match &mut self.edge_fps {
+                        Some(fps) => {
+                            let pin = self.pinned_edge_types.insert(tid);
+                            fps.record(key, tid, pin);
+                        }
+                        None => {
+                            self.edge_cache.insert(key, tid);
+                        }
+                    }
                 }
             }
         }
@@ -439,22 +611,74 @@ impl HiveSession {
                 .collect(),
             cache_hits: self.cache_hits,
             batches_processed: self.batches_processed(),
+            mode: Some(self.accum_mode()),
+            node_fps: self.node_fps.clone(),
+            edge_fps: self.edge_fps.clone(),
         }
     }
 
     /// Restore a session from a checkpoint. Per-batch timings are not
     /// part of the checkpoint; the restored session starts a fresh
     /// timing log but continues the batch numbering.
-    pub fn restore(config: HiveConfig, checkpoint: SessionCheckpoint) -> HiveSession {
+    ///
+    /// Refuses a cross-mode resume: a checkpoint written with exact
+    /// accumulators cannot seed a sketched session or vice versa —
+    /// the statistics are not interchangeable (exact maxima vs KMV
+    /// estimates), so mixing them would silently corrupt cardinality
+    /// and data-type inference.
+    pub fn restore(
+        config: HiveConfig,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<HiveSession, ModeMismatch> {
         let mut session = HiveSession::new(config);
+        let (ckpt_mode, session_mode) = (checkpoint.accum_mode(), session.accum_mode());
+        if ckpt_mode != session_mode {
+            return Err(ModeMismatch {
+                checkpoint: ckpt_mode,
+                session: session_mode,
+            });
+        }
         session.batch_offset = checkpoint.batches_processed;
         session.state.schema = checkpoint.schema;
         session.state.node_accums = checkpoint.node_accums.into_iter().collect();
         session.state.edge_accums = checkpoint.edge_accums.into_iter().collect();
         session.node_cache = checkpoint.node_cache.into_iter().collect();
         session.edge_cache = checkpoint.edge_cache.into_iter().collect();
+        if let Some(fps) = checkpoint.node_fps {
+            session.pinned_node_types = fps
+                .iter()
+                .filter(|(_, e)| e.pinned)
+                .map(|(_, e)| e.value)
+                .collect();
+            session.node_fps = Some(fps);
+        }
+        if let Some(fps) = checkpoint.edge_fps {
+            session.pinned_edge_types = fps
+                .iter()
+                .filter(|(_, e)| e.pinned)
+                .map(|(_, e)| e.value)
+                .collect();
+            session.edge_fps = Some(fps);
+        }
         session.cache_hits = checkpoint.cache_hits;
-        session
+        Ok(session)
+    }
+
+    /// Estimated memory retained by the session's long-lived state —
+    /// the numbers behind the server's per-session `/metrics` gauges.
+    pub fn memory_stats(&self) -> SessionMemoryStats {
+        let (fp_entries, fp_bytes) = match (&self.node_fps, &self.edge_fps) {
+            (Some(n), Some(e)) => (n.len() + e.len(), n.estimated_bytes() + e.estimated_bytes()),
+            _ => (
+                self.node_cache.len() + self.edge_cache.len(),
+                (self.node_cache.len() + self.edge_cache.len()) * 128,
+            ),
+        };
+        SessionMemoryStats {
+            accum_bytes: self.state.estimated_accum_bytes(),
+            fingerprint_entries: fp_entries,
+            fingerprint_bytes: fp_bytes,
+        }
     }
 
     /// Finish the session: ensure post-processing ran at least once (the
@@ -672,7 +896,7 @@ mod tests {
         let json = serde_json::to_string(&first.checkpoint()).unwrap();
         let checkpoint: SessionCheckpoint = serde_json::from_str(&json).unwrap();
         assert_eq!(checkpoint.batches_processed, 2);
-        let mut resumed = HiveSession::restore(cfg.clone(), checkpoint);
+        let mut resumed = HiveSession::restore(cfg.clone(), checkpoint).unwrap();
         resumed.process_graph_batch(&batches[2]);
         resumed.process_graph_batch(&batches[3]);
         let resumed_result = resumed.finish();
@@ -717,7 +941,7 @@ mod tests {
         let mut reference = HiveSession::new(quick_config());
         reference.process_graph_batch(&batches[0]);
         reference.process_batch(&[], &[]);
-        let mut restored = HiveSession::restore(quick_config(), reference.checkpoint());
+        let mut restored = HiveSession::restore(quick_config(), reference.checkpoint()).unwrap();
         assert_eq!(restored.batches_processed(), 2);
         restored.process_graph_batch(&batches[1]);
         let resumed = restored.finish();

@@ -62,6 +62,7 @@ pub mod pipeline;
 pub mod refine;
 pub mod selectivity;
 pub mod serialize;
+pub mod sketch;
 pub mod state;
 pub mod validate;
 
@@ -69,12 +70,15 @@ pub use checkpoint::{CheckpointError, CheckpointStore, ResumeOutcome};
 pub use cluster::DedupStats;
 pub use config::{
     DatatypeSampling, EmbeddingKind, HiveConfig, LshMethod, LshParams, MergeSimilarity,
+    StreamConfig,
 };
 pub use diff::{apply, diff, EdgeTypeDiff, NodeTypeDiff, PropertyChange, SchemaDiff};
 pub use handle::{
     IngestError, IngestOutcome, MergeOutcome, SessionAux, SharedSession, VersionLookup,
 };
-pub use incremental::{BatchTiming, HiveSession, SessionCheckpoint};
+pub use incremental::{
+    AccumMode, BatchTiming, HiveSession, ModeMismatch, SessionCheckpoint, SessionMemoryStats,
+};
 pub use merge::{
     discover_sharded, merge_schemas, merge_schemas_with, merge_states, schema_to_state, MergeError,
     ShardState, SHARD_SPLIT_SALT,
@@ -83,5 +87,8 @@ pub use pipeline::{DiscoveryResult, PgHive};
 pub use serialize::{
     canonical_form, content_hash, content_hash_hex, SchemaHistory, SchemaMode, SchemaVersion,
 };
-pub use state::{DiscoveryState, DtypeHist, EdgeTypeAccum, NodeTypeAccum};
+pub use sketch::{DistinctSketch, FingerprintStore, FpEntry, ValueSample, SKETCH_SALT};
+pub use state::{
+    DiscoveryState, DtypeHist, EdgeSketch, EdgeTypeAccum, NodeSketch, NodeTypeAccum, SketchParams,
+};
 pub use validate::{validate, ValidationReport, Violation};

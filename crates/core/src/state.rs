@@ -8,6 +8,8 @@
 //! They merge by addition/concatenation, so the incremental pipeline
 //! maintains them across batches without recomputation.
 
+use crate::config::StreamConfig;
+use crate::sketch::{hash_pair, DistinctSketch, ValueSample, SKETCH_SALT};
 use pg_model::{Cardinality, DataType, EdgeId, NodeId, SchemaGraph, Symbol, TypeId};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
@@ -134,6 +136,243 @@ impl DtypeHist {
     }
 }
 
+/// Resolved sketch parameters for one accumulator (streaming mode).
+/// Derived once from [`StreamConfig`] + the pipeline seed, then carried
+/// inside every sketched accumulator so checkpoints and shard states
+/// are self-describing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchParams {
+    /// KMV sketch size for distinct counters.
+    pub distinct_k: usize,
+    /// Bottom-k value-sample size per property.
+    pub sample_k: usize,
+    /// Sketch hash seed (pipeline seed ⊕ [`SKETCH_SALT`]).
+    pub seed: u64,
+}
+
+impl SketchParams {
+    /// Resolve from the config's stream knobs and the pipeline seed.
+    pub fn resolve(stream: &StreamConfig, seed: u64) -> SketchParams {
+        SketchParams {
+            distinct_k: stream.distinct_k,
+            sample_k: stream.sample_k,
+            seed: seed ^ SKETCH_SALT,
+        }
+    }
+}
+
+/// Sketched statistics of a node-type accumulator (streaming mode):
+/// member ids collapse into a KMV distinct counter and property values
+/// into bottom-k samples, so the accumulator's size is independent of
+/// how many instances streamed through it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSketch {
+    /// The parameters every sketch below was built with.
+    pub params: SketchParams,
+    /// Distinct member ids (replaces the `members` list).
+    pub members: DistinctSketch,
+    /// Per property key: sampled distinct values with their types.
+    pub samples: HashMap<Symbol, ValueSample>,
+}
+
+impl NodeSketch {
+    /// Empty sketch set.
+    pub fn new(params: SketchParams) -> NodeSketch {
+        NodeSketch {
+            params,
+            members: DistinctSketch::new(params.distinct_k, params.seed ^ 0x01),
+            samples: HashMap::new(),
+        }
+    }
+
+    /// Fold one node instance in (id + property values).
+    pub fn observe(&mut self, node: &pg_model::Node) {
+        self.members.insert(node.id.0);
+        self.observe_values(&node.props);
+    }
+
+    /// Fold only the property values (used when ids were already
+    /// absorbed from an exact member list).
+    pub fn observe_values(
+        &mut self,
+        props: &std::collections::BTreeMap<Symbol, pg_model::PropertyValue>,
+    ) {
+        for (k, v) in props {
+            self.samples
+                .entry(k.clone())
+                .or_insert_with(|| ValueSample::new(self.params.sample_k, self.params.seed ^ 0x02))
+                .observe(k, v);
+        }
+    }
+
+    /// Absorb an exact member-id list.
+    pub fn absorb_members(&mut self, members: &[NodeId]) {
+        for m in members {
+            self.members.insert(m.0);
+        }
+    }
+
+    /// Merge another node sketch (order-insensitive).
+    pub fn merge(&mut self, other: &NodeSketch) {
+        self.members.merge(&other.members);
+        for (k, s) in &other.samples {
+            match self.samples.get_mut(k) {
+                Some(mine) => mine.merge(s),
+                None => {
+                    self.samples.insert(k.clone(), s.clone());
+                }
+            }
+        }
+    }
+
+    /// Bytes retained (memory gauges).
+    pub fn retained_bytes(&self) -> usize {
+        self.members.retained_bytes()
+            + self
+                .samples
+                .values()
+                .map(|s| s.retained_bytes() + 64)
+                .sum::<usize>()
+    }
+}
+
+/// Sketched statistics of an edge-type accumulator (streaming mode):
+/// the endpoint list collapses into three KMV distinct counters —
+/// distinct `(src, tgt)` pairs, distinct sources, distinct targets —
+/// which are exactly the per-endpoint distinct counts that decide the
+/// `1:1 / 1:N / N:M` cardinality class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSketch {
+    /// The parameters every sketch below was built with.
+    pub params: SketchParams,
+    /// Distinct member ids.
+    pub members: DistinctSketch,
+    /// Distinct `(src, tgt)` endpoint pairs.
+    pub pairs: DistinctSketch,
+    /// Distinct source node ids.
+    pub srcs: DistinctSketch,
+    /// Distinct target node ids.
+    pub tgts: DistinctSketch,
+    /// Per property key: sampled distinct values with their types.
+    pub samples: HashMap<Symbol, ValueSample>,
+}
+
+impl EdgeSketch {
+    /// Empty sketch set.
+    pub fn new(params: SketchParams) -> EdgeSketch {
+        EdgeSketch {
+            params,
+            members: DistinctSketch::new(params.distinct_k, params.seed ^ 0x11),
+            pairs: DistinctSketch::new(params.distinct_k, params.seed ^ 0x12),
+            srcs: DistinctSketch::new(params.distinct_k, params.seed ^ 0x13),
+            tgts: DistinctSketch::new(params.distinct_k, params.seed ^ 0x14),
+            samples: HashMap::new(),
+        }
+    }
+
+    /// Fold one edge instance in.
+    pub fn observe(&mut self, edge: &pg_model::Edge) {
+        self.members.insert(edge.id.0);
+        self.observe_endpoint(edge.src, edge.tgt);
+        self.observe_values(&edge.props);
+    }
+
+    /// Fold only the property values.
+    pub fn observe_values(
+        &mut self,
+        props: &std::collections::BTreeMap<Symbol, pg_model::PropertyValue>,
+    ) {
+        for (k, v) in props {
+            self.samples
+                .entry(k.clone())
+                .or_insert_with(|| ValueSample::new(self.params.sample_k, self.params.seed ^ 0x15))
+                .observe(k, v);
+        }
+    }
+
+    /// Fold one endpoint pair into the three distinct counters.
+    pub fn observe_endpoint(&mut self, src: NodeId, tgt: NodeId) {
+        self.pairs
+            .insert_hash(hash_pair(self.pairs.seed(), src.0, tgt.0));
+        self.srcs.insert(src.0);
+        self.tgts.insert(tgt.0);
+    }
+
+    /// Absorb exact member-id and endpoint lists.
+    pub fn absorb(&mut self, members: &[EdgeId], endpoints: &[(NodeId, NodeId)]) {
+        for m in members {
+            self.members.insert(m.0);
+        }
+        for &(s, t) in endpoints {
+            self.observe_endpoint(s, t);
+        }
+    }
+
+    /// Merge another edge sketch (order-insensitive).
+    pub fn merge(&mut self, other: &EdgeSketch) {
+        self.members.merge(&other.members);
+        self.pairs.merge(&other.pairs);
+        self.srcs.merge(&other.srcs);
+        self.tgts.merge(&other.tgts);
+        for (k, s) in &other.samples {
+            match self.samples.get_mut(k) {
+                Some(mine) => mine.merge(s),
+                None => {
+                    self.samples.insert(k.clone(), s.clone());
+                }
+            }
+        }
+    }
+
+    /// Cardinality bounds from the distinct counters, or `None` when no
+    /// endpoint was ever observed.
+    ///
+    /// `max_out > 1` iff distinct pairs exceed distinct sources beyond
+    /// the sketches' error slack (a source with two distinct targets
+    /// contributes two pairs but one source), and the magnitude is the
+    /// mean fan-out `pairs / srcs` — an estimate of the fan-out class,
+    /// not the exact maximum an endpoint scan would produce. Symmetric
+    /// for `max_in`. Deterministic: a pure function of the merged
+    /// sketch state, so shard order cannot change the classification.
+    pub fn cardinality_estimate(&self) -> Option<Cardinality> {
+        if self.pairs.is_empty() {
+            return None;
+        }
+        let pairs = self.pairs.estimate().max(1);
+        let srcs = self.srcs.estimate().max(1);
+        let tgts = self.tgts.estimate().max(1);
+        let out_slack = 1.0 + self.pairs.error_bound() + self.srcs.error_bound();
+        let in_slack = 1.0 + self.pairs.error_bound() + self.tgts.error_bound();
+        Some(Cardinality {
+            max_out: ratio_bound(pairs, srcs, out_slack),
+            max_in: ratio_bound(pairs, tgts, in_slack),
+        })
+    }
+
+    /// Bytes retained (memory gauges).
+    pub fn retained_bytes(&self) -> usize {
+        self.members.retained_bytes()
+            + self.pairs.retained_bytes()
+            + self.srcs.retained_bytes()
+            + self.tgts.retained_bytes()
+            + self
+                .samples
+                .values()
+                .map(|s| s.retained_bytes() + 64)
+                .sum::<usize>()
+    }
+}
+
+/// `pairs / ends` rounded, floored at 2 when the pair count exceeds the
+/// endpoint count beyond the error slack, else 1.
+fn ratio_bound(pairs: u64, ends: u64, slack: f64) -> u64 {
+    if (pairs as f64) <= (ends as f64) * slack {
+        1
+    } else {
+        (((pairs as f64) / (ends as f64)).round() as u64).max(2)
+    }
+}
+
 /// Per-node-type accumulator.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct NodeTypeAccum {
@@ -143,15 +382,25 @@ pub struct NodeTypeAccum {
     pub key_present: HashMap<Symbol, u64>,
     /// Per property key: histogram of observed value types.
     pub dtype_hist: HashMap<Symbol, DtypeHist>,
-    /// Member node ids (evaluation + instance queries).
+    /// Member node ids (evaluation + instance queries). Empty in
+    /// streaming mode, where `sketch` summarizes membership instead.
     pub members: Vec<NodeId>,
+    /// Streaming-mode sketched statistics. `None` (the default, and the
+    /// wire default for checkpoints written before streaming existed)
+    /// means the accumulator is exact.
+    pub sketch: Option<NodeSketch>,
 }
 
 impl NodeTypeAccum {
-    /// Fold one node instance in.
+    /// Fold one node instance in. Exact accumulators append the member
+    /// id; sketched accumulators fold it (and the property values) into
+    /// fixed-size sketches instead.
     pub fn observe(&mut self, node: &pg_model::Node) {
         self.count += 1;
-        self.members.push(node.id);
+        match &mut self.sketch {
+            Some(sk) => sk.observe(node),
+            None => self.members.push(node.id),
+        }
         for (k, v) in &node.props {
             *self.key_present.entry(k.clone()).or_insert(0) += 1;
             self.dtype_hist
@@ -161,16 +410,55 @@ impl NodeTypeAccum {
         }
     }
 
-    /// Merge another accumulator (cluster merge / batch merge).
+    /// Convert an exact accumulator to sketched form: fold the member
+    /// list into the sketches and drop it. No-op when already sketched.
+    pub fn ensure_sketched(&mut self, params: SketchParams) {
+        if self.sketch.is_none() {
+            let mut sk = NodeSketch::new(params);
+            sk.absorb_members(&self.members);
+            self.members = Vec::new();
+            self.sketch = Some(sk);
+        }
+    }
+
+    /// Merge another accumulator (cluster merge / batch merge). Counts,
+    /// presence maps, and histograms always add exactly; membership
+    /// merges sketch-to-sketch, absorbs exact lists into sketches, or
+    /// concatenates lists — whichever the two modes imply. A mixed
+    /// merge promotes the result to sketched form (the bounded side
+    /// wins), so the outcome is the same regardless of operand order.
     pub fn merge(&mut self, other: &NodeTypeAccum) {
         self.count += other.count;
-        self.members.extend_from_slice(&other.members);
         for (k, c) in &other.key_present {
             *self.key_present.entry(k.clone()).or_insert(0) += c;
         }
         for (k, h) in &other.dtype_hist {
             self.dtype_hist.entry(k.clone()).or_default().merge(h);
         }
+        match (&mut self.sketch, &other.sketch) {
+            (Some(sk), Some(osk)) => {
+                sk.merge(osk);
+                sk.absorb_members(&other.members);
+            }
+            (Some(sk), None) => sk.absorb_members(&other.members),
+            (None, Some(osk)) => {
+                let mut sk = NodeSketch::new(osk.params);
+                sk.absorb_members(&self.members);
+                sk.merge(osk);
+                sk.absorb_members(&other.members);
+                self.members = Vec::new();
+                self.sketch = Some(sk);
+            }
+            (None, None) => self.members.extend_from_slice(&other.members),
+        }
+    }
+
+    /// Estimated heap bytes this accumulator retains (memory gauges).
+    pub fn retained_bytes(&self) -> usize {
+        let maps = (self.key_present.len() + self.dtype_hist.len()) * 96;
+        self.members.capacity() * std::mem::size_of::<NodeId>()
+            + maps
+            + self.sketch.as_ref().map_or(0, |s| s.retained_bytes())
     }
 }
 
@@ -183,9 +471,12 @@ pub struct EdgeTypeAccum {
     pub key_present: HashMap<Symbol, u64>,
     /// Per property key: histogram of observed value types.
     pub dtype_hist: HashMap<Symbol, DtypeHist>,
-    /// Member edge ids.
+    /// Member edge ids. Empty in streaming mode (see `sketch`).
     pub members: Vec<EdgeId>,
-    /// Endpoint pairs for cardinality inference.
+    /// Endpoint pairs for cardinality inference. In batch/incremental
+    /// mode this grows O(edges) and is the dominant memory cost of a
+    /// long-lived session; streaming mode replaces it with the three
+    /// KMV distinct counters of [`EdgeSketch`].
     pub endpoints: Vec<(NodeId, NodeId)>,
     /// Cardinality floor folded in from a merged foreign schema whose
     /// endpoint pairs are unavailable (e.g. a shard schema posted to
@@ -193,14 +484,21 @@ pub struct EdgeTypeAccum {
     /// component-wise max of this floor and the bounds observed from
     /// `endpoints`. `None` for locally observed edges.
     pub card_floor: Option<Cardinality>,
+    /// Streaming-mode sketched statistics (see [`NodeTypeAccum::sketch`]).
+    pub sketch: Option<EdgeSketch>,
 }
 
 impl EdgeTypeAccum {
-    /// Fold one edge instance in.
+    /// Fold one edge instance in (see [`NodeTypeAccum::observe`]).
     pub fn observe(&mut self, edge: &pg_model::Edge) {
         self.count += 1;
-        self.members.push(edge.id);
-        self.endpoints.push((edge.src, edge.tgt));
+        match &mut self.sketch {
+            Some(sk) => sk.observe(edge),
+            None => {
+                self.members.push(edge.id);
+                self.endpoints.push((edge.src, edge.tgt));
+            }
+        }
         for (k, v) in &edge.props {
             *self.key_present.entry(k.clone()).or_insert(0) += 1;
             self.dtype_hist
@@ -210,11 +508,23 @@ impl EdgeTypeAccum {
         }
     }
 
-    /// Merge another accumulator.
+    /// Convert an exact accumulator to sketched form: fold members and
+    /// endpoints into the sketches and drop the lists. No-op when
+    /// already sketched.
+    pub fn ensure_sketched(&mut self, params: SketchParams) {
+        if self.sketch.is_none() {
+            let mut sk = EdgeSketch::new(params);
+            sk.absorb(&self.members, &self.endpoints);
+            self.members = Vec::new();
+            self.endpoints = Vec::new();
+            self.sketch = Some(sk);
+        }
+    }
+
+    /// Merge another accumulator (see [`NodeTypeAccum::merge`] for the
+    /// mixed-mode rules).
     pub fn merge(&mut self, other: &EdgeTypeAccum) {
         self.count += other.count;
-        self.members.extend_from_slice(&other.members);
-        self.endpoints.extend_from_slice(&other.endpoints);
         self.card_floor = match (self.card_floor, other.card_floor) {
             (Some(a), Some(b)) => Some(a.merge(&b)),
             (a, b) => a.or(b),
@@ -225,6 +535,35 @@ impl EdgeTypeAccum {
         for (k, h) in &other.dtype_hist {
             self.dtype_hist.entry(k.clone()).or_default().merge(h);
         }
+        match (&mut self.sketch, &other.sketch) {
+            (Some(sk), Some(osk)) => {
+                sk.merge(osk);
+                sk.absorb(&other.members, &other.endpoints);
+            }
+            (Some(sk), None) => sk.absorb(&other.members, &other.endpoints),
+            (None, Some(osk)) => {
+                let mut sk = EdgeSketch::new(osk.params);
+                sk.absorb(&self.members, &self.endpoints);
+                sk.merge(osk);
+                sk.absorb(&other.members, &other.endpoints);
+                self.members = Vec::new();
+                self.endpoints = Vec::new();
+                self.sketch = Some(sk);
+            }
+            (None, None) => {
+                self.members.extend_from_slice(&other.members);
+                self.endpoints.extend_from_slice(&other.endpoints);
+            }
+        }
+    }
+
+    /// Estimated heap bytes this accumulator retains (memory gauges).
+    pub fn retained_bytes(&self) -> usize {
+        let maps = (self.key_present.len() + self.dtype_hist.len()) * 96;
+        self.members.capacity() * std::mem::size_of::<EdgeId>()
+            + self.endpoints.capacity() * std::mem::size_of::<(NodeId, NodeId)>()
+            + maps
+            + self.sketch.as_ref().map_or(0, |s| s.retained_bytes())
     }
 }
 
@@ -243,6 +582,17 @@ impl DiscoveryState {
     /// Fresh, empty state (`S_G ← ∅`, Algorithm 1 line 1).
     pub fn new() -> Self {
         DiscoveryState::default()
+    }
+
+    /// Estimated heap bytes retained by all accumulators. Exposed as a
+    /// `/metrics` gauge so operators can watch memory pressure: grows
+    /// O(records) in batch mode, stays bounded in streaming mode.
+    pub fn estimated_accum_bytes(&self) -> usize {
+        self.node_accums
+            .values()
+            .map(|a| a.retained_bytes())
+            .chain(self.edge_accums.values().map(|a| a.retained_bytes()))
+            .sum()
     }
 }
 

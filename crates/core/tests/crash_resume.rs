@@ -111,7 +111,7 @@ proptest! {
         prop_assert!(outcome.skipped.is_empty());
         let ckpt = outcome.checkpoint.expect("a checkpoint was saved");
         prop_assert_eq!(ckpt.batches_processed, kill_after);
-        let mut resumed = HiveSession::restore(cfg, ckpt);
+        let mut resumed = HiveSession::restore(cfg, ckpt).unwrap();
         for b in &batches[kill_after..] {
             resumed.process_graph_batch(b);
         }
@@ -196,7 +196,7 @@ fn fallback_resume_converges_after_newest_checkpoint_is_damaged() {
     let ckpt = outcome.checkpoint.expect("fallback checkpoint");
     assert_eq!(ckpt.batches_processed, 2, "fell back one batch");
 
-    let mut resumed = HiveSession::restore(cfg, ckpt);
+    let mut resumed = HiveSession::restore(cfg, ckpt).unwrap();
     for b in &batches[2..] {
         resumed.process_graph_batch(b);
     }

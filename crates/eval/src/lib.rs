@@ -10,6 +10,9 @@
 //!   critical-difference test (Figure 3).
 //! * [`sampling_error`] — the data-type sampling-error metric, binned as
 //!   in Figure 8.
+//! * [`stream_agreement`] — aligns a bounded-memory streaming schema
+//!   against its exact batch twin and bins per-property disagreement
+//!   into the same four error bins.
 //! * [`runner`] — one evaluation *cell*: generate a dataset twin, inject
 //!   noise, run a method (PG-HIVE-ELSH, PG-HIVE-MinHash, GMMSchema,
 //!   SchemI), score it, time it.
@@ -30,8 +33,10 @@ pub mod ranks;
 pub mod report;
 pub mod runner;
 pub mod sampling_error;
+pub mod stream_agreement;
 
 pub use f1::{majority_f1, F1Score};
 pub use oracle::{noise_curve, run_oracle, CurvePoint, OracleResult};
 pub use ranks::{average_ranks, nemenyi_critical_difference};
 pub use runner::{run_cell, CellResult, CellSpec, Method};
+pub use stream_agreement::{stream_agreement, StreamAgreement};

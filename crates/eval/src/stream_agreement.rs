@@ -1,0 +1,252 @@
+//! Stream-vs-batch schema agreement.
+//!
+//! Streaming discovery replaces exact per-type statistics with bounded
+//! sketches: data types are inferred from a fixed-size reservoir sample
+//! instead of a full-scan histogram, and cardinalities from distinct
+//! sketches instead of exact pair sets. This module quantifies what
+//! that substitution costs by aligning the two schemas type-by-type and
+//! binning per-property disagreement into the same four error bins the
+//! paper uses for sampling error (Figure 8), so a streaming run can be
+//! accepted or rejected with one threshold: the fraction of properties
+//! in the lowest bin.
+
+use crate::sampling_error::ErrorBins;
+use pg_model::SchemaGraph;
+
+/// How two aligned schemas compare.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamAgreement {
+    /// Types (node + edge) whose identifying key exists in both schemas.
+    pub matched_types: usize,
+    /// Types only the batch (exact) schema discovered.
+    pub batch_only: usize,
+    /// Types only the streaming schema discovered.
+    pub stream_only: usize,
+    /// Matched edge types whose cardinality constraints disagree.
+    pub cardinality_disagreements: usize,
+    /// Per-property disagreement, binned like sampling error: a property
+    /// contributes 0.0 when datatype and presence both agree, 0.1 when
+    /// only presence differs, and 1.0 when the datatype differs or the
+    /// property exists on one side only.
+    pub property_bins: ErrorBins,
+}
+
+impl StreamAgreement {
+    /// Fraction of properties in full agreement (bin 0). 1.0 when no
+    /// properties were measured, so an empty-vs-empty comparison passes.
+    pub fn agreement_fraction(&self) -> f64 {
+        if self.property_bins.properties == 0 {
+            1.0
+        } else {
+            self.property_bins.fractions[0]
+        }
+    }
+
+    /// Whether every type matched and the property agreement reaches
+    /// `threshold` (e.g. 0.95 for "within the lowest sampling-error
+    /// bin on 95 % of properties").
+    pub fn within(&self, threshold: f64) -> bool {
+        self.batch_only == 0 && self.stream_only == 0 && self.agreement_fraction() >= threshold
+    }
+}
+
+fn bin_of(error: f64) -> usize {
+    if error < 0.05 {
+        0
+    } else if error < 0.10 {
+        1
+    } else if error < 0.20 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Align `batch` (exact accumulators) and `stream` (sketched
+/// accumulators) schemas and measure their agreement. Node types are
+/// keyed by label set, edge types by label set plus endpoint label
+/// unions; abstract types keep a distinguishing marker so an abstract
+/// and a labeled type never alias.
+pub fn stream_agreement(batch: &SchemaGraph, stream: &SchemaGraph) -> StreamAgreement {
+    use pg_model::PropertySpec;
+    use std::collections::BTreeMap;
+
+    // (key → properties, cardinality-token) per side.
+    fn index(schema: &SchemaGraph) -> BTreeMap<String, (BTreeMap<String, PropertySpec>, String)> {
+        let mut map = BTreeMap::new();
+        for nt in &schema.node_types {
+            let key = format!("n/{}/{}", nt.is_abstract, nt.labels);
+            let props = nt
+                .properties
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+            map.insert(key, (props, String::new()));
+        }
+        for et in &schema.edge_types {
+            let key = format!(
+                "e/{}/{}/{}->{}",
+                et.is_abstract, et.labels, et.src_labels, et.tgt_labels
+            );
+            let props = et
+                .properties
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect();
+            map.insert(key, (props, format!("{:?}", et.cardinality)));
+        }
+        map
+    }
+
+    let b = index(batch);
+    let s = index(stream);
+
+    let mut agreement = StreamAgreement::default();
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    let mut measure = |error: f64| {
+        counts[bin_of(error)] += 1;
+        total += 1;
+    };
+
+    for (key, (b_props, b_card)) in &b {
+        let Some((s_props, s_card)) = s.get(key) else {
+            agreement.batch_only += 1;
+            // Every property of an unmatched type is a full miss.
+            for _ in b_props {
+                measure(1.0);
+            }
+            continue;
+        };
+        agreement.matched_types += 1;
+        if b_card != s_card {
+            agreement.cardinality_disagreements += 1;
+        }
+        for (prop, b_spec) in b_props {
+            match s_props.get(prop) {
+                None => measure(1.0),
+                Some(s_spec) if b_spec.datatype != s_spec.datatype => measure(1.0),
+                Some(s_spec) if b_spec.presence != s_spec.presence => measure(0.1),
+                Some(_) => measure(0.0),
+            }
+        }
+        for prop in s_props.keys() {
+            if !b_props.contains_key(prop) {
+                measure(1.0);
+            }
+        }
+    }
+    for (key, (s_props, _)) in &s {
+        if !b.contains_key(key) {
+            agreement.stream_only += 1;
+            for _ in s_props {
+                measure(1.0);
+            }
+        }
+    }
+
+    let mut fractions = [0.0; 4];
+    if total > 0 {
+        for i in 0..4 {
+            fractions[i] = counts[i] as f64 / total as f64;
+        }
+    }
+    agreement.property_bins = ErrorBins {
+        fractions,
+        properties: total,
+    };
+    agreement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pg_model::{DataType, LabelSet, NodeType, Presence, PropertySpec};
+
+    type PropRow = (&'static str, DataType, Presence);
+    type TypeRow = (&'static str, &'static [PropRow]);
+
+    fn schema_with(types: &[TypeRow]) -> SchemaGraph {
+        let mut schema = SchemaGraph::new();
+        for (label, props) in types {
+            let id = schema.fresh_id();
+            let mut nt = NodeType::new(id, LabelSet::single(label), std::iter::empty());
+            for (key, dt, presence) in *props {
+                nt.properties.insert(
+                    (*key).into(),
+                    PropertySpec {
+                        datatype: Some(*dt),
+                        presence: Some(*presence),
+                    },
+                );
+            }
+            schema.node_types.push(nt);
+        }
+        schema
+    }
+
+    #[test]
+    fn identical_schemas_agree_fully() {
+        let types: &[TypeRow] = &[
+            (
+                "Person",
+                &[
+                    ("age", DataType::Int, Presence::Mandatory),
+                    ("email", DataType::Str, Presence::Optional),
+                ],
+            ),
+            ("Org", &[("url", DataType::Str, Presence::Mandatory)]),
+        ];
+        let a = schema_with(types);
+        let b = schema_with(types);
+        let agreement = stream_agreement(&a, &b);
+        assert_eq!(agreement.matched_types, 2);
+        assert_eq!(agreement.batch_only, 0);
+        assert_eq!(agreement.stream_only, 0);
+        assert_eq!(agreement.property_bins.properties, 3);
+        assert!((agreement.agreement_fraction() - 1.0).abs() < 1e-9);
+        assert!(agreement.within(0.95));
+    }
+
+    #[test]
+    fn datatype_disagreement_lands_in_top_bin() {
+        let a = schema_with(&[("T", &[("p", DataType::Int, Presence::Mandatory)])]);
+        let b = schema_with(&[("T", &[("p", DataType::Str, Presence::Mandatory)])]);
+        let agreement = stream_agreement(&a, &b);
+        assert_eq!(agreement.matched_types, 1);
+        assert!((agreement.property_bins.fractions[3] - 1.0).abs() < 1e-9);
+        assert!(!agreement.within(0.95));
+    }
+
+    #[test]
+    fn presence_only_disagreement_is_a_minor_error() {
+        let a = schema_with(&[("T", &[("p", DataType::Int, Presence::Mandatory)])]);
+        let b = schema_with(&[("T", &[("p", DataType::Int, Presence::Optional)])]);
+        let agreement = stream_agreement(&a, &b);
+        assert!((agreement.property_bins.fractions[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_types_are_counted_per_side() {
+        let a = schema_with(&[
+            ("A", &[("p", DataType::Int, Presence::Mandatory)]),
+            ("B", &[]),
+        ]);
+        let b = schema_with(&[("A", &[("p", DataType::Int, Presence::Mandatory)])]);
+        let agreement = stream_agreement(&a, &b);
+        assert_eq!(agreement.batch_only, 1);
+        assert_eq!(agreement.stream_only, 0);
+        assert!(!agreement.within(0.0), "a missing type always fails");
+
+        let agreement = stream_agreement(&b, &a);
+        assert_eq!(agreement.batch_only, 0);
+        assert_eq!(agreement.stream_only, 1);
+    }
+
+    #[test]
+    fn empty_schemas_trivially_agree() {
+        let agreement = stream_agreement(&SchemaGraph::new(), &SchemaGraph::new());
+        assert_eq!(agreement.property_bins.properties, 0);
+        assert!(agreement.within(1.0));
+    }
+}

@@ -49,6 +49,10 @@ pub struct SessionSpec {
     pub checkpoint_every: u64,
     /// Schema versions retained for `diff?from=`.
     pub history_retain: u64,
+    /// Accumulator mode: `"exact"` (default) or `"stream"` (bounded-
+    /// memory sketches). `None` in sidecars written before the field
+    /// existed, meaning exact.
+    pub mode: Option<String>,
 }
 
 impl Default for SessionSpec {
@@ -62,6 +66,7 @@ impl Default for SessionSpec {
             on_error: "skip".to_owned(),
             checkpoint_every: 8,
             history_retain: 64,
+            mode: None,
         }
     }
 }
@@ -110,6 +115,13 @@ impl SessionSpec {
                 "on_error" => spec.on_error = value.as_str().ok_or_else(fail)?.to_owned(),
                 "checkpoint_every" => spec.checkpoint_every = as_u64(value).ok_or_else(fail)?,
                 "history_retain" => spec.history_retain = as_u64(value).ok_or_else(fail)?,
+                // Accept an explicit null (the derive serializer emits
+                // one for an unset mode when the coordinator forwards
+                // its spec to shards) as "leave the default".
+                "mode" => match value {
+                    serde::Value::Null => {}
+                    _ => spec.mode = Some(value.as_str().ok_or_else(fail)?.to_owned()),
+                },
                 other => return Err(format!("unknown field {other:?}")),
             }
         }
@@ -131,7 +143,19 @@ impl SessionSpec {
         if self.history_retain == 0 {
             return Err("history_retain must be at least 1".to_owned());
         }
+        if let Some(mode) = &self.mode {
+            if !matches!(mode.as_str(), "exact" | "stream") {
+                return Err(format!(
+                    "mode must be \"exact\" or \"stream\", got {mode:?}"
+                ));
+            }
+        }
         self.policy().map(|_| ())
+    }
+
+    /// Whether this spec asks for bounded-memory streaming accumulators.
+    pub fn is_stream(&self) -> bool {
+        self.mode.as_deref() == Some("stream")
     }
 
     /// The engine configuration this spec describes. Fields the spec
@@ -148,6 +172,7 @@ impl SessionSpec {
             memoize: self.memoize,
             threads: self.threads as usize,
             seed: self.seed,
+            stream: self.is_stream().then(pg_hive::StreamConfig::default),
             ..HiveConfig::default()
         }
     }
@@ -453,6 +478,7 @@ impl LiveSession {
     /// The numbers `/metrics` exposes for this session.
     pub fn stats(&self) -> SessionStats {
         let (version, _) = self.handle.version_info();
+        let mem = self.handle.memory_stats();
         SessionStats {
             name: self.name.clone(),
             batches: self.handle.batches_processed() as u64,
@@ -461,6 +487,8 @@ impl LiveSession {
             quarantined: self.quarantined_total(),
             version,
             broken: self.handle.broken().is_some(),
+            accum_bytes: mem.accum_bytes as u64,
+            fingerprint_entries: mem.fingerprint_entries as u64,
         }
     }
 
@@ -773,7 +801,8 @@ fn resume_session(
         .resume()
         .map_err(|e| skip("resuming checkpoints", e.to_string()))?;
     let handle = match outcome.checkpoint {
-        Some(ckpt) => SharedSession::restore(sidecar.spec.hive_config(), ckpt, sidecar.aux),
+        Some(ckpt) => SharedSession::restore(sidecar.spec.hive_config(), ckpt, sidecar.aux)
+            .map_err(|e| skip("restoring checkpoint", e.to_string()))?,
         // A sidecar without any valid checkpoint (crash before the first
         // save completed) restarts the session empty.
         None => SharedSession::new(
@@ -823,6 +852,37 @@ mod tests {
         assert!(SessionSpec::from_value(&bad, &spec())
             .unwrap_err()
             .contains("theta"));
+    }
+
+    #[test]
+    fn spec_mode_selects_stream_accumulators() {
+        assert!(!spec().is_stream(), "exact mode by default");
+        assert!(spec().hive_config().stream.is_none());
+
+        let body: serde::Value = serde_json::from_str(r#"{"mode":"stream"}"#).unwrap();
+        let parsed = SessionSpec::from_value(&body, &spec()).unwrap();
+        assert!(parsed.is_stream());
+        assert!(parsed.hive_config().stream.is_some());
+
+        let body: serde::Value = serde_json::from_str(r#"{"mode":"exact"}"#).unwrap();
+        let parsed = SessionSpec::from_value(&body, &spec()).unwrap();
+        assert!(!parsed.is_stream());
+
+        let bad: serde::Value = serde_json::from_str(r#"{"mode":"sketchy"}"#).unwrap();
+        assert!(SessionSpec::from_value(&bad, &spec())
+            .unwrap_err()
+            .contains("mode"));
+
+        // The sidecar round-trip preserves the mode, so a restart
+        // rebuilds the same accumulator kind (and a checkpoint written
+        // in the other mode is rejected at restore).
+        let json = serde_json::to_string(&SessionSpec {
+            mode: Some("stream".to_owned()),
+            ..spec()
+        })
+        .unwrap();
+        let back: SessionSpec = serde_json::from_str(&json).unwrap();
+        assert!(back.is_stream());
     }
 
     #[test]

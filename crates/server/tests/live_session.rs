@@ -380,3 +380,61 @@ fn response_write_fault_does_not_poison_the_session() {
     assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&raw));
     assert_eq!(live.handle().batches_processed(), 2);
 }
+
+/// A `"mode":"stream"` session runs the whole live-session surface on
+/// bounded-memory accumulators: ingest works, the spec round-trips in
+/// the summary, and `/metrics` exposes the per-session memory gauges
+/// the operator uses to confirm the bound is holding.
+#[test]
+fn stream_mode_session_is_bounded_and_observable() {
+    let server = TestServer::start(ServerConfig::default());
+    let mut client = server.client();
+
+    let resp = client
+        .post("/sessions", br#"{"name":"sk","mode":"stream"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.text());
+
+    // An unknown accumulator mode is an invalid spec, not a default.
+    let resp = client
+        .post("/sessions", br#"{"name":"bad","mode":"approx"}"#)
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert_eq!(err_code(&resp), "invalid_spec");
+
+    let body = format!(
+        "{}\n{}\n{}",
+        node_line(1, "Person", r#""age":{"Int":30}"#),
+        node_line(2, "Person", r#""age":{"Int":41}"#),
+        edge_line(10, 1, 2, "KNOWS"),
+    );
+    let resp = client.post("/sessions/sk/ingest", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    let resp = client.get("/sessions/sk/schema").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("Person"), "{}", resp.text());
+
+    // The mode survives in the summary's spec echo.
+    let resp = client.get("/sessions/sk").unwrap();
+    let v = resp.json().unwrap();
+    let mode = v
+        .get("spec")
+        .and_then(|s| s.get("mode"))
+        .and_then(|m| m.as_str())
+        .map(str::to_owned);
+    assert_eq!(mode.as_deref(), Some("stream"));
+
+    // The memory gauges are present and live.
+    let metrics = client.get("/metrics").unwrap().text();
+    let gauge = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{name}{{session=\"sk\"}}")))
+            .and_then(|l| l.split_whitespace().last())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} gauge missing for session sk:\n{metrics}"))
+    };
+    assert!(gauge("pg_serve_session_accum_bytes") > 0);
+    let _ = gauge("pg_serve_session_fingerprint_entries");
+}

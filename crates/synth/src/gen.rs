@@ -2,14 +2,11 @@
 //! assignment out.
 
 use crate::profile::ValueModel;
-use crate::spec::{edge_type_name, node_type_name, SynthSpec};
-use pg_model::{
-    Edge, EdgeId, EdgeType, LabelSet, Node, NodeId, Presence, PropertyGraph, SchemaGraph,
-};
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::spec::SynthSpec;
+use pg_model::{Edge, EdgeId, EdgeType, NodeId, Presence, PropertyGraph};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Spurious-label vocabulary used by the `label_noise_rate` knob.
 pub const NOISE_LABELS: [&str; 3] = ["Tmp", "Imported", "Draft"];
@@ -95,27 +92,6 @@ pub fn edge_instance(
     edge
 }
 
-/// Instances of the node types whose members can serve as an endpoint
-/// declared as `want`: exact label-set match first (the by-construction
-/// case for [`crate::random_schema`]), otherwise any type carrying at
-/// least the wanted labels.
-fn endpoint_members(schema: &SchemaGraph, members: &[Vec<NodeId>], want: &LabelSet) -> Vec<NodeId> {
-    let mut out = Vec::new();
-    for (i, nt) in schema.node_types.iter().enumerate() {
-        if nt.labels == *want {
-            out.extend_from_slice(&members[i]);
-        }
-    }
-    if out.is_empty() && !want.is_empty() {
-        for (i, nt) in schema.node_types.iter().enumerate() {
-            if want.is_subset_of(&nt.labels) {
-                out.extend_from_slice(&members[i]);
-            }
-        }
-    }
-    out
-}
-
 /// Generate a property graph from the spec. Deterministic in
 /// `(spec, seed)`: the generator runs single-threaded on one
 /// `ChaCha8Rng` stream, so the output is bit-identical regardless of
@@ -138,129 +114,29 @@ fn endpoint_members(schema: &SchemaGraph, members: &[Vec<NodeId>], want: &LabelS
 /// attacks the type discriminator itself). Ground truth always records
 /// the *generating* type, noise notwithstanding.
 pub fn synthesize(spec: &SynthSpec, seed: u64) -> SynthOutput {
-    let noise = spec.noise.clamped();
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let schema = &spec.schema;
     let mut graph = PropertyGraph::with_capacity(
         schema.node_types.len() * spec.nodes_per_type,
         schema.edge_types.len() * spec.edges_per_type,
     );
     let mut truth = TypeAssignment::default();
-    let mut members: Vec<Vec<NodeId>> = Vec::with_capacity(schema.node_types.len());
-    let mut next_id: u64 = 0;
-
-    for nt in &schema.node_types {
-        let name = node_type_name(nt);
-        let mut ids = Vec::with_capacity(spec.nodes_per_type);
-        for _ in 0..spec.nodes_per_type {
-            let mut node = Node::new(next_id, nt.labels.clone());
-            next_id += 1;
-            for (key, ps) in &nt.properties {
-                let present = match ps.presence {
-                    Some(Presence::Optional) => {
-                        rng.gen_bool(spec.values.optional_present_rate.clamp(0.0, 1.0))
-                            && !rng.gen_bool(noise.missing_optional_rate)
-                    }
-                    _ => !rng.gen_bool(noise.missing_mandatory_rate),
-                };
-                if present {
-                    node.props
-                        .insert(key.clone(), spec.values.draw(ps.datatype, &mut rng));
-                }
-            }
-            if !node.labels.is_empty() {
-                if rng.gen_bool(noise.unlabeled_fraction) {
-                    node.labels = LabelSet::empty();
-                } else if rng.gen_bool(noise.label_noise_rate) {
-                    let extra = NOISE_LABELS[rng.gen_range(0..NOISE_LABELS.len())];
-                    node.labels = node.labels.union(&LabelSet::single(extra));
-                }
-            }
+    for chunk in crate::stream::StreamGen::new(spec, seed) {
+        for (node, name) in chunk.nodes.into_iter().zip(chunk.node_types) {
             let id = graph.add_node(node).expect("generated node ids are unique");
-            truth.node_type.insert(id, name.clone());
-            ids.push(id);
+            truth.node_type.insert(id, name);
         }
-        members.push(ids);
-    }
-
-    for et in &schema.edge_types {
-        let name = edge_type_name(et);
-        let srcs = endpoint_members(schema, &members, &et.src_labels);
-        let tgts = endpoint_members(schema, &members, &et.tgt_labels);
-        if srcs.is_empty() || tgts.is_empty() {
-            continue;
-        }
-        let (max_out, max_in) = match et.cardinality {
-            Some(c) => (c.max_out as usize, c.max_in as usize),
-            None => (usize::MAX, usize::MAX),
-        };
-        let mut srcs = srcs;
-        let mut tgts = tgts;
-        srcs.shuffle(&mut rng);
-        tgts.shuffle(&mut rng);
-        // Capacity-aware wiring: each round hands every source at most
-        // one new distinct target, scanning targets from a rotating
-        // offset so in-capacity is consumed evenly. Distinct
-        // out-neighbors per source ≤ max_out (one per round), distinct
-        // in-neighbors per target ≤ max_in (each (src, tgt) pair is
-        // wired at most once, so in-degree equals distinct sources).
-        let mut out_nbrs: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
-        let mut in_deg: HashMap<NodeId, usize> = HashMap::new();
-        let mut made = 0usize;
-        'rounds: for round in 0..max_out.min(tgts.len()) {
-            let mut progressed = false;
-            for (i, &s) in srcs.iter().enumerate() {
-                if made >= spec.edges_per_type {
-                    break 'rounds;
-                }
-                let start = (i + round) % tgts.len();
-                for k in 0..tgts.len() {
-                    let t = tgts[(start + k) % tgts.len()];
-                    if t == s
-                        || *in_deg.get(&t).unwrap_or(&0) >= max_in
-                        || out_nbrs.get(&s).is_some_and(|n| n.contains(&t))
-                    {
-                        continue;
-                    }
-                    let mut edge = edge_instance(next_id, et, s, t, &spec.values, &mut rng);
-                    next_id += 1;
-                    if noise.missing_optional_rate > 0.0 {
-                        let optional: Vec<_> = et
-                            .properties
-                            .iter()
-                            .filter(|(_, ps)| ps.presence == Some(Presence::Optional))
-                            .map(|(k, _)| k.clone())
-                            .collect();
-                        for key in optional {
-                            if edge.props.contains_key(&key)
-                                && rng.gen_bool(noise.missing_optional_rate)
-                            {
-                                edge.props.remove(&key);
-                            }
-                        }
-                    }
-                    let id = graph.add_edge(edge).expect("wired endpoints exist");
-                    truth.edge_type.insert(id, name.clone());
-                    out_nbrs.entry(s).or_default().insert(t);
-                    *in_deg.entry(t).or_default() += 1;
-                    made += 1;
-                    progressed = true;
-                    break;
-                }
-            }
-            if !progressed {
-                break;
-            }
+        for (se, name) in chunk.edges.into_iter().zip(chunk.edge_types) {
+            let id = graph.add_edge(se.edge).expect("wired endpoints exist");
+            truth.edge_type.insert(id, name);
         }
     }
-
     SynthOutput { graph, truth }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{random_schema, SchemaParams};
+    use crate::spec::{edge_type_name, random_schema, SchemaParams};
     use std::collections::BTreeSet;
 
     fn spec(seed: u64) -> SynthSpec {

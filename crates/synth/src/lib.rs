@@ -36,6 +36,7 @@
 pub mod gen;
 pub mod profile;
 pub mod spec;
+pub mod stream;
 pub mod transform;
 
 pub use gen::{edge_instance, synthesize, SynthOutput, TypeAssignment};
@@ -43,4 +44,5 @@ pub use profile::{NoiseProfile, ValueModel};
 pub use spec::{
     edge_type_name, node_type_name, random_schema, CardinalityProfile, SchemaParams, SynthSpec,
 };
+pub use stream::{StreamChunk, StreamEdge, StreamGen};
 pub use transform::{permute_ids, rename_graph_labels, rename_schema_labels};

@@ -1,0 +1,572 @@
+//! Iterator-based streaming generator: the exact generation sequence of
+//! [`crate::synthesize`], made resumable so a consumer can drain the
+//! corpus in fixed-size chunks without materializing the whole graph.
+//!
+//! [`crate::synthesize`] is *implemented on top of* [`StreamGen`], so
+//! the chunked and one-shot outputs are bit-identical for the same
+//! `(spec, seed)` by construction — the RNG is the single sequential
+//! `ChaCha8Rng` stream both paths share, and chunk boundaries never
+//! touch it. A content-hash regression test pins this equivalence.
+//!
+//! Memory: the generator retains the per-type member id lists and the
+//! actual (post-noise) label set of every node — needed to wire edges
+//! and resolve endpoint labels — plus the wiring state of the edge type
+//! currently being emitted. It never holds a [`pg_model::PropertyGraph`].
+//! Large streams are produced in *rounds*: independent `StreamGen`s
+//! with derived seeds and disjoint [`StreamGen::with_id_offset`] ranges,
+//! each dropped after draining, so resident memory is bounded by one
+//! round regardless of total stream length.
+
+use crate::gen::{edge_instance, NOISE_LABELS};
+use crate::profile::NoiseProfile;
+use crate::spec::{edge_type_name, node_type_name, SynthSpec};
+use pg_model::{Edge, EdgeType, LabelSet, Node, NodeId, NodeType, Presence, SchemaGraph};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
+
+/// An edge with both endpoint label sets resolved at generation time —
+/// the same pairing `pg_store::load` derives from a materialized graph,
+/// so a discovery session can ingest stream chunks directly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEdge {
+    /// The edge itself.
+    pub edge: Edge,
+    /// Actual (post-noise) labels of the source node.
+    pub src_labels: LabelSet,
+    /// Actual (post-noise) labels of the target node.
+    pub tgt_labels: LabelSet,
+}
+
+/// One deterministic batch of the stream. Nodes always precede edges
+/// globally (the generator finishes the node phase before wiring), so
+/// concatenating chunks in order reproduces the one-shot element order.
+#[derive(Debug, Clone, Default)]
+pub struct StreamChunk {
+    /// 0-based chunk index.
+    pub index: usize,
+    /// Nodes in generation order.
+    pub nodes: Vec<Node>,
+    /// Ground-truth generating type per node (parallel to `nodes`).
+    pub node_types: Vec<String>,
+    /// Edges in generation order, endpoint labels resolved.
+    pub edges: Vec<StreamEdge>,
+    /// Ground-truth generating type per edge (parallel to `edges`).
+    pub edge_types: Vec<String>,
+}
+
+impl StreamChunk {
+    /// Elements in this chunk.
+    pub fn len(&self) -> usize {
+        self.nodes.len() + self.edges.len()
+    }
+
+    /// Whether the chunk carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+}
+
+/// One conforming node instance: the per-node generation step of
+/// [`crate::synthesize`], factored out so the streaming and one-shot
+/// paths share one copy of the RNG-draw sequence.
+fn node_instance(
+    nt: &NodeType,
+    spec: &SynthSpec,
+    noise: &NoiseProfile,
+    id: u64,
+    rng: &mut ChaCha8Rng,
+) -> Node {
+    let mut node = Node::new(id, nt.labels.clone());
+    for (key, ps) in &nt.properties {
+        let present = match ps.presence {
+            Some(Presence::Optional) => {
+                rng.gen_bool(spec.values.optional_present_rate.clamp(0.0, 1.0))
+                    && !rng.gen_bool(noise.missing_optional_rate)
+            }
+            _ => !rng.gen_bool(noise.missing_mandatory_rate),
+        };
+        if present {
+            node.props
+                .insert(key.clone(), spec.values.draw(ps.datatype, rng));
+        }
+    }
+    if !node.labels.is_empty() {
+        if rng.gen_bool(noise.unlabeled_fraction) {
+            node.labels = LabelSet::empty();
+        } else if rng.gen_bool(noise.label_noise_rate) {
+            let extra = NOISE_LABELS[rng.gen_range(0..NOISE_LABELS.len())];
+            node.labels = node.labels.union(&LabelSet::single(extra));
+        }
+    }
+    node
+}
+
+/// Instances of the node types whose members can serve as an endpoint
+/// declared as `want`: exact label-set match first (the by-construction
+/// case for [`crate::random_schema`]), otherwise any type carrying at
+/// least the wanted labels.
+fn endpoint_members(schema: &SchemaGraph, members: &[Vec<NodeId>], want: &LabelSet) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for (i, nt) in schema.node_types.iter().enumerate() {
+        if nt.labels == *want {
+            out.extend_from_slice(&members[i]);
+        }
+    }
+    if out.is_empty() && !want.is_empty() {
+        for (i, nt) in schema.node_types.iter().enumerate() {
+            if want.is_subset_of(&nt.labels) {
+                out.extend_from_slice(&members[i]);
+            }
+        }
+    }
+    out
+}
+
+/// Resumable capacity-aware wiring of one edge type: the `'rounds` loop
+/// of the one-shot generator unrolled into explicit state, one emitted
+/// edge per [`Wiring::next_edge`] call. Each round hands every source at
+/// most one new distinct target, scanning targets from a rotating offset
+/// so in-capacity is consumed evenly; distinct out-neighbors per source
+/// ≤ `max_out`, distinct in-neighbors per target ≤ `max_in`.
+struct Wiring {
+    srcs: Vec<NodeId>,
+    tgts: Vec<NodeId>,
+    max_in: usize,
+    /// `max_out.min(tgts.len())` — the round count of the one-shot loop.
+    rounds: usize,
+    out_nbrs: HashMap<NodeId, HashSet<NodeId>>,
+    in_deg: HashMap<NodeId, usize>,
+    /// Next-open skip pointers over `tgts` positions (cyclic,
+    /// path-compressed): `jump[p]` resolves to the first position ≥ p
+    /// (mod n) whose target still has in-capacity. Saturated positions
+    /// are spliced out lazily, so a scan visits only open targets —
+    /// without this the rotating scan re-walks every saturated target
+    /// once per source per round, which is O(srcs × tgts) on types
+    /// whose in-capacity fills (the dominant cost at ≥100k nodes).
+    /// The scan still visits open positions in the exact cyclic order
+    /// of the naive loop, so the selected targets — and therefore the
+    /// generated stream — are bit-identical.
+    jump: Vec<u32>,
+    /// Targets with `in_deg < max_in` remaining.
+    open: usize,
+    made: usize,
+    round: usize,
+    src_i: usize,
+    progressed: bool,
+}
+
+impl Wiring {
+    fn new(srcs: Vec<NodeId>, tgts: Vec<NodeId>, max_out: usize, max_in: usize) -> Wiring {
+        let rounds = max_out.min(tgts.len());
+        let open = tgts.len();
+        Wiring {
+            jump: (0..tgts.len() as u32).collect(),
+            open,
+            srcs,
+            tgts,
+            max_in,
+            rounds,
+            out_nbrs: HashMap::new(),
+            in_deg: HashMap::new(),
+            made: 0,
+            round: 0,
+            src_i: 0,
+            progressed: false,
+        }
+    }
+
+    /// First open position at or after `p` (cyclically), with path
+    /// compression. Must not be called with zero open targets.
+    fn find_open(&mut self, p: usize) -> usize {
+        let n = self.jump.len();
+        let mut p = p % n;
+        // Follow pointers, remembering the chain for compression.
+        let mut chain = Vec::new();
+        while self.jump[p] as usize != p {
+            chain.push(p);
+            p = self.jump[p] as usize % n;
+        }
+        for q in chain {
+            self.jump[q] = p as u32;
+        }
+        p
+    }
+
+    /// Splice position `p` out of the open cycle (its target saturated).
+    fn saturate(&mut self, p: usize) {
+        let n = self.jump.len();
+        self.jump[p] = ((p + 1) % n) as u32;
+        self.open -= 1;
+    }
+
+    /// The next wired edge, or `None` when this type is exhausted
+    /// (quota met, every round spent, or a full round made no progress).
+    /// RNG draws happen in exactly the order of the one-shot loop: only
+    /// when a `(src, tgt)` slot is actually wired.
+    fn next_edge(
+        &mut self,
+        et: &EdgeType,
+        spec: &SynthSpec,
+        noise: &NoiseProfile,
+        id: u64,
+        rng: &mut ChaCha8Rng,
+    ) -> Option<Edge> {
+        loop {
+            if self.round >= self.rounds {
+                return None;
+            }
+            while self.src_i < self.srcs.len() {
+                if self.made >= spec.edges_per_type {
+                    return None;
+                }
+                // Every target saturated: no source in this or any later
+                // round can wire anything, which is exactly the naive
+                // loop's no-progress exit — minus the full rescan.
+                if self.open == 0 {
+                    return None;
+                }
+                let i = self.src_i;
+                self.src_i += 1;
+                let s = self.srcs[i];
+                let start = (i + self.round) % self.tgts.len();
+                // One cycle over the *open* positions from `start`, in
+                // the same order the naive scan visits them.
+                let first = self.find_open(start);
+                let mut p = first;
+                loop {
+                    let t = self.tgts[p];
+                    if t != s && !self.out_nbrs.get(&s).is_some_and(|n| n.contains(&t)) {
+                        let mut edge = edge_instance(id, et, s, t, &spec.values, rng);
+                        if noise.missing_optional_rate > 0.0 {
+                            let optional: Vec<_> = et
+                                .properties
+                                .iter()
+                                .filter(|(_, ps)| ps.presence == Some(Presence::Optional))
+                                .map(|(k, _)| k.clone())
+                                .collect();
+                            for key in optional {
+                                if edge.props.contains_key(&key)
+                                    && rng.gen_bool(noise.missing_optional_rate)
+                                {
+                                    edge.props.remove(&key);
+                                }
+                            }
+                        }
+                        self.out_nbrs.entry(s).or_default().insert(t);
+                        let deg = self.in_deg.entry(t).or_default();
+                        *deg += 1;
+                        if *deg >= self.max_in {
+                            self.saturate(p);
+                        }
+                        self.made += 1;
+                        self.progressed = true;
+                        return Some(edge);
+                    }
+                    p = self.find_open(p + 1);
+                    if p == first {
+                        break;
+                    }
+                }
+            }
+            if !self.progressed {
+                return None;
+            }
+            self.round += 1;
+            self.src_i = 0;
+            self.progressed = false;
+        }
+    }
+}
+
+/// One generated element, before chunking.
+enum Emitted {
+    Node(Node, String),
+    Edge(StreamEdge, String),
+}
+
+/// The streaming generator: an `Iterator` over [`StreamChunk`]s that
+/// replays the exact `(spec, seed)` generation of [`crate::synthesize`].
+///
+/// ```
+/// use pg_synth::{random_schema, SchemaParams, StreamGen, SynthSpec};
+/// let spec = SynthSpec::new(random_schema(&SchemaParams::default(), 7));
+/// let total: usize = StreamGen::new(&spec, 7)
+///     .with_chunk_size(100)
+///     .map(|c| c.len())
+///     .sum();
+/// let one_shot = pg_synth::synthesize(&spec, 7);
+/// assert_eq!(total, one_shot.graph.node_count() + one_shot.graph.edge_count());
+/// ```
+pub struct StreamGen<'a> {
+    spec: &'a SynthSpec,
+    noise: NoiseProfile,
+    rng: ChaCha8Rng,
+    chunk_size: usize,
+    id_offset: u64,
+    /// Ids handed out so far, relative to `id_offset`.
+    next_rel: u64,
+    node_type_i: usize,
+    node_made: usize,
+    /// Member ids per node type, for endpoint selection.
+    members: Vec<Vec<NodeId>>,
+    /// Actual (post-noise) labels by relative node id, for resolving
+    /// [`StreamEdge`] endpoint labels.
+    labels: Vec<LabelSet>,
+    edge_type_i: usize,
+    wiring: Option<Wiring>,
+    chunks_emitted: usize,
+    done: bool,
+}
+
+impl<'a> StreamGen<'a> {
+    /// Default elements per chunk (nodes + edges).
+    pub const DEFAULT_CHUNK_SIZE: usize = 65_536;
+
+    /// A generator replaying the `(spec, seed)` stream from the start.
+    pub fn new(spec: &'a SynthSpec, seed: u64) -> StreamGen<'a> {
+        StreamGen {
+            noise: spec.noise.clamped(),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            chunk_size: Self::DEFAULT_CHUNK_SIZE,
+            id_offset: 0,
+            next_rel: 0,
+            node_type_i: 0,
+            node_made: 0,
+            members: vec![Vec::new(); spec.schema.node_types.len()],
+            labels: Vec::new(),
+            edge_type_i: 0,
+            wiring: None,
+            chunks_emitted: 0,
+            done: false,
+            spec,
+        }
+    }
+
+    /// Elements per chunk (clamped to ≥ 1). The chunking never touches
+    /// the RNG, so any chunk size yields the same concatenated stream.
+    pub fn with_chunk_size(mut self, n: usize) -> StreamGen<'a> {
+        self.chunk_size = n.max(1);
+        self
+    }
+
+    /// Shift every generated id (nodes, edges, endpoints) by a constant.
+    /// Ids never feed the RNG, so an offset run emits the same elements
+    /// under translated ids — this is how multi-round benches keep
+    /// per-round id ranges disjoint.
+    pub fn with_id_offset(mut self, offset: u64) -> StreamGen<'a> {
+        debug_assert_eq!(self.next_rel, 0, "set the offset before draining");
+        self.id_offset = offset;
+        self
+    }
+
+    fn labels_of(&self, id: NodeId) -> LabelSet {
+        self.labels[(id.0 - self.id_offset) as usize].clone()
+    }
+
+    /// Generate the next element, advancing phase state as needed.
+    fn step(&mut self) -> Option<Emitted> {
+        let schema = &self.spec.schema;
+        while self.node_type_i < schema.node_types.len() {
+            if self.node_made < self.spec.nodes_per_type {
+                let nt = &schema.node_types[self.node_type_i];
+                let id = self.id_offset + self.next_rel;
+                self.next_rel += 1;
+                self.node_made += 1;
+                let node = node_instance(nt, self.spec, &self.noise, id, &mut self.rng);
+                self.labels.push(node.labels.clone());
+                self.members[self.node_type_i].push(node.id);
+                return Some(Emitted::Node(node, node_type_name(nt)));
+            }
+            self.node_type_i += 1;
+            self.node_made = 0;
+        }
+        loop {
+            if let Some(w) = self.wiring.as_mut() {
+                let et = &schema.edge_types[self.edge_type_i];
+                let id = self.id_offset + self.next_rel;
+                if let Some(edge) = w.next_edge(et, self.spec, &self.noise, id, &mut self.rng) {
+                    self.next_rel += 1;
+                    let src_labels = self.labels_of(edge.src);
+                    let tgt_labels = self.labels_of(edge.tgt);
+                    return Some(Emitted::Edge(
+                        StreamEdge {
+                            edge,
+                            src_labels,
+                            tgt_labels,
+                        },
+                        edge_type_name(et),
+                    ));
+                }
+                self.wiring = None;
+                self.edge_type_i += 1;
+            }
+            if self.edge_type_i >= schema.edge_types.len() {
+                return None;
+            }
+            let et = &schema.edge_types[self.edge_type_i];
+            let mut srcs = endpoint_members(schema, &self.members, &et.src_labels);
+            let mut tgts = endpoint_members(schema, &self.members, &et.tgt_labels);
+            if srcs.is_empty() || tgts.is_empty() {
+                self.edge_type_i += 1;
+                continue;
+            }
+            srcs.shuffle(&mut self.rng);
+            tgts.shuffle(&mut self.rng);
+            let (max_out, max_in) = match et.cardinality {
+                Some(c) => (c.max_out as usize, c.max_in as usize),
+                None => (usize::MAX, usize::MAX),
+            };
+            self.wiring = Some(Wiring::new(srcs, tgts, max_out, max_in));
+        }
+    }
+}
+
+impl Iterator for StreamGen<'_> {
+    type Item = StreamChunk;
+
+    fn next(&mut self) -> Option<StreamChunk> {
+        if self.done {
+            return None;
+        }
+        let mut chunk = StreamChunk {
+            index: self.chunks_emitted,
+            ..StreamChunk::default()
+        };
+        while chunk.len() < self.chunk_size {
+            match self.step() {
+                Some(Emitted::Node(n, t)) => {
+                    chunk.nodes.push(n);
+                    chunk.node_types.push(t);
+                }
+                Some(Emitted::Edge(e, t)) => {
+                    chunk.edges.push(e);
+                    chunk.edge_types.push(t);
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            self.chunks_emitted += 1;
+            Some(chunk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{random_schema, SchemaParams};
+    use crate::synthesize;
+
+    fn spec(seed: u64) -> SynthSpec {
+        SynthSpec::new(random_schema(&SchemaParams::default(), seed))
+    }
+
+    #[test]
+    fn chunked_stream_matches_one_shot_bit_for_bit() {
+        for seed in [0u64, 3, 17] {
+            let s = spec(seed);
+            let one_shot = synthesize(&s, seed);
+            let mut nodes = Vec::new();
+            let mut edges = Vec::new();
+            for chunk in StreamGen::new(&s, seed).with_chunk_size(7) {
+                nodes.extend(chunk.nodes);
+                edges.extend(chunk.edges.into_iter().map(|e| e.edge));
+            }
+            assert_eq!(
+                nodes,
+                one_shot.graph.nodes().cloned().collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                edges,
+                one_shot.graph.edges().cloned().collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_size_never_changes_the_stream() {
+        let s = spec(9);
+        let drain = |cs: usize| -> (Vec<Node>, Vec<StreamEdge>) {
+            let mut n = Vec::new();
+            let mut e = Vec::new();
+            for c in StreamGen::new(&s, 9).with_chunk_size(cs) {
+                n.extend(c.nodes);
+                e.extend(c.edges);
+            }
+            (n, e)
+        };
+        let small = drain(1);
+        let big = drain(usize::MAX);
+        assert_eq!(small, big);
+    }
+
+    #[test]
+    fn truth_assignment_matches_one_shot() {
+        let s = spec(5);
+        let one_shot = synthesize(&s, 5);
+        for chunk in StreamGen::new(&s, 5).with_chunk_size(13) {
+            for (node, name) in chunk.nodes.iter().zip(&chunk.node_types) {
+                assert_eq!(one_shot.truth.node_type.get(&node.id), Some(name));
+            }
+            for (se, name) in chunk.edges.iter().zip(&chunk.edge_types) {
+                assert_eq!(one_shot.truth.edge_type.get(&se.edge.id), Some(name));
+            }
+        }
+    }
+
+    #[test]
+    fn id_offset_translates_ids_without_touching_values() {
+        let s = spec(2);
+        let base: Vec<StreamChunk> = StreamGen::new(&s, 2).with_chunk_size(50).collect();
+        let off: Vec<StreamChunk> = StreamGen::new(&s, 2)
+            .with_chunk_size(50)
+            .with_id_offset(1_000_000)
+            .collect();
+        assert_eq!(base.len(), off.len());
+        for (b, o) in base.iter().zip(&off) {
+            for (nb, no) in b.nodes.iter().zip(&o.nodes) {
+                assert_eq!(no.id.0, nb.id.0 + 1_000_000);
+                assert_eq!(no.labels, nb.labels);
+                assert_eq!(no.props, nb.props);
+            }
+            for (eb, eo) in b.edges.iter().zip(&o.edges) {
+                assert_eq!(eo.edge.id.0, eb.edge.id.0 + 1_000_000);
+                assert_eq!(eo.edge.src.0, eb.edge.src.0 + 1_000_000);
+                assert_eq!(eo.edge.tgt.0, eb.edge.tgt.0 + 1_000_000);
+                assert_eq!(eo.edge.props, eb.edge.props);
+                assert_eq!(eo.src_labels, eb.src_labels);
+                assert_eq!(eo.tgt_labels, eb.tgt_labels);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_edge_labels_match_generated_nodes() {
+        let s = spec(11).with_noise(crate::NoiseProfile {
+            unlabeled_fraction: 0.3,
+            ..Default::default()
+        });
+        let one_shot = synthesize(&s, 11);
+        for chunk in StreamGen::new(&s, 11) {
+            for se in &chunk.edges {
+                let src = one_shot.graph.node(se.edge.src).unwrap();
+                let tgt = one_shot.graph.node(se.edge.tgt).unwrap();
+                assert_eq!(
+                    se.src_labels, src.labels,
+                    "post-noise labels, not type labels"
+                );
+                assert_eq!(se.tgt_labels, tgt.labels);
+            }
+        }
+    }
+}

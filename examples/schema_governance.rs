@@ -85,7 +85,7 @@ fn main() {
     let json = serde_json::to_string(&checkpoint).unwrap();
     println!("checkpoint: {} bytes of JSON", json.len());
     let restored: SessionCheckpoint = serde_json::from_str(&json).unwrap();
-    let resumed = HiveSession::restore(config, restored);
+    let resumed = HiveSession::restore(config, restored).expect("same accumulator mode");
     println!(
         "restored session: {} types, {} cache hits so far",
         resumed.schema().type_count(),

@@ -229,6 +229,44 @@ fn main() {
         let (nodes, edges) = pg_store::load(&out.graph);
         eprintln!("   generated {} nodes, {} edges", nodes.len(), edges.len());
 
+        // Parse stage: serialize the graph once, then time the ingest
+        // parse over the same bytes through the zero-copy decoder (the
+        // default path) and the serde_json reference path. Both decoded
+        // graphs must re-serialize to the input byte-for-byte — this is
+        // the CI self-check that the zero-copy path is bit-identical.
+        let doc = pg_store::jsonl::to_jsonl(&out.graph);
+        let records = out.graph.node_count() + out.graph.edge_count();
+        let mut parse_ms = f64::INFINITY;
+        let mut parse_reference_ms = f64::INFINITY;
+        for rep in 0..opts.repeat {
+            let t = Instant::now();
+            let (g, q) = pg_store::jsonl::from_jsonl_with_policy(&doc, pg_store::ErrorPolicy::Strict)
+                .expect("synthesized dump is clean");
+            parse_ms = parse_ms.min(ms(t.elapsed()));
+            let t = Instant::now();
+            let (g_ref, q_ref) =
+                pg_store::jsonl::from_jsonl_with_policy_reference(&doc, pg_store::ErrorPolicy::Strict)
+                    .expect("synthesized dump is clean");
+            parse_reference_ms = parse_reference_ms.min(ms(t.elapsed()));
+            if rep == 0 {
+                assert_eq!(q.len(), 0);
+                assert_eq!(q_ref.len(), 0);
+                let round = pg_store::jsonl::to_jsonl(&g);
+                assert_eq!(round, doc, "zero-copy parse diverged from input");
+                assert_eq!(
+                    pg_store::jsonl::to_jsonl(&g_ref),
+                    round,
+                    "reference parse diverged from zero-copy parse"
+                );
+            }
+        }
+        eprintln!(
+            "   parse ({} records, {:.1} MiB): {parse_ms:.1} ms zero-copy vs {parse_reference_ms:.1} ms reference ({:.2}x)",
+            records,
+            doc.len() as f64 / (1024.0 * 1024.0),
+            parse_reference_ms / parse_ms,
+        );
+
         // Best-of-`repeat` per configuration: the first pass over a
         // freshly synthesized graph pays page-fault warmup that can
         // exceed the work itself on small machines, so the minimum is
@@ -296,6 +334,16 @@ fn main() {
             ("nodes", num(nodes.len())),
             ("edges", num(edges.len())),
             ("schema_hash", text(&hash)),
+            (
+                "parse",
+                obj(vec![
+                    ("parse_ms", float(parse_ms)),
+                    ("parse_reference_ms", float(parse_reference_ms)),
+                    ("speedup", float(parse_reference_ms / parse_ms)),
+                    ("bytes", num(doc.len())),
+                    ("records", num(records)),
+                ]),
+            ),
             (
                 "runs",
                 JsonValue::Array(runs.iter().map(run_json).collect()),

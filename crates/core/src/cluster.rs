@@ -9,13 +9,13 @@
 
 use crate::config::{HiveConfig, LshMethod, LshParams};
 use crate::features::{EdgeFingerprint, FeatureSpace, NodeFingerprint};
-use crate::state::{EdgeTypeAccum, NodeTypeAccum};
+use crate::state::{DtypeHist, EdgeTypeAccum, NodeTypeAccum};
 use pg_lsh::adaptive::{self, AdaptiveParams, ElementKind};
 use pg_lsh::{group_by_key, Clustering, EuclideanLsh, Grouping, MinHashLsh, SparseVec};
-use pg_model::{LabelSet, Symbol};
+use pg_model::{DataType, FnvBuildHasher, LabelSet, Symbol};
 use pg_store::{EdgeRecord, NodeRecord};
 use rayon::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// How far the structural-fingerprint dedup collapsed one clustering
 /// pass: `records` elements entered, `distinct` fingerprints were
@@ -378,23 +378,104 @@ impl EdgeCluster {
     }
 }
 
+/// Stable counting-sort of chunk-local record indices by cluster id:
+/// records of cluster `c` end up at `order[starts[c]..starts[c]+counts[c]]`,
+/// in chunk order. The flat kernels below therefore visit each cluster's
+/// members in exactly the order the old per-record fold did, which is
+/// what keeps `accum.members` / `accum.endpoints` bit-identical.
+fn group_by_cluster(
+    assignment: &[usize],
+    num_clusters: usize,
+) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let mut counts = vec![0usize; num_clusters];
+    for &cid in assignment {
+        counts[cid] += 1;
+    }
+    let mut starts = vec![0usize; num_clusters];
+    let mut acc = 0usize;
+    for (s, &c) in starts.iter_mut().zip(&counts) {
+        *s = acc;
+        acc += c;
+    }
+    let mut order = vec![0usize; assignment.len()];
+    let mut next = starts.clone();
+    for (i, &cid) in assignment.iter().enumerate() {
+        order[next[cid]] = i;
+        next[cid] += 1;
+    }
+    (order, starts, counts)
+}
+
+/// Per-property flat accumulation state, reused across the clusters of
+/// one chunk: property keys resolve to dense slots through an FNV map of
+/// borrowed `&str` (no hashing of `Arc` pointers, no per-record clone),
+/// and presence counts / dtype histograms live in slot-indexed arrays.
+/// Exactly one `Symbol` clone happens per distinct key per cluster — the
+/// same clone the old `entry(k.clone())` path kept only on first
+/// insertion, minus the 2× per-record clone-and-drop traffic.
+#[derive(Default)]
+struct KeySlots<'a> {
+    slots: HashMap<&'a str, usize, FnvBuildHasher>,
+    syms: Vec<Symbol>,
+    present: Vec<u64>,
+    hist: Vec<DtypeHist>,
+}
+
+impl<'a> KeySlots<'a> {
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.syms.clear();
+        self.present.clear();
+        self.hist.clear();
+    }
+
+    /// Fold one property observation in.
+    fn observe(&mut self, key: &'a Symbol, value: &pg_model::PropertyValue) {
+        let slot = match self.slots.get(key.as_ref()) {
+            Some(&s) => s,
+            None => {
+                let s = self.syms.len();
+                self.slots.insert(key.as_ref(), s);
+                self.syms.push(key.clone());
+                self.present.push(0);
+                self.hist.push(DtypeHist::default());
+                s
+            }
+        };
+        self.present[slot] += 1;
+        self.hist[slot].observe(DataType::of(value));
+    }
+
+    /// Convert the flat arrays into the accumulator's map form, draining
+    /// the histograms (counts/symbols stay for `clear` reuse).
+    fn drain_into(
+        &mut self,
+        keys: &mut BTreeSet<Symbol>,
+        key_present: &mut HashMap<Symbol, u64>,
+        dtype_hist: &mut HashMap<Symbol, DtypeHist>,
+    ) {
+        keys.extend(self.syms.iter().cloned());
+        key_present.extend(self.syms.iter().cloned().zip(self.present.iter().copied()));
+        dtype_hist.extend(self.syms.iter().cloned().zip(self.hist.drain(..)));
+    }
+}
+
+/// Fold `other` into `acc` only when it adds a label — the sequential
+/// fold's `acc = acc.union(other)` allocates a fresh vector per record;
+/// the subset test makes the (overwhelmingly common) already-covered
+/// case allocation-free while producing the same canonical set.
+fn union_into(acc: &mut LabelSet, other: &LabelSet) {
+    if !other.is_subset_of(acc) {
+        *acc = acc.union(other);
+    }
+}
+
 fn assemble_node_clusters(nodes: &[NodeRecord], clustering: &Clustering) -> Vec<NodeCluster> {
     let shard = nodes.len().div_ceil(ASSEMBLE_SHARDS).max(1);
     let partials: Vec<Vec<NodeCluster>> = nodes
         .par_chunks(shard)
         .zip(clustering.assignment.par_chunks(shard))
-        .map(|(chunk, assignment)| {
-            let mut clusters: Vec<NodeCluster> = (0..clustering.num_clusters)
-                .map(|_| NodeCluster::default())
-                .collect();
-            for (node, &cid) in chunk.iter().zip(assignment) {
-                let c = &mut clusters[cid];
-                c.labels = c.labels.union(&node.labels);
-                c.keys.extend(node.props.keys().cloned());
-                c.accum.observe(node);
-            }
-            clusters
-        })
+        .map(|(chunk, assignment)| node_chunk_kernel(chunk, assignment, clustering.num_clusters))
         .collect();
     let mut clusters: Vec<NodeCluster> = (0..clustering.num_clusters)
         .map(|_| NodeCluster::default())
@@ -407,25 +488,46 @@ fn assemble_node_clusters(nodes: &[NodeRecord], clustering: &Clustering) -> Vec<
     clusters
 }
 
+/// Flat accumulation kernel for one chunk: group records by cluster id
+/// once, then run a tight per-cluster loop over slot-indexed arrays.
+/// Bit-identical to the old per-record fold — member order is chunk
+/// order and every map ends up with the same (key, count) content — but
+/// without per-record `Arc` churn or redundant label-union allocation.
+fn node_chunk_kernel(
+    chunk: &[NodeRecord],
+    assignment: &[usize],
+    num_clusters: usize,
+) -> Vec<NodeCluster> {
+    let (order, starts, counts) = group_by_cluster(assignment, num_clusters);
+    let mut clusters: Vec<NodeCluster> = (0..num_clusters).map(|_| NodeCluster::default()).collect();
+    let mut ks = KeySlots::default();
+    for (cid, c) in clusters.iter_mut().enumerate() {
+        let n = counts[cid];
+        if n == 0 {
+            continue;
+        }
+        ks.clear();
+        c.accum.members.reserve(n);
+        for &i in &order[starts[cid]..starts[cid] + n] {
+            let node = &chunk[i];
+            union_into(&mut c.labels, &node.labels);
+            c.accum.members.push(node.id);
+            for (k, v) in &node.props {
+                ks.observe(k, v);
+            }
+        }
+        c.accum.count = n as u64;
+        ks.drain_into(&mut c.keys, &mut c.accum.key_present, &mut c.accum.dtype_hist);
+    }
+    clusters
+}
+
 fn assemble_edge_clusters(edges: &[EdgeRecord], clustering: &Clustering) -> Vec<EdgeCluster> {
     let shard = edges.len().div_ceil(ASSEMBLE_SHARDS).max(1);
     let partials: Vec<Vec<EdgeCluster>> = edges
         .par_chunks(shard)
         .zip(clustering.assignment.par_chunks(shard))
-        .map(|(chunk, assignment)| {
-            let mut clusters: Vec<EdgeCluster> = (0..clustering.num_clusters)
-                .map(|_| EdgeCluster::default())
-                .collect();
-            for (rec, &cid) in chunk.iter().zip(assignment) {
-                let c = &mut clusters[cid];
-                c.labels = c.labels.union(&rec.edge.labels);
-                c.src_labels = c.src_labels.union(&rec.src_labels);
-                c.tgt_labels = c.tgt_labels.union(&rec.tgt_labels);
-                c.keys.extend(rec.edge.props.keys().cloned());
-                c.accum.observe(&rec.edge);
-            }
-            clusters
-        })
+        .map(|(chunk, assignment)| edge_chunk_kernel(chunk, assignment, clustering.num_clusters))
         .collect();
     let mut clusters: Vec<EdgeCluster> = (0..clustering.num_clusters)
         .map(|_| EdgeCluster::default())
@@ -434,6 +536,41 @@ fn assemble_edge_clusters(edges: &[EdgeRecord], clustering: &Clustering) -> Vec<
         for (dst, src) in clusters.iter_mut().zip(partial) {
             dst.merge(src);
         }
+    }
+    clusters
+}
+
+/// Edge counterpart of [`node_chunk_kernel`]; additionally folds the
+/// endpoint-label unions and the `(src, tgt)` endpoint list.
+fn edge_chunk_kernel(
+    chunk: &[EdgeRecord],
+    assignment: &[usize],
+    num_clusters: usize,
+) -> Vec<EdgeCluster> {
+    let (order, starts, counts) = group_by_cluster(assignment, num_clusters);
+    let mut clusters: Vec<EdgeCluster> = (0..num_clusters).map(|_| EdgeCluster::default()).collect();
+    let mut ks = KeySlots::default();
+    for (cid, c) in clusters.iter_mut().enumerate() {
+        let n = counts[cid];
+        if n == 0 {
+            continue;
+        }
+        ks.clear();
+        c.accum.members.reserve(n);
+        c.accum.endpoints.reserve(n);
+        for &i in &order[starts[cid]..starts[cid] + n] {
+            let rec = &chunk[i];
+            union_into(&mut c.labels, &rec.edge.labels);
+            union_into(&mut c.src_labels, &rec.src_labels);
+            union_into(&mut c.tgt_labels, &rec.tgt_labels);
+            c.accum.members.push(rec.edge.id);
+            c.accum.endpoints.push((rec.edge.src, rec.edge.tgt));
+            for (k, v) in &rec.edge.props {
+                ks.observe(k, v);
+            }
+        }
+        c.accum.count = n as u64;
+        ks.drain_into(&mut c.keys, &mut c.accum.key_present, &mut c.accum.dtype_hist);
     }
     clusters
 }
@@ -588,6 +725,97 @@ mod tests {
                 // merge must reproduce the sequential visit order.
                 assert_eq!(a.accum.members, b.accum.members, "threads = {t}");
             }
+        }
+    }
+
+    /// The flat chunk kernels are an optimization of the old per-record
+    /// fold; this pins them against a literal reimplementation of that
+    /// fold — same labels, same key sets, same presence counts and
+    /// histograms, same member/endpoint order.
+    #[test]
+    fn flat_kernels_match_naive_fold() {
+        let mut nodes = Vec::new();
+        for i in 0..50u64 {
+            let n = match i % 3 {
+                0 => Node::new(i, LabelSet::from_iter(["Person", "Student"]))
+                    .with_prop("name", format!("p{i}"))
+                    .with_prop("age", i as i64),
+                1 => Node::new(i, LabelSet::single("Person")).with_prop("name", 1.5f64),
+                _ => Node::new(i, LabelSet::empty()).with_prop("age", "old"),
+            };
+            nodes.push(n);
+        }
+        let assignment: Vec<usize> = (0..nodes.len()).map(|i| i % 4).collect();
+        let clustering = Clustering {
+            assignment: assignment.clone(),
+            num_clusters: 5, // one cluster deliberately empty
+        };
+        let flat = assemble_node_clusters(&nodes, &clustering);
+        // Naive reference fold (the pre-kernel implementation).
+        let mut naive: Vec<NodeCluster> = (0..clustering.num_clusters)
+            .map(|_| NodeCluster::default())
+            .collect();
+        for (node, &cid) in nodes.iter().zip(&assignment) {
+            let c = &mut naive[cid];
+            c.labels = c.labels.union(&node.labels);
+            c.keys.extend(node.props.keys().cloned());
+            c.accum.observe(node);
+        }
+        assert_eq!(flat.len(), naive.len());
+        for (a, b) in flat.iter().zip(&naive) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.keys, b.keys);
+            assert_eq!(a.accum.count, b.accum.count);
+            assert_eq!(a.accum.key_present, b.accum.key_present);
+            assert_eq!(a.accum.dtype_hist, b.accum.dtype_hist);
+            assert_eq!(a.accum.members, b.accum.members);
+        }
+
+        let edges: Vec<EdgeRecord> = (0..40u64)
+            .map(|i| EdgeRecord {
+                edge: Edge::new(1000 + i, NodeId(i % 7), NodeId(i % 5), {
+                    if i % 2 == 0 {
+                        LabelSet::single("KNOWS")
+                    } else {
+                        LabelSet::single("LIKES")
+                    }
+                })
+                .with_prop("w", i as i64),
+                src_labels: LabelSet::single("Person"),
+                tgt_labels: if i % 3 == 0 {
+                    LabelSet::single("Org")
+                } else {
+                    LabelSet::single("Person")
+                },
+            })
+            .collect();
+        let assignment: Vec<usize> = (0..edges.len()).map(|i| (i / 3) % 3).collect();
+        let clustering = Clustering {
+            assignment: assignment.clone(),
+            num_clusters: 3,
+        };
+        let flat = assemble_edge_clusters(&edges, &clustering);
+        let mut naive: Vec<EdgeCluster> = (0..clustering.num_clusters)
+            .map(|_| EdgeCluster::default())
+            .collect();
+        for (rec, &cid) in edges.iter().zip(&assignment) {
+            let c = &mut naive[cid];
+            c.labels = c.labels.union(&rec.edge.labels);
+            c.src_labels = c.src_labels.union(&rec.src_labels);
+            c.tgt_labels = c.tgt_labels.union(&rec.tgt_labels);
+            c.keys.extend(rec.edge.props.keys().cloned());
+            c.accum.observe(&rec.edge);
+        }
+        for (a, b) in flat.iter().zip(&naive) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.src_labels, b.src_labels);
+            assert_eq!(a.tgt_labels, b.tgt_labels);
+            assert_eq!(a.keys, b.keys);
+            assert_eq!(a.accum.count, b.accum.count);
+            assert_eq!(a.accum.key_present, b.accum.key_present);
+            assert_eq!(a.accum.dtype_hist, b.accum.dtype_hist);
+            assert_eq!(a.accum.members, b.accum.members);
+            assert_eq!(a.accum.endpoints, b.accum.endpoints);
         }
     }
 

@@ -130,6 +130,16 @@ impl PropertyGraph {
         }
     }
 
+    /// Reserve capacity for at least `nodes` more nodes and `edges` more
+    /// edges. Bulk loaders call this once per batch so the dense stores
+    /// and id→position maps never rehash-grow element by element.
+    pub fn reserve(&mut self, nodes: usize, edges: usize) {
+        self.nodes.reserve(nodes);
+        self.node_pos.reserve(nodes);
+        self.edges.reserve(edges);
+        self.edge_pos.reserve(edges);
+    }
+
     /// Insert a node. Fails on duplicate id.
     pub fn add_node(&mut self, node: Node) -> Result<NodeId, ModelError> {
         let id = node.id;

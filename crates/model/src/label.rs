@@ -53,6 +53,26 @@ impl LabelSet {
         LabelSet(vec![sym(label)])
     }
 
+    /// Build from already-interned symbols; sorts and deduplicates.
+    /// The allocation-lean loaders use this so label strings are pooled
+    /// rather than re-allocated per element.
+    pub fn from_symbols(mut labels: Vec<Symbol>) -> Self {
+        labels.sort();
+        labels.dedup();
+        LabelSet(labels)
+    }
+
+    /// Build from symbols **preserving their wire order** — no sort, no
+    /// dedup. This mirrors the derived `Deserialize` impl exactly (the
+    /// tuple struct is transparent, so JSON input round-trips the raw
+    /// vector); the zero-copy JSONL decoder must match it bit for bit.
+    /// Writers always emit canonical order, so canonical input stays
+    /// canonical — but arbitrary input keeps whatever order it had, just
+    /// like the serde path.
+    pub fn from_wire(labels: Vec<Symbol>) -> Self {
+        LabelSet(labels)
+    }
+
     /// Whether the set is empty (an unlabeled element).
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()

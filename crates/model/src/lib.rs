@@ -28,6 +28,7 @@
 pub mod datatype;
 pub mod error;
 pub mod graph;
+pub mod intern;
 pub mod label;
 pub mod merge;
 pub mod pattern;
@@ -38,6 +39,7 @@ pub mod value;
 pub use datatype::DataType;
 pub use error::ModelError;
 pub use graph::{Edge, EdgeId, Node, NodeId, PropertyGraph};
+pub use intern::{FnvBuildHasher, FnvHasher, SymbolInterner};
 pub use label::{sym, LabelSet, Symbol};
 pub use merge::{merge_schemas, DEFAULT_MERGE_THETA};
 pub use pattern::{EdgePattern, NodePattern};

@@ -21,7 +21,9 @@ use pg_hive::{
     MergeOutcome, SessionAux, SharedSession,
 };
 use pg_store::jsonl::Element;
-use pg_store::{read_jsonl_elements, ErrorPolicy, LoadError, Quarantine};
+use pg_store::{
+    read_jsonl_elements, read_jsonl_elements_with, ErrorPolicy, JsonlDecoder, LoadError, Quarantine,
+};
 use std::collections::BTreeMap;
 use std::fs::{self, File};
 use std::io::Write as _;
@@ -267,6 +269,10 @@ pub struct LiveSession {
     dir: Option<PathBuf>,
     inflight: Arc<AtomicUsize>,
     queue_limit: usize,
+    /// Session-lifetime JSONL decoder: its symbol pool survives across
+    /// batches (and across the streaming transport's slices), so a label
+    /// or property key allocates once per session, not once per line.
+    decoder: Mutex<JsonlDecoder>,
 }
 
 impl LiveSession {
@@ -323,8 +329,10 @@ impl LiveSession {
             .spec
             .policy()
             .expect("spec was validated at session creation");
-        let (elements, quarantine) =
-            read_jsonl_elements(&mut &body[..], policy).map_err(IngestFailure::Parse)?;
+        let mut decoder = self.decoder.lock().unwrap_or_else(|p| p.into_inner());
+        let (elements, quarantine) = read_jsonl_elements_with(&mut decoder, &mut &body[..], policy)
+            .map_err(IngestFailure::Parse)?;
+        drop(decoder);
         self.ingest_parsed(elements, quarantine)
     }
 
@@ -369,8 +377,11 @@ impl LiveSession {
             .spec
             .policy()
             .expect("spec was validated at session creation");
+        let mut decoder = self.decoder.lock().unwrap_or_else(|p| p.into_inner());
         let (mut elements, mut quarantine) =
-            read_jsonl_elements(&mut &chunk[..], policy).map_err(IngestFailure::Parse)?;
+            read_jsonl_elements_with(&mut decoder, &mut &chunk[..], policy)
+                .map_err(IngestFailure::Parse)?;
+        drop(decoder);
         if line_offset > 0 {
             for (line, _) in &mut elements {
                 *line += line_offset;
@@ -647,6 +658,7 @@ impl Registry {
             dir,
             inflight: Arc::new(AtomicUsize::new(0)),
             queue_limit: self.config.session_queue.max(1),
+            decoder: Mutex::new(JsonlDecoder::new()),
         });
         // Persist at creation so a restart finds the session even if it
         // never ingests a batch.
@@ -822,6 +834,7 @@ fn resume_session(
         dir: Some(dir.to_path_buf()),
         inflight: Arc::new(AtomicUsize::new(0)),
         queue_limit: session_queue.max(1),
+        decoder: Mutex::new(JsonlDecoder::new()),
     })
 }
 
@@ -944,6 +957,32 @@ mod tests {
             r2.quarantine.entries()[0].line,
             2,
             "quarantine line is stream-global, not slice-local"
+        );
+    }
+
+    #[test]
+    fn session_decoder_pools_symbols_across_ingest_calls() {
+        let (reg, _) = Registry::open(RegistryConfig::default());
+        let live = reg.create("s1", spec()).unwrap();
+        let body = b"{\"kind\":\"node\",\"id\":1,\"labels\":[\"A\"],\"props\":{\"k\":{\"Int\":1}}}\n";
+        live.ingest_jsonl(body).unwrap_or_else(|_| panic!("ingest 1"));
+        let after_first = live
+            .decoder
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .interned_symbols();
+        let body2 = b"{\"kind\":\"node\",\"id\":2,\"labels\":[\"A\"],\"props\":{\"k\":{\"Int\":2}}}\n";
+        live.ingest_slice(body2, 1)
+            .unwrap_or_else(|_| panic!("ingest 2"));
+        let after_second = live
+            .decoder
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .interned_symbols();
+        assert_eq!(after_first, 2, "label A + key k");
+        assert_eq!(
+            after_second, after_first,
+            "second batch reuses the session's pooled symbols"
         );
     }
 

@@ -304,6 +304,20 @@ fn cluster_ingest(req: &Request, ctx: &Ctx) -> Response {
     }
 }
 
+/// Re-parse a serialized schema into a JSON value. A schema that fails
+/// to re-parse is a server-side invariant break; the handler must
+/// answer the structured 500 returned here rather than a 200 carrying
+/// `"schema": null` that looks like an empty-but-healthy cluster.
+fn parse_schema_value(schema_json: &str) -> Result<serde::Value, Response> {
+    serde_json::from_str(schema_json).map_err(|e| {
+        Response::error(
+            500,
+            "schema_serialize_failed",
+            &format!("re-parsing serialized schema: {e}"),
+        )
+    })
+}
+
 fn cluster_schema(ctx: &Ctx) -> Response {
     let cluster = match coordinator_of(ctx) {
         Ok(c) => c,
@@ -312,8 +326,10 @@ fn cluster_schema(ctx: &Ctx) -> Response {
     match cluster.schema() {
         Ok(view) => {
             let schema_json = pg_hive::serialize::to_json(&view.schema);
-            let schema: serde::Value =
-                serde_json::from_str(&schema_json).unwrap_or(serde::Value::Null);
+            let schema = match parse_schema_value(&schema_json) {
+                Ok(v) => v,
+                Err(resp) => return resp,
+            };
             let rows: Vec<serde::Value> = view.shards.iter().map(|r| r.to_value()).collect();
             Response::json(
                 200,
@@ -747,4 +763,23 @@ fn validate_subgraph(req: &Request, live: &Arc<LiveSession>) -> Response {
             ("quarantine".to_owned(), quarantine_json(&quarantine)),
         ]),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: a schema that fails to re-parse must surface as a
+    /// structured 500, never as `"schema": null` inside a 200.
+    #[test]
+    fn unparsable_schema_is_a_structured_500() {
+        let ok = parse_schema_value(r#"{"node_types":[]}"#).unwrap();
+        assert!(matches!(ok, serde::Value::Object(_)));
+
+        let resp = parse_schema_value("{broken").unwrap_err();
+        assert_eq!(resp.status, 500);
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        assert!(body.contains("schema_serialize_failed"), "{body}");
+        assert!(!body.contains("\"schema\":null"), "{body}");
+    }
 }

@@ -21,7 +21,9 @@
 //! the whole load.
 
 use crate::ingest::{ErrorPolicy, Quarantine};
-use pg_model::{Edge, LabelSet, ModelError, Node, NodeId, PropertyGraph, PropertyValue};
+use pg_model::{
+    Edge, LabelSet, ModelError, Node, NodeId, PropertyGraph, PropertyValue, Symbol, SymbolInterner,
+};
 use std::fmt::Write as _;
 
 /// Escape one CSV field (RFC-4180 style quoting).
@@ -208,11 +210,13 @@ pub fn edges_to_csv(graph: &PropertyGraph) -> String {
     out
 }
 
-fn parse_labels(cell: &str) -> LabelSet {
+/// Parse a `;`-separated label cell through the per-load interner so
+/// repeated labels share one allocation across the whole file.
+fn parse_labels(interner: &mut SymbolInterner, cell: &str) -> LabelSet {
     if cell.is_empty() {
         LabelSet::empty()
     } else {
-        LabelSet::from_iter(cell.split(';'))
+        LabelSet::from_symbols(cell.split(';').map(|l| interner.intern(l)).collect())
     }
 }
 
@@ -312,20 +316,24 @@ pub fn graph_from_csv_with_policy(
 ) -> Result<(PropertyGraph, Quarantine), ModelError> {
     let mut graph = PropertyGraph::new();
     let mut quarantine = Quarantine::new();
+    let mut interner = SymbolInterner::new();
 
     let node_records = split_records(nodes_csv);
     if let Some((header, rows)) = node_records.split_first() {
         let cols = check_header("nodes.csv", header, &["id", "labels"])?;
+        // Intern every header column once; rows then clone the pooled
+        // symbol instead of re-allocating the key string per cell.
+        let col_syms: Vec<Symbol> = cols.iter().map(|c| interner.intern(c)).collect();
+        graph.reserve(rows.len(), 0);
         for rec in rows {
             let outcome = parse_row(&cols, rec, |fields| {
                 let id: u64 = fields[0]
                     .parse()
                     .map_err(|_| format!("bad node id {:?}", fields[0]))?;
-                let mut node = Node::new(id, parse_labels(&fields[1]));
-                for (col, val) in cols.iter().zip(fields).skip(2) {
+                let mut node = Node::new(id, parse_labels(&mut interner, &fields[1]));
+                for (col, val) in col_syms.iter().zip(fields).skip(2) {
                     if !val.is_empty() {
-                        node.props
-                            .insert(pg_model::sym(col), PropertyValue::infer(val));
+                        node.props.insert(col.clone(), PropertyValue::infer(val));
                     }
                 }
                 Ok(node)
@@ -352,6 +360,8 @@ pub fn graph_from_csv_with_policy(
     let edge_records = split_records(edges_csv);
     if let Some((header, rows)) = edge_records.split_first() {
         let cols = check_header("edges.csv", header, &["id", "src", "tgt", "labels"])?;
+        let col_syms: Vec<Symbol> = cols.iter().map(|c| interner.intern(c)).collect();
+        graph.reserve(0, rows.len());
         for rec in rows {
             let outcome = parse_row(&cols, rec, |fields| {
                 let parse_u64 = |s: &str| -> Result<u64, String> {
@@ -361,12 +371,11 @@ pub fn graph_from_csv_with_policy(
                     parse_u64(&fields[0])?,
                     NodeId(parse_u64(&fields[1])?),
                     NodeId(parse_u64(&fields[2])?),
-                    parse_labels(&fields[3]),
+                    parse_labels(&mut interner, &fields[3]),
                 );
-                for (col, val) in cols.iter().zip(fields).skip(4) {
+                for (col, val) in col_syms.iter().zip(fields).skip(4) {
                     if !val.is_empty() {
-                        edge.props
-                            .insert(pg_model::sym(col), PropertyValue::infer(val));
+                        edge.props.insert(col.clone(), PropertyValue::infer(val));
                     }
                 }
                 Ok(edge)

@@ -1,12 +1,14 @@
 //! JSON-lines import/export: one JSON object per line, tagged as a node
 //! or an edge. Lossless for all property value variants.
 
+use crate::decode::JsonlDecoder;
 use crate::ingest::{ErrorPolicy, Quarantine};
 use crate::load::EdgeRecord;
 use pg_model::{Edge, ModelError, Node, PropertyGraph};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::ops::Range;
 
 /// Why a reader-based JSONL load aborted: the underlying reader failed,
 /// or the [`ErrorPolicy`] rejected the input.
@@ -79,11 +81,87 @@ pub fn from_jsonl(text: &str) -> Result<PropertyGraph, ModelError> {
     from_jsonl_with_policy(text, ErrorPolicy::Strict).map(|(g, _)| g)
 }
 
+/// Iterate lines with their byte spans in `text`, matching
+/// `str::lines()` semantics exactly: split on `\n`, strip one trailing
+/// `\r` per line, final segment included even without a newline.
+fn lines_with_spans(text: &str) -> impl Iterator<Item = (Range<usize>, &str)> {
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    std::iter::from_fn(move || {
+        if start >= bytes.len() {
+            return None;
+        }
+        let nl = bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| start + i);
+        let (mut end, next) = match nl {
+            Some(i) => (i, i + 1),
+            None => (bytes.len(), bytes.len()),
+        };
+        if end > start && bytes[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let span = start..end;
+        start = next;
+        Some((span.clone(), &text[span]))
+    })
+}
+
 /// Parse a JSON-lines dump under an [`ErrorPolicy`]. Malformed lines are
 /// diverted to the returned [`Quarantine`] (source `"jsonl"`), as are
 /// duplicate elements and edges whose endpoints are missing — including
 /// endpoints that were themselves quarantined.
+///
+/// Uses the zero-copy [`JsonlDecoder`]: one interner for the whole
+/// dump, no intermediate `Value` tree, and pending edges keep only
+/// `(lineno, byte span)` — the raw line is re-sliced from `text` only
+/// if a quarantine divert actually needs it, instead of speculatively
+/// cloning every edge line up front.
 pub fn from_jsonl_with_policy(
+    text: &str,
+    policy: ErrorPolicy,
+) -> Result<(PropertyGraph, Quarantine), ModelError> {
+    let mut graph = PropertyGraph::new();
+    let mut quarantine = Quarantine::new();
+    let mut decoder = JsonlDecoder::new();
+    // Pre-reserve at half the line count per element class: a mixed
+    // node/edge dump fits exactly, and a single-class dump grows at
+    // most once instead of rehashing its way up element by element.
+    let line_count = text.as_bytes().iter().filter(|&&b| b == b'\n').count() + 1;
+    graph.reserve(line_count / 2 + 1, 0);
+    let mut pending_edges: Vec<(usize, Range<usize>, Edge)> = Vec::new();
+    for (idx, (span, line)) in lines_with_spans(text).enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match decoder.decode_element(line) {
+            Ok(Element::Node(n)) => {
+                if let Err(e) = graph.add_node(n) {
+                    quarantine.divert(policy, "jsonl", lineno, e.to_string(), line)?;
+                }
+            }
+            Ok(Element::Edge(e)) => pending_edges.push((lineno, span, e)),
+            Ok(Element::ResolvedEdge(r)) => pending_edges.push((lineno, span, r.edge)),
+            Err(e) => {
+                quarantine.divert(policy, "jsonl", lineno, e.to_string(), line)?;
+            }
+        }
+    }
+    graph.reserve(0, pending_edges.len());
+    for (lineno, span, e) in pending_edges {
+        if let Err(err) = graph.add_edge(e) {
+            quarantine.divert(policy, "jsonl", lineno, err.to_string(), &text[span])?;
+        }
+    }
+    Ok((graph, quarantine))
+}
+
+/// Reference-decoder counterpart of [`from_jsonl_with_policy`], kept on
+/// the old `serde_json::from_str` path. Differential tests and the CI
+/// perf-smoke self-check pin the zero-copy decoder against this.
+pub fn from_jsonl_with_policy_reference(
     text: &str,
     policy: ErrorPolicy,
 ) -> Result<(PropertyGraph, Quarantine), ModelError> {
@@ -124,6 +202,19 @@ pub fn from_jsonl_with_policy(
 /// dirt in the *input*, not I/O failures, so they quarantine rather than
 /// abort). Reader errors abort with [`LoadError::Io`].
 pub fn read_jsonl_elements<R: BufRead>(
+    reader: R,
+    policy: ErrorPolicy,
+) -> Result<(Vec<(usize, Element)>, Quarantine), LoadError> {
+    let mut decoder = JsonlDecoder::new();
+    read_jsonl_elements_with(&mut decoder, reader, policy)
+}
+
+/// Like [`read_jsonl_elements`], but decoding through a caller-owned
+/// [`JsonlDecoder`]. The server's streaming ingest keeps one decoder
+/// per session so the symbol pool survives across request slices and
+/// steady-state ingest allocates only values.
+pub fn read_jsonl_elements_with<R: BufRead>(
+    decoder: &mut JsonlDecoder,
     mut reader: R,
     policy: ErrorPolicy,
 ) -> Result<(Vec<(usize, Element)>, Quarantine), LoadError> {
@@ -156,7 +247,7 @@ pub fn read_jsonl_elements<R: BufRead>(
         if line.is_empty() {
             continue;
         }
-        match serde_json::from_str::<Element>(line) {
+        match decoder.decode_element(line) {
             Ok(el) => out.push((lineno, el)),
             Err(e) => {
                 quarantine
@@ -371,6 +462,71 @@ mod tests {
         let r = FaultyReader::new(text.as_bytes(), 100, FaultKind::Error);
         let err = read_jsonl_elements(std::io::BufReader::new(r), ErrorPolicy::Skip).unwrap_err();
         assert!(matches!(err, LoadError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_copy_path_matches_reference_path() {
+        let mut g = PropertyGraph::new();
+        g.add_node(
+            Node::new(1, LabelSet::from_iter(["Person", "Student"]))
+                .with_prop("name", "Zoë \"q\" \\ tab\t")
+                .with_prop("score", -0.25f64)
+                .with_prop("n", i64::MIN),
+        )
+        .unwrap();
+        g.add_node(Node::new(2, LabelSet::empty())).unwrap();
+        g.add_edge(
+            Edge::new(7, NodeId(1), NodeId(2), LabelSet::single("KNOWS"))
+                .with_prop("since", 2015i64),
+        )
+        .unwrap();
+        let mut text = to_jsonl(&g);
+        text.push_str("not json\n");
+        text.push_str("{\"kind\":\"edge\",\"id\":9,\"src\":1,\"tgt\":404,\"labels\":[],\"props\":{}}\n");
+        text.push_str("   \n"); // blank line, skipped by both
+        let (gn, qn) = from_jsonl_with_policy(&text, ErrorPolicy::Skip).unwrap();
+        let (gr, qr) = from_jsonl_with_policy_reference(&text, ErrorPolicy::Skip).unwrap();
+        assert_eq!(to_jsonl(&gn), to_jsonl(&gr), "graphs must be identical");
+        assert_eq!(qn.len(), qr.len());
+        for (a, b) in qn.entries().iter().zip(qr.entries()) {
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.raw, b.raw);
+        }
+    }
+
+    #[test]
+    fn crlf_lines_and_missing_trailing_newline_split_like_str_lines() {
+        let node = |id: u64| {
+            serde_json::to_string(&Element::Node(Node::new(id, LabelSet::single("P")))).unwrap()
+        };
+        // CRLF separators plus a final line with no newline at all.
+        let text = format!("{}\r\n{}\r\n{}", node(1), node(2), node(3));
+        let (g, q) = from_jsonl_with_policy(&text, ErrorPolicy::Skip).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert!(q.is_empty(), "{q:?}");
+        let (gr, _) = from_jsonl_with_policy_reference(&text, ErrorPolicy::Skip).unwrap();
+        assert_eq!(to_jsonl(&g), to_jsonl(&gr));
+    }
+
+    #[test]
+    fn session_decoder_survives_across_reader_batches() {
+        let mut decoder = JsonlDecoder::new();
+        let a = "{\"kind\":\"node\",\"id\":1,\"labels\":[\"P\"],\"props\":{\"k\":{\"Int\":1}}}\n";
+        let b = "{\"kind\":\"node\",\"id\":2,\"labels\":[\"P\"],\"props\":{\"k\":{\"Int\":2}}}\n";
+        let (e1, _) =
+            read_jsonl_elements_with(&mut decoder, a.as_bytes(), ErrorPolicy::Skip).unwrap();
+        let (e2, _) =
+            read_jsonl_elements_with(&mut decoder, b.as_bytes(), ErrorPolicy::Skip).unwrap();
+        let (Element::Node(n1), Element::Node(n2)) = (&e1[0].1, &e2[0].1) else {
+            panic!("expected nodes");
+        };
+        let l1 = n1.labels.iter().next().unwrap();
+        let l2 = n2.labels.iter().next().unwrap();
+        assert!(
+            std::sync::Arc::ptr_eq(l1, l2),
+            "interner must persist across batches"
+        );
+        assert_eq!(decoder.interned_symbols(), 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod batch;
 pub mod csv;
+pub mod decode;
 pub mod faults;
 pub mod index;
 pub mod ingest;
@@ -31,8 +32,12 @@ pub mod memstore;
 pub mod query;
 
 pub use batch::{split_batches, GraphBatch};
+pub use decode::{DecodeError, JsonlDecoder};
 pub use faults::{FaultKind, FaultyReader, FaultyWriter};
 pub use ingest::{ErrorPolicy, Quarantine, QuarantineEntry};
-pub use jsonl::{from_jsonl_reader_with_policy, read_jsonl_elements, Element, LoadError};
+pub use jsonl::{
+    from_jsonl_reader_with_policy, read_jsonl_elements, read_jsonl_elements_with, Element,
+    LoadError,
+};
 pub use load::{load, EdgeRecord, NodeRecord};
 pub use memstore::GraphStore;
